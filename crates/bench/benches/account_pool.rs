@@ -1,0 +1,80 @@
+//! E6 — §2.3 access scalability: template-account pool behaviour as the
+//! ratio of concurrent consumers to pool size grows. The paper's claim is
+//! that a *small constant* pool serves an unbounded consumer population;
+//! these curves show acquire/release cost and contention.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration as StdDuration;
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+
+use gridbank_bench::quick;
+use gridbank_gsp::template::TemplatePool;
+use gridbank_gsp::GridMapfile;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("account_pool");
+
+    g.bench_function("uncontended_acquire_release", |b| {
+        let pool = TemplatePool::new("grid", 8, 0o700);
+        b.iter(|| {
+            let a = pool.try_acquire().unwrap();
+            pool.release(black_box(a));
+        });
+    });
+
+    // Consumers ≫ pool: throughput of bind/execute/unbind churn.
+    for (pool_size, threads) in [(4usize, 4usize), (4, 16), (16, 16), (4, 64)] {
+        let label = format!("pool{pool_size}_threads{threads}");
+        g.throughput(Throughput::Elements((threads * 50) as u64));
+        g.bench_with_input(BenchmarkId::new("churn", label), &(pool_size, threads), |b, &(k, n)| {
+            b.iter(|| {
+                let pool = Arc::new(TemplatePool::new("grid", k, 0o700));
+                let mapfile = Arc::new(GridMapfile::new());
+                std::thread::scope(|s| {
+                    for t in 0..n {
+                        let pool = pool.clone();
+                        let mapfile = mapfile.clone();
+                        s.spawn(move || {
+                            for i in 0..50usize {
+                                let acct =
+                                    pool.acquire(StdDuration::from_secs(5)).expect("cycles");
+                                let cert = format!("/CN=c{t}-{i}");
+                                mapfile.bind(&cert, &acct.local_name).unwrap();
+                                mapfile.unbind(&cert).unwrap();
+                                pool.release(acct);
+                            }
+                        });
+                    }
+                });
+                black_box(pool.stats().acquisitions)
+            });
+        });
+    }
+
+    // Wait behaviour at saturation: one slot, many waiters.
+    g.bench_function("handoff_latency_1_slot_8_waiters", |b| {
+        b.iter(|| {
+            let pool = Arc::new(TemplatePool::new("grid", 1, 0o700));
+            std::thread::scope(|s| {
+                for _ in 0..8 {
+                    let pool = pool.clone();
+                    s.spawn(move || {
+                        let a = pool.acquire(StdDuration::from_secs(5)).unwrap();
+                        pool.release(a);
+                    });
+                }
+            });
+            black_box(pool.stats().waits)
+        });
+    });
+
+    g.finish();
+}
+
+fn main() {
+    let mut c = quick();
+    bench(&mut c);
+    c.final_summary();
+}

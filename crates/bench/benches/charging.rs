@@ -1,0 +1,109 @@
+//! E2 — the Figure 2 metering/charging pipeline: native-record
+//! conversion per OS flavour, per-resource aggregation (R1–R4), rate
+//! conformance + charge calculation, and streaming interval slicing.
+
+use std::hint::black_box;
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+
+use gridbank_bench::quick;
+use gridbank_meter::levels::AccountingLevel;
+use gridbank_meter::machine::{JobSpec, Machine, MachineSpec, OsFlavour};
+use gridbank_meter::meter::{GridResourceMeter, MeteredJob};
+use gridbank_rur::record::ChargeableItem;
+use gridbank_rur::Credits;
+use gridbank_trade::rates::ServiceRates;
+
+fn rates() -> ServiceRates {
+    ServiceRates::new()
+        .with(ChargeableItem::WallClock, Credits::from_milli(100))
+        .with(ChargeableItem::Cpu, Credits::from_gd(2))
+        .with(ChargeableItem::Memory, Credits::from_milli(10))
+        .with(ChargeableItem::Storage, Credits::from_milli(2))
+        .with(ChargeableItem::Network, Credits::from_milli(5))
+        .with(ChargeableItem::Software, Credits::from_milli(500))
+}
+
+fn job() -> JobSpec {
+    JobSpec { work: 2_000_000, parallelism: 2, memory_mb: 1024, storage_mb: 256, network_mb: 64, sys_pct: 10 }
+}
+
+fn metered(os: OsFlavour, resources: usize) -> MeteredJob {
+    let mut executions = Vec::new();
+    for i in 0..resources {
+        let spec = MachineSpec {
+            host: format!("r{i}"),
+            os,
+            speed: 150,
+            cores: 4,
+            memory_mb: 8192,
+        };
+        let mut m = Machine::new(spec.clone(), i as u64);
+        let e = m.execute(&job(), 0);
+        executions.push((spec.host, os.host_type().to_string(), e.native));
+    }
+    MeteredJob {
+        user_host: "h".into(),
+        user_cert: "/CN=alice".into(),
+        job_id: "j".into(),
+        application: "a".into(),
+        executions,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("charging");
+    let prices: Vec<(ChargeableItem, Credits)> = rates().iter().collect();
+    let meter = GridResourceMeter::new("/CN=gsp");
+
+    // Conversion unit per OS flavour.
+    for os in [OsFlavour::Linux, OsFlavour::Solaris, OsFlavour::Cray] {
+        let m = metered(os, 1);
+        let native = m.executions[0].2.clone();
+        g.bench_with_input(
+            BenchmarkId::new("native_normalize", format!("{os:?}")),
+            &native,
+            |b, native| b.iter(|| native.normalize().unwrap()),
+        );
+    }
+
+    // Full GRM: native → priced RUR.
+    let single = metered(OsFlavour::Linux, 1);
+    g.bench_function("build_rur_single_resource", |b| {
+        b.iter(|| meter.build_rur(black_box(&single), &prices, AccountingLevel::Standard).unwrap())
+    });
+
+    // Aggregation across R1..Rn.
+    for n in [2usize, 4, 16] {
+        let m = metered(OsFlavour::Linux, n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("aggregate_resources", n), &m, |b, m| {
+            b.iter(|| meter.build_rur(m, &prices, AccountingLevel::Standard).unwrap())
+        });
+    }
+
+    // GBCM charge calculation (conformance + itemized total).
+    let r = rates();
+    let rur = meter.build_rur(&single, &prices, AccountingLevel::Standard).unwrap();
+    g.bench_function("conformance_and_charge", |b| {
+        b.iter(|| r.charge(black_box(&rur)).unwrap())
+    });
+
+    // Streaming interval slicing for pay-as-you-go.
+    let native = single.executions[0].2.clone();
+    for interval in [1000u64, 100, 10] {
+        g.bench_with_input(
+            BenchmarkId::new("stream_intervals", interval),
+            &interval,
+            |b, &iv| b.iter(|| meter.stream_intervals(black_box(&native), iv).unwrap().len()),
+        );
+    }
+
+    g.finish();
+}
+
+fn main() {
+    let mut c = quick();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,68 @@
+//! E4 — Figure 4's co-operative barter community at several ring sizes:
+//! full rounds of mutual service provision through the bank, plus the
+//! equilibrium-gap computation over the transfer history.
+
+use std::hint::black_box;
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+
+use gridbank_bench::quick;
+use gridbank_core::coop::BarterStats;
+use gridbank_sim::scenario::run_cooperative;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cooperative");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(600));
+
+    // Whole-community rounds: n participants × r rounds of paid jobs.
+    for n in [2usize, 4, 8] {
+        g.throughput(Throughput::Elements((n * 2) as u64));
+        g.bench_with_input(BenchmarkId::new("barter_rounds", n), &n, |b, &n| {
+            b.iter(|| {
+                let report = run_cooperative(n, 2, 1_800_000, 7);
+                assert_eq!(report.rows.len(), n);
+                black_box(report.equilibrium_gap)
+            })
+        });
+    }
+
+    // Stats computation alone over a populated transfer table.
+    g.bench_function("barter_stats_over_history", |b| {
+        use gridbank_core::accounts::GbAccounts;
+        use gridbank_core::clock::Clock;
+        use gridbank_core::db::Database;
+        use gridbank_rur::Credits;
+        use std::sync::Arc;
+
+        let db = Arc::new(Database::new(1, 1));
+        let acc = GbAccounts::new(db.clone(), Clock::new());
+        let ids: Vec<_> = (0..16)
+            .map(|i| {
+                let id = acc.create_account(&format!("/CN=p{i}"), None).unwrap();
+                db.with_account_mut(&id, |r| {
+                    r.available = Credits::from_gd(1_000_000);
+                    Ok(())
+                })
+                .unwrap();
+                id
+            })
+            .collect();
+        for k in 0..5_000usize {
+            acc.transfer(&ids[k % 16], &ids[(k + 1) % 16], Credits::from_micro(10), Vec::new())
+                .unwrap();
+        }
+        b.iter(|| {
+            let stats = BarterStats::compute(&db, 0, u64::MAX);
+            black_box(stats.equilibrium_gap())
+        });
+    });
+
+    g.finish();
+}
+
+fn main() {
+    let mut c = quick();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,88 @@
+//! E8 — §4.2 competitive-model pricing: estimator ingest/query cost as
+//! history grows, and the supply-demand quote path providers price with.
+
+use std::hint::black_box;
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+
+use gridbank_bench::quick;
+use gridbank_core::pricing::{PriceEstimator, ResourceDescription};
+use gridbank_rur::record::ChargeableItem;
+use gridbank_rur::Credits;
+use gridbank_trade::pricing::{EquilibriumTracker, PricingPolicy, SupplyDemandPricing, Utilization};
+use gridbank_trade::rates::ServiceRates;
+
+fn desc(i: u64) -> ResourceDescription {
+    ResourceDescription {
+        cpu_speed: 500 + (i % 40) as u32 * 100,
+        cpu_count: 1 << (i % 6),
+        memory_mb: 4_096 * (1 + i % 8),
+        storage_mb: 100_000,
+        bandwidth_mbps: 1_000,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pricing");
+
+    g.bench_function("observe", |b| {
+        let e = PriceEstimator::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            e.observe(desc(i), Credits::from_milli(1_000 + (i % 3_000) as i64))
+        });
+    });
+
+    // Estimate cost scales with history size.
+    for history in [100u64, 1_000, 10_000] {
+        g.throughput(Throughput::Elements(history));
+        g.bench_with_input(BenchmarkId::new("estimate", history), &history, |b, &n| {
+            let e = PriceEstimator::new();
+            for i in 0..n {
+                e.observe(desc(i), Credits::from_milli(1_000 + (i % 3_000) as i64));
+            }
+            let target = desc(3);
+            b.iter(|| e.estimate(black_box(&target), 200).unwrap());
+        });
+    }
+
+    // Supply/demand quote generation across the utilization range.
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("supply_demand_quote", |b| {
+        let policy = SupplyDemandPricing::default();
+        let base = ServiceRates::new()
+            .with(ChargeableItem::Cpu, Credits::from_gd(2))
+            .with(ChargeableItem::Memory, Credits::from_milli(10))
+            .with(ChargeableItem::Network, Credits::from_milli(5));
+        let mut load = 0u8;
+        b.iter(|| {
+            load = (load + 7) % 101;
+            policy.quote(black_box(&base), Utilization::new(load)).unwrap()
+        });
+    });
+
+    // The community price authority's adjustment loop (§4.1).
+    g.bench_function("equilibrium_tracker_1000_rounds", |b| {
+        b.iter(|| {
+            let mut t = EquilibriumTracker::new(
+                Credits::from_gd(1),
+                5,
+                Credits::from_milli(100),
+                Credits::from_gd(100),
+            );
+            for k in 0..1_000u64 {
+                t.adjust(k % 13, k % 7).unwrap();
+            }
+            black_box(t.price)
+        });
+    });
+
+    g.finish();
+}
+
+fn main() {
+    let mut c = quick();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,78 @@
+//! E9 (codec leg) — Resource Usage Record serialization: the binary BLOB
+//! form GridBank stores (§5.1) vs the XML-ish site-exchange form, both
+//! directions.
+
+use std::hint::black_box;
+
+use criterion::{Criterion, Throughput};
+
+use gridbank_bench::quick;
+use gridbank_rur::codec::{Decode, Encode};
+use gridbank_rur::record::{ChargeableItem, ResourceUsageRecord, RurBuilder, UsageAmount};
+use gridbank_rur::text;
+use gridbank_rur::units::{DataSize, Duration, MbHours};
+use gridbank_rur::Credits;
+
+fn full_record() -> ResourceUsageRecord {
+    RurBuilder::default()
+        .user("submit.uwa.edu.au", "/O=UWA/OU=CSSE/CN=alice")
+        .job("nimrod-000042", "povray-parameter-sweep", 1_000, 7_201_000)
+        .resource(
+            "cluster.unimelb.edu.au",
+            "/O=UniMelb/OU=GRIDS/CN=gsp-alpha",
+            Some("Linux/x86".into()),
+            918_273,
+        )
+        .line(ChargeableItem::WallClock, UsageAmount::Time(Duration::from_hours(2)), Credits::from_milli(100))
+        .line(ChargeableItem::Cpu, UsageAmount::Time(Duration::from_ms(6_400_000)), Credits::from_gd(2))
+        .line(
+            ChargeableItem::Memory,
+            UsageAmount::Occupancy(MbHours::occupancy(DataSize::from_mb(2048), Duration::from_hours(2))),
+            Credits::from_milli(10),
+        )
+        .line(
+            ChargeableItem::Storage,
+            UsageAmount::Occupancy(MbHours::occupancy(DataSize::from_mb(512), Duration::from_hours(2))),
+            Credits::from_milli(2),
+        )
+        .line(ChargeableItem::Network, UsageAmount::Data(DataSize::from_mb(850)), Credits::from_milli(5))
+        .line(ChargeableItem::Software, UsageAmount::Time(Duration::from_ms(300_000)), Credits::from_milli(500))
+        .build()
+        .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rur_codec");
+    let record = full_record();
+    let bytes = record.to_bytes();
+    let rendered = text::to_text(&record);
+    println!(
+        "[sizes] full RUR: binary {} bytes, text {} bytes",
+        bytes.len(),
+        rendered.len()
+    );
+
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("binary_encode", |b| b.iter(|| black_box(&record).to_bytes()));
+    g.bench_function("binary_decode", |b| {
+        b.iter(|| ResourceUsageRecord::from_bytes(black_box(&bytes)).unwrap())
+    });
+
+    g.throughput(Throughput::Bytes(rendered.len() as u64));
+    g.bench_function("text_encode", |b| b.iter(|| text::to_text(black_box(&record))));
+    g.bench_function("text_decode", |b| {
+        b.iter(|| text::from_text(black_box(&rendered)).unwrap())
+    });
+
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("validate", |b| b.iter(|| black_box(&record).validate().unwrap()));
+    g.bench_function("total_cost", |b| b.iter(|| black_box(&record).total_cost().unwrap()));
+
+    g.finish();
+}
+
+fn main() {
+    let mut c = quick();
+    bench(&mut c);
+    c.final_summary();
+}

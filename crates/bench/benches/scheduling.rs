@@ -1,0 +1,107 @@
+//! E12 — DBC scheduling: planning cost across the four Nimrod-G
+//! algorithms as job and resource counts grow, plus one full dispatched
+//! batch (plan + payments + execution) per algorithm.
+
+use std::hint::black_box;
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+
+use gridbank_bench::quick;
+use gridbank_broker::job::{JobBatch, QosConstraints};
+use gridbank_broker::scheduling::{schedule, Algorithm, ResourceView};
+use gridbank_meter::machine::JobSpec;
+use gridbank_rur::units::MS_PER_HOUR;
+use gridbank_rur::Credits;
+use gridbank_sim::scenario::GridScenario;
+use gridbank_sim::topology::{build_grid, TopologyConfig};
+
+fn views(n: usize) -> Vec<ResourceView> {
+    (0..n)
+        .map(|i| ResourceView {
+            provider_idx: i,
+            price_per_hour: Credits::from_milli(500 + 500 * (i as i64 % 8)),
+            speed: 100 + 50 * (i as u64 % 7),
+            free_at_ms: 0,
+        })
+        .collect()
+}
+
+fn grid() -> GridScenario {
+    build_grid(&TopologyConfig {
+        seed: 77,
+        providers: 4,
+        machines_per_provider: 2,
+        signer_height: 8,
+        ..TopologyConfig::default()
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduling");
+    let qos = QosConstraints { deadline_ms: 24 * MS_PER_HOUR, budget: Credits::from_gd(100_000) };
+
+    // Pure planning cost: jobs × resources sweep per algorithm.
+    for (jobs, resources) in [(64usize, 8usize), (256, 16), (1024, 32)] {
+        let works: Vec<u64> = (0..jobs).map(|i| 10_000_000 + (i as u64 % 10) * 1_000_000).collect();
+        let rs = views(resources);
+        g.throughput(Throughput::Elements(jobs as u64));
+        for alg in Algorithm::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(format!("plan_{}", alg.name()), format!("{jobs}x{resources}")),
+                &(&works, &rs),
+                |b, (works, rs)| {
+                    b.iter(|| {
+                        let plan = schedule(alg, works, rs, qos, 0).unwrap();
+                        black_box(plan.assignments.len())
+                    })
+                },
+            );
+        }
+    }
+
+    // Full dispatched batch: negotiation + cheques + execution + settle.
+    g.measurement_time(std::time::Duration::from_millis(400));
+    for alg in Algorithm::ALL {
+        g.bench_with_input(
+            BenchmarkId::new("dispatch_batch_12_jobs", alg.name()),
+            &alg,
+            |b, &alg| {
+                b.iter_with_setup(
+                    || {
+                        let grid = grid();
+                        let broker = grid.new_consumer(
+                            "bench-user",
+                            Credits::from_gd(10_000),
+                            Credits::from_gd(1_000),
+                        );
+                        (grid, broker)
+                    },
+                    |(mut grid, mut broker)| {
+                        let batch = JobBatch::sweep(
+                            "bench",
+                            JobSpec::cpu_bound(1_000_000),
+                            12,
+                            QosConstraints {
+                                deadline_ms: 24 * MS_PER_HOUR,
+                                budget: Credits::from_gd(1_000),
+                            },
+                        );
+                        let report = broker
+                            .run_batch(alg, &batch, &mut grid.providers, 0)
+                            .unwrap();
+                        assert_eq!(report.completed, 12);
+                        black_box(report.total_paid)
+                    },
+                )
+            },
+        );
+    }
+
+    g.finish();
+}
+
+fn main() {
+    let mut c = quick();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,58 @@
+//! Shared fixtures for the GridBank benchmark harness.
+//!
+//! One bench target per experiment in EXPERIMENTS.md (E2, E4–E6,
+//! E8–E13). Every bench uses [`quick`] Criterion settings so the full
+//! suite finishes in minutes while still reporting stable medians.
+
+use std::sync::Arc;
+
+use criterion::Criterion;
+
+use gridbank_core::api::BankRequest;
+use gridbank_core::clock::Clock;
+use gridbank_core::db::AccountId;
+use gridbank_core::port::{BankPort, InProcessBank};
+use gridbank_core::server::{GridBank, GridBankConfig};
+use gridbank_crypto::cert::SubjectName;
+use gridbank_rur::Credits;
+
+/// Criterion tuned for a broad suite: small samples, short measurement.
+pub fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .without_plots()
+        .configure_from_args()
+}
+
+/// The standard administrator subject.
+pub fn admin() -> SubjectName {
+    SubjectName("/O=GridBank/OU=Admin/CN=operator".into())
+}
+
+/// A bank with `2^signer_height` signing capacity.
+pub fn bank(signer_height: usize) -> Arc<GridBank> {
+    Arc::new(GridBank::new(
+        GridBankConfig { signer_height, ..GridBankConfig::default() },
+        Clock::new(),
+    ))
+}
+
+/// Creates and funds an account, returning its port and id.
+pub fn funded(
+    bank: &Arc<GridBank>,
+    cn: &str,
+    gd: i64,
+) -> (InProcessBank, AccountId) {
+    let subject = SubjectName::new("Bench", "Users", cn);
+    let mut port = InProcessBank::new(bank.clone(), subject);
+    let id = port.create_account(None).expect("fresh account");
+    if gd > 0 {
+        bank.handle(
+            &admin(),
+            BankRequest::AdminDeposit { account: id, amount: Credits::from_gd(gd) },
+        );
+    }
+    (port, id)
+}

@@ -1,0 +1,86 @@
+//! Parameterized-application job model.
+//!
+//! Nimrod-G (the paper's reference broker) runs *parameter sweeps*: many
+//! near-identical tasks differing in input parameters. [`JobBatch`]
+//! models such a sweep; [`QosConstraints`] carries the user's deadline
+//! and budget (§1: "resource allocation is performed based on users
+//! quality-of-service requirements/constraints (e.g., deadline and
+//! budget)").
+
+use gridbank_meter::machine::JobSpec;
+use gridbank_rur::Credits;
+
+/// The user's QoS constraints for a batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QosConstraints {
+    /// Absolute virtual-time deadline (ms).
+    pub deadline_ms: u64,
+    /// Total budget for the batch.
+    pub budget: Credits,
+}
+
+/// A sweep of tasks.
+#[derive(Clone, Debug)]
+pub struct JobBatch {
+    /// Batch name (application name in RURs).
+    pub application: String,
+    /// The tasks; for classic sweeps these share one shape.
+    pub tasks: Vec<JobSpec>,
+    /// QoS constraints.
+    pub qos: QosConstraints,
+}
+
+impl JobBatch {
+    /// Builds a homogeneous sweep of `count` tasks.
+    pub fn sweep(
+        application: &str,
+        template: JobSpec,
+        count: usize,
+        qos: QosConstraints,
+    ) -> Self {
+        JobBatch {
+            application: application.to_string(),
+            tasks: vec![template; count],
+            qos,
+        }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total abstract work in the batch.
+    pub fn total_work(&self) -> u64 {
+        self.tasks.iter().map(|t| t.work).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_replicates_template() {
+        let qos = QosConstraints { deadline_ms: 1_000, budget: Credits::from_gd(10) };
+        let batch = JobBatch::sweep("render", JobSpec::cpu_bound(5_000), 8, qos);
+        assert_eq!(batch.len(), 8);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.total_work(), 40_000);
+        assert_eq!(batch.application, "render");
+        assert_eq!(batch.qos.budget, Credits::from_gd(10));
+    }
+
+    #[test]
+    fn empty_batch() {
+        let qos = QosConstraints { deadline_ms: 1, budget: Credits::ZERO };
+        let batch = JobBatch::sweep("x", JobSpec::cpu_bound(1), 0, qos);
+        assert!(batch.is_empty());
+        assert_eq!(batch.total_work(), 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # gridbank-broker
+//!
+//! The **Grid Service Consumer** side: a Nimrod-G-style Grid Resource
+//! Broker (paper §2.2) with the GridBank Payment Module.
+//!
+//! * [`job`] — parameterized application model: a sweep of tasks with
+//!   quality-of-service constraints ("deadline and budget", §1).
+//! * [`scheduling`] — the deadline-and-budget-constrained (DBC)
+//!   algorithms from the cited Nimrod-G work [2,5]: cost-optimization,
+//!   time-optimization, cost-time-optimization, and conservative-time.
+//! * [`payment`] — the **GridBank Payment Module** (GBPM): manages funds
+//!   on the user's behalf ("The user can then set the budget to prevent
+//!   overspending", §2.2), obtains payment instruments, and submits jobs
+//!   through the Grid Agent.
+//! * [`agent`] — the Grid Agent that sets up the execution environment on
+//!   the GSP machine (simulated as deploy overhead) and runs the job.
+//! * [`broker`] — the assembled broker: discovery via the Grid Market
+//!   Directory, rate negotiation with each GSP's Grid Trade Server,
+//!   scheduling, dispatch, and QoS accounting.
+
+pub mod agent;
+pub mod broker;
+pub mod error;
+pub mod job;
+pub mod payment;
+pub mod scheduling;
+
+pub use broker::{BrokerReport, GridResourceBroker};
+pub use error::BrokerError;
+pub use job::{JobBatch, QosConstraints};
+pub use payment::PaymentModule;
+pub use scheduling::{Algorithm, ResourceView, Schedule};

@@ -1,0 +1,277 @@
+//! The GridBank Payment Module (GBPM).
+//!
+//! §2.2: "GRB interacts with GridBank Payment Module to manage funds on
+//! user's behalf. The user can then set the budget to prevent
+//! overspending." §6: "GridBank Payment Module receives requests for job
+//! execution from the Grid Resource Broker, obtains a payment instrument
+//! from the GridBank, forwards the payment to GBCM and submits the job."
+
+use gridbank_core::cheque::GridCheque;
+use gridbank_core::client::ClientHashChain;
+use gridbank_core::db::AccountId;
+use gridbank_core::direct::TransferConfirmation;
+use gridbank_core::port::BankPort;
+use gridbank_rur::Credits;
+
+use crate::error::BrokerError;
+
+/// Budget bookkeeping: the user's cap, what has been spent, and what is
+/// committed to not-yet-settled instruments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BudgetTracker {
+    /// The user's total budget.
+    pub budget: Credits,
+    /// Finalized spending.
+    pub spent: Credits,
+    /// Value locked in outstanding instruments.
+    pub committed: Credits,
+}
+
+impl BudgetTracker {
+    /// Creates a tracker with the given cap.
+    pub fn new(budget: Credits) -> Self {
+        BudgetTracker { budget, ..Default::default() }
+    }
+
+    /// Headroom available for new commitments.
+    pub fn remaining(&self) -> Credits {
+        self.budget
+            .checked_sub(self.spent)
+            .and_then(|r| r.checked_sub(self.committed))
+            .unwrap_or(Credits::ZERO)
+            .max(Credits::ZERO)
+    }
+
+    /// Reserves headroom for a new instrument.
+    pub fn commit(&mut self, amount: Credits) -> Result<(), BrokerError> {
+        if amount > self.remaining() {
+            return Err(BrokerError::BudgetExhausted { completed: 0 });
+        }
+        self.committed = self.committed.saturating_add(amount);
+        Ok(())
+    }
+
+    /// Settles an instrument: `paid` becomes spending, the rest of the
+    /// commitment is released.
+    pub fn settle(&mut self, committed: Credits, paid: Credits) {
+        self.committed = self.committed.checked_sub(committed).unwrap_or(Credits::ZERO);
+        self.spent = self.spent.saturating_add(paid);
+    }
+
+    /// Releases a commitment entirely (instrument unused).
+    pub fn release(&mut self, committed: Credits) {
+        self.committed = self.committed.checked_sub(committed).unwrap_or(Credits::ZERO);
+    }
+}
+
+/// The payment module: a bank port plus budget tracking.
+pub struct PaymentModule<P: BankPort> {
+    /// The bank port the module drives.
+    pub port: P,
+    /// Budget state.
+    pub tracker: BudgetTracker,
+    account: Option<AccountId>,
+}
+
+impl<P: BankPort> PaymentModule<P> {
+    /// Wraps a port with a budget.
+    pub fn new(port: P, budget: Credits) -> Self {
+        PaymentModule { port, tracker: BudgetTracker::new(budget), account: None }
+    }
+
+    /// Ensures the user has an account (creating one on first use) and
+    /// returns its id.
+    pub fn ensure_account(&mut self, organization: Option<String>) -> Result<AccountId, BrokerError> {
+        if let Some(id) = self.account {
+            return Ok(id);
+        }
+        let id = match self.port.my_account() {
+            Ok(record) => record.id,
+            Err(_) => self.port.create_account(organization)?,
+        };
+        self.account = Some(id);
+        Ok(id)
+    }
+
+    /// Current bank balance (available).
+    pub fn balance(&mut self) -> Result<Credits, BrokerError> {
+        Ok(self.port.my_account()?.available)
+    }
+
+    /// Obtains a cheque within the budget; the commitment is tracked.
+    pub fn obtain_cheque(
+        &mut self,
+        payee_cert: &str,
+        amount: Credits,
+        validity_ms: u64,
+    ) -> Result<GridCheque, BrokerError> {
+        self.tracker.commit(amount)?;
+        match self.port.request_cheque(payee_cert, amount, validity_ms) {
+            Ok(c) => Ok(c),
+            Err(e) => {
+                self.tracker.release(amount);
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Settles a cheque outcome against the budget.
+    pub fn settle_cheque(&mut self, cheque: &GridCheque, paid: Credits) {
+        self.tracker.settle(cheque.body.reserved, paid);
+    }
+
+    /// Obtains a hash chain within the budget.
+    pub fn obtain_chain(
+        &mut self,
+        payee_cert: &str,
+        length: u32,
+        value_per_word: Credits,
+        validity_ms: u64,
+    ) -> Result<ClientHashChain, BrokerError> {
+        let total = value_per_word
+            .checked_mul(length as i128)
+            .map_err(|e| BrokerError::Bank(e.into()))?;
+        self.tracker.commit(total)?;
+        match self.port.request_hash_chain(payee_cert, length, value_per_word, validity_ms) {
+            Ok(c) => Ok(c),
+            Err(e) => {
+                self.tracker.release(total);
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Pay-before-use: direct transfer of a fixed price.
+    pub fn prepay(
+        &mut self,
+        to: AccountId,
+        amount: Credits,
+        recipient_address: &str,
+    ) -> Result<TransferConfirmation, BrokerError> {
+        self.tracker.commit(amount)?;
+        match self.port.direct_transfer(to, amount, recipient_address) {
+            Ok(conf) => {
+                self.tracker.settle(amount, amount);
+                Ok(conf)
+            }
+            Err(e) => {
+                self.tracker.release(amount);
+                Err(e.into())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridbank_core::api::BankRequest;
+    use gridbank_core::clock::Clock;
+    use gridbank_core::port::InProcessBank;
+    use gridbank_core::server::{GridBank, GridBankConfig};
+    use gridbank_crypto::cert::SubjectName;
+    use std::sync::Arc;
+
+    fn setup(budget: i64) -> (Arc<GridBank>, PaymentModule<InProcessBank>, SubjectName) {
+        let bank = Arc::new(GridBank::new(
+            GridBankConfig { signer_height: 6, ..GridBankConfig::default() },
+            Clock::new(),
+        ));
+        let alice = SubjectName::new("UWA", "CSSE", "alice");
+        let module = PaymentModule::new(
+            InProcessBank::new(bank.clone(), alice.clone()),
+            Credits::from_gd(budget),
+        );
+        (bank, module, alice)
+    }
+
+    #[test]
+    fn tracker_arithmetic() {
+        let mut t = BudgetTracker::new(Credits::from_gd(10));
+        assert_eq!(t.remaining(), Credits::from_gd(10));
+        t.commit(Credits::from_gd(6)).unwrap();
+        assert_eq!(t.remaining(), Credits::from_gd(4));
+        assert!(t.commit(Credits::from_gd(5)).is_err());
+        // Paid 2 of the 6 committed.
+        t.settle(Credits::from_gd(6), Credits::from_gd(2));
+        assert_eq!(t.spent, Credits::from_gd(2));
+        assert_eq!(t.remaining(), Credits::from_gd(8));
+        t.commit(Credits::from_gd(3)).unwrap();
+        t.release(Credits::from_gd(3));
+        assert_eq!(t.remaining(), Credits::from_gd(8));
+    }
+
+    #[test]
+    fn ensure_account_is_idempotent() {
+        let (_bank, mut m, _alice) = setup(10);
+        let a = m.ensure_account(Some("UWA".into())).unwrap();
+        let b = m.ensure_account(None).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cheque_respects_budget_and_settles() {
+        let (bank, mut m, _alice) = setup(10);
+        let account = m.ensure_account(None).unwrap();
+        let admin = SubjectName("/O=GridBank/OU=Admin/CN=operator".into());
+        bank.handle(&admin, BankRequest::AdminDeposit { account, amount: Credits::from_gd(100) });
+        // GSP account for the payee.
+        let gsp = SubjectName::new("O", "U", "gsp");
+        let mut gsp_port = InProcessBank::new(bank.clone(), gsp);
+        gsp_port.create_account(None).unwrap();
+
+        let cheque = m.obtain_cheque("/O=O/OU=U/CN=gsp", Credits::from_gd(6), 10_000).unwrap();
+        assert_eq!(m.tracker.remaining(), Credits::from_gd(4));
+        // Over-budget cheque refused even though the bank balance allows.
+        assert!(matches!(
+            m.obtain_cheque("/O=O/OU=U/CN=gsp", Credits::from_gd(5), 10_000),
+            Err(BrokerError::BudgetExhausted { .. })
+        ));
+        m.settle_cheque(&cheque, Credits::from_gd(2));
+        assert_eq!(m.tracker.spent, Credits::from_gd(2));
+        assert_eq!(m.tracker.remaining(), Credits::from_gd(8));
+    }
+
+    #[test]
+    fn failed_bank_call_releases_commitment() {
+        let (_bank, mut m, _alice) = setup(10);
+        m.ensure_account(None).unwrap();
+        // No deposit: the bank refuses the reservation; the budget
+        // commitment must be rolled back.
+        let err = m.obtain_cheque("/CN=gsp", Credits::from_gd(5), 10_000);
+        assert!(matches!(err, Err(BrokerError::Bank(_))));
+        assert_eq!(m.tracker.remaining(), Credits::from_gd(10));
+    }
+
+    #[test]
+    fn prepay_settles_immediately() {
+        let (bank, mut m, _alice) = setup(10);
+        let account = m.ensure_account(None).unwrap();
+        let admin = SubjectName("/O=GridBank/OU=Admin/CN=operator".into());
+        bank.handle(&admin, BankRequest::AdminDeposit { account, amount: Credits::from_gd(100) });
+        let gsp = SubjectName::new("O", "U", "gsp");
+        let mut gsp_port = InProcessBank::new(bank.clone(), gsp);
+        let gsp_acct = gsp_port.create_account(None).unwrap();
+
+        let conf = m.prepay(gsp_acct, Credits::from_gd(3), "gsp.org").unwrap();
+        assert_eq!(conf.body.amount, Credits::from_gd(3));
+        assert_eq!(m.tracker.spent, Credits::from_gd(3));
+        assert_eq!(m.tracker.committed, Credits::ZERO);
+        assert_eq!(m.balance().unwrap(), Credits::from_gd(97));
+    }
+
+    #[test]
+    fn chain_commitment_counts_whole_value() {
+        let (bank, mut m, _alice) = setup(10);
+        let account = m.ensure_account(None).unwrap();
+        let admin = SubjectName("/O=GridBank/OU=Admin/CN=operator".into());
+        bank.handle(&admin, BankRequest::AdminDeposit { account, amount: Credits::from_gd(100) });
+        let gsp = SubjectName::new("O", "U", "gsp");
+        let mut gsp_port = InProcessBank::new(bank.clone(), gsp);
+        gsp_port.create_account(None).unwrap();
+
+        m.obtain_chain("/O=O/OU=U/CN=gsp", 8, Credits::from_gd(1), 10_000).unwrap();
+        assert_eq!(m.tracker.remaining(), Credits::from_gd(2));
+        assert!(m.obtain_chain("/O=O/OU=U/CN=gsp", 3, Credits::from_gd(1), 10_000).is_err());
+    }
+}

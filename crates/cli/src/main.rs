@@ -1,0 +1,356 @@
+//! `gridbank` — the GridBank administration/operations command line.
+//!
+//! Operates a durable bank: state persists as a write-ahead journal file
+//! (see `gridbank_core::db`), so successive invocations compose like a
+//! real banking deployment. Administrator operations follow §5.2.1;
+//! client queries follow §5.2.
+//!
+//! ```text
+//! gridbank --db bank.gbj create-account --cert "/O=UWA/OU=CSSE/CN=alice"
+//! gridbank --db bank.gbj deposit --account 01-0001-00000001 --amount 100
+//! gridbank --db bank.gbj transfer --from 01-0001-00000001 \
+//!          --to 01-0001-00000002 --amount 12.5
+//! gridbank --db bank.gbj statement --account 01-0001-00000001
+//! gridbank --db bank.gbj accounts
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use gridbank_core::accounts::GbAccounts;
+use gridbank_core::admin::GbAdmin;
+use gridbank_core::api::{journal_from_bytes, journal_to_bytes};
+use gridbank_core::clock::Clock;
+use gridbank_core::coop::BarterStats;
+use gridbank_core::db::{AccountId, Database};
+use gridbank_rur::Credits;
+
+const ADMIN_CERT: &str = "/O=GridBank/OU=Admin/CN=operator";
+
+struct Args {
+    flags: Vec<(String, String)>,
+    command: Option<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut flags = Vec::new();
+        let mut command = None;
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                let value = argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                flags.push((name.to_string(), value.clone()));
+                i += 2;
+            } else {
+                if command.is_some() {
+                    return Err(format!("unexpected argument `{a}`"));
+                }
+                command = Some(a.clone());
+                i += 1;
+            }
+        }
+        Ok(Args { flags, command })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+    }
+}
+
+fn parse_amount(s: &str) -> Result<Credits, String> {
+    // "12", "12.5", "0.000001" — up to 6 fraction digits.
+    let (whole, frac) = match s.split_once('.') {
+        Some((w, f)) => (w, f),
+        None => (s, ""),
+    };
+    if frac.len() > 6 {
+        return Err(format!("`{s}`: at most 6 decimal places (µG$ precision)"));
+    }
+    let negative = whole.starts_with('-');
+    let whole: i128 = whole.parse().map_err(|e| format!("`{s}`: {e}"))?;
+    let mut frac_val: i128 = if frac.is_empty() {
+        0
+    } else {
+        frac.parse().map_err(|e| format!("`{s}`: {e}"))?
+    };
+    frac_val *= 10i128.pow(6 - frac.len() as u32);
+    if negative {
+        frac_val = -frac_val;
+    }
+    Ok(Credits::from_micro(whole * 1_000_000 + frac_val))
+}
+
+fn parse_account(s: &str) -> Result<AccountId, String> {
+    AccountId::parse(s).ok_or_else(|| format!("`{s}` is not a bb-bbbb-nnnnnnnn account id"))
+}
+
+struct Bank {
+    accounts: GbAccounts,
+    admin: GbAdmin,
+    db_path: String,
+}
+
+impl Bank {
+    fn load(db_path: &str) -> Result<Bank, String> {
+        let db = match std::fs::read(db_path) {
+            Ok(bytes) => {
+                let journal =
+                    journal_from_bytes(&bytes).map_err(|e| format!("{db_path}: {e}"))?;
+                Database::replay(1, 1, &journal)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Database::new(1, 1),
+            Err(e) => return Err(format!("{db_path}: {e}")),
+        };
+        let accounts = GbAccounts::new(Arc::new(db), Clock::starting_at(now_wallclock_ms()));
+        let admin = GbAdmin::new(accounts.clone(), [ADMIN_CERT.to_string()]);
+        Ok(Bank { accounts, admin, db_path: db_path.to_string() })
+    }
+
+    fn save(&self) -> Result<(), String> {
+        let bytes = journal_to_bytes(&self.accounts.db().journal_snapshot());
+        let tmp = format!("{}.tmp", self.db_path);
+        std::fs::write(&tmp, &bytes).map_err(|e| format!("{tmp}: {e}"))?;
+        std::fs::rename(&tmp, &self.db_path).map_err(|e| format!("{}: {e}", self.db_path))
+    }
+}
+
+fn now_wallclock_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+fn run(args: &Args) -> Result<String, String> {
+    let db_path = args.get("db").unwrap_or("gridbank.gbj");
+    let command = args.command.as_deref().ok_or_else(usage)?;
+    let bank = Bank::load(db_path)?;
+    let out = match command {
+        "create-account" => {
+            let cert = args.require("cert")?;
+            let org = args.get("org").map(str::to_string);
+            let id = bank
+                .accounts
+                .create_account(cert, org)
+                .map_err(|e| e.to_string())?;
+            format!("created account {id} for {cert}")
+        }
+        "deposit" | "withdraw" => {
+            let account = parse_account(args.require("account")?)?;
+            let amount = parse_amount(args.require("amount")?)?;
+            let txid = if command == "deposit" {
+                bank.admin.deposit(ADMIN_CERT, &account, amount)
+            } else {
+                bank.admin.withdraw(ADMIN_CERT, &account, amount)
+            }
+            .map_err(|e| e.to_string())?;
+            format!("{command} {amount} on {account} (tx {txid})")
+        }
+        "transfer" => {
+            let from = parse_account(args.require("from")?)?;
+            let to = parse_account(args.require("to")?)?;
+            let amount = parse_amount(args.require("amount")?)?;
+            let txid = bank
+                .accounts
+                .transfer(&from, &to, amount, Vec::new())
+                .map_err(|e| e.to_string())?;
+            format!("transferred {amount}: {from} -> {to} (tx {txid})")
+        }
+        "credit-limit" => {
+            let account = parse_account(args.require("account")?)?;
+            let amount = parse_amount(args.require("amount")?)?;
+            bank.admin
+                .change_credit_limit(ADMIN_CERT, &account, amount)
+                .map_err(|e| e.to_string())?;
+            format!("credit limit on {account} set to {amount}")
+        }
+        "cancel" => {
+            let txid: u64 = args
+                .require("tx")?
+                .parse()
+                .map_err(|e| format!("--tx: {e}"))?;
+            let rev = bank
+                .admin
+                .cancel_transfer(ADMIN_CERT, txid)
+                .map_err(|e| e.to_string())?;
+            format!("transfer {txid} reversed by tx {rev}")
+        }
+        "close-account" => {
+            let account = parse_account(args.require("account")?)?;
+            let to = args.get("transfer-to").map(parse_account).transpose()?;
+            bank.admin
+                .close_account(ADMIN_CERT, &account, to)
+                .map_err(|e| e.to_string())?;
+            format!("account {account} closed")
+        }
+        "balance" => {
+            let record = if let Some(acct) = args.get("account") {
+                bank.accounts.account_details(&parse_account(acct)?)
+            } else {
+                bank.accounts.account_by_cert(args.require("cert")?)
+            }
+            .map_err(|e| e.to_string())?;
+            format!(
+                "{} [{}]\n  available: {}\n  locked:    {}\n  credit:    {}",
+                record.id, record.certificate_name, record.available, record.locked,
+                record.credit_limit
+            )
+        }
+        "statement" => {
+            let account = parse_account(args.require("account")?)?;
+            let st = bank
+                .accounts
+                .statement(&account, 0, u64::MAX)
+                .map_err(|e| e.to_string())?;
+            let mut out = format!(
+                "statement for {} ({} transactions, {} transfers)\n",
+                account,
+                st.transactions.len(),
+                st.transfers.len()
+            );
+            for t in &st.transactions {
+                out.push_str(&format!(
+                    "  tx {:>6}  {:>10?}  {:>18}  @{}\n",
+                    t.transaction_id, t.tx_type, t.amount.to_string(), t.date_ms
+                ));
+            }
+            out
+        }
+        "accounts" => {
+            let mut out = String::from("account           available         locked            cert\n");
+            for r in bank.accounts.db().all_accounts() {
+                out.push_str(&format!(
+                    "{}  {:>16}  {:>14}  {}\n",
+                    r.id, r.available.to_string(), r.locked.to_string(), r.certificate_name
+                ));
+            }
+            out.push_str(&format!(
+                "total funds: {}",
+                bank.accounts.db().total_funds()
+            ));
+            out
+        }
+        "barter-stats" => {
+            let stats = BarterStats::compute(bank.accounts.db(), 0, u64::MAX);
+            let mut out = String::from("account           consumed          provided\n");
+            let mut ids: Vec<_> = stats.balances.keys().copied().collect();
+            ids.sort();
+            for id in ids {
+                let b = stats.balances[&id];
+                out.push_str(&format!(
+                    "{}  {:>16}  {:>16}\n",
+                    id, b.consumed.to_string(), b.provided.to_string()
+                ));
+            }
+            out.push_str(&format!("equilibrium gap: {}", stats.equilibrium_gap()));
+            out
+        }
+        other => return Err(format!("unknown command `{other}`\n{}", usage())),
+    };
+    bank.save()?;
+    Ok(out)
+}
+
+fn usage() -> String {
+    "usage: gridbank [--db FILE] COMMAND [flags]\n\
+     commands:\n\
+       create-account --cert DN [--org NAME]\n\
+       deposit        --account ID --amount G$\n\
+       withdraw       --account ID --amount G$\n\
+       transfer       --from ID --to ID --amount G$\n\
+       credit-limit   --account ID --amount G$\n\
+       cancel         --tx TXID\n\
+       close-account  --account ID [--transfer-to ID]\n\
+       balance        --account ID | --cert DN\n\
+       statement      --account ID\n\
+       accounts\n\
+       barter-stats"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match Args::parse(&argv).and_then(|args| run(&args)) {
+        Ok(out) => {
+            println!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("gridbank: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse(&list.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn amount_parsing() {
+        assert_eq!(parse_amount("12").unwrap(), Credits::from_gd(12));
+        assert_eq!(parse_amount("12.5").unwrap(), Credits::from_micro(12_500_000));
+        assert_eq!(parse_amount("0.000001").unwrap(), Credits::from_micro(1));
+        assert_eq!(parse_amount("-3.25").unwrap(), Credits::from_micro(-3_250_000));
+        assert!(parse_amount("1.0000001").is_err());
+        assert!(parse_amount("abc").is_err());
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let a = args(&["--db", "x.gbj", "deposit", "--account", "01-0001-00000001", "--amount", "5"]);
+        assert_eq!(a.command.as_deref(), Some("deposit"));
+        assert_eq!(a.get("db"), Some("x.gbj"));
+        assert_eq!(a.require("amount").unwrap(), "5");
+        assert!(a.require("missing").is_err());
+        assert!(Args::parse(&["--flag".to_string()]).is_err());
+        assert!(Args::parse(&["a".to_string(), "b".to_string()]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_against_temp_journal() {
+        let dir = std::env::temp_dir().join(format!("gridbank-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let db = dir.join("bank.gbj");
+        let db = db.to_str().unwrap();
+
+        let out = run(&args(&["--db", db, "create-account", "--cert", "/CN=alice"])).unwrap();
+        assert!(out.contains("01-0001-00000001"));
+        run(&args(&["--db", db, "create-account", "--cert", "/CN=bob"])).unwrap();
+        run(&args(&["--db", db, "deposit", "--account", "01-0001-00000001", "--amount", "100"]))
+            .unwrap();
+        run(&args(&[
+            "--db", db, "transfer", "--from", "01-0001-00000001", "--to", "01-0001-00000002",
+            "--amount", "30.5",
+        ]))
+        .unwrap();
+
+        // State persisted across invocations.
+        let out = run(&args(&["--db", db, "balance", "--cert", "/CN=bob"])).unwrap();
+        assert!(out.contains("G$30.500000"), "{out}");
+        let out = run(&args(&["--db", db, "accounts"])).unwrap();
+        assert!(out.contains("total funds: G$100.000000"), "{out}");
+        let out = run(&args(&["--db", db, "statement", "--account", "01-0001-00000001"])).unwrap();
+        assert!(out.contains("Deposit"), "{out}");
+        let out = run(&args(&["--db", db, "barter-stats"])).unwrap();
+        assert!(out.contains("equilibrium gap"), "{out}");
+
+        // Errors are surfaced, not panics.
+        assert!(run(&args(&["--db", db, "withdraw", "--account", "01-0001-00000002", "--amount", "999"]))
+            .is_err());
+        assert!(run(&args(&["--db", db, "nonsense"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

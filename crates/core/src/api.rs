@@ -1,0 +1,1010 @@
+//! The GridBank wire API (§5.2, §5.2.1).
+//!
+//! Every operation the paper lists is a [`BankRequest`] variant; the
+//! server answers with a [`BankResponse`]. The caller's identity is never
+//! in the message — it comes from the authenticated channel (the
+//! certificate subject name), which is what makes "Create New Account:
+//! Input: Client's Certificate" and payee-bound redemption sound.
+//!
+//! Messages use the shared binary codec from `gridbank-rur`.
+
+use gridbank_crypto::merkle::MerkleSignature;
+use gridbank_crypto::sha256::{Digest, DIGEST_LEN};
+use gridbank_rur::codec::{ByteReader, ByteWriter, Decode, Encode};
+use gridbank_rur::record::ResourceUsageRecord;
+use gridbank_rur::{Credits, RurError};
+
+use crate::cheque::{ChequeBody, GridCheque};
+use crate::db::{
+    AccountId, AccountRecord, TransactionRecord, TransactionType, TransferRecord,
+};
+use crate::direct::{ConfirmationBody, TransferConfirmation};
+use crate::error::BankError;
+use crate::payword::{ChainCommitment, PayWord};
+use crate::pricing::ResourceDescription;
+
+impl Encode for AccountId {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.bank as u32);
+        w.put_u32(self.branch as u32);
+        w.put_u32(self.number);
+    }
+}
+
+impl Decode for AccountId {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, RurError> {
+        Ok(AccountId {
+            bank: r.get_u32()? as u16,
+            branch: r.get_u32()? as u16,
+            number: r.get_u32()?,
+        })
+    }
+}
+
+impl Encode for AccountRecord {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.id.encode(w);
+        w.put_str(&self.certificate_name);
+        w.put_opt_str(self.organization.as_deref());
+        self.available.encode(w);
+        self.locked.encode(w);
+        w.put_str(&self.currency);
+        self.credit_limit.encode(w);
+    }
+}
+
+impl Decode for AccountRecord {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, RurError> {
+        Ok(AccountRecord {
+            id: AccountId::decode(r)?,
+            certificate_name: r.get_str()?,
+            organization: r.get_opt_str()?,
+            available: Credits::decode(r)?,
+            locked: Credits::decode(r)?,
+            currency: r.get_str()?,
+            credit_limit: Credits::decode(r)?,
+        })
+    }
+}
+
+impl Encode for TransactionRecord {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.transaction_id);
+        self.account.encode(w);
+        w.put_u8(self.tx_type.tag());
+        w.put_u64(self.date_ms);
+        self.amount.encode(w);
+    }
+}
+
+impl Decode for TransactionRecord {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, RurError> {
+        Ok(TransactionRecord {
+            transaction_id: r.get_u64()?,
+            account: AccountId::decode(r)?,
+            tx_type: TransactionType::from_tag(r.get_u8()?)
+                .ok_or_else(|| RurError::Decode("bad tx type".into()))?,
+            date_ms: r.get_u64()?,
+            amount: Credits::decode(r)?,
+        })
+    }
+}
+
+impl Encode for TransferRecord {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.transaction_id);
+        w.put_u64(self.date_ms);
+        self.drawer.encode(w);
+        self.amount.encode(w);
+        self.recipient.encode(w);
+        w.put_bytes(&self.rur_blob);
+    }
+}
+
+impl Decode for TransferRecord {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, RurError> {
+        Ok(TransferRecord {
+            transaction_id: r.get_u64()?,
+            date_ms: r.get_u64()?,
+            drawer: AccountId::decode(r)?,
+            amount: Credits::decode(r)?,
+            recipient: AccountId::decode(r)?,
+            rur_blob: r.get_bytes()?.to_vec(),
+        })
+    }
+}
+
+impl Encode for ResourceDescription {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.cpu_speed);
+        w.put_u32(self.cpu_count);
+        w.put_u64(self.memory_mb);
+        w.put_u64(self.storage_mb);
+        w.put_u32(self.bandwidth_mbps);
+    }
+}
+
+impl Decode for ResourceDescription {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, RurError> {
+        Ok(ResourceDescription {
+            cpu_speed: r.get_u32()?,
+            cpu_count: r.get_u32()?,
+            memory_mb: r.get_u64()?,
+            storage_mb: r.get_u64()?,
+            bandwidth_mbps: r.get_u32()?,
+        })
+    }
+}
+
+fn put_sig(w: &mut ByteWriter, sig: &MerkleSignature) {
+    w.put_bytes(&sig.to_bytes());
+}
+
+fn get_sig(r: &mut ByteReader<'_>) -> Result<MerkleSignature, RurError> {
+    MerkleSignature::from_bytes(r.get_bytes()?)
+        .map_err(|e| RurError::Decode(format!("bad signature: {e}")))
+}
+
+fn put_digest(w: &mut ByteWriter, d: &Digest) {
+    w.put_bytes(d.as_bytes());
+}
+
+fn get_digest(r: &mut ByteReader<'_>) -> Result<Digest, RurError> {
+    let b = r.get_bytes()?;
+    if b.len() != DIGEST_LEN {
+        return Err(RurError::Decode("bad digest length".into()));
+    }
+    let mut a = [0u8; DIGEST_LEN];
+    a.copy_from_slice(b);
+    Ok(Digest(a))
+}
+
+impl Encode for GridCheque {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_bytes(&self.body.to_bytes());
+        put_sig(w, &self.signature);
+    }
+}
+
+impl Decode for GridCheque {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, RurError> {
+        let body = ChequeBody::from_bytes(r.get_bytes()?)?;
+        Ok(GridCheque { body, signature: get_sig(r)? })
+    }
+}
+
+impl Encode for crate::db::JournalEntry {
+    fn encode(&self, w: &mut ByteWriter) {
+        use crate::db::JournalEntry as J;
+        match self {
+            J::Create(r) => {
+                w.put_u8(0);
+                r.encode(w);
+            }
+            J::Update(r) => {
+                w.put_u8(1);
+                r.encode(w);
+            }
+            J::Remove(id) => {
+                w.put_u8(2);
+                id.encode(w);
+            }
+            J::Transaction(t) => {
+                w.put_u8(3);
+                t.encode(w);
+            }
+            J::Transfer(t) => {
+                w.put_u8(4);
+                t.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for crate::db::JournalEntry {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, RurError> {
+        use crate::db::JournalEntry as J;
+        Ok(match r.get_u8()? {
+            0 => J::Create(AccountRecord::decode(r)?),
+            1 => J::Update(AccountRecord::decode(r)?),
+            2 => J::Remove(AccountId::decode(r)?),
+            3 => J::Transaction(TransactionRecord::decode(r)?),
+            4 => J::Transfer(TransferRecord::decode(r)?),
+            t => return Err(RurError::Decode(format!("bad journal tag {t}"))),
+        })
+    }
+}
+
+/// Serializes a whole journal (magic + count + entries) for durable
+/// storage — the CLI persists bank state this way.
+pub fn journal_to_bytes(journal: &[crate::db::JournalEntry]) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(64 + journal.len() * 64);
+    w.put_u32(0x4742_4A31); // "GBJ1"
+    w.put_u64(journal.len() as u64);
+    for e in journal {
+        e.encode(&mut w);
+    }
+    w.into_bytes()
+}
+
+/// Parses a serialized journal.
+pub fn journal_from_bytes(bytes: &[u8]) -> Result<Vec<crate::db::JournalEntry>, RurError> {
+    let mut r = ByteReader::new(bytes);
+    if r.get_u32()? != 0x4742_4A31 {
+        return Err(RurError::Decode("bad journal magic".into()));
+    }
+    let n = r.get_u64()? as usize;
+    if n > 1 << 28 {
+        return Err(RurError::Decode("journal too large".into()));
+    }
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        out.push(crate::db::JournalEntry::decode(&mut r)?);
+    }
+    r.finish()?;
+    Ok(out)
+}
+
+/// A client request (identity comes from the channel, never the message).
+#[derive(Clone, Debug)]
+pub enum BankRequest {
+    /// Create New Account (§5.2); subject = authenticated caller.
+    CreateAccount {
+        /// Optional organization name.
+        organization: Option<String>,
+    },
+    /// Details of the caller's own account.
+    MyAccount,
+    /// Request Account Details / Check Balance (§5.2).
+    AccountDetails {
+        /// Account to read.
+        account: AccountId,
+    },
+    /// Update Account Details (§5.2); only cert/org fields apply.
+    UpdateAccount {
+        /// Account to update (must be the caller's).
+        account: AccountId,
+        /// New certificate name.
+        certificate_name: String,
+        /// New organization.
+        organization: Option<String>,
+    },
+    /// Request Account Statement (§5.2).
+    Statement {
+        /// Account.
+        account: AccountId,
+        /// Window start (inclusive), virtual ms.
+        start_ms: u64,
+        /// Window end (exclusive).
+        end_ms: u64,
+    },
+    /// Perform Funds Availability Check (§5.2): locks the amount.
+    CheckFunds {
+        /// Account to lock on (must be the caller's).
+        account: AccountId,
+        /// Amount to lock.
+        amount: Credits,
+    },
+    /// Request Direct Transfer (§5.2); drawer = the caller's account.
+    DirectTransfer {
+        /// Recipient account.
+        to: AccountId,
+        /// Amount.
+        amount: Credits,
+        /// GSP address the confirmation is destined for.
+        recipient_address: String,
+    },
+    /// Request GridCheque (§5.2); drawer = the caller's account.
+    RequestCheque {
+        /// Payee certificate name the cheque is made out to.
+        payee_cert: String,
+        /// Reserved amount.
+        amount: Credits,
+        /// Validity window, ms.
+        validity_ms: u64,
+    },
+    /// Redeem GridCheque (§5.2); the caller must be the payee.
+    RedeemCheque {
+        /// The cheque.
+        cheque: GridCheque,
+        /// The usage record evidence.
+        rur: ResourceUsageRecord,
+    },
+    /// Request GridHash chain (§5.2); drawer = the caller's account.
+    RequestHashChain {
+        /// Payee certificate name.
+        payee_cert: String,
+        /// Number of paywords.
+        length: u32,
+        /// Value of each payword.
+        value_per_word: Credits,
+        /// Validity window, ms.
+        validity_ms: u64,
+    },
+    /// Redeem GridHash chain (§5.2); the caller must be the payee.
+    RedeemPayWord {
+        /// The signed chain commitment.
+        commitment: ChainCommitment,
+        /// Bank signature over the commitment.
+        signature: MerkleSignature,
+        /// Highest payword being redeemed.
+        payword: PayWord,
+        /// Binary RUR evidence (may be empty for interim redemptions).
+        rur_blob: Vec<u8>,
+    },
+    /// Close a hash chain (release unspent reservation after expiry).
+    CloseHashChain {
+        /// The commitment to close.
+        commitment: ChainCommitment,
+    },
+    /// Registers the caller's resource description (feeds §4.2 pricing).
+    RegisterResourceDescription {
+        /// Hardware description of the caller's resource.
+        desc: ResourceDescription,
+    },
+    /// §4.2: market price estimate for a described resource.
+    EstimatePrice {
+        /// Description to price.
+        desc: ResourceDescription,
+        /// Minimum similarity (parts per 1024) for history to count.
+        min_similarity_ppk: u64,
+    },
+    /// Redeem a batch of cheques in one round trip (§3.1: "This can be
+    /// done in batches"); entries settle independently.
+    RedeemChequeBatch {
+        /// (cheque, evidence) pairs.
+        items: Vec<(GridCheque, ResourceUsageRecord)>,
+    },
+    /// Admin: Deposit funds (§5.2.1).
+    AdminDeposit {
+        /// Target account.
+        account: AccountId,
+        /// Amount.
+        amount: Credits,
+    },
+    /// Admin: Withdraw (§5.2.1).
+    AdminWithdraw {
+        /// Source account.
+        account: AccountId,
+        /// Amount.
+        amount: Credits,
+    },
+    /// Admin: Change credit limit (§5.2.1).
+    AdminCreditLimit {
+        /// Target account.
+        account: AccountId,
+        /// New limit.
+        new_limit: Credits,
+    },
+    /// Admin: Cancel Transfer (§5.2.1).
+    AdminCancelTransfer {
+        /// Transaction id of the transfer to reverse.
+        transaction_id: u64,
+    },
+    /// Admin: Close account (§5.2.1).
+    AdminCloseAccount {
+        /// Account to close.
+        account: AccountId,
+        /// Where the outstanding balance goes (None = withdraw).
+        transfer_to: Option<AccountId>,
+    },
+}
+
+/// Server response.
+#[derive(Clone, Debug)]
+pub enum BankResponse {
+    /// Account created.
+    AccountCreated {
+        /// The new account id.
+        account: AccountId,
+    },
+    /// An account record.
+    Account(AccountRecord),
+    /// A statement.
+    Statement {
+        /// Account as of the query.
+        account: AccountRecord,
+        /// Transactions in range.
+        transactions: Vec<TransactionRecord>,
+        /// Transfers in range.
+        transfers: Vec<TransferRecord>,
+    },
+    /// Generic confirmation carrying the transaction id (0 when none).
+    Confirmation {
+        /// Transaction id, if one was committed.
+        transaction_id: u64,
+    },
+    /// A signed direct-transfer confirmation.
+    Confirmed(TransferConfirmation),
+    /// An issued cheque.
+    Cheque(GridCheque),
+    /// An issued hash chain (commitment + signature + the secret chain).
+    HashChain {
+        /// The signed commitment.
+        commitment: ChainCommitment,
+        /// Bank signature.
+        signature: MerkleSignature,
+        /// Full chain `w_0..=w_n` (w_0 public root, rest secret).
+        chain: Vec<Digest>,
+    },
+    /// Result of a redemption.
+    Redeemed {
+        /// Amount paid to the payee.
+        paid: Credits,
+        /// Amount released back to the drawer.
+        released: Credits,
+    },
+    /// A price estimate.
+    Estimate {
+        /// Estimated G$ per CPU-hour.
+        price: Credits,
+    },
+    /// Per-entry outcomes of a batch redemption: `Ok((paid, released))`
+    /// or `Err((kind, message))` per cheque, in submission order.
+    RedeemedBatch {
+        /// One result per submitted cheque.
+        results: Vec<Result<(Credits, Credits), (u8, String)>>,
+    },
+    /// Failure.
+    Error {
+        /// Coarse error kind ([`error_kind`] / [`error_from_wire`]).
+        kind: u8,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+/// Coarse error kinds that survive the wire.
+pub mod kinds {
+    /// Anything not otherwise classified.
+    pub const OTHER: u8 = 0;
+    /// Insufficient (spendable or locked) funds.
+    pub const INSUFFICIENT: u8 = 1;
+    /// Instrument already redeemed.
+    pub const ALREADY_REDEEMED: u8 = 2;
+    /// Caller not authorized.
+    pub const NOT_AUTHORIZED: u8 = 3;
+    /// Unknown subject/account.
+    pub const UNKNOWN_ACCOUNT: u8 = 4;
+    /// Invalid payment instrument.
+    pub const INVALID_INSTRUMENT: u8 = 5;
+    /// Duplicate account.
+    pub const DUPLICATE: u8 = 6;
+}
+
+/// Maps a [`BankError`] to its wire kind.
+pub fn error_kind(e: &BankError) -> u8 {
+    match e {
+        BankError::InsufficientFunds { .. } | BankError::InsufficientLockedFunds { .. } => {
+            kinds::INSUFFICIENT
+        }
+        BankError::AlreadyRedeemed(_) => kinds::ALREADY_REDEEMED,
+        BankError::NotAuthorized(_) => kinds::NOT_AUTHORIZED,
+        BankError::NoSuchAccount(_) | BankError::UnknownSubject(_) => kinds::UNKNOWN_ACCOUNT,
+        BankError::InvalidInstrument(_) => kinds::INVALID_INSTRUMENT,
+        BankError::DuplicateAccount(_) => kinds::DUPLICATE,
+        _ => kinds::OTHER,
+    }
+}
+
+/// Reconstructs a coarse [`BankError`] from a wire error.
+pub fn error_from_wire(kind: u8, message: String) -> BankError {
+    match kind {
+        kinds::INSUFFICIENT => BankError::InsufficientFunds {
+            account: AccountId::new(0, 0, 0),
+            needed: Credits::ZERO,
+            spendable: Credits::ZERO,
+        },
+        kinds::ALREADY_REDEEMED => BankError::AlreadyRedeemed(message),
+        kinds::NOT_AUTHORIZED => BankError::NotAuthorized(message),
+        kinds::UNKNOWN_ACCOUNT => BankError::UnknownSubject(message),
+        kinds::INVALID_INSTRUMENT => BankError::InvalidInstrument(message),
+        kinds::DUPLICATE => BankError::DuplicateAccount(message),
+        _ => BankError::Protocol(message),
+    }
+}
+
+impl Encode for BankRequest {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            BankRequest::CreateAccount { organization } => {
+                w.put_u8(0);
+                w.put_opt_str(organization.as_deref());
+            }
+            BankRequest::MyAccount => w.put_u8(1),
+            BankRequest::AccountDetails { account } => {
+                w.put_u8(2);
+                account.encode(w);
+            }
+            BankRequest::UpdateAccount { account, certificate_name, organization } => {
+                w.put_u8(3);
+                account.encode(w);
+                w.put_str(certificate_name);
+                w.put_opt_str(organization.as_deref());
+            }
+            BankRequest::Statement { account, start_ms, end_ms } => {
+                w.put_u8(4);
+                account.encode(w);
+                w.put_u64(*start_ms);
+                w.put_u64(*end_ms);
+            }
+            BankRequest::CheckFunds { account, amount } => {
+                w.put_u8(5);
+                account.encode(w);
+                amount.encode(w);
+            }
+            BankRequest::DirectTransfer { to, amount, recipient_address } => {
+                w.put_u8(6);
+                to.encode(w);
+                amount.encode(w);
+                w.put_str(recipient_address);
+            }
+            BankRequest::RequestCheque { payee_cert, amount, validity_ms } => {
+                w.put_u8(7);
+                w.put_str(payee_cert);
+                amount.encode(w);
+                w.put_u64(*validity_ms);
+            }
+            BankRequest::RedeemCheque { cheque, rur } => {
+                w.put_u8(8);
+                cheque.encode(w);
+                rur.encode(w);
+            }
+            BankRequest::RequestHashChain { payee_cert, length, value_per_word, validity_ms } => {
+                w.put_u8(9);
+                w.put_str(payee_cert);
+                w.put_u32(*length);
+                value_per_word.encode(w);
+                w.put_u64(*validity_ms);
+            }
+            BankRequest::RedeemPayWord { commitment, signature, payword, rur_blob } => {
+                w.put_u8(10);
+                w.put_bytes(&commitment.to_bytes());
+                put_sig(w, signature);
+                w.put_u32(payword.index);
+                put_digest(w, &payword.word);
+                w.put_bytes(rur_blob);
+            }
+            BankRequest::CloseHashChain { commitment } => {
+                w.put_u8(11);
+                w.put_bytes(&commitment.to_bytes());
+            }
+            BankRequest::RegisterResourceDescription { desc } => {
+                w.put_u8(12);
+                desc.encode(w);
+            }
+            BankRequest::EstimatePrice { desc, min_similarity_ppk } => {
+                w.put_u8(13);
+                desc.encode(w);
+                w.put_u64(*min_similarity_ppk);
+            }
+            BankRequest::RedeemChequeBatch { items } => {
+                w.put_u8(19);
+                w.put_u32(items.len() as u32);
+                for (cheque, rur) in items {
+                    cheque.encode(w);
+                    rur.encode(w);
+                }
+            }
+            BankRequest::AdminDeposit { account, amount } => {
+                w.put_u8(14);
+                account.encode(w);
+                amount.encode(w);
+            }
+            BankRequest::AdminWithdraw { account, amount } => {
+                w.put_u8(15);
+                account.encode(w);
+                amount.encode(w);
+            }
+            BankRequest::AdminCreditLimit { account, new_limit } => {
+                w.put_u8(16);
+                account.encode(w);
+                new_limit.encode(w);
+            }
+            BankRequest::AdminCancelTransfer { transaction_id } => {
+                w.put_u8(17);
+                w.put_u64(*transaction_id);
+            }
+            BankRequest::AdminCloseAccount { account, transfer_to } => {
+                w.put_u8(18);
+                account.encode(w);
+                match transfer_to {
+                    Some(t) => {
+                        w.put_u8(1);
+                        t.encode(w);
+                    }
+                    None => w.put_u8(0),
+                }
+            }
+        }
+    }
+}
+
+impl Decode for BankRequest {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, RurError> {
+        Ok(match r.get_u8()? {
+            0 => BankRequest::CreateAccount { organization: r.get_opt_str()? },
+            1 => BankRequest::MyAccount,
+            2 => BankRequest::AccountDetails { account: AccountId::decode(r)? },
+            3 => BankRequest::UpdateAccount {
+                account: AccountId::decode(r)?,
+                certificate_name: r.get_str()?,
+                organization: r.get_opt_str()?,
+            },
+            4 => BankRequest::Statement {
+                account: AccountId::decode(r)?,
+                start_ms: r.get_u64()?,
+                end_ms: r.get_u64()?,
+            },
+            5 => BankRequest::CheckFunds {
+                account: AccountId::decode(r)?,
+                amount: Credits::decode(r)?,
+            },
+            6 => BankRequest::DirectTransfer {
+                to: AccountId::decode(r)?,
+                amount: Credits::decode(r)?,
+                recipient_address: r.get_str()?,
+            },
+            7 => BankRequest::RequestCheque {
+                payee_cert: r.get_str()?,
+                amount: Credits::decode(r)?,
+                validity_ms: r.get_u64()?,
+            },
+            8 => BankRequest::RedeemCheque {
+                cheque: GridCheque::decode(r)?,
+                rur: ResourceUsageRecord::decode(r)?,
+            },
+            9 => BankRequest::RequestHashChain {
+                payee_cert: r.get_str()?,
+                length: r.get_u32()?,
+                value_per_word: Credits::decode(r)?,
+                validity_ms: r.get_u64()?,
+            },
+            10 => BankRequest::RedeemPayWord {
+                commitment: ChainCommitment::from_bytes(r.get_bytes()?)?,
+                signature: get_sig(r)?,
+                payword: PayWord { index: r.get_u32()?, word: get_digest(r)? },
+                rur_blob: r.get_bytes()?.to_vec(),
+            },
+            11 => BankRequest::CloseHashChain {
+                commitment: ChainCommitment::from_bytes(r.get_bytes()?)?,
+            },
+            12 => BankRequest::RegisterResourceDescription {
+                desc: ResourceDescription::decode(r)?,
+            },
+            13 => BankRequest::EstimatePrice {
+                desc: ResourceDescription::decode(r)?,
+                min_similarity_ppk: r.get_u64()?,
+            },
+            14 => BankRequest::AdminDeposit {
+                account: AccountId::decode(r)?,
+                amount: Credits::decode(r)?,
+            },
+            15 => BankRequest::AdminWithdraw {
+                account: AccountId::decode(r)?,
+                amount: Credits::decode(r)?,
+            },
+            16 => BankRequest::AdminCreditLimit {
+                account: AccountId::decode(r)?,
+                new_limit: Credits::decode(r)?,
+            },
+            17 => BankRequest::AdminCancelTransfer { transaction_id: r.get_u64()? },
+            18 => BankRequest::AdminCloseAccount {
+                account: AccountId::decode(r)?,
+                transfer_to: match r.get_u8()? {
+                    0 => None,
+                    1 => Some(AccountId::decode(r)?),
+                    t => return Err(RurError::Decode(format!("bad option tag {t}"))),
+                },
+            },
+            19 => {
+                let n = r.get_u32()? as usize;
+                if n > 4096 {
+                    return Err(RurError::Decode(format!("batch of {n} too large")));
+                }
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push((GridCheque::decode(r)?, ResourceUsageRecord::decode(r)?));
+                }
+                BankRequest::RedeemChequeBatch { items }
+            }
+            t => return Err(RurError::Decode(format!("unknown request tag {t}"))),
+        })
+    }
+}
+
+impl Encode for BankResponse {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            BankResponse::AccountCreated { account } => {
+                w.put_u8(0);
+                account.encode(w);
+            }
+            BankResponse::Account(record) => {
+                w.put_u8(1);
+                record.encode(w);
+            }
+            BankResponse::Statement { account, transactions, transfers } => {
+                w.put_u8(2);
+                account.encode(w);
+                w.put_u32(transactions.len() as u32);
+                for t in transactions {
+                    t.encode(w);
+                }
+                w.put_u32(transfers.len() as u32);
+                for t in transfers {
+                    t.encode(w);
+                }
+            }
+            BankResponse::Confirmation { transaction_id } => {
+                w.put_u8(3);
+                w.put_u64(*transaction_id);
+            }
+            BankResponse::Confirmed(conf) => {
+                w.put_u8(4);
+                w.put_bytes(&conf.body.to_bytes());
+                put_sig(w, &conf.signature);
+            }
+            BankResponse::Cheque(cheque) => {
+                w.put_u8(5);
+                cheque.encode(w);
+            }
+            BankResponse::HashChain { commitment, signature, chain } => {
+                w.put_u8(6);
+                w.put_bytes(&commitment.to_bytes());
+                put_sig(w, signature);
+                w.put_u32(chain.len() as u32);
+                for d in chain {
+                    put_digest(w, d);
+                }
+            }
+            BankResponse::Redeemed { paid, released } => {
+                w.put_u8(7);
+                paid.encode(w);
+                released.encode(w);
+            }
+            BankResponse::Estimate { price } => {
+                w.put_u8(8);
+                price.encode(w);
+            }
+            BankResponse::Error { kind, message } => {
+                w.put_u8(9);
+                w.put_u8(*kind);
+                w.put_str(message);
+            }
+            BankResponse::RedeemedBatch { results } => {
+                w.put_u8(10);
+                w.put_u32(results.len() as u32);
+                for r in results {
+                    match r {
+                        Ok((paid, released)) => {
+                            w.put_u8(1);
+                            paid.encode(w);
+                            released.encode(w);
+                        }
+                        Err((kind, message)) => {
+                            w.put_u8(0);
+                            w.put_u8(*kind);
+                            w.put_str(message);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Decode for BankResponse {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, RurError> {
+        Ok(match r.get_u8()? {
+            0 => BankResponse::AccountCreated { account: AccountId::decode(r)? },
+            1 => BankResponse::Account(AccountRecord::decode(r)?),
+            2 => {
+                let account = AccountRecord::decode(r)?;
+                let nt = r.get_u32()? as usize;
+                if nt > 1 << 20 {
+                    return Err(RurError::Decode("statement too large".into()));
+                }
+                let mut transactions = Vec::with_capacity(nt);
+                for _ in 0..nt {
+                    transactions.push(TransactionRecord::decode(r)?);
+                }
+                let nf = r.get_u32()? as usize;
+                if nf > 1 << 20 {
+                    return Err(RurError::Decode("statement too large".into()));
+                }
+                let mut transfers = Vec::with_capacity(nf);
+                for _ in 0..nf {
+                    transfers.push(TransferRecord::decode(r)?);
+                }
+                BankResponse::Statement { account, transactions, transfers }
+            }
+            3 => BankResponse::Confirmation { transaction_id: r.get_u64()? },
+            4 => BankResponse::Confirmed(TransferConfirmation {
+                body: ConfirmationBody::from_bytes(r.get_bytes()?)?,
+                signature: get_sig(r)?,
+            }),
+            5 => BankResponse::Cheque(GridCheque::decode(r)?),
+            6 => {
+                let commitment = ChainCommitment::from_bytes(r.get_bytes()?)?;
+                let signature = get_sig(r)?;
+                let n = r.get_u32()? as usize;
+                if n > 1 << 20 {
+                    return Err(RurError::Decode("chain too long".into()));
+                }
+                let mut chain = Vec::with_capacity(n);
+                for _ in 0..n {
+                    chain.push(get_digest(r)?);
+                }
+                BankResponse::HashChain { commitment, signature, chain }
+            }
+            7 => BankResponse::Redeemed {
+                paid: Credits::decode(r)?,
+                released: Credits::decode(r)?,
+            },
+            8 => BankResponse::Estimate { price: Credits::decode(r)? },
+            9 => BankResponse::Error { kind: r.get_u8()?, message: r.get_str()? },
+            10 => {
+                let n = r.get_u32()? as usize;
+                if n > 4096 {
+                    return Err(RurError::Decode(format!("batch of {n} too large")));
+                }
+                let mut results = Vec::with_capacity(n);
+                for _ in 0..n {
+                    results.push(match r.get_u8()? {
+                        1 => Ok((Credits::decode(r)?, Credits::decode(r)?)),
+                        0 => Err((r.get_u8()?, r.get_str()?)),
+                        t => return Err(RurError::Decode(format!("bad batch result tag {t}"))),
+                    });
+                }
+                BankResponse::RedeemedBatch { results }
+            }
+            t => return Err(RurError::Decode(format!("unknown response tag {t}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: BankRequest) -> BankRequest {
+        BankRequest::from_bytes(&req.to_bytes()).unwrap()
+    }
+
+    #[test]
+    fn simple_requests_round_trip() {
+        let cases = vec![
+            BankRequest::CreateAccount { organization: Some("UWA".into()) },
+            BankRequest::MyAccount,
+            BankRequest::AccountDetails { account: AccountId::new(1, 2, 3) },
+            BankRequest::Statement { account: AccountId::new(1, 1, 1), start_ms: 5, end_ms: 10 },
+            BankRequest::CheckFunds { account: AccountId::new(1, 1, 1), amount: Credits::from_gd(5) },
+            BankRequest::DirectTransfer {
+                to: AccountId::new(1, 1, 2),
+                amount: Credits::from_gd(3),
+                recipient_address: "gsp.org".into(),
+            },
+            BankRequest::RequestCheque {
+                payee_cert: "/CN=gsp".into(),
+                amount: Credits::from_gd(10),
+                validity_ms: 1000,
+            },
+            BankRequest::AdminCancelTransfer { transaction_id: 99 },
+            BankRequest::AdminCloseAccount { account: AccountId::new(1, 1, 4), transfer_to: None },
+            BankRequest::AdminCloseAccount {
+                account: AccountId::new(1, 1, 4),
+                transfer_to: Some(AccountId::new(1, 1, 5)),
+            },
+        ];
+        for req in cases {
+            let back = round_trip_request(req.clone());
+            assert_eq!(format!("{back:?}"), format!("{req:?}"));
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let rec = AccountRecord {
+            id: AccountId::new(1, 1, 7),
+            certificate_name: "/CN=x".into(),
+            organization: None,
+            available: Credits::from_gd(5),
+            locked: Credits::from_gd(1),
+            currency: "GridDollar".into(),
+            credit_limit: Credits::ZERO,
+        };
+        let cases = vec![
+            BankResponse::AccountCreated { account: rec.id },
+            BankResponse::Account(rec.clone()),
+            BankResponse::Statement {
+                account: rec,
+                transactions: vec![TransactionRecord {
+                    transaction_id: 1,
+                    account: AccountId::new(1, 1, 7),
+                    tx_type: TransactionType::Deposit,
+                    date_ms: 9,
+                    amount: Credits::from_gd(5),
+                }],
+                transfers: vec![TransferRecord {
+                    transaction_id: 2,
+                    date_ms: 10,
+                    drawer: AccountId::new(1, 1, 7),
+                    amount: Credits::from_gd(1),
+                    recipient: AccountId::new(1, 1, 8),
+                    rur_blob: vec![1, 2],
+                }],
+            },
+            BankResponse::Confirmation { transaction_id: 3 },
+            BankResponse::Redeemed { paid: Credits::from_gd(2), released: Credits::from_gd(1) },
+            BankResponse::Estimate { price: Credits::from_milli(1500) },
+            BankResponse::Error { kind: kinds::INSUFFICIENT, message: "no funds".into() },
+        ];
+        for resp in cases {
+            let back = BankResponse::from_bytes(&resp.to_bytes()).unwrap();
+            assert_eq!(format!("{back:?}"), format!("{resp:?}"));
+        }
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        assert!(BankRequest::from_bytes(&[200]).is_err());
+        assert!(BankResponse::from_bytes(&[200]).is_err());
+        assert!(BankRequest::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn journal_round_trips() {
+        use crate::db::{JournalEntry, TransactionType};
+        let rec = AccountRecord {
+            id: AccountId::new(1, 1, 9),
+            certificate_name: "/CN=j".into(),
+            organization: Some("Org".into()),
+            available: Credits::from_gd(3),
+            locked: Credits::ZERO,
+            currency: "GridDollar".into(),
+            credit_limit: Credits::from_gd(1),
+        };
+        let journal = vec![
+            JournalEntry::Create(rec.clone()),
+            JournalEntry::Update(rec.clone()),
+            JournalEntry::Transaction(TransactionRecord {
+                transaction_id: 5,
+                account: rec.id,
+                tx_type: TransactionType::Deposit,
+                date_ms: 11,
+                amount: Credits::from_gd(3),
+            }),
+            JournalEntry::Transfer(TransferRecord {
+                transaction_id: 6,
+                date_ms: 12,
+                drawer: rec.id,
+                amount: Credits::from_gd(1),
+                recipient: AccountId::new(1, 1, 10),
+                rur_blob: vec![7, 7],
+            }),
+            JournalEntry::Remove(rec.id),
+        ];
+        let bytes = journal_to_bytes(&journal);
+        let back = journal_from_bytes(&bytes).unwrap();
+        assert_eq!(back, journal);
+        // Magic and truncation are checked.
+        assert!(journal_from_bytes(&bytes[..3]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(journal_from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn error_kind_mapping() {
+        let e = BankError::NotAuthorized("x".into());
+        let k = error_kind(&e);
+        assert!(matches!(error_from_wire(k, "x".into()), BankError::NotAuthorized(_)));
+        let e = BankError::AlreadyRedeemed("c".into());
+        assert!(matches!(
+            error_from_wire(error_kind(&e), "c".into()),
+            BankError::AlreadyRedeemed(_)
+        ));
+        assert_eq!(error_kind(&BankError::NonPositiveAmount), kinds::OTHER);
+    }
+}

@@ -1,0 +1,341 @@
+//! The typed GridBank client.
+//!
+//! §3.3: "The Security Layer is identical to the server. The Protocol
+//! Layer has same protocol modules as the server with corresponding
+//! client functionality. GridBank API provides an interface to the
+//! Protocol layer, which is responsible for obtaining payment instruments
+//! or performing direct transfers."
+//!
+//! [`GridBankClient`] connects over the in-process network, runs the
+//! mutual handshake with the caller's proxy certificate (single sign-on),
+//! and exposes one method per §5.2/§5.2.1 operation. The GBPM (broker
+//! side) and GBCM (provider side) are built on this client.
+
+use gridbank_crypto::cert::ProxyCertificate;
+use gridbank_crypto::keys::{SigningIdentity, VerifyingKey};
+use gridbank_crypto::rng::DeterministicStream;
+use gridbank_crypto::sha256::Digest;
+use gridbank_net::rpc::RpcClient;
+use gridbank_net::transport::{Address, Network};
+use gridbank_net::{client_handshake, HandshakeConfig};
+use gridbank_rur::codec::{Decode, Encode};
+use gridbank_rur::record::ResourceUsageRecord;
+use gridbank_rur::Credits;
+
+use crate::accounts::Statement;
+use crate::api::{error_from_wire, BankRequest, BankResponse};
+use crate::cheque::GridCheque;
+use crate::db::{AccountId, AccountRecord};
+use crate::direct::TransferConfirmation;
+use crate::error::BankError;
+use crate::payword::{ChainCommitment, GridHashChain, PayWord};
+use crate::pricing::ResourceDescription;
+
+/// A hash chain as received from the bank (client side holds the secret
+/// words; `chain[0]` is the public root).
+pub struct ClientHashChain {
+    /// The signed commitment (share with the GSP).
+    pub commitment: ChainCommitment,
+    /// Bank signature over the commitment.
+    pub signature: gridbank_crypto::merkle::MerkleSignature,
+    /// `w_0..=w_n`.
+    pub chain: Vec<Digest>,
+}
+
+impl ClientHashChain {
+    /// The payword paying for `k` units.
+    pub fn payword(&self, k: u32) -> Result<PayWord, BankError> {
+        if k == 0 || k as usize >= self.chain.len() {
+            return Err(BankError::InvalidInstrument(format!(
+                "cannot spend {k} of {} paywords",
+                self.chain.len().saturating_sub(1)
+            )));
+        }
+        Ok(PayWord { index: k, word: self.chain[k as usize] })
+    }
+
+    /// Validates the bank's signature (GSP-side acceptance check).
+    pub fn verify(&self, bank_key: &VerifyingKey) -> Result<(), BankError> {
+        GridHashChain::verify_commitment(&self.commitment, &self.signature, bank_key)
+    }
+}
+
+/// A connected, authenticated GridBank client.
+pub struct GridBankClient {
+    rpc: RpcClient,
+}
+
+impl GridBankClient {
+    /// Connects and authenticates with a proxy certificate.
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect(
+        network: &Network,
+        from: Address,
+        bank_address: &Address,
+        ca_key: VerifyingKey,
+        now_ms: u64,
+        proxy: &ProxyCertificate,
+        proxy_identity: &SigningIdentity,
+        nonce_stream: &mut DeterministicStream,
+    ) -> Result<Self, BankError> {
+        let duplex = network.connect(from, bank_address)?;
+        let config = HandshakeConfig { ca_key, now: now_ms };
+        let (channel, server) =
+            client_handshake(duplex, &config, proxy, proxy_identity, nonce_stream)?;
+        Ok(GridBankClient { rpc: RpcClient::new(channel, server) })
+    }
+
+    fn call(&mut self, request: &BankRequest) -> Result<BankResponse, BankError> {
+        let raw = self.rpc.call(&request.to_bytes())?;
+        let resp = BankResponse::from_bytes(&raw)?;
+        if let BankResponse::Error { kind, message } = resp {
+            return Err(error_from_wire(kind, message));
+        }
+        Ok(resp)
+    }
+
+    fn unexpected(resp: BankResponse) -> BankError {
+        BankError::Protocol(format!("unexpected response {resp:?}"))
+    }
+
+    /// Create New Account (§5.2).
+    pub fn create_account(&mut self, organization: Option<String>) -> Result<AccountId, BankError> {
+        match self.call(&BankRequest::CreateAccount { organization })? {
+            BankResponse::AccountCreated { account } => Ok(account),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// The caller's own account record.
+    pub fn my_account(&mut self) -> Result<AccountRecord, BankError> {
+        match self.call(&BankRequest::MyAccount)? {
+            BankResponse::Account(r) => Ok(r),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Request Account Details / Check Balance (§5.2).
+    pub fn account_details(&mut self, account: AccountId) -> Result<AccountRecord, BankError> {
+        match self.call(&BankRequest::AccountDetails { account })? {
+            BankResponse::Account(r) => Ok(r),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Update Account Details (§5.2).
+    pub fn update_account(
+        &mut self,
+        account: AccountId,
+        certificate_name: String,
+        organization: Option<String>,
+    ) -> Result<(), BankError> {
+        match self.call(&BankRequest::UpdateAccount { account, certificate_name, organization })? {
+            BankResponse::Confirmation { .. } => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Request Account Statement (§5.2).
+    pub fn statement(
+        &mut self,
+        account: AccountId,
+        start_ms: u64,
+        end_ms: u64,
+    ) -> Result<Statement, BankError> {
+        match self.call(&BankRequest::Statement { account, start_ms, end_ms })? {
+            BankResponse::Statement { account, transactions, transfers } => {
+                Ok(Statement { account, transactions, transfers })
+            }
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Perform Funds Availability Check (§5.2): locks the amount.
+    pub fn check_funds(&mut self, account: AccountId, amount: Credits) -> Result<(), BankError> {
+        match self.call(&BankRequest::CheckFunds { account, amount })? {
+            BankResponse::Confirmation { .. } => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Request Direct Transfer (§5.2) — the pay-before-use protocol.
+    pub fn direct_transfer(
+        &mut self,
+        to: AccountId,
+        amount: Credits,
+        recipient_address: &str,
+    ) -> Result<TransferConfirmation, BankError> {
+        match self.call(&BankRequest::DirectTransfer {
+            to,
+            amount,
+            recipient_address: recipient_address.to_string(),
+        })? {
+            BankResponse::Confirmed(c) => Ok(c),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Request GridCheque (§5.2) — pay-after-use.
+    pub fn request_cheque(
+        &mut self,
+        payee_cert: &str,
+        amount: Credits,
+        validity_ms: u64,
+    ) -> Result<GridCheque, BankError> {
+        match self.call(&BankRequest::RequestCheque {
+            payee_cert: payee_cert.to_string(),
+            amount,
+            validity_ms,
+        })? {
+            BankResponse::Cheque(c) => Ok(c),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Redeem GridCheque (§5.2); returns (paid, released).
+    pub fn redeem_cheque(
+        &mut self,
+        cheque: GridCheque,
+        rur: ResourceUsageRecord,
+    ) -> Result<(Credits, Credits), BankError> {
+        match self.call(&BankRequest::RedeemCheque { cheque, rur })? {
+            BankResponse::Redeemed { paid, released } => Ok((paid, released)),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Redeem a batch of cheques in one round trip (§3.1); entries settle
+    /// independently and failures are returned per entry.
+    #[allow(clippy::type_complexity)]
+    pub fn redeem_cheque_batch(
+        &mut self,
+        items: Vec<(GridCheque, ResourceUsageRecord)>,
+    ) -> Result<Vec<Result<(Credits, Credits), BankError>>, BankError> {
+        match self.call(&BankRequest::RedeemChequeBatch { items })? {
+            BankResponse::RedeemedBatch { results } => Ok(results
+                .into_iter()
+                .map(|r| r.map_err(|(kind, msg)| error_from_wire(kind, msg)))
+                .collect()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Request GridHash chain (§5.2) — pay-as-you-go.
+    pub fn request_hash_chain(
+        &mut self,
+        payee_cert: &str,
+        length: u32,
+        value_per_word: Credits,
+        validity_ms: u64,
+    ) -> Result<ClientHashChain, BankError> {
+        match self.call(&BankRequest::RequestHashChain {
+            payee_cert: payee_cert.to_string(),
+            length,
+            value_per_word,
+            validity_ms,
+        })? {
+            BankResponse::HashChain { commitment, signature, chain } => {
+                Ok(ClientHashChain { commitment, signature, chain })
+            }
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Redeem GridHash chain up to `payword` (§5.2); returns the amount
+    /// newly paid.
+    pub fn redeem_payword(
+        &mut self,
+        commitment: ChainCommitment,
+        signature: gridbank_crypto::merkle::MerkleSignature,
+        payword: PayWord,
+        rur_blob: Vec<u8>,
+    ) -> Result<Credits, BankError> {
+        match self.call(&BankRequest::RedeemPayWord { commitment, signature, payword, rur_blob })? {
+            BankResponse::Redeemed { paid, .. } => Ok(paid),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Closes a hash chain, releasing the unspent reservation.
+    pub fn close_hash_chain(&mut self, commitment: ChainCommitment) -> Result<Credits, BankError> {
+        match self.call(&BankRequest::CloseHashChain { commitment })? {
+            BankResponse::Redeemed { released, .. } => Ok(released),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Registers the caller's resource description (§4.2 pricing input).
+    pub fn register_resource_description(
+        &mut self,
+        desc: ResourceDescription,
+    ) -> Result<(), BankError> {
+        match self.call(&BankRequest::RegisterResourceDescription { desc })? {
+            BankResponse::Confirmation { .. } => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// §4.2 market price estimate.
+    pub fn estimate_price(
+        &mut self,
+        desc: ResourceDescription,
+        min_similarity_ppk: u64,
+    ) -> Result<Credits, BankError> {
+        match self.call(&BankRequest::EstimatePrice { desc, min_similarity_ppk })? {
+            BankResponse::Estimate { price } => Ok(price),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Admin: deposit (§5.2.1).
+    pub fn admin_deposit(&mut self, account: AccountId, amount: Credits) -> Result<u64, BankError> {
+        match self.call(&BankRequest::AdminDeposit { account, amount })? {
+            BankResponse::Confirmation { transaction_id } => Ok(transaction_id),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Admin: withdraw (§5.2.1).
+    pub fn admin_withdraw(
+        &mut self,
+        account: AccountId,
+        amount: Credits,
+    ) -> Result<u64, BankError> {
+        match self.call(&BankRequest::AdminWithdraw { account, amount })? {
+            BankResponse::Confirmation { transaction_id } => Ok(transaction_id),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Admin: change credit limit (§5.2.1).
+    pub fn admin_credit_limit(
+        &mut self,
+        account: AccountId,
+        new_limit: Credits,
+    ) -> Result<(), BankError> {
+        match self.call(&BankRequest::AdminCreditLimit { account, new_limit })? {
+            BankResponse::Confirmation { .. } => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Admin: cancel transfer (§5.2.1).
+    pub fn admin_cancel_transfer(&mut self, transaction_id: u64) -> Result<u64, BankError> {
+        match self.call(&BankRequest::AdminCancelTransfer { transaction_id })? {
+            BankResponse::Confirmation { transaction_id } => Ok(transaction_id),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Admin: close account (§5.2.1).
+    pub fn admin_close_account(
+        &mut self,
+        account: AccountId,
+        transfer_to: Option<AccountId>,
+    ) -> Result<(), BankError> {
+        match self.call(&BankRequest::AdminCloseAccount { account, transfer_to })? {
+            BankResponse::Confirmation { .. } => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! The virtual clock.
+//!
+//! Every time-dependent component (certificate validation, statement
+//! ranges, quote expiry) reads one shared [`Clock`]. Simulations and tests
+//! advance it explicitly; nothing in the workspace reads the wall clock,
+//! which keeps every experiment reproducible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared, monotonically advancing virtual clock (epoch milliseconds).
+#[derive(Clone, Debug, Default)]
+pub struct Clock {
+    now_ms: Arc<AtomicU64>,
+}
+
+impl Clock {
+    /// Creates a clock starting at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a clock starting at `start_ms`.
+    pub fn starting_at(start_ms: u64) -> Self {
+        let c = Clock::new();
+        c.now_ms.store(start_ms, Ordering::Relaxed);
+        c
+    }
+
+    /// Current virtual time.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms.load(Ordering::Relaxed)
+    }
+
+    /// Advances the clock by `delta_ms`, returning the new time.
+    pub fn advance(&self, delta_ms: u64) -> u64 {
+        self.now_ms.fetch_add(delta_ms, Ordering::Relaxed) + delta_ms
+    }
+
+    /// Moves the clock to `target_ms` if that is in the future; a clock
+    /// never runs backwards.
+    pub fn advance_to(&self, target_ms: u64) -> u64 {
+        self.now_ms.fetch_max(target_ms, Ordering::Relaxed);
+        self.now_ms()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_and_advances() {
+        let c = Clock::starting_at(100);
+        assert_eq!(c.now_ms(), 100);
+        assert_eq!(c.advance(50), 150);
+        assert_eq!(c.now_ms(), 150);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = Clock::new();
+        let b = a.clone();
+        a.advance(7);
+        assert_eq!(b.now_ms(), 7);
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let c = Clock::starting_at(100);
+        assert_eq!(c.advance_to(50), 100);
+        assert_eq!(c.advance_to(200), 200);
+    }
+
+    #[test]
+    fn concurrent_advances_accumulate() {
+        let c = Clock::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.advance(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.now_ms(), 8000);
+    }
+}

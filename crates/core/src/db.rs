@@ -1,0 +1,719 @@
+//! The GB database module.
+//!
+//! §3.2: "GB database module is a relational database that stores account
+//! and transaction information." The paper used MySQL; this is the
+//! embedded substitute (DESIGN.md §2): typed tables with the §5.1 schemas,
+//! a certificate-name secondary index, date-range statement scans, a
+//! write-ahead journal for crash-consistency, and sharded account storage
+//! so concurrent transfers scale (two-account operations take shard locks
+//! in a global order — no deadlocks).
+//!
+//! Monetary fields are exact [`Credits`] rather than the paper's SQL
+//! `FLOAT` (see DESIGN.md §4).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+
+use gridbank_rur::Credits;
+
+use crate::error::BankError;
+
+/// Number of account shards; a power of two so masking works.
+const SHARDS: usize = 16;
+
+/// ACCOUNT RECORD key (§5.1): "imitates real world account numbers: bank
+/// number-branch number-account number. E.g. 01-0001-00000001".
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AccountId {
+    /// Bank number (multiple payment systems, §6).
+    pub bank: u16,
+    /// Branch number (one branch per Virtual Organization, §6).
+    pub branch: u16,
+    /// Account number within the branch.
+    pub number: u32,
+}
+
+impl AccountId {
+    /// Builds an id.
+    pub const fn new(bank: u16, branch: u16, number: u32) -> Self {
+        AccountId { bank, branch, number }
+    }
+
+    /// Parses the `bb-bbbb-nnnnnnnn` form.
+    pub fn parse(s: &str) -> Option<AccountId> {
+        let mut parts = s.split('-');
+        let bank = parts.next()?.parse().ok()?;
+        let branch = parts.next()?.parse().ok()?;
+        let number = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(AccountId { bank, branch, number })
+    }
+}
+
+impl std::fmt::Display for AccountId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:02}-{:04}-{:08}", self.bank, self.branch, self.number)
+    }
+}
+
+impl std::fmt::Debug for AccountId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// ACCOUNT RECORD (§5.1).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccountRecord {
+    /// Account id.
+    pub id: AccountId,
+    /// X509v3 certificate name — the globally unique client identifier.
+    pub certificate_name: String,
+    /// Optional organization name.
+    pub organization: Option<String>,
+    /// Spendable balance.
+    pub available: Credits,
+    /// Funds locked "to guarantee payment for jobs that already have
+    /// started".
+    pub locked: Credits,
+    /// Currency label (e.g. "GridDollar").
+    pub currency: String,
+    /// Credit limit (default 0): how far `available` may go negative.
+    pub credit_limit: Credits,
+}
+
+impl AccountRecord {
+    /// Spendable headroom: available + credit limit.
+    pub fn spendable(&self) -> Credits {
+        self.available.saturating_add(self.credit_limit)
+    }
+}
+
+/// TRANSACTION RECORD type tag (§5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransactionType {
+    /// Funds entered the bank from outside.
+    Deposit,
+    /// Funds left the bank.
+    Withdrawal,
+    /// Internal transfer (paired with a TRANSFER RECORD).
+    Transfer,
+}
+
+impl TransactionType {
+    /// Stable tag for codecs.
+    pub fn tag(self) -> u8 {
+        match self {
+            TransactionType::Deposit => 0,
+            TransactionType::Withdrawal => 1,
+            TransactionType::Transfer => 2,
+        }
+    }
+
+    /// Inverse of [`Self::tag`].
+    pub fn from_tag(t: u8) -> Option<Self> {
+        match t {
+            0 => Some(TransactionType::Deposit),
+            1 => Some(TransactionType::Withdrawal),
+            2 => Some(TransactionType::Transfer),
+            _ => None,
+        }
+    }
+}
+
+/// TRANSACTION RECORD (§5.1).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransactionRecord {
+    /// Unique transaction identifier.
+    pub transaction_id: u64,
+    /// The account the entry is posted against.
+    pub account: AccountId,
+    /// Deposit / Withdrawal / Transfer.
+    pub tx_type: TransactionType,
+    /// Commit time, virtual epoch ms.
+    pub date_ms: u64,
+    /// Signed amount: negative when funds leave the account.
+    pub amount: Credits,
+}
+
+/// TRANSFER RECORD (§5.1); `rur_blob` is the binary-encoded Resource
+/// Usage Record ("GridBank stores RUR in binary format").
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferRecord {
+    /// Same id as the paired transaction records.
+    pub transaction_id: u64,
+    /// Commit time.
+    pub date_ms: u64,
+    /// GSC (payer) account.
+    pub drawer: AccountId,
+    /// Transfer amount, always positive.
+    pub amount: Credits,
+    /// GSP (payee) account.
+    pub recipient: AccountId,
+    /// Binary RUR evidence, empty when none applies (plain transfers).
+    pub rur_blob: Vec<u8>,
+}
+
+/// One write-ahead journal entry. Replaying a journal into a fresh
+/// [`Database`] reconstructs identical state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalEntry {
+    /// Account created with this initial record.
+    Create(AccountRecord),
+    /// Account state after a mutation (absolute, idempotent on replay).
+    Update(AccountRecord),
+    /// Account removed.
+    Remove(AccountId),
+    /// A transaction row appended.
+    Transaction(TransactionRecord),
+    /// A transfer row appended.
+    Transfer(TransferRecord),
+}
+
+/// The embedded store.
+pub struct Database {
+    branch: u16,
+    bank: u16,
+    shards: Vec<RwLock<HashMap<AccountId, AccountRecord>>>,
+    by_cert: RwLock<HashMap<String, AccountId>>,
+    transactions: RwLock<Vec<TransactionRecord>>,
+    transfers: RwLock<Vec<TransferRecord>>,
+    journal: Mutex<Vec<JournalEntry>>,
+    next_account: AtomicU32,
+    next_tx: AtomicU64,
+}
+
+impl Database {
+    /// Creates an empty database for `bank`/`branch`.
+    pub fn new(bank: u16, branch: u16) -> Self {
+        Database {
+            bank,
+            branch,
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            by_cert: RwLock::new(HashMap::new()),
+            transactions: RwLock::new(Vec::new()),
+            transfers: RwLock::new(Vec::new()),
+            journal: Mutex::new(Vec::new()),
+            next_account: AtomicU32::new(1),
+            next_tx: AtomicU64::new(1),
+        }
+    }
+
+    /// The branch number of this database.
+    pub fn branch(&self) -> u16 {
+        self.branch
+    }
+
+    /// The bank number of this database.
+    pub fn bank(&self) -> u16 {
+        self.bank
+    }
+
+    fn shard_of(&self, id: &AccountId) -> usize {
+        // Cheap avalanche over the numeric id fields.
+        let k = (id.bank as u64) << 48 | (id.branch as u64) << 32 | id.number as u64;
+        (k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & (SHARDS - 1)
+    }
+
+    /// Allocates the next account id in this branch.
+    pub fn allocate_account_id(&self) -> AccountId {
+        AccountId {
+            bank: self.bank,
+            branch: self.branch,
+            number: self.next_account.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Allocates the next transaction id.
+    pub fn allocate_transaction_id(&self) -> u64 {
+        self.next_tx.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Inserts a brand-new account record. Fails if the certificate name
+    /// is already bound (one account per identity per branch).
+    pub fn insert_account(&self, record: AccountRecord) -> Result<(), BankError> {
+        let mut idx = self.by_cert.write();
+        if idx.contains_key(&record.certificate_name) {
+            return Err(BankError::DuplicateAccount(record.certificate_name.clone()));
+        }
+        idx.insert(record.certificate_name.clone(), record.id);
+        drop(idx);
+        self.shards[self.shard_of(&record.id)]
+            .write()
+            .insert(record.id, record.clone());
+        self.journal.lock().push(JournalEntry::Create(record));
+        Ok(())
+    }
+
+    /// Reads an account by id.
+    pub fn get_account(&self, id: &AccountId) -> Result<AccountRecord, BankError> {
+        self.shards[self.shard_of(id)]
+            .read()
+            .get(id)
+            .cloned()
+            .ok_or(BankError::NoSuchAccount(*id))
+    }
+
+    /// Looks up the account bound to a certificate name.
+    pub fn account_by_cert(&self, cert: &str) -> Result<AccountRecord, BankError> {
+        let id = *self
+            .by_cert
+            .read()
+            .get(cert)
+            .ok_or_else(|| BankError::UnknownSubject(cert.to_string()))?;
+        self.get_account(&id)
+    }
+
+    /// True if a certificate name has an account (the connection gate's
+    /// query).
+    pub fn subject_known(&self, cert: &str) -> bool {
+        self.by_cert.read().contains_key(cert)
+    }
+
+    /// Mutates one account atomically; the closure's result is journaled.
+    pub fn with_account_mut<T>(
+        &self,
+        id: &AccountId,
+        f: impl FnOnce(&mut AccountRecord) -> Result<T, BankError>,
+    ) -> Result<T, BankError> {
+        let mut shard = self.shards[self.shard_of(id)].write();
+        let record = shard.get_mut(id).ok_or(BankError::NoSuchAccount(*id))?;
+        let out = f(record)?;
+        let snapshot = record.clone();
+        drop(shard);
+        self.journal.lock().push(JournalEntry::Update(snapshot));
+        Ok(out)
+    }
+
+    /// Mutates two accounts atomically (transfers). Shard locks are taken
+    /// in ascending shard order — the classic deadlock-free protocol —
+    /// and both journal entries are appended together.
+    pub fn with_two_accounts_mut<T>(
+        &self,
+        a: &AccountId,
+        b: &AccountId,
+        f: impl FnOnce(&mut AccountRecord, &mut AccountRecord) -> Result<T, BankError>,
+    ) -> Result<T, BankError> {
+        if a == b {
+            return Err(BankError::Protocol("transfer to the same account".into()));
+        }
+        let (sa, sb) = (self.shard_of(a), self.shard_of(b));
+        let out;
+        let (snap_a, snap_b);
+        if sa == sb {
+            let mut shard = self.shards[sa].write();
+            // Two disjoint &mut entries from one map: take `a` out, work,
+            // put it back. Simpler and safe.
+            let mut ra = shard.remove(a).ok_or(BankError::NoSuchAccount(*a))?;
+            let rb = match shard.get_mut(b) {
+                Some(rb) => rb,
+                None => {
+                    shard.insert(*a, ra);
+                    return Err(BankError::NoSuchAccount(*b));
+                }
+            };
+            match f(&mut ra, rb) {
+                Ok(v) => {
+                    out = v;
+                    snap_b = rb.clone();
+                    snap_a = ra.clone();
+                    shard.insert(*a, ra);
+                }
+                Err(e) => {
+                    shard.insert(*a, ra);
+                    return Err(e);
+                }
+            }
+        } else {
+            // Order by shard index.
+            let (first, second) = if sa < sb { (sa, sb) } else { (sb, sa) };
+            let mut lock_first = self.shards[first].write();
+            let mut lock_second = self.shards[second].write();
+            let (shard_a, shard_b) = if sa < sb {
+                (&mut *lock_first, &mut *lock_second)
+            } else {
+                (&mut *lock_second, &mut *lock_first)
+            };
+            let ra = shard_a.get_mut(a).ok_or(BankError::NoSuchAccount(*a))?;
+            let rb = shard_b.get_mut(b).ok_or(BankError::NoSuchAccount(*b))?;
+            out = f(ra, rb)?;
+            snap_a = ra.clone();
+            snap_b = rb.clone();
+        }
+        let mut j = self.journal.lock();
+        j.push(JournalEntry::Update(snap_a));
+        j.push(JournalEntry::Update(snap_b));
+        Ok(out)
+    }
+
+    /// Removes an account (close-account path; caller enforces emptiness).
+    pub fn remove_account(&self, id: &AccountId) -> Result<AccountRecord, BankError> {
+        let record = self.shards[self.shard_of(id)]
+            .write()
+            .remove(id)
+            .ok_or(BankError::NoSuchAccount(*id))?;
+        self.by_cert.write().remove(&record.certificate_name);
+        self.journal.lock().push(JournalEntry::Remove(*id));
+        Ok(record)
+    }
+
+    /// Appends a transaction row.
+    pub fn append_transaction(&self, tx: TransactionRecord) {
+        self.transactions.write().push(tx.clone());
+        self.journal.lock().push(JournalEntry::Transaction(tx));
+    }
+
+    /// Appends a transfer row.
+    pub fn append_transfer(&self, t: TransferRecord) {
+        self.transfers.write().push(t.clone());
+        self.journal.lock().push(JournalEntry::Transfer(t));
+    }
+
+    /// Statement query: transactions for `account` with
+    /// `start_ms <= date < end_ms`.
+    pub fn transactions_in_range(
+        &self,
+        account: &AccountId,
+        start_ms: u64,
+        end_ms: u64,
+    ) -> Vec<TransactionRecord> {
+        self.transactions
+            .read()
+            .iter()
+            .filter(|t| t.account == *account && t.date_ms >= start_ms && t.date_ms < end_ms)
+            .cloned()
+            .collect()
+    }
+
+    /// Transfer rows involving `account` in the window (either side).
+    pub fn transfers_in_range(
+        &self,
+        account: &AccountId,
+        start_ms: u64,
+        end_ms: u64,
+    ) -> Vec<TransferRecord> {
+        self.transfers
+            .read()
+            .iter()
+            .filter(|t| {
+                (t.drawer == *account || t.recipient == *account)
+                    && t.date_ms >= start_ms
+                    && t.date_ms < end_ms
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// All transfer rows (price-estimation scans; bank-internal).
+    pub fn all_transfers(&self) -> Vec<TransferRecord> {
+        self.transfers.read().clone()
+    }
+
+    /// Finds a transfer by transaction id.
+    pub fn transfer_by_id(&self, transaction_id: u64) -> Option<TransferRecord> {
+        self.transfers
+            .read()
+            .iter()
+            .find(|t| t.transaction_id == transaction_id)
+            .cloned()
+    }
+
+    /// Total of available+locked across all accounts — the conservation
+    /// quantity the property tests track.
+    pub fn total_funds(&self) -> Credits {
+        let mut total = Credits::ZERO;
+        for shard in &self.shards {
+            for r in shard.read().values() {
+                total = total
+                    .saturating_add(r.available)
+                    .saturating_add(r.locked);
+            }
+        }
+        total
+    }
+
+    /// Number of accounts.
+    pub fn account_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Snapshot of every account (statements, settlement, diagnostics).
+    pub fn all_accounts(&self) -> Vec<AccountRecord> {
+        let mut out = Vec::with_capacity(self.account_count());
+        for shard in &self.shards {
+            out.extend(shard.read().values().cloned());
+        }
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    /// Clones the journal (crash-consistency snapshots).
+    pub fn journal_snapshot(&self) -> Vec<JournalEntry> {
+        self.journal.lock().clone()
+    }
+
+    /// Rebuilds a database by replaying a journal.
+    pub fn replay(bank: u16, branch: u16, journal: &[JournalEntry]) -> Self {
+        let db = Database::new(bank, branch);
+        let mut max_account = 0u32;
+        let mut max_tx = 0u64;
+        for entry in journal {
+            match entry {
+                JournalEntry::Create(r) => {
+                    max_account = max_account.max(r.id.number);
+                    db.by_cert.write().insert(r.certificate_name.clone(), r.id);
+                    db.shards[db.shard_of(&r.id)].write().insert(r.id, r.clone());
+                }
+                JournalEntry::Update(r) => {
+                    db.shards[db.shard_of(&r.id)].write().insert(r.id, r.clone());
+                }
+                JournalEntry::Remove(id) => {
+                    if let Some(r) = db.shards[db.shard_of(id)].write().remove(id) {
+                        db.by_cert.write().remove(&r.certificate_name);
+                    }
+                }
+                JournalEntry::Transaction(t) => {
+                    max_tx = max_tx.max(t.transaction_id);
+                    db.transactions.write().push(t.clone());
+                }
+                JournalEntry::Transfer(t) => {
+                    max_tx = max_tx.max(t.transaction_id);
+                    db.transfers.write().push(t.clone());
+                }
+            }
+        }
+        *db.journal.lock() = journal.to_vec();
+        db.next_account.store(max_account + 1, Ordering::Relaxed);
+        db.next_tx.store(max_tx + 1, Ordering::Relaxed);
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(db: &Database, cert: &str, gd: i64) -> AccountRecord {
+        AccountRecord {
+            id: db.allocate_account_id(),
+            certificate_name: cert.to_string(),
+            organization: None,
+            available: Credits::from_gd(gd),
+            locked: Credits::ZERO,
+            currency: "GridDollar".into(),
+            credit_limit: Credits::ZERO,
+        }
+    }
+
+    #[test]
+    fn account_id_format_and_parse() {
+        let id = AccountId::new(1, 1, 1);
+        assert_eq!(id.to_string(), "01-0001-00000001");
+        assert_eq!(AccountId::parse("01-0001-00000001"), Some(id));
+        assert_eq!(AccountId::parse("01-0001"), None);
+        assert_eq!(AccountId::parse("x-y-z"), None);
+        assert_eq!(AccountId::parse("1-2-3-4"), None);
+    }
+
+    #[test]
+    fn insert_get_and_cert_index() {
+        let db = Database::new(1, 1);
+        let r = record(&db, "/CN=alice", 10);
+        let id = r.id;
+        db.insert_account(r.clone()).unwrap();
+        assert_eq!(db.get_account(&id).unwrap(), r);
+        assert_eq!(db.account_by_cert("/CN=alice").unwrap().id, id);
+        assert!(db.subject_known("/CN=alice"));
+        assert!(!db.subject_known("/CN=bob"));
+        assert!(matches!(
+            db.insert_account(record(&db, "/CN=alice", 0)),
+            Err(BankError::DuplicateAccount(_))
+        ));
+    }
+
+    #[test]
+    fn ids_are_sequential_per_branch() {
+        let db = Database::new(1, 3);
+        let a = db.allocate_account_id();
+        let b = db.allocate_account_id();
+        assert_eq!(a.branch, 3);
+        assert_eq!(b.number, a.number + 1);
+    }
+
+    #[test]
+    fn two_account_mutation_both_orders() {
+        let db = Database::new(1, 1);
+        let ra = record(&db, "/CN=a", 10);
+        let rb = record(&db, "/CN=b", 0);
+        let (ida, idb) = (ra.id, rb.id);
+        db.insert_account(ra).unwrap();
+        db.insert_account(rb).unwrap();
+
+        db.with_two_accounts_mut(&ida, &idb, |a, b| {
+            a.available = a.available.checked_sub(Credits::from_gd(4))?;
+            b.available = b.available.checked_add(Credits::from_gd(4))?;
+            Ok(())
+        })
+        .unwrap();
+        // Reverse order too (exercises the other lock order).
+        db.with_two_accounts_mut(&idb, &ida, |b, a| {
+            b.available = b.available.checked_sub(Credits::from_gd(1))?;
+            a.available = a.available.checked_add(Credits::from_gd(1))?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(db.get_account(&ida).unwrap().available, Credits::from_gd(7));
+        assert_eq!(db.get_account(&idb).unwrap().available, Credits::from_gd(3));
+    }
+
+    #[test]
+    fn two_account_mutation_error_rolls_back() {
+        let db = Database::new(1, 1);
+        let ra = record(&db, "/CN=a", 10);
+        let rb = record(&db, "/CN=b", 5);
+        let (ida, idb) = (ra.id, rb.id);
+        db.insert_account(ra).unwrap();
+        db.insert_account(rb).unwrap();
+        let before_a = db.get_account(&ida).unwrap();
+        let err = db.with_two_accounts_mut(&ida, &idb, |_a, _b| {
+            Err::<(), _>(BankError::NonPositiveAmount)
+        });
+        assert!(err.is_err());
+        assert_eq!(db.get_account(&ida).unwrap(), before_a);
+        // Self-transfer rejected.
+        assert!(db.with_two_accounts_mut(&ida, &ida, |_a, _b| Ok(())).is_err());
+        // Missing account rejected either side.
+        let ghost = AccountId::new(9, 9, 9);
+        assert!(db.with_two_accounts_mut(&ida, &ghost, |_a, _b| Ok(())).is_err());
+        assert!(db.with_two_accounts_mut(&ghost, &ida, |_a, _b| Ok(())).is_err());
+    }
+
+    #[test]
+    fn statements_filter_by_range_and_account() {
+        let db = Database::new(1, 1);
+        let ra = record(&db, "/CN=a", 0);
+        let rb = record(&db, "/CN=b", 0);
+        let (ida, idb) = (ra.id, rb.id);
+        db.insert_account(ra).unwrap();
+        db.insert_account(rb).unwrap();
+        for (t, amount, date) in [(ida, 5, 10u64), (ida, -2, 20), (idb, 7, 15)] {
+            db.append_transaction(TransactionRecord {
+                transaction_id: db.allocate_transaction_id(),
+                account: t,
+                tx_type: TransactionType::Deposit,
+                date_ms: date,
+                amount: Credits::from_gd(amount),
+            });
+        }
+        db.append_transfer(TransferRecord {
+            transaction_id: db.allocate_transaction_id(),
+            date_ms: 12,
+            drawer: ida,
+            amount: Credits::from_gd(3),
+            recipient: idb,
+            rur_blob: vec![1, 2, 3],
+        });
+
+        assert_eq!(db.transactions_in_range(&ida, 0, 100).len(), 2);
+        assert_eq!(db.transactions_in_range(&ida, 15, 100).len(), 1);
+        assert_eq!(db.transactions_in_range(&idb, 0, 100).len(), 1);
+        // Transfers visible from both sides.
+        assert_eq!(db.transfers_in_range(&ida, 0, 100).len(), 1);
+        assert_eq!(db.transfers_in_range(&idb, 0, 100).len(), 1);
+        assert_eq!(db.transfers_in_range(&ida, 13, 100).len(), 0);
+        assert!(db.transfer_by_id(999).is_none());
+    }
+
+    #[test]
+    fn journal_replay_reconstructs_state() {
+        let db = Database::new(1, 1);
+        let ra = record(&db, "/CN=a", 100);
+        let rb = record(&db, "/CN=b", 50);
+        let rc = record(&db, "/CN=c", 10);
+        let (ida, idb, idc) = (ra.id, rb.id, rc.id);
+        for r in [ra, rb, rc] {
+            db.insert_account(r).unwrap();
+        }
+        db.with_two_accounts_mut(&ida, &idb, |a, b| {
+            a.available = a.available.checked_sub(Credits::from_gd(30))?;
+            b.available = b.available.checked_add(Credits::from_gd(30))?;
+            Ok(())
+        })
+        .unwrap();
+        db.with_account_mut(&idc, |c| {
+            c.locked = Credits::from_gd(5);
+            c.available = c.available.checked_sub(Credits::from_gd(5))?;
+            Ok(())
+        })
+        .unwrap();
+        db.append_transaction(TransactionRecord {
+            transaction_id: db.allocate_transaction_id(),
+            account: ida,
+            tx_type: TransactionType::Transfer,
+            date_ms: 1,
+            amount: Credits::from_gd(-30),
+        });
+        db.remove_account(&idc).unwrap();
+
+        let journal = db.journal_snapshot();
+        let rebuilt = Database::replay(1, 1, &journal);
+        assert_eq!(rebuilt.all_accounts(), db.all_accounts());
+        assert_eq!(rebuilt.account_count(), 2);
+        assert_eq!(rebuilt.total_funds(), db.total_funds());
+        assert_eq!(rebuilt.transactions_in_range(&ida, 0, 10).len(), 1);
+        // Id allocation resumes past the replayed maximum.
+        assert!(rebuilt.allocate_account_id().number > idb.number);
+        assert!(rebuilt.allocate_transaction_id() > 1);
+        // Removed account's cert can be reused after replay.
+        assert!(!rebuilt.subject_known("/CN=c"));
+    }
+
+    #[test]
+    fn total_funds_sums_available_and_locked() {
+        let db = Database::new(1, 1);
+        let mut r = record(&db, "/CN=a", 10);
+        r.locked = Credits::from_gd(4);
+        db.insert_account(r).unwrap();
+        db.insert_account(record(&db, "/CN=b", 1)).unwrap();
+        assert_eq!(db.total_funds(), Credits::from_gd(15));
+    }
+
+    #[test]
+    fn concurrent_transfers_preserve_total() {
+        let db = std::sync::Arc::new(Database::new(1, 1));
+        let mut ids = Vec::new();
+        for i in 0..8 {
+            let r = record(&db, &format!("/CN=u{i}"), 100);
+            ids.push(r.id);
+            db.insert_account(r).unwrap();
+        }
+        let before = db.total_funds();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let db = db.clone();
+                let ids = ids.clone();
+                s.spawn(move || {
+                    for k in 0..200 {
+                        let from = ids[(t + k) % ids.len()];
+                        let to = ids[(t + k + 1 + k % 5) % ids.len()];
+                        if from == to {
+                            continue;
+                        }
+                        let _ = db.with_two_accounts_mut(&from, &to, |a, b| {
+                            let amt = Credits::from_micro(1_000);
+                            a.available = a.available.checked_sub(amt)?;
+                            b.available = b.available.checked_add(amt)?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(db.total_funds(), before);
+    }
+}

@@ -1,0 +1,108 @@
+//! GridBank error type.
+
+use std::fmt;
+
+use gridbank_crypto::CryptoError;
+use gridbank_net::NetError;
+use gridbank_rur::RurError;
+
+use crate::db::AccountId;
+
+/// Errors from GridBank operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BankError {
+    /// Account does not exist.
+    NoSuchAccount(AccountId),
+    /// No account is bound to this certificate name.
+    UnknownSubject(String),
+    /// An account already exists for this certificate name.
+    DuplicateAccount(String),
+    /// Available balance (plus credit) cannot cover the operation.
+    InsufficientFunds {
+        /// Account short of funds.
+        account: AccountId,
+        /// Amount that was needed.
+        needed: gridbank_rur::Credits,
+        /// Spendable amount (available + remaining credit).
+        spendable: gridbank_rur::Credits,
+    },
+    /// Locked balance cannot cover a transfer-from-locked.
+    InsufficientLockedFunds {
+        /// Account involved.
+        account: AccountId,
+        /// Amount requested from the locked balance.
+        needed: gridbank_rur::Credits,
+        /// Locked amount actually present.
+        locked: gridbank_rur::Credits,
+    },
+    /// A payment instrument (cheque/chain) was rejected.
+    InvalidInstrument(String),
+    /// An instrument was already redeemed (double-spend attempt).
+    AlreadyRedeemed(String),
+    /// The caller lacks the privilege for an operation.
+    NotAuthorized(String),
+    /// Amounts must be positive for this operation.
+    NonPositiveAmount,
+    /// The account still holds funds or locks and cannot be closed.
+    AccountNotEmpty(AccountId),
+    /// A cross-branch operation referenced an unknown branch.
+    UnknownBranch(u16),
+    /// Arithmetic/record-level failure.
+    Record(RurError),
+    /// Signature/certificate failure.
+    Crypto(CryptoError),
+    /// Transport/handshake failure (client side).
+    Net(NetError),
+    /// Malformed wire message.
+    Protocol(String),
+}
+
+impl fmt::Display for BankError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BankError::NoSuchAccount(id) => write!(f, "no such account {id}"),
+            BankError::UnknownSubject(s) => write!(f, "no account for subject `{s}`"),
+            BankError::DuplicateAccount(s) => write!(f, "account already exists for `{s}`"),
+            BankError::InsufficientFunds { account, needed, spendable } => write!(
+                f,
+                "account {account} has {spendable} spendable but needs {needed}"
+            ),
+            BankError::InsufficientLockedFunds { account, needed, locked } => write!(
+                f,
+                "account {account} has {locked} locked but {needed} was claimed"
+            ),
+            BankError::InvalidInstrument(why) => write!(f, "invalid payment instrument: {why}"),
+            BankError::AlreadyRedeemed(what) => write!(f, "already redeemed: {what}"),
+            BankError::NotAuthorized(why) => write!(f, "not authorized: {why}"),
+            BankError::NonPositiveAmount => write!(f, "amount must be positive"),
+            BankError::AccountNotEmpty(id) => {
+                write!(f, "account {id} still holds funds or locks")
+            }
+            BankError::UnknownBranch(b) => write!(f, "unknown branch {b:04}"),
+            BankError::Record(e) => write!(f, "record error: {e}"),
+            BankError::Crypto(e) => write!(f, "crypto error: {e}"),
+            BankError::Net(e) => write!(f, "network error: {e}"),
+            BankError::Protocol(why) => write!(f, "protocol error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for BankError {}
+
+impl From<RurError> for BankError {
+    fn from(e: RurError) -> Self {
+        BankError::Record(e)
+    }
+}
+
+impl From<CryptoError> for BankError {
+    fn from(e: CryptoError) -> Self {
+        BankError::Crypto(e)
+    }
+}
+
+impl From<NetError> for BankError {
+    fn from(e: NetError) -> Self {
+        BankError::Net(e)
+    }
+}

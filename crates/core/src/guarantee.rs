@@ -1,0 +1,358 @@
+//! Payment guarantee (§3.4).
+//!
+//! "To guarantee payment when issuing GridCheques, GridBank will have to
+//! lock a certain amount of funds for the cheque to be valid … Each GSP
+//! will receive a cheque with a reserved amount, which is transferred to
+//! the 'locked' balance of the GSC's account."
+//!
+//! [`FundsGuarantee`] is the shared reservation registry behind both
+//! GridCheques and GridHash chains: `reserve` locks funds against an
+//! instrument id; `settle` pays the payee the actual charge (capped at the
+//! reservation) and releases the remainder; `release` returns everything.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use gridbank_rur::Credits;
+
+use crate::accounts::GbAccounts;
+use crate::db::AccountId;
+use crate::error::BankError;
+
+/// State of one reservation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reservation {
+    /// Drawer account whose funds are locked.
+    pub account: AccountId,
+    /// Originally reserved amount.
+    pub reserved: Credits,
+    /// Amount already settled to payees.
+    pub settled: Credits,
+    /// True once fully settled/released; terminal.
+    pub closed: bool,
+    /// Instrument expiry, virtual ms; `u64::MAX` when the caller manages
+    /// lifetime itself. The sweeper releases overdue reservations.
+    pub expires_ms: u64,
+}
+
+impl Reservation {
+    /// Locked amount still outstanding.
+    pub fn outstanding(&self) -> Credits {
+        self.reserved.checked_sub(self.settled).unwrap_or(Credits::ZERO)
+    }
+}
+
+/// The reservation registry.
+#[derive(Clone)]
+pub struct FundsGuarantee {
+    accounts: GbAccounts,
+    reservations: Arc<Mutex<HashMap<u64, Reservation>>>,
+    next_id: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl FundsGuarantee {
+    /// Creates an empty registry over the accounts layer.
+    pub fn new(accounts: GbAccounts) -> Self {
+        FundsGuarantee {
+            accounts,
+            reservations: Arc::new(Mutex::new(HashMap::new())),
+            next_id: Arc::new(std::sync::atomic::AtomicU64::new(1)),
+        }
+    }
+
+    /// Locks `amount` of `account`'s funds; returns the reservation id.
+    /// The reservation never expires on its own; use
+    /// [`Self::reserve_until`] for instrument-backed reservations.
+    pub fn reserve(&self, account: &AccountId, amount: Credits) -> Result<u64, BankError> {
+        self.reserve_until(account, amount, u64::MAX)
+    }
+
+    /// Locks `amount` until `expires_ms`; [`Self::sweep_expired`] returns
+    /// overdue reservations to their drawers.
+    pub fn reserve_until(
+        &self,
+        account: &AccountId,
+        amount: Credits,
+        expires_ms: u64,
+    ) -> Result<u64, BankError> {
+        self.accounts.lock_funds(account, amount)?;
+        let id = self.next_id.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.reservations.lock().insert(
+            id,
+            Reservation {
+                account: *account,
+                reserved: amount,
+                settled: Credits::ZERO,
+                closed: false,
+                expires_ms,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Releases every open reservation whose expiry has passed — the
+    /// bank's housekeeping pass for cheques and chains that were never
+    /// (fully) redeemed. Returns `(reservation_id, amount_released)`
+    /// pairs.
+    pub fn sweep_expired(&self, now_ms: u64) -> Vec<(u64, Credits)> {
+        let overdue: Vec<u64> = {
+            let map = self.reservations.lock();
+            map.iter()
+                .filter(|(_, r)| !r.closed && r.expires_ms <= now_ms)
+                .map(|(id, _)| *id)
+                .collect()
+        };
+        let mut out = Vec::with_capacity(overdue.len());
+        for id in overdue {
+            if let Ok(released) = self.release(id) {
+                out.push((id, released));
+            }
+        }
+        out
+    }
+
+    /// Reads a reservation's state.
+    pub fn get(&self, id: u64) -> Option<Reservation> {
+        self.reservations.lock().get(&id).cloned()
+    }
+
+    /// Settles `charge` (capped at the outstanding reservation) to
+    /// `payee`, attaching `rur_blob` as evidence, and releases the
+    /// remainder. Returns `(paid, released)`. Terminal for the
+    /// reservation.
+    pub fn settle(
+        &self,
+        id: u64,
+        payee: &AccountId,
+        charge: Credits,
+        rur_blob: Vec<u8>,
+    ) -> Result<(Credits, Credits), BankError> {
+        if charge.is_negative() {
+            return Err(BankError::NonPositiveAmount);
+        }
+        // Claim the reservation first so concurrent settlers can't both
+        // pay; the monetary ops below only touch the claimed amount.
+        let reservation = {
+            let mut map = self.reservations.lock();
+            let r = map
+                .get_mut(&id)
+                .ok_or_else(|| BankError::InvalidInstrument(format!("no reservation {id}")))?;
+            if r.closed {
+                return Err(BankError::AlreadyRedeemed(format!("reservation {id}")));
+            }
+            r.closed = true;
+            r.clone()
+        };
+        let pay = charge.min(reservation.outstanding());
+        let release = reservation.outstanding().checked_sub(pay)?;
+        if pay.is_positive() {
+            self.accounts
+                .transfer_from_locked(&reservation.account, payee, pay, rur_blob)?;
+        }
+        if release.is_positive() {
+            self.accounts.unlock_funds(&reservation.account, release)?;
+        }
+        if let Some(r) = self.reservations.lock().get_mut(&id) {
+            r.settled = r.settled.saturating_add(pay);
+        }
+        Ok((pay, release))
+    }
+
+    /// Settles part of the reservation *without closing it* — the
+    /// incremental redemption path used by pay-as-you-go hash chains.
+    pub fn settle_partial(
+        &self,
+        id: u64,
+        payee: &AccountId,
+        charge: Credits,
+        rur_blob: Vec<u8>,
+    ) -> Result<Credits, BankError> {
+        if !charge.is_positive() {
+            return Err(BankError::NonPositiveAmount);
+        }
+        // Atomically check headroom and provisionally account the payment.
+        {
+            let mut map = self.reservations.lock();
+            let r = map
+                .get_mut(&id)
+                .ok_or_else(|| BankError::InvalidInstrument(format!("no reservation {id}")))?;
+            if r.closed {
+                return Err(BankError::AlreadyRedeemed(format!("reservation {id}")));
+            }
+            if r.outstanding() < charge {
+                return Err(BankError::InsufficientLockedFunds {
+                    account: r.account,
+                    needed: charge,
+                    locked: r.outstanding(),
+                });
+            }
+            r.settled = r.settled.saturating_add(charge);
+        }
+        self.accounts
+            .transfer_from_locked(&self.get(id).expect("just updated").account, payee, charge, rur_blob)?;
+        Ok(charge)
+    }
+
+    /// Releases the whole outstanding reservation back to the drawer
+    /// (instrument expired unused). Terminal.
+    pub fn release(&self, id: u64) -> Result<Credits, BankError> {
+        let reservation = {
+            let mut map = self.reservations.lock();
+            let r = map
+                .get_mut(&id)
+                .ok_or_else(|| BankError::InvalidInstrument(format!("no reservation {id}")))?;
+            if r.closed {
+                return Err(BankError::AlreadyRedeemed(format!("reservation {id}")));
+            }
+            r.closed = true;
+            r.clone()
+        };
+        let outstanding = reservation.outstanding();
+        if outstanding.is_positive() {
+            self.accounts.unlock_funds(&reservation.account, outstanding)?;
+        }
+        Ok(outstanding)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Clock;
+    use crate::db::Database;
+
+    fn setup() -> (FundsGuarantee, GbAccounts, AccountId, AccountId) {
+        let db = Arc::new(Database::new(1, 1));
+        let acc = GbAccounts::new(db.clone(), Clock::new());
+        let a = acc.create_account("/CN=gsc", None).unwrap();
+        let p = acc.create_account("/CN=gsp", None).unwrap();
+        db.with_account_mut(&a, |r| {
+            r.available = Credits::from_gd(100);
+            Ok(())
+        })
+        .unwrap();
+        (FundsGuarantee::new(acc.clone()), acc, a, p)
+    }
+
+    #[test]
+    fn reserve_then_settle_with_remainder() {
+        let (g, acc, a, p) = setup();
+        let id = g.reserve(&a, Credits::from_gd(40)).unwrap();
+        assert_eq!(acc.account_details(&a).unwrap().locked, Credits::from_gd(40));
+
+        let (paid, released) = g.settle(id, &p, Credits::from_gd(25), vec![]).unwrap();
+        assert_eq!(paid, Credits::from_gd(25));
+        assert_eq!(released, Credits::from_gd(15));
+        let r = acc.account_details(&a).unwrap();
+        assert_eq!(r.available, Credits::from_gd(75));
+        assert_eq!(r.locked, Credits::ZERO);
+        assert_eq!(acc.account_details(&p).unwrap().available, Credits::from_gd(25));
+    }
+
+    #[test]
+    fn settlement_caps_at_reservation() {
+        let (g, acc, a, p) = setup();
+        let id = g.reserve(&a, Credits::from_gd(10)).unwrap();
+        // Charge exceeds the guarantee: payee gets only the reserved 10.
+        let (paid, released) = g.settle(id, &p, Credits::from_gd(99), vec![]).unwrap();
+        assert_eq!(paid, Credits::from_gd(10));
+        assert_eq!(released, Credits::ZERO);
+        assert_eq!(acc.account_details(&p).unwrap().available, Credits::from_gd(10));
+    }
+
+    #[test]
+    fn double_settlement_rejected() {
+        let (g, _acc, a, p) = setup();
+        let id = g.reserve(&a, Credits::from_gd(10)).unwrap();
+        g.settle(id, &p, Credits::from_gd(5), vec![]).unwrap();
+        assert!(matches!(
+            g.settle(id, &p, Credits::from_gd(5), vec![]),
+            Err(BankError::AlreadyRedeemed(_))
+        ));
+        assert!(matches!(g.release(id), Err(BankError::AlreadyRedeemed(_))));
+    }
+
+    #[test]
+    fn release_returns_funds() {
+        let (g, acc, a, _p) = setup();
+        let id = g.reserve(&a, Credits::from_gd(30)).unwrap();
+        let back = g.release(id).unwrap();
+        assert_eq!(back, Credits::from_gd(30));
+        let r = acc.account_details(&a).unwrap();
+        assert_eq!(r.available, Credits::from_gd(100));
+        assert_eq!(r.locked, Credits::ZERO);
+    }
+
+    #[test]
+    fn reserve_fails_without_funds() {
+        let (g, _acc, a, _p) = setup();
+        assert!(matches!(
+            g.reserve(&a, Credits::from_gd(101)),
+            Err(BankError::InsufficientFunds { .. })
+        ));
+        assert!(g.reserve(&a, Credits::ZERO).is_err());
+    }
+
+    #[test]
+    fn partial_settlement_accumulates() {
+        let (g, acc, a, p) = setup();
+        let id = g.reserve(&a, Credits::from_gd(30)).unwrap();
+        g.settle_partial(id, &p, Credits::from_gd(10), vec![]).unwrap();
+        g.settle_partial(id, &p, Credits::from_gd(15), vec![]).unwrap();
+        // Exceeding the outstanding lock is refused.
+        assert!(matches!(
+            g.settle_partial(id, &p, Credits::from_gd(6), vec![]),
+            Err(BankError::InsufficientLockedFunds { .. })
+        ));
+        // Final settle closes and releases the tail.
+        let (paid, released) = g.settle(id, &p, Credits::ZERO, vec![]).unwrap();
+        assert_eq!(paid, Credits::ZERO);
+        assert_eq!(released, Credits::from_gd(5));
+        assert_eq!(acc.account_details(&p).unwrap().available, Credits::from_gd(25));
+        assert_eq!(acc.account_details(&a).unwrap().available, Credits::from_gd(75));
+    }
+
+    #[test]
+    fn sweep_releases_only_overdue_open_reservations() {
+        let (g, acc, a, p) = setup();
+        let expired = g.reserve_until(&a, Credits::from_gd(10), 100).unwrap();
+        let live = g.reserve_until(&a, Credits::from_gd(20), 1_000).unwrap();
+        let settled = g.reserve_until(&a, Credits::from_gd(5), 100).unwrap();
+        g.settle(settled, &p, Credits::from_gd(5), vec![]).unwrap();
+
+        let swept = g.sweep_expired(100);
+        assert_eq!(swept, vec![(expired, Credits::from_gd(10))]);
+        // The live reservation is untouched; the settled one already
+        // closed; the expired one cannot be settled afterwards.
+        assert_eq!(acc.account_details(&a).unwrap().locked, Credits::from_gd(20));
+        assert!(matches!(
+            g.settle(expired, &p, Credits::from_gd(1), vec![]),
+            Err(BankError::AlreadyRedeemed(_))
+        ));
+        g.settle(live, &p, Credits::from_gd(20), vec![]).unwrap();
+        // Second sweep finds nothing.
+        assert!(g.sweep_expired(10_000).is_empty());
+    }
+
+    #[test]
+    fn concurrent_settlers_pay_exactly_once() {
+        let (g, acc, a, p) = setup();
+        let id = g.reserve(&a, Credits::from_gd(20)).unwrap();
+        let successes = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let g = g.clone();
+                let successes = &successes;
+                s.spawn(move || {
+                    if g.settle(id, &p, Credits::from_gd(20), vec![]).is_ok() {
+                        successes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(successes.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(acc.account_details(&p).unwrap().available, Credits::from_gd(20));
+    }
+}

@@ -1,0 +1,61 @@
+//! # gridbank-core
+//!
+//! **GridBank** — the Grid Accounting Services Architecture (GASA) server
+//! and client, the primary contribution of the paper. A secure Grid-wide
+//! accounting and (micro)payment system: it maintains consumer and
+//! provider accounts and resource-usage records, and speaks the three
+//! payment protocols of §3.1 behind the layered architecture of Figure 3.
+//!
+//! ## Layer map (Figure 3 → modules)
+//!
+//! | Paper layer | Modules |
+//! |---|---|
+//! | GB database | [`db`] (tables, indexes, journal) |
+//! | GB Accounts | [`accounts`] (create/get/update, transfer, lock funds, transfer-from-locked) |
+//! | GB Admin | [`admin`] (deposit, withdraw, credit limit, cancel, close) |
+//! | Payment Protocol Layer | [`cheque`] (GridCheque, pay-after-use), [`payword`] (GridHash chains, pay-as-you-go), [`direct`] (funds transfer, pay-before-use) |
+//! | GB Security | [`server`] (GSS handshake + account-table connection gate), signing via `gridbank-crypto` |
+//! | GridBank API | [`api`] (wire protocol for §5.2/§5.2.1), [`client`] (typed client) |
+//!
+//! Beyond the server core:
+//!
+//! * [`guarantee`] — §3.4 payment guarantee: funds locked against issued
+//!   cheques/chains so clients can never overspend.
+//! * [`pricing`] — §4.2 competitive model: price estimation from the
+//!   (confidential) transaction history.
+//! * [`coop`] — §4.1 co-operative model: initial credit allocation by
+//!   resource value and barter-balance statistics.
+//! * [`branch`] — §6 future work, implemented: one GridBank branch per
+//!   Virtual Organization with netted inter-branch settlement.
+//! * [`clock`] — the virtual clock every time-dependent component reads.
+//!
+//! Money is exact fixed-point ([`gridbank_rur::Credits`]); every transfer
+//! preserves Σ(available+locked) — property-tested in `accounts`.
+
+pub mod accounts;
+pub mod admin;
+pub mod api;
+pub mod branch;
+pub mod cheque;
+pub mod client;
+pub mod clock;
+pub mod coop;
+pub mod db;
+pub mod direct;
+pub mod error;
+pub mod guarantee;
+pub mod payword;
+pub mod port;
+pub mod pricing;
+pub mod server;
+
+pub use accounts::GbAccounts;
+pub use admin::GbAdmin;
+pub use api::{BankRequest, BankResponse};
+pub use cheque::GridCheque;
+pub use client::GridBankClient;
+pub use clock::Clock;
+pub use db::{AccountId, AccountRecord, Database, TransactionRecord, TransactionType, TransferRecord};
+pub use error::BankError;
+pub use payword::{GridHashChain, PayWord};
+pub use server::{GridBank, GridBankConfig, GridBankServer};

@@ -1,0 +1,455 @@
+//! GridHash — the pay-as-you-go payment instrument (§3.1).
+//!
+//! "A hash chain scheme based on PayWord would allow service consumers to
+//! dynamically pay service providers for CPU time or per each computation
+//! result delivered."
+//!
+//! The bank generates a hash chain `w_n → w_{n-1} → … → w_0` with
+//! `w_i = H(w_{i+1})`, signs a commitment to the *root* `w_0`, the chain
+//! length and the value per payword, and locks `n × value` on the drawer
+//! (§3.4 guarantee). The GSC holds the full chain and pays the GSP by
+//! revealing successive paywords: revealing `w_k` proves entitlement to
+//! `k` paywords because `H^k(w_k) = w_0` is one-way. The GSP redeems
+//! incrementally or at the end; the bank tracks the highest index paid per
+//! chain, so replaying an old payword pays nothing.
+
+use gridbank_crypto::keys::{SigningIdentity, VerifyingKey};
+use gridbank_crypto::merkle::MerkleSignature;
+use gridbank_crypto::rng::DeterministicStream;
+use gridbank_crypto::sha256::{iterate_hash, sha256, Digest};
+use gridbank_rur::codec::{ByteReader, ByteWriter, Decode, Encode};
+use gridbank_rur::{Credits, RurError};
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::db::AccountId;
+use crate::error::BankError;
+use crate::guarantee::FundsGuarantee;
+
+/// One revealed payword: the preimage and its index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PayWord {
+    /// Chain index: revealing `word` at index `k` pays for `k` units.
+    pub index: u32,
+    /// The `k`-th preimage of the committed root.
+    pub word: Digest,
+}
+
+impl PayWord {
+    /// Verifies this payword against a committed root.
+    pub fn verify(&self, root: &Digest, max_len: u32) -> Result<(), BankError> {
+        if self.index == 0 || self.index > max_len {
+            return Err(BankError::InvalidInstrument(format!(
+                "payword index {} outside 1..={max_len}",
+                self.index
+            )));
+        }
+        if iterate_hash(self.word, self.index as usize) != *root {
+            return Err(BankError::InvalidInstrument(
+                "payword does not hash to the committed root".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The bank-signed chain commitment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainCommitment {
+    /// Instrument id — also the reservation id.
+    pub chain_id: u64,
+    /// Drawer (GSC) account.
+    pub drawer: AccountId,
+    /// Payee certificate name the chain is bound to.
+    pub payee_cert: String,
+    /// Chain root `w_0`.
+    pub root: Digest,
+    /// Chain length `n`.
+    pub length: u32,
+    /// Value of each payword.
+    pub value_per_word: Credits,
+    /// Issue time.
+    pub issued_ms: u64,
+    /// Expiry.
+    pub expires_ms: u64,
+}
+
+impl Encode for ChainCommitment {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(1);
+        w.put_u64(self.chain_id);
+        w.put_str(&self.drawer.to_string());
+        w.put_str(&self.payee_cert);
+        w.put_bytes(self.root.as_bytes());
+        w.put_u32(self.length);
+        self.value_per_word.encode(w);
+        w.put_u64(self.issued_ms);
+        w.put_u64(self.expires_ms);
+    }
+}
+
+impl Decode for ChainCommitment {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, RurError> {
+        let v = r.get_u8()?;
+        if v != 1 {
+            return Err(RurError::Decode(format!("chain version {v}")));
+        }
+        let chain_id = r.get_u64()?;
+        let drawer = AccountId::parse(&r.get_str()?)
+            .ok_or_else(|| RurError::Decode("bad drawer id".into()))?;
+        let payee_cert = r.get_str()?;
+        let root_bytes = r.get_bytes()?;
+        if root_bytes.len() != 32 {
+            return Err(RurError::Decode("bad root length".into()));
+        }
+        let mut root = [0u8; 32];
+        root.copy_from_slice(root_bytes);
+        Ok(ChainCommitment {
+            chain_id,
+            drawer,
+            payee_cert,
+            root: Digest(root),
+            length: r.get_u32()?,
+            value_per_word: Credits::decode(r)?,
+            issued_ms: r.get_u64()?,
+            expires_ms: r.get_u64()?,
+        })
+    }
+}
+
+/// What the GSC receives: the signed commitment plus the secret chain.
+pub struct GridHashChain {
+    /// The bank-signed commitment (shareable with the GSP).
+    pub commitment: ChainCommitment,
+    /// Bank signature over the commitment.
+    pub signature: MerkleSignature,
+    /// The full chain, `chain[i] = w_i` for `i` in `0..=n`. `chain[0]` is
+    /// the public root; higher indices are secret until spent.
+    chain: Vec<Digest>,
+}
+
+impl GridHashChain {
+    /// The payword paying for `k` units (1-based).
+    pub fn payword(&self, k: u32) -> Result<PayWord, BankError> {
+        if k == 0 || k > self.commitment.length {
+            return Err(BankError::InvalidInstrument(format!(
+                "cannot spend {k} of {} paywords",
+                self.commitment.length
+            )));
+        }
+        Ok(PayWord { index: k, word: self.chain[k as usize] })
+    }
+
+    /// Verifies the bank signature on the commitment.
+    pub fn verify_commitment(
+        commitment: &ChainCommitment,
+        signature: &MerkleSignature,
+        bank_key: &VerifyingKey,
+    ) -> Result<(), BankError> {
+        bank_key
+            .verify(&commitment.to_bytes(), signature)
+            .map_err(|_| BankError::InvalidInstrument("bad bank signature on chain".into()))
+    }
+}
+
+/// Bank-side chain issuance and redemption.
+pub struct PayWordOffice<'a> {
+    /// Guarantee registry backing chain reservations.
+    pub guarantee: &'a FundsGuarantee,
+    /// Bank signing identity.
+    pub signer: &'a SigningIdentity,
+    /// Per-chain highest index already redeemed.
+    pub redeemed: &'a Mutex<HashMap<u64, u32>>,
+    /// Secret-generation stream (bank-internal).
+    pub secrets: &'a Mutex<DeterministicStream>,
+}
+
+/// Shared redemption state, owned by the bank.
+#[derive(Clone, Default)]
+pub struct PayWordLedger {
+    /// chain_id → highest redeemed index.
+    pub redeemed: Arc<Mutex<HashMap<u64, u32>>>,
+}
+
+impl PayWordOffice<'_> {
+    /// Issues a chain of `length` paywords each worth `value_per_word`,
+    /// locking the full value on the drawer.
+    pub fn issue(
+        &self,
+        drawer: &AccountId,
+        payee_cert: &str,
+        length: u32,
+        value_per_word: Credits,
+        now_ms: u64,
+        validity_ms: u64,
+    ) -> Result<GridHashChain, BankError> {
+        if length == 0 {
+            return Err(BankError::Protocol("zero-length chain".into()));
+        }
+        if !value_per_word.is_positive() {
+            return Err(BankError::NonPositiveAmount);
+        }
+        let total = value_per_word.checked_mul(length as i128)?;
+        let chain_id = self.guarantee.reserve_until(drawer, total, now_ms + validity_ms)?;
+
+        // Build the chain from a fresh secret tip.
+        let tip = {
+            let mut s = self.secrets.lock();
+            // Mix the chain id in so two chains never share a tip.
+            sha256(&[s.next_digest().as_bytes().as_slice(), &chain_id.to_be_bytes()].concat())
+        };
+        let mut chain = vec![Digest::ZERO; (length + 1) as usize];
+        chain[length as usize] = tip;
+        for i in (0..length as usize).rev() {
+            chain[i] = sha256(chain[i + 1].as_bytes());
+        }
+        let commitment = ChainCommitment {
+            chain_id,
+            drawer: *drawer,
+            payee_cert: payee_cert.to_string(),
+            root: chain[0],
+            length,
+            value_per_word,
+            issued_ms: now_ms,
+            expires_ms: now_ms + validity_ms,
+        };
+        let signature = self.signer.sign(&commitment.to_bytes())?;
+        Ok(GridHashChain { commitment, signature, chain })
+    }
+
+    /// Redeems up to payword `pay.index`. Pays the *delta* over the
+    /// highest previously redeemed index — incremental redemption; a
+    /// replay of an old or equal index pays zero and errors.
+    pub fn redeem(
+        &self,
+        commitment: &ChainCommitment,
+        signature: &MerkleSignature,
+        pay: &PayWord,
+        payee_account: &AccountId,
+        rur_blob: Vec<u8>,
+        now_ms: u64,
+    ) -> Result<Credits, BankError> {
+        GridHashChain::verify_commitment(commitment, signature, &self.signer.verifying_key())?;
+        if now_ms >= commitment.expires_ms {
+            return Err(BankError::InvalidInstrument("chain expired".into()));
+        }
+        pay.verify(&commitment.root, commitment.length)?;
+
+        let delta = {
+            let mut redeemed = self.redeemed.lock();
+            let prev = redeemed.entry(commitment.chain_id).or_insert(0);
+            if pay.index <= *prev {
+                return Err(BankError::AlreadyRedeemed(format!(
+                    "chain {} already redeemed through index {prev}",
+                    commitment.chain_id
+                )));
+            }
+            let delta = pay.index - *prev;
+            *prev = pay.index;
+            delta
+        };
+        let amount = commitment.value_per_word.checked_mul(delta as i128)?;
+        self.guarantee
+            .settle_partial(commitment.chain_id, payee_account, amount, rur_blob)?;
+        Ok(amount)
+    }
+
+    /// Closes out a chain after final redemption or expiry, releasing the
+    /// unspent reservation to the drawer.
+    pub fn close(&self, commitment: &ChainCommitment, now_ms: u64) -> Result<Credits, BankError> {
+        let redeemed_idx = *self.redeemed.lock().get(&commitment.chain_id).unwrap_or(&0);
+        // Before expiry, only a fully spent chain may close early.
+        if now_ms < commitment.expires_ms && redeemed_idx < commitment.length {
+            return Err(BankError::InvalidInstrument(
+                "chain still live and not fully spent".into(),
+            ));
+        }
+        self.guarantee.release(commitment.chain_id).or_else(|e| {
+            // Fully settled chains have nothing to release.
+            if redeemed_idx == commitment.length {
+                if let BankError::AlreadyRedeemed(_) = e {
+                    return Ok(Credits::ZERO);
+                }
+            }
+            Err(e)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accounts::GbAccounts;
+    use crate::clock::Clock;
+    use crate::db::Database;
+    use gridbank_crypto::keys::KeyMaterial;
+
+    struct Fixture {
+        guarantee: FundsGuarantee,
+        accounts: GbAccounts,
+        signer: SigningIdentity,
+        ledger: PayWordLedger,
+        secrets: Mutex<DeterministicStream>,
+        gsc: AccountId,
+        gsp: AccountId,
+    }
+
+    fn fixture() -> Fixture {
+        let db = Arc::new(Database::new(1, 1));
+        let accounts = GbAccounts::new(db.clone(), Clock::new());
+        let gsc = accounts.create_account("/CN=alice", None).unwrap();
+        let gsp = accounts.create_account("/CN=gsp", None).unwrap();
+        db.with_account_mut(&gsc, |r| {
+            r.available = Credits::from_gd(100);
+            Ok(())
+        })
+        .unwrap();
+        Fixture {
+            guarantee: FundsGuarantee::new(accounts.clone()),
+            accounts,
+            signer: SigningIdentity::generate_small(KeyMaterial { seed: 8 }, "bank"),
+            ledger: PayWordLedger::default(),
+            secrets: Mutex::new(DeterministicStream::from_u64(77, b"chains")),
+            gsc,
+            gsp,
+        }
+    }
+
+    fn office<'a>(f: &'a Fixture) -> PayWordOffice<'a> {
+        PayWordOffice {
+            guarantee: &f.guarantee,
+            signer: &f.signer,
+            redeemed: &f.ledger.redeemed,
+            secrets: &f.secrets,
+        }
+    }
+
+    #[test]
+    fn issue_builds_valid_chain_and_locks_funds() {
+        let f = fixture();
+        let chain = office(&f)
+            .issue(&f.gsc, "/CN=gsp", 20, Credits::from_gd(1), 0, 10_000)
+            .unwrap();
+        assert_eq!(f.accounts.account_details(&f.gsc).unwrap().locked, Credits::from_gd(20));
+        // Every payword verifies against the root.
+        for k in 1..=20 {
+            chain.payword(k).unwrap().verify(&chain.commitment.root, 20).unwrap();
+        }
+        assert!(chain.payword(0).is_err());
+        assert!(chain.payword(21).is_err());
+        // Commitment codec round-trips.
+        let decoded = ChainCommitment::from_bytes(&chain.commitment.to_bytes()).unwrap();
+        assert_eq!(decoded, chain.commitment);
+    }
+
+    #[test]
+    fn paywords_are_one_way() {
+        let f = fixture();
+        let chain = office(&f)
+            .issue(&f.gsc, "/CN=gsp", 5, Credits::from_gd(1), 0, 10_000)
+            .unwrap();
+        // Knowing w_2 gives w_1 (hash forward) but never w_3: a forged
+        // index-3 claim with a guessed word fails.
+        let forged = PayWord { index: 3, word: sha256(b"guess") };
+        assert!(forged.verify(&chain.commitment.root, 5).is_err());
+        // Claiming a valid word at the wrong index also fails.
+        let w2 = chain.payword(2).unwrap();
+        let wrong_index = PayWord { index: 3, word: w2.word };
+        assert!(wrong_index.verify(&chain.commitment.root, 5).is_err());
+    }
+
+    #[test]
+    fn incremental_redemption_pays_deltas() {
+        let f = fixture();
+        let o = office(&f);
+        let chain = o.issue(&f.gsc, "/CN=gsp", 10, Credits::from_gd(1), 0, 10_000).unwrap();
+        let c = &chain.commitment;
+        let s = &chain.signature;
+
+        // Redeem through 3: pays 3.
+        let paid = o.redeem(c, s, &chain.payword(3).unwrap(), &f.gsp, vec![], 10).unwrap();
+        assert_eq!(paid, Credits::from_gd(3));
+        // Redeem through 7: pays 4 more.
+        let paid = o.redeem(c, s, &chain.payword(7).unwrap(), &f.gsp, vec![], 20).unwrap();
+        assert_eq!(paid, Credits::from_gd(4));
+        assert_eq!(f.accounts.account_details(&f.gsp).unwrap().available, Credits::from_gd(7));
+
+        // Replaying index 7 or lower is refused.
+        assert!(matches!(
+            o.redeem(c, s, &chain.payword(7).unwrap(), &f.gsp, vec![], 30),
+            Err(BankError::AlreadyRedeemed(_))
+        ));
+        assert!(matches!(
+            o.redeem(c, s, &chain.payword(2).unwrap(), &f.gsp, vec![], 30),
+            Err(BankError::AlreadyRedeemed(_))
+        ));
+
+        // Close before expiry with words left is refused; after expiry the
+        // drawer gets the remaining 3 back.
+        assert!(o.close(c, 100).is_err());
+        assert_eq!(o.close(c, 10_001).unwrap(), Credits::from_gd(3));
+        let gsc = f.accounts.account_details(&f.gsc).unwrap();
+        assert_eq!(gsc.available, Credits::from_gd(93));
+        assert_eq!(gsc.locked, Credits::ZERO);
+    }
+
+    #[test]
+    fn fully_spent_chain_closes_early() {
+        let f = fixture();
+        let o = office(&f);
+        let chain = o.issue(&f.gsc, "/CN=gsp", 4, Credits::from_gd(2), 0, 10_000).unwrap();
+        o.redeem(&chain.commitment, &chain.signature, &chain.payword(4).unwrap(), &f.gsp, vec![], 5)
+            .unwrap();
+        assert_eq!(o.close(&chain.commitment, 6).unwrap(), Credits::ZERO);
+        assert_eq!(f.accounts.account_details(&f.gsp).unwrap().available, Credits::from_gd(8));
+    }
+
+    #[test]
+    fn expired_chain_rejects_redemption() {
+        let f = fixture();
+        let o = office(&f);
+        let chain = o.issue(&f.gsc, "/CN=gsp", 4, Credits::from_gd(1), 0, 100).unwrap();
+        assert!(matches!(
+            o.redeem(&chain.commitment, &chain.signature, &chain.payword(1).unwrap(), &f.gsp, vec![], 100),
+            Err(BankError::InvalidInstrument(_))
+        ));
+    }
+
+    #[test]
+    fn forged_commitment_rejected() {
+        let f = fixture();
+        let o = office(&f);
+        let chain = o.issue(&f.gsc, "/CN=gsp", 4, Credits::from_gd(1), 0, 10_000).unwrap();
+        let mut forged = chain.commitment.clone();
+        forged.value_per_word = Credits::from_gd(1_000);
+        assert!(matches!(
+            o.redeem(&forged, &chain.signature, &chain.payword(1).unwrap(), &f.gsp, vec![], 10),
+            Err(BankError::InvalidInstrument(_))
+        ));
+    }
+
+    #[test]
+    fn issue_validates_inputs() {
+        let f = fixture();
+        let o = office(&f);
+        assert!(o.issue(&f.gsc, "/CN=gsp", 0, Credits::from_gd(1), 0, 10).is_err());
+        assert!(o.issue(&f.gsc, "/CN=gsp", 5, Credits::ZERO, 0, 10).is_err());
+        // Total beyond balance.
+        assert!(matches!(
+            o.issue(&f.gsc, "/CN=gsp", 200, Credits::from_gd(1), 0, 10),
+            Err(BankError::InsufficientFunds { .. })
+        ));
+    }
+
+    #[test]
+    fn distinct_chains_have_distinct_roots() {
+        let f = fixture();
+        let o = office(&f);
+        let c1 = o.issue(&f.gsc, "/CN=gsp", 4, Credits::from_gd(1), 0, 10_000).unwrap();
+        let c2 = o.issue(&f.gsc, "/CN=gsp", 4, Credits::from_gd(1), 0, 10_000).unwrap();
+        assert_ne!(c1.commitment.root, c2.commitment.root);
+    }
+}

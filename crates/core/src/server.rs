@@ -1,0 +1,732 @@
+//! The GridBank server: the assembled bank plus its network front-end.
+//!
+//! [`GridBank`] wires the layers of Figure 3 together — database, GB
+//! Accounts, GB Admin, the three payment protocol modules, the §4 model
+//! helpers — behind a single [`GridBank::handle`] dispatcher whose caller
+//! identity always comes from the authenticated channel.
+//!
+//! [`GridBankServer`] is the GB Security Protocol module in action: it
+//! accepts connections, runs the GSS-style mutual handshake, applies the
+//! §3.2 connection gate ("If the subject name appears either in the
+//! accounts or in administrator tables, then the client is authorized to
+//! establish a connection. Otherwise connection is refused"), and serves
+//! the RPC loop per connection.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use gridbank_crypto::cert::{Certificate, SubjectName};
+use gridbank_crypto::keys::{KeyMaterial, SigningIdentity, VerifyingKey};
+use gridbank_crypto::rng::DeterministicStream;
+use gridbank_net::gate::{AdmissionDecision, ConnectionGate};
+use gridbank_net::rpc::RpcServer;
+use gridbank_net::transport::{Address, Network};
+use gridbank_net::{server_handshake, HandshakeConfig, NetError};
+use gridbank_rur::codec::{Decode, Encode};
+use gridbank_rur::record::ChargeableItem;
+use gridbank_rur::record::UsageAmount;
+use gridbank_rur::Credits;
+
+use crate::accounts::GbAccounts;
+use crate::admin::GbAdmin;
+use crate::api::{error_kind, BankRequest, BankResponse};
+use crate::cheque::ChequeOffice;
+use crate::clock::Clock;
+use crate::db::{AccountId, Database};
+use crate::error::BankError;
+use crate::guarantee::FundsGuarantee;
+use crate::payword::PayWordOffice;
+use crate::pricing::{PriceEstimator, ResourceDescription};
+
+/// How the connection gate treats subjects without accounts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GateMode {
+    /// Exactly the paper's §3.2 rule: unknown subjects are refused at the
+    /// handshake; accounts must be opened by an administrator.
+    Strict,
+    /// Unknown subjects may connect but can only call `CreateAccount`
+    /// (self-enrollment); everything else answers NotAuthorized.
+    AllowEnrollment,
+}
+
+/// GridBank construction parameters.
+#[derive(Clone, Debug)]
+pub struct GridBankConfig {
+    /// Bank number for issued account ids.
+    pub bank: u16,
+    /// Branch number (one per VO, §6).
+    pub branch: u16,
+    /// Administrator certificate names.
+    pub admins: Vec<String>,
+    /// Seed for the bank's signing identity and chain secrets.
+    pub key_material: KeyMaterial,
+    /// MSS tree height: the bank can sign `2^height` instruments/
+    /// handshakes before re-keying.
+    pub signer_height: usize,
+    /// Gate behaviour for unknown subjects.
+    pub gate_mode: GateMode,
+}
+
+impl Default for GridBankConfig {
+    fn default() -> Self {
+        GridBankConfig {
+            bank: 1,
+            branch: 1,
+            admins: vec!["/O=GridBank/OU=Admin/CN=operator".into()],
+            key_material: KeyMaterial { seed: 0xB4A2 },
+            signer_height: 12,
+            gate_mode: GateMode::AllowEnrollment,
+        }
+    }
+}
+
+/// The assembled bank.
+pub struct GridBank {
+    /// Accounts layer.
+    pub accounts: GbAccounts,
+    /// Admin layer.
+    pub admin: GbAdmin,
+    /// Guarantee registry (§3.4).
+    pub guarantee: FundsGuarantee,
+    /// The bank's signing identity (cheques, chains, confirmations,
+    /// handshakes).
+    pub signer: Arc<SigningIdentity>,
+    /// §4.2 price estimator.
+    pub estimator: PriceEstimator,
+    clock: Clock,
+    config: GridBankConfig,
+    payword_redeemed: Mutex<HashMap<u64, u32>>,
+    chain_secrets: Mutex<DeterministicStream>,
+    descriptions: RwLock<HashMap<String, ResourceDescription>>,
+}
+
+impl GridBank {
+    /// Builds a bank from configuration and a shared clock.
+    pub fn new(config: GridBankConfig, clock: Clock) -> Self {
+        let db = Arc::new(Database::new(config.bank, config.branch));
+        let accounts = GbAccounts::new(db, clock.clone());
+        let admin = GbAdmin::new(accounts.clone(), config.admins.iter().cloned());
+        let guarantee = FundsGuarantee::new(accounts.clone());
+        let signer = Arc::new(SigningIdentity::generate_with_height(
+            config.key_material,
+            &format!("gridbank-{}-{}", config.bank, config.branch),
+            config.signer_height,
+        ));
+        let chain_secrets = Mutex::new(DeterministicStream::from_u64(
+            config.key_material.seed ^ 0x5EC2E75,
+            b"gridbank-chain-secrets",
+        ));
+        GridBank {
+            accounts,
+            admin,
+            guarantee,
+            signer,
+            estimator: PriceEstimator::new(),
+            clock,
+            config,
+            payword_redeemed: Mutex::new(HashMap::new()),
+            chain_secrets,
+            descriptions: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The bank's verifying key, which GSPs pin to validate instruments.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.signer.verifying_key()
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The branch number.
+    pub fn branch(&self) -> u16 {
+        self.config.branch
+    }
+
+    fn cheque_office(&self) -> ChequeOffice<'_> {
+        ChequeOffice {
+            guarantee: &self.guarantee,
+            signer: &self.signer,
+            branch: self.config.branch,
+        }
+    }
+
+    fn payword_office(&self) -> PayWordOffice<'_> {
+        PayWordOffice {
+            guarantee: &self.guarantee,
+            signer: &self.signer,
+            redeemed: &self.payword_redeemed,
+            secrets: &self.chain_secrets,
+        }
+    }
+
+    /// The §3.2 admission rule as a [`ConnectionGate`].
+    pub fn gate(self: &Arc<Self>) -> BankGate {
+        BankGate { bank: Arc::clone(self) }
+    }
+
+    /// Housekeeping pass: releases the locked funds behind every expired,
+    /// unredeemed cheque or hash chain back to its drawer. Deployments
+    /// run this periodically; simulations call it when the clock jumps.
+    /// Returns the number of reservations released and the total value.
+    pub fn sweep_expired_instruments(&self) -> (usize, Credits) {
+        let released = self.guarantee.sweep_expired(self.clock.now_ms());
+        let total = released
+            .iter()
+            .fold(Credits::ZERO, |acc, (_, c)| acc.saturating_add(*c));
+        (released.len(), total)
+    }
+
+    fn require_owner_or_admin(
+        &self,
+        caller_cert: &str,
+        account: &AccountId,
+    ) -> Result<(), BankError> {
+        let record = self.accounts.account_details(account)?;
+        if record.certificate_name == caller_cert || self.admin.is_admin(caller_cert) {
+            Ok(())
+        } else {
+            Err(BankError::NotAuthorized(format!(
+                "`{caller_cert}` does not own account {account}"
+            )))
+        }
+    }
+
+    /// Dispatches one request on behalf of an authenticated caller.
+    pub fn handle(&self, caller: &SubjectName, request: BankRequest) -> BankResponse {
+        let caller_cert = caller.base_identity().0;
+        match self.dispatch(&caller_cert, request) {
+            Ok(resp) => resp,
+            Err(e) => BankResponse::Error { kind: error_kind(&e), message: e.to_string() },
+        }
+    }
+
+    fn dispatch(
+        &self,
+        caller_cert: &str,
+        request: BankRequest,
+    ) -> Result<BankResponse, BankError> {
+        // Enrollment-mode restriction: unknown subjects may only enroll.
+        let known = self.accounts.db().subject_known(caller_cert)
+            || self.admin.is_admin(caller_cert);
+        if !known && !matches!(request, BankRequest::CreateAccount { .. }) {
+            return Err(BankError::NotAuthorized(format!(
+                "`{caller_cert}` has no account"
+            )));
+        }
+        let now = self.clock.now_ms();
+        match request {
+            BankRequest::CreateAccount { organization } => {
+                let account = self.accounts.create_account(caller_cert, organization)?;
+                Ok(BankResponse::AccountCreated { account })
+            }
+            BankRequest::MyAccount => {
+                Ok(BankResponse::Account(self.accounts.account_by_cert(caller_cert)?))
+            }
+            BankRequest::AccountDetails { account } => {
+                self.require_owner_or_admin(caller_cert, &account)?;
+                Ok(BankResponse::Account(self.accounts.account_details(&account)?))
+            }
+            BankRequest::UpdateAccount { account, certificate_name, organization } => {
+                self.require_owner_or_admin(caller_cert, &account)?;
+                let mut record = self.accounts.account_details(&account)?;
+                record.certificate_name = certificate_name;
+                record.organization = organization;
+                self.accounts.update_details(&record)?;
+                Ok(BankResponse::Confirmation { transaction_id: 0 })
+            }
+            BankRequest::Statement { account, start_ms, end_ms } => {
+                self.require_owner_or_admin(caller_cert, &account)?;
+                let st = self.accounts.statement(&account, start_ms, end_ms)?;
+                Ok(BankResponse::Statement {
+                    account: st.account,
+                    transactions: st.transactions,
+                    transfers: st.transfers,
+                })
+            }
+            BankRequest::CheckFunds { account, amount } => {
+                self.require_owner_or_admin(caller_cert, &account)?;
+                self.accounts.lock_funds(&account, amount)?;
+                Ok(BankResponse::Confirmation { transaction_id: 0 })
+            }
+            BankRequest::DirectTransfer { to, amount, recipient_address } => {
+                let from = self.accounts.account_by_cert(caller_cert)?.id;
+                let conf = crate::direct::direct_transfer(
+                    &self.accounts,
+                    &self.signer,
+                    &from,
+                    &to,
+                    amount,
+                    &recipient_address,
+                )?;
+                Ok(BankResponse::Confirmed(conf))
+            }
+            BankRequest::RequestCheque { payee_cert, amount, validity_ms } => {
+                let drawer = self.accounts.account_by_cert(caller_cert)?.id;
+                let cheque =
+                    self.cheque_office().issue(&drawer, &payee_cert, amount, now, validity_ms)?;
+                Ok(BankResponse::Cheque(cheque))
+            }
+            BankRequest::RedeemCheque { cheque, rur } => {
+                let payee = self.accounts.account_by_cert(caller_cert)?.id;
+                let red = self.cheque_office().redeem(&cheque, &rur, caller_cert, &payee, now)?;
+                self.observe_redemption(caller_cert, &rur);
+                Ok(BankResponse::Redeemed { paid: red.paid, released: red.released })
+            }
+            BankRequest::RequestHashChain { payee_cert, length, value_per_word, validity_ms } => {
+                let drawer = self.accounts.account_by_cert(caller_cert)?.id;
+                let chain = self.payword_office().issue(
+                    &drawer,
+                    &payee_cert,
+                    length,
+                    value_per_word,
+                    now,
+                    validity_ms,
+                )?;
+                let full: Vec<_> = (0..=length).map(|k| {
+                    if k == 0 { chain.commitment.root } else { chain.payword(k).expect("k in range").word }
+                }).collect();
+                Ok(BankResponse::HashChain {
+                    commitment: chain.commitment,
+                    signature: chain.signature,
+                    chain: full,
+                })
+            }
+            BankRequest::RedeemPayWord { commitment, signature, payword, rur_blob } => {
+                if commitment.payee_cert != caller_cert {
+                    return Err(BankError::NotAuthorized(format!(
+                        "chain payable to `{}`, not `{caller_cert}`",
+                        commitment.payee_cert
+                    )));
+                }
+                let payee = self.accounts.account_by_cert(caller_cert)?.id;
+                let paid = self.payword_office().redeem(
+                    &commitment,
+                    &signature,
+                    &payword,
+                    &payee,
+                    rur_blob,
+                    now,
+                )?;
+                Ok(BankResponse::Redeemed { paid, released: Credits::ZERO })
+            }
+            BankRequest::CloseHashChain { commitment } => {
+                self.require_owner_or_admin(caller_cert, &commitment.drawer)?;
+                let released = self.payword_office().close(&commitment, now)?;
+                Ok(BankResponse::Redeemed { paid: Credits::ZERO, released })
+            }
+            BankRequest::RegisterResourceDescription { desc } => {
+                self.descriptions.write().insert(caller_cert.to_string(), desc);
+                Ok(BankResponse::Confirmation { transaction_id: 0 })
+            }
+            BankRequest::EstimatePrice { desc, min_similarity_ppk } => {
+                let price = self.estimator.estimate(&desc, min_similarity_ppk)?;
+                Ok(BankResponse::Estimate { price })
+            }
+            BankRequest::RedeemChequeBatch { items } => {
+                let payee = self.accounts.account_by_cert(caller_cert)?.id;
+                let office = self.cheque_office();
+                let results = items
+                    .into_iter()
+                    .map(|(cheque, rur)| {
+                        match office.redeem(&cheque, &rur, caller_cert, &payee, now) {
+                            Ok(red) => {
+                                self.observe_redemption(caller_cert, &rur);
+                                Ok((red.paid, red.released))
+                            }
+                            Err(e) => Err((error_kind(&e), e.to_string())),
+                        }
+                    })
+                    .collect();
+                Ok(BankResponse::RedeemedBatch { results })
+            }
+            BankRequest::AdminDeposit { account, amount } => {
+                let txid = self.admin.deposit(caller_cert, &account, amount)?;
+                Ok(BankResponse::Confirmation { transaction_id: txid })
+            }
+            BankRequest::AdminWithdraw { account, amount } => {
+                let txid = self.admin.withdraw(caller_cert, &account, amount)?;
+                Ok(BankResponse::Confirmation { transaction_id: txid })
+            }
+            BankRequest::AdminCreditLimit { account, new_limit } => {
+                self.admin.change_credit_limit(caller_cert, &account, new_limit)?;
+                Ok(BankResponse::Confirmation { transaction_id: 0 })
+            }
+            BankRequest::AdminCancelTransfer { transaction_id } => {
+                let txid = self.admin.cancel_transfer(caller_cert, transaction_id)?;
+                Ok(BankResponse::Confirmation { transaction_id: txid })
+            }
+            BankRequest::AdminCloseAccount { account, transfer_to } => {
+                self.admin.close_account(caller_cert, &account, transfer_to)?;
+                Ok(BankResponse::Confirmation { transaction_id: 0 })
+            }
+        }
+    }
+
+    /// Feeds the §4.2 estimator when a redemption reveals a realized
+    /// price: unit price = charge / CPU-hours, attributed to the payee's
+    /// registered resource description.
+    fn observe_redemption(&self, payee_cert: &str, rur: &gridbank_rur::ResourceUsageRecord) {
+        let Some(desc) = self.descriptions.read().get(payee_cert).copied() else {
+            return;
+        };
+        let Ok(total) = rur.total_cost() else { return };
+        let Some(line) = rur.line(ChargeableItem::Cpu) else { return };
+        let UsageAmount::Time(cpu) = line.usage else { return };
+        if cpu.as_ms() == 0 || !total.is_positive() {
+            return;
+        }
+        // Unit price in µG$ per CPU-hour.
+        if let Ok(unit) = total.mul_ratio(gridbank_rur::units::MS_PER_HOUR, cpu.as_ms()) {
+            self.estimator.observe(desc, unit);
+        }
+    }
+}
+
+/// The §3.2 connection gate over the bank's tables.
+pub struct BankGate {
+    bank: Arc<GridBank>,
+}
+
+impl ConnectionGate for BankGate {
+    fn admit(&self, subject: &SubjectName) -> AdmissionDecision {
+        let cert = subject.base_identity().0;
+        let known = self.bank.accounts.db().subject_known(&cert)
+            || self.bank.admin.is_admin(&cert);
+        match (known, self.bank.config.gate_mode) {
+            (true, _) | (false, GateMode::AllowEnrollment) => AdmissionDecision::Allow,
+            (false, GateMode::Strict) => AdmissionDecision::Deny(
+                "no account or administrator privilege".into(),
+            ),
+        }
+    }
+}
+
+/// Server-side credentials for the handshake.
+#[derive(Clone)]
+pub struct ServerCredentials {
+    /// The bank's CA-issued certificate.
+    pub certificate: Certificate,
+    /// The identity whose key the certificate binds.
+    pub identity: Arc<SigningIdentity>,
+    /// The CA key used to validate client chains.
+    pub ca_key: VerifyingKey,
+}
+
+/// The running network front-end.
+pub struct GridBankServer {
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    /// Address the server is bound to.
+    pub address: Address,
+    connections: Arc<AtomicU64>,
+}
+
+impl GridBankServer {
+    /// Binds `address` on `network` and starts serving `bank`.
+    pub fn start(
+        network: &Network,
+        address: Address,
+        bank: Arc<GridBank>,
+        credentials: ServerCredentials,
+        nonce_seed: u64,
+    ) -> Result<Self, NetError> {
+        let listener = network.bind(address.clone())?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(AtomicU64::new(0));
+        let stop2 = Arc::clone(&stop);
+        let conns = Arc::clone(&connections);
+        let clock = bank.clock().clone();
+        let accept_thread = std::thread::spawn(move || {
+            let gate = bank.gate();
+            let mut conn_seq = 0u64;
+            loop {
+                if stop2.load(Ordering::Relaxed) {
+                    break;
+                }
+                let duplex = match listener.accept_timeout(std::time::Duration::from_millis(50)) {
+                    Ok(d) => d,
+                    Err(NetError::Timeout) => continue,
+                    Err(_) => break,
+                };
+                conn_seq += 1;
+                conns.fetch_add(1, Ordering::Relaxed);
+                let bank = Arc::clone(&bank);
+                let credentials = credentials.clone();
+                let clock = clock.clone();
+                let mut nonces = DeterministicStream::from_u64(
+                    nonce_seed ^ conn_seq,
+                    b"gridbank-server-nonce",
+                );
+                let gate_bank = Arc::clone(&gate.bank);
+                std::thread::spawn(move || {
+                    let config = HandshakeConfig {
+                        ca_key: credentials.ca_key,
+                        now: clock.now_ms(),
+                    };
+                    let gate = BankGate { bank: gate_bank };
+                    let hs = server_handshake(
+                        duplex,
+                        &config,
+                        &credentials.certificate,
+                        &credentials.identity,
+                        &gate,
+                        &mut nonces,
+                    );
+                    let (channel, peer) = match hs {
+                        Ok(ok) => ok,
+                        Err(_) => return, // refused or failed; nothing to serve
+                    };
+                    let _ = RpcServer::serve_connection(channel, &peer, |peer, payload| {
+                        let response = match BankRequest::from_bytes(payload) {
+                            Ok(req) => bank.handle(&peer.subject, req),
+                            Err(e) => BankResponse::Error {
+                                kind: crate::api::kinds::OTHER,
+                                message: format!("malformed request: {e}"),
+                            },
+                        };
+                        response.to_bytes()
+                    });
+                });
+            }
+        });
+        Ok(GridBankServer { stop, accept_thread: Some(accept_thread), address, connections })
+    }
+
+    /// Total connections accepted so far.
+    pub fn connection_count(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Stops the accept loop (established connections drain naturally).
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for GridBankServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank() -> Arc<GridBank> {
+        let config = GridBankConfig {
+            signer_height: 6,
+            ..GridBankConfig::default()
+        };
+        Arc::new(GridBank::new(config, Clock::new()))
+    }
+
+    fn subject(cn: &str) -> SubjectName {
+        SubjectName::new("UWA", "CSSE", cn)
+    }
+
+    #[test]
+    fn enrollment_then_operations() {
+        let b = bank();
+        let alice = subject("alice");
+        // Unknown subjects can only enroll.
+        let resp = b.handle(&alice, BankRequest::MyAccount);
+        assert!(matches!(resp, BankResponse::Error { .. }));
+        let resp = b.handle(&alice, BankRequest::CreateAccount { organization: None });
+        let BankResponse::AccountCreated { account } = resp else {
+            panic!("expected AccountCreated, got {resp:?}")
+        };
+        let resp = b.handle(&alice, BankRequest::MyAccount);
+        let BankResponse::Account(rec) = resp else { panic!("{resp:?}") };
+        assert_eq!(rec.id, account);
+    }
+
+    #[test]
+    fn ownership_is_enforced() {
+        let b = bank();
+        let alice = subject("alice");
+        let bob = subject("bob");
+        let BankResponse::AccountCreated { account: alice_acct } =
+            b.handle(&alice, BankRequest::CreateAccount { organization: None })
+        else {
+            panic!()
+        };
+        b.handle(&bob, BankRequest::CreateAccount { organization: None });
+        // Bob cannot read Alice's account or statement.
+        let resp = b.handle(&bob, BankRequest::AccountDetails { account: alice_acct });
+        assert!(matches!(resp, BankResponse::Error { kind, .. } if kind == crate::api::kinds::NOT_AUTHORIZED));
+        let resp = b.handle(
+            &bob,
+            BankRequest::Statement { account: alice_acct, start_ms: 0, end_ms: 10 },
+        );
+        assert!(matches!(resp, BankResponse::Error { .. }));
+        // An admin can.
+        let admin = SubjectName("/O=GridBank/OU=Admin/CN=operator".into());
+        let resp = b.handle(&admin, BankRequest::AccountDetails { account: alice_acct });
+        assert!(matches!(resp, BankResponse::Account(_)));
+    }
+
+    #[test]
+    fn full_cheque_cycle_through_dispatcher() {
+        let b = bank();
+        let alice = subject("alice");
+        let gsp = subject("gsp-alpha");
+        let admin = SubjectName("/O=GridBank/OU=Admin/CN=operator".into());
+        let BankResponse::AccountCreated { account: alice_acct } =
+            b.handle(&alice, BankRequest::CreateAccount { organization: None })
+        else {
+            panic!()
+        };
+        b.handle(&gsp, BankRequest::CreateAccount { organization: None });
+        b.handle(&admin, BankRequest::AdminDeposit { account: alice_acct, amount: Credits::from_gd(50) });
+
+        let BankResponse::Cheque(cheque) = b.handle(
+            &alice,
+            BankRequest::RequestCheque {
+                payee_cert: gsp.base_identity().0,
+                amount: Credits::from_gd(20),
+                validity_ms: 100_000,
+            },
+        ) else {
+            panic!()
+        };
+        // GSP redeems with a usage record worth 8 G$.
+        let rur = gridbank_rur::record::RurBuilder::default()
+            .user("h", &alice.0)
+            .job("j", "a", 0, 3_600_000)
+            .resource("r", &gsp.0, None, 1)
+            .line(
+                ChargeableItem::Cpu,
+                UsageAmount::Time(gridbank_rur::units::Duration::from_hours(1)),
+                Credits::from_gd(8),
+            )
+            .build()
+            .unwrap();
+        let resp = b.handle(&gsp, BankRequest::RedeemCheque { cheque: cheque.clone(), rur: rur.clone() });
+        let BankResponse::Redeemed { paid, released } = resp else { panic!("{resp:?}") };
+        assert_eq!(paid, Credits::from_gd(8));
+        assert_eq!(released, Credits::from_gd(12));
+        // A second redemption fails.
+        let resp = b.handle(&gsp, BankRequest::RedeemCheque { cheque, rur });
+        assert!(matches!(resp, BankResponse::Error { kind, .. } if kind == crate::api::kinds::ALREADY_REDEEMED));
+    }
+
+    #[test]
+    fn payword_cycle_through_dispatcher() {
+        let b = bank();
+        let alice = subject("alice");
+        let gsp = subject("gsp");
+        let admin = SubjectName("/O=GridBank/OU=Admin/CN=operator".into());
+        let BankResponse::AccountCreated { account: alice_acct } =
+            b.handle(&alice, BankRequest::CreateAccount { organization: None })
+        else {
+            panic!()
+        };
+        b.handle(&gsp, BankRequest::CreateAccount { organization: None });
+        b.handle(&admin, BankRequest::AdminDeposit { account: alice_acct, amount: Credits::from_gd(50) });
+
+        let resp = b.handle(
+            &alice,
+            BankRequest::RequestHashChain {
+                payee_cert: gsp.base_identity().0,
+                length: 10,
+                value_per_word: Credits::from_gd(1),
+                validity_ms: 100_000,
+            },
+        );
+        let BankResponse::HashChain { commitment, signature, chain } = resp else {
+            panic!("{resp:?}")
+        };
+        assert_eq!(chain.len(), 11);
+        assert_eq!(chain[0], commitment.root);
+        // Mallory can't redeem a chain payable to the GSP.
+        let mallory = subject("mallory");
+        b.handle(&mallory, BankRequest::CreateAccount { organization: None });
+        let resp = b.handle(
+            &mallory,
+            BankRequest::RedeemPayWord {
+                commitment: commitment.clone(),
+                signature: signature.clone(),
+                payword: crate::payword::PayWord { index: 4, word: chain[4] },
+                rur_blob: vec![],
+            },
+        );
+        assert!(matches!(resp, BankResponse::Error { kind, .. } if kind == crate::api::kinds::NOT_AUTHORIZED));
+        // GSP redeems incrementally.
+        let resp = b.handle(
+            &gsp,
+            BankRequest::RedeemPayWord {
+                commitment: commitment.clone(),
+                signature: signature.clone(),
+                payword: crate::payword::PayWord { index: 4, word: chain[4] },
+                rur_blob: vec![],
+            },
+        );
+        let BankResponse::Redeemed { paid, .. } = resp else { panic!("{resp:?}") };
+        assert_eq!(paid, Credits::from_gd(4));
+    }
+
+    #[test]
+    fn pricing_pipeline_observes_redemptions() {
+        let b = bank();
+        let alice = subject("alice");
+        let gsp = subject("gsp");
+        let admin = SubjectName("/O=GridBank/OU=Admin/CN=operator".into());
+        let BankResponse::AccountCreated { account: alice_acct } =
+            b.handle(&alice, BankRequest::CreateAccount { organization: None })
+        else {
+            panic!()
+        };
+        b.handle(&gsp, BankRequest::CreateAccount { organization: None });
+        b.handle(&admin, BankRequest::AdminDeposit { account: alice_acct, amount: Credits::from_gd(50) });
+        let desc = ResourceDescription {
+            cpu_speed: 1000,
+            cpu_count: 8,
+            memory_mb: 16_384,
+            storage_mb: 100_000,
+            bandwidth_mbps: 1000,
+        };
+        b.handle(&gsp, BankRequest::RegisterResourceDescription { desc });
+
+        // No history yet.
+        let resp = b.handle(&alice, BankRequest::EstimatePrice { desc, min_similarity_ppk: 0 });
+        assert!(matches!(resp, BankResponse::Error { .. }));
+
+        // One cheque redemption at 3 G$/CPU-hour feeds the estimator.
+        let BankResponse::Cheque(cheque) = b.handle(
+            &alice,
+            BankRequest::RequestCheque {
+                payee_cert: gsp.0.clone(),
+                amount: Credits::from_gd(10),
+                validity_ms: 100_000,
+            },
+        ) else {
+            panic!()
+        };
+        let rur = gridbank_rur::record::RurBuilder::default()
+            .user("h", &alice.0)
+            .job("j", "a", 0, 3_600_000)
+            .resource("r", &gsp.0, None, 1)
+            .line(
+                ChargeableItem::Cpu,
+                UsageAmount::Time(gridbank_rur::units::Duration::from_hours(2)),
+                Credits::from_gd(3),
+            )
+            .build()
+            .unwrap();
+        b.handle(&gsp, BankRequest::RedeemCheque { cheque, rur });
+
+        let resp = b.handle(&alice, BankRequest::EstimatePrice { desc, min_similarity_ppk: 0 });
+        let BankResponse::Estimate { price } = resp else { panic!("{resp:?}") };
+        assert_eq!(price, Credits::from_gd(3));
+    }
+}

@@ -1,0 +1,409 @@
+//! Certificates, certificate authorities and proxy certificates.
+//!
+//! Reproduces the GSI identity model the paper assumes:
+//!
+//! * a [`CertificateAuthority`] (the paper: "Certificates can be issued by
+//!   the Globus CA. Alternatively, GridBank can set up its own CA") binds
+//!   [`SubjectName`]s to verifying keys;
+//! * a [`ProxyCertificate`] is "a certificate signed by the user, which is
+//!   later used to repeatedly authenticate the user to resources" — the
+//!   single sign-on mechanism GridBank requires of payment systems;
+//! * validation walks the chain: CA → end-entity certificate → (optionally)
+//!   proxy, checking signatures, validity windows and delegation depth.
+//!
+//! Time is an abstract `u64` epoch supplied by the caller, so the
+//! discrete-event simulator can drive expiry deterministically.
+
+use crate::error::CryptoError;
+use crate::keys::{SigningIdentity, VerifyingKey};
+use crate::merkle::MerkleSignature;
+use crate::sha256::{Sha256, DIGEST_LEN};
+
+/// An X.500-style distinguished name, the Grid-wide unique identifier that
+/// GridBank account records key on (paper §5.1 `CertificateName`).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubjectName(pub String);
+
+impl SubjectName {
+    /// Builds a DN in the conventional `/O=.../OU=.../CN=...` form.
+    pub fn new(organization: &str, unit: &str, common_name: &str) -> Self {
+        SubjectName(format!("/O={organization}/OU={unit}/CN={common_name}"))
+    }
+
+    /// Parses the common-name component, if present.
+    pub fn common_name(&self) -> Option<&str> {
+        self.0.split('/').find_map(|c| c.strip_prefix("CN="))
+    }
+
+    /// Parses the organization component, if present.
+    pub fn organization(&self) -> Option<&str> {
+        self.0.split('/').find_map(|c| c.strip_prefix("O="))
+    }
+
+    /// The proxy name derived from this subject (GSI appends `/CN=proxy`).
+    pub fn proxy_name(&self) -> SubjectName {
+        SubjectName(format!("{}/CN=proxy", self.0))
+    }
+
+    /// True if this is a proxy DN (directly or transitively).
+    pub fn is_proxy(&self) -> bool {
+        self.0.ends_with("/CN=proxy")
+    }
+
+    /// The non-proxy base identity of this (possibly proxied) subject.
+    pub fn base_identity(&self) -> SubjectName {
+        let mut s = self.0.as_str();
+        while let Some(stripped) = s.strip_suffix("/CN=proxy") {
+            s = stripped;
+        }
+        SubjectName(s.to_string())
+    }
+}
+
+impl std::fmt::Display for SubjectName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::fmt::Debug for SubjectName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SubjectName({})", self.0)
+    }
+}
+
+/// The signed payload of a certificate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CertificateBody {
+    /// Who the certificate is about.
+    pub subject: SubjectName,
+    /// Who signed it.
+    pub issuer: SubjectName,
+    /// The subject's verifying key.
+    pub subject_key: VerifyingKey,
+    /// Validity window start (inclusive), abstract epoch.
+    pub not_before: u64,
+    /// Validity window end (exclusive), abstract epoch.
+    pub not_after: u64,
+    /// Monotonic serial number assigned by the issuer.
+    pub serial: u64,
+}
+
+impl CertificateBody {
+    /// Canonical byte encoding that both signer and verifier hash.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128);
+        out.extend_from_slice(b"GBCERT1");
+        for s in [&self.subject.0, &self.issuer.0] {
+            out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        out.extend_from_slice(self.subject_key.0.as_bytes());
+        out.extend_from_slice(&self.not_before.to_be_bytes());
+        out.extend_from_slice(&self.not_after.to_be_bytes());
+        out.extend_from_slice(&self.serial.to_be_bytes());
+        out
+    }
+}
+
+/// An issued certificate: body + issuer signature.
+#[derive(Clone, Debug)]
+pub struct Certificate {
+    /// Signed fields.
+    pub body: CertificateBody,
+    /// Issuer's MSS signature over [`CertificateBody::to_bytes`].
+    pub signature: MerkleSignature,
+}
+
+impl Certificate {
+    /// Checks the issuer signature and validity window at time `now`.
+    pub fn verify(&self, issuer_key: &VerifyingKey, now: u64) -> Result<(), CryptoError> {
+        issuer_key
+            .verify(&self.body.to_bytes(), &self.signature)
+            .map_err(|_| CryptoError::InvalidCertificate("bad issuer signature".into()))?;
+        if now < self.body.not_before {
+            return Err(CryptoError::InvalidCertificate(format!(
+                "not yet valid (not_before={}, now={now})",
+                self.body.not_before
+            )));
+        }
+        if now >= self.body.not_after {
+            return Err(CryptoError::Expired { not_after: self.body.not_after, now });
+        }
+        Ok(())
+    }
+
+    /// A short stable fingerprint over the body.
+    pub fn fingerprint(&self) -> String {
+        let mut h = Sha256::new();
+        h.update(&self.body.to_bytes());
+        h.finalize().short()
+    }
+}
+
+/// A short-lived credential signed by the *user's* key, enabling single
+/// sign-on: services verify the proxy against the user's certificate, so
+/// the user's long-term key is only touched once per session.
+#[derive(Clone, Debug)]
+pub struct ProxyCertificate {
+    /// The proxy's own body (subject = user's DN + "/CN=proxy", issuer =
+    /// user's DN).
+    pub body: CertificateBody,
+    /// Signature by the *user's* key (not the CA's).
+    pub signature: MerkleSignature,
+    /// The user's CA-issued certificate, carried along for verification.
+    pub user_cert: Certificate,
+    /// Remaining delegation depth; 0 means this proxy may not re-delegate.
+    pub delegation_depth: u8,
+}
+
+impl ProxyCertificate {
+    /// Verifies the full chain at time `now`:
+    /// CA signs user cert, user key signs proxy, windows hold, and the
+    /// proxy subject is derived from the user subject.
+    pub fn verify_chain(&self, ca_key: &VerifyingKey, now: u64) -> Result<(), CryptoError> {
+        self.user_cert.verify(ca_key, now)?;
+        self.user_cert
+            .body
+            .subject_key
+            .verify(&self.body.to_bytes(), &self.signature)
+            .map_err(|_| CryptoError::InvalidCertificate("bad proxy signature".into()))?;
+        if now < self.body.not_before {
+            return Err(CryptoError::InvalidCertificate("proxy not yet valid".into()));
+        }
+        if now >= self.body.not_after {
+            return Err(CryptoError::Expired { not_after: self.body.not_after, now });
+        }
+        if self.body.issuer != self.user_cert.body.subject {
+            return Err(CryptoError::InvalidCertificate(
+                "proxy issuer does not match user subject".into(),
+            ));
+        }
+        if self.body.subject.base_identity() != self.user_cert.body.subject.base_identity() {
+            return Err(CryptoError::InvalidCertificate(
+                "proxy subject not derived from user subject".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The Grid-wide identity this proxy speaks for.
+    pub fn grid_identity(&self) -> SubjectName {
+        self.user_cert.body.subject.clone()
+    }
+}
+
+/// A certificate authority: a signing identity plus issuance bookkeeping.
+pub struct CertificateAuthority {
+    identity: SigningIdentity,
+    name: SubjectName,
+    next_serial: std::sync::atomic::AtomicU64,
+}
+
+impl CertificateAuthority {
+    /// Creates a CA around an existing signing identity.
+    pub fn new(name: SubjectName, identity: SigningIdentity) -> Self {
+        CertificateAuthority {
+            identity,
+            name,
+            next_serial: std::sync::atomic::AtomicU64::new(1),
+        }
+    }
+
+    /// The CA's distinguished name.
+    pub fn name(&self) -> &SubjectName {
+        &self.name
+    }
+
+    /// The key relying parties pin.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.identity.verifying_key()
+    }
+
+    /// Issues a certificate binding `subject` to `subject_key` for
+    /// `[not_before, not_after)`.
+    pub fn issue(
+        &self,
+        subject: SubjectName,
+        subject_key: VerifyingKey,
+        not_before: u64,
+        not_after: u64,
+    ) -> Result<Certificate, CryptoError> {
+        if not_after <= not_before {
+            return Err(CryptoError::InvalidCertificate(
+                "empty validity window".into(),
+            ));
+        }
+        let serial = self
+            .next_serial
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let body = CertificateBody {
+            subject,
+            issuer: self.name.clone(),
+            subject_key,
+            not_before,
+            not_after,
+            serial,
+        };
+        let signature = self.identity.sign(&body.to_bytes())?;
+        Ok(Certificate { body, signature })
+    }
+}
+
+/// Creates a proxy certificate: the user signs a short-lived key of their
+/// own (paper: "A user proxy is a certificate signed by the user").
+pub fn create_proxy(
+    user_identity: &SigningIdentity,
+    user_cert: &Certificate,
+    proxy_key: VerifyingKey,
+    not_before: u64,
+    not_after: u64,
+    delegation_depth: u8,
+) -> Result<ProxyCertificate, CryptoError> {
+    if not_after <= not_before {
+        return Err(CryptoError::InvalidCertificate("empty proxy validity".into()));
+    }
+    let body = CertificateBody {
+        subject: user_cert.body.subject.proxy_name(),
+        issuer: user_cert.body.subject.clone(),
+        subject_key: proxy_key,
+        not_before,
+        not_after,
+        serial: 0,
+    };
+    let signature = user_identity.sign(&body.to_bytes())?;
+    Ok(ProxyCertificate {
+        body,
+        signature,
+        user_cert: user_cert.clone(),
+        delegation_depth,
+    })
+}
+
+/// Canonical helper: hashes arbitrary bytes into a DN-safe token, used to
+/// generate unique CNs for template accounts and machine identities.
+pub fn dn_token(input: &[u8]) -> String {
+    let mut h = Sha256::new();
+    h.update(input);
+    let d = h.finalize();
+    d.to_hex()[..DIGEST_LEN / 2].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyMaterial;
+
+    fn ca() -> CertificateAuthority {
+        let id = SigningIdentity::generate_small(KeyMaterial { seed: 100 }, "ca");
+        CertificateAuthority::new(SubjectName::new("GridBank", "CA", "Root"), id)
+    }
+
+    fn user(seed: u64, cn: &str) -> (SigningIdentity, SubjectName) {
+        let id = SigningIdentity::generate_small(KeyMaterial { seed }, cn);
+        (id, SubjectName::new("UWA", "CSSE", cn))
+    }
+
+    #[test]
+    fn subject_name_components() {
+        let dn = SubjectName::new("UWA", "CSSE", "alice");
+        assert_eq!(dn.0, "/O=UWA/OU=CSSE/CN=alice");
+        assert_eq!(dn.common_name(), Some("alice"));
+        assert_eq!(dn.organization(), Some("UWA"));
+        assert!(!dn.is_proxy());
+        let p = dn.proxy_name();
+        assert!(p.is_proxy());
+        assert_eq!(p.base_identity(), dn);
+        assert_eq!(p.proxy_name().base_identity(), dn);
+    }
+
+    #[test]
+    fn issue_and_verify_certificate() {
+        let ca = ca();
+        let (alice, dn) = user(1, "alice");
+        let cert = ca.issue(dn.clone(), alice.verifying_key(), 10, 100).unwrap();
+        cert.verify(&ca.verifying_key(), 50).unwrap();
+        assert_eq!(cert.body.subject, dn);
+        assert_eq!(cert.body.serial, 1);
+        let cert2 = ca.issue(dn, alice.verifying_key(), 10, 100).unwrap();
+        assert_eq!(cert2.body.serial, 2);
+    }
+
+    #[test]
+    fn expiry_and_not_yet_valid() {
+        let ca = ca();
+        let (alice, dn) = user(1, "alice");
+        let cert = ca.issue(dn, alice.verifying_key(), 10, 100).unwrap();
+        assert!(matches!(cert.verify(&ca.verifying_key(), 5), Err(CryptoError::InvalidCertificate(_))));
+        assert!(matches!(
+            cert.verify(&ca.verifying_key(), 100),
+            Err(CryptoError::Expired { not_after: 100, now: 100 })
+        ));
+        assert!(ca.issue(SubjectName::new("x", "y", "z"), alice.verifying_key(), 5, 5).is_err());
+    }
+
+    #[test]
+    fn wrong_ca_key_rejected() {
+        let ca1 = ca();
+        let id2 = SigningIdentity::generate_small(KeyMaterial { seed: 999 }, "ca2");
+        let ca2 = CertificateAuthority::new(SubjectName::new("Other", "CA", "Root"), id2);
+        let (alice, dn) = user(1, "alice");
+        let cert = ca1.issue(dn, alice.verifying_key(), 0, 100).unwrap();
+        assert!(cert.verify(&ca2.verifying_key(), 50).is_err());
+    }
+
+    #[test]
+    fn tampered_body_rejected() {
+        let ca = ca();
+        let (alice, dn) = user(1, "alice");
+        let mut cert = ca.issue(dn, alice.verifying_key(), 0, 100).unwrap();
+        cert.body.not_after = 1_000_000; // try to extend validity
+        assert!(cert.verify(&ca.verifying_key(), 50).is_err());
+    }
+
+    #[test]
+    fn proxy_chain_verifies() {
+        let ca = ca();
+        let (alice, dn) = user(1, "alice");
+        let cert = ca.issue(dn.clone(), alice.verifying_key(), 0, 1000).unwrap();
+        let proxy_id = SigningIdentity::generate_small(KeyMaterial { seed: 2 }, "alice-proxy");
+        let proxy =
+            create_proxy(&alice, &cert, proxy_id.verifying_key(), 0, 100, 1).unwrap();
+        proxy.verify_chain(&ca.verifying_key(), 50).unwrap();
+        assert_eq!(proxy.grid_identity(), dn);
+        assert!(proxy.body.subject.is_proxy());
+    }
+
+    #[test]
+    fn proxy_expires_independently_of_user_cert() {
+        let ca = ca();
+        let (alice, dn) = user(1, "alice");
+        let cert = ca.issue(dn, alice.verifying_key(), 0, 1000).unwrap();
+        let proxy_id = SigningIdentity::generate_small(KeyMaterial { seed: 2 }, "p");
+        let proxy = create_proxy(&alice, &cert, proxy_id.verifying_key(), 0, 100, 0).unwrap();
+        assert!(matches!(
+            proxy.verify_chain(&ca.verifying_key(), 100),
+            Err(CryptoError::Expired { .. })
+        ));
+    }
+
+    #[test]
+    fn proxy_signed_by_other_user_rejected() {
+        let ca = ca();
+        let (alice, dn_a) = user(1, "alice");
+        let (mallory, _dn_m) = user(66, "mallory");
+        let cert_a = ca.issue(dn_a, alice.verifying_key(), 0, 1000).unwrap();
+        let proxy_id = SigningIdentity::generate_small(KeyMaterial { seed: 3 }, "p");
+        // Mallory signs a proxy claiming to be derived from Alice's cert.
+        let forged =
+            create_proxy(&mallory, &cert_a, proxy_id.verifying_key(), 0, 100, 0).unwrap();
+        assert!(forged.verify_chain(&ca.verifying_key(), 50).is_err());
+    }
+
+    #[test]
+    fn dn_token_is_stable_and_distinct() {
+        assert_eq!(dn_token(b"node-1"), dn_token(b"node-1"));
+        assert_ne!(dn_token(b"node-1"), dn_token(b"node-2"));
+        assert_eq!(dn_token(b"x").len(), 16);
+    }
+}

@@ -1,0 +1,170 @@
+//! High-level key types: [`SigningIdentity`] / [`VerifyingKey`].
+//!
+//! These wrap the Merkle signature scheme behind the interface the rest of
+//! the workspace uses: generate from a seed, sign bytes, verify bytes.
+
+use parking_lot_free::Mutex;
+
+use crate::error::CryptoError;
+use crate::merkle::{verify_merkle, MerkleSignature, MerkleSigner};
+use crate::rng::DeterministicStream;
+use crate::sha256::Digest;
+
+/// Minimal internal mutex shim so this crate stays dependency-free.
+/// (`std::sync::Mutex` with poisoning folded away.)
+mod parking_lot_free {
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+    impl<T> Mutex<T> {
+        pub fn new(v: T) -> Self {
+            Mutex(std::sync::Mutex::new(v))
+        }
+        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+            self.0.lock().unwrap_or_else(|p| p.into_inner())
+        }
+    }
+}
+
+/// Default tree height: 2^10 = 1024 signatures per identity, enough for any
+/// scenario in the test/bench suite while keeping keygen ~quarter-second.
+pub const DEFAULT_HEIGHT: usize = 10;
+
+/// Seed material for deterministic identity generation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeyMaterial {
+    /// Master seed; independent identities should use distinct labels.
+    pub seed: u64,
+}
+
+/// The public half of an identity: the Merkle root digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VerifyingKey(pub Digest);
+
+impl VerifyingKey {
+    /// Verifies `sig` over `message`.
+    pub fn verify(&self, message: &[u8], sig: &MerkleSignature) -> Result<(), CryptoError> {
+        verify_merkle(&self.0, message, sig)
+    }
+
+    /// Stable hex fingerprint, used in subject bindings and logs.
+    pub fn fingerprint(&self) -> String {
+        self.0.short()
+    }
+}
+
+impl std::fmt::Debug for VerifyingKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VerifyingKey({})", self.fingerprint())
+    }
+}
+
+/// A long-lived signing identity (interior-mutable: signing consumes
+/// one-time leaves, but callers hold `&self`).
+pub struct SigningIdentity {
+    signer: Mutex<MerkleSigner>,
+    public: VerifyingKey,
+}
+
+impl SigningIdentity {
+    /// Generates an identity with `2^height` signatures from seed+label.
+    pub fn generate_with_height(material: KeyMaterial, label: &str, height: usize) -> Self {
+        let stream = DeterministicStream::from_u64(material.seed, label.as_bytes());
+        let signer = MerkleSigner::generate(&stream, height);
+        let public = VerifyingKey(signer.public_root());
+        SigningIdentity { signer: Mutex::new(signer), public }
+    }
+
+    /// Generates an identity with the [`DEFAULT_HEIGHT`] capacity.
+    pub fn generate(material: KeyMaterial, label: &str) -> Self {
+        Self::generate_with_height(material, label, DEFAULT_HEIGHT)
+    }
+
+    /// A small identity (2^4 = 16 signatures) for fast unit tests.
+    pub fn generate_small(material: KeyMaterial, label: &str) -> Self {
+        Self::generate_with_height(material, label, 4)
+    }
+
+    /// The public verifying key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.public
+    }
+
+    /// Signs a message, consuming one one-time leaf.
+    pub fn sign(&self, message: &[u8]) -> Result<MerkleSignature, CryptoError> {
+        self.signer.lock().sign(message)
+    }
+
+    /// Remaining signature capacity.
+    pub fn remaining(&self) -> usize {
+        self.signer.lock().remaining()
+    }
+}
+
+impl std::fmt::Debug for SigningIdentity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SigningIdentity(pub={})", self.public.fingerprint())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_round_trip() {
+        let id = SigningIdentity::generate_small(KeyMaterial { seed: 1 }, "user/alice");
+        let vk = id.verifying_key();
+        let sig = id.sign(b"hello grid").unwrap();
+        vk.verify(b"hello grid", &sig).unwrap();
+        assert!(vk.verify(b"hello grid!", &sig).is_err());
+    }
+
+    #[test]
+    fn identities_are_label_distinct() {
+        let a = SigningIdentity::generate_small(KeyMaterial { seed: 1 }, "a");
+        let b = SigningIdentity::generate_small(KeyMaterial { seed: 1 }, "b");
+        let a2 = SigningIdentity::generate_small(KeyMaterial { seed: 1 }, "a");
+        assert_ne!(a.verifying_key().0, b.verifying_key().0);
+        assert_eq!(a.verifying_key().0, a2.verifying_key().0);
+    }
+
+    #[test]
+    fn capacity_decreases_and_exhausts() {
+        let id = SigningIdentity::generate_with_height(KeyMaterial { seed: 3 }, "x", 2);
+        assert_eq!(id.remaining(), 4);
+        for _ in 0..4 {
+            id.sign(b"m").unwrap();
+        }
+        assert_eq!(id.remaining(), 0);
+        assert!(matches!(id.sign(b"m"), Err(CryptoError::IdentityExhausted { .. })));
+    }
+
+    #[test]
+    fn concurrent_signing_is_safe() {
+        let id = std::sync::Arc::new(SigningIdentity::generate_with_height(
+            KeyMaterial { seed: 9 },
+            "conc",
+            5,
+        ));
+        let vk = id.verifying_key();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let id = id.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut sigs = Vec::new();
+                for i in 0..8 {
+                    let msg = format!("t{t}m{i}");
+                    sigs.push((msg.clone(), id.sign(msg.as_bytes()).unwrap()));
+                }
+                sigs
+            }));
+        }
+        let mut indices = std::collections::HashSet::new();
+        for h in handles {
+            for (msg, sig) in h.join().unwrap() {
+                vk.verify(msg.as_bytes(), &sig).unwrap();
+                assert!(indices.insert(sig.leaf_index), "leaf reused across threads");
+            }
+        }
+        assert_eq!(indices.len(), 32);
+    }
+}

@@ -1,0 +1,259 @@
+//! Lamport one-time signatures over SHA-256.
+//!
+//! A Lamport key signs exactly one message (signing a second message leaks
+//! enough secrets to forge). [`crate::merkle`] lifts these one-time keys
+//! into the multi-use Merkle signature scheme used for certificates and
+//! cheque signing.
+//!
+//! Layout: the secret key is 256 pairs of 32-byte values, one pair per bit
+//! of the message digest. The public key is the per-value SHA-256 images;
+//! the *compact* public key committed in certificates and Merkle leaves is
+//! the hash of all 512 images. A signature reveals one secret per digest
+//! bit and carries the 256 complementary images so the verifier can
+//! reconstruct and re-hash the full public key.
+
+use crate::error::CryptoError;
+use crate::rng::DeterministicStream;
+use crate::sha256::{sha256, Digest, Sha256, DIGEST_LEN};
+
+/// Number of message-digest bits, and thus secret pairs.
+pub const BITS: usize = DIGEST_LEN * 8;
+
+/// A Lamport one-time secret key.
+#[derive(Clone)]
+pub struct OneTimeSecretKey {
+    /// `secrets[b][i]` signs bit `i` when that bit equals `b`.
+    secrets: Box<[[Digest; BITS]; 2]>,
+    used: bool,
+}
+
+/// The compact public key: SHA-256 over all 512 public images.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct OneTimePublicKey(pub Digest);
+
+/// A Lamport signature: the revealed secrets plus complementary images.
+#[derive(Clone, PartialEq, Eq)]
+pub struct OneTimeSignature {
+    /// For each digest bit: the revealed preimage for the bit's value.
+    pub revealed: Box<[Digest; BITS]>,
+    /// For each digest bit: the public image of the *other* value.
+    pub complement: Box<[Digest; BITS]>,
+}
+
+impl OneTimeSignature {
+    /// Serialized size in bytes (fixed).
+    pub const ENCODED_LEN: usize = 2 * BITS * DIGEST_LEN;
+
+    /// Flat byte encoding: revealed then complement.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::ENCODED_LEN);
+        for d in self.revealed.iter().chain(self.complement.iter()) {
+            out.extend_from_slice(d.as_bytes());
+        }
+        out
+    }
+
+    /// Parses the flat encoding produced by [`Self::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        if bytes.len() != Self::ENCODED_LEN {
+            return Err(CryptoError::Malformed(format!(
+                "lamport signature must be {} bytes, got {}",
+                Self::ENCODED_LEN,
+                bytes.len()
+            )));
+        }
+        let mut revealed = Box::new([Digest::ZERO; BITS]);
+        let mut complement = Box::new([Digest::ZERO; BITS]);
+        for i in 0..BITS {
+            let mut d = [0u8; DIGEST_LEN];
+            d.copy_from_slice(&bytes[i * DIGEST_LEN..(i + 1) * DIGEST_LEN]);
+            revealed[i] = Digest(d);
+        }
+        for i in 0..BITS {
+            let off = (BITS + i) * DIGEST_LEN;
+            let mut d = [0u8; DIGEST_LEN];
+            d.copy_from_slice(&bytes[off..off + DIGEST_LEN]);
+            complement[i] = Digest(d);
+        }
+        Ok(OneTimeSignature { revealed, complement })
+    }
+}
+
+impl std::fmt::Debug for OneTimeSignature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "OneTimeSignature({} bytes)", Self::ENCODED_LEN)
+    }
+}
+
+#[inline]
+fn bit_of(digest: &Digest, i: usize) -> usize {
+    ((digest.0[i / 8] >> (7 - (i % 8))) & 1) as usize
+}
+
+/// Hashes all 512 public images into the compact public key.
+fn compact(images: &[[Digest; BITS]; 2]) -> OneTimePublicKey {
+    let mut h = Sha256::new();
+    for side in images {
+        for img in side {
+            h.update(img.as_bytes());
+        }
+    }
+    OneTimePublicKey(h.finalize())
+}
+
+impl OneTimeSecretKey {
+    /// Derives a key pair deterministically from a stream.
+    pub fn generate(stream: &mut DeterministicStream) -> (OneTimeSecretKey, OneTimePublicKey) {
+        let mut secrets = Box::new([[Digest::ZERO; BITS]; 2]);
+        for side in secrets.iter_mut() {
+            for slot in side.iter_mut() {
+                *slot = stream.next_digest();
+            }
+        }
+        let mut images = Box::new([[Digest::ZERO; BITS]; 2]);
+        for (s_side, i_side) in secrets.iter().zip(images.iter_mut()) {
+            for (s, img) in s_side.iter().zip(i_side.iter_mut()) {
+                *img = sha256(s.as_bytes());
+            }
+        }
+        let pk = compact(&images);
+        (OneTimeSecretKey { secrets, used: false }, pk)
+    }
+
+    /// Signs `message` (hashed internally). Fails on second use.
+    pub fn sign(&mut self, message: &[u8]) -> Result<OneTimeSignature, CryptoError> {
+        if self.used {
+            return Err(CryptoError::OneTimeKeyReused);
+        }
+        self.used = true;
+        Ok(self.sign_digest(&sha256(message)))
+    }
+
+    /// Signs a precomputed digest without the reuse guard; callers such as
+    /// the Merkle scheme enforce one-time use structurally.
+    pub(crate) fn sign_digest(&self, digest: &Digest) -> OneTimeSignature {
+        let mut revealed = Box::new([Digest::ZERO; BITS]);
+        let mut complement = Box::new([Digest::ZERO; BITS]);
+        for i in 0..BITS {
+            let b = bit_of(digest, i);
+            revealed[i] = self.secrets[b][i];
+            complement[i] = sha256(self.secrets[1 - b][i].as_bytes());
+        }
+        OneTimeSignature { revealed, complement }
+    }
+}
+
+/// Verifies a one-time signature on `message` against a compact public key.
+pub fn verify(
+    pk: &OneTimePublicKey,
+    message: &[u8],
+    sig: &OneTimeSignature,
+) -> Result<(), CryptoError> {
+    verify_digest(pk, &sha256(message), sig)
+}
+
+/// Verifies a one-time signature on a precomputed digest.
+pub fn verify_digest(
+    pk: &OneTimePublicKey,
+    digest: &Digest,
+    sig: &OneTimeSignature,
+) -> Result<(), CryptoError> {
+    // Reconstruct the full image table, then compare compact keys.
+    let mut images = Box::new([[Digest::ZERO; BITS]; 2]);
+    for i in 0..BITS {
+        let b = bit_of(digest, i);
+        images[b][i] = sha256(sig.revealed[i].as_bytes());
+        images[1 - b][i] = sig.complement[i];
+    }
+    if compact(&images) == *pk {
+        Ok(())
+    } else {
+        Err(CryptoError::BadSignature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream() -> DeterministicStream {
+        DeterministicStream::from_u64(0xD00D, b"lamport-test")
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let (mut sk, pk) = OneTimeSecretKey::generate(&mut stream());
+        let sig = sk.sign(b"pay 10 G$ to gsp-alpha").unwrap();
+        verify(&pk, b"pay 10 G$ to gsp-alpha", &sig).unwrap();
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let (mut sk, pk) = OneTimeSecretKey::generate(&mut stream());
+        let sig = sk.sign(b"pay 10").unwrap();
+        assert_eq!(verify(&pk, b"pay 11", &sig), Err(CryptoError::BadSignature));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut s = stream();
+        let (mut sk, _pk) = OneTimeSecretKey::generate(&mut s);
+        let (_sk2, pk2) = OneTimeSecretKey::generate(&mut s);
+        let sig = sk.sign(b"msg").unwrap();
+        assert_eq!(verify(&pk2, b"msg", &sig), Err(CryptoError::BadSignature));
+    }
+
+    #[test]
+    fn reuse_is_refused() {
+        let (mut sk, _pk) = OneTimeSecretKey::generate(&mut stream());
+        sk.sign(b"first").unwrap();
+        assert_eq!(sk.sign(b"second"), Err(CryptoError::OneTimeKeyReused));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let (mut sk, pk) = OneTimeSecretKey::generate(&mut stream());
+        let mut sig = sk.sign(b"msg").unwrap();
+        sig.revealed[17].0[0] ^= 0xFF;
+        assert_eq!(verify(&pk, b"msg", &sig), Err(CryptoError::BadSignature));
+
+        let (mut sk2, pk2) = OneTimeSecretKey::generate(&mut stream());
+        let mut sig2 = sk2.sign(b"msg").unwrap();
+        sig2.complement[255].0[31] ^= 0x01;
+        assert_eq!(verify(&pk2, b"msg", &sig2), Err(CryptoError::BadSignature));
+    }
+
+    #[test]
+    fn signature_encoding_round_trip() {
+        let (mut sk, pk) = OneTimeSecretKey::generate(&mut stream());
+        let sig = sk.sign(b"encode me").unwrap();
+        let bytes = sig.to_bytes();
+        assert_eq!(bytes.len(), OneTimeSignature::ENCODED_LEN);
+        let back = OneTimeSignature::from_bytes(&bytes).unwrap();
+        assert_eq!(back, sig);
+        verify(&pk, b"encode me", &back).unwrap();
+        assert!(OneTimeSignature::from_bytes(&bytes[1..]).is_err());
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let (_a_sk, a_pk) = OneTimeSecretKey::generate(&mut stream());
+        let (_b_sk, b_pk) = OneTimeSecretKey::generate(&mut stream());
+        assert_eq!(a_pk, b_pk);
+        let mut other = DeterministicStream::from_u64(0xD00D, b"other-label");
+        let (_c_sk, c_pk) = OneTimeSecretKey::generate(&mut other);
+        assert_ne!(a_pk, c_pk);
+    }
+
+    #[test]
+    fn bit_extraction_is_msb_first() {
+        let mut d = Digest::ZERO;
+        d.0[0] = 0b1000_0000;
+        assert_eq!(bit_of(&d, 0), 1);
+        assert_eq!(bit_of(&d, 1), 0);
+        let mut d2 = Digest::ZERO;
+        d2.0[31] = 0b0000_0001;
+        assert_eq!(bit_of(&d2, 255), 1);
+        assert_eq!(bit_of(&d2, 254), 0);
+    }
+}

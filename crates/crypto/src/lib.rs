@@ -1,0 +1,60 @@
+//! # gridbank-crypto
+//!
+//! Cryptographic substrate for the GridBank reproduction, replacing the
+//! Globus Security Infrastructure (GSI) that the paper builds on.
+//!
+//! The paper relies on GSI for four things:
+//!
+//! 1. **Identity** — X.509v3 certificates whose subject names are the
+//!    Grid-wide unique client identifiers stored in GridBank accounts.
+//! 2. **Single sign-on** — short-lived *proxy certificates* signed by the
+//!    user's long-term key, so the user's passphrase is entered once.
+//! 3. **Mutual authentication** — both ends of a connection prove control of
+//!    their certified keys before any bank message flows.
+//! 4. **Non-repudiation** — usage records and charge calculations are signed
+//!    by the GSP so disputes can be settled.
+//!
+//! This crate provides all four from scratch, with no external crypto
+//! dependencies:
+//!
+//! * [`sha256`] — FIPS 180-4 SHA-256, the only primitive everything else is
+//!   built from (PayWord hash chains in `gridbank-core` use it directly).
+//! * [`hmac`] — HMAC-SHA256 and a simple HKDF-style key derivation.
+//! * [`lamport`] — Lamport one-time signatures.
+//! * [`merkle`] — Merkle trees and the Merkle signature scheme (MSS), turning
+//!   one-time Lamport keys into a multi-use signing identity.
+//! * [`keys`] — seeded key generation and the [`keys::SigningIdentity`] type.
+//! * [`cert`] — certificates, certificate authorities, proxy certificates and
+//!   chain validation.
+//! * [`rng`] — a deterministic SHA-256 counter-mode stream used wherever
+//!   reproducible randomness is required.
+//!
+//! The schemes are real (unforgeable under standard hash assumptions), small
+//! enough to audit, and deterministic under seeded RNGs, which the
+//! simulation-driven experiments require. They are **not** constant-time and
+//! are not intended for production use outside this reproduction.
+
+pub mod cert;
+pub mod error;
+pub mod hmac;
+pub mod keys;
+pub mod lamport;
+pub mod merkle;
+pub mod rng;
+pub mod sha256;
+
+pub use cert::{Certificate, CertificateAuthority, CertificateBody, ProxyCertificate, SubjectName};
+pub use error::CryptoError;
+pub use hmac::{hkdf_expand, hmac_sha256};
+pub use keys::{KeyMaterial, SigningIdentity, VerifyingKey};
+pub use merkle::{MerkleSignature, MerkleTree};
+pub use rng::DeterministicStream;
+pub use sha256::{sha256, Digest, Sha256, DIGEST_LEN};
+
+/// Convenience prelude for downstream crates.
+pub mod prelude {
+    pub use crate::cert::{Certificate, CertificateAuthority, ProxyCertificate, SubjectName};
+    pub use crate::error::CryptoError;
+    pub use crate::keys::{SigningIdentity, VerifyingKey};
+    pub use crate::sha256::{sha256, Digest};
+}

@@ -1,0 +1,432 @@
+//! Merkle trees and the Merkle signature scheme (MSS).
+//!
+//! MSS turns `2^h` Lamport one-time keys into a single long-lived identity:
+//! the public key is the Merkle root over the compact one-time public keys,
+//! and each signature carries the one-time signature, the leaf public key,
+//! the leaf index, and the authentication path up to the root.
+//!
+//! The tree is also reused on its own (without signatures) by the PayWord
+//! module in `gridbank-core` for batched commitment of hash-chain roots.
+
+use crate::error::CryptoError;
+use crate::lamport::{self, OneTimePublicKey, OneTimeSecretKey, OneTimeSignature};
+use crate::rng::DeterministicStream;
+use crate::sha256::{sha256_concat, Digest};
+
+/// Domain-separation prefixes so leaves can never be confused with nodes.
+const LEAF_PREFIX: &[u8] = b"\x00gridbank-leaf";
+const NODE_PREFIX: &[u8] = b"\x01gridbank-node";
+
+/// Hashes a leaf payload into the tree's leaf digest.
+pub fn leaf_hash(payload: &[u8]) -> Digest {
+    sha256_concat(&[LEAF_PREFIX, payload])
+}
+
+/// Hashes two child digests into their parent.
+pub fn node_hash(left: &Digest, right: &Digest) -> Digest {
+    sha256_concat(&[NODE_PREFIX, left.as_bytes(), right.as_bytes()])
+}
+
+/// A complete binary Merkle tree over pre-hashed leaves.
+///
+/// Leaf count is padded to the next power of two by repeating the last
+/// leaf digest, a standard construction that keeps auth paths uniform.
+#[derive(Clone, Debug)]
+pub struct MerkleTree {
+    /// `levels[0]` = leaves (padded), last level = `[root]`.
+    levels: Vec<Vec<Digest>>,
+    real_leaves: usize,
+}
+
+/// One sibling digest per tree level, bottom-up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuthPath {
+    /// Leaf index the path authenticates.
+    pub index: usize,
+    /// Sibling digests from leaf level to just below the root.
+    pub siblings: Vec<Digest>,
+}
+
+impl MerkleTree {
+    /// Builds a tree over already-hashed leaf digests.
+    ///
+    /// Panics if `leaves` is empty (an empty commitment is meaningless).
+    pub fn from_leaf_digests(leaves: &[Digest]) -> Self {
+        assert!(!leaves.is_empty(), "Merkle tree needs at least one leaf");
+        let real_leaves = leaves.len();
+        let width = real_leaves.next_power_of_two();
+        let mut level: Vec<Digest> = Vec::with_capacity(width);
+        level.extend_from_slice(leaves);
+        let pad = *leaves.last().expect("nonempty");
+        level.resize(width, pad);
+
+        let mut levels = vec![level];
+        while levels.last().expect("nonempty").len() > 1 {
+            let prev = levels.last().expect("nonempty");
+            let mut next = Vec::with_capacity(prev.len() / 2);
+            for pair in prev.chunks_exact(2) {
+                next.push(node_hash(&pair[0], &pair[1]));
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels, real_leaves }
+    }
+
+    /// Builds a tree by hashing raw leaf payloads first.
+    pub fn from_payloads<T: AsRef<[u8]>>(payloads: &[T]) -> Self {
+        let leaves: Vec<Digest> = payloads.iter().map(|p| leaf_hash(p.as_ref())).collect();
+        Self::from_leaf_digests(&leaves)
+    }
+
+    /// The committed root.
+    pub fn root(&self) -> Digest {
+        self.levels.last().expect("nonempty")[0]
+    }
+
+    /// Number of real (unpadded) leaves.
+    pub fn len(&self) -> usize {
+        self.real_leaves
+    }
+
+    /// True if the tree has exactly one real leaf.
+    pub fn is_empty(&self) -> bool {
+        false // constructor forbids empty trees; method exists for clippy symmetry
+    }
+
+    /// Tree height (number of levels above the leaves).
+    pub fn height(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// Authentication path for leaf `index`.
+    pub fn auth_path(&self, index: usize) -> Option<AuthPath> {
+        if index >= self.real_leaves {
+            return None;
+        }
+        let mut siblings = Vec::with_capacity(self.height());
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            siblings.push(level[idx ^ 1]);
+            idx >>= 1;
+        }
+        Some(AuthPath { index, siblings })
+    }
+}
+
+/// Recomputes a root from a leaf digest and an auth path.
+pub fn root_from_path(leaf: &Digest, path: &AuthPath) -> Digest {
+    let mut acc = *leaf;
+    let mut idx = path.index;
+    for sib in &path.siblings {
+        acc = if idx & 1 == 0 { node_hash(&acc, sib) } else { node_hash(sib, &acc) };
+        idx >>= 1;
+    }
+    acc
+}
+
+/// Verifies that `leaf` sits at `path.index` under `root`.
+pub fn verify_path(root: &Digest, leaf: &Digest, path: &AuthPath) -> Result<(), CryptoError> {
+    if root_from_path(leaf, path) == *root {
+        Ok(())
+    } else {
+        Err(CryptoError::BadAuthPath)
+    }
+}
+
+/// A multi-use Merkle (MSS) signature.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MerkleSignature {
+    /// Index of the one-time key used.
+    pub leaf_index: usize,
+    /// The one-time Lamport signature.
+    pub ots: OneTimeSignature,
+    /// Compact public key of the one-time key (the leaf payload).
+    pub leaf_pk: OneTimePublicKey,
+    /// Path authenticating `leaf_pk` under the identity's root.
+    pub path: AuthPath,
+}
+
+impl MerkleSignature {
+    /// Approximate encoded size in bytes (used by the security bench E13).
+    pub fn encoded_len(&self) -> usize {
+        8 + OneTimeSignature::ENCODED_LEN + 32 + self.path.siblings.len() * 32
+    }
+
+    /// Canonical byte encoding, for embedding signatures in wire messages
+    /// and stored instruments.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len() + 16);
+        out.extend_from_slice(&(self.leaf_index as u64).to_be_bytes());
+        out.extend_from_slice(&self.ots.to_bytes());
+        out.extend_from_slice(self.leaf_pk.0.as_bytes());
+        out.extend_from_slice(&(self.path.index as u64).to_be_bytes());
+        out.extend_from_slice(&(self.path.siblings.len() as u64).to_be_bytes());
+        for s in &self.path.siblings {
+            out.extend_from_slice(s.as_bytes());
+        }
+        out
+    }
+
+    /// Parses the [`Self::to_bytes`] encoding; the input must be exact.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        fn take<'a>(b: &mut &'a [u8], n: usize) -> Result<&'a [u8], CryptoError> {
+            if b.len() < n {
+                return Err(CryptoError::Malformed("signature truncated".into()));
+            }
+            let (head, rest) = b.split_at(n);
+            *b = rest;
+            Ok(head)
+        }
+        fn take_u64(b: &mut &[u8]) -> Result<u64, CryptoError> {
+            let s = take(b, 8)?;
+            let mut a = [0u8; 8];
+            a.copy_from_slice(s);
+            Ok(u64::from_be_bytes(a))
+        }
+        fn take_digest(b: &mut &[u8]) -> Result<Digest, CryptoError> {
+            let s = take(b, 32)?;
+            let mut a = [0u8; 32];
+            a.copy_from_slice(s);
+            Ok(Digest(a))
+        }
+        let mut b = bytes;
+        let leaf_index = take_u64(&mut b)? as usize;
+        let ots = OneTimeSignature::from_bytes(take(&mut b, OneTimeSignature::ENCODED_LEN)?)?;
+        let leaf_pk = OneTimePublicKey(take_digest(&mut b)?);
+        let path_index = take_u64(&mut b)? as usize;
+        let n = take_u64(&mut b)? as usize;
+        if n > 64 {
+            return Err(CryptoError::Malformed(format!("auth path depth {n}")));
+        }
+        let mut siblings = Vec::with_capacity(n);
+        for _ in 0..n {
+            siblings.push(take_digest(&mut b)?);
+        }
+        if !b.is_empty() {
+            return Err(CryptoError::Malformed(format!(
+                "{} trailing bytes after signature",
+                b.len()
+            )));
+        }
+        Ok(MerkleSignature {
+            leaf_index,
+            ots,
+            leaf_pk,
+            path: AuthPath { index: path_index, siblings },
+        })
+    }
+}
+
+/// The signing half of an MSS identity. Holds the seed; one-time secret
+/// keys are re-derived on demand, so memory stays proportional to the
+/// number of leaves' *public* hashes only.
+pub struct MerkleSigner {
+    stream_root: DeterministicStream,
+    tree: MerkleTree,
+    leaf_pks: Vec<OneTimePublicKey>,
+    next_leaf: usize,
+}
+
+impl MerkleSigner {
+    /// Generates an identity with `2^height` one-time keys.
+    pub fn generate(stream: &DeterministicStream, height: usize) -> Self {
+        let count = 1usize << height;
+        let mut leaf_pks = Vec::with_capacity(count);
+        for i in 0..count {
+            let mut leaf_stream = stream.child(format!("ots-{i}").as_bytes());
+            let (_sk, pk) = OneTimeSecretKey::generate(&mut leaf_stream);
+            leaf_pks.push(pk);
+        }
+        let leaves: Vec<Digest> = leaf_pks.iter().map(|pk| leaf_hash(pk.0.as_bytes())).collect();
+        let tree = MerkleTree::from_leaf_digests(&leaves);
+        MerkleSigner { stream_root: stream.clone(), tree, leaf_pks, next_leaf: 0 }
+    }
+
+    /// The public key: the Merkle root.
+    pub fn public_root(&self) -> Digest {
+        self.tree.root()
+    }
+
+    /// Total signature capacity.
+    pub fn capacity(&self) -> usize {
+        self.leaf_pks.len()
+    }
+
+    /// Signatures still available.
+    pub fn remaining(&self) -> usize {
+        self.capacity() - self.next_leaf
+    }
+
+    /// Signs a message, consuming one leaf.
+    pub fn sign(&mut self, message: &[u8]) -> Result<MerkleSignature, CryptoError> {
+        let idx = self.next_leaf;
+        if idx >= self.capacity() {
+            return Err(CryptoError::IdentityExhausted { capacity: self.capacity() });
+        }
+        self.next_leaf += 1;
+        let mut leaf_stream = self.stream_root.child(format!("ots-{idx}").as_bytes());
+        let (sk, pk) = OneTimeSecretKey::generate(&mut leaf_stream);
+        debug_assert_eq!(pk, self.leaf_pks[idx]);
+        let digest = crate::sha256::sha256(message);
+        let ots = sk.sign_digest(&digest);
+        let path = self.tree.auth_path(idx).expect("index in range");
+        Ok(MerkleSignature { leaf_index: idx, ots, leaf_pk: pk, path })
+    }
+}
+
+/// Verifies an MSS signature against an identity root.
+pub fn verify_merkle(
+    root: &Digest,
+    message: &[u8],
+    sig: &MerkleSignature,
+) -> Result<(), CryptoError> {
+    // 1. The one-time signature must verify under the claimed leaf key.
+    lamport::verify(&sig.leaf_pk, message, &sig.ots)?;
+    // 2. The leaf key must be committed under the identity root.
+    let leaf = leaf_hash(sig.leaf_pk.0.as_bytes());
+    if sig.path.index != sig.leaf_index {
+        return Err(CryptoError::BadAuthPath);
+    }
+    verify_path(root, &leaf, &sig.path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(label: &[u8]) -> DeterministicStream {
+        DeterministicStream::from_u64(0xBEEF, label)
+    }
+
+    #[test]
+    fn tree_roots_are_deterministic_and_leaf_sensitive() {
+        let a = MerkleTree::from_payloads(&[b"a".as_slice(), b"b", b"c"]);
+        let b = MerkleTree::from_payloads(&[b"a".as_slice(), b"b", b"c"]);
+        let c = MerkleTree::from_payloads(&[b"a".as_slice(), b"b", b"d"]);
+        assert_eq!(a.root(), b.root());
+        assert_ne!(a.root(), c.root());
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.height(), 2);
+    }
+
+    #[test]
+    fn auth_paths_verify_for_every_leaf() {
+        let payloads: Vec<Vec<u8>> = (0..13u8).map(|i| vec![i; 4]).collect();
+        let tree = MerkleTree::from_payloads(&payloads);
+        for (i, p) in payloads.iter().enumerate() {
+            let path = tree.auth_path(i).unwrap();
+            verify_path(&tree.root(), &leaf_hash(p), &path).unwrap();
+        }
+        assert!(tree.auth_path(13).is_none());
+    }
+
+    #[test]
+    fn wrong_leaf_or_index_fails() {
+        let tree = MerkleTree::from_payloads(&[b"x".as_slice(), b"y", b"z", b"w"]);
+        let path = tree.auth_path(1).unwrap();
+        assert!(verify_path(&tree.root(), &leaf_hash(b"not-y"), &path).is_err());
+        let mut moved = tree.auth_path(1).unwrap();
+        moved.index = 2;
+        assert!(verify_path(&tree.root(), &leaf_hash(b"y"), &moved).is_err());
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let tree = MerkleTree::from_payloads(&[b"only".as_slice()]);
+        assert_eq!(tree.height(), 0);
+        let path = tree.auth_path(0).unwrap();
+        assert!(path.siblings.is_empty());
+        verify_path(&tree.root(), &leaf_hash(b"only"), &path).unwrap();
+    }
+
+    #[test]
+    fn leaf_and_node_domains_are_separated() {
+        // A leaf over 64 bytes must not equal a node over two 32-byte digests.
+        let l = Digest::ZERO;
+        let r = Digest::ZERO;
+        let mut payload = Vec::new();
+        payload.extend_from_slice(l.as_bytes());
+        payload.extend_from_slice(r.as_bytes());
+        assert_ne!(leaf_hash(&payload), node_hash(&l, &r));
+    }
+
+    #[test]
+    fn mss_sign_verify_until_exhaustion() {
+        let mut signer = MerkleSigner::generate(&stream(b"mss"), 2);
+        let root = signer.public_root();
+        assert_eq!(signer.capacity(), 4);
+        for i in 0..4 {
+            let msg = format!("message {i}");
+            let sig = signer.sign(msg.as_bytes()).unwrap();
+            assert_eq!(sig.leaf_index, i);
+            verify_merkle(&root, msg.as_bytes(), &sig).unwrap();
+            // Cross-message verification must fail.
+            assert!(verify_merkle(&root, b"other", &sig).is_err());
+        }
+        assert_eq!(signer.remaining(), 0);
+        assert_eq!(
+            signer.sign(b"one too many"),
+            Err(CryptoError::IdentityExhausted { capacity: 4 })
+        );
+    }
+
+    #[test]
+    fn mss_rejects_cross_identity_signatures() {
+        let mut alice = MerkleSigner::generate(&stream(b"alice"), 2);
+        let bob = MerkleSigner::generate(&stream(b"bob"), 2);
+        let sig = alice.sign(b"msg").unwrap();
+        assert!(verify_merkle(&bob.public_root(), b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn mss_signature_tamper_rejected() {
+        let mut signer = MerkleSigner::generate(&stream(b"tamper"), 2);
+        let root = signer.public_root();
+        let mut sig = signer.sign(b"msg").unwrap();
+        sig.leaf_pk = OneTimePublicKey(crate::sha256::sha256(b"evil"));
+        assert!(verify_merkle(&root, b"msg", &sig).is_err());
+
+        let mut sig2 = signer.sign(b"msg").unwrap();
+        sig2.path.siblings[0] = Digest::ZERO;
+        assert!(verify_merkle(&root, b"msg", &sig2).is_err());
+
+        let mut sig3 = signer.sign(b"msg").unwrap();
+        sig3.leaf_index = sig3.leaf_index.wrapping_add(1);
+        assert!(verify_merkle(&root, b"msg", &sig3).is_err());
+    }
+
+    #[test]
+    fn mss_is_deterministic_per_seed() {
+        let a = MerkleSigner::generate(&stream(b"same"), 3);
+        let b = MerkleSigner::generate(&stream(b"same"), 3);
+        assert_eq!(a.public_root(), b.public_root());
+        let c = MerkleSigner::generate(&stream(b"diff"), 3);
+        assert_ne!(a.public_root(), c.public_root());
+    }
+
+    #[test]
+    fn signature_bytes_round_trip() {
+        let mut signer = MerkleSigner::generate(&stream(b"codec"), 3);
+        let root = signer.public_root();
+        let sig = signer.sign(b"message").unwrap();
+        let bytes = sig.to_bytes();
+        let back = MerkleSignature::from_bytes(&bytes).unwrap();
+        assert_eq!(back, sig);
+        verify_merkle(&root, b"message", &back).unwrap();
+        // Truncation and trailing garbage both fail.
+        assert!(MerkleSignature::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(MerkleSignature::from_bytes(&extended).is_err());
+    }
+
+    #[test]
+    fn encoded_len_reports_path_growth() {
+        let mut small = MerkleSigner::generate(&stream(b"s"), 1);
+        let mut big = MerkleSigner::generate(&stream(b"b"), 4);
+        let s = small.sign(b"m").unwrap();
+        let g = big.sign(b"m").unwrap();
+        assert!(g.encoded_len() > s.encoded_len());
+        assert_eq!(g.encoded_len() - s.encoded_len(), 3 * 32);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for the provider side.
+
+use std::fmt;
+
+use gridbank_core::BankError;
+use gridbank_rur::RurError;
+use gridbank_trade::TradeError;
+
+/// Errors from the GSP pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GspError {
+    /// The payment instrument failed validation.
+    PaymentRejected(String),
+    /// No template account was free within the wait budget.
+    PoolExhausted {
+        /// Configured pool size.
+        pool_size: usize,
+    },
+    /// grid-mapfile binding conflict.
+    Mapfile(String),
+    /// The agreed rates and the metered RUR do not conform.
+    Trade(TradeError),
+    /// Bank interaction failed.
+    Bank(BankError),
+    /// Metering/record failure.
+    Record(RurError),
+    /// The job specification is unserviceable on this provider.
+    Unserviceable(String),
+}
+
+impl fmt::Display for GspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GspError::PaymentRejected(why) => write!(f, "payment rejected: {why}"),
+            GspError::PoolExhausted { pool_size } => {
+                write!(f, "all {pool_size} template accounts busy")
+            }
+            GspError::Mapfile(why) => write!(f, "grid-mapfile: {why}"),
+            GspError::Trade(e) => write!(f, "trade: {e}"),
+            GspError::Bank(e) => write!(f, "bank: {e}"),
+            GspError::Record(e) => write!(f, "record: {e}"),
+            GspError::Unserviceable(why) => write!(f, "unserviceable job: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for GspError {}
+
+impl From<TradeError> for GspError {
+    fn from(e: TradeError) -> Self {
+        GspError::Trade(e)
+    }
+}
+
+impl From<BankError> for GspError {
+    fn from(e: BankError) -> Self {
+        GspError::Bank(e)
+    }
+}
+
+impl From<RurError> for GspError {
+    fn from(e: RurError) -> Self {
+        GspError::Record(e)
+    }
+}

@@ -1,0 +1,32 @@
+//! # gridbank-gsp
+//!
+//! The **Grid Service Provider** side of the architecture: everything
+//! that runs at a resource-owner site in Figures 1 and 2.
+//!
+//! * [`template`] — §2.3 access scalability: "GSP maintains a pool of
+//!   template accounts … local system accounts that are not associated
+//!   with any particular user", dynamically assigned per paying consumer.
+//! * [`mapfile`] — the grid-mapfile: the dynamic certificate-name →
+//!   local-account binding GSI consults, with bind/unbind and the
+//!   classic textual rendering.
+//! * [`charging`] — the **GridBank Charging Module** (GBCM):
+//!   "responsible for determining legitimacy of payment instruments …
+//!   setting up and removing temporary local accounts, calculating total
+//!   charge using the Resource Usage Record and the service rates passed
+//!   by the Grid Trade Service, and redeeming the payment with the
+//!   GridBank server" (§6).
+//! * [`provider`] — the assembled GSP: machines (from `gridbank-meter`),
+//!   the Grid Trade Server instance (rates + pricing policy), the meter,
+//!   the pool, and the full §2.1/§2.3 job pipeline.
+
+pub mod charging;
+pub mod error;
+pub mod mapfile;
+pub mod provider;
+pub mod template;
+
+pub use charging::{ChargingModule, PaymentInstrument};
+pub use error::GspError;
+pub use mapfile::GridMapfile;
+pub use provider::{GridServiceProvider, GspConfig, JobOutcome};
+pub use template::{PoolStats, TemplateAccount, TemplatePool};

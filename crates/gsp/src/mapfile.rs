@@ -1,0 +1,152 @@
+//! The grid-mapfile.
+//!
+//! GSI maps authenticated certificate names to local accounts through the
+//! grid-mapfile. §2.3: "GSC's Certificate Name is temporarily mapped to
+//! the local account (in grid-mapfile) to indicate the dynamic
+//! relationship between the account and current user … GBCM then removes
+//! the association by deleting the entry corresponding to GSC in the
+//! grid-mapfile and returning the local account to the pool."
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::error::GspError;
+
+/// A concurrent grid-mapfile with the classic textual form.
+#[derive(Default)]
+pub struct GridMapfile {
+    /// cert name → local account name.
+    entries: RwLock<HashMap<String, String>>,
+}
+
+impl GridMapfile {
+    /// An empty mapfile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds `cert` to `local`. A certificate may hold only one binding
+    /// and a local account may serve only one certificate at a time.
+    pub fn bind(&self, cert: &str, local: &str) -> Result<(), GspError> {
+        let mut map = self.entries.write();
+        if map.contains_key(cert) {
+            return Err(GspError::Mapfile(format!("`{cert}` already bound")));
+        }
+        if map.values().any(|l| l == local) {
+            return Err(GspError::Mapfile(format!("local account `{local}` already in use")));
+        }
+        map.insert(cert.to_string(), local.to_string());
+        Ok(())
+    }
+
+    /// Removes the binding for `cert`, returning the local account name.
+    pub fn unbind(&self, cert: &str) -> Result<String, GspError> {
+        self.entries
+            .write()
+            .remove(cert)
+            .ok_or_else(|| GspError::Mapfile(format!("`{cert}` not bound")))
+    }
+
+    /// The local account `cert` is bound to, if any.
+    pub fn lookup(&self, cert: &str) -> Option<String> {
+        self.entries.read().get(cert).cloned()
+    }
+
+    /// Number of live bindings.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// True when no bindings exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Renders the classic `"DN" account` textual form, sorted for
+    /// determinism.
+    pub fn render(&self) -> String {
+        let map = self.entries.read();
+        let mut lines: Vec<String> =
+            map.iter().map(|(cert, local)| format!("\"{cert}\" {local}")).collect();
+        lines.sort();
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the textual form back into a mapfile.
+    pub fn parse(text: &str) -> Result<GridMapfile, GspError> {
+        let mapfile = GridMapfile::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let rest = line
+                .strip_prefix('"')
+                .ok_or_else(|| GspError::Mapfile(format!("line {}: missing opening quote", lineno + 1)))?;
+            let (cert, local) = rest
+                .split_once('"')
+                .ok_or_else(|| GspError::Mapfile(format!("line {}: missing closing quote", lineno + 1)))?;
+            let local = local.trim();
+            if local.is_empty() {
+                return Err(GspError::Mapfile(format!("line {}: missing local account", lineno + 1)));
+            }
+            mapfile.bind(cert, local)?;
+        }
+        Ok(mapfile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_lookup_unbind() {
+        let m = GridMapfile::new();
+        m.bind("/CN=alice", "grid001").unwrap();
+        assert_eq!(m.lookup("/CN=alice").as_deref(), Some("grid001"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.unbind("/CN=alice").unwrap(), "grid001");
+        assert!(m.is_empty());
+        assert!(m.unbind("/CN=alice").is_err());
+    }
+
+    #[test]
+    fn conflicts_rejected() {
+        let m = GridMapfile::new();
+        m.bind("/CN=alice", "grid001").unwrap();
+        // Same cert twice.
+        assert!(m.bind("/CN=alice", "grid002").is_err());
+        // Same local account for another cert.
+        assert!(m.bind("/CN=bob", "grid001").is_err());
+        // After unbind both are allowed again.
+        m.unbind("/CN=alice").unwrap();
+        m.bind("/CN=bob", "grid001").unwrap();
+    }
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let m = GridMapfile::new();
+        m.bind("/O=UWA/OU=CSSE/CN=alice", "grid001").unwrap();
+        m.bind("/O=UM/OU=GRIDS/CN=raj", "grid002").unwrap();
+        let text = m.render();
+        assert!(text.contains("\"/O=UWA/OU=CSSE/CN=alice\" grid001"));
+        let parsed = GridMapfile::parse(&text).unwrap();
+        assert_eq!(parsed.lookup("/O=UM/OU=GRIDS/CN=raj").as_deref(), Some("grid002"));
+        assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn parse_tolerates_comments_and_rejects_garbage() {
+        let parsed = GridMapfile::parse("# comment\n\n\"/CN=x\" grid001\n").unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert!(GridMapfile::parse("no quotes here").is_err());
+        assert!(GridMapfile::parse("\"/CN=x\"").is_err());
+        assert!(GridMapfile::parse("\"/CN=x\" a\n\"/CN=x\" b").is_err());
+    }
+}

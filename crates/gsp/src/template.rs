@@ -1,0 +1,212 @@
+//! Template account pool (§2.3).
+//!
+//! "Thousands (or even millions) of GSCs can be clients of GridBank and
+//! the requirement to have a local account at each resource is simply not
+//! realistic … GSP maintains a pool of template accounts. These accounts
+//! are local system accounts that are not associated with any particular
+//! user. When a GSC contacts GSP to execute some application, provided
+//! GSC presents a well-formed payment instrument, GSP dynamically assigns
+//! one of the template accounts from the pool of free accounts … GSP
+//! retains the fine-grained access control to its resources by specifying
+//! permissions on the template accounts."
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// One local system account from the pool.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TemplateAccount {
+    /// Local user name, e.g. `grid007`.
+    pub local_name: String,
+    /// Local numeric uid.
+    pub uid: u32,
+    /// Unix-style permission bits the GSP configured on the account.
+    pub permissions: u16,
+}
+
+/// Pool occupancy statistics (fed into E6's scalability experiment).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Successful acquisitions.
+    pub acquisitions: u64,
+    /// Releases back to the pool.
+    pub releases: u64,
+    /// Acquisitions that had to wait for a free account.
+    pub waits: u64,
+    /// Acquisitions that timed out (pool exhausted).
+    pub exhaustions: u64,
+    /// Maximum simultaneous accounts in use.
+    pub high_watermark: usize,
+}
+
+struct PoolInner {
+    free: VecDeque<TemplateAccount>,
+    in_use: usize,
+    stats: PoolStats,
+}
+
+/// A blocking pool of template accounts.
+pub struct TemplatePool {
+    inner: Mutex<PoolInner>,
+    available: Condvar,
+    size: usize,
+}
+
+impl TemplatePool {
+    /// Creates a pool of `size` accounts named `{prefix}{001..}` with the
+    /// given permission bits.
+    pub fn new(prefix: &str, size: usize, permissions: u16) -> Self {
+        let free = (1..=size)
+            .map(|i| TemplateAccount {
+                local_name: format!("{prefix}{i:03}"),
+                uid: 60_000 + i as u32,
+                permissions,
+            })
+            .collect();
+        TemplatePool {
+            inner: Mutex::new(PoolInner { free, in_use: 0, stats: PoolStats::default() }),
+            available: Condvar::new(),
+            size,
+        }
+    }
+
+    /// Pool capacity.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Accounts currently free.
+    pub fn free_count(&self) -> usize {
+        self.inner.lock().free.len()
+    }
+
+    /// Snapshot of the statistics.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().stats
+    }
+
+    /// Acquires an account immediately or returns `None`.
+    pub fn try_acquire(&self) -> Option<TemplateAccount> {
+        let mut inner = self.inner.lock();
+        match inner.free.pop_front() {
+            Some(acct) => {
+                inner.in_use += 1;
+                inner.stats.acquisitions += 1;
+                let in_use = inner.in_use;
+                inner.stats.high_watermark = inner.stats.high_watermark.max(in_use);
+                Some(acct)
+            }
+            None => None,
+        }
+    }
+
+    /// Acquires an account, waiting up to `timeout` for one to free up.
+    pub fn acquire(&self, timeout: Duration) -> Option<TemplateAccount> {
+        let mut inner = self.inner.lock();
+        if inner.free.is_empty() {
+            inner.stats.waits += 1;
+            let deadline = std::time::Instant::now() + timeout;
+            while inner.free.is_empty() {
+                if self.available.wait_until(&mut inner, deadline).timed_out() {
+                    inner.stats.exhaustions += 1;
+                    return None;
+                }
+            }
+        }
+        let acct = inner.free.pop_front().expect("non-empty after wait");
+        inner.in_use += 1;
+        inner.stats.acquisitions += 1;
+        let in_use = inner.in_use;
+        inner.stats.high_watermark = inner.stats.high_watermark.max(in_use);
+        Some(acct)
+    }
+
+    /// Returns an account to the free pool and wakes one waiter.
+    pub fn release(&self, account: TemplateAccount) {
+        let mut inner = self.inner.lock();
+        inner.in_use = inner.in_use.saturating_sub(1);
+        inner.stats.releases += 1;
+        inner.free.push_back(account);
+        drop(inner);
+        self.available.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn accounts_are_distinct_and_permissioned() {
+        let pool = TemplatePool::new("grid", 3, 0o750);
+        let a = pool.try_acquire().unwrap();
+        let b = pool.try_acquire().unwrap();
+        assert_ne!(a.local_name, b.local_name);
+        assert_ne!(a.uid, b.uid);
+        assert_eq!(a.permissions, 0o750);
+        assert_eq!(pool.free_count(), 1);
+    }
+
+    #[test]
+    fn exhaustion_and_release() {
+        let pool = TemplatePool::new("grid", 1, 0o700);
+        let a = pool.try_acquire().unwrap();
+        assert!(pool.try_acquire().is_none());
+        assert!(pool.acquire(Duration::from_millis(10)).is_none());
+        pool.release(a);
+        assert!(pool.try_acquire().is_some());
+        let s = pool.stats();
+        assert_eq!(s.acquisitions, 2);
+        assert_eq!(s.releases, 1);
+        assert_eq!(s.exhaustions, 1);
+        assert!(s.waits >= 1);
+        assert_eq!(s.high_watermark, 1);
+    }
+
+    #[test]
+    fn waiter_wakes_on_release() {
+        let pool = Arc::new(TemplatePool::new("grid", 1, 0o700));
+        let a = pool.try_acquire().unwrap();
+        let p2 = pool.clone();
+        let waiter = std::thread::spawn(move || p2.acquire(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        pool.release(a);
+        let got = waiter.join().unwrap();
+        assert!(got.is_some());
+    }
+
+    #[test]
+    fn concurrent_churn_never_double_assigns() {
+        let pool = Arc::new(TemplatePool::new("grid", 4, 0o700));
+        let in_use = Arc::new(parking_lot::Mutex::new(std::collections::HashSet::new()));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let pool = pool.clone();
+                let in_use = in_use.clone();
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        if let Some(acct) = pool.acquire(Duration::from_secs(1)) {
+                            {
+                                let mut set = in_use.lock();
+                                assert!(
+                                    set.insert(acct.local_name.clone()),
+                                    "account double-assigned"
+                                );
+                            }
+                            std::thread::yield_now();
+                            in_use.lock().remove(&acct.local_name);
+                            pool.release(acct);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.free_count(), 4);
+        let s = pool.stats();
+        assert_eq!(s.acquisitions, s.releases);
+        assert!(s.high_watermark <= 4);
+    }
+}

@@ -1,0 +1,71 @@
+//! Accounting information levels.
+//!
+//! §2.1: "the GRM provides different levels of accounting information
+//! depending on the kind of payment protocol GridBank Charging Module is
+//! using. Different protocols might require different resource usage
+//! statistics."
+
+use gridbank_rur::record::ChargeableItem;
+
+/// How much detail the meter should emit for a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccountingLevel {
+    /// Wall-clock only — enough for fixed-price (pay-before-use) access
+    /// where the charge does not depend on consumption detail.
+    Coarse,
+    /// Every chargeable item, itemized — the standard level used by
+    /// pay-after-use GridCheque charging.
+    Standard,
+    /// Itemized and *streaming*: usage deltas per metering interval, for
+    /// pay-as-you-go hash-chain payments tied to consumption.
+    Streaming {
+        /// Metering interval in virtual milliseconds.
+        interval_ms: u64,
+    },
+}
+
+impl AccountingLevel {
+    /// The chargeable items this level reports.
+    pub fn items(&self) -> &'static [ChargeableItem] {
+        match self {
+            AccountingLevel::Coarse => &[ChargeableItem::WallClock],
+            AccountingLevel::Standard | AccountingLevel::Streaming { .. } => &[
+                ChargeableItem::WallClock,
+                ChargeableItem::Cpu,
+                ChargeableItem::Memory,
+                ChargeableItem::Storage,
+                ChargeableItem::Network,
+                ChargeableItem::Software,
+            ],
+        }
+    }
+
+    /// True if this level emits interval deltas rather than a single
+    /// end-of-job record.
+    pub fn is_streaming(&self) -> bool {
+        matches!(self, AccountingLevel::Streaming { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coarse_reports_wallclock_only() {
+        assert_eq!(AccountingLevel::Coarse.items(), &[ChargeableItem::WallClock]);
+        assert!(!AccountingLevel::Coarse.is_streaming());
+    }
+
+    #[test]
+    fn standard_reports_all_items() {
+        assert_eq!(AccountingLevel::Standard.items().len(), 6);
+    }
+
+    #[test]
+    fn streaming_flag() {
+        let l = AccountingLevel::Streaming { interval_ms: 500 };
+        assert!(l.is_streaming());
+        assert_eq!(l.items().len(), 6);
+    }
+}

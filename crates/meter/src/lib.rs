@@ -1,0 +1,32 @@
+//! # gridbank-meter
+//!
+//! The **Grid Resource Meter** (GRM) of Figure 2 and the simulated
+//! machines it meters.
+//!
+//! Paper §2.1: "The Grid Resource Meter (GRM) module will interface with
+//! local resource allocation system (e.g., cluster scheduler) … to extract
+//! resource usage information … Once GRM obtains the raw usage statistics,
+//! it filters relevant fields in the record and passes them to the
+//! conversion unit, which generates a standard OS-independent Resource
+//! Usage Record."
+//!
+//! * [`machine`] — the *local resource allocation system* substitute:
+//!   deterministic simulated machines (Linux / Solaris / Cray flavours)
+//!   that execute abstract jobs and emit **native** usage records, exactly
+//!   the raw input a real GRM would scrape from the OS.
+//! * [`meter`] — the GRM proper: collects native records per job, runs the
+//!   conversion unit (`gridbank_rur::native`), applies agreed prices, and
+//!   emits signed-ready RURs; supports per-resource collection and
+//!   aggregation across a provider's machines (Figure 1's R1–R4).
+//! * [`levels`] — "the GRM provides different levels of accounting
+//!   information depending on the kind of payment protocol" (§2.1):
+//!   coarse (wall-clock only, for fixed-price access), standard
+//!   (itemized), and streaming interval metering for pay-as-you-go.
+
+pub mod levels;
+pub mod machine;
+pub mod meter;
+
+pub use levels::AccountingLevel;
+pub use machine::{JobSpec, Machine, MachineSpec, OsFlavour};
+pub use meter::{GridResourceMeter, MeteredJob, MeteringInterval};

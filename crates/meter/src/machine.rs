@@ -1,0 +1,252 @@
+//! Simulated machines — the "local resource allocation system".
+//!
+//! A [`Machine`] executes abstract [`JobSpec`]s deterministically (seeded
+//! jitter) and emits a *native* usage record in its own OS flavour, which
+//! the GRM then filters and converts. The three flavours deliberately use
+//! different native units (µs vs ticks vs ms, KB vs pages vs Mwords) so
+//! the conversion path is genuinely exercised.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gridbank_rur::native::{CrayCsa, LinuxRusage, NativeUsageRecord, SolarisAcct};
+
+/// Which native accounting format the machine produces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OsFlavour {
+    /// Linux, `getrusage` records.
+    Linux,
+    /// Solaris, `acct` records.
+    Solaris,
+    /// Cray, CSA records.
+    Cray,
+}
+
+impl OsFlavour {
+    /// Host-type string for RUR resource details.
+    pub fn host_type(&self) -> &'static str {
+        match self {
+            OsFlavour::Linux => "Linux/x86",
+            OsFlavour::Solaris => "Solaris/sparc",
+            OsFlavour::Cray => "Cray",
+        }
+    }
+}
+
+/// Static description of a machine.
+#[derive(Clone, Debug)]
+pub struct MachineSpec {
+    /// Host name.
+    pub host: String,
+    /// OS flavour (selects the native record format).
+    pub os: OsFlavour,
+    /// Per-core speed: abstract work units per millisecond.
+    pub speed: u32,
+    /// Core count.
+    pub cores: u32,
+    /// Main memory capacity, MB.
+    pub memory_mb: u64,
+}
+
+/// An abstract job to execute.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Total work, abstract units (CPU-bound component).
+    pub work: u64,
+    /// Degree of parallelism the job can exploit.
+    pub parallelism: u32,
+    /// Resident memory footprint, MB.
+    pub memory_mb: u64,
+    /// Scratch storage footprint, MB.
+    pub storage_mb: u64,
+    /// Network traffic, MB.
+    pub network_mb: u64,
+    /// Percent of CPU time spent in system calls / libraries (0..=100).
+    pub sys_pct: u8,
+}
+
+impl JobSpec {
+    /// A small CPU-bound job, convenient for tests.
+    pub fn cpu_bound(work: u64) -> Self {
+        JobSpec { work, parallelism: 1, memory_mb: 64, storage_mb: 0, network_mb: 1, sys_pct: 5 }
+    }
+}
+
+/// A simulated machine with a deterministic jitter stream.
+pub struct Machine {
+    /// The static description.
+    pub spec: MachineSpec,
+    rng: StdRng,
+    next_pid: u32,
+}
+
+/// Result of executing a job: the native record plus the virtual end time.
+#[derive(Clone, Debug)]
+pub struct Execution {
+    /// The raw native-format usage record.
+    pub native: NativeUsageRecord,
+    /// Virtual completion time, epoch ms.
+    pub end_ms: u64,
+}
+
+impl Machine {
+    /// Creates a machine with a seeded jitter stream.
+    pub fn new(spec: MachineSpec, seed: u64) -> Self {
+        Machine { spec, rng: StdRng::seed_from_u64(seed), next_pid: 1000 }
+    }
+
+    /// Ideal (jitter-free) wall-clock milliseconds for a job.
+    pub fn ideal_wall_ms(&self, job: &JobSpec) -> u64 {
+        let effective_cores = job.parallelism.min(self.spec.cores).max(1) as u64;
+        let rate = self.spec.speed as u64 * effective_cores;
+        job.work.div_ceil(rate.max(1))
+    }
+
+    /// Executes a job starting at virtual time `start_ms`, returning the
+    /// native usage record. Wall time gets ±10% deterministic jitter.
+    pub fn execute(&mut self, job: &JobSpec, start_ms: u64) -> Execution {
+        let ideal = self.ideal_wall_ms(job).max(1);
+        // Jitter in [-10%, +10%].
+        let jitter_pm = self.rng.random_range(-100i64..=100);
+        let wall_ms = ((ideal as i64) + (ideal as i64 * jitter_pm) / 1000).max(1) as u64;
+        // Total CPU = work / speed (independent of parallelism), split
+        // user/system by sys_pct.
+        let total_cpu_ms = (job.work / self.spec.speed.max(1) as u64).max(1);
+        let sys_ms = total_cpu_ms * job.sys_pct.min(100) as u64 / 100;
+        let user_ms = total_cpu_ms - sys_ms;
+        let end_ms = start_ms + wall_ms;
+        let pid = self.next_pid;
+        self.next_pid += 1;
+
+        let native = match self.spec.os {
+            OsFlavour::Linux => NativeUsageRecord::Linux(LinuxRusage {
+                pid,
+                start_ms,
+                end_ms,
+                utime_us: user_ms * 1_000,
+                stime_us: sys_ms * 1_000,
+                maxrss_kb: job.memory_mb * 1_000, // decimal MB → KB
+                scratch_kb: job.storage_mb * 1_000,
+                net_bytes: job.network_mb * 1_000_000,
+                inblock: 0,
+                oublock: 0,
+                minflt: self.rng.random_range(0..1_000_000),
+                nsignals: self.rng.random_range(0..16),
+            }),
+            OsFlavour::Solaris => NativeUsageRecord::Solaris(SolarisAcct {
+                pid,
+                start_ms,
+                etime_ticks: wall_ms / 10,
+                utime_ticks: user_ms / 10,
+                stime_ticks: sys_ms / 10,
+                mem_pages: job.memory_mb * 1_000_000 / (8 * 1024),
+                scratch_pages: job.storage_mb * 1_000_000 / (8 * 1024),
+                io_chars: job.network_mb * 1_000_000,
+                ac_flag: 0,
+                ac_stat: 0,
+            }),
+            OsFlavour::Cray => NativeUsageRecord::Cray(CrayCsa {
+                jid: pid as u64,
+                start_ms,
+                end_ms,
+                ucpu_ms: user_ms,
+                scpu_ms: sys_ms,
+                himem_mwords: job.memory_mb / 8, // 8 MB units
+                disk_sectors: job.storage_mb * 1_000_000 / 4096,
+                net_sectors: job.network_mb * 1_000_000 / 4096,
+                billing_weight: 1,
+            }),
+        };
+        Execution { native, end_ms }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(os: OsFlavour, speed: u32, cores: u32) -> MachineSpec {
+        MachineSpec { host: "node-1".into(), os, speed, cores, memory_mb: 16_384 }
+    }
+
+    #[test]
+    fn ideal_wall_time_scales_with_speed_and_cores() {
+        let m_slow = Machine::new(spec(OsFlavour::Linux, 100, 1), 1);
+        let m_fast = Machine::new(spec(OsFlavour::Linux, 200, 1), 1);
+        let job = JobSpec::cpu_bound(100_000);
+        assert_eq!(m_slow.ideal_wall_ms(&job), 1000);
+        assert_eq!(m_fast.ideal_wall_ms(&job), 500);
+
+        // Parallelism exploits cores up to the job's limit.
+        let m_many = Machine::new(spec(OsFlavour::Linux, 100, 8), 1);
+        let mut parallel_job = JobSpec::cpu_bound(100_000);
+        parallel_job.parallelism = 4;
+        assert_eq!(m_many.ideal_wall_ms(&parallel_job), 250);
+        // Cores beyond the machine's count don't help.
+        parallel_job.parallelism = 100;
+        assert_eq!(m_many.ideal_wall_ms(&parallel_job), 125);
+    }
+
+    #[test]
+    fn execution_is_deterministic_per_seed() {
+        let job = JobSpec::cpu_bound(500_000);
+        let mut m1 = Machine::new(spec(OsFlavour::Linux, 100, 2), 42);
+        let mut m2 = Machine::new(spec(OsFlavour::Linux, 100, 2), 42);
+        let e1 = m1.execute(&job, 0);
+        let e2 = m2.execute(&job, 0);
+        assert_eq!(e1.native, e2.native);
+        let mut m3 = Machine::new(spec(OsFlavour::Linux, 100, 2), 43);
+        let e3 = m3.execute(&job, 0);
+        assert_ne!(e1.end_ms, e3.end_ms); // different jitter
+    }
+
+    #[test]
+    fn jitter_stays_within_ten_percent() {
+        let job = JobSpec::cpu_bound(1_000_000);
+        let mut m = Machine::new(spec(OsFlavour::Linux, 100, 1), 7);
+        let ideal = m.ideal_wall_ms(&job);
+        for _ in 0..50 {
+            let e = m.execute(&job, 0);
+            let wall = e.end_ms;
+            assert!(wall >= ideal * 9 / 10 && wall <= ideal * 11 / 10, "wall {wall} ideal {ideal}");
+        }
+    }
+
+    #[test]
+    fn all_flavours_normalize_consistently() {
+        let job = JobSpec {
+            work: 1_000_000,
+            parallelism: 1,
+            memory_mb: 1024,
+            storage_mb: 512,
+            network_mb: 100,
+            sys_pct: 10,
+        };
+        let mut normalized = Vec::new();
+        for os in [OsFlavour::Linux, OsFlavour::Solaris, OsFlavour::Cray] {
+            let mut m = Machine::new(spec(os, 100, 1), 11);
+            let e = m.execute(&job, 0);
+            let n = e.native.normalize().unwrap();
+            normalized.push((os, n));
+        }
+        // CPU time must agree across flavours to within tick rounding (10ms).
+        let cpu_ms: Vec<u64> = normalized.iter().map(|(_, n)| n.cpu.as_ms()).collect();
+        for w in cpu_ms.windows(2) {
+            assert!((w[0] as i64 - w[1] as i64).abs() <= 10, "cpu times {cpu_ms:?}");
+        }
+        // Network traffic is exactly 100 MB for Linux/Solaris; Cray rounds
+        // to 4 KB sectors.
+        for (os, n) in &normalized {
+            let mb = n.network.as_bytes() / 1_000_000;
+            assert!((99..=100).contains(&mb), "{os:?} network {mb} MB");
+        }
+    }
+
+    #[test]
+    fn pids_increment() {
+        let mut m = Machine::new(spec(OsFlavour::Linux, 100, 1), 1);
+        let a = m.execute(&JobSpec::cpu_bound(1000), 0);
+        let b = m.execute(&JobSpec::cpu_bound(1000), 0);
+        assert_ne!(a.native.local_job_id(), b.native.local_job_id());
+    }
+}

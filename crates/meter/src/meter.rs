@@ -1,0 +1,299 @@
+//! The Grid Resource Meter itself.
+//!
+//! Collects native records for a job (possibly from several resources —
+//! Figure 1's R1–R4), runs the conversion unit, applies the agreed prices
+//! and emits standard RURs. For pay-as-you-go protocols it can also slice
+//! an execution into per-interval usage deltas.
+
+use gridbank_rur::aggregate::aggregate_records;
+use gridbank_rur::native::{NativeUsageRecord, NormalizedUsage};
+use gridbank_rur::record::{ChargeableItem, ResourceUsageRecord, RurBuilder, UsageAmount};
+use gridbank_rur::units::{DataSize, Duration, MbHours};
+use gridbank_rur::{Credits, RurError};
+
+use crate::levels::AccountingLevel;
+
+/// A job's worth of raw metering input.
+#[derive(Clone, Debug)]
+pub struct MeteredJob {
+    /// Submitting host.
+    pub user_host: String,
+    /// Consumer certificate name.
+    pub user_cert: String,
+    /// Grid-global job id.
+    pub job_id: String,
+    /// Application name.
+    pub application: String,
+    /// One native record per resource that served the job:
+    /// `(resource_host, host_type, record)`.
+    pub executions: Vec<(String, String, NativeUsageRecord)>,
+}
+
+/// One streaming metering interval (pay-as-you-go).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MeteringInterval {
+    /// Interval start, virtual ms.
+    pub start_ms: u64,
+    /// Interval end, virtual ms.
+    pub end_ms: u64,
+    /// Usage attributed to this interval.
+    pub usage: NormalizedUsage,
+}
+
+/// The provider-side meter, bound to the GSP's identity.
+#[derive(Clone, Debug)]
+pub struct GridResourceMeter {
+    /// The provider's certificate name, stamped into every RUR.
+    pub gsp_cert: String,
+}
+
+impl GridResourceMeter {
+    /// Creates a meter for the given provider identity.
+    pub fn new(gsp_cert: impl Into<String>) -> Self {
+        GridResourceMeter { gsp_cert: gsp_cert.into() }
+    }
+
+    /// Builds usage lines for `usage` at the given level, pricing each
+    /// emitted item from `prices`. Only items that are both in the level
+    /// and priced are emitted (conformance with the rates record is then
+    /// checked by the charging module).
+    fn lines(
+        &self,
+        usage: &NormalizedUsage,
+        prices: &[(ChargeableItem, Credits)],
+        level: AccountingLevel,
+    ) -> Vec<(ChargeableItem, UsageAmount, Credits)> {
+        level
+            .items()
+            .iter()
+            .filter_map(|item| {
+                let price = prices.iter().find(|(i, _)| i == item).map(|(_, p)| *p)?;
+                let amount = match item {
+                    ChargeableItem::WallClock => UsageAmount::Time(usage.wall),
+                    ChargeableItem::Cpu => UsageAmount::Time(usage.cpu),
+                    ChargeableItem::Software => UsageAmount::Time(usage.sys_cpu),
+                    ChargeableItem::Memory => UsageAmount::Occupancy(usage.memory),
+                    ChargeableItem::Storage => UsageAmount::Occupancy(usage.storage),
+                    ChargeableItem::Network => UsageAmount::Data(usage.network),
+                };
+                Some((*item, amount, price))
+            })
+            .collect()
+    }
+
+    /// Builds one RUR per resource execution (no aggregation).
+    pub fn per_resource_rurs(
+        &self,
+        job: &MeteredJob,
+        prices: &[(ChargeableItem, Credits)],
+        level: AccountingLevel,
+    ) -> Result<Vec<ResourceUsageRecord>, RurError> {
+        job.executions
+            .iter()
+            .map(|(host, host_type, native)| {
+                let usage = native.normalize()?;
+                let mut b = RurBuilder::default()
+                    .user(job.user_host.clone(), job.user_cert.clone())
+                    .job(job.job_id.clone(), job.application.clone(), native.start_ms(), native.end_ms())
+                    .resource(
+                        host.clone(),
+                        self.gsp_cert.clone(),
+                        Some(host_type.clone()),
+                        native.local_job_id(),
+                    );
+                for (item, amount, price) in self.lines(&usage, prices, level) {
+                    b = b.line(item, amount, price);
+                }
+                b.build()
+            })
+            .collect()
+    }
+
+    /// Builds the combined GSP-level RUR: per-resource records aggregated
+    /// into one (§2.1, Figure 1).
+    pub fn build_rur(
+        &self,
+        job: &MeteredJob,
+        prices: &[(ChargeableItem, Credits)],
+        level: AccountingLevel,
+    ) -> Result<ResourceUsageRecord, RurError> {
+        let per_resource = self.per_resource_rurs(job, prices, level)?;
+        aggregate_records(&per_resource)
+    }
+
+    /// Slices one execution into per-interval usage deltas for streaming
+    /// (pay-as-you-go) accounting. Component sums over all intervals equal
+    /// the whole-job usage exactly; remainders land in the final interval.
+    pub fn stream_intervals(
+        &self,
+        native: &NativeUsageRecord,
+        interval_ms: u64,
+    ) -> Result<Vec<MeteringInterval>, RurError> {
+        if interval_ms == 0 {
+            return Err(RurError::Invalid { field: "interval_ms", why: "zero".into() });
+        }
+        let total = native.normalize()?;
+        let start = native.start_ms();
+        let end = native.end_ms();
+        let wall = end.saturating_sub(start);
+        if wall == 0 {
+            return Ok(vec![MeteringInterval { start_ms: start, end_ms: end, usage: total }]);
+        }
+        let n = wall.div_ceil(interval_ms);
+        let mut out = Vec::with_capacity(n as usize);
+        // Proportional split helper: share of component c in [done, done+len).
+        let share = |c: u64, t0: u64, t1: u64| -> u64 { c * t1 / wall - c * t0 / wall };
+        for k in 0..n {
+            let t0 = k * interval_ms;
+            let t1 = ((k + 1) * interval_ms).min(wall);
+            let usage = NormalizedUsage {
+                wall: Duration::from_ms(t1 - t0),
+                cpu: Duration::from_ms(share(total.cpu.as_ms(), t0, t1)),
+                sys_cpu: Duration::from_ms(share(total.sys_cpu.as_ms(), t0, t1)),
+                memory: MbHours::from_mb_ms(share(total.memory.as_mb_ms(), t0, t1)),
+                storage: MbHours::from_mb_ms(share(total.storage.as_mb_ms(), t0, t1)),
+                network: DataSize::from_bytes(share(total.network.as_bytes(), t0, t1)),
+            };
+            out.push(MeteringInterval { start_ms: start + t0, end_ms: start + t1, usage });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{JobSpec, Machine, MachineSpec, OsFlavour};
+
+    fn prices() -> Vec<(ChargeableItem, Credits)> {
+        vec![
+            (ChargeableItem::WallClock, Credits::from_milli(100)),
+            (ChargeableItem::Cpu, Credits::from_gd(2)),
+            (ChargeableItem::Memory, Credits::from_milli(10)),
+            (ChargeableItem::Storage, Credits::from_milli(2)),
+            (ChargeableItem::Network, Credits::from_milli(5)),
+            (ChargeableItem::Software, Credits::from_milli(500)),
+        ]
+    }
+
+    fn job_on(os: OsFlavour, seed: u64) -> MeteredJob {
+        let spec = MachineSpec {
+            host: format!("node-{seed}.gsp.org"),
+            os,
+            speed: 100,
+            cores: 4,
+            memory_mb: 8192,
+        };
+        let mut m = Machine::new(spec.clone(), seed);
+        let exec = m.execute(
+            &JobSpec { work: 600_000, parallelism: 2, memory_mb: 512, storage_mb: 128, network_mb: 50, sys_pct: 10 },
+            1_000,
+        );
+        MeteredJob {
+            user_host: "submit.uwa.edu.au".into(),
+            user_cert: "/CN=alice".into(),
+            job_id: "nimrod-7".into(),
+            application: "sweep".into(),
+            executions: vec![(spec.host, os.host_type().to_string(), exec.native)],
+        }
+    }
+
+    #[test]
+    fn builds_standard_rur() {
+        let meter = GridResourceMeter::new("/CN=gsp-alpha");
+        let job = job_on(OsFlavour::Linux, 1);
+        let rur = meter.build_rur(&job, &prices(), AccountingLevel::Standard).unwrap();
+        assert_eq!(rur.lines.len(), 6);
+        assert_eq!(rur.user.certificate_name, "/CN=alice");
+        assert_eq!(rur.resource.certificate_name, "/CN=gsp-alpha");
+        assert_eq!(rur.resource.host_type.as_deref(), Some("Linux/x86"));
+        assert!(rur.total_cost().unwrap().is_positive());
+    }
+
+    #[test]
+    fn coarse_level_emits_wallclock_only() {
+        let meter = GridResourceMeter::new("/CN=gsp");
+        let job = job_on(OsFlavour::Solaris, 2);
+        let rur = meter.build_rur(&job, &prices(), AccountingLevel::Coarse).unwrap();
+        assert_eq!(rur.lines.len(), 1);
+        assert_eq!(rur.lines[0].item, ChargeableItem::WallClock);
+    }
+
+    #[test]
+    fn unpriced_items_are_omitted() {
+        let meter = GridResourceMeter::new("/CN=gsp");
+        let job = job_on(OsFlavour::Cray, 3);
+        let only_cpu = vec![(ChargeableItem::Cpu, Credits::from_gd(1))];
+        let rur = meter.build_rur(&job, &only_cpu, AccountingLevel::Standard).unwrap();
+        assert_eq!(rur.lines.len(), 1);
+        assert_eq!(rur.lines[0].item, ChargeableItem::Cpu);
+    }
+
+    #[test]
+    fn multi_resource_jobs_aggregate() {
+        let meter = GridResourceMeter::new("/CN=gsp");
+        // Same job served by four Linux resources (Figure 1's R1-R4).
+        let mut executions = Vec::new();
+        for i in 0..4u64 {
+            let spec = MachineSpec {
+                host: format!("r{i}.gsp.org"),
+                os: OsFlavour::Linux,
+                speed: 100,
+                cores: 2,
+                memory_mb: 4096,
+            };
+            let mut m = Machine::new(spec.clone(), 100 + i);
+            let exec = m.execute(&JobSpec::cpu_bound(200_000), i * 10);
+            executions.push((spec.host, "Linux/x86".to_string(), exec.native));
+        }
+        let job = MeteredJob {
+            user_host: "h".into(),
+            user_cert: "/CN=alice".into(),
+            job_id: "par-1".into(),
+            application: "mpi".into(),
+            executions,
+        };
+        let per = meter.per_resource_rurs(&job, &prices(), AccountingLevel::Standard).unwrap();
+        assert_eq!(per.len(), 4);
+        let combined = meter.build_rur(&job, &prices(), AccountingLevel::Standard).unwrap();
+        let sum: i128 = per.iter().map(|r| r.total_cost().unwrap().micro()).sum();
+        // Aggregation sums usage before pricing, so the combined cost may
+        // differ from the per-record sum by at most one µG$ of half-up
+        // rounding per line per record.
+        let slack = (per.len() * 6) as i128;
+        let diff = (combined.total_cost().unwrap().micro() - sum).abs();
+        assert!(diff <= slack, "diff {diff} exceeds rounding slack {slack}");
+    }
+
+    #[test]
+    fn streaming_intervals_conserve_usage() {
+        let meter = GridResourceMeter::new("/CN=gsp");
+        let job = job_on(OsFlavour::Linux, 5);
+        let (_, _, native) = &job.executions[0];
+        let total = native.normalize().unwrap();
+        let intervals = meter.stream_intervals(native, 700).unwrap();
+        assert!(intervals.len() >= 2);
+        let mut acc = NormalizedUsage::default();
+        for iv in &intervals {
+            assert!(iv.end_ms > iv.start_ms);
+            acc.accumulate(&iv.usage);
+        }
+        assert_eq!(acc.cpu, total.cpu);
+        assert_eq!(acc.wall, total.wall);
+        assert_eq!(acc.network, total.network);
+        assert_eq!(acc.memory, total.memory);
+        // Intervals tile the execution window.
+        assert_eq!(intervals.first().unwrap().start_ms, native.start_ms());
+        assert_eq!(intervals.last().unwrap().end_ms, native.end_ms());
+        for w in intervals.windows(2) {
+            assert_eq!(w[0].end_ms, w[1].start_ms);
+        }
+    }
+
+    #[test]
+    fn streaming_rejects_zero_interval() {
+        let meter = GridResourceMeter::new("/CN=gsp");
+        let job = job_on(OsFlavour::Linux, 6);
+        assert!(meter.stream_intervals(&job.executions[0].2, 0).is_err());
+    }
+}

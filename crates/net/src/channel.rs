@@ -1,0 +1,277 @@
+//! Sealed message channel over an authenticated link.
+//!
+//! After the handshake both sides hold a shared transcript secret; this
+//! module derives four directional keys from it (client→server and
+//! server→client, each with an encryption key and a MAC key) and seals
+//! every frame:
+//!
+//! ```text
+//! frame := seq(8) || ciphertext || mac(32)
+//! keystream := HKDF(enc_key, "ks" || seq, len(plaintext))
+//! ciphertext := plaintext XOR keystream
+//! mac := HMAC(mac_key, seq || ciphertext)
+//! ```
+//!
+//! Sequence numbers are strict: a replayed, dropped or reordered frame is
+//! an integrity error, matching the GSS wrap/unwrap semantics GridBank
+//! assumes from Globus I/O.
+
+use gridbank_crypto::hmac::{hkdf_expand, hmac_sha256, mac_eq};
+use gridbank_crypto::sha256::{Digest, DIGEST_LEN};
+
+use crate::error::NetError;
+use crate::transport::Duplex;
+
+/// Key material for one direction.
+#[derive(Clone)]
+struct DirectionKeys {
+    enc: [u8; 32],
+    mac: [u8; 32],
+}
+
+fn direction_keys(secret: &[u8], label: &[u8]) -> DirectionKeys {
+    let mut enc = [0u8; 32];
+    let mut mac = [0u8; 32];
+    let mut info_enc = label.to_vec();
+    info_enc.extend_from_slice(b"/enc");
+    let mut info_mac = label.to_vec();
+    info_mac.extend_from_slice(b"/mac");
+    enc.copy_from_slice(&hkdf_expand(secret, &info_enc, 32));
+    mac.copy_from_slice(&hkdf_expand(secret, &info_mac, 32));
+    DirectionKeys { enc, mac }
+}
+
+fn keystream(keys: &DirectionKeys, seq: u64, len: usize) -> Vec<u8> {
+    // Counter-mode blocks: block i = HMAC(enc, "ks" || seq || i). Unlike
+    // HKDF-expand this has no output-length ceiling, and frames carrying
+    // hash-based signatures run to tens of kilobytes.
+    let mut out = Vec::with_capacity(len);
+    let mut block: u64 = 0;
+    while out.len() < len {
+        let mut msg = Vec::with_capacity(18);
+        msg.extend_from_slice(b"ks");
+        msg.extend_from_slice(&seq.to_be_bytes());
+        msg.extend_from_slice(&block.to_be_bytes());
+        let ks = hmac_sha256(&keys.enc, &msg);
+        let take = (len - out.len()).min(ks.as_bytes().len());
+        out.extend_from_slice(&ks.as_bytes()[..take]);
+        block += 1;
+    }
+    out
+}
+
+fn frame_mac(keys: &DirectionKeys, seq: u64, ciphertext: &[u8]) -> Digest {
+    let mut msg = Vec::with_capacity(8 + ciphertext.len());
+    msg.extend_from_slice(&seq.to_be_bytes());
+    msg.extend_from_slice(ciphertext);
+    hmac_sha256(&keys.mac, &msg)
+}
+
+/// An established secure channel.
+pub struct SecureChannel {
+    duplex: Duplex,
+    send_keys: DirectionKeys,
+    recv_keys: DirectionKeys,
+    send_seq: u64,
+    recv_seq: u64,
+}
+
+impl SecureChannel {
+    /// Builds a channel from a raw link and the handshake secret.
+    ///
+    /// `is_client` selects which directional keys to send/receive with.
+    pub fn new(duplex: Duplex, transcript_secret: &Digest, is_client: bool) -> Self {
+        let c2s = direction_keys(transcript_secret.as_bytes(), b"c2s");
+        let s2c = direction_keys(transcript_secret.as_bytes(), b"s2c");
+        let (send_keys, recv_keys) = if is_client { (c2s, s2c) } else { (s2c, c2s) };
+        SecureChannel { duplex, send_keys, recv_keys, send_seq: 0, recv_seq: 0 }
+    }
+
+    /// Seals and sends one message.
+    pub fn send(&mut self, plaintext: &[u8]) -> Result<(), NetError> {
+        let seq = self.send_seq;
+        self.send_seq += 1;
+        let ks = keystream(&self.send_keys, seq, plaintext.len());
+        let mut frame = Vec::with_capacity(8 + plaintext.len() + DIGEST_LEN);
+        frame.extend_from_slice(&seq.to_be_bytes());
+        frame.extend(plaintext.iter().zip(ks.iter()).map(|(p, k)| p ^ k));
+        let mac = frame_mac(&self.send_keys, seq, &frame[8..]);
+        frame.extend_from_slice(mac.as_bytes());
+        self.duplex.send(frame)
+    }
+
+    /// Receives, authenticates, and opens one message.
+    pub fn recv(&mut self) -> Result<Vec<u8>, NetError> {
+        let frame = self.duplex.recv()?;
+        self.open(frame)
+    }
+
+    /// Receives with an explicit timeout.
+    pub fn recv_timeout(&mut self, timeout: std::time::Duration) -> Result<Vec<u8>, NetError> {
+        let frame = self.duplex.recv_timeout(timeout)?;
+        self.open(frame)
+    }
+
+    fn open(&mut self, frame: Vec<u8>) -> Result<Vec<u8>, NetError> {
+        if frame.len() < 8 + DIGEST_LEN {
+            return Err(NetError::ChannelIntegrity("frame too short".into()));
+        }
+        let (head, rest) = frame.split_at(8);
+        let (ciphertext, mac_bytes) = rest.split_at(rest.len() - DIGEST_LEN);
+        let mut seq_arr = [0u8; 8];
+        seq_arr.copy_from_slice(head);
+        let seq = u64::from_be_bytes(seq_arr);
+        if seq != self.recv_seq {
+            return Err(NetError::ChannelIntegrity(format!(
+                "sequence violation: expected {}, got {seq} (replay or drop)",
+                self.recv_seq
+            )));
+        }
+        let mut mac_arr = [0u8; DIGEST_LEN];
+        mac_arr.copy_from_slice(mac_bytes);
+        let claimed = Digest(mac_arr);
+        let expected = frame_mac(&self.recv_keys, seq, ciphertext);
+        if !mac_eq(&claimed, &expected) {
+            return Err(NetError::ChannelIntegrity("MAC mismatch".into()));
+        }
+        self.recv_seq += 1;
+        let ks = keystream(&self.recv_keys, seq, ciphertext.len());
+        Ok(ciphertext.iter().zip(ks.iter()).map(|(c, k)| c ^ k).collect())
+    }
+
+    /// The remote transport address (diagnostics).
+    pub fn peer(&self) -> &crate::transport::Address {
+        &self.duplex.peer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{Address, Network};
+    use gridbank_crypto::sha256::sha256;
+
+    fn pair(secret: &Digest) -> (SecureChannel, SecureChannel) {
+        let net = Network::new();
+        let listener = net.bind(Address::new("srv")).unwrap();
+        let client_link = net.connect(Address::new("cli"), &Address::new("srv")).unwrap();
+        let server_link = listener.accept().unwrap();
+        (
+            SecureChannel::new(client_link, secret, true),
+            SecureChannel::new(server_link, secret, false),
+        )
+    }
+
+    #[test]
+    fn round_trip_both_directions() {
+        let secret = sha256(b"shared");
+        let (mut c, mut s) = pair(&secret);
+        c.send(b"to server").unwrap();
+        assert_eq!(s.recv().unwrap(), b"to server");
+        s.send(b"to client").unwrap();
+        assert_eq!(c.recv().unwrap(), b"to client");
+        // Several in a row, including empty.
+        for msg in [&b""[..], b"x", b"a longer message with some length to it"] {
+            c.send(msg).unwrap();
+            assert_eq!(s.recv().unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext() {
+        let secret = sha256(b"s");
+        let net = Network::new();
+        let listener = net.bind(Address::new("srv")).unwrap();
+        let client_link = net.connect(Address::new("cli"), &Address::new("srv")).unwrap();
+        let server_link = listener.accept().unwrap();
+        let mut c = SecureChannel::new(client_link, &secret, true);
+        c.send(b"SECRET BALANCE 1000").unwrap();
+        // Inspect the raw frame on the wire.
+        let frame = server_link.recv().unwrap();
+        let body = &frame[8..frame.len() - DIGEST_LEN];
+        assert_eq!(body.len(), b"SECRET BALANCE 1000".len());
+        assert_ne!(body, b"SECRET BALANCE 1000");
+    }
+
+    #[test]
+    fn wrong_secret_fails_mac() {
+        let net = Network::new();
+        let listener = net.bind(Address::new("srv")).unwrap();
+        let client_link = net.connect(Address::new("cli"), &Address::new("srv")).unwrap();
+        let server_link = listener.accept().unwrap();
+        let mut c = SecureChannel::new(client_link, &sha256(b"secret-a"), true);
+        let mut s = SecureChannel::new(server_link, &sha256(b"secret-b"), false);
+        c.send(b"msg").unwrap();
+        assert!(matches!(s.recv(), Err(NetError::ChannelIntegrity(_))));
+    }
+
+    #[test]
+    fn tampered_frame_rejected() {
+        let secret = sha256(b"s");
+        let net = Network::new();
+        let listener = net.bind(Address::new("srv")).unwrap();
+        let client_link = net.connect(Address::new("cli"), &Address::new("srv")).unwrap();
+        let server_link = listener.accept().unwrap();
+        let mut c = SecureChannel::new(client_link, &secret, true);
+        c.send(b"pay 1 G$").unwrap();
+        let mut frame = server_link.recv().unwrap();
+        frame[9] ^= 0x80; // flip a ciphertext bit
+        let mut s = SecureChannel::new(
+            {
+                // rebuild a channel around a fresh link carrying the tampered frame
+                let l2 = net.bind(Address::new("srv2")).unwrap();
+                let c2 = net.connect(Address::new("x"), &Address::new("srv2")).unwrap();
+                c2.send(frame).unwrap();
+                l2.accept().unwrap()
+            },
+            &secret,
+            false,
+        );
+        assert!(matches!(s.recv(), Err(NetError::ChannelIntegrity(_))));
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let secret = sha256(b"s");
+        let net = Network::new();
+        let listener = net.bind(Address::new("srv")).unwrap();
+        let client_link = net.connect(Address::new("cli"), &Address::new("srv")).unwrap();
+        let server_link = listener.accept().unwrap();
+        let mut c = SecureChannel::new(client_link, &secret, true);
+        c.send(b"withdraw").unwrap();
+
+        let frame = server_link.recv().unwrap();
+        let mut s = SecureChannel::new(
+            {
+                let l2 = net.bind(Address::new("srv2")).unwrap();
+                let c2 = net.connect(Address::new("x"), &Address::new("srv2")).unwrap();
+                c2.send(frame.clone()).unwrap();
+                c2.send(frame).unwrap(); // replay
+                l2.accept().unwrap()
+            },
+            &secret,
+            false,
+        );
+        assert_eq!(s.recv().unwrap(), b"withdraw");
+        assert!(matches!(s.recv(), Err(NetError::ChannelIntegrity(_))));
+    }
+
+    #[test]
+    fn directions_use_distinct_keys() {
+        // A frame sent client->server must not be accepted as server->client.
+        let secret = sha256(b"s");
+        let net = Network::new();
+        let listener = net.bind(Address::new("srv")).unwrap();
+        let client_link = net.connect(Address::new("cli"), &Address::new("srv")).unwrap();
+        let server_link = listener.accept().unwrap();
+        let mut c = SecureChannel::new(client_link, &secret, true);
+        c.send(b"msg").unwrap();
+        let frame = server_link.recv().unwrap();
+        // Feed the c2s frame into the *client* side (expects s2c keys).
+        let l2 = net.bind(Address::new("srv2")).unwrap();
+        let c2 = net.connect(Address::new("x"), &Address::new("srv2")).unwrap();
+        c2.send(frame).unwrap();
+        let mut reflected = SecureChannel::new(l2.accept().unwrap(), &secret, true);
+        assert!(matches!(reflected.recv(), Err(NetError::ChannelIntegrity(_))));
+    }
+}

@@ -1,0 +1,121 @@
+//! Connection admission — the paper's denial-of-service limiter.
+//!
+//! §3.2: "the certificate subject name is retrieved … and is checked
+//! against the database. If the subject name appears either in the
+//! accounts or in administrator tables, then the client is authorized to
+//! establish a connection. Otherwise connection is refused, and this
+//! provides a mechanism to limit denial-of-service attacks. Clients simply
+//! cannot send any requests before a connection is established."
+//!
+//! The gate runs *inside* the server handshake, after authentication but
+//! before any channel exists, so refused clients never get to submit a
+//! request.
+
+use gridbank_crypto::cert::SubjectName;
+
+/// Outcome of an admission check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// Admit the subject.
+    Allow,
+    /// Refuse with a reason (sent to the client before dropping the link).
+    Deny(String),
+}
+
+/// An admission policy over authenticated subject names.
+pub trait ConnectionGate: Send + Sync {
+    /// Decides whether `subject` may establish a connection.
+    fn admit(&self, subject: &SubjectName) -> AdmissionDecision;
+}
+
+/// Admits everyone — for tests and client-side use.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct OpenGate;
+
+impl ConnectionGate for OpenGate {
+    fn admit(&self, _subject: &SubjectName) -> AdmissionDecision {
+        AdmissionDecision::Allow
+    }
+}
+
+/// Admits a fixed allow-list of subjects (simple standalone deployments;
+/// GridBank itself implements [`ConnectionGate`] over its account tables).
+#[derive(Default, Debug)]
+pub struct AllowListGate {
+    allowed: std::collections::HashSet<SubjectName>,
+}
+
+impl AllowListGate {
+    /// Builds from an iterator of subjects.
+    pub fn new(subjects: impl IntoIterator<Item = SubjectName>) -> Self {
+        AllowListGate { allowed: subjects.into_iter().collect() }
+    }
+
+    /// Adds a subject.
+    pub fn allow(&mut self, subject: SubjectName) {
+        self.allowed.insert(subject);
+    }
+}
+
+impl ConnectionGate for AllowListGate {
+    fn admit(&self, subject: &SubjectName) -> AdmissionDecision {
+        // Proxies speak for their base identity: check the base DN.
+        if self.allowed.contains(&subject.base_identity()) {
+            AdmissionDecision::Allow
+        } else {
+            AdmissionDecision::Deny("no account or administrator privilege".into())
+        }
+    }
+}
+
+impl<F> ConnectionGate for F
+where
+    F: Fn(&SubjectName) -> AdmissionDecision + Send + Sync,
+{
+    fn admit(&self, subject: &SubjectName) -> AdmissionDecision {
+        self(subject)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_gate_admits_anyone() {
+        assert_eq!(
+            OpenGate.admit(&SubjectName::new("O", "U", "whoever")),
+            AdmissionDecision::Allow
+        );
+    }
+
+    #[test]
+    fn allow_list_checks_base_identity() {
+        let alice = SubjectName::new("UWA", "CSSE", "alice");
+        let gate = AllowListGate::new([alice.clone()]);
+        assert_eq!(gate.admit(&alice), AdmissionDecision::Allow);
+        // Her proxy is admitted too.
+        assert_eq!(gate.admit(&alice.proxy_name()), AdmissionDecision::Allow);
+        // Strangers are refused.
+        assert!(matches!(
+            gate.admit(&SubjectName::new("Evil", "Org", "mallory")),
+            AdmissionDecision::Deny(_)
+        ));
+    }
+
+    #[test]
+    fn closure_gates_work() {
+        let gate = |s: &SubjectName| {
+            if s.common_name() == Some("admin") {
+                AdmissionDecision::Allow
+            } else {
+                AdmissionDecision::Deny("admins only".into())
+            }
+        };
+        assert_eq!(gate.admit(&SubjectName::new("O", "U", "admin")), AdmissionDecision::Allow);
+        assert!(matches!(
+            gate.admit(&SubjectName::new("O", "U", "user")),
+            AdmissionDecision::Deny(_)
+        ));
+    }
+}

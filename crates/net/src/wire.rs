@@ -1,0 +1,244 @@
+//! Minimal wire encoding for crypto types used during the handshake.
+//!
+//! Deliberately local to this crate: the *payloads* that flow over
+//! established channels use the shared codec in `gridbank-rur`; only the
+//! handshake itself (certificates, signatures) needs these helpers, and
+//! keeping them here avoids a dependency cycle.
+
+use gridbank_crypto::cert::{Certificate, CertificateBody, ProxyCertificate, SubjectName};
+use gridbank_crypto::keys::VerifyingKey;
+use gridbank_crypto::lamport::{OneTimePublicKey, OneTimeSignature};
+use gridbank_crypto::merkle::{AuthPath, MerkleSignature};
+use gridbank_crypto::sha256::{Digest, DIGEST_LEN};
+
+use crate::error::NetError;
+
+pub(crate) struct Writer {
+    pub buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Writer { buf: Vec::with_capacity(256) }
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    pub fn digest(&mut self, d: &Digest) {
+        self.buf.extend_from_slice(d.as_bytes());
+    }
+
+    pub fn sig(&mut self, s: &MerkleSignature) {
+        self.u64(s.leaf_index as u64);
+        self.bytes(&s.ots.to_bytes());
+        self.digest(&s.leaf_pk.0);
+        self.u64(s.path.index as u64);
+        self.u64(s.path.siblings.len() as u64);
+        for sib in &s.path.siblings {
+            self.digest(sib);
+        }
+    }
+
+    pub fn cert(&mut self, c: &Certificate) {
+        self.str(&c.body.subject.0);
+        self.str(&c.body.issuer.0);
+        self.digest(&c.body.subject_key.0);
+        self.u64(c.body.not_before);
+        self.u64(c.body.not_after);
+        self.u64(c.body.serial);
+        self.sig(&c.signature);
+    }
+
+    pub fn proxy(&mut self, p: &ProxyCertificate) {
+        self.str(&p.body.subject.0);
+        self.str(&p.body.issuer.0);
+        self.digest(&p.body.subject_key.0);
+        self.u64(p.body.not_before);
+        self.u64(p.body.not_after);
+        self.u64(p.body.serial);
+        self.sig(&p.signature);
+        self.cert(&p.user_cert);
+        self.u8(p.delegation_depth);
+    }
+}
+
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {
+        if self.buf.len() - self.pos < n {
+            return Err(NetError::Malformed(format!(
+                "need {n} bytes, {} remain",
+                self.buf.len() - self.pos
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, NetError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u64(&mut self) -> Result<u64, NetError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_be_bytes(a))
+    }
+
+    pub fn bytes(&mut self) -> Result<&'a [u8], NetError> {
+        let len = self.u64()? as usize;
+        if len > 1 << 24 {
+            return Err(NetError::Malformed(format!("implausible length {len}")));
+        }
+        self.take(len)
+    }
+
+    pub fn str(&mut self) -> Result<String, NetError> {
+        String::from_utf8(self.bytes()?.to_vec())
+            .map_err(|e| NetError::Malformed(format!("bad utf-8: {e}")))
+    }
+
+    pub fn digest(&mut self) -> Result<Digest, NetError> {
+        let b = self.take(DIGEST_LEN)?;
+        let mut a = [0u8; DIGEST_LEN];
+        a.copy_from_slice(b);
+        Ok(Digest(a))
+    }
+
+    pub fn sig(&mut self) -> Result<MerkleSignature, NetError> {
+        let leaf_index = self.u64()? as usize;
+        let ots = OneTimeSignature::from_bytes(self.bytes()?)
+            .map_err(|e| NetError::Malformed(e.to_string()))?;
+        let leaf_pk = OneTimePublicKey(self.digest()?);
+        let path_index = self.u64()? as usize;
+        let n = self.u64()? as usize;
+        if n > 64 {
+            return Err(NetError::Malformed(format!("auth path depth {n} too large")));
+        }
+        let mut siblings = Vec::with_capacity(n);
+        for _ in 0..n {
+            siblings.push(self.digest()?);
+        }
+        Ok(MerkleSignature { leaf_index, ots, leaf_pk, path: AuthPath { index: path_index, siblings } })
+    }
+
+    pub fn cert(&mut self) -> Result<Certificate, NetError> {
+        let body = CertificateBody {
+            subject: SubjectName(self.str()?),
+            issuer: SubjectName(self.str()?),
+            subject_key: VerifyingKey(self.digest()?),
+            not_before: self.u64()?,
+            not_after: self.u64()?,
+            serial: self.u64()?,
+        };
+        let signature = self.sig()?;
+        Ok(Certificate { body, signature })
+    }
+
+    pub fn proxy(&mut self) -> Result<ProxyCertificate, NetError> {
+        let body = CertificateBody {
+            subject: SubjectName(self.str()?),
+            issuer: SubjectName(self.str()?),
+            subject_key: VerifyingKey(self.digest()?),
+            not_before: self.u64()?,
+            not_after: self.u64()?,
+            serial: self.u64()?,
+        };
+        let signature = self.sig()?;
+        let user_cert = self.cert()?;
+        let delegation_depth = self.u8()?;
+        Ok(ProxyCertificate { body, signature, user_cert, delegation_depth })
+    }
+
+    pub fn finish(self) -> Result<(), NetError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(NetError::Malformed(format!(
+                "{} trailing bytes",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridbank_crypto::cert::{create_proxy, CertificateAuthority};
+    use gridbank_crypto::keys::{KeyMaterial, SigningIdentity};
+
+    #[test]
+    fn cert_and_proxy_round_trip() {
+        let ca_id = SigningIdentity::generate_small(KeyMaterial { seed: 1 }, "ca");
+        let ca = CertificateAuthority::new(SubjectName::new("GB", "CA", "Root"), ca_id);
+        let user = SigningIdentity::generate_small(KeyMaterial { seed: 2 }, "alice");
+        let cert = ca
+            .issue(SubjectName::new("UWA", "CSSE", "alice"), user.verifying_key(), 0, 100)
+            .unwrap();
+        let proxy_key = SigningIdentity::generate_small(KeyMaterial { seed: 3 }, "p");
+        let proxy = create_proxy(&user, &cert, proxy_key.verifying_key(), 0, 50, 1).unwrap();
+
+        let mut w = Writer::new();
+        w.proxy(&proxy);
+        let mut r = Reader::new(&w.buf);
+        let back = r.proxy().unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(back.body, proxy.body);
+        assert_eq!(back.user_cert.body, proxy.user_cert.body);
+        assert_eq!(back.delegation_depth, 1);
+        // The decoded chain still verifies.
+        back.verify_chain(&ca.verifying_key(), 25).unwrap();
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let ca_id = SigningIdentity::generate_small(KeyMaterial { seed: 1 }, "ca");
+        let ca = CertificateAuthority::new(SubjectName::new("GB", "CA", "Root"), ca_id);
+        let user = SigningIdentity::generate_small(KeyMaterial { seed: 2 }, "u");
+        let cert = ca
+            .issue(SubjectName::new("O", "U", "u"), user.verifying_key(), 0, 10)
+            .unwrap();
+        let mut w = Writer::new();
+        w.cert(&cert);
+        for cut in [0, 1, w.buf.len() / 2, w.buf.len() - 1] {
+            let mut r = Reader::new(&w.buf[..cut]);
+            assert!(r.cert().is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn hostile_lengths_rejected() {
+        // A length prefix claiming 2^32 bytes must not allocate.
+        let mut w = Writer::new();
+        w.u64(u32::MAX as u64 + 5);
+        let mut r = Reader::new(&w.buf);
+        assert!(matches!(r.bytes(), Err(NetError::Malformed(_))));
+    }
+}

@@ -1,0 +1,218 @@
+//! Aggregation of per-resource records into a combined GSP-level RUR.
+//!
+//! Figure 1 of the paper shows individual resources R1–R4 each presenting
+//! a usage record to the Grid Resource Meter, which "might choose to
+//! aggregate individual records into the standard RUR to reflect the
+//! charge for the combined GSP's service" (§2.1). Aggregation is only
+//! meaningful for records of the *same job by the same consumer at the
+//! same provider*; anything else is a mismatch error.
+
+use crate::error::RurError;
+use crate::record::{ChargeableItem, ResourceUsageRecord, UsageAmount, UsageLine};
+use crate::units::{DataSize, Duration, MbHours};
+
+/// Merges per-resource RURs for one job into a single combined record.
+///
+/// * user, provider certificate name, job id and application must agree;
+/// * the combined job span is the envelope `[min(start), max(end)]`;
+/// * usage lines are summed per chargeable item;
+/// * prices per item must agree across records (one rate agreement covers
+///   the whole GSP — the service-rates record is negotiated once);
+/// * the combined `host` is the provider host of the first record, and
+///   `local_job_id` likewise (individual ids remain in the source records,
+///   which the bank keeps as evidence).
+pub fn aggregate_records(
+    records: &[ResourceUsageRecord],
+) -> Result<ResourceUsageRecord, RurError> {
+    let first = records
+        .first()
+        .ok_or_else(|| RurError::AggregationMismatch("no records to aggregate".into()))?;
+
+    let mut out = first.clone();
+    for r in &records[1..] {
+        if r.user.certificate_name != first.user.certificate_name {
+            return Err(RurError::AggregationMismatch(format!(
+                "consumer differs: {} vs {}",
+                r.user.certificate_name, first.user.certificate_name
+            )));
+        }
+        if r.resource.certificate_name != first.resource.certificate_name {
+            return Err(RurError::AggregationMismatch(format!(
+                "provider differs: {} vs {}",
+                r.resource.certificate_name, first.resource.certificate_name
+            )));
+        }
+        if r.job.job_id != first.job.job_id {
+            return Err(RurError::AggregationMismatch(format!(
+                "job differs: {} vs {}",
+                r.job.job_id, first.job.job_id
+            )));
+        }
+        out.job.start_ms = out.job.start_ms.min(r.job.start_ms);
+        out.job.end_ms = out.job.end_ms.max(r.job.end_ms);
+        for line in &r.lines {
+            merge_line(&mut out.lines, line)?;
+        }
+    }
+    out.validate()?;
+    Ok(out)
+}
+
+fn merge_line(lines: &mut Vec<UsageLine>, incoming: &UsageLine) -> Result<(), RurError> {
+    if let Some(existing) = lines.iter_mut().find(|l| l.item == incoming.item) {
+        if existing.price_per_unit != incoming.price_per_unit {
+            return Err(RurError::AggregationMismatch(format!(
+                "price for {:?} differs across records ({} vs {})",
+                incoming.item, existing.price_per_unit, incoming.price_per_unit
+            )));
+        }
+        existing.usage = add_usage(existing.item, existing.usage, incoming.usage)?;
+    } else {
+        lines.push(*incoming);
+    }
+    Ok(())
+}
+
+fn add_usage(
+    item: ChargeableItem,
+    a: UsageAmount,
+    b: UsageAmount,
+) -> Result<UsageAmount, RurError> {
+    match (a, b) {
+        (UsageAmount::Time(x), UsageAmount::Time(y)) => {
+            Ok(UsageAmount::Time(Duration::from_ms(
+                x.as_ms()
+                    .checked_add(y.as_ms())
+                    .ok_or(RurError::Overflow("usage time addition"))?,
+            )))
+        }
+        (UsageAmount::Occupancy(x), UsageAmount::Occupancy(y)) => {
+            Ok(UsageAmount::Occupancy(MbHours::from_mb_ms(
+                x.as_mb_ms()
+                    .checked_add(y.as_mb_ms())
+                    .ok_or(RurError::Overflow("usage occupancy addition"))?,
+            )))
+        }
+        (UsageAmount::Data(x), UsageAmount::Data(y)) => Ok(UsageAmount::Data(
+            DataSize::from_bytes(
+                x.as_bytes()
+                    .checked_add(y.as_bytes())
+                    .ok_or(RurError::Overflow("usage data addition"))?,
+            ),
+        )),
+        _ => Err(RurError::AggregationMismatch(format!(
+            "usage kinds for {item:?} do not match"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::money::Credits;
+    use crate::record::RurBuilder;
+
+    fn record_for_resource(n: u32, cpu_ms: u64) -> ResourceUsageRecord {
+        RurBuilder::default()
+            .user("submit.host", "/CN=alice")
+            .job("job-1", "sweep", 1_000 * n as u64, 10_000 + 1_000 * n as u64)
+            .resource(format!("r{n}.gsp.org"), "/CN=gsp-alpha", None, 100 + n as u64)
+            .line(
+                ChargeableItem::Cpu,
+                UsageAmount::Time(Duration::from_ms(cpu_ms)),
+                Credits::from_gd(1),
+            )
+            .line(
+                ChargeableItem::Network,
+                UsageAmount::Data(DataSize::from_mb(n as u64)),
+                Credits::from_milli(5),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn aggregates_four_resources() {
+        let records: Vec<_> = (1..=4).map(|n| record_for_resource(n, 1_000 * n as u64)).collect();
+        let combined = aggregate_records(&records).unwrap();
+        // CPU sums across R1-R4: 1+2+3+4 seconds.
+        let cpu = combined.line(ChargeableItem::Cpu).unwrap();
+        assert_eq!(cpu.usage, UsageAmount::Time(Duration::from_secs(10)));
+        // Network sums: 1+2+3+4 MB.
+        let net = combined.line(ChargeableItem::Network).unwrap();
+        assert_eq!(net.usage, UsageAmount::Data(DataSize::from_mb(10)));
+        // Envelope span.
+        assert_eq!(combined.job.start_ms, 1_000);
+        assert_eq!(combined.job.end_ms, 14_000);
+        // Cost equals sum of individual costs (same prices).
+        let individual: i128 = records
+            .iter()
+            .map(|r| r.total_cost().unwrap().micro())
+            .sum();
+        assert_eq!(combined.total_cost().unwrap().micro(), individual);
+    }
+
+    #[test]
+    fn single_record_is_identity() {
+        let r = record_for_resource(1, 500);
+        assert_eq!(aggregate_records(std::slice::from_ref(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(
+            aggregate_records(&[]),
+            Err(RurError::AggregationMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn consumer_mismatch_rejected() {
+        let a = record_for_resource(1, 100);
+        let mut b = record_for_resource(2, 100);
+        b.user.certificate_name = "/CN=bob".into();
+        assert!(matches!(
+            aggregate_records(&[a, b]),
+            Err(RurError::AggregationMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn provider_and_job_mismatch_rejected() {
+        let a = record_for_resource(1, 100);
+        let mut b = record_for_resource(2, 100);
+        b.resource.certificate_name = "/CN=gsp-beta".into();
+        assert!(aggregate_records(&[a.clone(), b]).is_err());
+
+        let mut c = record_for_resource(2, 100);
+        c.job.job_id = "job-2".into();
+        assert!(aggregate_records(&[a, c]).is_err());
+    }
+
+    #[test]
+    fn price_disagreement_rejected() {
+        let a = record_for_resource(1, 100);
+        let mut b = record_for_resource(2, 100);
+        b.lines[0].price_per_unit = Credits::from_gd(9);
+        assert!(matches!(
+            aggregate_records(&[a, b]),
+            Err(RurError::AggregationMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn disjoint_items_union() {
+        let a = record_for_resource(1, 100);
+        let mut b = record_for_resource(2, 100);
+        // b meters storage instead of cpu/network.
+        b.lines = vec![UsageLine {
+            item: ChargeableItem::Storage,
+            usage: UsageAmount::Occupancy(MbHours::from_mb_ms(77)),
+            price_per_unit: Credits::from_milli(1),
+        }];
+        let combined = aggregate_records(&[a, b]).unwrap();
+        assert!(combined.line(ChargeableItem::Cpu).is_some());
+        assert!(combined.line(ChargeableItem::Storage).is_some());
+        assert_eq!(combined.lines.len(), 3);
+    }
+}

@@ -1,0 +1,464 @@
+//! Canonical binary codec.
+//!
+//! GridBank stores the RUR "in a binary format" as a BLOB inside the
+//! TRANSFER record (§5.1). This module defines that format: a simple,
+//! versioned, length-prefixed encoding with explicit integer widths and no
+//! alignment. The [`Encode`]/[`Decode`] traits and the [`ByteWriter`]/
+//! [`ByteReader`] primitives are reused by `gridbank-core` for cheques,
+//! payment messages and the write-ahead journal, so every wire/storage
+//! artifact in the workspace shares one audited codec.
+
+use crate::error::RurError;
+use crate::money::Credits;
+use crate::record::{
+    ChargeableItem, JobDetails, ResourceDetails, ResourceUsageRecord, UsageAmount, UsageLine,
+    UserDetails,
+};
+use crate::units::{DataSize, Duration, MbHours};
+
+/// Format version tag leading every top-level record.
+pub const RUR_FORMAT_VERSION: u8 = 1;
+
+/// Append-only encoder.
+#[derive(Default, Debug)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with a capacity hint.
+    pub fn with_capacity(cap: usize) -> Self {
+        ByteWriter { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Finishes and returns the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a big-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a big-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a big-endian i128.
+    pub fn put_i128(&mut self, v: i128) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Writes an optional string (presence byte + value).
+    pub fn put_opt_str(&mut self, v: Option<&str>) {
+        match v {
+            Some(s) => {
+                self.put_u8(1);
+                self.put_str(s);
+            }
+            None => self.put_u8(0),
+        }
+    }
+}
+
+/// Sequential decoder over a byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless the whole input was consumed — trailing garbage in a
+    /// signed blob is always suspicious.
+    pub fn finish(self) -> Result<(), RurError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(RurError::Decode(format!("{} trailing bytes", self.remaining())))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RurError> {
+        if self.remaining() < n {
+            return Err(RurError::Decode(format!(
+                "need {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, RurError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32, RurError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a big-endian u64.
+    pub fn get_u64(&mut self) -> Result<u64, RurError> {
+        let b = self.take(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(u64::from_be_bytes(arr))
+    }
+
+    /// Reads a big-endian i128.
+    pub fn get_i128(&mut self) -> Result<i128, RurError> {
+        let b = self.take(16)?;
+        let mut arr = [0u8; 16];
+        arr.copy_from_slice(b);
+        Ok(i128::from_be_bytes(arr))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], RurError> {
+        let len = self.get_u32()? as usize;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, RurError> {
+        let bytes = self.get_bytes()?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| RurError::Decode(format!("invalid utf-8: {e}")))
+    }
+
+    /// Reads an optional string.
+    pub fn get_opt_str(&mut self) -> Result<Option<String>, RurError> {
+        match self.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.get_str()?)),
+            t => Err(RurError::Decode(format!("bad option tag {t}"))),
+        }
+    }
+}
+
+/// Types with a canonical binary encoding.
+pub trait Encode {
+    /// Appends this value to the writer.
+    fn encode(&self, w: &mut ByteWriter);
+
+    /// Convenience: encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+}
+
+/// Types decodable from the canonical encoding.
+pub trait Decode: Sized {
+    /// Reads one value from the reader.
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, RurError>;
+
+    /// Convenience: decode a complete buffer, rejecting trailing bytes.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, RurError> {
+        let mut r = ByteReader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+impl Encode for Credits {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_i128(self.micro());
+    }
+}
+
+impl Decode for Credits {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, RurError> {
+        Ok(Credits::from_micro(r.get_i128()?))
+    }
+}
+
+impl Encode for ChargeableItem {
+    fn encode(&self, w: &mut ByteWriter) {
+        let tag = ChargeableItem::ALL
+            .iter()
+            .position(|i| i == self)
+            .expect("item in ALL") as u8;
+        w.put_u8(tag);
+    }
+}
+
+impl Decode for ChargeableItem {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, RurError> {
+        let tag = r.get_u8()? as usize;
+        ChargeableItem::ALL
+            .get(tag)
+            .copied()
+            .ok_or_else(|| RurError::Decode(format!("bad chargeable item tag {tag}")))
+    }
+}
+
+impl Encode for UsageAmount {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            UsageAmount::Time(d) => {
+                w.put_u8(0);
+                w.put_u64(d.as_ms());
+            }
+            UsageAmount::Occupancy(o) => {
+                w.put_u8(1);
+                w.put_u64(o.as_mb_ms());
+            }
+            UsageAmount::Data(s) => {
+                w.put_u8(2);
+                w.put_u64(s.as_bytes());
+            }
+        }
+    }
+}
+
+impl Decode for UsageAmount {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, RurError> {
+        match r.get_u8()? {
+            0 => Ok(UsageAmount::Time(Duration::from_ms(r.get_u64()?))),
+            1 => Ok(UsageAmount::Occupancy(MbHours::from_mb_ms(r.get_u64()?))),
+            2 => Ok(UsageAmount::Data(DataSize::from_bytes(r.get_u64()?))),
+            t => Err(RurError::Decode(format!("bad usage amount tag {t}"))),
+        }
+    }
+}
+
+impl Encode for UsageLine {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.item.encode(w);
+        self.usage.encode(w);
+        self.price_per_unit.encode(w);
+    }
+}
+
+impl Decode for UsageLine {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, RurError> {
+        Ok(UsageLine {
+            item: ChargeableItem::decode(r)?,
+            usage: UsageAmount::decode(r)?,
+            price_per_unit: Credits::decode(r)?,
+        })
+    }
+}
+
+impl Encode for ResourceUsageRecord {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(RUR_FORMAT_VERSION);
+        w.put_str(&self.user.host);
+        w.put_str(&self.user.certificate_name);
+        w.put_str(&self.job.job_id);
+        w.put_str(&self.job.application);
+        w.put_u64(self.job.start_ms);
+        w.put_u64(self.job.end_ms);
+        w.put_str(&self.resource.host);
+        w.put_str(&self.resource.certificate_name);
+        w.put_opt_str(self.resource.host_type.as_deref());
+        w.put_u64(self.resource.local_job_id);
+        w.put_u32(self.lines.len() as u32);
+        for line in &self.lines {
+            line.encode(w);
+        }
+    }
+}
+
+impl Decode for ResourceUsageRecord {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, RurError> {
+        let version = r.get_u8()?;
+        if version != RUR_FORMAT_VERSION {
+            return Err(RurError::Decode(format!("unsupported RUR version {version}")));
+        }
+        let user = UserDetails { host: r.get_str()?, certificate_name: r.get_str()? };
+        let job = JobDetails {
+            job_id: r.get_str()?,
+            application: r.get_str()?,
+            start_ms: r.get_u64()?,
+            end_ms: r.get_u64()?,
+        };
+        let resource = ResourceDetails {
+            host: r.get_str()?,
+            certificate_name: r.get_str()?,
+            host_type: r.get_opt_str()?,
+            local_job_id: r.get_u64()?,
+        };
+        let n = r.get_u32()? as usize;
+        // Cap defensively: a record can't have more lines than items.
+        if n > ChargeableItem::ALL.len() {
+            return Err(RurError::Decode(format!("{n} usage lines exceeds maximum")));
+        }
+        let mut lines = Vec::with_capacity(n);
+        for _ in 0..n {
+            lines.push(UsageLine::decode(r)?);
+        }
+        Ok(ResourceUsageRecord { user, job, resource, lines })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::sample_record;
+    use proptest::prelude::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEADBEEF);
+        w.put_u64(u64::MAX);
+        w.put_i128(-5);
+        w.put_str("héllo");
+        w.put_bytes(&[1, 2, 3]);
+        w.put_opt_str(None);
+        w.put_opt_str(Some("x"));
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_i128().unwrap(), -5);
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        assert_eq!(r.get_bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(r.get_opt_str().unwrap(), None);
+        assert_eq!(r.get_opt_str().unwrap(), Some("x".into()));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_input_fails_cleanly() {
+        let bytes = sample_record().to_bytes();
+        for cut in [0, 1, 5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                ResourceUsageRecord::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = sample_record().to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            ResourceUsageRecord::from_bytes(&bytes),
+            Err(RurError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let r = sample_record();
+        let bytes = r.to_bytes();
+        let back = ResourceUsageRecord::from_bytes(&bytes).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.total_cost().unwrap(), r.total_cost().unwrap());
+    }
+
+    #[test]
+    fn version_is_checked() {
+        let mut bytes = sample_record().to_bytes();
+        bytes[0] = 99;
+        assert!(matches!(
+            ResourceUsageRecord::from_bytes(&bytes),
+            Err(RurError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn line_count_is_bounded() {
+        let mut w = ByteWriter::new();
+        let r = sample_record();
+        // Re-encode with a hostile line count.
+        w.put_u8(RUR_FORMAT_VERSION);
+        w.put_str(&r.user.host);
+        w.put_str(&r.user.certificate_name);
+        w.put_str(&r.job.job_id);
+        w.put_str(&r.job.application);
+        w.put_u64(r.job.start_ms);
+        w.put_u64(r.job.end_ms);
+        w.put_str(&r.resource.host);
+        w.put_str(&r.resource.certificate_name);
+        w.put_opt_str(r.resource.host_type.as_deref());
+        w.put_u64(r.resource.local_job_id);
+        w.put_u32(u32::MAX);
+        assert!(ResourceUsageRecord::from_bytes(&w.into_bytes()).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn usage_amount_round_trips(tag in 0u8..3, v in any::<u64>()) {
+            let amount = match tag {
+                0 => UsageAmount::Time(crate::units::Duration::from_ms(v)),
+                1 => UsageAmount::Occupancy(crate::units::MbHours::from_mb_ms(v)),
+                _ => UsageAmount::Data(crate::units::DataSize::from_bytes(v)),
+            };
+            let bytes = amount.to_bytes();
+            prop_assert_eq!(UsageAmount::from_bytes(&bytes).unwrap(), amount);
+        }
+
+        #[test]
+        fn credits_round_trip(v in any::<i64>()) {
+            let c = Credits::from_micro(v as i128);
+            prop_assert_eq!(Credits::from_bytes(&c.to_bytes()).unwrap(), c);
+        }
+
+        #[test]
+        fn arbitrary_strings_round_trip(s in ".{0,64}") {
+            let mut w = ByteWriter::new();
+            w.put_str(&s);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            prop_assert_eq!(r.get_str().unwrap(), s);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Error type for record construction, conversion, and codecs.
+
+use std::fmt;
+
+/// Errors from RUR construction, validation, conversion and (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RurError {
+    /// A required field was missing when building a record.
+    MissingField(&'static str),
+    /// A field carried an out-of-range or inconsistent value.
+    Invalid {
+        /// Field name.
+        field: &'static str,
+        /// Human-readable reason.
+        why: String,
+    },
+    /// Arithmetic overflow while computing usage or cost.
+    Overflow(&'static str),
+    /// The byte stream ended early or carried a bad tag/length.
+    Decode(String),
+    /// The textual form could not be parsed.
+    Parse(String),
+    /// Aggregation was asked to merge records that do not belong together.
+    AggregationMismatch(String),
+}
+
+impl fmt::Display for RurError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RurError::MissingField(name) => write!(f, "missing required field `{name}`"),
+            RurError::Invalid { field, why } => write!(f, "invalid field `{field}`: {why}"),
+            RurError::Overflow(what) => write!(f, "arithmetic overflow in {what}"),
+            RurError::Decode(why) => write!(f, "decode error: {why}"),
+            RurError::Parse(why) => write!(f, "parse error: {why}"),
+            RurError::AggregationMismatch(why) => write!(f, "aggregation mismatch: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for RurError {}

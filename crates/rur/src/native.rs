@@ -1,0 +1,374 @@
+//! Native (OS-flavoured) raw accounting records and the conversion unit.
+//!
+//! Figure 2 of the paper: the Grid Resource Meter obtains *raw usage
+//! statistics* from the local OS or scheduler, "filters relevant fields in
+//! the record and passes them to the conversion unit, which generates a
+//! standard OS-independent Resource Usage Record".
+//!
+//! Since no real testbed is available (see DESIGN.md substitutions), three
+//! historically-plausible native formats are modelled, each with its own
+//! units and with extra fields that the filter must drop:
+//!
+//! * [`LinuxRusage`] — `getrusage(2)`-style: microsecond CPU timers, RSS in
+//!   kilobytes, 512-byte I/O blocks, plus irrelevant fault/signal counters.
+//! * [`SolarisAcct`] — `acct(2)`-style: clock-tick timers (100 Hz), memory
+//!   in 8 KB pages, I/O in characters.
+//! * [`CrayCsa`] — CSA-style: millisecond timers, memory in million-word
+//!   (8 MB) units, I/O in 4 KB sectors. ("Host type (e.g. Cray)" is the
+//!   paper's own example.)
+//!
+//! [`NativeUsageRecord::normalize`] is the conversion unit: every flavour
+//! maps onto the same [`NormalizedUsage`], from which the meter builds
+//! priced RUR lines.
+
+use crate::error::RurError;
+use crate::units::{DataSize, Duration, MbHours};
+
+/// OS-independent normalized usage — the conversion unit's output.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NormalizedUsage {
+    /// Wall-clock span of the job.
+    pub wall: Duration,
+    /// User CPU time.
+    pub cpu: Duration,
+    /// System CPU time (prices "software libraries" per the paper).
+    pub sys_cpu: Duration,
+    /// Main-memory occupancy.
+    pub memory: MbHours,
+    /// Secondary-storage occupancy.
+    pub storage: MbHours,
+    /// Total network/I/O traffic.
+    pub network: DataSize,
+}
+
+impl NormalizedUsage {
+    /// Component-wise accumulation (used when a job spans several
+    /// processes or metering intervals).
+    pub fn accumulate(&mut self, other: &NormalizedUsage) {
+        self.wall = self.wall.saturating_add(other.wall);
+        self.cpu = self.cpu.saturating_add(other.cpu);
+        self.sys_cpu = self.sys_cpu.saturating_add(other.sys_cpu);
+        self.memory = self.memory.saturating_add(other.memory);
+        self.storage = self.storage.saturating_add(other.storage);
+        self.network = self.network.saturating_add(other.network);
+    }
+
+    /// True when every component is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == NormalizedUsage::default()
+    }
+}
+
+/// `getrusage`-flavoured raw record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinuxRusage {
+    /// Process id.
+    pub pid: u32,
+    /// Job start, epoch ms.
+    pub start_ms: u64,
+    /// Job end, epoch ms.
+    pub end_ms: u64,
+    /// User CPU, microseconds.
+    pub utime_us: u64,
+    /// System CPU, microseconds.
+    pub stime_us: u64,
+    /// Maximum resident set size, kilobytes.
+    pub maxrss_kb: u64,
+    /// Scratch space used, kilobytes.
+    pub scratch_kb: u64,
+    /// Bytes received + sent on the network.
+    pub net_bytes: u64,
+    /// Block-input operations (512-byte blocks) — counted into storage I/O.
+    pub inblock: u64,
+    /// Block-output operations (512-byte blocks).
+    pub oublock: u64,
+    /// Minor page faults — *filtered out* by the conversion unit.
+    pub minflt: u64,
+    /// Signals received — *filtered out*.
+    pub nsignals: u64,
+}
+
+/// `acct(2)`-flavoured raw record (System V accounting).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SolarisAcct {
+    /// Process id.
+    pub pid: u32,
+    /// Job start, epoch ms.
+    pub start_ms: u64,
+    /// Elapsed time in clock ticks (100 Hz).
+    pub etime_ticks: u64,
+    /// User CPU in clock ticks.
+    pub utime_ticks: u64,
+    /// System CPU in clock ticks.
+    pub stime_ticks: u64,
+    /// Mean memory usage, 8 KB pages.
+    pub mem_pages: u64,
+    /// Scratch usage, 8 KB pages.
+    pub scratch_pages: u64,
+    /// Characters transferred (network + disk combined; the conversion
+    /// unit attributes them all to I/O traffic).
+    pub io_chars: u64,
+    /// Accounting flags — *filtered out*.
+    pub ac_flag: u8,
+    /// Exit status — *filtered out*.
+    pub ac_stat: u8,
+}
+
+/// Cray CSA-flavoured raw record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrayCsa {
+    /// CSA job id.
+    pub jid: u64,
+    /// Job start, epoch ms.
+    pub start_ms: u64,
+    /// Job end, epoch ms.
+    pub end_ms: u64,
+    /// User CPU, milliseconds.
+    pub ucpu_ms: u64,
+    /// System CPU, milliseconds.
+    pub scpu_ms: u64,
+    /// Memory high-water mark, million 8-byte words (= 8 MB units).
+    pub himem_mwords: u64,
+    /// Disk allocation, 4 KB sectors.
+    pub disk_sectors: u64,
+    /// Network traffic, 4 KB sectors.
+    pub net_sectors: u64,
+    /// Billing weight applied by local site policy — *filtered out* (the
+    /// Grid rate table is authoritative, not local weights).
+    pub billing_weight: u32,
+}
+
+/// A raw record in any supported native flavour.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NativeUsageRecord {
+    /// Linux `getrusage` flavour.
+    Linux(LinuxRusage),
+    /// Solaris `acct` flavour.
+    Solaris(SolarisAcct),
+    /// Cray CSA flavour.
+    Cray(CrayCsa),
+}
+
+impl NativeUsageRecord {
+    /// Name of the native format, for provenance/host-type fields.
+    pub fn flavour(&self) -> &'static str {
+        match self {
+            NativeUsageRecord::Linux(_) => "Linux/getrusage",
+            NativeUsageRecord::Solaris(_) => "Solaris/acct",
+            NativeUsageRecord::Cray(_) => "Cray/CSA",
+        }
+    }
+
+    /// The local job/process id, carried into the RUR "to settle disputes
+    /// about resource consumption".
+    pub fn local_job_id(&self) -> u64 {
+        match self {
+            NativeUsageRecord::Linux(r) => r.pid as u64,
+            NativeUsageRecord::Solaris(r) => r.pid as u64,
+            NativeUsageRecord::Cray(r) => r.jid,
+        }
+    }
+
+    /// Job start time in epoch milliseconds.
+    pub fn start_ms(&self) -> u64 {
+        match self {
+            NativeUsageRecord::Linux(r) => r.start_ms,
+            NativeUsageRecord::Solaris(r) => r.start_ms,
+            NativeUsageRecord::Cray(r) => r.start_ms,
+        }
+    }
+
+    /// Job end time in epoch milliseconds.
+    pub fn end_ms(&self) -> u64 {
+        match self {
+            NativeUsageRecord::Linux(r) => r.end_ms,
+            NativeUsageRecord::Solaris(r) => r.start_ms + r.etime_ticks * 10,
+            NativeUsageRecord::Cray(r) => r.end_ms,
+        }
+    }
+
+    /// The conversion unit: filters relevant fields and maps native units
+    /// onto the OS-independent [`NormalizedUsage`].
+    pub fn normalize(&self) -> Result<NormalizedUsage, RurError> {
+        match self {
+            NativeUsageRecord::Linux(r) => {
+                if r.end_ms < r.start_ms {
+                    return Err(RurError::Invalid {
+                        field: "end_ms",
+                        why: "job ends before it starts".into(),
+                    });
+                }
+                let wall = Duration::from_ms(r.end_ms - r.start_ms);
+                let mem = DataSize::from_bytes(r.maxrss_kb.saturating_mul(1024));
+                let scratch = DataSize::from_bytes(r.scratch_kb.saturating_mul(1024));
+                // Block I/O counts toward traffic alongside network bytes.
+                let block_bytes = (r.inblock + r.oublock).saturating_mul(512);
+                Ok(NormalizedUsage {
+                    wall,
+                    cpu: Duration::from_ms(r.utime_us / 1_000),
+                    sys_cpu: Duration::from_ms(r.stime_us / 1_000),
+                    memory: MbHours::occupancy(mem, wall),
+                    storage: MbHours::occupancy(scratch, wall),
+                    network: DataSize::from_bytes(r.net_bytes.saturating_add(block_bytes)),
+                })
+            }
+            NativeUsageRecord::Solaris(r) => {
+                // 100 Hz ticks → 10 ms each; pages are 8 KB.
+                let wall = Duration::from_ms(r.etime_ticks * 10);
+                let mem = DataSize::from_bytes(r.mem_pages.saturating_mul(8 * 1024));
+                let scratch = DataSize::from_bytes(r.scratch_pages.saturating_mul(8 * 1024));
+                Ok(NormalizedUsage {
+                    wall,
+                    cpu: Duration::from_ms(r.utime_ticks * 10),
+                    sys_cpu: Duration::from_ms(r.stime_ticks * 10),
+                    memory: MbHours::occupancy(mem, wall),
+                    storage: MbHours::occupancy(scratch, wall),
+                    network: DataSize::from_bytes(r.io_chars),
+                })
+            }
+            NativeUsageRecord::Cray(r) => {
+                if r.end_ms < r.start_ms {
+                    return Err(RurError::Invalid {
+                        field: "end_ms",
+                        why: "job ends before it starts".into(),
+                    });
+                }
+                let wall = Duration::from_ms(r.end_ms - r.start_ms);
+                // A million 8-byte words = 8 MB.
+                let mem = DataSize::from_bytes(r.himem_mwords.saturating_mul(8_000_000));
+                let disk = DataSize::from_bytes(r.disk_sectors.saturating_mul(4096));
+                Ok(NormalizedUsage {
+                    wall,
+                    cpu: Duration::from_ms(r.ucpu_ms),
+                    sys_cpu: Duration::from_ms(r.scpu_ms),
+                    memory: MbHours::occupancy(mem, wall),
+                    storage: MbHours::occupancy(disk, wall),
+                    network: DataSize::from_bytes(r.net_sectors.saturating_mul(4096)),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::MS_PER_HOUR;
+
+    fn linux_record() -> LinuxRusage {
+        LinuxRusage {
+            pid: 4242,
+            start_ms: 0,
+            end_ms: MS_PER_HOUR, // 1 hour
+            utime_us: 30 * 60 * 1_000_000, // 30 CPU-minutes
+            stime_us: 5 * 60 * 1_000_000,  // 5 system-minutes
+            maxrss_kb: 1024 * 1024,        // 1 GiB RSS
+            scratch_kb: 512 * 1024,
+            net_bytes: 50_000_000,
+            inblock: 1000,
+            oublock: 1000,
+            minflt: 999_999,
+            nsignals: 3,
+        }
+    }
+
+    #[test]
+    fn linux_conversion_units() {
+        let n = NativeUsageRecord::Linux(linux_record()).normalize().unwrap();
+        assert_eq!(n.wall, Duration::from_hours(1));
+        assert_eq!(n.cpu, Duration::from_ms(30 * 60 * 1000));
+        assert_eq!(n.sys_cpu, Duration::from_ms(5 * 60 * 1000));
+        // 1 GiB = 1073.741824 MB for one hour.
+        assert_eq!(
+            n.memory,
+            MbHours::occupancy(DataSize::from_bytes(1024 * 1024 * 1024), Duration::from_hours(1))
+        );
+        // Network = raw bytes + 2000 blocks × 512.
+        assert_eq!(n.network.as_bytes(), 50_000_000 + 2000 * 512);
+    }
+
+    #[test]
+    fn irrelevant_fields_are_filtered() {
+        let mut a = linux_record();
+        let mut b = linux_record();
+        a.minflt = 0;
+        a.nsignals = 0;
+        b.minflt = u64::MAX;
+        b.nsignals = u64::MAX;
+        assert_eq!(
+            NativeUsageRecord::Linux(a).normalize().unwrap(),
+            NativeUsageRecord::Linux(b).normalize().unwrap()
+        );
+    }
+
+    #[test]
+    fn solaris_tick_and_page_units() {
+        let r = SolarisAcct {
+            pid: 7,
+            start_ms: 1_000,
+            etime_ticks: 360_000, // 3600 s
+            utime_ticks: 180_000, // 1800 s
+            stime_ticks: 6_000,   // 60 s
+            mem_pages: 131_072,   // 1 GiB in 8 KB pages
+            scratch_pages: 0,
+            io_chars: 12_345,
+            ac_flag: 1,
+            ac_stat: 0,
+        };
+        let rec = NativeUsageRecord::Solaris(r);
+        assert_eq!(rec.end_ms(), 1_000 + 3_600_000);
+        let n = rec.normalize().unwrap();
+        assert_eq!(n.wall, Duration::from_hours(1));
+        assert_eq!(n.cpu, Duration::from_secs(1800));
+        assert_eq!(n.sys_cpu, Duration::from_secs(60));
+        assert_eq!(n.network.as_bytes(), 12_345);
+    }
+
+    #[test]
+    fn cray_units_and_billing_weight_ignored() {
+        let mk = |weight| CrayCsa {
+            jid: 99,
+            start_ms: 0,
+            end_ms: 7_200_000,
+            ucpu_ms: 3_600_000,
+            scpu_ms: 60_000,
+            himem_mwords: 4, // 32 MB
+            disk_sectors: 256,
+            net_sectors: 128,
+            billing_weight: weight,
+        };
+        let a = NativeUsageRecord::Cray(mk(1)).normalize().unwrap();
+        let b = NativeUsageRecord::Cray(mk(1000)).normalize().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.wall, Duration::from_hours(2));
+        assert_eq!(a.network.as_bytes(), 128 * 4096);
+        assert_eq!(a.storage, MbHours::occupancy(DataSize::from_bytes(256 * 4096), Duration::from_hours(2)));
+    }
+
+    #[test]
+    fn negative_span_rejected() {
+        let mut r = linux_record();
+        r.end_ms = 0;
+        r.start_ms = 10;
+        assert!(NativeUsageRecord::Linux(r).normalize().is_err());
+    }
+
+    #[test]
+    fn accumulate_adds_componentwise() {
+        let n1 = NativeUsageRecord::Linux(linux_record()).normalize().unwrap();
+        let mut acc = NormalizedUsage::default();
+        assert!(acc.is_zero());
+        acc.accumulate(&n1);
+        acc.accumulate(&n1);
+        assert_eq!(acc.cpu.as_ms(), 2 * n1.cpu.as_ms());
+        assert_eq!(acc.network.as_bytes(), 2 * n1.network.as_bytes());
+        assert!(!acc.is_zero());
+    }
+
+    #[test]
+    fn flavour_and_local_id() {
+        let l = NativeUsageRecord::Linux(linux_record());
+        assert_eq!(l.flavour(), "Linux/getrusage");
+        assert_eq!(l.local_job_id(), 4242);
+    }
+}

@@ -1,0 +1,320 @@
+//! XML-like textual rendering of usage records.
+//!
+//! The paper: "whatever format is chosen (e.g. XML), GridBank stores RUR
+//! in binary format … the RUR can be independently defined by the Grid
+//! sites … Grid Resource Meter Module can then perform translations from
+//! one record format into another." This module is that textual side: a
+//! deterministic XML-ish writer and a strict parser, so sites exchanging
+//! text records can be translated to/from the canonical binary codec.
+//!
+//! The grammar is a deliberately small XML subset: elements, no
+//! attributes, `&amp; &lt; &gt;` escaping, UTF-8.
+
+use crate::error::RurError;
+use crate::money::Credits;
+use crate::record::{
+    ChargeableItem, JobDetails, ResourceDetails, ResourceUsageRecord, UsageAmount, UsageLine,
+    UserDetails,
+};
+use crate::units::{DataSize, Duration, MbHours};
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn unescape(s: &str) -> Result<String, RurError> {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        if let Some(stripped) = rest.strip_prefix("&amp;") {
+            out.push('&');
+            rest = stripped;
+        } else if let Some(stripped) = rest.strip_prefix("&lt;") {
+            out.push('<');
+            rest = stripped;
+        } else if let Some(stripped) = rest.strip_prefix("&gt;") {
+            out.push('>');
+            rest = stripped;
+        } else {
+            return Err(RurError::Parse(format!("bad entity near `{}`", &rest[..rest.len().min(8)])));
+        }
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+fn elem(name: &str, value: &str, indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push(' ');
+    }
+    out.push('<');
+    out.push_str(name);
+    out.push('>');
+    escape(value, out);
+    out.push_str("</");
+    out.push_str(name);
+    out.push_str(">\n");
+}
+
+/// Renders a record as indented XML-like text.
+pub fn to_text(record: &ResourceUsageRecord) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str("<rur>\n");
+    out.push_str(" <user>\n");
+    elem("host", &record.user.host, 2, &mut out);
+    elem("cert", &record.user.certificate_name, 2, &mut out);
+    out.push_str(" </user>\n <job>\n");
+    elem("id", &record.job.job_id, 2, &mut out);
+    elem("application", &record.job.application, 2, &mut out);
+    elem("start_ms", &record.job.start_ms.to_string(), 2, &mut out);
+    elem("end_ms", &record.job.end_ms.to_string(), 2, &mut out);
+    out.push_str(" </job>\n <resource>\n");
+    elem("host", &record.resource.host, 2, &mut out);
+    elem("cert", &record.resource.certificate_name, 2, &mut out);
+    if let Some(ht) = &record.resource.host_type {
+        elem("host_type", ht, 2, &mut out);
+    }
+    elem("local_job_id", &record.resource.local_job_id.to_string(), 2, &mut out);
+    out.push_str(" </resource>\n");
+    for line in &record.lines {
+        out.push_str(" <usage>\n");
+        elem("item", line.item.name(), 2, &mut out);
+        let (kind, value) = match line.usage {
+            UsageAmount::Time(d) => ("time_ms", d.as_ms()),
+            UsageAmount::Occupancy(o) => ("mb_ms", o.as_mb_ms()),
+            UsageAmount::Data(s) => ("bytes", s.as_bytes()),
+        };
+        elem(kind, &value.to_string(), 2, &mut out);
+        elem("price_micro_gd", &line.price_per_unit.micro().to_string(), 2, &mut out);
+        out.push_str(" </usage>\n");
+    }
+    out.push_str("</rur>\n");
+    out
+}
+
+/// A minimal pull-parser over the XML subset.
+struct Parser<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { rest: input }
+    }
+
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    /// Consumes `<name>` if next; returns whether it was consumed.
+    fn try_open(&mut self, name: &str) -> bool {
+        self.skip_ws();
+        let tag = format!("<{name}>");
+        if let Some(stripped) = self.rest.strip_prefix(&tag) {
+            self.rest = stripped;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_open(&mut self, name: &str) -> Result<(), RurError> {
+        if self.try_open(name) {
+            Ok(())
+        } else {
+            Err(RurError::Parse(format!(
+                "expected <{name}> near `{}`",
+                &self.rest[..self.rest.len().min(24)]
+            )))
+        }
+    }
+
+    fn expect_close(&mut self, name: &str) -> Result<(), RurError> {
+        self.skip_ws();
+        let tag = format!("</{name}>");
+        if let Some(stripped) = self.rest.strip_prefix(&tag) {
+            self.rest = stripped;
+            Ok(())
+        } else {
+            Err(RurError::Parse(format!(
+                "expected </{name}> near `{}`",
+                &self.rest[..self.rest.len().min(24)]
+            )))
+        }
+    }
+
+    /// Parses `<name>text</name>` and returns the unescaped text.
+    fn leaf(&mut self, name: &str) -> Result<String, RurError> {
+        self.expect_open(name)?;
+        let end = self
+            .rest
+            .find('<')
+            .ok_or_else(|| RurError::Parse(format!("unterminated <{name}>")))?;
+        let raw = &self.rest[..end];
+        self.rest = &self.rest[end..];
+        let value = unescape(raw)?;
+        self.expect_close(name)?;
+        Ok(value)
+    }
+
+    /// Like [`Self::leaf`] but only if the element is present.
+    fn try_leaf(&mut self, name: &str) -> Result<Option<String>, RurError> {
+        if self.try_open(name) {
+            let end = self
+                .rest
+                .find('<')
+                .ok_or_else(|| RurError::Parse(format!("unterminated <{name}>")))?;
+            let raw = &self.rest[..end];
+            self.rest = &self.rest[end..];
+            let value = unescape(raw)?;
+            self.expect_close(name)?;
+            Ok(Some(value))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn leaf_u64(&mut self, name: &str) -> Result<u64, RurError> {
+        self.leaf(name)?
+            .parse()
+            .map_err(|e| RurError::Parse(format!("<{name}>: {e}")))
+    }
+
+    fn leaf_i128(&mut self, name: &str) -> Result<i128, RurError> {
+        self.leaf(name)?
+            .parse()
+            .map_err(|e| RurError::Parse(format!("<{name}>: {e}")))
+    }
+}
+
+/// Parses the textual form back into a record (validating it).
+pub fn from_text(input: &str) -> Result<ResourceUsageRecord, RurError> {
+    let mut p = Parser::new(input);
+    p.expect_open("rur")?;
+
+    p.expect_open("user")?;
+    let user = UserDetails { host: p.leaf("host")?, certificate_name: p.leaf("cert")? };
+    p.expect_close("user")?;
+
+    p.expect_open("job")?;
+    let job = JobDetails {
+        job_id: p.leaf("id")?,
+        application: p.leaf("application")?,
+        start_ms: p.leaf_u64("start_ms")?,
+        end_ms: p.leaf_u64("end_ms")?,
+    };
+    p.expect_close("job")?;
+
+    p.expect_open("resource")?;
+    let host = p.leaf("host")?;
+    let cert = p.leaf("cert")?;
+    let host_type = p.try_leaf("host_type")?;
+    let local_job_id = p.leaf_u64("local_job_id")?;
+    p.expect_close("resource")?;
+    let resource = ResourceDetails { host, certificate_name: cert, host_type, local_job_id };
+
+    let mut lines = Vec::new();
+    while p.try_open("usage") {
+        let item_name = p.leaf("item")?;
+        let item = ChargeableItem::from_name(&item_name)
+            .ok_or_else(|| RurError::Parse(format!("unknown item `{item_name}`")))?;
+        let usage = if let Some(v) = p.try_leaf("time_ms")? {
+            UsageAmount::Time(Duration::from_ms(
+                v.parse().map_err(|e| RurError::Parse(format!("time_ms: {e}")))?,
+            ))
+        } else if let Some(v) = p.try_leaf("mb_ms")? {
+            UsageAmount::Occupancy(MbHours::from_mb_ms(
+                v.parse().map_err(|e| RurError::Parse(format!("mb_ms: {e}")))?,
+            ))
+        } else if let Some(v) = p.try_leaf("bytes")? {
+            UsageAmount::Data(DataSize::from_bytes(
+                v.parse().map_err(|e| RurError::Parse(format!("bytes: {e}")))?,
+            ))
+        } else {
+            return Err(RurError::Parse("usage element missing quantity".into()));
+        };
+        let price = Credits::from_micro(p.leaf_i128("price_micro_gd")?);
+        lines.push(UsageLine { item, usage, price_per_unit: price });
+        p.expect_close("usage")?;
+    }
+    p.expect_close("rur")?;
+
+    let record = ResourceUsageRecord { user, job, resource, lines };
+    record.validate()?;
+    Ok(record)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::sample_record;
+
+    #[test]
+    fn round_trip() {
+        let r = sample_record();
+        let text = to_text(&r);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let mut r = sample_record();
+        r.job.application = "a<b>&c &amp; literal".into();
+        r.user.host = "<<>>&&".into();
+        let back = from_text(&to_text(&r)).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn optional_host_type_absent() {
+        let mut r = sample_record();
+        r.resource.host_type = None;
+        let text = to_text(&r);
+        assert!(!text.contains("host_type"));
+        assert_eq!(from_text(&text).unwrap(), r);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_text("").is_err());
+        assert!(from_text("<rur>").is_err());
+        let text = to_text(&sample_record());
+        // Break a numeric field.
+        let broken = text.replace("<start_ms>1000</start_ms>", "<start_ms>abc</start_ms>");
+        assert!(matches!(from_text(&broken), Err(RurError::Parse(_))));
+        // Unknown item.
+        let broken = text.replace("<item>cpu</item>", "<item>quantum</item>");
+        assert!(matches!(from_text(&broken), Err(RurError::Parse(_))));
+        // Bad entity.
+        let broken = text.replace("povray-render", "povray&bad;");
+        assert!(from_text(&broken).is_err());
+    }
+
+    #[test]
+    fn parsed_records_are_validated() {
+        let text = to_text(&sample_record());
+        // Make end precede start: structurally fine, semantically invalid.
+        let broken = text
+            .replace("<start_ms>1000</start_ms>", "<start_ms>9999999</start_ms>");
+        assert!(matches!(from_text(&broken), Err(RurError::Invalid { .. })));
+    }
+
+    #[test]
+    fn text_and_binary_agree() {
+        use crate::codec::{Decode, Encode};
+        let r = sample_record();
+        let via_text = from_text(&to_text(&r)).unwrap();
+        let via_binary = ResourceUsageRecord::from_bytes(&r.to_bytes()).unwrap();
+        assert_eq!(via_text, via_binary);
+    }
+}

@@ -1,0 +1,221 @@
+//! Discrete-event simulation core.
+//!
+//! Events are `FnOnce(&mut W, &mut Scheduler)` closures ordered by
+//! `(time, sequence)`, so same-time events fire in scheduling order and
+//! runs are bit-for-bit reproducible. Handlers receive a [`Scheduler`]
+//! (not the simulator itself) to enqueue follow-up events; the buffer is
+//! drained after each handler returns, sidestepping borrow conflicts
+//! without interior mutability.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An event handler over world state `W`.
+pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>;
+
+struct Scheduled<W> {
+    at_ms: u64,
+    seq: u64,
+    handler: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at_ms, self.seq) == (other.at_ms, other.seq)
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at_ms, self.seq).cmp(&(other.at_ms, other.seq))
+    }
+}
+
+/// The deferred-scheduling handle handlers receive.
+pub struct Scheduler<W> {
+    now_ms: u64,
+    buffered: Vec<(u64, EventFn<W>)>,
+}
+
+impl<W> Scheduler<W> {
+    /// Current virtual time.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Schedules a handler at absolute time `at_ms` (clamped to now).
+    pub fn at(&mut self, at_ms: u64, handler: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static) {
+        self.buffered.push((at_ms.max(self.now_ms), Box::new(handler)));
+    }
+
+    /// Schedules a handler `delay_ms` from now.
+    pub fn after(
+        &mut self,
+        delay_ms: u64,
+        handler: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    ) {
+        self.at(self.now_ms.saturating_add(delay_ms), handler);
+    }
+}
+
+/// The simulator: queue + clock over a world `W`.
+pub struct Simulator<W> {
+    queue: BinaryHeap<Reverse<Scheduled<W>>>,
+    now_ms: u64,
+    seq: u64,
+    events_processed: u64,
+}
+
+impl<W> Default for Simulator<W> {
+    fn default() -> Self {
+        Simulator { queue: BinaryHeap::new(), now_ms: 0, seq: 0, events_processed: 0 }
+    }
+}
+
+impl<W> Simulator<W> {
+    /// A fresh simulator at t=0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Events executed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Pending event count.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules a handler at absolute virtual time.
+    pub fn schedule_at(
+        &mut self,
+        at_ms: u64,
+        handler: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    ) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            at_ms: at_ms.max(self.now_ms),
+            seq,
+            handler: Box::new(handler),
+        }));
+    }
+
+    /// Runs events until the queue drains or `until_ms` is passed;
+    /// returns the number of events executed. Events scheduled beyond
+    /// `until_ms` remain queued.
+    pub fn run_until(&mut self, world: &mut W, until_ms: u64) -> u64 {
+        let mut ran = 0;
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at_ms > until_ms {
+                break;
+            }
+            let Reverse(event) = self.queue.pop().expect("peeked");
+            self.now_ms = self.now_ms.max(event.at_ms);
+            let mut scheduler = Scheduler { now_ms: self.now_ms, buffered: Vec::new() };
+            (event.handler)(world, &mut scheduler);
+            for (at, h) in scheduler.buffered {
+                let seq = self.seq;
+                self.seq += 1;
+                self.queue.push(Reverse(Scheduled { at_ms: at.max(self.now_ms), seq, handler: h }));
+            }
+            ran += 1;
+            self.events_processed += 1;
+        }
+        // Advance the clock to a finite horizon if we drained early, so
+        // repeated run_until calls see time progress; an unbounded run
+        // leaves the clock at the last event.
+        if self.queue.is_empty() && until_ms != u64::MAX {
+            self.now_ms = self.now_ms.max(until_ms);
+        }
+        ran
+    }
+
+    /// Runs to queue exhaustion.
+    pub fn run(&mut self, world: &mut W) -> u64 {
+        self.run_until(world, u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulator::new();
+        let mut world: Vec<(u64, &str)> = Vec::new();
+        sim.schedule_at(30, |w: &mut Vec<(u64, &str)>, s| w.push((s.now_ms(), "c")));
+        sim.schedule_at(10, |w, s| w.push((s.now_ms(), "a")));
+        sim.schedule_at(20, |w, s| w.push((s.now_ms(), "b")));
+        assert_eq!(sim.run(&mut world), 3);
+        assert_eq!(world, vec![(10, "a"), (20, "b"), (30, "c")]);
+        assert_eq!(sim.now_ms(), 30);
+    }
+
+    #[test]
+    fn same_time_events_fire_in_schedule_order() {
+        let mut sim = Simulator::new();
+        let mut world = Vec::new();
+        for i in 0..10 {
+            sim.schedule_at(5, move |w: &mut Vec<usize>, _s| w.push(i));
+        }
+        sim.run(&mut world);
+        assert_eq!(world, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut sim = Simulator::new();
+        let mut world = Vec::new();
+        sim.schedule_at(0, |w: &mut Vec<u64>, s| {
+            w.push(s.now_ms());
+            s.after(100, |w, s| {
+                w.push(s.now_ms());
+                s.after(100, |w, s| w.push(s.now_ms()));
+            });
+        });
+        sim.run(&mut world);
+        assert_eq!(world, vec![0, 100, 200]);
+        assert_eq!(sim.events_processed(), 3);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim = Simulator::new();
+        let mut world = Vec::new();
+        for t in [10u64, 20, 30, 40] {
+            sim.schedule_at(t, move |w: &mut Vec<u64>, _s| w.push(t));
+        }
+        assert_eq!(sim.run_until(&mut world, 25), 2);
+        assert_eq!(world, vec![10, 20]);
+        assert_eq!(sim.pending(), 2);
+        assert_eq!(sim.run_until(&mut world, 100), 2);
+        assert_eq!(world, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn past_times_clamp_to_now() {
+        let mut sim = Simulator::new();
+        let mut world = Vec::new();
+        sim.schedule_at(50, |w: &mut Vec<u64>, s| {
+            // Tries to schedule in the past; fires immediately at now.
+            s.at(1, |w, s| w.push(s.now_ms()));
+            w.push(s.now_ms());
+        });
+        sim.run(&mut world);
+        assert_eq!(world, vec![50, 50]);
+    }
+}

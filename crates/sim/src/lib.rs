@@ -1,0 +1,31 @@
+//! # gridbank-sim
+//!
+//! The testing substrate the paper names: "'GridSim' is a Grid simulation
+//! toolkit for resource modeling and application scheduling, which can be
+//! used to simulate rather than build a computational Grid for testing
+//! purposes" (§1). Everything is deterministic under a seed.
+//!
+//! * [`engine`] — a discrete-event simulation core: virtual clock, a
+//!   stable (time, sequence)-ordered event queue, and a deferred
+//!   scheduler so events can schedule further events while borrowing the
+//!   world.
+//! * [`workload`] — seeded workload generation: Poisson arrivals and job
+//!   size distributions.
+//! * [`topology`] — grid construction: heterogeneous providers (speed,
+//!   price, OS flavour) and funded consumers around one GridBank.
+//! * [`metrics`] — small statistics helpers for experiment reports.
+//! * [`scenario`] — the drivers behind the paper's figures: the
+//!   end-to-end open-market scenario (Figure 1), the co-operative barter
+//!   community (Figure 4), and the competitive market with bank-assisted
+//!   price estimation (§4.2).
+
+pub mod engine;
+pub mod metrics;
+pub mod scenario;
+pub mod topology;
+pub mod workload;
+
+pub use engine::Simulator;
+pub use scenario::{CoopReport, GridScenario, MarketReport, ScenarioConfig};
+pub use topology::{build_grid, TopologyConfig};
+pub use workload::{JobSizeDistribution, WorkloadConfig, WorkloadEvent};

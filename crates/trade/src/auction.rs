@@ -1,0 +1,432 @@
+//! Auction protocols from the GRACE economic-model menu [2,4].
+//!
+//! Providers may sell capacity by auction instead of posted prices or
+//! bargaining. Implemented: English (open ascending), Dutch (open
+//! descending), first-price sealed-bid, Vickrey (second-price sealed-bid),
+//! and a clearing-price double auction for symmetric markets.
+//!
+//! All auctions are deterministic state machines driven by explicit calls
+//! — no wall-clock — so the discrete-event simulator can schedule rounds.
+
+use gridbank_rur::Credits;
+
+use crate::error::TradeError;
+
+/// A winning allocation: who pays what.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Award {
+    /// Winner identity (certificate name).
+    pub winner: String,
+    /// Price the winner pays.
+    pub price: Credits,
+}
+
+/// English (open ascending-bid) auction.
+#[derive(Clone, Debug)]
+pub struct EnglishAuction {
+    /// Reserve price; bidding starts here.
+    pub reserve: Credits,
+    /// Minimum increment over the standing bid.
+    pub increment: Credits,
+    standing: Option<(String, Credits)>,
+    closed: bool,
+}
+
+impl EnglishAuction {
+    /// Opens with a reserve and a minimum raise.
+    pub fn open(reserve: Credits, increment: Credits) -> Self {
+        EnglishAuction { reserve, increment, standing: None, closed: false }
+    }
+
+    /// Current standing bid, if any.
+    pub fn standing(&self) -> Option<(&str, Credits)> {
+        self.standing.as_ref().map(|(w, p)| (w.as_str(), *p))
+    }
+
+    /// Places a bid; must beat reserve (first bid) or standing+increment.
+    pub fn bid(&mut self, bidder: &str, amount: Credits) -> Result<(), TradeError> {
+        if self.closed {
+            return Err(TradeError::ProtocolViolation("auction closed".into()));
+        }
+        let floor = match &self.standing {
+            None => self.reserve,
+            Some((_, p)) => p
+                .checked_add(self.increment)
+                .map_err(|e| TradeError::Numeric(e.to_string()))?,
+        };
+        if amount < floor {
+            return Err(TradeError::Rejected(format!(
+                "bid {amount} below required {floor}"
+            )));
+        }
+        self.standing = Some((bidder.to_string(), amount));
+        Ok(())
+    }
+
+    /// Closes the auction; the standing bidder wins at their bid.
+    pub fn close(&mut self) -> Result<Award, TradeError> {
+        self.closed = true;
+        self.standing
+            .clone()
+            .map(|(winner, price)| Award { winner, price })
+            .ok_or_else(|| TradeError::NoMatch("no bids met the reserve".into()))
+    }
+}
+
+/// Dutch (open descending-price) auction.
+#[derive(Clone, Debug)]
+pub struct DutchAuction {
+    /// Current asking price.
+    pub price: Credits,
+    /// Price drop per tick.
+    pub decrement: Credits,
+    /// Auction fails if the price would fall below this.
+    pub floor: Credits,
+    closed: bool,
+}
+
+impl DutchAuction {
+    /// Opens at `start`, ticking down by `decrement` to `floor`.
+    pub fn open(start: Credits, decrement: Credits, floor: Credits) -> Self {
+        DutchAuction { price: start, decrement, floor, closed: false }
+    }
+
+    /// Advances one tick; returns the new price or `NoMatch` when the
+    /// floor is breached (auction dead).
+    pub fn tick(&mut self) -> Result<Credits, TradeError> {
+        if self.closed {
+            return Err(TradeError::ProtocolViolation("auction closed".into()));
+        }
+        let next = self
+            .price
+            .checked_sub(self.decrement)
+            .map_err(|e| TradeError::Numeric(e.to_string()))?;
+        if next < self.floor {
+            self.closed = true;
+            return Err(TradeError::NoMatch("price fell below floor".into()));
+        }
+        self.price = next;
+        Ok(self.price)
+    }
+
+    /// First taker wins at the current price.
+    pub fn take(&mut self, bidder: &str) -> Result<Award, TradeError> {
+        if self.closed {
+            return Err(TradeError::ProtocolViolation("auction closed".into()));
+        }
+        self.closed = true;
+        Ok(Award { winner: bidder.to_string(), price: self.price })
+    }
+}
+
+/// A sealed bid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SealedBid {
+    /// Bidder identity.
+    pub bidder: String,
+    /// Bid amount.
+    pub amount: Credits,
+}
+
+/// Resolves a first-price sealed-bid auction: highest bid ≥ reserve wins
+/// and pays their bid. Ties go to the earliest submission.
+pub fn first_price_sealed(bids: &[SealedBid], reserve: Credits) -> Result<Award, TradeError> {
+    let best = bids
+        .iter()
+        .filter(|b| b.amount >= reserve)
+        .max_by_key(|b| b.amount)
+        .ok_or_else(|| TradeError::NoMatch("no bid met the reserve".into()))?;
+    Ok(Award { winner: best.bidder.clone(), price: best.amount })
+}
+
+/// Resolves a Vickrey (second-price sealed-bid) auction: highest bid wins
+/// but pays the second-highest bid (or the reserve when alone).
+pub fn vickrey_sealed(bids: &[SealedBid], reserve: Credits) -> Result<Award, TradeError> {
+    let mut qualifying: Vec<&SealedBid> = bids.iter().filter(|b| b.amount >= reserve).collect();
+    if qualifying.is_empty() {
+        return Err(TradeError::NoMatch("no bid met the reserve".into()));
+    }
+    // Stable sort preserves submission order among equals, so the earliest
+    // of tied top bids wins.
+    qualifying.sort_by_key(|b| std::cmp::Reverse(b.amount));
+    let winner = qualifying[0];
+    let price = qualifying.get(1).map(|b| b.amount).unwrap_or(reserve);
+    Ok(Award { winner: winner.bidder.clone(), price })
+}
+
+/// One side of a double-auction order book.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Order {
+    /// Trader identity.
+    pub trader: String,
+    /// Limit price (max for buyers, min for sellers).
+    pub limit: Credits,
+    /// Units sought/offered.
+    pub quantity: u64,
+}
+
+/// A matched trade from the double auction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trade {
+    /// Buying trader.
+    pub buyer: String,
+    /// Selling trader.
+    pub seller: String,
+    /// Units exchanged.
+    pub quantity: u64,
+    /// Clearing price.
+    pub price: Credits,
+}
+
+/// Clears a call double auction: sorts buys descending and sells
+/// ascending, crosses them while `bid ≥ ask`, and prices every trade at
+/// the midpoint of the marginal pair.
+pub fn clear_double_auction(buys: &[Order], sells: &[Order]) -> Vec<Trade> {
+    let mut buys: Vec<Order> = buys.to_vec();
+    let mut sells: Vec<Order> = sells.to_vec();
+    buys.sort_by_key(|b| std::cmp::Reverse(b.limit));
+    sells.sort_by_key(|s| s.limit);
+
+    let mut trades = Vec::new();
+    let (mut bi, mut si) = (0usize, 0usize);
+    while bi < buys.len() && si < sells.len() {
+        let buy = &buys[bi];
+        let sell = &sells[si];
+        if buy.limit < sell.limit {
+            break;
+        }
+        let qty = buy.quantity.min(sell.quantity);
+        // Midpoint price of the crossing pair.
+        let sum = buy
+            .limit
+            .checked_add(sell.limit)
+            .unwrap_or(Credits::MAX);
+        let price = sum.mul_ratio(1, 2).unwrap_or(buy.limit);
+        trades.push(Trade {
+            buyer: buy.trader.clone(),
+            seller: sell.trader.clone(),
+            quantity: qty,
+            price,
+        });
+        buys[bi].quantity -= qty;
+        sells[si].quantity -= qty;
+        if buys[bi].quantity == 0 {
+            bi += 1;
+        }
+        if sells[si].quantity == 0 {
+            si += 1;
+        }
+    }
+    trades
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gd(v: i64) -> Credits {
+        Credits::from_gd(v)
+    }
+
+    #[test]
+    fn english_ascending() {
+        let mut a = EnglishAuction::open(gd(2), gd(1));
+        assert!(matches!(a.bid("low", gd(1)), Err(TradeError::Rejected(_))));
+        a.bid("alice", gd(2)).unwrap();
+        assert!(matches!(a.bid("bob", gd(2)), Err(TradeError::Rejected(_)))); // needs +1
+        a.bid("bob", gd(3)).unwrap();
+        a.bid("alice", gd(5)).unwrap();
+        assert_eq!(a.standing().unwrap(), ("alice", gd(5)));
+        let award = a.close().unwrap();
+        assert_eq!(award, Award { winner: "alice".into(), price: gd(5) });
+        assert!(matches!(a.bid("late", gd(10)), Err(TradeError::ProtocolViolation(_))));
+    }
+
+    #[test]
+    fn english_without_bids_fails() {
+        let mut a = EnglishAuction::open(gd(2), gd(1));
+        assert!(matches!(a.close(), Err(TradeError::NoMatch(_))));
+    }
+
+    #[test]
+    fn dutch_descending() {
+        let mut a = DutchAuction::open(gd(10), gd(2), gd(4));
+        assert_eq!(a.tick().unwrap(), gd(8));
+        assert_eq!(a.tick().unwrap(), gd(6));
+        let award = a.take("carol").unwrap();
+        assert_eq!(award, Award { winner: "carol".into(), price: gd(6) });
+        assert!(a.tick().is_err());
+    }
+
+    #[test]
+    fn dutch_dies_at_floor() {
+        let mut a = DutchAuction::open(gd(6), gd(2), gd(4));
+        assert_eq!(a.tick().unwrap(), gd(4));
+        assert!(matches!(a.tick(), Err(TradeError::NoMatch(_))));
+        assert!(matches!(a.take("x"), Err(TradeError::ProtocolViolation(_))));
+    }
+
+    fn bids(spec: &[(&str, i64)]) -> Vec<SealedBid> {
+        spec.iter()
+            .map(|(n, v)| SealedBid { bidder: n.to_string(), amount: gd(*v) })
+            .collect()
+    }
+
+    #[test]
+    fn first_price_takes_highest() {
+        let b = bids(&[("a", 3), ("b", 7), ("c", 5)]);
+        let award = first_price_sealed(&b, gd(2)).unwrap();
+        assert_eq!(award, Award { winner: "b".into(), price: gd(7) });
+        assert!(first_price_sealed(&b, gd(10)).is_err());
+    }
+
+    #[test]
+    fn vickrey_pays_second_price() {
+        let b = bids(&[("a", 3), ("b", 7), ("c", 5)]);
+        let award = vickrey_sealed(&b, gd(2)).unwrap();
+        assert_eq!(award, Award { winner: "b".into(), price: gd(5) });
+        // Single qualifying bid pays the reserve.
+        let solo = bids(&[("only", 9)]);
+        let award = vickrey_sealed(&solo, gd(4)).unwrap();
+        assert_eq!(award.price, gd(4));
+        // Tie at the top: earliest wins, pays the tied price.
+        let tie = bids(&[("first", 7), ("second", 7), ("c", 3)]);
+        let award = vickrey_sealed(&tie, gd(1)).unwrap();
+        assert_eq!(award.winner, "first");
+        assert_eq!(award.price, gd(7));
+    }
+
+    #[test]
+    fn vickrey_truthfulness_property() {
+        // The winner's payment never depends on their own bid (as long as
+        // they still win).
+        let base = bids(&[("w", 10), ("x", 6), ("y", 4)]);
+        let p1 = vickrey_sealed(&base, gd(1)).unwrap().price;
+        let higher = bids(&[("w", 100), ("x", 6), ("y", 4)]);
+        let p2 = vickrey_sealed(&higher, gd(1)).unwrap().price;
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn double_auction_crosses_and_prices_midpoint() {
+        let buys = vec![
+            Order { trader: "b1".into(), limit: gd(10), quantity: 5 },
+            Order { trader: "b2".into(), limit: gd(6), quantity: 5 },
+        ];
+        let sells = vec![
+            Order { trader: "s1".into(), limit: gd(4), quantity: 4 },
+            Order { trader: "s2".into(), limit: gd(8), quantity: 4 },
+        ];
+        let trades = clear_double_auction(&buys, &sells);
+        // b1(10) × s1(4): 4 units at 7. Then b1 has 1 left × s2(8): 1 at 9.
+        // b2(6) < s2(8): stop.
+        assert_eq!(trades.len(), 2);
+        assert_eq!(trades[0], Trade { buyer: "b1".into(), seller: "s1".into(), quantity: 4, price: gd(7) });
+        assert_eq!(trades[1], Trade { buyer: "b1".into(), seller: "s2".into(), quantity: 1, price: gd(9) });
+    }
+
+    #[test]
+    fn double_auction_no_cross() {
+        let buys = vec![Order { trader: "b".into(), limit: gd(3), quantity: 1 }];
+        let sells = vec![Order { trader: "s".into(), limit: gd(5), quantity: 1 }];
+        assert!(clear_double_auction(&buys, &sells).is_empty());
+        assert!(clear_double_auction(&[], &sells).is_empty());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_bids() -> impl Strategy<Value = Vec<SealedBid>> {
+            prop::collection::vec((0usize..16, 1i64..100), 1..12).prop_map(|raw| {
+                raw.into_iter()
+                    .enumerate()
+                    .map(|(i, (_, v))| SealedBid {
+                        bidder: format!("b{i}"),
+                        amount: Credits::from_gd(v),
+                    })
+                    .collect()
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn vickrey_never_charges_above_winning_bid(bids in arb_bids(), reserve in 0i64..120) {
+                let reserve = Credits::from_gd(reserve);
+                if let Ok(award) = vickrey_sealed(&bids, reserve) {
+                    let winner_bid = bids.iter()
+                        .filter(|b| b.bidder == award.winner)
+                        .map(|b| b.amount)
+                        .max()
+                        .unwrap();
+                    prop_assert!(award.price <= winner_bid);
+                    prop_assert!(award.price >= reserve);
+                    // Winner had the (weakly) highest qualifying bid.
+                    let best = bids.iter().filter(|b| b.amount >= reserve)
+                        .map(|b| b.amount).max().unwrap();
+                    prop_assert_eq!(winner_bid, best);
+                }
+            }
+
+            #[test]
+            fn first_price_winner_pays_their_bid(bids in arb_bids(), reserve in 0i64..120) {
+                let reserve = Credits::from_gd(reserve);
+                match first_price_sealed(&bids, reserve) {
+                    Ok(award) => {
+                        prop_assert!(award.price >= reserve);
+                        prop_assert!(bids.iter().any(|b| b.bidder == award.winner && b.amount == award.price));
+                    }
+                    Err(_) => {
+                        prop_assert!(bids.iter().all(|b| b.amount < reserve));
+                    }
+                }
+            }
+
+            #[test]
+            fn double_auction_trades_respect_limits(
+                buys in prop::collection::vec((1i64..50, 1u64..10), 0..8),
+                sells in prop::collection::vec((1i64..50, 1u64..10), 0..8),
+            ) {
+                let buys: Vec<Order> = buys.into_iter().enumerate()
+                    .map(|(i, (l, q))| Order { trader: format!("b{i}"), limit: Credits::from_gd(l), quantity: q })
+                    .collect();
+                let sells: Vec<Order> = sells.into_iter().enumerate()
+                    .map(|(i, (l, q))| Order { trader: format!("s{i}"), limit: Credits::from_gd(l), quantity: q })
+                    .collect();
+                let trades = clear_double_auction(&buys, &sells);
+                let buy_limit = |t: &str| buys.iter().find(|o| o.trader == t).unwrap().limit;
+                let sell_limit = |t: &str| sells.iter().find(|o| o.trader == t).unwrap().limit;
+                for t in &trades {
+                    // Clearing price sits inside both parties' limits.
+                    prop_assert!(t.price <= buy_limit(&t.buyer));
+                    prop_assert!(t.price >= sell_limit(&t.seller));
+                    prop_assert!(t.quantity > 0);
+                }
+                // No trader exceeds their posted quantity.
+                for o in &buys {
+                    let bought: u64 = trades.iter().filter(|t| t.buyer == o.trader).map(|t| t.quantity).sum();
+                    prop_assert!(bought <= o.quantity);
+                }
+                for o in &sells {
+                    let sold: u64 = trades.iter().filter(|t| t.seller == o.trader).map(|t| t.quantity).sum();
+                    prop_assert!(sold <= o.quantity);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_auction_conserves_quantity() {
+        let buys = vec![
+            Order { trader: "b1".into(), limit: gd(9), quantity: 7 },
+            Order { trader: "b2".into(), limit: gd(8), quantity: 3 },
+        ];
+        let sells = vec![
+            Order { trader: "s1".into(), limit: gd(1), quantity: 2 },
+            Order { trader: "s2".into(), limit: gd(2), quantity: 6 },
+        ];
+        let trades = clear_double_auction(&buys, &sells);
+        let traded: u64 = trades.iter().map(|t| t.quantity).sum();
+        assert_eq!(traded, 8); // min(10 demand, 8 supply)
+    }
+}

@@ -1,0 +1,227 @@
+//! Grid Market Directory (GMD).
+//!
+//! "Resource providers advertise their services with the discovery
+//! service" (§1); "The GRB interacts with GSP's Grid Trading Service
+//! (GTS) or Grid Market Directory (GMD) to establish the cost of
+//! services and then selects suitable GSP" (§2). Providers register
+//! [`ProviderAd`]s; brokers run [`Query`]s over hardware attributes and
+//! headline prices.
+
+use gridbank_rur::Credits;
+
+use crate::rates::ServiceRates;
+
+/// A provider advertisement: identity, hardware attributes, posted rates.
+///
+/// The attribute set follows §4.2's list for resource comparison:
+/// "processor speed, number of processors, amount of main memory and
+/// secondary storage, network bandwidth".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProviderAd {
+    /// Provider certificate name.
+    pub provider: String,
+    /// Endpoint address (for the broker to connect to the GTS).
+    pub address: String,
+    /// Host type label (e.g. "Linux/x86", "Cray").
+    pub host_type: String,
+    /// Per-core speed rating (abstract MIPS-like units).
+    pub cpu_speed: u32,
+    /// Core count.
+    pub cpu_count: u32,
+    /// Main memory, MB.
+    pub memory_mb: u64,
+    /// Secondary storage, MB.
+    pub storage_mb: u64,
+    /// Network bandwidth, Mbit/s.
+    pub bandwidth_mbps: u32,
+    /// Posted rates at registration time.
+    pub rates: ServiceRates,
+}
+
+impl ProviderAd {
+    /// Aggregate compute rating: speed × cores.
+    pub fn compute_rating(&self) -> u64 {
+        self.cpu_speed as u64 * self.cpu_count as u64
+    }
+}
+
+/// A broker query over the directory.
+#[derive(Clone, Debug, Default)]
+pub struct Query {
+    /// Minimum per-core speed.
+    pub min_cpu_speed: Option<u32>,
+    /// Minimum core count.
+    pub min_cpu_count: Option<u32>,
+    /// Minimum memory, MB.
+    pub min_memory_mb: Option<u64>,
+    /// Required host type, exact match.
+    pub host_type: Option<String>,
+    /// Maximum headline (time-item) price per hour.
+    pub max_price_per_hour: Option<Credits>,
+}
+
+impl Query {
+    /// True if the advertisement satisfies every set constraint.
+    pub fn matches(&self, ad: &ProviderAd) -> bool {
+        if let Some(v) = self.min_cpu_speed {
+            if ad.cpu_speed < v {
+                return false;
+            }
+        }
+        if let Some(v) = self.min_cpu_count {
+            if ad.cpu_count < v {
+                return false;
+            }
+        }
+        if let Some(v) = self.min_memory_mb {
+            if ad.memory_mb < v {
+                return false;
+            }
+        }
+        if let Some(ht) = &self.host_type {
+            if &ad.host_type != ht {
+                return false;
+            }
+        }
+        if let Some(max) = self.max_price_per_hour {
+            if ad.rates.total_time_price_per_hour() > max {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The directory itself.
+#[derive(Clone, Debug, Default)]
+pub struct MarketDirectory {
+    ads: Vec<ProviderAd>,
+}
+
+impl MarketDirectory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or re-registers, replacing) a provider's advertisement.
+    pub fn register(&mut self, ad: ProviderAd) {
+        if let Some(existing) = self.ads.iter_mut().find(|a| a.provider == ad.provider) {
+            *existing = ad;
+        } else {
+            self.ads.push(ad);
+        }
+    }
+
+    /// Removes a provider's advertisement; true if one was present.
+    pub fn deregister(&mut self, provider: &str) -> bool {
+        let before = self.ads.len();
+        self.ads.retain(|a| a.provider != provider);
+        self.ads.len() != before
+    }
+
+    /// All registered ads.
+    pub fn all(&self) -> &[ProviderAd] {
+        &self.ads
+    }
+
+    /// Runs a query, returning matches cheapest-first (then fastest).
+    pub fn query(&self, q: &Query) -> Vec<&ProviderAd> {
+        let mut hits: Vec<&ProviderAd> = self.ads.iter().filter(|ad| q.matches(ad)).collect();
+        hits.sort_by(|a, b| {
+            a.rates
+                .total_time_price_per_hour()
+                .cmp(&b.rates.total_time_price_per_hour())
+                .then(b.compute_rating().cmp(&a.compute_rating()))
+        });
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridbank_rur::record::ChargeableItem;
+
+    fn ad(name: &str, speed: u32, cores: u32, mem: u64, price_gd: i64) -> ProviderAd {
+        ProviderAd {
+            provider: format!("/CN={name}"),
+            address: format!("{name}.grid.org"),
+            host_type: "Linux/x86".into(),
+            cpu_speed: speed,
+            cpu_count: cores,
+            memory_mb: mem,
+            storage_mb: 100_000,
+            bandwidth_mbps: 1000,
+            rates: ServiceRates::new().with(ChargeableItem::Cpu, Credits::from_gd(price_gd)),
+        }
+    }
+
+    #[test]
+    fn register_query_deregister() {
+        let mut d = MarketDirectory::new();
+        d.register(ad("alpha", 1000, 16, 32_768, 3));
+        d.register(ad("beta", 2000, 8, 16_384, 5));
+        assert_eq!(d.all().len(), 2);
+
+        let hits = d.query(&Query::default());
+        assert_eq!(hits.len(), 2);
+        // Cheapest first.
+        assert_eq!(hits[0].provider, "/CN=alpha");
+
+        assert!(d.deregister("/CN=alpha"));
+        assert!(!d.deregister("/CN=alpha"));
+        assert_eq!(d.all().len(), 1);
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let mut d = MarketDirectory::new();
+        d.register(ad("alpha", 1000, 16, 32_768, 3));
+        d.register(ad("alpha", 1000, 16, 32_768, 7));
+        assert_eq!(d.all().len(), 1);
+        assert_eq!(
+            d.all()[0].rates.price(ChargeableItem::Cpu),
+            Some(Credits::from_gd(7))
+        );
+    }
+
+    #[test]
+    fn constraints_filter() {
+        let mut d = MarketDirectory::new();
+        d.register(ad("small", 500, 4, 4_096, 1));
+        d.register(ad("big", 3000, 64, 262_144, 9));
+
+        let q = Query { min_cpu_count: Some(32), ..Query::default() };
+        let hits = d.query(&q);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].provider, "/CN=big");
+
+        let q = Query { max_price_per_hour: Some(Credits::from_gd(2)), ..Query::default() };
+        let hits = d.query(&q);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].provider, "/CN=small");
+
+        let q = Query { host_type: Some("Cray".into()), ..Query::default() };
+        assert!(d.query(&q).is_empty());
+
+        let q = Query { min_memory_mb: Some(8_192), min_cpu_speed: Some(1000), ..Query::default() };
+        let hits = d.query(&q);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].provider, "/CN=big");
+    }
+
+    #[test]
+    fn price_tie_breaks_on_compute_rating() {
+        let mut d = MarketDirectory::new();
+        d.register(ad("slow", 100, 2, 1_000, 4));
+        d.register(ad("fast", 4000, 32, 1_000, 4));
+        let hits = d.query(&Query::default());
+        assert_eq!(hits[0].provider, "/CN=fast");
+    }
+
+    #[test]
+    fn compute_rating() {
+        assert_eq!(ad("x", 1500, 4, 0, 1).compute_rating(), 6000);
+    }
+}

@@ -1,0 +1,42 @@
+//! Error type for trading and negotiation.
+
+use std::fmt;
+
+/// Errors from rates, negotiation, auctions and the market directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TradeError {
+    /// The rates record and a usage record do not conform (§2.1).
+    Nonconforming(String),
+    /// A negotiation/auction was driven outside its protocol state.
+    ProtocolViolation(String),
+    /// A quote or offer has expired.
+    QuoteExpired {
+        /// Expiry time.
+        valid_until: u64,
+        /// Observation time.
+        now: u64,
+    },
+    /// An offer was below a reserve or otherwise unacceptable by rule.
+    Rejected(String),
+    /// No provider/bid matched the request.
+    NoMatch(String),
+    /// A numeric error (overflow, negative price where forbidden).
+    Numeric(String),
+}
+
+impl fmt::Display for TradeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TradeError::Nonconforming(why) => write!(f, "rates/RUR nonconforming: {why}"),
+            TradeError::ProtocolViolation(why) => write!(f, "protocol violation: {why}"),
+            TradeError::QuoteExpired { valid_until, now } => {
+                write!(f, "quote expired at {valid_until}, now {now}")
+            }
+            TradeError::Rejected(why) => write!(f, "rejected: {why}"),
+            TradeError::NoMatch(why) => write!(f, "no match: {why}"),
+            TradeError::Numeric(why) => write!(f, "numeric error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TradeError {}

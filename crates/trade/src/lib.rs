@@ -1,0 +1,36 @@
+//! # gridbank-trade
+//!
+//! The trading substrate of the GRACE framework that GridBank plugs into:
+//! the **Grid Trade Server** (GTS) each provider runs, the **Grid Market
+//! Directory** (GMD) where providers advertise, and the negotiation
+//! protocols brokers use to establish service cost (paper §1, §2.2; the
+//! economic models come from the cited GRACE papers [2,4]).
+//!
+//! * [`rates`] — the service-rates record: a price per chargeable item,
+//!   the record the paper requires to *conform* to the RUR ("For every
+//!   chargeable item in the rates record there must be a corresponding
+//!   item in the RUR"), plus quote validity windows.
+//! * [`pricing`] — provider-side pricing policies: flat posted prices and
+//!   supply/demand-responsive pricing ("when there is less demand for
+//!   resources, the price is lowered; when there is high demand, the
+//!   price is raised").
+//! * [`negotiation`] — bilateral protocols: posted-price (commodity
+//!   market), alternate-offers bargaining, and tender/contract-net.
+//! * [`auction`] — one-sided auctions (English, Dutch, first-price
+//!   sealed-bid, Vickrey) and the continuous double auction, the GRACE
+//!   economic-model menu.
+//! * [`directory`] — the Grid Market Directory: provider advertisements
+//!   with attribute queries.
+
+pub mod auction;
+pub mod directory;
+pub mod error;
+pub mod negotiation;
+pub mod pricing;
+pub mod rates;
+
+pub use directory::{MarketDirectory, ProviderAd, Query};
+pub use error::TradeError;
+pub use negotiation::{BargainingSession, PostedPrice, Tender};
+pub use pricing::{FlatPricing, PricingPolicy, SupplyDemandPricing};
+pub use rates::{RateQuote, ServiceRates};

@@ -1,0 +1,404 @@
+//! Bilateral negotiation protocols.
+//!
+//! "The GRB interacts with GSP's Grid Trading Service … to establish the
+//! cost of services" (§2); "Negotiation protocols are already defined in
+//! [2,4]" (§6). Three GRACE protocols are implemented:
+//!
+//! * [`PostedPrice`] — commodity market: take-it-or-leave-it quote.
+//! * [`BargainingSession`] — alternate-offers bargaining with bounded
+//!   rounds; each side concedes toward its reservation price.
+//! * [`Tender`] — contract-net: the consumer announces a job, providers
+//!   bid, cheapest conforming bid wins.
+//!
+//! Prices negotiated here are the *scalar* total-time-price (G$/CPU-hour
+//! equivalent); the agreed multiplier is then applied to the provider's
+//! base [`ServiceRates`] so every chargeable item scales consistently.
+
+use gridbank_rur::Credits;
+
+use crate::error::TradeError;
+use crate::rates::{RateQuote, ServiceRates};
+
+/// Posted-price (commodity market) sale.
+#[derive(Clone, Debug)]
+pub struct PostedPrice {
+    /// The provider's standing quote.
+    pub quote: RateQuote,
+}
+
+impl PostedPrice {
+    /// The consumer accepts iff the quote is fresh and the headline
+    /// per-hour price fits its limit.
+    pub fn accept(&self, max_price_per_hour: Credits, now: u64) -> Result<ServiceRates, TradeError> {
+        self.quote.check_valid(now)?;
+        let headline = self.quote.rates.total_time_price_per_hour();
+        if headline > max_price_per_hour {
+            return Err(TradeError::Rejected(format!(
+                "posted price {headline} exceeds limit {max_price_per_hour}"
+            )));
+        }
+        Ok(self.quote.rates.clone())
+    }
+}
+
+/// Who moves next in a bargaining session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Turn {
+    /// Consumer (buyer) to respond/offer.
+    Consumer,
+    /// Provider (seller) to respond/offer.
+    Provider,
+}
+
+/// Outcome of a bargaining step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BargainOutcome {
+    /// Agreement at this per-hour price.
+    Agreed(Credits),
+    /// Session continues; the given side must move next.
+    Continue(Turn),
+    /// Session failed (rounds exhausted or a party walked away).
+    Failed(String),
+}
+
+/// Alternate-offers bargaining over a scalar per-hour price.
+///
+/// The provider opens with `seller_start`; the consumer counters from
+/// `buyer_start`. Each round both sides concede `concession_pct`% of the
+/// remaining gap toward their reservation values. A side accepts as soon
+/// as the other's offer is within its reservation.
+#[derive(Clone, Debug)]
+pub struct BargainingSession {
+    /// Seller's current ask.
+    pub ask: Credits,
+    /// Buyer's current bid.
+    pub bid: Credits,
+    /// Seller will not go below this.
+    pub seller_reserve: Credits,
+    /// Buyer will not go above this.
+    pub buyer_limit: Credits,
+    /// Percent of the gap conceded per round, 1..=100.
+    pub concession_pct: u32,
+    /// Rounds remaining before failure.
+    pub rounds_left: u32,
+    turn: Turn,
+    done: bool,
+}
+
+impl BargainingSession {
+    /// Opens a session with the seller asking first.
+    pub fn open(
+        seller_start: Credits,
+        seller_reserve: Credits,
+        buyer_start: Credits,
+        buyer_limit: Credits,
+        concession_pct: u32,
+        max_rounds: u32,
+    ) -> Result<Self, TradeError> {
+        if concession_pct == 0 || concession_pct > 100 {
+            return Err(TradeError::ProtocolViolation(format!(
+                "concession {concession_pct}% out of range"
+            )));
+        }
+        if seller_reserve > seller_start || buyer_start > buyer_limit {
+            return Err(TradeError::ProtocolViolation(
+                "start prices must bracket reservations".into(),
+            ));
+        }
+        Ok(BargainingSession {
+            ask: seller_start,
+            bid: buyer_start,
+            seller_reserve,
+            buyer_limit,
+            concession_pct,
+            rounds_left: max_rounds,
+            turn: Turn::Consumer,
+            done: false,
+        })
+    }
+
+    /// Runs one step of the protocol. Alternates turns internally; callers
+    /// loop until [`BargainOutcome::Agreed`] or [`BargainOutcome::Failed`].
+    pub fn step(&mut self) -> Result<BargainOutcome, TradeError> {
+        if self.done {
+            return Err(TradeError::ProtocolViolation("session already closed".into()));
+        }
+        if self.rounds_left == 0 {
+            self.done = true;
+            return Ok(BargainOutcome::Failed("rounds exhausted".into()));
+        }
+        match self.turn {
+            Turn::Consumer => {
+                // Buyer accepts a sufficiently low ask.
+                if self.ask <= self.buyer_limit {
+                    self.done = true;
+                    return Ok(BargainOutcome::Agreed(self.ask));
+                }
+                // Otherwise concede: move bid toward the limit.
+                let gap = self.buyer_limit.checked_sub(self.bid).map_err(num)?;
+                let step = gap.mul_ratio(self.concession_pct as u64, 100).map_err(num)?;
+                self.bid = self.bid.checked_add(step).map_err(num)?;
+                self.turn = Turn::Provider;
+                Ok(BargainOutcome::Continue(Turn::Provider))
+            }
+            Turn::Provider => {
+                // Seller accepts a sufficiently high bid.
+                if self.bid >= self.seller_reserve {
+                    self.done = true;
+                    return Ok(BargainOutcome::Agreed(self.bid));
+                }
+                let gap = self.ask.checked_sub(self.seller_reserve).map_err(num)?;
+                let step = gap.mul_ratio(self.concession_pct as u64, 100).map_err(num)?;
+                self.ask = self.ask.checked_sub(step).map_err(num)?;
+                self.rounds_left -= 1;
+                self.turn = Turn::Consumer;
+                Ok(BargainOutcome::Continue(Turn::Consumer))
+            }
+        }
+    }
+
+    /// Drives the session to completion.
+    pub fn run_to_end(&mut self) -> Result<BargainOutcome, TradeError> {
+        loop {
+            match self.step()? {
+                BargainOutcome::Continue(_) => continue,
+                outcome => return Ok(outcome),
+            }
+        }
+    }
+}
+
+fn num(e: gridbank_rur::RurError) -> TradeError {
+    TradeError::Numeric(e.to_string())
+}
+
+/// One bid in a tender round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bid {
+    /// Bidding provider's certificate name.
+    pub provider: String,
+    /// Offered rates.
+    pub rates: ServiceRates,
+}
+
+/// Contract-net tendering: announce, collect bids, award cheapest.
+#[derive(Clone, Debug, Default)]
+pub struct Tender {
+    bids: Vec<Bid>,
+    closed: bool,
+}
+
+impl Tender {
+    /// Opens a tender.
+    pub fn announce() -> Self {
+        Tender::default()
+    }
+
+    /// A provider submits a bid. Rejected after close.
+    pub fn submit(&mut self, bid: Bid) -> Result<(), TradeError> {
+        if self.closed {
+            return Err(TradeError::ProtocolViolation("tender already closed".into()));
+        }
+        self.bids.push(bid);
+        Ok(())
+    }
+
+    /// Number of bids so far.
+    pub fn bid_count(&self) -> usize {
+        self.bids.len()
+    }
+
+    /// Closes the tender and awards the bid with the lowest headline
+    /// per-hour price; ties go to the earliest bidder (submission order).
+    pub fn award(&mut self) -> Result<Bid, TradeError> {
+        self.closed = true;
+        self.bids
+            .iter()
+            .min_by_key(|b| b.rates.total_time_price_per_hour())
+            .cloned()
+            .ok_or_else(|| TradeError::NoMatch("no bids submitted".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridbank_rur::record::ChargeableItem;
+
+    fn quote(price_gd: i64, valid_until: u64) -> RateQuote {
+        RateQuote {
+            provider: "/CN=gsp".into(),
+            rates: ServiceRates::new().with(ChargeableItem::Cpu, Credits::from_gd(price_gd)),
+            valid_until,
+            quote_id: 1,
+        }
+    }
+
+    #[test]
+    fn posted_price_accept_and_reject() {
+        let p = PostedPrice { quote: quote(2, 100) };
+        let rates = p.accept(Credits::from_gd(3), 50).unwrap();
+        assert_eq!(rates.price(ChargeableItem::Cpu), Some(Credits::from_gd(2)));
+        assert!(matches!(
+            p.accept(Credits::from_gd(1), 50),
+            Err(TradeError::Rejected(_))
+        ));
+        assert!(matches!(
+            p.accept(Credits::from_gd(3), 100),
+            Err(TradeError::QuoteExpired { .. })
+        ));
+    }
+
+    #[test]
+    fn bargaining_converges_when_zones_overlap() {
+        // Seller: ask 10, reserve 4. Buyer: bid 2, limit 6. ZOPA = [4,6].
+        let mut s = BargainingSession::open(
+            Credits::from_gd(10),
+            Credits::from_gd(4),
+            Credits::from_gd(2),
+            Credits::from_gd(6),
+            25,
+            50,
+        )
+        .unwrap();
+        match s.run_to_end().unwrap() {
+            BargainOutcome::Agreed(p) => {
+                assert!(p >= Credits::from_gd(4) && p <= Credits::from_gd(6), "price {p}");
+            }
+            other => panic!("expected agreement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bargaining_fails_without_overlap() {
+        // Seller reserve 8 > buyer limit 5: no zone of agreement.
+        let mut s = BargainingSession::open(
+            Credits::from_gd(10),
+            Credits::from_gd(8),
+            Credits::from_gd(1),
+            Credits::from_gd(5),
+            20,
+            10,
+        )
+        .unwrap();
+        assert!(matches!(s.run_to_end().unwrap(), BargainOutcome::Failed(_)));
+        // Stepping a closed session is a protocol violation.
+        assert!(matches!(s.step(), Err(TradeError::ProtocolViolation(_))));
+    }
+
+    #[test]
+    fn bargaining_immediate_accept() {
+        // Ask already within buyer's limit.
+        let mut s = BargainingSession::open(
+            Credits::from_gd(3),
+            Credits::from_gd(2),
+            Credits::from_gd(1),
+            Credits::from_gd(5),
+            10,
+            10,
+        )
+        .unwrap();
+        assert_eq!(s.step().unwrap(), BargainOutcome::Agreed(Credits::from_gd(3)));
+    }
+
+    #[test]
+    fn bargaining_validates_parameters() {
+        let c = Credits::from_gd(1);
+        assert!(BargainingSession::open(c, c, c, c, 0, 5).is_err());
+        assert!(BargainingSession::open(c, c, c, c, 101, 5).is_err());
+        // Reserve above start.
+        assert!(BargainingSession::open(
+            Credits::from_gd(1),
+            Credits::from_gd(2),
+            c,
+            c,
+            10,
+            5
+        )
+        .is_err());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// When a zone of possible agreement exists (seller reserve ≤
+            /// buyer limit) and rounds are generous, bargaining reaches an
+            /// agreement inside the zone; when no zone exists it fails.
+            #[test]
+            fn bargaining_terminates_correctly(
+                seller_start in 10i64..100,
+                seller_reserve in 1i64..100,
+                buyer_start in 0i64..50,
+                buyer_limit in 1i64..100,
+                concession in 10u32..=60,
+            ) {
+                prop_assume!(seller_reserve <= seller_start);
+                prop_assume!(buyer_start <= buyer_limit);
+                let mut s = BargainingSession::open(
+                    Credits::from_gd(seller_start),
+                    Credits::from_gd(seller_reserve),
+                    Credits::from_gd(buyer_start),
+                    Credits::from_gd(buyer_limit),
+                    concession,
+                    400,
+                ).unwrap();
+                match s.run_to_end().unwrap() {
+                    BargainOutcome::Agreed(price) => {
+                        prop_assert!(seller_reserve <= buyer_limit,
+                            "agreement without a zone: {price}");
+                        // The agreed price sits inside the zone of
+                        // possible agreement — acceptable to both.
+                        prop_assert!(price >= Credits::from_gd(seller_reserve), "{price}");
+                        prop_assert!(price <= Credits::from_gd(buyer_limit), "{price}");
+                    }
+                    BargainOutcome::Failed(_) => {
+                        prop_assert!(seller_reserve > buyer_limit,
+                            "failed despite a zone of agreement");
+                    }
+                    BargainOutcome::Continue(_) => prop_assert!(false, "run_to_end returned Continue"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tender_awards_cheapest() {
+        let mut t = Tender::announce();
+        for (name, price) in [("a", 5), ("b", 2), ("c", 4)] {
+            t.submit(Bid {
+                provider: format!("/CN={name}"),
+                rates: ServiceRates::new().with(ChargeableItem::Cpu, Credits::from_gd(price)),
+            })
+            .unwrap();
+        }
+        assert_eq!(t.bid_count(), 3);
+        let winner = t.award().unwrap();
+        assert_eq!(winner.provider, "/CN=b");
+        // Closed tender rejects further bids.
+        assert!(matches!(
+            t.submit(Bid { provider: "late".into(), rates: ServiceRates::new() }),
+            Err(TradeError::ProtocolViolation(_))
+        ));
+    }
+
+    #[test]
+    fn tender_tie_goes_to_first_bidder() {
+        let mut t = Tender::announce();
+        for name in ["first", "second"] {
+            t.submit(Bid {
+                provider: name.into(),
+                rates: ServiceRates::new().with(ChargeableItem::Cpu, Credits::from_gd(3)),
+            })
+            .unwrap();
+        }
+        assert_eq!(t.award().unwrap().provider, "first");
+    }
+
+    #[test]
+    fn empty_tender_has_no_match() {
+        let mut t = Tender::announce();
+        assert!(matches!(t.award(), Err(TradeError::NoMatch(_))));
+    }
+}

@@ -1,0 +1,208 @@
+//! Provider-side pricing policies.
+//!
+//! §1: "Resource owners are permitted to solicit an open market price in a
+//! way that achieves maximum profit … when there is less demand for
+//! resources, the price is lowered; when there is high demand, the price
+//! is raised. This helps in regulating the supply-and-demand for access to
+//! Grid resources." A [`PricingPolicy`] maps the provider's base rates and
+//! its current utilization to the rates the GTS quotes.
+
+use gridbank_rur::Credits;
+
+use crate::error::TradeError;
+use crate::rates::ServiceRates;
+
+/// Utilization expressed in percent busy capacity, 0..=100.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Utilization(pub u8);
+
+impl Utilization {
+    /// Clamps to 0..=100.
+    pub fn new(pct: u8) -> Self {
+        Utilization(pct.min(100))
+    }
+}
+
+/// A pricing policy: base rates + load → quoted rates.
+pub trait PricingPolicy: Send + Sync {
+    /// Produces the rates to quote at the given utilization.
+    fn quote(&self, base: &ServiceRates, load: Utilization) -> Result<ServiceRates, TradeError>;
+}
+
+/// Posted-price: always quotes the base rates (commodity-market model).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlatPricing;
+
+impl PricingPolicy for FlatPricing {
+    fn quote(&self, base: &ServiceRates, _load: Utilization) -> Result<ServiceRates, TradeError> {
+        Ok(base.clone())
+    }
+}
+
+/// Supply/demand-responsive pricing.
+///
+/// The quoted price scales linearly between `floor_pct` of base (idle
+/// resource) and `ceil_pct` of base (fully subscribed resource):
+///
+/// ```text
+/// factor(load) = floor + (ceil - floor) × load/100
+/// ```
+///
+/// Typical GRACE-style configuration: floor 50%, ceiling 300%.
+#[derive(Clone, Copy, Debug)]
+pub struct SupplyDemandPricing {
+    /// Multiplier (percent of base) quoted at zero utilization.
+    pub floor_pct: u32,
+    /// Multiplier (percent of base) quoted at full utilization.
+    pub ceil_pct: u32,
+}
+
+impl Default for SupplyDemandPricing {
+    fn default() -> Self {
+        SupplyDemandPricing { floor_pct: 50, ceil_pct: 300 }
+    }
+}
+
+impl PricingPolicy for SupplyDemandPricing {
+    fn quote(&self, base: &ServiceRates, load: Utilization) -> Result<ServiceRates, TradeError> {
+        if self.ceil_pct < self.floor_pct {
+            return Err(TradeError::Numeric("ceiling below floor".into()));
+        }
+        // factor in percent, interpolated at integer precision ×100 for
+        // sub-percent steps: pct100 = floor*100 + (ceil-floor)*load.
+        let span = (self.ceil_pct - self.floor_pct) as u64;
+        let pct100 = self.floor_pct as u64 * 100 + span * load.0 as u64;
+        base.scaled(pct100, 10_000)
+    }
+}
+
+/// Demand-tracking price adjuster for long-running markets: nudges a
+/// single scalar price toward equilibrium after each quote round, the
+/// mechanism the co-operative model's "community pricing authority" (§4.1)
+/// uses to keep supply and demand balanced.
+#[derive(Clone, Debug)]
+pub struct EquilibriumTracker {
+    /// Current price level.
+    pub price: Credits,
+    /// Percent step applied per adjustment round.
+    pub step_pct: u32,
+    /// Lower bound.
+    pub min_price: Credits,
+    /// Upper bound.
+    pub max_price: Credits,
+}
+
+impl EquilibriumTracker {
+    /// Creates a tracker starting at `price`, stepping `step_pct`% per
+    /// round, clamped to `[min_price, max_price]`.
+    pub fn new(price: Credits, step_pct: u32, min_price: Credits, max_price: Credits) -> Self {
+        EquilibriumTracker { price, step_pct, min_price, max_price }
+    }
+
+    /// One adjustment round: raise if demand exceeded supply, lower if
+    /// supply exceeded demand, hold when balanced. Returns the new price.
+    pub fn adjust(&mut self, demand: u64, supply: u64) -> Result<Credits, TradeError> {
+        let p = self.price;
+        let next = if demand > supply {
+            p.mul_ratio(100 + self.step_pct as u64, 100)
+        } else if supply > demand {
+            p.mul_ratio(100u64.saturating_sub(self.step_pct as u64), 100)
+        } else {
+            Ok(p)
+        }
+        .map_err(|e| TradeError::Numeric(e.to_string()))?;
+        self.price = next.max(self.min_price).min(self.max_price);
+        Ok(self.price)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridbank_rur::record::ChargeableItem;
+
+    fn base() -> ServiceRates {
+        ServiceRates::new()
+            .with(ChargeableItem::Cpu, Credits::from_gd(2))
+            .with(ChargeableItem::Network, Credits::from_milli(10))
+    }
+
+    #[test]
+    fn flat_quotes_base_at_any_load() {
+        let b = base();
+        for load in [0, 50, 100] {
+            assert_eq!(FlatPricing.quote(&b, Utilization::new(load)).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn supply_demand_interpolates() {
+        let policy = SupplyDemandPricing { floor_pct: 50, ceil_pct: 300 };
+        let b = base();
+        // Idle: half price.
+        let idle = policy.quote(&b, Utilization::new(0)).unwrap();
+        assert_eq!(idle.price(ChargeableItem::Cpu), Some(Credits::from_gd(1)));
+        // Full: triple price.
+        let full = policy.quote(&b, Utilization::new(100)).unwrap();
+        assert_eq!(full.price(ChargeableItem::Cpu), Some(Credits::from_gd(6)));
+        // Midpoint: 175% of base.
+        let mid = policy.quote(&b, Utilization::new(50)).unwrap();
+        assert_eq!(mid.price(ChargeableItem::Cpu), Some(Credits::from_micro(3_500_000)));
+        // Monotone in load.
+        let mut prev = Credits::ZERO;
+        for load in 0..=100 {
+            let p = policy
+                .quote(&b, Utilization::new(load))
+                .unwrap()
+                .price(ChargeableItem::Cpu)
+                .unwrap();
+            assert!(p >= prev, "price decreased at load {load}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn utilization_clamps() {
+        assert_eq!(Utilization::new(250), Utilization(100));
+    }
+
+    #[test]
+    fn bad_policy_config_rejected() {
+        let policy = SupplyDemandPricing { floor_pct: 300, ceil_pct: 50 };
+        assert!(policy.quote(&base(), Utilization::new(10)).is_err());
+    }
+
+    #[test]
+    fn equilibrium_tracker_moves_toward_balance() {
+        let mut t = EquilibriumTracker::new(
+            Credits::from_gd(1),
+            10,
+            Credits::from_milli(100),
+            Credits::from_gd(10),
+        );
+        // Demand exceeds supply: price rises 10%.
+        assert_eq!(t.adjust(10, 5).unwrap(), Credits::from_micro(1_100_000));
+        // Supply exceeds demand: price falls 10%.
+        assert_eq!(t.adjust(5, 10).unwrap(), Credits::from_micro(990_000));
+        // Balanced: unchanged.
+        assert_eq!(t.adjust(7, 7).unwrap(), Credits::from_micro(990_000));
+    }
+
+    #[test]
+    fn equilibrium_tracker_clamps_to_bounds() {
+        let mut t = EquilibriumTracker::new(
+            Credits::from_milli(110),
+            10,
+            Credits::from_milli(100),
+            Credits::from_milli(120),
+        );
+        for _ in 0..10 {
+            t.adjust(0, 100).unwrap();
+        }
+        assert_eq!(t.price, Credits::from_milli(100));
+        for _ in 0..10 {
+            t.adjust(100, 0).unwrap();
+        }
+        assert_eq!(t.price, Credits::from_milli(120));
+    }
+}

@@ -1,0 +1,110 @@
+//! Competitive operating model (§4.2) — open-market pricing and
+//! bank-assisted price estimation.
+//!
+//! Part 1 runs an open market: providers post heterogeneous prices,
+//! consumers schedule under deadline/budget, and the bank's confidential
+//! transaction history accumulates. The bank is then asked to estimate
+//! the market price of a resource "like provider 0" — without revealing
+//! any individual transaction.
+//!
+//! Part 2 shows the GRACE auction protocols providers can sell capacity
+//! through: English, Dutch, first-price sealed-bid, Vickrey, and a
+//! clearing double auction.
+//!
+//! Run with: `cargo run --example competitive_market`
+
+use gridbank_suite::broker::scheduling::Algorithm;
+use gridbank_suite::rur::Credits;
+use gridbank_suite::sim::scenario::{run_competitive, run_open_market, ScenarioConfig};
+use gridbank_suite::sim::topology::TopologyConfig;
+use gridbank_suite::sim::workload::{JobSizeDistribution, WorkloadConfig};
+use gridbank_suite::trade::auction::{
+    clear_double_auction, first_price_sealed, vickrey_sealed, DutchAuction, EnglishAuction,
+    Order, SealedBid,
+};
+
+fn config() -> ScenarioConfig {
+    ScenarioConfig {
+        topology: TopologyConfig {
+            providers: 6,
+            machines_per_provider: 2,
+            dynamic_pricing: true, // §1: price responds to demand
+            ..TopologyConfig::default()
+        },
+        workload: WorkloadConfig {
+            seed: 42,
+            count: 30,
+            consumers: 5,
+            mean_interarrival_ms: 100,
+            sizes: JobSizeDistribution::Uniform { lo: 1_000_000, hi: 5_000_000 },
+            memory_mb: 0,
+            network_mb: 0,
+        },
+        algorithm: Algorithm::CostOpt,
+        deadline_ms: 4 * 3_600_000,
+        budget: Credits::from_gd(500),
+    }
+}
+
+fn main() {
+    println!("=== Competitive model (§4.2) ===\n");
+
+    // --- Part 1: open market + price estimation -----------------------
+    let market = run_open_market(&config());
+    println!("open market: {} jobs completed, {} failed", market.completed, market.failed);
+    println!("total paid to providers : {}", market.total_paid);
+    println!("conservation drift      : {} (must be zero)", market.conservation_drift);
+    println!("provider revenues:");
+    for (i, r) in market.provider_revenue.iter().enumerate() {
+        println!("  gsp-{i:02}: {r}");
+    }
+
+    let est = run_competitive(&config());
+    println!(
+        "\nbank price estimate for a resource like gsp-00: {} per CPU-hour\n\
+         (from {} confidential history observations)\n",
+        est.estimate, est.observations
+    );
+
+    // --- Part 2: the GRACE auction menu --------------------------------
+    println!("=== Auction protocols (GRACE economic models) ===\n");
+
+    let mut english = EnglishAuction::open(Credits::from_gd(2), Credits::from_milli(500));
+    english.bid("alice", Credits::from_gd(2)).unwrap();
+    english.bid("bob", Credits::from_milli(3_500)).unwrap();
+    english.bid("alice", Credits::from_gd(5)).unwrap();
+    let award = english.close().unwrap();
+    println!("English auction  : {} wins at {}", award.winner, award.price);
+
+    let mut dutch = DutchAuction::open(Credits::from_gd(10), Credits::from_gd(1), Credits::from_gd(3));
+    dutch.tick().unwrap();
+    dutch.tick().unwrap();
+    let award = dutch.take("carol").unwrap();
+    println!("Dutch auction    : {} takes at {}", award.winner, award.price);
+
+    let bids = vec![
+        SealedBid { bidder: "alice".into(), amount: Credits::from_gd(6) },
+        SealedBid { bidder: "bob".into(), amount: Credits::from_gd(9) },
+        SealedBid { bidder: "carol".into(), amount: Credits::from_gd(7) },
+    ];
+    let fp = first_price_sealed(&bids, Credits::from_gd(1)).unwrap();
+    println!("First-price bid  : {} wins at {}", fp.winner, fp.price);
+    let v = vickrey_sealed(&bids, Credits::from_gd(1)).unwrap();
+    println!("Vickrey auction  : {} wins but pays {}", v.winner, v.price);
+
+    let buys = vec![
+        Order { trader: "hpc-lab".into(), limit: Credits::from_gd(8), quantity: 10 },
+        Order { trader: "render-farm".into(), limit: Credits::from_gd(5), quantity: 6 },
+    ];
+    let sells = vec![
+        Order { trader: "gsp-00".into(), limit: Credits::from_gd(4), quantity: 8 },
+        Order { trader: "gsp-01".into(), limit: Credits::from_gd(6), quantity: 8 },
+    ];
+    println!("Double auction   :");
+    for t in clear_double_auction(&buys, &sells) {
+        println!(
+            "  {} buys {} units from {} at {}",
+            t.buyer, t.quantity, t.seller, t.price
+        );
+    }
+}

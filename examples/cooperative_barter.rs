@@ -1,0 +1,43 @@
+//! Co-operative resource sharing — the executable version of Figure 4.
+//!
+//! Four participants who both provide and consume trade compute in a
+//! ring. Prices follow the community's resource valuation (proportional
+//! to speed), so "although computations on some resources are faster
+//! because of better hardware, the slower resources have to compensate by
+//! running longer" — and everyone ends up consuming about as much value
+//! as they provide.
+//!
+//! Run with: `cargo run --example cooperative_barter`
+
+use gridbank_suite::sim::scenario::run_cooperative;
+
+fn main() {
+    println!("=== Co-operative resource sharing (Figure 4) ===\n");
+    let participants = 4;
+    let rounds = 5;
+    let work_per_job = 7_200_000; // ~20-72s of compute depending on speed
+
+    let report = run_cooperative(participants, rounds, work_per_job, 2003);
+
+    println!(
+        "{:<28} {:>6} {:>16} {:>16} {:>16}",
+        "participant", "speed", "consumed", "provided", "balance"
+    );
+    for row in &report.rows {
+        println!(
+            "{:<28} {:>6} {:>16} {:>16} {:>16}",
+            row.name.rsplit('=').next().unwrap_or(&row.name),
+            row.speed,
+            row.consumed.to_string(),
+            row.provided.to_string(),
+            row.balance.to_string(),
+        );
+    }
+    println!("\ntotal value exchanged : {}", report.total_exchanged);
+    println!("equilibrium gap       : {}", report.equilibrium_gap);
+    println!(
+        "\nEvery participant consumed ≈ provided: the community price\n\
+         authority's valuation (price ∝ speed) keeps the barter economy\n\
+         at equilibrium, exactly the property §4.1 asks for."
+    );
+}

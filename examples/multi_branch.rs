@@ -1,0 +1,112 @@
+//! Multi-branch GridBank with inter-branch settlement — §6's future
+//! work, implemented.
+//!
+//! Three Virtual Organizations each run their own GridBank branch.
+//! Consumers pay providers across VO boundaries: the payee is credited
+//! immediately while the debit parks in the drawer branch's clearing
+//! account; a periodic settlement round nets each branch pair and moves
+//! only the difference.
+//!
+//! Run with: `cargo run --example multi_branch`
+
+use std::sync::Arc;
+
+use gridbank_suite::bank::accounts::GbAccounts;
+use gridbank_suite::bank::admin::GbAdmin;
+use gridbank_suite::bank::branch::{Branch, InterBank};
+use gridbank_suite::bank::clock::Clock;
+use gridbank_suite::bank::db::Database;
+use gridbank_suite::rur::Credits;
+
+const ADMIN: &str = "/O=GridBank/OU=Admin/CN=operator";
+
+fn make_branch(id: u16, vo: &str) -> Branch {
+    let db = Arc::new(Database::new(1, id));
+    let accounts = GbAccounts::new(db, Clock::new());
+    let admin = GbAdmin::new(accounts.clone(), [ADMIN.to_string()]);
+    println!("[vo  ] branch {id:04} serves VO `{vo}`");
+    Branch::new(id, accounts, admin)
+}
+
+fn main() {
+    println!("=== Multi-branch GridBank (§6) ===\n");
+
+    let mut interbank = InterBank::new();
+    let vos = ["physics", "bioinformatics", "climate"];
+    let mut accounts = Vec::new();
+    for (i, vo) in vos.iter().enumerate() {
+        let branch = make_branch((i + 1) as u16, vo);
+        // Two members per VO: a consumer and a provider.
+        let consumer = branch
+            .accounts
+            .create_account(&format!("/O={vo}/CN=consumer"), None)
+            .unwrap();
+        let provider = branch
+            .accounts
+            .create_account(&format!("/O={vo}/CN=provider"), None)
+            .unwrap();
+        branch.admin.deposit(ADMIN, &consumer, Credits::from_gd(100)).unwrap();
+        accounts.push((consumer, provider));
+        interbank.add_branch(branch);
+    }
+    println!();
+
+    // Cross-VO trade: each VO's consumer uses the next VO's provider, and
+    // physics additionally buys a lot from climate.
+    let flows = [
+        (accounts[0].0, accounts[1].1, 20i64), // physics -> bio
+        (accounts[1].0, accounts[2].1, 15),    // bio -> climate
+        (accounts[2].0, accounts[0].1, 10),    // climate -> physics
+        (accounts[0].0, accounts[2].1, 25),    // physics -> climate
+        (accounts[2].0, accounts[0].1, 5),     // climate -> physics again
+    ];
+    for (from, to, gd) in flows {
+        interbank
+            .cross_branch_transfer(from, to, Credits::from_gd(gd), Vec::new())
+            .unwrap();
+        println!("[pay ] {from} -> {to}: G${gd} (payee credited immediately)");
+    }
+
+    println!("\nclearing balances before settlement:");
+    for a in 1..=3u16 {
+        for b in 1..=3u16 {
+            if a != b {
+                let parked = interbank.branch(a).unwrap().clearing_balance(b);
+                if parked.is_positive() {
+                    println!("  branch {a:04} owes branch {b:04}: {parked}");
+                }
+            }
+        }
+    }
+
+    let report = interbank.settle().unwrap();
+    println!("\nsettlement round:");
+    for p in &report.pairs {
+        println!(
+            "  {}↔{}: gross {} + {} → net {}",
+            p.branch_a,
+            p.branch_b,
+            p.gross_a_to_b,
+            p.gross_b_to_a,
+            p.net
+        );
+    }
+    println!(
+        "\ntotal gross flow : {}\ntotal net settled: {}  (netting saved {})",
+        report.total_gross(),
+        report.total_net(),
+        report.total_gross().checked_sub(report.total_net()).unwrap()
+    );
+
+    println!("\nfinal balances:");
+    for (i, (consumer, provider)) in accounts.iter().enumerate() {
+        let branch = interbank.branch((i + 1) as u16).unwrap();
+        let c = branch.accounts.account_details(consumer).unwrap();
+        let p = branch.accounts.account_details(provider).unwrap();
+        println!(
+            "  {:<16} consumer {}   provider {}",
+            vos[i], c.available, p.available
+        );
+    }
+    println!("\nfederation conservation check: total funds = {}", interbank.total_funds());
+}

@@ -1,0 +1,212 @@
+//! Quickstart: the complete Figure 1 interaction, over the wire.
+//!
+//! One GridBank server, one consumer (Alice), one provider (gsp-alpha):
+//!
+//! 1. a CA issues certificates; Alice signs a *proxy* (single sign-on);
+//! 2. the bank server starts and gates connections on its account tables;
+//! 3. both parties open accounts over mutually-authenticated channels;
+//! 4. Alice buys a GridCheque; the provider validates it, executes her
+//!    job under a template account, meters usage into a GGF RUR,
+//!    and redeems cheque + RUR with the bank;
+//! 5. statements show the transfer with the RUR stored as evidence.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+
+use gridbank_suite::bank::client::GridBankClient;
+use gridbank_suite::bank::clock::Clock;
+use gridbank_suite::bank::server::{
+    GridBank, GridBankConfig, GridBankServer, ServerCredentials,
+};
+use gridbank_suite::broker::payment::PaymentModule;
+use gridbank_suite::crypto::cert::{create_proxy, CertificateAuthority, SubjectName};
+use gridbank_suite::crypto::keys::{KeyMaterial, SigningIdentity};
+use gridbank_suite::crypto::rng::DeterministicStream;
+use gridbank_suite::gsp::charging::PaymentInstrument;
+use gridbank_suite::gsp::provider::{GridServiceProvider, GspConfig};
+use gridbank_suite::meter::levels::AccountingLevel;
+use gridbank_suite::meter::machine::{JobSpec, MachineSpec, OsFlavour};
+use gridbank_suite::net::transport::{Address, Network};
+use gridbank_suite::rur::record::ChargeableItem;
+use gridbank_suite::rur::Credits;
+use gridbank_suite::trade::pricing::FlatPricing;
+use gridbank_suite::trade::rates::ServiceRates;
+
+fn connect(
+    network: &Network,
+    from: &str,
+    ca: &CertificateAuthority,
+    user: &SigningIdentity,
+    user_subject: SubjectName,
+    clock: &Clock,
+    seed: u64,
+) -> GridBankClient {
+    // CA-issued long-term certificate, then a short-lived proxy signed by
+    // the *user* — the single sign-on credential everything else uses.
+    let cert = ca
+        .issue(user_subject, user.verifying_key(), 0, 1_000_000_000)
+        .expect("issue certificate");
+    let proxy_id = SigningIdentity::generate(KeyMaterial { seed }, "proxy");
+    let proxy = create_proxy(user, &cert, proxy_id.verifying_key(), 0, 1_000_000_000, 1)
+        .expect("sign proxy");
+    let mut nonces = DeterministicStream::from_u64(seed, b"client-nonce");
+    GridBankClient::connect(
+        network,
+        Address::new(from),
+        &Address::new("gridbank.grid.org"),
+        ca.verifying_key(),
+        clock.now_ms(),
+        &proxy,
+        &proxy_id,
+        &mut nonces,
+    )
+    .expect("handshake with the bank")
+}
+
+fn main() {
+    println!("=== GridBank quickstart: Figure 1, end to end ===\n");
+
+    // --- Public-key infrastructure (the GSI substitute) ---------------
+    let ca = CertificateAuthority::new(
+        SubjectName::new("GridBank", "CA", "Root"),
+        SigningIdentity::generate(KeyMaterial { seed: 1 }, "ca"),
+    );
+    println!("[pki ] CA online: {}", ca.name());
+
+    // --- The bank ------------------------------------------------------
+    let clock = Clock::new();
+    let bank = Arc::new(GridBank::new(GridBankConfig::default(), clock.clone()));
+    let bank_identity = Arc::new(SigningIdentity::generate(KeyMaterial { seed: 2 }, "bank-tls"));
+    let bank_cert = ca
+        .issue(
+            SubjectName::new("GridBank", "Server", "gridbank"),
+            bank_identity.verifying_key(),
+            0,
+            1_000_000_000,
+        )
+        .expect("issue bank certificate");
+    let network = Network::new();
+    let _server = GridBankServer::start(
+        &network,
+        Address::new("gridbank.grid.org"),
+        bank.clone(),
+        ServerCredentials {
+            certificate: bank_cert,
+            identity: bank_identity,
+            ca_key: ca.verifying_key(),
+        },
+        7,
+    )
+    .expect("bank server starts");
+    println!("[bank] GridBank listening at gridbank.grid.org\n");
+
+    // --- Identities ------------------------------------------------------
+    let alice_id = SigningIdentity::generate(KeyMaterial { seed: 10 }, "alice");
+    let alice_dn = SubjectName::new("UWA", "CSSE", "alice");
+    let gsp_id = SigningIdentity::generate(KeyMaterial { seed: 11 }, "gsp-alpha");
+    let gsp_dn = SubjectName::new("UniMelb", "GRIDS", "gsp-alpha");
+    let admin_id = SigningIdentity::generate(KeyMaterial { seed: 12 }, "operator");
+    let admin_dn = SubjectName("/O=GridBank/OU=Admin/CN=operator".into());
+
+    // --- Accounts over authenticated channels -------------------------
+    let mut alice = connect(&network, "alice.uwa.edu.au", &ca, &alice_id, alice_dn.clone(), &clock, 100);
+    let alice_account = alice.create_account(Some("UWA".into())).expect("alice account");
+    println!("[gsc ] Alice opened account {alice_account}");
+
+    let mut gsp_client =
+        connect(&network, "gsp-alpha.grid.org", &ca, &gsp_id, gsp_dn.clone(), &clock, 101);
+    let gsp_account = gsp_client.create_account(Some("UniMelb".into())).expect("gsp account");
+    println!("[gsp ] gsp-alpha opened account {gsp_account}");
+
+    let mut operator =
+        connect(&network, "ops.gridbank.org", &ca, &admin_id, admin_dn, &clock, 102);
+    operator
+        .admin_deposit(alice_account, Credits::from_gd(100))
+        .expect("admin deposit");
+    println!("[bank] operator deposited G$100 into Alice's account\n");
+
+    // --- The provider --------------------------------------------------
+    let rates = ServiceRates::new()
+        .with(ChargeableItem::Cpu, Credits::from_gd(2))
+        .with(ChargeableItem::Memory, Credits::from_milli(10))
+        .with(ChargeableItem::Network, Credits::from_milli(5));
+    let mut provider = GridServiceProvider::new(
+        GspConfig {
+            cert: gsp_dn.0.clone(),
+            host: "gsp-alpha.grid.org".into(),
+            machines: vec![MachineSpec {
+                host: "node-1".into(),
+                os: OsFlavour::Linux,
+                speed: 200,
+                cores: 8,
+                memory_mb: 32_768,
+            }],
+            base_rates: rates,
+            pool_size: 4,
+            accounting_level: AccountingLevel::Standard,
+            machine_seed: 1234,
+        },
+        bank.verifying_key(),
+        gsp_client, // the provider's GBCM talks to the bank over the wire
+        Box::new(FlatPricing),
+    );
+
+    // --- Negotiate, pay, execute (Figure 1 steps) ----------------------
+    let quote = provider.quote(clock.now_ms(), 60_000).expect("GTS quote");
+    println!(
+        "[gts ] quoted rates: {} per CPU-hour (quote #{})",
+        quote.rates.price(ChargeableItem::Cpu).unwrap(),
+        quote.quote_id
+    );
+
+    let mut gbpm = PaymentModule::new(alice, Credits::from_gd(50));
+    let cheque = gbpm
+        .obtain_cheque(&gsp_dn.0, Credits::from_gd(20), 600_000)
+        .expect("GridCheque issued");
+    println!(
+        "[gbpm] GridCheque #{} for {} payable to {}",
+        cheque.body.cheque_id, cheque.body.reserved, cheque.body.payee_cert
+    );
+
+    let job = JobSpec {
+        work: 1_200_000, // ~6s on this machine
+        parallelism: 4,
+        memory_mb: 2_048,
+        storage_mb: 0,
+        network_mb: 120,
+        sys_pct: 8,
+    };
+    let outcome = provider
+        .execute_job(&alice_dn.0, PaymentInstrument::Cheque(cheque.clone()), &job, &quote.rates, clock.now_ms())
+        .expect("job executes and settles");
+    gbpm.settle_cheque(&cheque, outcome.paid);
+
+    println!("[gsp ] job ran under template account `{}` on {}", outcome.local_account, outcome.machine_host);
+    println!("[grm ] RUR: {} usage lines, span {}", outcome.rur.lines.len(), outcome.rur.job.span());
+    for line in &outcome.rur.lines {
+        println!(
+            "        {:<9} {:>14}  @ {}/{}",
+            line.item.name(),
+            line.usage.to_string(),
+            line.price_per_unit,
+            line.item.unit()
+        );
+    }
+    println!("[gbcm] charge {} — paid {}, released {}\n", outcome.charge, outcome.paid, outcome.released);
+
+    // --- Statements -----------------------------------------------------
+    let mut alice = gbpm.port; // reclaim the client
+    let record = alice.my_account().expect("balance");
+    println!("[bank] Alice:     available {}, locked {}", record.available, record.locked);
+    let st = alice
+        .statement(alice_account, 0, u64::MAX)
+        .expect("statement");
+    println!(
+        "[bank] statement: {} transactions, {} transfer (RUR evidence {} bytes)",
+        st.transactions.len(),
+        st.transfers.len(),
+        st.transfers.first().map(|t| t.rur_blob.len()).unwrap_or(0)
+    );
+    println!("\nDone: consumer, provider and bank agree, with a signed audit trail.");
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the GridBank (GASA) reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can `use gridbank_suite::...`.
+pub use gridbank_broker as broker;
+pub use gridbank_core as bank;
+pub use gridbank_crypto as crypto;
+pub use gridbank_gsp as gsp;
+pub use gridbank_meter as meter;
+pub use gridbank_net as net;
+pub use gridbank_rur as rur;
+pub use gridbank_sim as sim;
+pub use gridbank_trade as trade;

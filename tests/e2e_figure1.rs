@@ -1,0 +1,270 @@
+//! E1 — Figure 1 end to end, over the authenticated network path.
+//!
+//! One bank server, two providers (four resources total), one consumer.
+//! Everything flows over mutually-authenticated secure channels: account
+//! opening, deposits, cheque purchase, job execution, metering,
+//! redemption, statements.
+
+use std::sync::Arc;
+
+use gridbank_suite::bank::client::GridBankClient;
+use gridbank_suite::bank::clock::Clock;
+use gridbank_suite::bank::server::{
+    GateMode, GridBank, GridBankConfig, GridBankServer, ServerCredentials,
+};
+use gridbank_suite::crypto::cert::{create_proxy, CertificateAuthority, SubjectName};
+use gridbank_suite::crypto::keys::{KeyMaterial, SigningIdentity};
+use gridbank_suite::crypto::rng::DeterministicStream;
+use gridbank_suite::gsp::charging::PaymentInstrument;
+use gridbank_suite::gsp::provider::{GridServiceProvider, GspConfig};
+use gridbank_suite::meter::levels::AccountingLevel;
+use gridbank_suite::meter::machine::{JobSpec, MachineSpec, OsFlavour};
+use gridbank_suite::net::transport::{Address, Network};
+use gridbank_suite::net::NetError;
+use gridbank_suite::rur::record::{ChargeableItem, ResourceUsageRecord};
+use gridbank_suite::rur::codec::Decode;
+use gridbank_suite::rur::Credits;
+use gridbank_suite::trade::pricing::FlatPricing;
+use gridbank_suite::trade::rates::ServiceRates;
+
+struct World {
+    network: Network,
+    ca: CertificateAuthority,
+    clock: Clock,
+    bank: Arc<GridBank>,
+    _server: GridBankServer,
+}
+
+fn world(gate_mode: GateMode) -> World {
+    let ca = CertificateAuthority::new(
+        SubjectName::new("GridBank", "CA", "Root"),
+        SigningIdentity::generate_small(KeyMaterial { seed: 1 }, "ca"),
+    );
+    let clock = Clock::new();
+    let bank = Arc::new(GridBank::new(
+        GridBankConfig { gate_mode, signer_height: 9, ..GridBankConfig::default() },
+        clock.clone(),
+    ));
+    let bank_identity =
+        Arc::new(SigningIdentity::generate(KeyMaterial { seed: 2 }, "bank-tls"));
+    let bank_cert = ca
+        .issue(
+            SubjectName::new("GridBank", "Server", "gridbank"),
+            bank_identity.verifying_key(),
+            0,
+            u64::MAX / 2,
+        )
+        .unwrap();
+    let network = Network::new();
+    let server = GridBankServer::start(
+        &network,
+        Address::new("bank"),
+        bank.clone(),
+        ServerCredentials { certificate: bank_cert, identity: bank_identity, ca_key: ca.verifying_key() },
+        7,
+    )
+    .unwrap();
+    World { network, ca, clock, bank, _server: server }
+}
+
+fn connect(w: &World, cn: &str, seed: u64) -> Result<GridBankClient, gridbank_suite::bank::BankError> {
+    let id = SigningIdentity::generate_small(KeyMaterial { seed }, cn);
+    let dn = SubjectName::new("Org", "Unit", cn);
+    let cert = w.ca.issue(dn, id.verifying_key(), 0, u64::MAX / 2).unwrap();
+    let proxy_id = SigningIdentity::generate_small(KeyMaterial { seed: seed + 5000 }, "proxy");
+    let proxy = create_proxy(&id, &cert, proxy_id.verifying_key(), 0, u64::MAX / 2, 1).unwrap();
+    let mut nonces = DeterministicStream::from_u64(seed, b"nonce");
+    GridBankClient::connect(
+        &w.network,
+        Address::new(format!("{cn}.host")),
+        &Address::new("bank"),
+        w.ca.verifying_key(),
+        w.clock.now_ms(),
+        &proxy,
+        &proxy_id,
+        &mut nonces,
+    )
+}
+
+fn admin_client(w: &World) -> GridBankClient {
+    let id = SigningIdentity::generate_small(KeyMaterial { seed: 999 }, "operator");
+    let dn = SubjectName("/O=GridBank/OU=Admin/CN=operator".into());
+    let cert = w.ca.issue(dn, id.verifying_key(), 0, u64::MAX / 2).unwrap();
+    let proxy_id = SigningIdentity::generate_small(KeyMaterial { seed: 998 }, "proxy");
+    let proxy = create_proxy(&id, &cert, proxy_id.verifying_key(), 0, u64::MAX / 2, 1).unwrap();
+    let mut nonces = DeterministicStream::from_u64(997, b"nonce");
+    GridBankClient::connect(
+        &w.network,
+        Address::new("ops.host"),
+        &Address::new("bank"),
+        w.ca.verifying_key(),
+        w.clock.now_ms(),
+        &proxy,
+        &proxy_id,
+        &mut nonces,
+    )
+    .expect("admin connects")
+}
+
+fn rates() -> ServiceRates {
+    ServiceRates::new()
+        .with(ChargeableItem::Cpu, Credits::from_gd(2))
+        .with(ChargeableItem::Memory, Credits::from_milli(10))
+        .with(ChargeableItem::Network, Credits::from_milli(5))
+}
+
+#[test]
+fn figure1_interaction_over_the_wire() {
+    let w = world(GateMode::AllowEnrollment);
+
+    // Consumer and provider enroll over authenticated channels.
+    let mut alice = connect(&w, "alice", 10).expect("alice connects");
+    let alice_account = alice.create_account(Some("UWA".into())).unwrap();
+    let mut gsp_client = connect(&w, "gsp-alpha", 11).expect("gsp connects");
+    gsp_client.create_account(None).unwrap();
+
+    let mut operator = admin_client(&w);
+    operator.admin_deposit(alice_account, Credits::from_gd(200)).unwrap();
+
+    // Two providers, four resources between them (R1-R4 of Figure 1);
+    // this one serves the job, its GBCM redeeming over the wire.
+    let gsp_cert = "/O=Org/OU=Unit/CN=gsp-alpha".to_string();
+    let mut provider = GridServiceProvider::new(
+        GspConfig {
+            cert: gsp_cert.clone(),
+            host: "gsp-alpha.grid.org".into(),
+            machines: (1..=4)
+                .map(|i| MachineSpec {
+                    host: format!("r{i}"),
+                    os: OsFlavour::Linux,
+                    speed: 150,
+                    cores: 4,
+                    memory_mb: 8_192,
+                })
+                .collect(),
+            base_rates: rates(),
+            pool_size: 4,
+            accounting_level: AccountingLevel::Standard,
+            machine_seed: 7,
+        },
+        w.bank.verifying_key(),
+        gsp_client,
+        Box::new(FlatPricing),
+    );
+
+    let quote = provider.quote(w.clock.now_ms(), 60_000).unwrap();
+    let cheque = alice.request_cheque(&gsp_cert, Credits::from_gd(30), 600_000).unwrap();
+    let job = JobSpec { work: 900_000, parallelism: 2, memory_mb: 512, storage_mb: 0, network_mb: 20, sys_pct: 5 };
+    let outcome = provider
+        .execute_job("/O=Org/OU=Unit/CN=alice", PaymentInstrument::Cheque(cheque), &job, &quote.rates, w.clock.now_ms())
+        .expect("job executes");
+
+    assert!(outcome.charge.is_positive());
+    assert_eq!(outcome.paid, outcome.charge);
+
+    // Bank-side state reflects the deal, and the stored RUR decodes.
+    let alice_rec = alice.my_account().unwrap();
+    assert_eq!(
+        alice_rec.available,
+        Credits::from_gd(200).checked_sub(outcome.paid).unwrap()
+    );
+    assert_eq!(alice_rec.locked, Credits::ZERO);
+    let st = alice.statement(alice_account, 0, u64::MAX).unwrap();
+    assert_eq!(st.transfers.len(), 1);
+    let stored = ResourceUsageRecord::from_bytes(&st.transfers[0].rur_blob).unwrap();
+    assert_eq!(stored, outcome.rur);
+    assert_eq!(stored.resource.certificate_name, gsp_cert);
+}
+
+#[test]
+fn strict_gate_refuses_unknown_subjects_at_connection() {
+    let w = world(GateMode::Strict);
+    // Nobody has an account yet: the connection itself is refused —
+    // "clients simply cannot send any requests before a connection is
+    // established" (§3.2).
+    let err = match connect(&w, "stranger", 77) {
+        Err(e) => e,
+        Ok(_) => panic!("stranger should be refused"),
+    };
+    assert!(
+        matches!(err, gridbank_suite::bank::BankError::Net(NetError::Refused { .. })),
+        "got {err:?}"
+    );
+
+    // An admin is in the administrator table, so the gate admits them;
+    // they can then act on the bank.
+    let mut operator = admin_client(&w);
+    // The admin has no account, and strict mode has no enrollment: the
+    // protocol-level restriction still applies to account-less calls
+    // other than account creation.
+    let r = operator.my_account();
+    assert!(r.is_err());
+}
+
+#[test]
+fn forged_client_chain_never_reaches_the_bank() {
+    let w = world(GateMode::AllowEnrollment);
+    // A client whose certificate chain is signed by a rogue CA.
+    let rogue_ca = CertificateAuthority::new(
+        SubjectName::new("Rogue", "CA", "Root"),
+        SigningIdentity::generate_small(KeyMaterial { seed: 666 }, "rogue"),
+    );
+    let id = SigningIdentity::generate_small(KeyMaterial { seed: 70 }, "mallory");
+    let dn = SubjectName::new("Evil", "Org", "mallory");
+    let cert = rogue_ca.issue(dn, id.verifying_key(), 0, u64::MAX / 2).unwrap();
+    let proxy_id = SigningIdentity::generate_small(KeyMaterial { seed: 71 }, "proxy");
+    let proxy = create_proxy(&id, &cert, proxy_id.verifying_key(), 0, u64::MAX / 2, 1).unwrap();
+    let mut nonces = DeterministicStream::from_u64(72, b"nonce");
+    let res = GridBankClient::connect(
+        &w.network,
+        Address::new("mallory.host"),
+        &Address::new("bank"),
+        w.ca.verifying_key(),
+        w.clock.now_ms(),
+        &proxy,
+        &proxy_id,
+        &mut nonces,
+    );
+    assert!(res.is_err());
+}
+
+#[test]
+fn expired_proxy_is_rejected_later() {
+    let w = world(GateMode::AllowEnrollment);
+    // Issue a proxy valid only until t=1000.
+    let id = SigningIdentity::generate_small(KeyMaterial { seed: 80 }, "carol");
+    let dn = SubjectName::new("Org", "Unit", "carol");
+    let cert = w.ca.issue(dn, id.verifying_key(), 0, u64::MAX / 2).unwrap();
+    let proxy_id = SigningIdentity::generate_small(KeyMaterial { seed: 81 }, "proxy");
+    let proxy = create_proxy(&id, &cert, proxy_id.verifying_key(), 0, 1_000, 1).unwrap();
+
+    // Works now...
+    let mut nonces = DeterministicStream::from_u64(82, b"nonce");
+    let c = GridBankClient::connect(
+        &w.network,
+        Address::new("carol.host"),
+        &Address::new("bank"),
+        w.ca.verifying_key(),
+        w.clock.now_ms(),
+        &proxy,
+        &proxy_id,
+        &mut nonces,
+    );
+    assert!(c.is_ok());
+
+    // ...but not after the virtual clock passes the proxy expiry: single
+    // sign-on credentials are short-lived by design.
+    w.clock.advance(2_000);
+    let mut nonces = DeterministicStream::from_u64(83, b"nonce");
+    let c = GridBankClient::connect(
+        &w.network,
+        Address::new("carol2.host"),
+        &Address::new("bank"),
+        w.ca.verifying_key(),
+        w.clock.now_ms(),
+        &proxy,
+        &proxy_id,
+        &mut nonces,
+    );
+    assert!(c.is_err());
+}

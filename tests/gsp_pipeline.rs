@@ -1,0 +1,194 @@
+//! E2 — Figure 2's GSP internals: raw native records in three OS
+//! flavours flow through the conversion unit into conforming RURs, get
+//! priced against the agreed rates, and aggregate across resources.
+
+use gridbank_suite::meter::levels::AccountingLevel;
+use gridbank_suite::meter::machine::{JobSpec, Machine, MachineSpec, OsFlavour};
+use gridbank_suite::meter::meter::{GridResourceMeter, MeteredJob};
+use gridbank_suite::rur::aggregate::aggregate_records;
+use gridbank_suite::rur::codec::{Decode, Encode};
+use gridbank_suite::rur::record::{ChargeableItem, ResourceUsageRecord};
+use gridbank_suite::rur::text;
+use gridbank_suite::rur::Credits;
+use gridbank_suite::trade::rates::ServiceRates;
+
+fn rates() -> ServiceRates {
+    ServiceRates::new()
+        .with(ChargeableItem::WallClock, Credits::from_milli(100))
+        .with(ChargeableItem::Cpu, Credits::from_gd(2))
+        .with(ChargeableItem::Memory, Credits::from_milli(10))
+        .with(ChargeableItem::Storage, Credits::from_milli(2))
+        .with(ChargeableItem::Network, Credits::from_milli(5))
+        .with(ChargeableItem::Software, Credits::from_milli(500))
+}
+
+fn prices() -> Vec<(ChargeableItem, Credits)> {
+    rates().iter().collect()
+}
+
+fn job() -> JobSpec {
+    JobSpec {
+        work: 1_000_000,
+        parallelism: 2,
+        memory_mb: 1_024,
+        storage_mb: 256,
+        network_mb: 64,
+        sys_pct: 12,
+    }
+}
+
+fn metered_on(os: OsFlavour, seed: u64) -> MeteredJob {
+    let spec = MachineSpec {
+        host: format!("{:?}-node", os).to_lowercase(),
+        os,
+        speed: 125,
+        cores: 4,
+        memory_mb: 8_192,
+    };
+    let mut machine = Machine::new(spec.clone(), seed);
+    let exec = machine.execute(&job(), 500);
+    MeteredJob {
+        user_host: "submit.uwa.edu.au".into(),
+        user_cert: "/CN=alice".into(),
+        job_id: format!("job-{seed}"),
+        application: "render".into(),
+        executions: vec![(spec.host, os.host_type().to_string(), exec.native)],
+    }
+}
+
+#[test]
+fn all_three_os_flavours_produce_conforming_rurs() {
+    let meter = GridResourceMeter::new("/CN=gsp");
+    let r = rates();
+    for (os, seed) in [(OsFlavour::Linux, 1), (OsFlavour::Solaris, 2), (OsFlavour::Cray, 3)] {
+        let metered = metered_on(os, seed);
+        let rur = meter.build_rur(&metered, &prices(), AccountingLevel::Standard).unwrap();
+        // §2.1 conformance: every priced item is metered and vice versa.
+        r.conforms_to(&rur).unwrap();
+        let charge = r.charge(&rur).unwrap();
+        assert!(charge.is_positive(), "{os:?} produced a free job");
+        assert_eq!(rur.resource.host_type.as_deref(), Some(os.host_type()));
+    }
+}
+
+#[test]
+fn charges_agree_across_flavours_for_the_same_job() {
+    // The same abstract job metered through different native formats must
+    // charge nearly the same (format changes units, not usage). Machine
+    // jitter is seeded identically.
+    let meter = GridResourceMeter::new("/CN=gsp");
+    let r = rates();
+    let charges: Vec<Credits> = [OsFlavour::Linux, OsFlavour::Solaris, OsFlavour::Cray]
+        .into_iter()
+        .map(|os| {
+            let metered = metered_on(os, 42);
+            let rur = meter.build_rur(&metered, &prices(), AccountingLevel::Standard).unwrap();
+            r.charge(&rur).unwrap()
+        })
+        .collect();
+    let max = charges.iter().max().unwrap();
+    let min = charges.iter().min().unwrap();
+    let spread = max.checked_sub(*min).unwrap();
+    // Unit roundings (ticks, pages, sectors) cause small divergence only.
+    let tolerance = max.mul_ratio(2, 100).unwrap(); // 2%
+    assert!(spread <= tolerance, "charges diverge: {charges:?}");
+}
+
+#[test]
+fn four_resources_aggregate_into_one_gsp_record() {
+    let meter = GridResourceMeter::new("/CN=gsp");
+    // One parallel job served by R1-R4.
+    let mut executions = Vec::new();
+    for i in 0..4u64 {
+        let spec = MachineSpec {
+            host: format!("r{}", i + 1),
+            os: OsFlavour::Linux,
+            speed: 100 + 25 * i as u32,
+            cores: 2,
+            memory_mb: 4_096,
+        };
+        let mut machine = Machine::new(spec.clone(), 100 + i);
+        let exec = machine.execute(&job(), i * 50);
+        executions.push((spec.host, "Linux/x86".to_string(), exec.native));
+    }
+    let metered = MeteredJob {
+        user_host: "h".into(),
+        user_cert: "/CN=alice".into(),
+        job_id: "mpi-1".into(),
+        application: "mpi".into(),
+        executions,
+    };
+    let per = meter.per_resource_rurs(&metered, &prices(), AccountingLevel::Standard).unwrap();
+    assert_eq!(per.len(), 4);
+    let combined = meter.build_rur(&metered, &prices(), AccountingLevel::Standard).unwrap();
+    rates().conforms_to(&combined).unwrap();
+
+    // Aggregate envelope covers all executions.
+    let start = per.iter().map(|r| r.job.start_ms).min().unwrap();
+    let end = per.iter().map(|r| r.job.end_ms).max().unwrap();
+    assert_eq!(combined.job.start_ms, start);
+    assert_eq!(combined.job.end_ms, end);
+
+    // Aggregating the per-resource records manually gives the same thing.
+    let manual = aggregate_records(&per).unwrap();
+    assert_eq!(manual, combined);
+}
+
+#[test]
+fn rur_survives_binary_and_text_round_trips_through_the_pipeline() {
+    let meter = GridResourceMeter::new("/CN=gsp");
+    let metered = metered_on(OsFlavour::Cray, 9);
+    let rur = meter.build_rur(&metered, &prices(), AccountingLevel::Standard).unwrap();
+
+    // Binary (what the bank stores as a BLOB).
+    let bytes = rur.to_bytes();
+    let from_binary = ResourceUsageRecord::from_bytes(&bytes).unwrap();
+    assert_eq!(from_binary, rur);
+
+    // Text (what a site exchanging XML-ish records would send) and back.
+    let rendered = text::to_text(&rur);
+    let from_text = text::from_text(&rendered).unwrap();
+    assert_eq!(from_text, rur);
+
+    // Costs survive both.
+    assert_eq!(from_binary.total_cost().unwrap(), from_text.total_cost().unwrap());
+}
+
+#[test]
+fn tampered_rur_price_is_caught_by_conformance() {
+    let meter = GridResourceMeter::new("/CN=gsp");
+    let metered = metered_on(OsFlavour::Linux, 5);
+    let mut rur = meter.build_rur(&metered, &prices(), AccountingLevel::Standard).unwrap();
+    // The provider inflates the CPU price after agreement.
+    for line in &mut rur.lines {
+        if line.item == ChargeableItem::Cpu {
+            line.price_per_unit = Credits::from_gd(99);
+        }
+    }
+    assert!(rates().charge(&rur).is_err());
+}
+
+#[test]
+fn streaming_metering_supports_pay_as_you_go() {
+    let meter = GridResourceMeter::new("/CN=gsp");
+    let metered = metered_on(OsFlavour::Linux, 6);
+    let (_, _, native) = &metered.executions[0];
+    let intervals = meter.stream_intervals(native, 250).unwrap();
+    assert!(intervals.len() >= 4);
+    // Per-interval CPU-time-based charges sum to (almost exactly) the
+    // whole-job CPU charge.
+    let cpu_rate = Credits::from_gd(2);
+    let mut interval_total = Credits::ZERO;
+    for iv in &intervals {
+        let c = cpu_rate
+            .mul_ratio(iv.usage.cpu.as_ms(), gridbank_suite::rur::units::MS_PER_HOUR)
+            .unwrap();
+        interval_total = interval_total.checked_add(c).unwrap();
+    }
+    let whole = native.normalize().unwrap();
+    let whole_charge = cpu_rate
+        .mul_ratio(whole.cpu.as_ms(), gridbank_suite::rur::units::MS_PER_HOUR)
+        .unwrap();
+    let diff = interval_total.checked_sub(whole_charge).unwrap().abs();
+    assert!(diff <= Credits::from_micro(intervals.len() as i128), "diff {diff}");
+}

@@ -1,0 +1,135 @@
+//! E10 — §6 multi-branch settlement at scale: many branches, randomized
+//! cross-VO payment traffic, netting correctness, conservation.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gridbank_suite::bank::accounts::GbAccounts;
+use gridbank_suite::bank::admin::GbAdmin;
+use gridbank_suite::bank::branch::{Branch, InterBank};
+use gridbank_suite::bank::clock::Clock;
+use gridbank_suite::bank::db::{AccountId, Database};
+use gridbank_suite::rur::Credits;
+
+const ADMIN: &str = "/CN=root";
+
+fn build_federation(branches: u16, members_per_branch: usize) -> (InterBank, Vec<Vec<AccountId>>) {
+    let mut ib = InterBank::new();
+    let mut accounts = Vec::new();
+    for b in 1..=branches {
+        let db = Arc::new(Database::new(1, b));
+        let acc = GbAccounts::new(db, Clock::new());
+        let admin = GbAdmin::new(acc.clone(), [ADMIN.to_string()]);
+        let mut members = Vec::new();
+        for m in 0..members_per_branch {
+            let id = acc.create_account(&format!("/O=vo-{b}/CN=member-{m}"), None).unwrap();
+            admin.deposit(ADMIN, &id, Credits::from_gd(1_000)).unwrap();
+            members.push(id);
+        }
+        ib.add_branch(Branch::new(b, acc, admin));
+        accounts.push(members);
+    }
+    (ib, accounts)
+}
+
+#[test]
+fn randomized_traffic_nets_correctly() {
+    let branches = 5u16;
+    let (mut ib, accounts) = build_federation(branches, 3);
+    let initial_total = Credits::from_gd(1_000 * branches as i64 * 3);
+    assert_eq!(ib.total_funds(), initial_total);
+
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut gross_expected = Credits::ZERO;
+    let mut sent = 0u32;
+    for _ in 0..200 {
+        let from_branch = rng.random_range(0..branches as usize);
+        let to_branch = rng.random_range(0..branches as usize);
+        if from_branch == to_branch {
+            continue;
+        }
+        let from = accounts[from_branch][rng.random_range(0..3)];
+        let to = accounts[to_branch][rng.random_range(0..3)];
+        let amount = Credits::from_milli(rng.random_range(100..5_000));
+        ib.cross_branch_transfer(from, to, amount, Vec::new()).unwrap();
+        gross_expected = gross_expected.checked_add(amount).unwrap();
+        sent += 1;
+    }
+    assert!(sent > 100);
+
+    let report = ib.settle().unwrap();
+    // Gross in the report equals what we actually sent.
+    assert_eq!(report.total_gross(), gross_expected);
+    // Netting never exceeds gross and pairwise |net| ≤ gross of the pair.
+    assert!(report.total_net() <= report.total_gross());
+    for p in &report.pairs {
+        let pair_gross = p.gross_a_to_b.checked_add(p.gross_b_to_a).unwrap();
+        assert!(p.net.abs() <= pair_gross);
+        // Net is exactly the signed difference.
+        assert_eq!(p.net, p.gross_a_to_b.checked_add(-p.gross_b_to_a).unwrap());
+    }
+
+    // After settlement the federation's internal funds return to the
+    // initial total: the eager payee credits are exactly offset by the
+    // clearing-account drains.
+    assert_eq!(ib.total_funds(), initial_total);
+
+    // All clearing accounts are empty.
+    for a in 1..=branches {
+        for b in 1..=branches {
+            if a != b {
+                assert_eq!(ib.branch(a).unwrap().clearing_balance(b), Credits::ZERO);
+            }
+        }
+    }
+
+    // A second settlement finds nothing.
+    assert!(ib.settle().unwrap().pairs.is_empty());
+}
+
+#[test]
+fn settlement_rounds_compose() {
+    // Settle between waves of traffic; final books must match a single
+    // big settlement's effect.
+    let (mut ib, accounts) = build_federation(3, 1);
+    let a = accounts[0][0];
+    let b = accounts[1][0];
+    let c = accounts[2][0];
+
+    ib.cross_branch_transfer(a, b, Credits::from_gd(10), Vec::new()).unwrap();
+    let r1 = ib.settle().unwrap();
+    assert_eq!(r1.total_net(), Credits::from_gd(10));
+
+    ib.cross_branch_transfer(b, a, Credits::from_gd(4), Vec::new()).unwrap();
+    ib.cross_branch_transfer(b, c, Credits::from_gd(6), Vec::new()).unwrap();
+    let r2 = ib.settle().unwrap();
+    assert_eq!(r2.total_net(), Credits::from_gd(10));
+
+    // Balances: a: 1000-10+4, b: 1000+10-4-6, c: 1000+6.
+    let get = |ib: &InterBank, branch: u16, id: AccountId| {
+        ib.branch(branch).unwrap().accounts.account_details(&id).unwrap().available
+    };
+    assert_eq!(get(&ib, 1, a), Credits::from_gd(994));
+    assert_eq!(get(&ib, 2, b), Credits::from_gd(1_000));
+    assert_eq!(get(&ib, 3, c), Credits::from_gd(1_006));
+    assert_eq!(ib.total_funds(), Credits::from_gd(3_000));
+}
+
+#[test]
+fn cross_branch_rur_evidence_is_preserved() {
+    let (mut ib, accounts) = build_federation(2, 1);
+    let blob = vec![0xAB; 64];
+    ib.cross_branch_transfer(accounts[0][0], accounts[1][0], Credits::from_gd(1), blob.clone())
+        .unwrap();
+    // The drawer branch's transfer row carries the RUR blob.
+    let transfers = ib
+        .branch(1)
+        .unwrap()
+        .accounts
+        .db()
+        .transfers_in_range(&accounts[0][0], 0, u64::MAX);
+    assert_eq!(transfers.len(), 1);
+    assert_eq!(transfers[0].rur_blob, blob);
+}
