@@ -32,7 +32,10 @@ use gridbank_sim::workload::{JobSizeDistribution, WorkloadConfig};
 
 fn margin_table() {
     println!("\n[ablation 1] cheque reservation margin (estimate×margin vs actual charge)");
-    println!("{:>8} {:>12} {:>14} {:>14} {:>12}", "margin%", "completed", "charged", "paid", "shortfall");
+    println!(
+        "{:>8} {:>12} {:>14} {:>14} {:>12}",
+        "margin%", "completed", "charged", "paid", "shortfall"
+    );
     for margin in [100u32, 125, 200, 400] {
         let grid = build_grid(&TopologyConfig {
             seed: 5,
@@ -97,7 +100,9 @@ fn netting_table() {
                         ib.cross_branch_transfer(
                             members[i],
                             members[j],
-                            Credits::from_milli(((round * 7 + i as u64 * 3 + j as u64) % 50 + 1) as i64 * 100),
+                            Credits::from_milli(
+                                ((round * 7 + i as u64 * 3 + j as u64) % 50 + 1) as i64 * 100,
+                            ),
                             Vec::new(),
                         )
                         .unwrap();
@@ -109,11 +114,8 @@ fn netting_table() {
         let report = ib.settle().unwrap();
         let gross = report.total_gross();
         let net = report.total_net();
-        let saved_pct = if gross.is_positive() {
-            100 - (net.micro() * 100 / gross.micro())
-        } else {
-            0
-        };
+        let saved_pct =
+            if gross.is_positive() { 100 - (net.micro() * 100 / gross.micro()) } else { 0 };
         println!(
             "{:>9} {:>10} {:>14} {:>14} {:>7}%",
             branches,

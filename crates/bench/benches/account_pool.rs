@@ -28,29 +28,33 @@ fn bench(c: &mut Criterion) {
     for (pool_size, threads) in [(4usize, 4usize), (4, 16), (16, 16), (4, 64)] {
         let label = format!("pool{pool_size}_threads{threads}");
         g.throughput(Throughput::Elements((threads * 50) as u64));
-        g.bench_with_input(BenchmarkId::new("churn", label), &(pool_size, threads), |b, &(k, n)| {
-            b.iter(|| {
-                let pool = Arc::new(TemplatePool::new("grid", k, 0o700));
-                let mapfile = Arc::new(GridMapfile::new());
-                std::thread::scope(|s| {
-                    for t in 0..n {
-                        let pool = pool.clone();
-                        let mapfile = mapfile.clone();
-                        s.spawn(move || {
-                            for i in 0..50usize {
-                                let acct =
-                                    pool.acquire(StdDuration::from_secs(5)).expect("cycles");
-                                let cert = format!("/CN=c{t}-{i}");
-                                mapfile.bind(&cert, &acct.local_name).unwrap();
-                                mapfile.unbind(&cert).unwrap();
-                                pool.release(acct);
-                            }
-                        });
-                    }
+        g.bench_with_input(
+            BenchmarkId::new("churn", label),
+            &(pool_size, threads),
+            |b, &(k, n)| {
+                b.iter(|| {
+                    let pool = Arc::new(TemplatePool::new("grid", k, 0o700));
+                    let mapfile = Arc::new(GridMapfile::new());
+                    std::thread::scope(|s| {
+                        for t in 0..n {
+                            let pool = pool.clone();
+                            let mapfile = mapfile.clone();
+                            s.spawn(move || {
+                                for i in 0..50usize {
+                                    let acct =
+                                        pool.acquire(StdDuration::from_secs(5)).expect("cycles");
+                                    let cert = format!("/CN=c{t}-{i}");
+                                    mapfile.bind(&cert, &acct.local_name).unwrap();
+                                    mapfile.unbind(&cert).unwrap();
+                                    pool.release(acct);
+                                }
+                            });
+                        }
+                    });
+                    black_box(pool.stats().acquisitions)
                 });
-                black_box(pool.stats().acquisitions)
-            });
-        });
+            },
+        );
     }
 
     // Wait behaviour at saturation: one slot, many waiters.

@@ -52,9 +52,7 @@ fn bench(c: &mut Criterion) {
 
     g.bench_function("transfer_uncontended", |b| {
         let (acc, ids) = setup(2);
-        b.iter(|| {
-            acc.transfer(&ids[0], &ids[1], Credits::from_micro(1), Vec::new()).unwrap()
-        });
+        b.iter(|| acc.transfer(&ids[0], &ids[1], Credits::from_micro(1), Vec::new()).unwrap());
     });
 
     for threads in [2usize, 4, 8] {

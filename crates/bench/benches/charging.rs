@@ -25,19 +25,20 @@ fn rates() -> ServiceRates {
 }
 
 fn job() -> JobSpec {
-    JobSpec { work: 2_000_000, parallelism: 2, memory_mb: 1024, storage_mb: 256, network_mb: 64, sys_pct: 10 }
+    JobSpec {
+        work: 2_000_000,
+        parallelism: 2,
+        memory_mb: 1024,
+        storage_mb: 256,
+        network_mb: 64,
+        sys_pct: 10,
+    }
 }
 
 fn metered(os: OsFlavour, resources: usize) -> MeteredJob {
     let mut executions = Vec::new();
     for i in 0..resources {
-        let spec = MachineSpec {
-            host: format!("r{i}"),
-            os,
-            speed: 150,
-            cores: 4,
-            memory_mb: 8192,
-        };
+        let spec = MachineSpec { host: format!("r{i}"), os, speed: 150, cores: 4, memory_mb: 8192 };
         let mut m = Machine::new(spec.clone(), i as u64);
         let e = m.execute(&job(), 0);
         executions.push((spec.host, os.host_type().to_string(), e.native));
@@ -85,18 +86,14 @@ fn bench(c: &mut Criterion) {
     // GBCM charge calculation (conformance + itemized total).
     let r = rates();
     let rur = meter.build_rur(&single, &prices, AccountingLevel::Standard).unwrap();
-    g.bench_function("conformance_and_charge", |b| {
-        b.iter(|| r.charge(black_box(&rur)).unwrap())
-    });
+    g.bench_function("conformance_and_charge", |b| b.iter(|| r.charge(black_box(&rur)).unwrap()));
 
     // Streaming interval slicing for pay-as-you-go.
     let native = single.executions[0].2.clone();
     for interval in [1000u64, 100, 10] {
-        g.bench_with_input(
-            BenchmarkId::new("stream_intervals", interval),
-            &interval,
-            |b, &iv| b.iter(|| meter.stream_intervals(black_box(&native), iv).unwrap().len()),
-        );
+        g.bench_with_input(BenchmarkId::new("stream_intervals", interval), &interval, |b, &iv| {
+            b.iter(|| meter.stream_intervals(black_box(&native), iv).unwrap().len())
+        });
     }
 
     g.finish();

@@ -70,11 +70,7 @@ fn bench(c: &mut Criterion) {
         let (mut payer, _) = funded(&bank, "payer", 100_000_000);
         let (mut payee, _) = funded(&bank, "payee", 0);
         b.iter_with_setup(
-            || {
-                payer
-                    .request_hash_chain(PAYEE, 64, Credits::from_micro(1), 1_000_000)
-                    .unwrap()
-            },
+            || payer.request_hash_chain(PAYEE, 64, Credits::from_micro(1), 1_000_000).unwrap(),
             |chain| {
                 for step in 1..=8u32 {
                     let pw = chain.payword(step * 8).unwrap();

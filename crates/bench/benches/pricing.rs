@@ -9,7 +9,9 @@ use gridbank_bench::quick;
 use gridbank_core::pricing::{PriceEstimator, ResourceDescription};
 use gridbank_rur::record::ChargeableItem;
 use gridbank_rur::Credits;
-use gridbank_trade::pricing::{EquilibriumTracker, PricingPolicy, SupplyDemandPricing, Utilization};
+use gridbank_trade::pricing::{
+    EquilibriumTracker, PricingPolicy, SupplyDemandPricing, Utilization,
+};
 use gridbank_trade::rates::ServiceRates;
 
 fn desc(i: u64) -> ResourceDescription {

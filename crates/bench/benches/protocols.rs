@@ -40,11 +40,7 @@ fn bench(c: &mut Criterion) {
         let bank = bank(14);
         let (mut payer, _) = funded(&bank, "payer", 10_000_000);
         let (_, payee_id) = funded(&bank, "payee", 0);
-        b.iter(|| {
-            payer
-                .direct_transfer(payee_id, Credits::from_micro(10), "payee.host")
-                .unwrap()
-        });
+        b.iter(|| payer.direct_transfer(payee_id, Credits::from_micro(10), "payee.host").unwrap());
     });
 
     // Pay-after-use: issue + redeem one cheque.
@@ -54,9 +50,7 @@ fn bench(c: &mut Criterion) {
         let (mut payee, _) = funded(&bank, "payee", 0);
         let record = rur(PAYEE, 1);
         b.iter(|| {
-            let cheque = payer
-                .request_cheque(PAYEE, Credits::from_gd(2), 1_000_000)
-                .unwrap();
+            let cheque = payer.request_cheque(PAYEE, Credits::from_gd(2), 1_000_000).unwrap();
             payee.redeem_cheque(cheque, record.clone()).unwrap()
         });
     });
@@ -67,9 +61,8 @@ fn bench(c: &mut Criterion) {
         let (mut payer, _) = funded(&bank, "payer", 10_000_000);
         let (mut payee, _) = funded(&bank, "payee", 0);
         b.iter(|| {
-            let chain = payer
-                .request_hash_chain(PAYEE, 16, Credits::from_micro(100), 1_000_000)
-                .unwrap();
+            let chain =
+                payer.request_hash_chain(PAYEE, 16, Credits::from_micro(100), 1_000_000).unwrap();
             let pw = chain.payword(16).unwrap();
             payee
                 .redeem_payword(chain.commitment.clone(), chain.signature.clone(), pw, vec![])

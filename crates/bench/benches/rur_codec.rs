@@ -23,20 +23,42 @@ fn full_record() -> ResourceUsageRecord {
             Some("Linux/x86".into()),
             918_273,
         )
-        .line(ChargeableItem::WallClock, UsageAmount::Time(Duration::from_hours(2)), Credits::from_milli(100))
-        .line(ChargeableItem::Cpu, UsageAmount::Time(Duration::from_ms(6_400_000)), Credits::from_gd(2))
+        .line(
+            ChargeableItem::WallClock,
+            UsageAmount::Time(Duration::from_hours(2)),
+            Credits::from_milli(100),
+        )
+        .line(
+            ChargeableItem::Cpu,
+            UsageAmount::Time(Duration::from_ms(6_400_000)),
+            Credits::from_gd(2),
+        )
         .line(
             ChargeableItem::Memory,
-            UsageAmount::Occupancy(MbHours::occupancy(DataSize::from_mb(2048), Duration::from_hours(2))),
+            UsageAmount::Occupancy(MbHours::occupancy(
+                DataSize::from_mb(2048),
+                Duration::from_hours(2),
+            )),
             Credits::from_milli(10),
         )
         .line(
             ChargeableItem::Storage,
-            UsageAmount::Occupancy(MbHours::occupancy(DataSize::from_mb(512), Duration::from_hours(2))),
+            UsageAmount::Occupancy(MbHours::occupancy(
+                DataSize::from_mb(512),
+                Duration::from_hours(2),
+            )),
             Credits::from_milli(2),
         )
-        .line(ChargeableItem::Network, UsageAmount::Data(DataSize::from_mb(850)), Credits::from_milli(5))
-        .line(ChargeableItem::Software, UsageAmount::Time(Duration::from_ms(300_000)), Credits::from_milli(500))
+        .line(
+            ChargeableItem::Network,
+            UsageAmount::Data(DataSize::from_mb(850)),
+            Credits::from_milli(5),
+        )
+        .line(
+            ChargeableItem::Software,
+            UsageAmount::Time(Duration::from_ms(300_000)),
+            Credits::from_milli(500),
+        )
         .build()
         .unwrap()
 }
@@ -46,11 +68,7 @@ fn bench(c: &mut Criterion) {
     let record = full_record();
     let bytes = record.to_bytes();
     let rendered = text::to_text(&record);
-    println!(
-        "[sizes] full RUR: binary {} bytes, text {} bytes",
-        bytes.len(),
-        rendered.len()
-    );
+    println!("[sizes] full RUR: binary {} bytes, text {} bytes", bytes.len(), rendered.len());
 
     g.throughput(Throughput::Bytes(bytes.len() as u64));
     g.bench_function("binary_encode", |b| b.iter(|| black_box(&record).to_bytes()));
@@ -60,9 +78,7 @@ fn bench(c: &mut Criterion) {
 
     g.throughput(Throughput::Bytes(rendered.len() as u64));
     g.bench_function("text_encode", |b| b.iter(|| text::to_text(black_box(&record))));
-    g.bench_function("text_decode", |b| {
-        b.iter(|| text::from_text(black_box(&rendered)).unwrap())
-    });
+    g.bench_function("text_decode", |b| b.iter(|| text::from_text(black_box(&rendered)).unwrap()));
 
     g.throughput(Throughput::Elements(1));
     g.bench_function("validate", |b| b.iter(|| black_box(&record).validate().unwrap()));

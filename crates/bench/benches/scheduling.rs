@@ -86,9 +86,7 @@ fn bench(c: &mut Criterion) {
                                 budget: Credits::from_gd(1_000),
                             },
                         );
-                        let report = broker
-                            .run_batch(alg, &batch, &mut grid.providers, 0)
-                            .unwrap();
+                        let report = broker.run_batch(alg, &batch, &mut grid.providers, 0).unwrap();
                         assert_eq!(report.completed, 12);
                         black_box(report.total_paid)
                     },

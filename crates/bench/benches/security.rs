@@ -72,7 +72,12 @@ fn bench(c: &mut Criterion) {
         let server_id =
             Arc::new(SigningIdentity::generate_with_height(KeyMaterial { seed: 5 }, "srv", 14));
         let server_cert = ca
-            .issue(SubjectName::new("GB", "Srv", "bank"), server_id.verifying_key(), 0, u64::MAX / 2)
+            .issue(
+                SubjectName::new("GB", "Srv", "bank"),
+                server_id.verifying_key(),
+                0,
+                u64::MAX / 2,
+            )
             .unwrap();
         let client_proxy_id =
             SigningIdentity::generate_with_height(KeyMaterial { seed: 6 }, "cli", 14);
@@ -113,20 +118,24 @@ fn bench(c: &mut Criterion) {
     // Sealed channel throughput at several frame sizes.
     for size in [256usize, 4 * 1024, 64 * 1024] {
         g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::new("sealed_channel_roundtrip", size), &size, |b, &size| {
-            let network = Network::new();
-            let listener = network.bind(Address::new("srv")).unwrap();
-            let link = network.connect(Address::new("cli"), &Address::new("srv")).unwrap();
-            let server_link = listener.accept().unwrap();
-            let secret = sha256(b"bench-secret");
-            let mut client = SecureChannel::new(link, &secret, true);
-            let mut server = SecureChannel::new(server_link, &secret, false);
-            let payload = vec![0x5Au8; size];
-            b.iter(|| {
-                client.send(&payload).unwrap();
-                black_box(server.recv().unwrap())
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("sealed_channel_roundtrip", size),
+            &size,
+            |b, &size| {
+                let network = Network::new();
+                let listener = network.bind(Address::new("srv")).unwrap();
+                let link = network.connect(Address::new("cli"), &Address::new("srv")).unwrap();
+                let server_link = listener.accept().unwrap();
+                let secret = sha256(b"bench-secret");
+                let mut client = SecureChannel::new(link, &secret, true);
+                let mut server = SecureChannel::new(server_link, &secret, false);
+                let payload = vec![0x5Au8; size];
+                b.iter(|| {
+                    client.send(&payload).unwrap();
+                    black_box(server.recv().unwrap())
+                });
+            },
+        );
     }
 
     g.finish();

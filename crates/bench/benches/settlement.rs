@@ -49,12 +49,7 @@ fn bench(c: &mut Criterion) {
         let a = branch.accounts.create_account("/CN=a2", None).unwrap();
         branch.admin.deposit(ADMIN, &a, Credits::from_gd(1_000_000)).unwrap();
         let to = branch.accounts.create_account("/CN=b2", None).unwrap();
-        b.iter(|| {
-            branch
-                .accounts
-                .transfer(&a, &to, Credits::from_micro(10), Vec::new())
-                .unwrap()
-        });
+        b.iter(|| branch.accounts.transfer(&a, &to, Credits::from_micro(10), Vec::new()).unwrap());
     });
 
     // Settlement cost vs federation size: all-pairs traffic, then net.

@@ -17,7 +17,14 @@ use gridbank_crypto::cert::SubjectName;
 use gridbank_rur::Credits;
 
 /// Criterion tuned for a broad suite: small samples, short measurement.
+///
+/// Set `GRIDBANK_TELEMETRY=1` to run the same suite with tracing and
+/// metrics live — the pair of runs quantifies the telemetry overhead
+/// (EXPERIMENTS.md E14).
 pub fn quick() -> Criterion {
+    if std::env::var_os("GRIDBANK_TELEMETRY").is_some_and(|v| v == "1") {
+        gridbank_obs::set_telemetry(true);
+    }
     Criterion::default()
         .sample_size(10)
         .measurement_time(std::time::Duration::from_millis(800))
@@ -40,11 +47,7 @@ pub fn bank(signer_height: usize) -> Arc<GridBank> {
 }
 
 /// Creates and funds an account, returning its port and id.
-pub fn funded(
-    bank: &Arc<GridBank>,
-    cn: &str,
-    gd: i64,
-) -> (InProcessBank, AccountId) {
+pub fn funded(bank: &Arc<GridBank>, cn: &str, gd: i64) -> (InProcessBank, AccountId) {
     let subject = SubjectName::new("Bench", "Users", cn);
     let mut port = InProcessBank::new(bank.clone(), subject);
     let id = port.create_account(None).expect("fresh account");

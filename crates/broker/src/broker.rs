@@ -160,9 +160,8 @@ impl<P: BankPort> GridResourceBroker<P> {
                     report.failed = r.failed;
                     report.total_paid = report.total_paid.saturating_add(r.total_paid);
                     report.total_charge = report.total_charge.saturating_add(r.total_charge);
-                    report.makespan_ms = report
-                        .makespan_ms
-                        .max(r.makespan_ms + (retry_now - now_ms));
+                    report.makespan_ms =
+                        report.makespan_ms.max(r.makespan_ms + (retry_now - now_ms));
                     report.outcomes.extend(r.outcomes);
                     // Map retry-batch indices back into the original batch.
                     report.failed_tasks =
@@ -231,20 +230,14 @@ impl<P: BankPort> GridResourceBroker<P> {
             let provider = &mut providers[view.provider_idx];
             // Reserve estimate × margin, capped by remaining budget.
             let est = assignment.cost.max(Credits::from_micro(1));
-            let with_margin = est
-                .mul_ratio(self.cheque_margin_pct as u64, 100)
-                .unwrap_or(est);
+            let with_margin = est.mul_ratio(self.cheque_margin_pct as u64, 100).unwrap_or(est);
             let reserve = with_margin.min(self.gbpm.tracker.remaining());
             if !reserve.is_positive() {
                 report.failed += 1;
                 report.failed_tasks.push(assignment.task_idx);
                 continue;
             }
-            let cheque = match self.gbpm.obtain_cheque(
-                &provider.cert,
-                reserve,
-                quote_validity,
-            ) {
+            let cheque = match self.gbpm.obtain_cheque(&provider.cert, reserve, quote_validity) {
                 Ok(c) => c,
                 Err(_) => {
                     report.failed += 1;
@@ -367,7 +360,14 @@ mod tests {
     fn batch(count: usize, work: u64, deadline_ms: u64, budget_gd: i64) -> JobBatch {
         JobBatch::sweep(
             "sweep",
-            JobSpec { work, parallelism: 1, memory_mb: 64, storage_mb: 0, network_mb: 1, sys_pct: 5 },
+            JobSpec {
+                work,
+                parallelism: 1,
+                memory_mb: 64,
+                storage_mb: 0,
+                network_mb: 1,
+                sys_pct: 5,
+            },
             count,
             QosConstraints { deadline_ms, budget: Credits::from_gd(budget_gd) },
         )
@@ -378,10 +378,7 @@ mod tests {
         let mut w = world(1_000);
         // 6 tasks × ~18 min each on the slow machine.
         let b = batch(6, 108_000_000, 4 * MS_PER_HOUR, 100);
-        let report = w
-            .broker
-            .run_batch(Algorithm::TimeOpt, &b, &mut w.providers, 0)
-            .unwrap();
+        let report = w.broker.run_batch(Algorithm::TimeOpt, &b, &mut w.providers, 0).unwrap();
         assert_eq!(report.completed, 6, "report: {report:?}");
         assert_eq!(report.failed, 0);
         assert_eq!(report.completion_pct(), 100);
@@ -391,11 +388,8 @@ mod tests {
         // Budget was honoured.
         assert!(w.broker.gbpm.tracker.spent <= Credits::from_gd(100));
         // Providers were actually paid through the bank.
-        let paid: Credits = w
-            .providers
-            .iter_mut()
-            .map(|p| p.gbcm.port.my_account().unwrap().available)
-            .sum();
+        let paid: Credits =
+            w.providers.iter_mut().map(|p| p.gbcm.port.my_account().unwrap().available).sum();
         assert_eq!(paid, report.total_paid);
     }
 
@@ -403,15 +397,11 @@ mod tests {
     fn cost_opt_cheaper_time_opt_faster() {
         let mut w1 = world(1_000);
         let b = batch(8, 54_000_000, 2 * MS_PER_HOUR, 500);
-        let cost_report = w1
-            .broker
-            .run_batch(Algorithm::CostOpt, &b, &mut w1.providers, 0)
-            .unwrap();
+        let cost_report =
+            w1.broker.run_batch(Algorithm::CostOpt, &b, &mut w1.providers, 0).unwrap();
         let mut w2 = world(1_000);
-        let time_report = w2
-            .broker
-            .run_batch(Algorithm::TimeOpt, &b, &mut w2.providers, 0)
-            .unwrap();
+        let time_report =
+            w2.broker.run_batch(Algorithm::TimeOpt, &b, &mut w2.providers, 0).unwrap();
         assert_eq!(cost_report.completed, 8);
         assert_eq!(time_report.completed, 8);
         assert!(cost_report.total_paid <= time_report.total_paid);
@@ -435,10 +425,7 @@ mod tests {
         // Tasks cost ~0.3 G$ each (18 min at 1 G$/h) plus margin; a 2 G$
         // budget cannot cover 20 of them.
         let b = batch(20, 108_000_000, 100 * MS_PER_HOUR, 2);
-        let report = w
-            .broker
-            .run_batch(Algorithm::CostOpt, &b, &mut w.providers, 0)
-            .unwrap();
+        let report = w.broker.run_batch(Algorithm::CostOpt, &b, &mut w.providers, 0).unwrap();
         assert!(report.completed > 0);
         assert!(report.failed > 0);
         assert!(report.completed + report.failed == 20);
@@ -450,15 +437,9 @@ mod tests {
         let mut w = world(100);
         let (idx, rates) = w.broker.tender(&mut w.providers, 0, 10_000).unwrap();
         assert_eq!(w.providers[idx].cert, "/O=Grid/OU=GSP/CN=cheap");
-        assert_eq!(
-            rates.price(ChargeableItem::Cpu),
-            Some(Credits::from_gd(1))
-        );
+        assert_eq!(rates.price(ChargeableItem::Cpu), Some(Credits::from_gd(1)));
         let mut empty: Vec<GridServiceProvider<InProcessBank>> = Vec::new();
-        assert!(matches!(
-            w.broker.tender(&mut empty, 0, 10_000),
-            Err(BrokerError::NoProviders)
-        ));
+        assert!(matches!(w.broker.tender(&mut empty, 0, 10_000), Err(BrokerError::NoProviders)));
     }
 
     #[test]
@@ -476,18 +457,13 @@ mod tests {
         for p in &mut w1.providers {
             p.inject_failures(50, 0xFA11);
         }
-        let single = w1
-            .broker
-            .run_batch(Algorithm::TimeOpt, &b, &mut w1.providers, 0)
-            .unwrap();
+        let single = w1.broker.run_batch(Algorithm::TimeOpt, &b, &mut w1.providers, 0).unwrap();
         assert!(single.failed > 0, "fault injection had no effect");
         assert_eq!(single.failed_tasks.len(), single.failed);
 
         // With retries the batch completes.
-        let report = w
-            .broker
-            .run_batch_with_retry(Algorithm::TimeOpt, &b, &mut w.providers, 0, 10)
-            .unwrap();
+        let report =
+            w.broker.run_batch_with_retry(Algorithm::TimeOpt, &b, &mut w.providers, 0, 10).unwrap();
         assert_eq!(report.completed, 10, "{report:?}");
         assert!(report.failed_tasks.is_empty());
         // Failed executions were never paid: paid equals sum of outcomes.
@@ -502,10 +478,8 @@ mod tests {
             p.inject_failures(100, 1); // always fails
         }
         let b = batch(4, 54_000_000, 48 * MS_PER_HOUR, 500);
-        let report = w
-            .broker
-            .run_batch_with_retry(Algorithm::TimeOpt, &b, &mut w.providers, 0, 3)
-            .unwrap();
+        let report =
+            w.broker.run_batch_with_retry(Algorithm::TimeOpt, &b, &mut w.providers, 0, 3).unwrap();
         assert_eq!(report.completed, 0);
         assert_eq!(report.failed_tasks.len(), 4);
         // Nothing was paid for failed work.

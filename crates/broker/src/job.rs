@@ -32,17 +32,8 @@ pub struct JobBatch {
 
 impl JobBatch {
     /// Builds a homogeneous sweep of `count` tasks.
-    pub fn sweep(
-        application: &str,
-        template: JobSpec,
-        count: usize,
-        qos: QosConstraints,
-    ) -> Self {
-        JobBatch {
-            application: application.to_string(),
-            tasks: vec![template; count],
-            qos,
-        }
+    pub fn sweep(application: &str, template: JobSpec, count: usize, qos: QosConstraints) -> Self {
+        JobBatch { application: application.to_string(), tasks: vec![template; count], qos }
     }
 
     /// Number of tasks.

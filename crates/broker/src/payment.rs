@@ -81,7 +81,10 @@ impl<P: BankPort> PaymentModule<P> {
 
     /// Ensures the user has an account (creating one on first use) and
     /// returns its id.
-    pub fn ensure_account(&mut self, organization: Option<String>) -> Result<AccountId, BrokerError> {
+    pub fn ensure_account(
+        &mut self,
+        organization: Option<String>,
+    ) -> Result<AccountId, BrokerError> {
         if let Some(id) = self.account {
             return Ok(id);
         }
@@ -105,6 +108,7 @@ impl<P: BankPort> PaymentModule<P> {
         amount: Credits,
         validity_ms: u64,
     ) -> Result<GridCheque, BrokerError> {
+        let _span = gridbank_obs::span("broker.payment", "obtain_cheque");
         self.tracker.commit(amount)?;
         match self.port.request_cheque(payee_cert, amount, validity_ms) {
             Ok(c) => Ok(c),
@@ -117,6 +121,7 @@ impl<P: BankPort> PaymentModule<P> {
 
     /// Settles a cheque outcome against the budget.
     pub fn settle_cheque(&mut self, cheque: &GridCheque, paid: Credits) {
+        let _span = gridbank_obs::span("broker.payment", "settle_cheque");
         self.tracker.settle(cheque.body.reserved, paid);
     }
 
@@ -128,9 +133,9 @@ impl<P: BankPort> PaymentModule<P> {
         value_per_word: Credits,
         validity_ms: u64,
     ) -> Result<ClientHashChain, BrokerError> {
-        let total = value_per_word
-            .checked_mul(length as i128)
-            .map_err(|e| BrokerError::Bank(e.into()))?;
+        let _span = gridbank_obs::span("broker.payment", "obtain_chain");
+        let total =
+            value_per_word.checked_mul(length as i128).map_err(|e| BrokerError::Bank(e.into()))?;
         self.tracker.commit(total)?;
         match self.port.request_hash_chain(payee_cert, length, value_per_word, validity_ms) {
             Ok(c) => Ok(c),
@@ -148,6 +153,7 @@ impl<P: BankPort> PaymentModule<P> {
         amount: Credits,
         recipient_address: &str,
     ) -> Result<TransferConfirmation, BrokerError> {
+        let _span = gridbank_obs::span("broker.payment", "prepay");
         self.tracker.commit(amount)?;
         match self.port.direct_transfer(to, amount, recipient_address) {
             Ok(conf) => {

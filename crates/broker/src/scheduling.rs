@@ -43,9 +43,7 @@ impl ResourceView {
 
     /// Cost of executing `work` at the agreed rate.
     pub fn cost(&self, work: u64) -> Credits {
-        self.price_per_hour
-            .mul_ratio(self.exec_ms(work), MS_PER_HOUR)
-            .unwrap_or(Credits::MAX)
+        self.price_per_hour.mul_ratio(self.exec_ms(work), MS_PER_HOUR).unwrap_or(Credits::MAX)
     }
 }
 
@@ -138,9 +136,7 @@ pub fn schedule(
     let per_job_cap = if task_works.is_empty() {
         Credits::ZERO
     } else {
-        qos.budget
-            .mul_ratio(1, task_works.len() as u64)
-            .unwrap_or(Credits::ZERO)
+        qos.budget.mul_ratio(1, task_works.len() as u64).unwrap_or(Credits::ZERO)
     };
 
     // Schedule longest tasks first (classic LPT) for better packing.
@@ -312,9 +308,9 @@ mod tests {
             ResourceView { provider_idx: 1, price_per_hour: gd(8), speed: 400, free_at_ms: 0 },
         ];
         let tasks = vec![HOUR_WORK; 4]; // slow: 1 G$, fast: 2 G$
-        // Budget 6: per-job cap 1.5 G$ — the fast machine (2 G$/task) is
-        // off limits for conservative-time even though the global budget
-        // could afford some fast tasks.
+                                        // Budget 6: per-job cap 1.5 G$ — the fast machine (2 G$/task) is
+                                        // off limits for conservative-time even though the global budget
+                                        // could afford some fast tasks.
         let qos = QosConstraints { deadline_ms: 100 * MS_PER_HOUR, budget: gd(6) };
         let cons = schedule(Algorithm::ConservativeTime, &tasks, &rs, qos, 0).unwrap();
         assert!(cons.assignments.iter().all(|a| a.resource_idx == 0));

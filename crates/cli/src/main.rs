@@ -40,9 +40,7 @@ impl Args {
         while i < argv.len() {
             let a = &argv[i];
             if let Some(name) = a.strip_prefix("--") {
-                let value = argv
-                    .get(i + 1)
-                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                let value = argv.get(i + 1).ok_or_else(|| format!("--{name} needs a value"))?;
                 flags.push((name.to_string(), value.clone()));
                 i += 2;
             } else {
@@ -76,11 +74,8 @@ fn parse_amount(s: &str) -> Result<Credits, String> {
     }
     let negative = whole.starts_with('-');
     let whole: i128 = whole.parse().map_err(|e| format!("`{s}`: {e}"))?;
-    let mut frac_val: i128 = if frac.is_empty() {
-        0
-    } else {
-        frac.parse().map_err(|e| format!("`{s}`: {e}"))?
-    };
+    let mut frac_val: i128 =
+        if frac.is_empty() { 0 } else { frac.parse().map_err(|e| format!("`{s}`: {e}"))? };
     frac_val *= 10i128.pow(6 - frac.len() as u32);
     if negative {
         frac_val = -frac_val;
@@ -102,8 +97,7 @@ impl Bank {
     fn load(db_path: &str) -> Result<Bank, String> {
         let db = match std::fs::read(db_path) {
             Ok(bytes) => {
-                let journal =
-                    journal_from_bytes(&bytes).map_err(|e| format!("{db_path}: {e}"))?;
+                let journal = journal_from_bytes(&bytes).map_err(|e| format!("{db_path}: {e}"))?;
                 Database::replay(1, 1, &journal)
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Database::new(1, 1),
@@ -129,18 +123,88 @@ fn now_wallclock_ms() -> u64 {
         .unwrap_or(0)
 }
 
+/// `gridbank metrics`: runs a small in-process workload against a fresh
+/// bank with telemetry enabled and prints the registry snapshot —
+/// per-variant RPC latency percentiles, counters, and gauges. With
+/// `--format jsonl` emits JSON-lines instead of the text table.
+fn run_metrics(args: &Args) -> Result<String, String> {
+    use gridbank_core::api::{BankRequest, BankResponse};
+    use gridbank_core::server::{GridBank, GridBankConfig};
+    use gridbank_crypto::cert::SubjectName;
+
+    gridbank_obs::set_telemetry(true);
+    // Height 9 = 512 one-time signatures — enough for the ~110 signed
+    // confirmations/cheques the workload below produces.
+    let bank = GridBank::new(
+        GridBankConfig { signer_height: 9, ..GridBankConfig::default() },
+        Clock::new(),
+    );
+    let admin = SubjectName(ADMIN_CERT.into());
+    let alice = SubjectName::new("UWA", "CSSE", "alice");
+    let gsp = SubjectName::new("UM", "GRIDS", "gsp-alpha");
+
+    let account = match bank.handle(&alice, BankRequest::CreateAccount { organization: None }) {
+        BankResponse::AccountCreated { account } => account,
+        other => return Err(format!("workload setup failed: {other:?}")),
+    };
+    let gsp_account = match bank.handle(&gsp, BankRequest::CreateAccount { organization: None }) {
+        BankResponse::AccountCreated { account } => account,
+        other => return Err(format!("workload setup failed: {other:?}")),
+    };
+    bank.handle(&admin, BankRequest::AdminDeposit { account, amount: Credits::from_gd(10_000) });
+
+    // Exercise a representative request mix so the per-variant latency
+    // histograms have enough samples for stable percentiles.
+    for i in 0..100u64 {
+        bank.handle(&alice, BankRequest::MyAccount);
+        bank.handle(&alice, BankRequest::AccountDetails { account });
+        bank.handle(&alice, BankRequest::Statement { account, start_ms: 0, end_ms: u64::MAX });
+        bank.handle(
+            &alice,
+            BankRequest::CheckFunds { account, amount: Credits::from_micro(1_000) },
+        );
+        bank.handle(
+            &alice,
+            BankRequest::DirectTransfer {
+                to: gsp_account,
+                amount: Credits::from_micro(10_000),
+                recipient_address: "gsp.grid.org".into(),
+            },
+        );
+        if i % 10 == 0 {
+            bank.handle(
+                &alice,
+                BankRequest::RequestCheque {
+                    payee_cert: gsp.0.clone(),
+                    amount: Credits::from_gd(1),
+                    validity_ms: 60_000,
+                },
+            );
+        }
+    }
+    bank.sweep_expired_instruments();
+
+    let snapshot = gridbank_obs::registry().snapshot();
+    match args.get("format") {
+        Some("jsonl") => Ok(gridbank_obs::render_jsonl(&snapshot)),
+        None | Some("text") => Ok(gridbank_obs::render_text(&snapshot)),
+        Some(other) => Err(format!("unknown --format `{other}` (text|jsonl)")),
+    }
+}
+
 fn run(args: &Args) -> Result<String, String> {
     let db_path = args.get("db").unwrap_or("gridbank.gbj");
     let command = args.command.as_deref().ok_or_else(usage)?;
+    if command == "metrics" {
+        // Self-contained workload: never touches the journal file.
+        return run_metrics(args);
+    }
     let bank = Bank::load(db_path)?;
     let out = match command {
         "create-account" => {
             let cert = args.require("cert")?;
             let org = args.get("org").map(str::to_string);
-            let id = bank
-                .accounts
-                .create_account(cert, org)
-                .map_err(|e| e.to_string())?;
+            let id = bank.accounts.create_account(cert, org).map_err(|e| e.to_string())?;
             format!("created account {id} for {cert}")
         }
         "deposit" | "withdraw" => {
@@ -173,22 +237,14 @@ fn run(args: &Args) -> Result<String, String> {
             format!("credit limit on {account} set to {amount}")
         }
         "cancel" => {
-            let txid: u64 = args
-                .require("tx")?
-                .parse()
-                .map_err(|e| format!("--tx: {e}"))?;
-            let rev = bank
-                .admin
-                .cancel_transfer(ADMIN_CERT, txid)
-                .map_err(|e| e.to_string())?;
+            let txid: u64 = args.require("tx")?.parse().map_err(|e| format!("--tx: {e}"))?;
+            let rev = bank.admin.cancel_transfer(ADMIN_CERT, txid).map_err(|e| e.to_string())?;
             format!("transfer {txid} reversed by tx {rev}")
         }
         "close-account" => {
             let account = parse_account(args.require("account")?)?;
             let to = args.get("transfer-to").map(parse_account).transpose()?;
-            bank.admin
-                .close_account(ADMIN_CERT, &account, to)
-                .map_err(|e| e.to_string())?;
+            bank.admin.close_account(ADMIN_CERT, &account, to).map_err(|e| e.to_string())?;
             format!("account {account} closed")
         }
         "balance" => {
@@ -200,16 +256,16 @@ fn run(args: &Args) -> Result<String, String> {
             .map_err(|e| e.to_string())?;
             format!(
                 "{} [{}]\n  available: {}\n  locked:    {}\n  credit:    {}",
-                record.id, record.certificate_name, record.available, record.locked,
+                record.id,
+                record.certificate_name,
+                record.available,
+                record.locked,
                 record.credit_limit
             )
         }
         "statement" => {
             let account = parse_account(args.require("account")?)?;
-            let st = bank
-                .accounts
-                .statement(&account, 0, u64::MAX)
-                .map_err(|e| e.to_string())?;
+            let st = bank.accounts.statement(&account, 0, u64::MAX).map_err(|e| e.to_string())?;
             let mut out = format!(
                 "statement for {} ({} transactions, {} transfers)\n",
                 account,
@@ -219,23 +275,27 @@ fn run(args: &Args) -> Result<String, String> {
             for t in &st.transactions {
                 out.push_str(&format!(
                     "  tx {:>6}  {:>10?}  {:>18}  @{}\n",
-                    t.transaction_id, t.tx_type, t.amount.to_string(), t.date_ms
+                    t.transaction_id,
+                    t.tx_type,
+                    t.amount.to_string(),
+                    t.date_ms
                 ));
             }
             out
         }
         "accounts" => {
-            let mut out = String::from("account           available         locked            cert\n");
+            let mut out =
+                String::from("account           available         locked            cert\n");
             for r in bank.accounts.db().all_accounts() {
                 out.push_str(&format!(
                     "{}  {:>16}  {:>14}  {}\n",
-                    r.id, r.available.to_string(), r.locked.to_string(), r.certificate_name
+                    r.id,
+                    r.available.to_string(),
+                    r.locked.to_string(),
+                    r.certificate_name
                 ));
             }
-            out.push_str(&format!(
-                "total funds: {}",
-                bank.accounts.db().total_funds()
-            ));
+            out.push_str(&format!("total funds: {}", bank.accounts.db().total_funds()));
             out
         }
         "barter-stats" => {
@@ -247,7 +307,9 @@ fn run(args: &Args) -> Result<String, String> {
                 let b = stats.balances[&id];
                 out.push_str(&format!(
                     "{}  {:>16}  {:>16}\n",
-                    id, b.consumed.to_string(), b.provided.to_string()
+                    id,
+                    b.consumed.to_string(),
+                    b.provided.to_string()
                 ));
             }
             out.push_str(&format!("equilibrium gap: {}", stats.equilibrium_gap()));
@@ -272,7 +334,8 @@ fn usage() -> String {
        balance        --account ID | --cert DN\n\
        statement      --account ID\n\
        accounts\n\
-       barter-stats"
+       barter-stats\n\
+       metrics        [--format text|jsonl]"
         .to_string()
 }
 
@@ -310,7 +373,8 @@ mod tests {
 
     #[test]
     fn arg_parsing() {
-        let a = args(&["--db", "x.gbj", "deposit", "--account", "01-0001-00000001", "--amount", "5"]);
+        let a =
+            args(&["--db", "x.gbj", "deposit", "--account", "01-0001-00000001", "--amount", "5"]);
         assert_eq!(a.command.as_deref(), Some("deposit"));
         assert_eq!(a.get("db"), Some("x.gbj"));
         assert_eq!(a.require("amount").unwrap(), "5");
@@ -332,8 +396,15 @@ mod tests {
         run(&args(&["--db", db, "deposit", "--account", "01-0001-00000001", "--amount", "100"]))
             .unwrap();
         run(&args(&[
-            "--db", db, "transfer", "--from", "01-0001-00000001", "--to", "01-0001-00000002",
-            "--amount", "30.5",
+            "--db",
+            db,
+            "transfer",
+            "--from",
+            "01-0001-00000001",
+            "--to",
+            "01-0001-00000002",
+            "--amount",
+            "30.5",
         ]))
         .unwrap();
 
@@ -347,9 +418,32 @@ mod tests {
         let out = run(&args(&["--db", db, "barter-stats"])).unwrap();
         assert!(out.contains("equilibrium gap"), "{out}");
 
+        // `metrics` runs its own workload and reports per-variant
+        // latency percentiles for at least five request kinds.
+        let out = run(&args(&["metrics"])).unwrap();
+        for variant in ["MyAccount", "AccountDetails", "Statement", "CheckFunds", "DirectTransfer"]
+        {
+            assert!(
+                out.contains(&format!("rpc.server.latency_ns/{variant}")),
+                "missing {variant} in:\n{out}"
+            );
+        }
+        assert!(out.contains("p99"), "{out}");
+        let out = run(&args(&["metrics", "--format", "jsonl"])).unwrap();
+        assert!(out.contains("\"type\":\"histogram\""), "{out}");
+        assert!(run(&args(&["metrics", "--format", "xml"])).is_err());
+
         // Errors are surfaced, not panics.
-        assert!(run(&args(&["--db", db, "withdraw", "--account", "01-0001-00000002", "--amount", "999"]))
-            .is_err());
+        assert!(run(&args(&[
+            "--db",
+            db,
+            "withdraw",
+            "--account",
+            "01-0001-00000002",
+            "--amount",
+            "999"
+        ]))
+        .is_err());
         assert!(run(&args(&["--db", db, "nonsense"])).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -178,7 +178,10 @@ impl GbAccounts {
             r.available = new_avail;
             r.locked = r.locked.checked_add(amount)?;
             Ok(())
-        })
+        })?;
+        gridbank_obs::count("core.lock_funds.count", 1);
+        gridbank_obs::observe("core.lock_funds.volume_micro", clamp_micro(amount));
+        Ok(())
     }
 
     /// Releases locked funds back to available (instrument expired or
@@ -234,6 +237,8 @@ impl GbAccounts {
         amount: Credits,
         rur_blob: Vec<u8>,
     ) -> u64 {
+        gridbank_obs::count("core.transfer.count", 1);
+        gridbank_obs::observe("core.transfer.volume_micro", clamp_micro(amount));
         let txid = self.db.allocate_transaction_id();
         let now = self.clock.now_ms();
         self.db.append_transaction(TransactionRecord {
@@ -257,9 +262,17 @@ impl GbAccounts {
             amount,
             recipient: *to,
             rur_blob,
+            // Correlates this audit row with the active span trace (0 =
+            // no trace was active).
+            trace_id: gridbank_obs::current_trace_id(),
         });
         txid
     }
+}
+
+/// Clamps a positive [`Credits`] amount to u64 micro-G$ for histograms.
+fn clamp_micro(amount: Credits) -> u64 {
+    amount.micro().clamp(0, u64::MAX as i128) as u64
 }
 
 #[cfg(test)]
@@ -288,10 +301,7 @@ mod tests {
         assert_eq!(r.currency, "GridDollar");
         assert_eq!(r.credit_limit, Credits::ZERO);
         assert_eq!(acc.account_by_cert("/CN=alice").unwrap().id, a);
-        assert!(matches!(
-            acc.account_by_cert("/CN=nobody"),
-            Err(BankError::UnknownSubject(_))
-        ));
+        assert!(matches!(acc.account_by_cert("/CN=nobody"), Err(BankError::UnknownSubject(_))));
         assert!(acc.create_account("", None).is_err());
         assert!(matches!(
             acc.create_account("/CN=alice", None),
@@ -326,11 +336,12 @@ mod tests {
             Err(BankError::InsufficientFunds { .. })
         ));
         // Grant credit; now the same transfer passes and goes negative.
-        acc.db().with_account_mut(&a, |r| {
-            r.credit_limit = Credits::from_gd(10);
-            Ok(())
-        })
-        .unwrap();
+        acc.db()
+            .with_account_mut(&a, |r| {
+                r.credit_limit = Credits::from_gd(10);
+                Ok(())
+            })
+            .unwrap();
         acc.transfer(&a, &b, Credits::from_gd(105), vec![]).unwrap();
         assert_eq!(acc.account_details(&a).unwrap().available, Credits::from_gd(-5));
         // But not beyond the limit.

@@ -237,12 +237,10 @@ mod tests {
         admin.deposit(ADMIN, &a, Credits::from_gd(10)).unwrap();
         admin.change_credit_limit(ADMIN, &a, Credits::from_gd(5)).unwrap();
         acc.transfer(&a, &b, Credits::from_gd(13), vec![]).unwrap(); // now at -3
-        // Cannot drop the limit below the live overdraft.
+                                                                     // Cannot drop the limit below the live overdraft.
         assert!(admin.change_credit_limit(ADMIN, &a, Credits::from_gd(2)).is_err());
         admin.change_credit_limit(ADMIN, &a, Credits::from_gd(3)).unwrap();
-        assert!(admin
-            .change_credit_limit(ADMIN, &a, Credits::from_gd(-1))
-            .is_err());
+        assert!(admin.change_credit_limit(ADMIN, &a, Credits::from_gd(-1)).is_err());
     }
 
     #[test]

@@ -15,9 +15,7 @@ use gridbank_rur::record::ResourceUsageRecord;
 use gridbank_rur::{Credits, RurError};
 
 use crate::cheque::{ChequeBody, GridCheque};
-use crate::db::{
-    AccountId, AccountRecord, TransactionRecord, TransactionType, TransferRecord,
-};
+use crate::db::{AccountId, AccountRecord, TransactionRecord, TransactionType, TransferRecord};
 use crate::direct::{ConfirmationBody, TransferConfirmation};
 use crate::error::BankError;
 use crate::payword::{ChainCommitment, PayWord};
@@ -98,6 +96,7 @@ impl Encode for TransferRecord {
         self.amount.encode(w);
         self.recipient.encode(w);
         w.put_bytes(&self.rur_blob);
+        w.put_u64(self.trace_id);
     }
 }
 
@@ -110,6 +109,7 @@ impl Decode for TransferRecord {
             amount: Credits::decode(r)?,
             recipient: AccountId::decode(r)?,
             rur_blob: r.get_bytes()?.to_vec(),
+            trace_id: r.get_u64()?,
         })
     }
 }
@@ -388,6 +388,63 @@ pub enum BankRequest {
         /// Where the outstanding balance goes (None = withdraw).
         transfer_to: Option<AccountId>,
     },
+}
+
+impl BankRequest {
+    /// The variant's stable name — the label under which telemetry
+    /// records per-request latency (`rpc.server.latency_ns/<name>`).
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            BankRequest::CreateAccount { .. } => "CreateAccount",
+            BankRequest::MyAccount => "MyAccount",
+            BankRequest::AccountDetails { .. } => "AccountDetails",
+            BankRequest::UpdateAccount { .. } => "UpdateAccount",
+            BankRequest::Statement { .. } => "Statement",
+            BankRequest::CheckFunds { .. } => "CheckFunds",
+            BankRequest::DirectTransfer { .. } => "DirectTransfer",
+            BankRequest::RequestCheque { .. } => "RequestCheque",
+            BankRequest::RedeemCheque { .. } => "RedeemCheque",
+            BankRequest::RequestHashChain { .. } => "RequestHashChain",
+            BankRequest::RedeemPayWord { .. } => "RedeemPayWord",
+            BankRequest::CloseHashChain { .. } => "CloseHashChain",
+            BankRequest::RegisterResourceDescription { .. } => "RegisterResourceDescription",
+            BankRequest::EstimatePrice { .. } => "EstimatePrice",
+            BankRequest::RedeemChequeBatch { .. } => "RedeemChequeBatch",
+            BankRequest::AdminDeposit { .. } => "AdminDeposit",
+            BankRequest::AdminWithdraw { .. } => "AdminWithdraw",
+            BankRequest::AdminCreditLimit { .. } => "AdminCreditLimit",
+            BankRequest::AdminCancelTransfer { .. } => "AdminCancelTransfer",
+            BankRequest::AdminCloseAccount { .. } => "AdminCloseAccount",
+        }
+    }
+
+    /// Which GridBank server layer (§3.2) services the request — the
+    /// component name on the dispatch span.
+    pub fn layer(&self) -> &'static str {
+        match self {
+            BankRequest::CreateAccount { .. }
+            | BankRequest::MyAccount
+            | BankRequest::AccountDetails { .. }
+            | BankRequest::UpdateAccount { .. }
+            | BankRequest::Statement { .. }
+            | BankRequest::CheckFunds { .. }
+            | BankRequest::AdminDeposit { .. }
+            | BankRequest::AdminWithdraw { .. }
+            | BankRequest::AdminCreditLimit { .. }
+            | BankRequest::AdminCancelTransfer { .. }
+            | BankRequest::AdminCloseAccount { .. } => "server.accounts",
+            BankRequest::DirectTransfer { .. }
+            | BankRequest::RequestCheque { .. }
+            | BankRequest::RedeemCheque { .. }
+            | BankRequest::RequestHashChain { .. }
+            | BankRequest::RedeemPayWord { .. }
+            | BankRequest::CloseHashChain { .. }
+            | BankRequest::RedeemChequeBatch { .. } => "server.payment",
+            BankRequest::RegisterResourceDescription { .. } | BankRequest::EstimatePrice { .. } => {
+                "server.pricing"
+            }
+        }
+    }
 }
 
 /// Server response.
@@ -669,9 +726,9 @@ impl Decode for BankRequest {
             11 => BankRequest::CloseHashChain {
                 commitment: ChainCommitment::from_bytes(r.get_bytes()?)?,
             },
-            12 => BankRequest::RegisterResourceDescription {
-                desc: ResourceDescription::decode(r)?,
-            },
+            12 => {
+                BankRequest::RegisterResourceDescription { desc: ResourceDescription::decode(r)? }
+            }
             13 => BankRequest::EstimatePrice {
                 desc: ResourceDescription::decode(r)?,
                 min_similarity_ppk: r.get_u64()?,
@@ -838,10 +895,9 @@ impl Decode for BankResponse {
                 }
                 BankResponse::HashChain { commitment, signature, chain }
             }
-            7 => BankResponse::Redeemed {
-                paid: Credits::decode(r)?,
-                released: Credits::decode(r)?,
-            },
+            7 => {
+                BankResponse::Redeemed { paid: Credits::decode(r)?, released: Credits::decode(r)? }
+            }
             8 => BankResponse::Estimate { price: Credits::decode(r)? },
             9 => BankResponse::Error { kind: r.get_u8()?, message: r.get_str()? },
             10 => {
@@ -879,7 +935,10 @@ mod tests {
             BankRequest::MyAccount,
             BankRequest::AccountDetails { account: AccountId::new(1, 2, 3) },
             BankRequest::Statement { account: AccountId::new(1, 1, 1), start_ms: 5, end_ms: 10 },
-            BankRequest::CheckFunds { account: AccountId::new(1, 1, 1), amount: Credits::from_gd(5) },
+            BankRequest::CheckFunds {
+                account: AccountId::new(1, 1, 1),
+                amount: Credits::from_gd(5),
+            },
             BankRequest::DirectTransfer {
                 to: AccountId::new(1, 1, 2),
                 amount: Credits::from_gd(3),
@@ -933,6 +992,7 @@ mod tests {
                     amount: Credits::from_gd(1),
                     recipient: AccountId::new(1, 1, 8),
                     rur_blob: vec![1, 2],
+                    trace_id: 0xABCD,
                 }],
             },
             BankResponse::Confirmation { transaction_id: 3 },
@@ -982,6 +1042,7 @@ mod tests {
                 amount: Credits::from_gd(1),
                 recipient: AccountId::new(1, 1, 10),
                 rur_blob: vec![7, 7],
+                trace_id: 42,
             }),
             JournalEntry::Remove(rec.id),
         ];

@@ -97,10 +97,7 @@ pub struct SettlementReport {
 impl SettlementReport {
     /// Total gross value that flowed between branches.
     pub fn total_gross(&self) -> Credits {
-        self.pairs
-            .iter()
-            .map(|p| p.gross_a_to_b.saturating_add(p.gross_b_to_a))
-            .sum()
+        self.pairs.iter().map(|p| p.gross_a_to_b.saturating_add(p.gross_b_to_a)).sum()
     }
 
     /// Total value that actually moved at settlement.
@@ -148,9 +145,7 @@ impl InterBank {
         rur_blob: Vec<u8>,
     ) -> Result<(), BankError> {
         if from.branch == to.branch {
-            return Err(BankError::Protocol(
-                "same-branch transfer must use the local path".into(),
-            ));
+            return Err(BankError::Protocol("same-branch transfer must use the local path".into()));
         }
         if !amount.is_positive() {
             return Err(BankError::NonPositiveAmount);
@@ -159,19 +154,15 @@ impl InterBank {
         // branch. This is where insufficient funds surface — before the
         // remote side does anything.
         {
-            let src = self
-                .branches
-                .get_mut(&from.branch)
-                .ok_or(BankError::UnknownBranch(from.branch))?;
+            let src =
+                self.branches.get_mut(&from.branch).ok_or(BankError::UnknownBranch(from.branch))?;
             let clearing = src.clearing_account(to.branch)?;
             src.accounts.transfer(&from, &clearing, amount, rur_blob.clone())?;
         }
         // Payee's branch: credit immediately against the remote liability.
         {
-            let dst = self
-                .branches
-                .get_mut(&to.branch)
-                .ok_or(BankError::UnknownBranch(to.branch))?;
+            let dst =
+                self.branches.get_mut(&to.branch).ok_or(BankError::UnknownBranch(to.branch))?;
             // Ensure the clearing account exists on the destination too
             // (it absorbs the mirrored settlement leg).
             dst.clearing_account(from.branch)?;
@@ -187,11 +178,8 @@ impl InterBank {
     /// entries are drained from the clearing accounts.
     pub fn settle(&mut self) -> Result<SettlementReport, BankError> {
         // Collect the distinct pairs (lower branch first).
-        let mut pairs: Vec<(u16, u16)> = self
-            .pending
-            .keys()
-            .map(|&(a, b)| if a < b { (a, b) } else { (b, a) })
-            .collect();
+        let mut pairs: Vec<(u16, u16)> =
+            self.pending.keys().map(|&(a, b)| if a < b { (a, b) } else { (b, a) }).collect();
         pairs.sort_unstable();
         pairs.dedup();
 
@@ -337,9 +325,7 @@ mod tests {
     #[test]
     fn insufficient_funds_fail_before_any_remote_effect() {
         let (mut ib, alice, gsp) = two_branch_setup();
-        assert!(ib
-            .cross_branch_transfer(alice, gsp, Credits::from_gd(101), vec![])
-            .is_err());
+        assert!(ib.cross_branch_transfer(alice, gsp, Credits::from_gd(101), vec![]).is_err());
         assert_eq!(
             ib.branch(2).unwrap().accounts.account_details(&gsp).unwrap().available,
             Credits::from_gd(10)
@@ -352,11 +338,8 @@ mod tests {
     fn three_branch_ring_settles_pairwise() {
         let mut ib = InterBank::new();
         let branches: Vec<Branch> = (1..=3).map(make_branch).collect();
-        let accounts: Vec<AccountId> = branches
-            .iter()
-            .enumerate()
-            .map(|(i, b)| fund(b, &format!("/CN=p{i}"), 50))
-            .collect();
+        let accounts: Vec<AccountId> =
+            branches.iter().enumerate().map(|(i, b)| fund(b, &format!("/CN=p{i}"), 50)).collect();
         for b in branches {
             ib.add_branch(b);
         }

@@ -190,12 +190,8 @@ impl ChequeOffice<'_> {
             )));
         }
         let charge = rur.total_cost()?;
-        let (paid, released) = self.guarantee.settle(
-            cheque.body.cheque_id,
-            payee_account,
-            charge,
-            rur.to_bytes(),
-        )?;
+        let (paid, released) =
+            self.guarantee.settle(cheque.body.cheque_id, payee_account, charge, rur.to_bytes())?;
         Ok(Redemption { cheque_id: cheque.body.cheque_id, paid, released })
     }
 
@@ -218,9 +214,7 @@ impl ChequeOffice<'_> {
     /// funds to the drawer.
     pub fn reclaim_expired(&self, cheque: &GridCheque, now_ms: u64) -> Result<Credits, BankError> {
         if now_ms < cheque.body.expires_ms {
-            return Err(BankError::InvalidInstrument(
-                "cheque has not expired yet".into(),
-            ));
+            return Err(BankError::InvalidInstrument("cheque has not expired yet".into()));
         }
         self.guarantee.release(cheque.body.cheque_id)
     }
@@ -285,9 +279,8 @@ mod tests {
     #[test]
     fn issue_locks_funds_and_signs() {
         let f = fixture();
-        let cheque = office(&f)
-            .issue(&f.gsc, "/CN=gsp-alpha", Credits::from_gd(30), 0, 1_000)
-            .unwrap();
+        let cheque =
+            office(&f).issue(&f.gsc, "/CN=gsp-alpha", Credits::from_gd(30), 0, 1_000).unwrap();
         assert_eq!(f.accounts.account_details(&f.gsc).unwrap().locked, Credits::from_gd(30));
         cheque.verify(&f.signer.verifying_key(), Some("/CN=gsp-alpha"), 10).unwrap();
         // Body survives its codec.
@@ -298,9 +291,8 @@ mod tests {
     #[test]
     fn cheque_cannot_be_redeemed_by_others() {
         let f = fixture();
-        let cheque = office(&f)
-            .issue(&f.gsc, "/CN=gsp-alpha", Credits::from_gd(30), 0, 1_000)
-            .unwrap();
+        let cheque =
+            office(&f).issue(&f.gsc, "/CN=gsp-alpha", Credits::from_gd(30), 0, 1_000).unwrap();
         assert!(matches!(
             cheque.verify(&f.signer.verifying_key(), Some("/CN=gsp-beta"), 10),
             Err(BankError::InvalidInstrument(_))
@@ -310,9 +302,8 @@ mod tests {
     #[test]
     fn tampered_cheque_rejected() {
         let f = fixture();
-        let mut cheque = office(&f)
-            .issue(&f.gsc, "/CN=gsp-alpha", Credits::from_gd(30), 0, 1_000)
-            .unwrap();
+        let mut cheque =
+            office(&f).issue(&f.gsc, "/CN=gsp-alpha", Credits::from_gd(30), 0, 1_000).unwrap();
         cheque.body.reserved = Credits::from_gd(1_000_000);
         assert!(cheque.verify(&f.signer.verifying_key(), None, 10).is_err());
     }
@@ -395,12 +386,7 @@ mod tests {
         let c2 = o.issue(&f.gsc, "/CN=gsp-alpha", Credits::from_gd(10), 0, 10_000_000).unwrap();
         let good = rur_for("/CN=gsp-alpha", 1, 5);
         let bad = rur_for("/CN=gsp-beta", 1, 5);
-        let results = o.redeem_batch(
-            &[(c1, good), (c2, bad)],
-            "/CN=gsp-alpha",
-            &f.gsp,
-            100,
-        );
+        let results = o.redeem_batch(&[(c1, good), (c2, bad)], "/CN=gsp-alpha", &f.gsp, 100);
         assert!(results[0].is_ok());
         assert!(results[1].is_err());
         assert_eq!(f.accounts.account_details(&f.gsp).unwrap().available, Credits::from_gd(5));

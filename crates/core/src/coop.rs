@@ -85,11 +85,7 @@ impl BarterStats {
     /// perfect price equilibrium ("GSPs are paid approximately as much
     /// currency as they will use to access other Grid services").
     pub fn equilibrium_gap(&self) -> Credits {
-        self.balances
-            .values()
-            .map(|b| b.net().abs())
-            .max()
-            .unwrap_or(Credits::ZERO)
+        self.balances.values().map(|b| b.net().abs()).max().unwrap_or(Credits::ZERO)
     }
 
     /// Total value exchanged in the window.
@@ -111,9 +107,7 @@ mod tests {
         let db = Arc::new(Database::new(1, 1));
         let acc = GbAccounts::new(db, Clock::new());
         let admin = GbAdmin::new(acc.clone(), [ADMIN.to_string()]);
-        let ids = (0..n)
-            .map(|i| acc.create_account(&format!("/CN=p{i}"), None).unwrap())
-            .collect();
+        let ids = (0..n).map(|i| acc.create_account(&format!("/CN=p{i}"), None).unwrap()).collect();
         (admin, acc, ids)
     }
 

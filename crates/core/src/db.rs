@@ -157,6 +157,9 @@ pub struct TransferRecord {
     pub recipient: AccountId,
     /// Binary RUR evidence, empty when none applies (plain transfers).
     pub rur_blob: Vec<u8>,
+    /// Telemetry trace id active when the transfer committed (0 when
+    /// telemetry was off) — correlates the audit trail with span traces.
+    pub trace_id: u64,
 }
 
 /// One write-ahead journal entry. Replaying a journal into a fresh
@@ -243,20 +246,14 @@ impl Database {
         }
         idx.insert(record.certificate_name.clone(), record.id);
         drop(idx);
-        self.shards[self.shard_of(&record.id)]
-            .write()
-            .insert(record.id, record.clone());
+        self.shards[self.shard_of(&record.id)].write().insert(record.id, record.clone());
         self.journal.lock().push(JournalEntry::Create(record));
         Ok(())
     }
 
     /// Reads an account by id.
     pub fn get_account(&self, id: &AccountId) -> Result<AccountRecord, BankError> {
-        self.shards[self.shard_of(id)]
-            .read()
-            .get(id)
-            .cloned()
-            .ok_or(BankError::NoSuchAccount(*id))
+        self.shards[self.shard_of(id)].read().get(id).cloned().ok_or(BankError::NoSuchAccount(*id))
     }
 
     /// Looks up the account bound to a certificate name.
@@ -416,11 +413,7 @@ impl Database {
 
     /// Finds a transfer by transaction id.
     pub fn transfer_by_id(&self, transaction_id: u64) -> Option<TransferRecord> {
-        self.transfers
-            .read()
-            .iter()
-            .find(|t| t.transaction_id == transaction_id)
-            .cloned()
+        self.transfers.read().iter().find(|t| t.transaction_id == transaction_id).cloned()
     }
 
     /// Total of available+locked across all accounts — the conservation
@@ -429,9 +422,7 @@ impl Database {
         let mut total = Credits::ZERO;
         for shard in &self.shards {
             for r in shard.read().values() {
-                total = total
-                    .saturating_add(r.available)
-                    .saturating_add(r.locked);
+                total = total.saturating_add(r.available).saturating_add(r.locked);
             }
         }
         total
@@ -580,9 +571,8 @@ mod tests {
         db.insert_account(ra).unwrap();
         db.insert_account(rb).unwrap();
         let before_a = db.get_account(&ida).unwrap();
-        let err = db.with_two_accounts_mut(&ida, &idb, |_a, _b| {
-            Err::<(), _>(BankError::NonPositiveAmount)
-        });
+        let err = db
+            .with_two_accounts_mut(&ida, &idb, |_a, _b| Err::<(), _>(BankError::NonPositiveAmount));
         assert!(err.is_err());
         assert_eq!(db.get_account(&ida).unwrap(), before_a);
         // Self-transfer rejected.
@@ -617,6 +607,7 @@ mod tests {
             amount: Credits::from_gd(3),
             recipient: idb,
             rur_blob: vec![1, 2, 3],
+            trace_id: 0,
         });
 
         assert_eq!(db.transactions_in_range(&ida, 0, 100).len(), 2);

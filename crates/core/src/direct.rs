@@ -59,8 +59,8 @@ impl Decode for ConfirmationBody {
             return Err(RurError::Decode(format!("confirmation version {v}")));
         }
         let transaction_id = r.get_u64()?;
-        let drawer = AccountId::parse(&r.get_str()?)
-            .ok_or_else(|| RurError::Decode("bad drawer".into()))?;
+        let drawer =
+            AccountId::parse(&r.get_str()?).ok_or_else(|| RurError::Decode("bad drawer".into()))?;
         let recipient = AccountId::parse(&r.get_str()?)
             .ok_or_else(|| RurError::Decode("bad recipient".into()))?;
         Ok(ConfirmationBody {

@@ -63,14 +63,12 @@ impl fmt::Display for BankError {
             BankError::NoSuchAccount(id) => write!(f, "no such account {id}"),
             BankError::UnknownSubject(s) => write!(f, "no account for subject `{s}`"),
             BankError::DuplicateAccount(s) => write!(f, "account already exists for `{s}`"),
-            BankError::InsufficientFunds { account, needed, spendable } => write!(
-                f,
-                "account {account} has {spendable} spendable but needs {needed}"
-            ),
-            BankError::InsufficientLockedFunds { account, needed, locked } => write!(
-                f,
-                "account {account} has {locked} locked but {needed} was claimed"
-            ),
+            BankError::InsufficientFunds { account, needed, spendable } => {
+                write!(f, "account {account} has {spendable} spendable but needs {needed}")
+            }
+            BankError::InsufficientLockedFunds { account, needed, locked } => {
+                write!(f, "account {account} has {locked} locked but {needed} was claimed")
+            }
             BankError::InvalidInstrument(why) => write!(f, "invalid payment instrument: {why}"),
             BankError::AlreadyRedeemed(what) => write!(f, "already redeemed: {what}"),
             BankError::NotAuthorized(why) => write!(f, "not authorized: {why}"),

@@ -148,8 +148,7 @@ impl FundsGuarantee {
         let pay = charge.min(reservation.outstanding());
         let release = reservation.outstanding().checked_sub(pay)?;
         if pay.is_positive() {
-            self.accounts
-                .transfer_from_locked(&reservation.account, payee, pay, rur_blob)?;
+            self.accounts.transfer_from_locked(&reservation.account, payee, pay, rur_blob)?;
         }
         if release.is_positive() {
             self.accounts.unlock_funds(&reservation.account, release)?;
@@ -190,8 +189,12 @@ impl FundsGuarantee {
             }
             r.settled = r.settled.saturating_add(charge);
         }
-        self.accounts
-            .transfer_from_locked(&self.get(id).expect("just updated").account, payee, charge, rur_blob)?;
+        self.accounts.transfer_from_locked(
+            &self.get(id).expect("just updated").account,
+            payee,
+            charge,
+            rur_blob,
+        )?;
         Ok(charge)
     }
 

@@ -55,7 +55,9 @@ pub use api::{BankRequest, BankResponse};
 pub use cheque::GridCheque;
 pub use client::GridBankClient;
 pub use clock::Clock;
-pub use db::{AccountId, AccountRecord, Database, TransactionRecord, TransactionType, TransferRecord};
+pub use db::{
+    AccountId, AccountRecord, Database, TransactionRecord, TransactionType, TransferRecord,
+};
 pub use error::BankError;
 pub use payword::{GridHashChain, PayWord};
 pub use server::{GridBank, GridBankConfig, GridBankServer};

@@ -252,8 +252,7 @@ impl PayWordOffice<'_> {
             delta
         };
         let amount = commitment.value_per_word.checked_mul(delta as i128)?;
-        self.guarantee
-            .settle_partial(commitment.chain_id, payee_account, amount, rur_blob)?;
+        self.guarantee.settle_partial(commitment.chain_id, payee_account, amount, rur_blob)?;
         Ok(amount)
     }
 
@@ -330,9 +329,8 @@ mod tests {
     #[test]
     fn issue_builds_valid_chain_and_locks_funds() {
         let f = fixture();
-        let chain = office(&f)
-            .issue(&f.gsc, "/CN=gsp", 20, Credits::from_gd(1), 0, 10_000)
-            .unwrap();
+        let chain =
+            office(&f).issue(&f.gsc, "/CN=gsp", 20, Credits::from_gd(1), 0, 10_000).unwrap();
         assert_eq!(f.accounts.account_details(&f.gsc).unwrap().locked, Credits::from_gd(20));
         // Every payword verifies against the root.
         for k in 1..=20 {
@@ -348,9 +346,7 @@ mod tests {
     #[test]
     fn paywords_are_one_way() {
         let f = fixture();
-        let chain = office(&f)
-            .issue(&f.gsc, "/CN=gsp", 5, Credits::from_gd(1), 0, 10_000)
-            .unwrap();
+        let chain = office(&f).issue(&f.gsc, "/CN=gsp", 5, Credits::from_gd(1), 0, 10_000).unwrap();
         // Knowing w_2 gives w_1 (hash forward) but never w_3: a forged
         // index-3 claim with a guessed word fails.
         let forged = PayWord { index: 3, word: sha256(b"guess") };
@@ -401,8 +397,15 @@ mod tests {
         let f = fixture();
         let o = office(&f);
         let chain = o.issue(&f.gsc, "/CN=gsp", 4, Credits::from_gd(2), 0, 10_000).unwrap();
-        o.redeem(&chain.commitment, &chain.signature, &chain.payword(4).unwrap(), &f.gsp, vec![], 5)
-            .unwrap();
+        o.redeem(
+            &chain.commitment,
+            &chain.signature,
+            &chain.payword(4).unwrap(),
+            &f.gsp,
+            vec![],
+            5,
+        )
+        .unwrap();
         assert_eq!(o.close(&chain.commitment, 6).unwrap(), Credits::ZERO);
         assert_eq!(f.accounts.account_details(&f.gsp).unwrap().available, Credits::from_gd(8));
     }
@@ -413,7 +416,14 @@ mod tests {
         let o = office(&f);
         let chain = o.issue(&f.gsc, "/CN=gsp", 4, Credits::from_gd(1), 0, 100).unwrap();
         assert!(matches!(
-            o.redeem(&chain.commitment, &chain.signature, &chain.payword(1).unwrap(), &f.gsp, vec![], 100),
+            o.redeem(
+                &chain.commitment,
+                &chain.signature,
+                &chain.payword(1).unwrap(),
+                &f.gsp,
+                vec![],
+                100
+            ),
             Err(BankError::InvalidInstrument(_))
         ));
     }

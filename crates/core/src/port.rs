@@ -16,10 +16,10 @@ use gridbank_rur::Credits;
 use std::sync::Arc;
 
 use crate::api::{BankRequest, BankResponse};
+use crate::cheque::GridCheque;
 use crate::client::{ClientHashChain, GridBankClient};
 use crate::db::{AccountId, AccountRecord};
 use crate::direct::TransferConfirmation;
-use crate::cheque::GridCheque;
 use crate::error::BankError;
 use crate::payword::{ChainCommitment, PayWord};
 use crate::pricing::ResourceDescription;
@@ -70,10 +70,8 @@ pub trait BankPort {
         rur_blob: Vec<u8>,
     ) -> Result<Credits, BankError>;
     /// Register a resource description for §4.2 pricing.
-    fn register_resource_description(
-        &mut self,
-        desc: ResourceDescription,
-    ) -> Result<(), BankError>;
+    fn register_resource_description(&mut self, desc: ResourceDescription)
+        -> Result<(), BankError>;
 }
 
 /// In-process port: calls the dispatcher directly under a fixed identity.
@@ -92,7 +90,9 @@ impl InProcessBank {
 
     fn call(&self, request: BankRequest) -> Result<BankResponse, BankError> {
         match self.bank.handle(&self.caller, request) {
-            BankResponse::Error { kind, message } => Err(crate::api::error_from_wire(kind, message)),
+            BankResponse::Error { kind, message } => {
+                Err(crate::api::error_from_wire(kind, message))
+            }
             resp => Ok(resp),
         }
     }
@@ -282,7 +282,7 @@ impl BankPort for GridBankClient {
 mod tests {
     use super::*;
     use crate::clock::Clock;
-    use crate::server::{GridBankConfig, GridBank};
+    use crate::server::{GridBank, GridBankConfig};
 
     #[test]
     fn in_process_port_round_trip() {
@@ -296,10 +296,7 @@ mod tests {
         assert_eq!(port.my_account().unwrap().id, account);
         // Funding via admin then a cheque round-trip through the port.
         let admin = SubjectName("/O=GridBank/OU=Admin/CN=operator".into());
-        bank.handle(
-            &admin,
-            BankRequest::AdminDeposit { account, amount: Credits::from_gd(10) },
-        );
+        bank.handle(&admin, BankRequest::AdminDeposit { account, amount: Credits::from_gd(10) });
         let gsp = SubjectName::new("O", "U", "gsp");
         let mut gsp_port = InProcessBank::new(bank.clone(), gsp);
         gsp_port.create_account(None).unwrap();

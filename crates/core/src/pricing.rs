@@ -115,9 +115,7 @@ impl PriceEstimator {
             weight_total += w as i128;
         }
         if weight_total == 0 {
-            return Err(BankError::Protocol(
-                "no comparable transaction history".into(),
-            ));
+            return Err(BankError::Protocol("no comparable transaction history".into()));
         }
         Ok(Credits::from_micro(weighted_sum / weight_total))
     }

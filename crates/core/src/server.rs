@@ -175,10 +175,15 @@ impl GridBank {
     /// run this periodically; simulations call it when the clock jumps.
     /// Returns the number of reservations released and the total value.
     pub fn sweep_expired_instruments(&self) -> (usize, Credits) {
+        let mut span = gridbank_obs::span("server.payment", "sweep_expired");
         let released = self.guarantee.sweep_expired(self.clock.now_ms());
-        let total = released
-            .iter()
-            .fold(Credits::ZERO, |acc, (_, c)| acc.saturating_add(*c));
+        let total = released.iter().fold(Credits::ZERO, |acc, (_, c)| acc.saturating_add(*c));
+        span.attr("released", released.len().to_string());
+        gridbank_obs::count("core.sweep.released_count", released.len() as u64);
+        gridbank_obs::count(
+            "core.sweep.released_micro",
+            total.micro().clamp(0, u64::MAX as i128) as u64,
+        );
         (released.len(), total)
     }
 
@@ -191,35 +196,44 @@ impl GridBank {
         if record.certificate_name == caller_cert || self.admin.is_admin(caller_cert) {
             Ok(())
         } else {
-            Err(BankError::NotAuthorized(format!(
-                "`{caller_cert}` does not own account {account}"
-            )))
+            Err(BankError::NotAuthorized(format!("`{caller_cert}` does not own account {account}")))
         }
     }
 
     /// Dispatches one request on behalf of an authenticated caller.
     pub fn handle(&self, caller: &SubjectName, request: BankRequest) -> BankResponse {
+        // Security layer: the caller's wire identity is resolved here, so
+        // this span covers identity mapping plus everything dispatched.
+        let variant = request.variant_name();
+        let mut span = gridbank_obs::span("server.security", "handle");
+        span.attr("request", variant.to_string());
+        let timer = gridbank_obs::Stopwatch::start();
+        gridbank_obs::count("rpc.server.requests", 1);
         let caller_cert = caller.base_identity().0;
-        match self.dispatch(&caller_cert, request) {
+        let resp = match self.dispatch(&caller_cert, request) {
             Ok(resp) => resp,
-            Err(e) => BankResponse::Error { kind: error_kind(&e), message: e.to_string() },
-        }
+            Err(e) => {
+                gridbank_obs::count("rpc.server.errors", 1);
+                span.attr("error", e.to_string());
+                BankResponse::Error { kind: error_kind(&e), message: e.to_string() }
+            }
+        };
+        timer.record_named_label("rpc.server.latency_ns", variant);
+        resp
     }
 
-    fn dispatch(
-        &self,
-        caller_cert: &str,
-        request: BankRequest,
-    ) -> Result<BankResponse, BankError> {
+    fn dispatch(&self, caller_cert: &str, request: BankRequest) -> Result<BankResponse, BankError> {
         // Enrollment-mode restriction: unknown subjects may only enroll.
-        let known = self.accounts.db().subject_known(caller_cert)
-            || self.admin.is_admin(caller_cert);
+        let known =
+            self.accounts.db().subject_known(caller_cert) || self.admin.is_admin(caller_cert);
         if !known && !matches!(request, BankRequest::CreateAccount { .. }) {
-            return Err(BankError::NotAuthorized(format!(
-                "`{caller_cert}` has no account"
-            )));
+            return Err(BankError::NotAuthorized(format!("`{caller_cert}` has no account")));
         }
         let now = self.clock.now_ms();
+        // The serving layer's span: named after the §3.2 module
+        // (accounts / payment / pricing) that owns the variant.
+        let mut layer_span = gridbank_obs::span(request.layer(), request.variant_name());
+        layer_span.attr("caller", caller_cert.to_string());
         match request {
             BankRequest::CreateAccount { organization } => {
                 let account = self.accounts.create_account(caller_cert, organization)?;
@@ -288,9 +302,15 @@ impl GridBank {
                     now,
                     validity_ms,
                 )?;
-                let full: Vec<_> = (0..=length).map(|k| {
-                    if k == 0 { chain.commitment.root } else { chain.payword(k).expect("k in range").word }
-                }).collect();
+                let full: Vec<_> = (0..=length)
+                    .map(|k| {
+                        if k == 0 {
+                            chain.commitment.root
+                        } else {
+                            chain.payword(k).expect("k in range").word
+                        }
+                    })
+                    .collect();
                 Ok(BankResponse::HashChain {
                     commitment: chain.commitment,
                     signature: chain.signature,
@@ -396,13 +416,12 @@ pub struct BankGate {
 impl ConnectionGate for BankGate {
     fn admit(&self, subject: &SubjectName) -> AdmissionDecision {
         let cert = subject.base_identity().0;
-        let known = self.bank.accounts.db().subject_known(&cert)
-            || self.bank.admin.is_admin(&cert);
+        let known = self.bank.accounts.db().subject_known(&cert) || self.bank.admin.is_admin(&cert);
         match (known, self.bank.config.gate_mode) {
             (true, _) | (false, GateMode::AllowEnrollment) => AdmissionDecision::Allow,
-            (false, GateMode::Strict) => AdmissionDecision::Deny(
-                "no account or administrator privilege".into(),
-            ),
+            (false, GateMode::Strict) => {
+                AdmissionDecision::Deny("no account or administrator privilege".into())
+            }
         }
     }
 }
@@ -455,20 +474,17 @@ impl GridBankServer {
                     Err(_) => break,
                 };
                 conn_seq += 1;
-                conns.fetch_add(1, Ordering::Relaxed);
+                let total = conns.fetch_add(1, Ordering::Relaxed) + 1;
+                gridbank_obs::gauge_set("net.server.connection_count", total as i64);
                 let bank = Arc::clone(&bank);
                 let credentials = credentials.clone();
                 let clock = clock.clone();
-                let mut nonces = DeterministicStream::from_u64(
-                    nonce_seed ^ conn_seq,
-                    b"gridbank-server-nonce",
-                );
+                let mut nonces =
+                    DeterministicStream::from_u64(nonce_seed ^ conn_seq, b"gridbank-server-nonce");
                 let gate_bank = Arc::clone(&gate.bank);
                 std::thread::spawn(move || {
-                    let config = HandshakeConfig {
-                        ca_key: credentials.ca_key,
-                        now: clock.now_ms(),
-                    };
+                    let config =
+                        HandshakeConfig { ca_key: credentials.ca_key, now: clock.now_ms() };
                     let gate = BankGate { bank: gate_bank };
                     let hs = server_handshake(
                         duplex,
@@ -523,10 +539,7 @@ mod tests {
     use super::*;
 
     fn bank() -> Arc<GridBank> {
-        let config = GridBankConfig {
-            signer_height: 6,
-            ..GridBankConfig::default()
-        };
+        let config = GridBankConfig { signer_height: 6, ..GridBankConfig::default() };
         Arc::new(GridBank::new(config, Clock::new()))
     }
 
@@ -563,11 +576,11 @@ mod tests {
         b.handle(&bob, BankRequest::CreateAccount { organization: None });
         // Bob cannot read Alice's account or statement.
         let resp = b.handle(&bob, BankRequest::AccountDetails { account: alice_acct });
-        assert!(matches!(resp, BankResponse::Error { kind, .. } if kind == crate::api::kinds::NOT_AUTHORIZED));
-        let resp = b.handle(
-            &bob,
-            BankRequest::Statement { account: alice_acct, start_ms: 0, end_ms: 10 },
+        assert!(
+            matches!(resp, BankResponse::Error { kind, .. } if kind == crate::api::kinds::NOT_AUTHORIZED)
         );
+        let resp =
+            b.handle(&bob, BankRequest::Statement { account: alice_acct, start_ms: 0, end_ms: 10 });
         assert!(matches!(resp, BankResponse::Error { .. }));
         // An admin can.
         let admin = SubjectName("/O=GridBank/OU=Admin/CN=operator".into());
@@ -587,7 +600,10 @@ mod tests {
             panic!()
         };
         b.handle(&gsp, BankRequest::CreateAccount { organization: None });
-        b.handle(&admin, BankRequest::AdminDeposit { account: alice_acct, amount: Credits::from_gd(50) });
+        b.handle(
+            &admin,
+            BankRequest::AdminDeposit { account: alice_acct, amount: Credits::from_gd(50) },
+        );
 
         let BankResponse::Cheque(cheque) = b.handle(
             &alice,
@@ -611,13 +627,16 @@ mod tests {
             )
             .build()
             .unwrap();
-        let resp = b.handle(&gsp, BankRequest::RedeemCheque { cheque: cheque.clone(), rur: rur.clone() });
+        let resp =
+            b.handle(&gsp, BankRequest::RedeemCheque { cheque: cheque.clone(), rur: rur.clone() });
         let BankResponse::Redeemed { paid, released } = resp else { panic!("{resp:?}") };
         assert_eq!(paid, Credits::from_gd(8));
         assert_eq!(released, Credits::from_gd(12));
         // A second redemption fails.
         let resp = b.handle(&gsp, BankRequest::RedeemCheque { cheque, rur });
-        assert!(matches!(resp, BankResponse::Error { kind, .. } if kind == crate::api::kinds::ALREADY_REDEEMED));
+        assert!(
+            matches!(resp, BankResponse::Error { kind, .. } if kind == crate::api::kinds::ALREADY_REDEEMED)
+        );
     }
 
     #[test]
@@ -632,7 +651,10 @@ mod tests {
             panic!()
         };
         b.handle(&gsp, BankRequest::CreateAccount { organization: None });
-        b.handle(&admin, BankRequest::AdminDeposit { account: alice_acct, amount: Credits::from_gd(50) });
+        b.handle(
+            &admin,
+            BankRequest::AdminDeposit { account: alice_acct, amount: Credits::from_gd(50) },
+        );
 
         let resp = b.handle(
             &alice,
@@ -660,7 +682,9 @@ mod tests {
                 rur_blob: vec![],
             },
         );
-        assert!(matches!(resp, BankResponse::Error { kind, .. } if kind == crate::api::kinds::NOT_AUTHORIZED));
+        assert!(
+            matches!(resp, BankResponse::Error { kind, .. } if kind == crate::api::kinds::NOT_AUTHORIZED)
+        );
         // GSP redeems incrementally.
         let resp = b.handle(
             &gsp,
@@ -687,7 +711,10 @@ mod tests {
             panic!()
         };
         b.handle(&gsp, BankRequest::CreateAccount { organization: None });
-        b.handle(&admin, BankRequest::AdminDeposit { account: alice_acct, amount: Credits::from_gd(50) });
+        b.handle(
+            &admin,
+            BankRequest::AdminDeposit { account: alice_acct, amount: Credits::from_gd(50) },
+        );
         let desc = ResourceDescription {
             cpu_speed: 1000,
             cpu_count: 8,

@@ -203,11 +203,7 @@ pub struct CertificateAuthority {
 impl CertificateAuthority {
     /// Creates a CA around an existing signing identity.
     pub fn new(name: SubjectName, identity: SigningIdentity) -> Self {
-        CertificateAuthority {
-            identity,
-            name,
-            next_serial: std::sync::atomic::AtomicU64::new(1),
-        }
+        CertificateAuthority { identity, name, next_serial: std::sync::atomic::AtomicU64::new(1) }
     }
 
     /// The CA's distinguished name.
@@ -230,13 +226,9 @@ impl CertificateAuthority {
         not_after: u64,
     ) -> Result<Certificate, CryptoError> {
         if not_after <= not_before {
-            return Err(CryptoError::InvalidCertificate(
-                "empty validity window".into(),
-            ));
+            return Err(CryptoError::InvalidCertificate("empty validity window".into()));
         }
-        let serial = self
-            .next_serial
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let serial = self.next_serial.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let body = CertificateBody {
             subject,
             issuer: self.name.clone(),
@@ -272,12 +264,7 @@ pub fn create_proxy(
         serial: 0,
     };
     let signature = user_identity.sign(&body.to_bytes())?;
-    Ok(ProxyCertificate {
-        body,
-        signature,
-        user_cert: user_cert.clone(),
-        delegation_depth,
-    })
+    Ok(ProxyCertificate { body, signature, user_cert: user_cert.clone(), delegation_depth })
 }
 
 /// Canonical helper: hashes arbitrary bytes into a DN-safe token, used to
@@ -334,7 +321,10 @@ mod tests {
         let ca = ca();
         let (alice, dn) = user(1, "alice");
         let cert = ca.issue(dn, alice.verifying_key(), 10, 100).unwrap();
-        assert!(matches!(cert.verify(&ca.verifying_key(), 5), Err(CryptoError::InvalidCertificate(_))));
+        assert!(matches!(
+            cert.verify(&ca.verifying_key(), 5),
+            Err(CryptoError::InvalidCertificate(_))
+        ));
         assert!(matches!(
             cert.verify(&ca.verifying_key(), 100),
             Err(CryptoError::Expired { not_after: 100, now: 100 })
@@ -367,8 +357,7 @@ mod tests {
         let (alice, dn) = user(1, "alice");
         let cert = ca.issue(dn.clone(), alice.verifying_key(), 0, 1000).unwrap();
         let proxy_id = SigningIdentity::generate_small(KeyMaterial { seed: 2 }, "alice-proxy");
-        let proxy =
-            create_proxy(&alice, &cert, proxy_id.verifying_key(), 0, 100, 1).unwrap();
+        let proxy = create_proxy(&alice, &cert, proxy_id.verifying_key(), 0, 100, 1).unwrap();
         proxy.verify_chain(&ca.verifying_key(), 50).unwrap();
         assert_eq!(proxy.grid_identity(), dn);
         assert!(proxy.body.subject.is_proxy());
@@ -395,8 +384,7 @@ mod tests {
         let cert_a = ca.issue(dn_a, alice.verifying_key(), 0, 1000).unwrap();
         let proxy_id = SigningIdentity::generate_small(KeyMaterial { seed: 3 }, "p");
         // Mallory signs a proxy claiming to be derived from Alice's cert.
-        let forged =
-            create_proxy(&mallory, &cert_a, proxy_id.verifying_key(), 0, 100, 0).unwrap();
+        let forged = create_proxy(&mallory, &cert_a, proxy_id.verifying_key(), 0, 100, 0).unwrap();
         assert!(forged.verify_chain(&ca.verifying_key(), 50).is_err());
     }
 

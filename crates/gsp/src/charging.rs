@@ -81,6 +81,32 @@ impl<P: BankPort> ChargingModule<P> {
         instrument: &PaymentInstrument,
         now_ms: u64,
     ) -> Result<(), GspError> {
+        let kind = match instrument {
+            PaymentInstrument::Cheque(_) => "Cheque",
+            PaymentInstrument::HashChain { .. } => "HashChain",
+            PaymentInstrument::Prepaid(_) => "Prepaid",
+        };
+        let mut span = gridbank_obs::span("gsp.charging", "validate_instrument");
+        span.attr("instrument", kind.to_string());
+        let timer = gridbank_obs::Stopwatch::start();
+        let out = self.validate_instrument_inner(instrument, now_ms);
+        gridbank_obs::count(
+            if out.is_ok() {
+                "gsp.charging.instruments_accepted"
+            } else {
+                "gsp.charging.instruments_rejected"
+            },
+            1,
+        );
+        timer.record_named_label("gsp.charging.validate_ns", kind);
+        out
+    }
+
+    fn validate_instrument_inner(
+        &mut self,
+        instrument: &PaymentInstrument,
+        now_ms: u64,
+    ) -> Result<(), GspError> {
         match instrument {
             PaymentInstrument::Cheque(cheque) => cheque
                 .verify(&self.bank_key, Some(&self.gsp_cert), now_ms)
@@ -121,7 +147,11 @@ impl<P: BankPort> ChargingModule<P> {
         rates: &ServiceRates,
         rur: &ResourceUsageRecord,
     ) -> Result<Credits, GspError> {
-        Ok(rates.charge(rur)?)
+        let _span = gridbank_obs::span("gsp.charging", "compute_charge");
+        let timer = gridbank_obs::Stopwatch::start();
+        let charge = rates.charge(rur);
+        timer.record_named("gsp.charging.compute_charge_ns");
+        Ok(charge?)
     }
 
     /// Redeems a cheque with the bank; returns (paid, released).
@@ -130,7 +160,11 @@ impl<P: BankPort> ChargingModule<P> {
         cheque: GridCheque,
         rur: ResourceUsageRecord,
     ) -> Result<(Credits, Credits), GspError> {
-        Ok(self.port.redeem_cheque(cheque, rur)?)
+        let _span = gridbank_obs::span("gsp.charging", "redeem_cheque");
+        let timer = gridbank_obs::Stopwatch::start();
+        let out = self.port.redeem_cheque(cheque, rur);
+        timer.record_named("gsp.charging.redeem_cheque_ns");
+        Ok(out?)
     }
 
     /// Redeems paywords up to `payword.index`; verifies the word against
@@ -142,13 +176,16 @@ impl<P: BankPort> ChargingModule<P> {
         payword: PayWord,
         rur: Option<&ResourceUsageRecord>,
     ) -> Result<Credits, GspError> {
-        payword
-            .verify(&commitment.root, commitment.length)
-            .map_err(|e| GspError::PaymentRejected(e.to_string()))?;
+        let _span = gridbank_obs::span("gsp.charging", "redeem_payword");
+        let verify_timer = gridbank_obs::Stopwatch::start();
+        let verified = payword.verify(&commitment.root, commitment.length);
+        verify_timer.record_named("gsp.charging.payword_verify_ns");
+        verified.map_err(|e| GspError::PaymentRejected(e.to_string()))?;
         let blob = rur.map(|r| r.to_bytes()).unwrap_or_default();
-        Ok(self
-            .port
-            .redeem_payword(commitment.clone(), signature.clone(), payword, blob)?)
+        let timer = gridbank_obs::Stopwatch::start();
+        let out = self.port.redeem_payword(commitment.clone(), signature.clone(), payword, blob);
+        timer.record_named("gsp.charging.redeem_payword_ns");
+        Ok(out?)
     }
 
     /// Converts a charge into the number of paywords that cover it
@@ -167,10 +204,10 @@ impl<P: BankPort> ChargingModule<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gridbank_core::api::BankRequest;
     use gridbank_core::clock::Clock;
     use gridbank_core::port::InProcessBank;
     use gridbank_core::server::{GridBank, GridBankConfig};
-    use gridbank_core::api::BankRequest;
     use gridbank_crypto::cert::SubjectName;
     use gridbank_rur::record::{ChargeableItem, RurBuilder, UsageAmount};
     use gridbank_rur::units::Duration;
@@ -194,7 +231,10 @@ mod tests {
         let acct = gsc_port.create_account(None).unwrap();
         let mut gsp_port = InProcessBank::new(bank.clone(), gsp.clone());
         gsp_port.create_account(None).unwrap();
-        bank.handle(&admin, BankRequest::AdminDeposit { account: acct, amount: Credits::from_gd(100) });
+        bank.handle(
+            &admin,
+            BankRequest::AdminDeposit { account: acct, amount: Credits::from_gd(100) },
+        );
         World { bank, gsc, gsp }
     }
 
@@ -254,19 +294,15 @@ mod tests {
         // Rates price CPU at 3 but the RUR claims 9.
         let rates = ServiceRates::new().with(ChargeableItem::Cpu, Credits::from_gd(3));
         let record = rur(&w, 1, Credits::from_gd(9));
-        assert!(matches!(
-            m.compute_charge(&rates, &record),
-            Err(GspError::Trade(_))
-        ));
+        assert!(matches!(m.compute_charge(&rates, &record), Err(GspError::Trade(_))));
     }
 
     #[test]
     fn hash_chain_validate_and_incremental_redeem() {
         let w = world();
         let mut gsc_port = InProcessBank::new(w.bank.clone(), w.gsc.clone());
-        let chain = gsc_port
-            .request_hash_chain(&w.gsp.0, 10, Credits::from_gd(1), 100_000)
-            .unwrap();
+        let chain =
+            gsc_port.request_hash_chain(&w.gsp.0, 10, Credits::from_gd(1), 100_000).unwrap();
         let mut m = gbcm(&w);
         let instrument = PaymentInstrument::HashChain {
             commitment: chain.commitment.clone(),
@@ -299,18 +335,15 @@ mod tests {
         let mut gsc_port = InProcessBank::new(w.bank.clone(), w.gsc.clone());
         let mut m = gbcm(&w);
         let gsp_account = m.port.my_account().unwrap().id;
-        let conf = gsc_port
-            .direct_transfer(gsp_account, Credits::from_gd(2), "gsp.grid.org")
-            .unwrap();
+        let conf =
+            gsc_port.direct_transfer(gsp_account, Credits::from_gd(2), "gsp.grid.org").unwrap();
         m.validate_instrument(&PaymentInstrument::Prepaid(conf), 5).unwrap();
 
         // A confirmation paying someone else is refused.
         let mallory = SubjectName::new("E", "E", "mallory");
         let mut mallory_port = InProcessBank::new(w.bank.clone(), mallory);
         let mallory_acct = mallory_port.create_account(None).unwrap();
-        let conf2 = gsc_port
-            .direct_transfer(mallory_acct, Credits::from_gd(2), "x")
-            .unwrap();
+        let conf2 = gsc_port.direct_transfer(mallory_acct, Credits::from_gd(2), "x").unwrap();
         assert!(matches!(
             m.validate_instrument(&PaymentInstrument::Prepaid(conf2), 5),
             Err(GspError::PaymentRejected(_))
@@ -321,9 +354,7 @@ mod tests {
     fn words_for_charge_boundaries() {
         let w = world();
         let mut gsc_port = InProcessBank::new(w.bank.clone(), w.gsc.clone());
-        let chain = gsc_port
-            .request_hash_chain(&w.gsp.0, 5, Credits::from_gd(2), 100_000)
-            .unwrap();
+        let chain = gsc_port.request_hash_chain(&w.gsp.0, 5, Credits::from_gd(2), 100_000).unwrap();
         let c = &chain.commitment;
         type M = ChargingModule<InProcessBank>;
         assert_eq!(M::words_for_charge(c, Credits::ZERO), 0);

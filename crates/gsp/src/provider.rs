@@ -149,7 +149,12 @@ impl<P: BankPort> GridServiceProvider<P> {
         let rates = self.pricing.quote(&self.base_rates, self.utilization(now_ms))?;
         let quote_id = self.next_quote;
         self.next_quote += 1;
-        Ok(RateQuote { provider: self.cert.clone(), rates, valid_until: now_ms + validity_ms, quote_id })
+        Ok(RateQuote {
+            provider: self.cert.clone(),
+            rates,
+            valid_until: now_ms + validity_ms,
+            quote_id,
+        })
     }
 
     /// The GMD advertisement for this provider.
@@ -180,8 +185,7 @@ impl<P: BankPort> GridServiceProvider<P> {
         self.machines
             .iter()
             .map(|m| {
-                m.machine.spec.speed as u64
-                    * m.machine.spec.cores.min(parallelism.max(1)) as u64
+                m.machine.spec.speed as u64 * m.machine.spec.cores.min(parallelism.max(1)) as u64
             })
             .max()
             .unwrap_or(0)
@@ -364,8 +368,7 @@ impl<P: BankPort> GridServiceProvider<P> {
                     commitment.length
                 )));
             }
-            let n_intervals =
-                (rur.job.span().as_ms().div_ceil(interval_ms.max(1))).max(1) as u32;
+            let n_intervals = (rur.job.span().as_ms().div_ceil(interval_ms.max(1))).max(1) as u32;
             let mut highest: u32 = 0;
             let mut last_pw: Option<PayWord> = None;
             for i in 1..=n_intervals {
@@ -508,9 +511,7 @@ mod tests {
         let mut w = world(4);
         let mut gsc_port = InProcessBank::new(w.bank.clone(), w.gsc.clone());
         let quote = w.provider.quote(0, 10_000).unwrap();
-        let cheque = gsc_port
-            .request_cheque(&w.gsp.0, Credits::from_gd(100), 1_000_000)
-            .unwrap();
+        let cheque = gsc_port.request_cheque(&w.gsp.0, Credits::from_gd(100), 1_000_000).unwrap();
         let outcome = w
             .provider
             .execute_job(&w.gsc.0, PaymentInstrument::Cheque(cheque), &job(), &quote.rates, 0)
@@ -550,9 +551,8 @@ mod tests {
         let mut w = world(2);
         let mut gsc_port = InProcessBank::new(w.bank.clone(), w.gsc.clone());
         // Cheque made out to someone else.
-        let cheque = gsc_port
-            .request_cheque("/CN=other-gsp", Credits::from_gd(10), 1_000_000)
-            .unwrap();
+        let cheque =
+            gsc_port.request_cheque("/CN=other-gsp", Credits::from_gd(10), 1_000_000).unwrap();
         let err = w.provider.execute_job(
             &w.gsc.0,
             PaymentInstrument::Cheque(cheque),
@@ -571,9 +571,8 @@ mod tests {
         let mut gsc_port = InProcessBank::new(w.bank.clone(), w.gsc.clone());
         let mut hosts = std::collections::HashSet::new();
         for _ in 0..4 {
-            let cheque = gsc_port
-                .request_cheque(&w.gsp.0, Credits::from_gd(50), 1_000_000)
-                .unwrap();
+            let cheque =
+                gsc_port.request_cheque(&w.gsp.0, Credits::from_gd(50), 1_000_000).unwrap();
             let outcome = w
                 .provider
                 .execute_job(&w.gsc.0, PaymentInstrument::Cheque(cheque), &job(), &rates(), 0)
@@ -633,9 +632,8 @@ mod tests {
         let mut w = world(2);
         let mut gsc_port = InProcessBank::new(w.bank.clone(), w.gsc.clone());
         // A 1-word chain can't possibly cover the job.
-        let chain = gsc_port
-            .request_hash_chain(&w.gsp.0, 1, Credits::from_milli(1), 1_000_000)
-            .unwrap();
+        let chain =
+            gsc_port.request_hash_chain(&w.gsp.0, 1, Credits::from_milli(1), 1_000_000).unwrap();
         let mut source = |k: u32| chain.payword(k).map_err(GspError::Bank);
         let err = w.provider.execute_streamed_job(
             &w.gsc.0,
@@ -663,9 +661,8 @@ mod tests {
         // Occupy both machines.
         let mut gsc_port = InProcessBank::new(w.bank.clone(), w.gsc.clone());
         for _ in 0..2 {
-            let cheque = gsc_port
-                .request_cheque(&w.gsp.0, Credits::from_gd(50), 1_000_000)
-                .unwrap();
+            let cheque =
+                gsc_port.request_cheque(&w.gsp.0, Credits::from_gd(50), 1_000_000).unwrap();
             w.provider
                 .execute_job(&w.gsc.0, PaymentInstrument::Cheque(cheque), &job(), &rates(), 0)
                 .unwrap();

@@ -96,6 +96,7 @@ impl TemplatePool {
                 inner.stats.acquisitions += 1;
                 let in_use = inner.in_use;
                 inner.stats.high_watermark = inner.stats.high_watermark.max(in_use);
+                gridbank_obs::gauge_set("gsp.pool.in_use", in_use as i64);
                 Some(acct)
             }
             None => None,
@@ -111,6 +112,7 @@ impl TemplatePool {
             while inner.free.is_empty() {
                 if self.available.wait_until(&mut inner, deadline).timed_out() {
                     inner.stats.exhaustions += 1;
+                    gridbank_obs::count("gsp.pool.exhaustions", 1);
                     return None;
                 }
             }
@@ -120,6 +122,7 @@ impl TemplatePool {
         inner.stats.acquisitions += 1;
         let in_use = inner.in_use;
         inner.stats.high_watermark = inner.stats.high_watermark.max(in_use);
+        gridbank_obs::gauge_set("gsp.pool.in_use", in_use as i64);
         Some(acct)
     }
 
@@ -128,6 +131,7 @@ impl TemplatePool {
         let mut inner = self.inner.lock();
         inner.in_use = inner.in_use.saturating_sub(1);
         inner.stats.releases += 1;
+        gridbank_obs::gauge_set("gsp.pool.in_use", inner.in_use as i64);
         inner.free.push_back(account);
         drop(inner);
         self.available.notify_one();

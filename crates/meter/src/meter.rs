@@ -94,7 +94,12 @@ impl GridResourceMeter {
                 let usage = native.normalize()?;
                 let mut b = RurBuilder::default()
                     .user(job.user_host.clone(), job.user_cert.clone())
-                    .job(job.job_id.clone(), job.application.clone(), native.start_ms(), native.end_ms())
+                    .job(
+                        job.job_id.clone(),
+                        job.application.clone(),
+                        native.start_ms(),
+                        native.end_ms(),
+                    )
                     .resource(
                         host.clone(),
                         self.gsp_cert.clone(),
@@ -186,7 +191,14 @@ mod tests {
         };
         let mut m = Machine::new(spec.clone(), seed);
         let exec = m.execute(
-            &JobSpec { work: 600_000, parallelism: 2, memory_mb: 512, storage_mb: 128, network_mb: 50, sys_pct: 10 },
+            &JobSpec {
+                work: 600_000,
+                parallelism: 2,
+                memory_mb: 512,
+                storage_mb: 128,
+                network_mb: 50,
+                sys_pct: 10,
+            },
             1_000,
         );
         MeteredJob {

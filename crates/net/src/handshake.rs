@@ -80,6 +80,24 @@ pub fn client_handshake(
     proxy_identity: &SigningIdentity,
     nonce_stream: &mut DeterministicStream,
 ) -> Result<(SecureChannel, PeerIdentity), NetError> {
+    let _span = gridbank_obs::span("net", "handshake_client");
+    let timer = gridbank_obs::Stopwatch::start();
+    let result = client_handshake_inner(duplex, config, proxy, proxy_identity, nonce_stream);
+    match &result {
+        Ok(_) => gridbank_obs::count("net.handshake.client.success", 1),
+        Err(_) => gridbank_obs::count("net.handshake.client.failure", 1),
+    }
+    timer.record_named("net.handshake.client.duration_ns");
+    result
+}
+
+fn client_handshake_inner(
+    duplex: Duplex,
+    config: &HandshakeConfig,
+    proxy: &ProxyCertificate,
+    proxy_identity: &SigningIdentity,
+    nonce_stream: &mut DeterministicStream,
+) -> Result<(SecureChannel, PeerIdentity), NetError> {
     // 1. ClientHello.
     let nonce_c = nonce_stream.next_digest();
     let mut hello = Writer::new();
@@ -122,9 +140,7 @@ pub fn client_handshake(
     let mut sig_s_w = Writer::new();
     sig_s_w.sig(&sig_s);
     let t2 = transcript2(&t1, &sig_s_w.buf);
-    let sig_c = proxy_identity
-        .sign(t2.as_bytes())
-        .map_err(NetError::Crypto)?;
+    let sig_c = proxy_identity.sign(t2.as_bytes()).map_err(NetError::Crypto)?;
     let mut auth = Writer::new();
     auth.u8(TAG_CLIENT_AUTH);
     auth.sig(&sig_c);
@@ -152,6 +168,28 @@ pub fn client_handshake(
 /// Server side: authenticate the client's proxy chain, run the gate, and
 /// prove our own identity.
 pub fn server_handshake(
+    duplex: Duplex,
+    config: &HandshakeConfig,
+    server_cert: &Certificate,
+    server_identity: &SigningIdentity,
+    gate: &dyn ConnectionGate,
+    nonce_stream: &mut DeterministicStream,
+) -> Result<(SecureChannel, PeerIdentity), NetError> {
+    let _span = gridbank_obs::span("net", "handshake_server");
+    let timer = gridbank_obs::Stopwatch::start();
+    let result =
+        server_handshake_inner(duplex, config, server_cert, server_identity, gate, nonce_stream);
+    match &result {
+        Ok(_) => gridbank_obs::count("net.handshake.server.success", 1),
+        // Gate refusals are policy, not protocol failure — count apart.
+        Err(NetError::Refused { .. }) => gridbank_obs::count("net.gate.rejected", 1),
+        Err(_) => gridbank_obs::count("net.handshake.server.failure", 1),
+    }
+    timer.record_named("net.handshake.server.duration_ns");
+    result
+}
+
+fn server_handshake_inner(
     duplex: Duplex,
     config: &HandshakeConfig,
     server_cert: &Certificate,
@@ -194,9 +232,7 @@ pub fn server_handshake(
     let mut cert_w = Writer::new();
     cert_w.cert(server_cert);
     let t1 = transcript1(&hello_bytes, &nonce_s, &cert_w.buf);
-    let sig_s = server_identity
-        .sign(t1.as_bytes())
-        .map_err(NetError::Crypto)?;
+    let sig_s = server_identity.sign(t1.as_bytes()).map_err(NetError::Crypto)?;
     let mut sh = Writer::new();
     sh.u8(TAG_SERVER_HELLO);
     sh.digest(&nonce_s);

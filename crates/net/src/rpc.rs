@@ -7,28 +7,55 @@
 //! connection (and one serving thread) per client, as the paper's
 //! connection-oriented GSS model implies.
 
+use gridbank_obs::TraceContext;
+
 use crate::channel::SecureChannel;
 use crate::error::NetError;
 use crate::handshake::PeerIdentity;
 
 const KIND_REQUEST: u8 = 0;
 const KIND_RESPONSE: u8 = 1;
+/// Flag bit on the kind byte: a [`TraceContext`] (16 bytes) follows the
+/// kind byte, before the payload. Absent for untraced peers, so old and
+/// new frames interoperate.
+const FLAG_TRACE: u8 = 0x80;
 
-fn encode(id: u64, kind: u8, payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(9 + payload.len());
+fn encode(id: u64, kind: u8, trace: Option<TraceContext>, payload: &[u8]) -> Vec<u8> {
+    let trace_len = trace.map_or(0, |_| TraceContext::WIRE_LEN);
+    let mut out = Vec::with_capacity(9 + trace_len + payload.len());
     out.extend_from_slice(&id.to_be_bytes());
-    out.push(kind);
+    match trace {
+        Some(ctx) => {
+            out.push(kind | FLAG_TRACE);
+            out.extend_from_slice(&ctx.to_bytes());
+        }
+        None => out.push(kind),
+    }
     out.extend_from_slice(payload);
     out
 }
 
-fn decode(msg: &[u8]) -> Result<(u64, u8, &[u8]), NetError> {
+/// A decoded frame: `(id, kind, optional trace context, payload)`.
+type Frame<'a> = (u64, u8, Option<TraceContext>, &'a [u8]);
+
+fn decode(msg: &[u8]) -> Result<Frame<'_>, NetError> {
     if msg.len() < 9 {
         return Err(NetError::Malformed("rpc frame too short".into()));
     }
     let mut id_arr = [0u8; 8];
     id_arr.copy_from_slice(&msg[..8]);
-    Ok((u64::from_be_bytes(id_arr), msg[8], &msg[9..]))
+    let id = u64::from_be_bytes(id_arr);
+    let kind = msg[8] & !FLAG_TRACE;
+    if msg[8] & FLAG_TRACE == 0 {
+        return Ok((id, kind, None, &msg[9..]));
+    }
+    let end = 9 + TraceContext::WIRE_LEN;
+    if msg.len() < end {
+        return Err(NetError::Malformed("rpc frame truncates trace context".into()));
+    }
+    let ctx = TraceContext::from_bytes(&msg[9..end])
+        .ok_or_else(|| NetError::Malformed("bad trace context".into()))?;
+    Ok((id, kind, Some(ctx), &msg[end..]))
 }
 
 /// Client end: sequential request/response calls.
@@ -45,13 +72,18 @@ impl RpcClient {
         RpcClient { channel, next_id: 1, server }
     }
 
-    /// Sends `payload` and waits for the matching response.
+    /// Sends `payload` and waits for the matching response. The caller's
+    /// active trace context (if telemetry is on) rides in the frame, so
+    /// the server's spans join the client's trace.
     pub fn call(&mut self, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        let mut span = gridbank_obs::span("net", "rpc_call");
+        let timer = gridbank_obs::Stopwatch::start();
         let id = self.next_id;
         self.next_id += 1;
-        self.channel.send(&encode(id, KIND_REQUEST, payload))?;
+        span.attr("request_id", id.to_string());
+        self.channel.send(&encode(id, KIND_REQUEST, gridbank_obs::current_context(), payload))?;
         let reply = self.channel.recv()?;
-        let (rid, kind, body) = decode(&reply)?;
+        let (rid, kind, _trace, body) = decode(&reply)?;
         if kind != KIND_RESPONSE {
             return Err(NetError::Malformed(format!("expected response, got kind {kind}")));
         }
@@ -60,6 +92,7 @@ impl RpcClient {
                 "response id {rid} does not match request id {id}"
             )));
         }
+        timer.record_named("rpc.client.call_ns");
         Ok(body.to_vec())
     }
 }
@@ -85,12 +118,18 @@ impl RpcServer {
                 Err(NetError::Disconnected) => return Ok(()),
                 Err(e) => return Err(e),
             };
-            let (id, kind, payload) = decode(&msg)?;
+            let (id, kind, trace, payload) = decode(&msg)?;
             if kind != KIND_REQUEST {
                 return Err(NetError::Malformed(format!("expected request, got kind {kind}")));
             }
-            let response = handler(peer, payload);
-            channel.send(&encode(id, KIND_RESPONSE, &response))?;
+            let response = {
+                // Join the client's trace (if the frame carried one) so
+                // everything the handler does nests under this span.
+                let mut span = gridbank_obs::span_under(trace, "net", "rpc_serve");
+                span.attr("peer", peer.base.0.clone());
+                handler(peer, payload)
+            };
+            channel.send(&encode(id, KIND_RESPONSE, None, &response))?;
         }
     }
 }
@@ -108,10 +147,7 @@ mod tests {
         let c = net.connect(Address::new("cli"), &Address::new("srv")).unwrap();
         let s = listener.accept().unwrap();
         let secret = sha256(b"test-secret");
-        (
-            SecureChannel::new(c, &secret, true),
-            SecureChannel::new(s, &secret, false),
-        )
+        (SecureChannel::new(c, &secret, true), SecureChannel::new(s, &secret, false))
     }
 
     fn peer(cn: &str) -> PeerIdentity {
@@ -144,8 +180,7 @@ mod tests {
         let (c, s) = channel_pair();
         std::thread::scope(|scope| {
             scope.spawn(|| {
-                RpcServer::serve_connection(s, &peer("x"), |_p, payload| payload.to_vec())
-                    .unwrap();
+                RpcServer::serve_connection(s, &peer("x"), |_p, payload| payload.to_vec()).unwrap();
             });
             let mut client = RpcClient::new(c, peer("bank"));
             for i in 0..100u32 {
@@ -158,8 +193,19 @@ mod tests {
     #[test]
     fn malformed_frame_detected() {
         assert!(matches!(decode(&[1, 2, 3]), Err(NetError::Malformed(_))));
-        let frame = encode(7, KIND_REQUEST, b"abc");
-        let (id, kind, body) = decode(&frame).unwrap();
-        assert_eq!((id, kind, body), (7, KIND_REQUEST, &b"abc"[..]));
+        let frame = encode(7, KIND_REQUEST, None, b"abc");
+        let (id, kind, trace, body) = decode(&frame).unwrap();
+        assert_eq!((id, kind, trace, body), (7, KIND_REQUEST, None, &b"abc"[..]));
+    }
+
+    #[test]
+    fn trace_context_rides_the_kind_flag() {
+        let ctx = TraceContext { trace_id: 0xDEAD_BEEF, parent_span: 42 };
+        let frame = encode(9, KIND_REQUEST, Some(ctx), b"xyz");
+        assert_eq!(frame.len(), 9 + TraceContext::WIRE_LEN + 3);
+        let (id, kind, trace, body) = decode(&frame).unwrap();
+        assert_eq!((id, kind, trace, body), (9, KIND_REQUEST, Some(ctx), &b"xyz"[..]));
+        // A frame that claims a trace context but truncates it is rejected.
+        assert!(matches!(decode(&frame[..12]), Err(NetError::Malformed(_))));
     }
 }

@@ -158,17 +158,13 @@ impl Network {
     pub fn connect(&self, from: Address, address: &Address) -> Result<Duplex, NetError> {
         let accept_tx = {
             let reg = self.registry.lock();
-            reg.get(address)
-                .cloned()
-                .ok_or_else(|| NetError::NoSuchAddress(address.0.clone()))?
+            reg.get(address).cloned().ok_or_else(|| NetError::NoSuchAddress(address.0.clone()))?
         };
         let (c2s_tx, c2s_rx) = bounded(LINK_CAPACITY);
         let (s2c_tx, s2c_rx) = bounded(LINK_CAPACITY);
         let client_end = Duplex { tx: c2s_tx, rx: s2c_rx, peer: address.clone() };
         let server_end = Duplex { tx: s2c_tx, rx: c2s_rx, peer: from };
-        accept_tx
-            .send(server_end)
-            .map_err(|_| NetError::NoSuchAddress(address.0.clone()))?;
+        accept_tx.send(server_end).map_err(|_| NetError::NoSuchAddress(address.0.clone()))?;
         Ok(client_end)
     }
 
@@ -208,10 +204,7 @@ mod tests {
     fn double_bind_fails() {
         let net = Network::new();
         let _l = net.bind(Address::new("bank")).unwrap();
-        assert!(matches!(
-            net.bind(Address::new("bank")),
-            Err(NetError::AddressInUse(_))
-        ));
+        assert!(matches!(net.bind(Address::new("bank")), Err(NetError::AddressInUse(_))));
     }
 
     #[test]

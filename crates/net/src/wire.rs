@@ -144,7 +144,12 @@ impl<'a> Reader<'a> {
         for _ in 0..n {
             siblings.push(self.digest()?);
         }
-        Ok(MerkleSignature { leaf_index, ots, leaf_pk, path: AuthPath { index: path_index, siblings } })
+        Ok(MerkleSignature {
+            leaf_index,
+            ots,
+            leaf_pk,
+            path: AuthPath { index: path_index, siblings },
+        })
     }
 
     pub fn cert(&mut self) -> Result<Certificate, NetError> {
@@ -179,10 +184,7 @@ impl<'a> Reader<'a> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
-            Err(NetError::Malformed(format!(
-                "{} trailing bytes",
-                self.buf.len() - self.pos
-            )))
+            Err(NetError::Malformed(format!("{} trailing bytes", self.buf.len() - self.pos)))
         }
     }
 }
@@ -222,9 +224,7 @@ mod tests {
         let ca_id = SigningIdentity::generate_small(KeyMaterial { seed: 1 }, "ca");
         let ca = CertificateAuthority::new(SubjectName::new("GB", "CA", "Root"), ca_id);
         let user = SigningIdentity::generate_small(KeyMaterial { seed: 2 }, "u");
-        let cert = ca
-            .issue(SubjectName::new("O", "U", "u"), user.verifying_key(), 0, 10)
-            .unwrap();
+        let cert = ca.issue(SubjectName::new("O", "U", "u"), user.verifying_key(), 0, 10).unwrap();
         let mut w = Writer::new();
         w.cert(&cert);
         for cut in [0, 1, w.buf.len() / 2, w.buf.len() - 1] {

@@ -1,0 +1,209 @@
+//! Snapshot surfacing: human-readable text, JSON-lines, and the
+//! [`Collector`] hook simulation scenarios feed.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{registry, Registry, Snapshot};
+
+/// True when `name` follows the duration-histogram naming convention
+/// (`..._ns` or `..._ns/<label>`), so exporters format values as times.
+fn is_duration_metric(name: &str) -> bool {
+    let base = name.split('/').next().unwrap_or(name);
+    base.ends_with("_ns")
+}
+
+fn format_value(name: &str, value: u64) -> String {
+    if !is_duration_metric(name) {
+        return value.to_string();
+    }
+    let ns = value as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2}µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3}s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Renders a snapshot as an aligned, human-readable report.
+pub fn render_text(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== gridbank telemetry snapshot (t={}ms) ==", snapshot.at_unix_ms);
+    if !snapshot.counters.is_empty() {
+        let _ = writeln!(out, "\ncounters:");
+        for (name, value) in &snapshot.counters {
+            let _ = writeln!(out, "  {name:<52} {value:>12}");
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        let _ = writeln!(out, "\ngauges:");
+        for (name, value) in &snapshot.gauges {
+            let _ = writeln!(out, "  {name:<52} {value:>12}");
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nhistograms:\n  {:<52} {:>9} {:>10} {:>10} {:>10} {:>10}",
+            "name", "count", "mean", "p50", "p95", "p99"
+        );
+        for (name, h) in &snapshot.histograms {
+            let _ = writeln!(
+                out,
+                "  {name:<52} {:>9} {:>10} {:>10} {:>10} {:>10}  {}",
+                h.count,
+                format_value(name, h.mean() as u64),
+                format_value(name, h.p50()),
+                format_value(name, h.p95()),
+                format_value(name, h.p99()),
+                h.sparkline(),
+            );
+        }
+    }
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a snapshot as JSON-lines: one object per instrument, with a
+/// leading `meta` line carrying the capture time.
+pub fn render_jsonl(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{\"type\":\"meta\",\"at_unix_ms\":{}}}", snapshot.at_unix_ms);
+    for (name, value) in &snapshot.counters {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
+            escape_json(name)
+        );
+    }
+    for (name, value) in &snapshot.gauges {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{value}}}",
+            escape_json(name)
+        );
+    }
+    for (name, h) in &snapshot.histograms {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"mean\":{:.1},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            escape_json(name),
+            h.count,
+            h.sum,
+            h.mean(),
+            h.p50(),
+            h.p95(),
+            h.p99()
+        );
+    }
+    out
+}
+
+/// A scoped feed into the global registry, used by the simulation
+/// engine and scenario drivers: every instrument is namespaced
+/// `sim.<scope>.`, so one process can run several scenarios and export
+/// per-scenario telemetry from a single snapshot.
+pub struct Collector {
+    prefix: String,
+    registry: &'static Registry,
+}
+
+impl Collector {
+    /// A collector namespaced under `sim.<scope>.`.
+    pub fn new(scope: &str) -> Self {
+        Collector { prefix: format!("sim.{scope}."), registry: registry() }
+    }
+
+    /// The full instrument name for `name` under this collector.
+    pub fn qualify(&self, name: &str) -> String {
+        format!("{}{name}", self.prefix)
+    }
+
+    /// Adds to a namespaced counter.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.registry.counter(&self.qualify(name)).add(delta);
+    }
+
+    /// Sets a namespaced gauge.
+    pub fn gauge(&self, name: &str, value: i64) {
+        self.registry.gauge(&self.qualify(name)).set(value);
+    }
+
+    /// Records into a namespaced histogram.
+    pub fn observe(&self, name: &str, value: u64) {
+        self.registry.histogram(&self.qualify(name)).record(value);
+    }
+
+    /// Snapshot restricted to this collector's namespace.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot().filtered(&self.prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_render_formats_durations_and_raw_values() {
+        let r = Registry::new();
+        r.counter("net.handshake.success").add(3);
+        r.gauge("core.connections").set(2);
+        r.histogram("rpc.server.latency_ns/Statement").record(1_500);
+        r.histogram("core.lock_funds.volume_milli").record(5_000);
+        let text = render_text(&r.snapshot());
+        assert!(text.contains("net.handshake.success"), "{text}");
+        assert!(text.contains("µs"), "duration formatted: {text}");
+        assert!(!text.contains("core.lock_funds.volume_milli 5_000ns"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+    }
+
+    #[test]
+    fn jsonl_lines_parse_shallowly() {
+        let r = Registry::new();
+        r.counter("a.b").inc();
+        r.histogram("lat_ns").record(10);
+        r.gauge("g\"quoted").set(-4);
+        let jsonl = render_jsonl(&r.snapshot());
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "line: {line}");
+        }
+        assert!(jsonl.contains("\"type\":\"histogram\""));
+        assert!(jsonl.contains("g\\\"quoted"), "{jsonl}");
+        assert_eq!(jsonl.lines().count(), 4);
+    }
+
+    #[test]
+    fn collector_namespaces_instruments() {
+        let c = Collector::new("open_market_test");
+        c.add("jobs_completed", 7);
+        c.gauge("providers", 4);
+        c.observe("job_span_ms", 120);
+        let snap = c.snapshot();
+        assert_eq!(snap.counter("sim.open_market_test.jobs_completed"), Some(7));
+        assert_eq!(snap.gauge("sim.open_market_test.providers"), Some(4));
+        assert!(snap.histogram("sim.open_market_test.job_span_ms").is_some());
+        // Filtered view excludes other namespaces.
+        assert!(snap.counters.iter().all(|(n, _)| n.starts_with("sim.open_market_test.")));
+    }
+}

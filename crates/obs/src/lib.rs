@@ -1,0 +1,44 @@
+//! # gridbank-obs
+//!
+//! The observability substrate for the GridBank reproduction: span
+//! tracing with a wire-portable [`TraceContext`], a lock-free metrics
+//! [`Registry`], and exporters. GridBank's value proposition is
+//! *accountable* resource trade — §3.4–§3.5's signed usage records and
+//! transaction logs say what happened; this crate says where time went
+//! while it happened, and ties the two together by stamping the active
+//! trace id into the bank's transfer records.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Disabled means free.** Every instrumentation entry point
+//!    ([`span`], [`Stopwatch::start`], …) first reads one relaxed
+//!    atomic; when telemetry is off nothing allocates, locks, or reads
+//!    the clock. Benches in EXPERIMENTS.md hold the regression to noise.
+//! 2. **No external dependencies.** std + the workspace's own
+//!    parking_lot surface only — no `tracing`, no `log`.
+//! 3. **Recording is lock-free.** Counters, gauges and log₂-bucket
+//!    histograms are plain atomics; locks appear only at registration,
+//!    snapshot, and span-flush boundaries.
+//!
+//! Telemetry is off by default; enable it with
+//! [`set_telemetry`]`(true)` or `GRIDBANK_TELEMETRY=1`.
+
+pub mod export;
+pub mod metrics;
+pub mod stats;
+pub mod trace;
+
+pub use export::{render_jsonl, render_text, Collector};
+pub use metrics::{
+    count, gauge_add, gauge_set, observe, registry, Counter, Gauge, Histogram, HistogramSnapshot,
+    Registry, Snapshot, Stopwatch,
+};
+pub use trace::{
+    buffered_spans, clear_sink, current_context, current_trace_id, dropped_spans, fresh_trace_id,
+    render_trace, root_span, set_sink, set_telemetry, span, span_under, take_spans,
+    telemetry_enabled, trace_ids, NullSink, Sink, SpanGuard, SpanRecord, TraceContext,
+};
+
+/// Serializes tests that flip process-global telemetry state.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());

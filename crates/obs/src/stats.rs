@@ -1,0 +1,116 @@
+//! Small statistics helpers shared by experiment reports and metric
+//! snapshots (moved here from `gridbank-sim` so histogram percentiles
+//! and simulation reports use one implementation).
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Percentile by nearest-rank (p in 0..=100).
+pub fn percentile(values: &[f64], p: u8) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((p.min(100) as usize * sorted.len()).div_ceil(100)).max(1);
+    sorted[rank - 1]
+}
+
+/// A fixed-width histogram over `[lo, hi)`.
+#[derive(Clone, Debug)]
+pub struct FixedHistogram {
+    lo: f64,
+    width: f64,
+    /// Per-bucket counts; the last bucket absorbs values ≥ hi.
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+}
+
+impl FixedHistogram {
+    /// Creates a histogram with `n` buckets over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(hi > lo && n > 0, "invalid histogram bounds");
+        FixedHistogram { lo, width: (hi - lo) / n as f64, buckets: vec![0; n], count: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        let idx = if v <= self.lo {
+            0
+        } else {
+            (((v - self.lo) / self.width) as usize).min(self.buckets.len() - 1)
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Renders a compact one-line sparkline of bucket loads.
+    pub fn sparkline(&self) -> String {
+        sparkline(&self.buckets)
+    }
+}
+
+/// Renders bucket loads as a one-line sparkline.
+pub fn sparkline(buckets: &[u64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = buckets.iter().copied().max().unwrap_or(0).max(1);
+    buckets.iter().map(|&b| GLYPHS[(b as usize * (GLYPHS.len() - 1)) / max as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0, 6.0]), 4.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        let sd = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((sd - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles() {
+        let vals: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&vals, 50), 50.0);
+        assert_eq!(percentile(&vals, 99), 99.0);
+        assert_eq!(percentile(&vals, 100), 100.0);
+        assert_eq!(percentile(&vals, 0), 1.0);
+        assert_eq!(percentile(&[], 50), 0.0);
+        // Unsorted input is handled.
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 50), 2.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = FixedHistogram::new(0.0, 10.0, 5);
+        for v in [0.0, 1.9, 2.0, 9.9, 10.0, 55.0, -3.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 7);
+        assert_eq!(h.buckets, vec![3, 1, 0, 0, 3]);
+        assert_eq!(h.sparkline().chars().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram")]
+    fn histogram_rejects_bad_bounds() {
+        let _ = FixedHistogram::new(5.0, 5.0, 3);
+    }
+}

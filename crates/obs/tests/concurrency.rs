@@ -1,0 +1,67 @@
+//! The metrics registry under real contention: many crossbeam scoped
+//! threads hammering the same named instruments must lose no updates and
+//! agree on one interned instrument per name.
+
+use gridbank_obs::{registry, Registry};
+
+const THREADS: usize = 8;
+const OPS: u64 = 10_000;
+
+#[test]
+fn concurrent_updates_are_exact_on_a_local_registry() {
+    let r = Registry::new();
+    let r = &r;
+    let res = crossbeam::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move |_| {
+                let c = r.counter("hammer.counter");
+                let g = r.gauge("hammer.gauge");
+                let h = r.histogram("hammer.hist");
+                for i in 0..OPS {
+                    c.inc();
+                    g.add(1);
+                    g.sub(1);
+                    // Distinct values per thread exercise many buckets.
+                    h.record((t as u64 + 1) * (i + 1));
+                }
+            });
+        }
+    });
+    assert!(res.is_ok());
+
+    let snap = r.snapshot();
+    assert_eq!(snap.counter("hammer.counter"), Some(THREADS as u64 * OPS));
+    assert_eq!(snap.gauge("hammer.gauge"), Some(0));
+    let h = snap.histogram("hammer.hist").expect("histogram registered");
+    assert_eq!(h.count, THREADS as u64 * OPS);
+    // Sum is exact: sum over t in 1..=8 of t * (1+2+...+OPS).
+    let tri = OPS * (OPS + 1) / 2;
+    let expected: u64 = (1..=THREADS as u64).map(|t| t * tri).sum();
+    assert_eq!(h.sum, expected);
+    // Percentiles are ordered and inside the log₂ bucket holding the
+    // maximum recorded value (8 * 10_000 lands in [2^16, 2^17)).
+    assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
+    assert!(h.p99() < (1u64 << 17));
+}
+
+#[test]
+fn concurrent_interning_yields_one_instrument_per_name() {
+    // Every thread races to intern the same names on the global registry;
+    // all updates must land on the same underlying atomics.
+    let res = crossbeam::thread::scope(|s| {
+        for _ in 0..THREADS {
+            s.spawn(|_| {
+                for _ in 0..OPS {
+                    registry().counter("intern.race.counter").inc();
+                    registry().histogram("intern.race.hist").record(7);
+                }
+            });
+        }
+    });
+    assert!(res.is_ok());
+    let snap = registry().snapshot();
+    assert_eq!(snap.counter("intern.race.counter"), Some(THREADS as u64 * OPS));
+    let h = snap.histogram("intern.race.hist").expect("histogram registered");
+    assert_eq!(h.count, THREADS as u64 * OPS);
+    assert_eq!(h.sum, 7 * THREADS as u64 * OPS);
+}

@@ -21,9 +21,7 @@ use crate::units::{DataSize, Duration, MbHours};
 /// * the combined `host` is the provider host of the first record, and
 ///   `local_job_id` likewise (individual ids remain in the source records,
 ///   which the bank keeps as evidence).
-pub fn aggregate_records(
-    records: &[ResourceUsageRecord],
-) -> Result<ResourceUsageRecord, RurError> {
+pub fn aggregate_records(records: &[ResourceUsageRecord]) -> Result<ResourceUsageRecord, RurError> {
     let first = records
         .first()
         .ok_or_else(|| RurError::AggregationMismatch("no records to aggregate".into()))?;
@@ -79,13 +77,9 @@ fn add_usage(
     b: UsageAmount,
 ) -> Result<UsageAmount, RurError> {
     match (a, b) {
-        (UsageAmount::Time(x), UsageAmount::Time(y)) => {
-            Ok(UsageAmount::Time(Duration::from_ms(
-                x.as_ms()
-                    .checked_add(y.as_ms())
-                    .ok_or(RurError::Overflow("usage time addition"))?,
-            )))
-        }
+        (UsageAmount::Time(x), UsageAmount::Time(y)) => Ok(UsageAmount::Time(Duration::from_ms(
+            x.as_ms().checked_add(y.as_ms()).ok_or(RurError::Overflow("usage time addition"))?,
+        ))),
         (UsageAmount::Occupancy(x), UsageAmount::Occupancy(y)) => {
             Ok(UsageAmount::Occupancy(MbHours::from_mb_ms(
                 x.as_mb_ms()
@@ -93,16 +87,14 @@ fn add_usage(
                     .ok_or(RurError::Overflow("usage occupancy addition"))?,
             )))
         }
-        (UsageAmount::Data(x), UsageAmount::Data(y)) => Ok(UsageAmount::Data(
-            DataSize::from_bytes(
+        (UsageAmount::Data(x), UsageAmount::Data(y)) => {
+            Ok(UsageAmount::Data(DataSize::from_bytes(
                 x.as_bytes()
                     .checked_add(y.as_bytes())
                     .ok_or(RurError::Overflow("usage data addition"))?,
-            ),
-        )),
-        _ => Err(RurError::AggregationMismatch(format!(
-            "usage kinds for {item:?} do not match"
-        ))),
+            )))
+        }
+        _ => Err(RurError::AggregationMismatch(format!("usage kinds for {item:?} do not match"))),
     }
 }
 
@@ -145,10 +137,7 @@ mod tests {
         assert_eq!(combined.job.start_ms, 1_000);
         assert_eq!(combined.job.end_ms, 14_000);
         // Cost equals sum of individual costs (same prices).
-        let individual: i128 = records
-            .iter()
-            .map(|r| r.total_cost().unwrap().micro())
-            .sum();
+        let individual: i128 = records.iter().map(|r| r.total_cost().unwrap().micro()).sum();
         assert_eq!(combined.total_cost().unwrap().micro(), individual);
     }
 
@@ -160,10 +149,7 @@ mod tests {
 
     #[test]
     fn empty_input_rejected() {
-        assert!(matches!(
-            aggregate_records(&[]),
-            Err(RurError::AggregationMismatch(_))
-        ));
+        assert!(matches!(aggregate_records(&[]), Err(RurError::AggregationMismatch(_))));
     }
 
     #[test]
@@ -171,10 +157,7 @@ mod tests {
         let a = record_for_resource(1, 100);
         let mut b = record_for_resource(2, 100);
         b.user.certificate_name = "/CN=bob".into();
-        assert!(matches!(
-            aggregate_records(&[a, b]),
-            Err(RurError::AggregationMismatch(_))
-        ));
+        assert!(matches!(aggregate_records(&[a, b]), Err(RurError::AggregationMismatch(_))));
     }
 
     #[test]
@@ -194,10 +177,7 @@ mod tests {
         let a = record_for_resource(1, 100);
         let mut b = record_for_resource(2, 100);
         b.lines[0].price_per_unit = Credits::from_gd(9);
-        assert!(matches!(
-            aggregate_records(&[a, b]),
-            Err(RurError::AggregationMismatch(_))
-        ));
+        assert!(matches!(aggregate_records(&[a, b]), Err(RurError::AggregationMismatch(_))));
     }
 
     #[test]

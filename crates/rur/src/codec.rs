@@ -124,10 +124,7 @@ impl<'a> ByteReader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], RurError> {
         if self.remaining() < n {
-            return Err(RurError::Decode(format!(
-                "need {n} bytes, {} remain",
-                self.remaining()
-            )));
+            return Err(RurError::Decode(format!("need {n} bytes, {} remain", self.remaining())));
         }
         let out = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -225,10 +222,7 @@ impl Decode for Credits {
 
 impl Encode for ChargeableItem {
     fn encode(&self, w: &mut ByteWriter) {
-        let tag = ChargeableItem::ALL
-            .iter()
-            .position(|i| i == self)
-            .expect("item in ALL") as u8;
+        let tag = ChargeableItem::ALL.iter().position(|i| i == self).expect("item in ALL") as u8;
         w.put_u8(tag);
     }
 }
@@ -389,10 +383,7 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut bytes = sample_record().to_bytes();
         bytes.push(0);
-        assert!(matches!(
-            ResourceUsageRecord::from_bytes(&bytes),
-            Err(RurError::Decode(_))
-        ));
+        assert!(matches!(ResourceUsageRecord::from_bytes(&bytes), Err(RurError::Decode(_))));
     }
 
     #[test]
@@ -408,10 +399,7 @@ mod tests {
     fn version_is_checked() {
         let mut bytes = sample_record().to_bytes();
         bytes[0] = 99;
-        assert!(matches!(
-            ResourceUsageRecord::from_bytes(&bytes),
-            Err(RurError::Decode(_))
-        ));
+        assert!(matches!(ResourceUsageRecord::from_bytes(&bytes), Err(RurError::Decode(_))));
     }
 
     #[test]

@@ -20,9 +20,7 @@ use crate::error::RurError;
 pub const MICRO_PER_GD: i128 = 1_000_000;
 
 /// An exact amount of Grid currency, in micro-G$.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Credits(i128);
 
 impl Credits {
@@ -78,26 +76,17 @@ impl Credits {
 
     /// Checked addition.
     pub fn checked_add(self, rhs: Credits) -> Result<Credits, RurError> {
-        self.0
-            .checked_add(rhs.0)
-            .map(Credits)
-            .ok_or(RurError::Overflow("credits addition"))
+        self.0.checked_add(rhs.0).map(Credits).ok_or(RurError::Overflow("credits addition"))
     }
 
     /// Checked subtraction.
     pub fn checked_sub(self, rhs: Credits) -> Result<Credits, RurError> {
-        self.0
-            .checked_sub(rhs.0)
-            .map(Credits)
-            .ok_or(RurError::Overflow("credits subtraction"))
+        self.0.checked_sub(rhs.0).map(Credits).ok_or(RurError::Overflow("credits subtraction"))
     }
 
     /// Checked integer scaling.
     pub fn checked_mul(self, factor: i128) -> Result<Credits, RurError> {
-        self.0
-            .checked_mul(factor)
-            .map(Credits)
-            .ok_or(RurError::Overflow("credits multiplication"))
+        self.0.checked_mul(factor).map(Credits).ok_or(RurError::Overflow("credits multiplication"))
     }
 
     /// Saturating addition (metrics accumulation only).
@@ -119,10 +108,8 @@ impl Credits {
         let den = denominator as i128;
         // Half-up rounding that works for negative amounts too.
         let half = if wide >= 0 { den / 2 } else { -(den / 2) };
-        let rounded = wide
-            .checked_add(half)
-            .ok_or(RurError::Overflow("credits ratio round"))?
-            / den;
+        let rounded =
+            wide.checked_add(half).ok_or(RurError::Overflow("credits ratio round"))? / den;
         Ok(Credits(rounded))
     }
 
@@ -133,12 +120,20 @@ impl Credits {
 
     /// The smaller of two amounts.
     pub fn min(self, other: Credits) -> Credits {
-        if self.0 <= other.0 { self } else { other }
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
     }
 
     /// The larger of two amounts.
     pub fn max(self, other: Credits) -> Credits {
-        if self.0 >= other.0 { self } else { other }
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
     }
 }
 
@@ -217,20 +212,11 @@ mod tests {
         let cost = rate.mul_ratio(1_800_000, 3_600_000).unwrap();
         assert_eq!(cost, Credits::from_micro(500_000));
         // 1 µG$ * 1/2 rounds up to 1.
-        assert_eq!(
-            Credits::from_micro(1).mul_ratio(1, 2).unwrap(),
-            Credits::from_micro(1)
-        );
+        assert_eq!(Credits::from_micro(1).mul_ratio(1, 2).unwrap(), Credits::from_micro(1));
         // 1 µG$ * 1/3 rounds down to 0.
-        assert_eq!(
-            Credits::from_micro(1).mul_ratio(1, 3).unwrap(),
-            Credits::ZERO
-        );
+        assert_eq!(Credits::from_micro(1).mul_ratio(1, 3).unwrap(), Credits::ZERO);
         // Negative amounts round symmetrically.
-        assert_eq!(
-            Credits::from_micro(-1).mul_ratio(1, 2).unwrap(),
-            Credits::from_micro(-1)
-        );
+        assert_eq!(Credits::from_micro(-1).mul_ratio(1, 2).unwrap(), Credits::from_micro(-1));
         assert!(rate.mul_ratio(1, 0).is_err());
     }
 

@@ -259,7 +259,7 @@ mod tests {
         LinuxRusage {
             pid: 4242,
             start_ms: 0,
-            end_ms: MS_PER_HOUR, // 1 hour
+            end_ms: MS_PER_HOUR,           // 1 hour
             utime_us: 30 * 60 * 1_000_000, // 30 CPU-minutes
             stime_us: 5 * 60 * 1_000_000,  // 5 system-minutes
             maxrss_kb: 1024 * 1024,        // 1 GiB RSS
@@ -342,7 +342,10 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.wall, Duration::from_hours(2));
         assert_eq!(a.network.as_bytes(), 128 * 4096);
-        assert_eq!(a.storage, MbHours::occupancy(DataSize::from_bytes(256 * 4096), Duration::from_hours(2)));
+        assert_eq!(
+            a.storage,
+            MbHours::occupancy(DataSize::from_bytes(256 * 4096), Duration::from_hours(2))
+        );
     }
 
     #[test]

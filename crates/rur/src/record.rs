@@ -16,9 +16,7 @@ use crate::units::{DataSize, Duration, MbHours, BYTES_PER_MB, MS_PER_HOUR};
 /// The chargeable items of §2.1 plus wall-clock time from the RUR field
 /// list. "Software Libraries" are priced by system CPU time, as the paper
 /// specifies.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub enum ChargeableItem {
     /// Wall-clock duration of the job on the resource.
     WallClock,
@@ -65,9 +63,7 @@ impl ChargeableItem {
     /// The pricing unit, for display: "per CPU hour", "per MB·hour", ...
     pub fn unit(&self) -> &'static str {
         match self {
-            ChargeableItem::WallClock | ChargeableItem::Cpu | ChargeableItem::Software => {
-                "G$/hour"
-            }
+            ChargeableItem::WallClock | ChargeableItem::Cpu | ChargeableItem::Software => "G$/hour",
             ChargeableItem::Memory | ChargeableItem::Storage => "G$/MB·hour",
             ChargeableItem::Network => "G$/MB",
         }
@@ -132,10 +128,9 @@ impl UsageLine {
                 ChargeableItem::WallClock | ChargeableItem::Cpu | ChargeableItem::Software,
                 UsageAmount::Time(d),
             ) => self.price_per_unit.mul_ratio(d.as_ms(), MS_PER_HOUR),
-            (
-                ChargeableItem::Memory | ChargeableItem::Storage,
-                UsageAmount::Occupancy(o),
-            ) => self.price_per_unit.mul_ratio(o.as_mb_ms(), MS_PER_HOUR),
+            (ChargeableItem::Memory | ChargeableItem::Storage, UsageAmount::Occupancy(o)) => {
+                self.price_per_unit.mul_ratio(o.as_mb_ms(), MS_PER_HOUR)
+            }
             (ChargeableItem::Network, UsageAmount::Data(s)) => {
                 self.price_per_unit.mul_ratio(s.as_bytes(), BYTES_PER_MB)
             }
@@ -255,10 +250,8 @@ impl ResourceUsageRecord {
         }
         let mut seen = [false; ChargeableItem::ALL.len()];
         for line in &self.lines {
-            let idx = ChargeableItem::ALL
-                .iter()
-                .position(|i| *i == line.item)
-                .expect("item in ALL");
+            let idx =
+                ChargeableItem::ALL.iter().position(|i| *i == line.item).expect("item in ALL");
             if seen[idx] {
                 return Err(RurError::Invalid {
                     field: "lines",
@@ -290,7 +283,8 @@ pub struct RurBuilder {
 impl RurBuilder {
     /// Sets the consumer details.
     pub fn user(mut self, host: impl Into<String>, certificate_name: impl Into<String>) -> Self {
-        self.user = Some(UserDetails { host: host.into(), certificate_name: certificate_name.into() });
+        self.user =
+            Some(UserDetails { host: host.into(), certificate_name: certificate_name.into() });
         self
     }
 
@@ -329,7 +323,12 @@ impl RurBuilder {
     }
 
     /// Adds a usage line.
-    pub fn line(mut self, item: ChargeableItem, usage: UsageAmount, price_per_unit: Credits) -> Self {
+    pub fn line(
+        mut self,
+        item: ChargeableItem,
+        usage: UsageAmount,
+        price_per_unit: Credits,
+    ) -> Self {
         self.lines.push(UsageLine { item, usage, price_per_unit });
         self
     }
@@ -358,11 +357,7 @@ pub(crate) fn sample_record() -> ResourceUsageRecord {
             Some("Linux/x86".into()),
             7_777,
         )
-        .line(
-            ChargeableItem::Cpu,
-            UsageAmount::Time(Duration::from_hours(1)),
-            Credits::from_gd(2),
-        )
+        .line(ChargeableItem::Cpu, UsageAmount::Time(Duration::from_hours(1)), Credits::from_gd(2))
         .line(
             ChargeableItem::Memory,
             UsageAmount::Occupancy(MbHours::occupancy(
@@ -447,10 +442,7 @@ mod tests {
 
     #[test]
     fn builder_requires_all_sections() {
-        assert!(matches!(
-            RurBuilder::default().build(),
-            Err(RurError::MissingField("user"))
-        ));
+        assert!(matches!(RurBuilder::default().build(), Err(RurError::MissingField("user"))));
         assert!(matches!(
             RurBuilder::default().user("h", "cn").build(),
             Err(RurError::MissingField("job"))

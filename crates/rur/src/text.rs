@@ -45,7 +45,10 @@ fn unescape(s: &str) -> Result<String, RurError> {
             out.push('>');
             rest = stripped;
         } else {
-            return Err(RurError::Parse(format!("bad entity near `{}`", &rest[..rest.len().min(8)])));
+            return Err(RurError::Parse(format!(
+                "bad entity near `{}`",
+                &rest[..rest.len().min(8)]
+            )));
         }
     }
     out.push_str(rest);
@@ -155,10 +158,8 @@ impl<'a> Parser<'a> {
     /// Parses `<name>text</name>` and returns the unescaped text.
     fn leaf(&mut self, name: &str) -> Result<String, RurError> {
         self.expect_open(name)?;
-        let end = self
-            .rest
-            .find('<')
-            .ok_or_else(|| RurError::Parse(format!("unterminated <{name}>")))?;
+        let end =
+            self.rest.find('<').ok_or_else(|| RurError::Parse(format!("unterminated <{name}>")))?;
         let raw = &self.rest[..end];
         self.rest = &self.rest[end..];
         let value = unescape(raw)?;
@@ -184,15 +185,11 @@ impl<'a> Parser<'a> {
     }
 
     fn leaf_u64(&mut self, name: &str) -> Result<u64, RurError> {
-        self.leaf(name)?
-            .parse()
-            .map_err(|e| RurError::Parse(format!("<{name}>: {e}")))
+        self.leaf(name)?.parse().map_err(|e| RurError::Parse(format!("<{name}>: {e}")))
     }
 
     fn leaf_i128(&mut self, name: &str) -> Result<i128, RurError> {
-        self.leaf(name)?
-            .parse()
-            .map_err(|e| RurError::Parse(format!("<{name}>: {e}")))
+        self.leaf(name)?.parse().map_err(|e| RurError::Parse(format!("<{name}>: {e}")))
     }
 }
 
@@ -304,8 +301,7 @@ mod tests {
     fn parsed_records_are_validated() {
         let text = to_text(&sample_record());
         // Make end precede start: structurally fine, semantically invalid.
-        let broken = text
-            .replace("<start_ms>1000</start_ms>", "<start_ms>9999999</start_ms>");
+        let broken = text.replace("<start_ms>1000</start_ms>", "<start_ms>9999999</start_ms>");
         assert!(matches!(from_text(&broken), Err(RurError::Invalid { .. })));
     }
 

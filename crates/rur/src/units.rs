@@ -189,10 +189,7 @@ mod tests {
 
     #[test]
     fn duration_saturating_ops() {
-        assert_eq!(
-            Duration(u64::MAX).saturating_add(Duration(1)),
-            Duration(u64::MAX)
-        );
+        assert_eq!(Duration(u64::MAX).saturating_add(Duration(1)), Duration(u64::MAX));
         assert_eq!(Duration(5).saturating_sub(Duration(9)), Duration::ZERO);
     }
 
@@ -217,10 +214,7 @@ mod tests {
 
     #[test]
     fn occupancy_saturates() {
-        let huge = MbHours::occupancy(
-            DataSize::from_bytes(u64::MAX),
-            Duration::from_ms(u64::MAX),
-        );
+        let huge = MbHours::occupancy(DataSize::from_bytes(u64::MAX), Duration::from_ms(u64::MAX));
         assert_eq!(huge.as_mb_ms(), u64::MAX);
     }
 }

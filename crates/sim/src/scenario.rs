@@ -59,10 +59,7 @@ impl GridScenario {
         let mut gbpm =
             PaymentModule::new(InProcessBank::new(self.bank.clone(), subject.clone()), budget);
         let account = gbpm.ensure_account(Some("Grid".into())).expect("fresh consumer");
-        self.bank.handle(
-            &self.admin,
-            BankRequest::AdminDeposit { account, amount: deposit },
-        );
+        self.bank.handle(&self.admin, BankRequest::AdminDeposit { account, amount: deposit });
         GridResourceBroker::new(subject.0, gbpm)
     }
 }
@@ -108,8 +105,7 @@ pub fn run_open_market(config: &ScenarioConfig) -> MarketReport {
     let events = config.workload.generate();
     let consumers = config.workload.consumers.max(1);
 
-    let before = grid.bank.accounts.db().total_funds()
-        .saturating_add(Credits::ZERO);
+    let before = grid.bank.accounts.db().total_funds().saturating_add(Credits::ZERO);
 
     // Group tasks per consumer into one batch each (Nimrod-G submits
     // parameter sweeps as units).
@@ -145,8 +141,7 @@ pub fn run_open_market(config: &ScenarioConfig) -> MarketReport {
                 budget: config.budget,
             },
         };
-        match broker.run_batch(config.algorithm, &batch, &mut grid.providers, grid.clock.now_ms())
-        {
+        match broker.run_batch(config.algorithm, &batch, &mut grid.providers, grid.clock.now_ms()) {
             Ok(r) => {
                 report.completed += r.completed;
                 report.failed += r.failed;
@@ -163,11 +158,25 @@ pub fn run_open_market(config: &ScenarioConfig) -> MarketReport {
             p.gbcm.port.my_account().map(|r| r.available).unwrap_or(Credits::ZERO);
     }
     let after = grid.bank.accounts.db().total_funds();
-    report.conservation_drift = after
-        .checked_sub(before)
-        .and_then(|d| d.checked_sub(minted))
-        .unwrap_or(Credits::MAX);
+    report.conservation_drift =
+        after.checked_sub(before).and_then(|d| d.checked_sub(minted)).unwrap_or(Credits::MAX);
+    feed_collector("open_market", &report, grid.providers.len());
     report
+}
+
+/// Feeds a market run's outcome into the global telemetry registry under
+/// `sim.<scope>.` (no-op while telemetry is off), so `gridbank metrics`
+/// and exporters see scenario results next to the bank's own telemetry.
+fn feed_collector(scope: &str, report: &MarketReport, providers: usize) {
+    if !gridbank_obs::telemetry_enabled() {
+        return;
+    }
+    let c = gridbank_obs::Collector::new(scope);
+    c.add("jobs_completed", report.completed as u64);
+    c.add("jobs_failed", report.failed as u64);
+    c.add("paid_micro", report.total_paid.micro().clamp(0, u64::MAX as i128) as u64);
+    c.gauge("providers", providers as i64);
+    c.observe("makespan_ms", report.makespan_ms);
 }
 
 /// One participant row in the co-operative report (Figure 4's account
@@ -230,10 +239,7 @@ pub fn run_cooperative(n: usize, rounds: usize, work_per_job: u64, seed: u64) ->
     for (i, p) in grid.providers.iter().enumerate() {
         let subject = SubjectName(p.cert.clone());
         let account = grid.bank.accounts.account_by_cert(&subject.0).expect("exists").id;
-        grid.bank.handle(
-            &grid.admin,
-            BankRequest::AdminDeposit { account, amount: initial },
-        );
+        grid.bank.handle(&grid.admin, BankRequest::AdminDeposit { account, amount: initial });
         let gbpm = PaymentModule::new(
             InProcessBank::new(grid.bank.clone(), subject.clone()),
             Credits::from_gd(10_000),
@@ -259,10 +265,7 @@ pub fn run_cooperative(n: usize, rounds: usize, work_per_job: u64, seed: u64) ->
                     sys_pct: 0,
                 },
                 1,
-                QosConstraints {
-                    deadline_ms: u64::MAX / 2,
-                    budget: Credits::from_gd(1_000),
-                },
+                QosConstraints { deadline_ms: u64::MAX / 2, budget: Credits::from_gd(1_000) },
             );
             let provider_slice = std::slice::from_mut(&mut grid.providers[target]);
             brokers[i]
@@ -312,9 +315,7 @@ pub struct DesMarketReport {
 impl DesMarketReport {
     /// Mean response time in ms.
     pub fn mean_response_ms(&self) -> f64 {
-        crate::metrics::mean(
-            &self.response_times_ms.iter().map(|&v| v as f64).collect::<Vec<_>>(),
-        )
+        crate::metrics::mean(&self.response_times_ms.iter().map(|&v| v as f64).collect::<Vec<_>>())
     }
 }
 
@@ -379,6 +380,15 @@ pub fn run_open_market_des(config: &ScenarioConfig) -> DesMarketReport {
         });
     }
     let events = sim.run(&mut world);
+    if gridbank_obs::telemetry_enabled() {
+        let c = gridbank_obs::Collector::new("open_market_des");
+        c.add("jobs_completed", world.completed as u64);
+        c.add("jobs_failed", world.failed as u64);
+        c.add("events", events);
+        for &rt in &world.response_times_ms {
+            c.observe("response_time_ms", rt);
+        }
+    }
     DesMarketReport {
         completed: world.completed,
         failed: world.failed,
@@ -432,11 +442,7 @@ pub fn run_competitive(config: &ScenarioConfig) -> CompetitiveReport {
     };
     let _ = broker.run_batch(config.algorithm, &batch, &mut grid.providers, 0);
 
-    let estimate = grid
-        .bank
-        .estimator
-        .estimate(&descs[0], 0)
-        .unwrap_or(Credits::ZERO);
+    let estimate = grid.bank.estimator.estimate(&descs[0], 0).unwrap_or(Credits::ZERO);
     CompetitiveReport {
         realized_mean: estimate, // similarity-weighted mean IS the estimate
         estimate,
@@ -516,8 +522,7 @@ mod tests {
         }
         assert!(report.total_exchanged.is_positive());
         // Heterogeneity is real: speeds differ across the ring.
-        let speeds: std::collections::HashSet<u32> =
-            report.rows.iter().map(|r| r.speed).collect();
+        let speeds: std::collections::HashSet<u32> = report.rows.iter().map(|r| r.speed).collect();
         assert!(speeds.len() > 1);
     }
 

@@ -75,10 +75,7 @@ const OS_CYCLE: [OsFlavour; 3] = [OsFlavour::Linux, OsFlavour::Solaris, OsFlavou
 pub fn build_grid(config: &TopologyConfig) -> GridScenario {
     let clock = Clock::new();
     let bank = Arc::new(GridBank::new(
-        GridBankConfig {
-            signer_height: config.signer_height,
-            ..GridBankConfig::default()
-        },
+        GridBankConfig { signer_height: config.signer_height, ..GridBankConfig::default() },
         clock.clone(),
     ));
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -190,11 +187,7 @@ mod tests {
 
     #[test]
     fn os_flavours_cycle() {
-        let config = TopologyConfig {
-            providers: 3,
-            signer_height: 5,
-            ..TopologyConfig::default()
-        };
+        let config = TopologyConfig { providers: 3, signer_height: 5, ..TopologyConfig::default() };
         let grid = build_grid(&config);
         let types: Vec<String> =
             grid.providers.iter().map(|p| p.advertisement().host_type).collect();

@@ -50,14 +50,12 @@ impl EnglishAuction {
         }
         let floor = match &self.standing {
             None => self.reserve,
-            Some((_, p)) => p
-                .checked_add(self.increment)
-                .map_err(|e| TradeError::Numeric(e.to_string()))?,
+            Some((_, p)) => {
+                p.checked_add(self.increment).map_err(|e| TradeError::Numeric(e.to_string()))?
+            }
         };
         if amount < floor {
-            return Err(TradeError::Rejected(format!(
-                "bid {amount} below required {floor}"
-            )));
+            return Err(TradeError::Rejected(format!("bid {amount} below required {floor}")));
         }
         self.standing = Some((bidder.to_string(), amount));
         Ok(())
@@ -197,10 +195,7 @@ pub fn clear_double_auction(buys: &[Order], sells: &[Order]) -> Vec<Trade> {
         }
         let qty = buy.quantity.min(sell.quantity);
         // Midpoint price of the crossing pair.
-        let sum = buy
-            .limit
-            .checked_add(sell.limit)
-            .unwrap_or(Credits::MAX);
+        let sum = buy.limit.checked_add(sell.limit).unwrap_or(Credits::MAX);
         let price = sum.mul_ratio(1, 2).unwrap_or(buy.limit);
         trades.push(Trade {
             buyer: buy.trader.clone(),
@@ -267,9 +262,7 @@ mod tests {
     }
 
     fn bids(spec: &[(&str, i64)]) -> Vec<SealedBid> {
-        spec.iter()
-            .map(|(n, v)| SealedBid { bidder: n.to_string(), amount: gd(*v) })
-            .collect()
+        spec.iter().map(|(n, v)| SealedBid { bidder: n.to_string(), amount: gd(*v) }).collect()
     }
 
     #[test]
@@ -321,8 +314,14 @@ mod tests {
         // b1(10) × s1(4): 4 units at 7. Then b1 has 1 left × s2(8): 1 at 9.
         // b2(6) < s2(8): stop.
         assert_eq!(trades.len(), 2);
-        assert_eq!(trades[0], Trade { buyer: "b1".into(), seller: "s1".into(), quantity: 4, price: gd(7) });
-        assert_eq!(trades[1], Trade { buyer: "b1".into(), seller: "s2".into(), quantity: 1, price: gd(9) });
+        assert_eq!(
+            trades[0],
+            Trade { buyer: "b1".into(), seller: "s1".into(), quantity: 4, price: gd(7) }
+        );
+        assert_eq!(
+            trades[1],
+            Trade { buyer: "b1".into(), seller: "s2".into(), quantity: 1, price: gd(9) }
+        );
     }
 
     #[test]

@@ -180,10 +180,7 @@ mod tests {
         d.register(ad("alpha", 1000, 16, 32_768, 3));
         d.register(ad("alpha", 1000, 16, 32_768, 7));
         assert_eq!(d.all().len(), 1);
-        assert_eq!(
-            d.all()[0].rates.price(ChargeableItem::Cpu),
-            Some(Credits::from_gd(7))
-        );
+        assert_eq!(d.all()[0].rates.price(ChargeableItem::Cpu), Some(Credits::from_gd(7)));
     }
 
     #[test]

@@ -29,7 +29,11 @@ pub struct PostedPrice {
 impl PostedPrice {
     /// The consumer accepts iff the quote is fresh and the headline
     /// per-hour price fits its limit.
-    pub fn accept(&self, max_price_per_hour: Credits, now: u64) -> Result<ServiceRates, TradeError> {
+    pub fn accept(
+        &self,
+        max_price_per_hour: Credits,
+        now: u64,
+    ) -> Result<ServiceRates, TradeError> {
         self.quote.check_valid(now)?;
         let headline = self.quote.rates.total_time_price_per_hour();
         if headline > max_price_per_hour {
@@ -136,7 +140,7 @@ impl BargainingSession {
                 }
                 // Otherwise concede: move bid toward the limit.
                 let gap = self.buyer_limit.checked_sub(self.bid).map_err(num)?;
-                let step = gap.mul_ratio(self.concession_pct as u64, 100).map_err(num)?;
+                let step = concession_step(gap, self.concession_pct)?;
                 self.bid = self.bid.checked_add(step).map_err(num)?;
                 self.turn = Turn::Provider;
                 Ok(BargainOutcome::Continue(Turn::Provider))
@@ -148,7 +152,7 @@ impl BargainingSession {
                     return Ok(BargainOutcome::Agreed(self.bid));
                 }
                 let gap = self.ask.checked_sub(self.seller_reserve).map_err(num)?;
-                let step = gap.mul_ratio(self.concession_pct as u64, 100).map_err(num)?;
+                let step = concession_step(gap, self.concession_pct)?;
                 self.ask = self.ask.checked_sub(step).map_err(num)?;
                 self.rounds_left -= 1;
                 self.turn = Turn::Consumer;
@@ -170,6 +174,19 @@ impl BargainingSession {
 
 fn num(e: gridbank_rur::RurError) -> TradeError {
     TradeError::Numeric(e.to_string())
+}
+
+/// `concession_pct`% of `gap`, but never less than 1 µG$ while a gap
+/// remains: integer truncation would otherwise stall both parties just
+/// short of their reservations (e.g. a degenerate zone where the
+/// seller's reserve equals the buyer's limit) and exhaust the rounds
+/// even though an agreement exists.
+fn concession_step(gap: Credits, concession_pct: u32) -> Result<Credits, TradeError> {
+    let step = gap.mul_ratio(concession_pct as u64, 100).map_err(num)?;
+    if step == Credits::ZERO && gap > Credits::ZERO {
+        return Ok(Credits::from_micro(1));
+    }
+    Ok(step)
 }
 
 /// One bid in a tender round.
@@ -239,14 +256,8 @@ mod tests {
         let p = PostedPrice { quote: quote(2, 100) };
         let rates = p.accept(Credits::from_gd(3), 50).unwrap();
         assert_eq!(rates.price(ChargeableItem::Cpu), Some(Credits::from_gd(2)));
-        assert!(matches!(
-            p.accept(Credits::from_gd(1), 50),
-            Err(TradeError::Rejected(_))
-        ));
-        assert!(matches!(
-            p.accept(Credits::from_gd(3), 100),
-            Err(TradeError::QuoteExpired { .. })
-        ));
+        assert!(matches!(p.accept(Credits::from_gd(1), 50), Err(TradeError::Rejected(_))));
+        assert!(matches!(p.accept(Credits::from_gd(3), 100), Err(TradeError::QuoteExpired { .. })));
     }
 
     #[test]
@@ -307,15 +318,9 @@ mod tests {
         assert!(BargainingSession::open(c, c, c, c, 0, 5).is_err());
         assert!(BargainingSession::open(c, c, c, c, 101, 5).is_err());
         // Reserve above start.
-        assert!(BargainingSession::open(
-            Credits::from_gd(1),
-            Credits::from_gd(2),
-            c,
-            c,
-            10,
-            5
-        )
-        .is_err());
+        assert!(
+            BargainingSession::open(Credits::from_gd(1), Credits::from_gd(2), c, c, 10, 5).is_err()
+        );
     }
 
     mod properties {

@@ -19,8 +19,8 @@ use gridbank_suite::sim::scenario::{run_competitive, run_open_market, ScenarioCo
 use gridbank_suite::sim::topology::TopologyConfig;
 use gridbank_suite::sim::workload::{JobSizeDistribution, WorkloadConfig};
 use gridbank_suite::trade::auction::{
-    clear_double_auction, first_price_sealed, vickrey_sealed, DutchAuction, EnglishAuction,
-    Order, SealedBid,
+    clear_double_auction, first_price_sealed, vickrey_sealed, DutchAuction, EnglishAuction, Order,
+    SealedBid,
 };
 
 fn config() -> ScenarioConfig {
@@ -76,7 +76,8 @@ fn main() {
     let award = english.close().unwrap();
     println!("English auction  : {} wins at {}", award.winner, award.price);
 
-    let mut dutch = DutchAuction::open(Credits::from_gd(10), Credits::from_gd(1), Credits::from_gd(3));
+    let mut dutch =
+        DutchAuction::open(Credits::from_gd(10), Credits::from_gd(1), Credits::from_gd(3));
     dutch.tick().unwrap();
     dutch.tick().unwrap();
     let award = dutch.take("carol").unwrap();
@@ -102,9 +103,6 @@ fn main() {
     ];
     println!("Double auction   :");
     for t in clear_double_auction(&buys, &sells) {
-        println!(
-            "  {} buys {} units from {} at {}",
-            t.buyer, t.quantity, t.seller, t.price
-        );
+        println!("  {} buys {} units from {} at {}", t.buyer, t.quantity, t.seller, t.price);
     }
 }

@@ -37,14 +37,10 @@ fn main() {
     for (i, vo) in vos.iter().enumerate() {
         let branch = make_branch((i + 1) as u16, vo);
         // Two members per VO: a consumer and a provider.
-        let consumer = branch
-            .accounts
-            .create_account(&format!("/O={vo}/CN=consumer"), None)
-            .unwrap();
-        let provider = branch
-            .accounts
-            .create_account(&format!("/O={vo}/CN=provider"), None)
-            .unwrap();
+        let consumer =
+            branch.accounts.create_account(&format!("/O={vo}/CN=consumer"), None).unwrap();
+        let provider =
+            branch.accounts.create_account(&format!("/O={vo}/CN=provider"), None).unwrap();
         branch.admin.deposit(ADMIN, &consumer, Credits::from_gd(100)).unwrap();
         accounts.push((consumer, provider));
         interbank.add_branch(branch);
@@ -61,9 +57,7 @@ fn main() {
         (accounts[2].0, accounts[0].1, 5),     // climate -> physics again
     ];
     for (from, to, gd) in flows {
-        interbank
-            .cross_branch_transfer(from, to, Credits::from_gd(gd), Vec::new())
-            .unwrap();
+        interbank.cross_branch_transfer(from, to, Credits::from_gd(gd), Vec::new()).unwrap();
         println!("[pay ] {from} -> {to}: G${gd} (payee credited immediately)");
     }
 
@@ -84,11 +78,7 @@ fn main() {
     for p in &report.pairs {
         println!(
             "  {}↔{}: gross {} + {} → net {}",
-            p.branch_a,
-            p.branch_b,
-            p.gross_a_to_b,
-            p.gross_b_to_a,
-            p.net
+            p.branch_a, p.branch_b, p.gross_a_to_b, p.gross_b_to_a, p.net
         );
     }
     println!(
@@ -103,10 +93,7 @@ fn main() {
         let branch = interbank.branch((i + 1) as u16).unwrap();
         let c = branch.accounts.account_details(consumer).unwrap();
         let p = branch.accounts.account_details(provider).unwrap();
-        println!(
-            "  {:<16} consumer {}   provider {}",
-            vos[i], c.available, p.available
-        );
+        println!("  {:<16} consumer {}   provider {}", vos[i], c.available, p.available);
     }
     println!("\nfederation conservation check: total funds = {}", interbank.total_funds());
 }

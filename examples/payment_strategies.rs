@@ -79,7 +79,14 @@ fn main() {
 
     println!("=== Part 1: the three payment strategies (§3.1) ===\n");
     let rates = ServiceRates::new().with(ChargeableItem::Cpu, Credits::from_gd(2));
-    let job = JobSpec { work: 720_000, parallelism: 1, memory_mb: 0, storage_mb: 0, network_mb: 0, sys_pct: 0 };
+    let job = JobSpec {
+        work: 720_000,
+        parallelism: 1,
+        memory_mb: 0,
+        storage_mb: 0,
+        network_mb: 0,
+        sys_pct: 0,
+    };
 
     // -- Pay before use ------------------------------------------------
     let mut p1 = make_provider(&bank, "gsp-prepaid", 100, Credits::from_gd(2), 1);
@@ -107,23 +114,26 @@ fn main() {
             chain.payword(k).map_err(gridbank_suite::gsp::GspError::Bank)
         };
         p2.execute_streamed_job(
-            &alice.0, &commitment, &signature, &mut source, &job, &rates, clock.now_ms(), 1_000,
+            &alice.0,
+            &commitment,
+            &signature,
+            &mut source,
+            &job,
+            &rates,
+            clock.now_ms(),
+            1_000,
         )
         .expect("streamed job")
     };
     println!(
         "pay-as-you-go  : charge {}, paid {} via {} paywords of {}",
-        out.charge,
-        out.paid,
-        revealed,
-        commitment.value_per_word
+        out.charge, out.paid, revealed, commitment.value_per_word
     );
 
     // -- Pay after use ---------------------------------------------------
     let mut p3 = make_provider(&bank, "gsp-postpaid", 100, Credits::from_gd(2), 3);
-    let cheque = alice_port
-        .request_cheque(&p3.cert, Credits::from_gd(10), 10_000_000)
-        .expect("cheque");
+    let cheque =
+        alice_port.request_cheque(&p3.cert, Credits::from_gd(10), 10_000_000).expect("cheque");
     let out = p3
         .execute_job(&alice.0, PaymentInstrument::Cheque(cheque), &job, &rates, clock.now_ms())
         .expect("cheque job");

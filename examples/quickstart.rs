@@ -11,14 +11,17 @@
 //! 5. statements show the transfer with the RUR stored as evidence.
 //!
 //! Run with: `cargo run --example quickstart`
+//!
+//! Pass `--trace` to enable telemetry: the whole flow runs under one
+//! trace whose span tree (broker, net, server layers, GSP charging) is
+//! printed at the end, and whose trace id is stamped into the bank's
+//! transfer record — the audit trail and the trace correlate.
 
 use std::sync::Arc;
 
 use gridbank_suite::bank::client::GridBankClient;
 use gridbank_suite::bank::clock::Clock;
-use gridbank_suite::bank::server::{
-    GridBank, GridBankConfig, GridBankServer, ServerCredentials,
-};
+use gridbank_suite::bank::server::{GridBank, GridBankConfig, GridBankServer, ServerCredentials};
 use gridbank_suite::broker::payment::PaymentModule;
 use gridbank_suite::crypto::cert::{create_proxy, CertificateAuthority, SubjectName};
 use gridbank_suite::crypto::keys::{KeyMaterial, SigningIdentity};
@@ -44,9 +47,8 @@ fn connect(
 ) -> GridBankClient {
     // CA-issued long-term certificate, then a short-lived proxy signed by
     // the *user* — the single sign-on credential everything else uses.
-    let cert = ca
-        .issue(user_subject, user.verifying_key(), 0, 1_000_000_000)
-        .expect("issue certificate");
+    let cert =
+        ca.issue(user_subject, user.verifying_key(), 0, 1_000_000_000).expect("issue certificate");
     let proxy_id = SigningIdentity::generate(KeyMaterial { seed }, "proxy");
     let proxy = create_proxy(user, &cert, proxy_id.verifying_key(), 0, 1_000_000_000, 1)
         .expect("sign proxy");
@@ -66,6 +68,15 @@ fn connect(
 
 fn main() {
     println!("=== GridBank quickstart: Figure 1, end to end ===\n");
+
+    let tracing = std::env::args().any(|a| a == "--trace");
+    if tracing {
+        gridbank_suite::obs::set_telemetry(true);
+    }
+    // While live, every client call below carries this root's trace
+    // context over the wire, so the server's spans join the same trace.
+    let root = tracing.then(|| gridbank_suite::obs::root_span("quickstart", "figure1"));
+    let root_trace_id = root.as_ref().map_or(0, |s| s.trace_id());
 
     // --- Public-key infrastructure (the GSI substitute) ---------------
     let ca = CertificateAuthority::new(
@@ -110,7 +121,8 @@ fn main() {
     let admin_dn = SubjectName("/O=GridBank/OU=Admin/CN=operator".into());
 
     // --- Accounts over authenticated channels -------------------------
-    let mut alice = connect(&network, "alice.uwa.edu.au", &ca, &alice_id, alice_dn.clone(), &clock, 100);
+    let mut alice =
+        connect(&network, "alice.uwa.edu.au", &ca, &alice_id, alice_dn.clone(), &clock, 100);
     let alice_account = alice.create_account(Some("UWA".into())).expect("alice account");
     println!("[gsc ] Alice opened account {alice_account}");
 
@@ -119,11 +131,8 @@ fn main() {
     let gsp_account = gsp_client.create_account(Some("UniMelb".into())).expect("gsp account");
     println!("[gsp ] gsp-alpha opened account {gsp_account}");
 
-    let mut operator =
-        connect(&network, "ops.gridbank.org", &ca, &admin_id, admin_dn, &clock, 102);
-    operator
-        .admin_deposit(alice_account, Credits::from_gd(100))
-        .expect("admin deposit");
+    let mut operator = connect(&network, "ops.gridbank.org", &ca, &admin_id, admin_dn, &clock, 102);
+    operator.admin_deposit(alice_account, Credits::from_gd(100)).expect("admin deposit");
     println!("[bank] operator deposited G$100 into Alice's account\n");
 
     // --- The provider --------------------------------------------------
@@ -161,9 +170,8 @@ fn main() {
     );
 
     let mut gbpm = PaymentModule::new(alice, Credits::from_gd(50));
-    let cheque = gbpm
-        .obtain_cheque(&gsp_dn.0, Credits::from_gd(20), 600_000)
-        .expect("GridCheque issued");
+    let cheque =
+        gbpm.obtain_cheque(&gsp_dn.0, Credits::from_gd(20), 600_000).expect("GridCheque issued");
     println!(
         "[gbpm] GridCheque #{} for {} payable to {}",
         cheque.body.cheque_id, cheque.body.reserved, cheque.body.payee_cert
@@ -178,12 +186,25 @@ fn main() {
         sys_pct: 8,
     };
     let outcome = provider
-        .execute_job(&alice_dn.0, PaymentInstrument::Cheque(cheque.clone()), &job, &quote.rates, clock.now_ms())
+        .execute_job(
+            &alice_dn.0,
+            PaymentInstrument::Cheque(cheque.clone()),
+            &job,
+            &quote.rates,
+            clock.now_ms(),
+        )
         .expect("job executes and settles");
     gbpm.settle_cheque(&cheque, outcome.paid);
 
-    println!("[gsp ] job ran under template account `{}` on {}", outcome.local_account, outcome.machine_host);
-    println!("[grm ] RUR: {} usage lines, span {}", outcome.rur.lines.len(), outcome.rur.job.span());
+    println!(
+        "[gsp ] job ran under template account `{}` on {}",
+        outcome.local_account, outcome.machine_host
+    );
+    println!(
+        "[grm ] RUR: {} usage lines, span {}",
+        outcome.rur.lines.len(),
+        outcome.rur.job.span()
+    );
     for line in &outcome.rur.lines {
         println!(
             "        {:<9} {:>14}  @ {}/{}",
@@ -193,20 +214,35 @@ fn main() {
             line.item.unit()
         );
     }
-    println!("[gbcm] charge {} — paid {}, released {}\n", outcome.charge, outcome.paid, outcome.released);
+    println!(
+        "[gbcm] charge {} — paid {}, released {}\n",
+        outcome.charge, outcome.paid, outcome.released
+    );
 
     // --- Statements -----------------------------------------------------
     let mut alice = gbpm.port; // reclaim the client
     let record = alice.my_account().expect("balance");
     println!("[bank] Alice:     available {}, locked {}", record.available, record.locked);
-    let st = alice
-        .statement(alice_account, 0, u64::MAX)
-        .expect("statement");
+    let st = alice.statement(alice_account, 0, u64::MAX).expect("statement");
     println!(
         "[bank] statement: {} transactions, {} transfer (RUR evidence {} bytes)",
         st.transactions.len(),
         st.transfers.len(),
         st.transfers.first().map(|t| t.rur_blob.len()).unwrap_or(0)
     );
+
+    if tracing {
+        drop(root);
+        let spans = gridbank_suite::obs::take_spans();
+        println!("\n--- span trace ---");
+        print!("{}", gridbank_suite::obs::render_trace(root_trace_id, &spans));
+        let audit_trace = st.transfers.first().map(|t| t.trace_id).unwrap_or(0);
+        println!(
+            "[obs ] transfer record trace id {audit_trace:#018x} {} root trace",
+            if audit_trace == root_trace_id { "matches" } else { "DOES NOT MATCH" }
+        );
+        assert_eq!(audit_trace, root_trace_id, "audit trail correlates with the trace");
+    }
+
     println!("\nDone: consumer, provider and bank agree, with a signed audit trail.");
 }

@@ -8,6 +8,7 @@ pub use gridbank_crypto as crypto;
 pub use gridbank_gsp as gsp;
 pub use gridbank_meter as meter;
 pub use gridbank_net as net;
+pub use gridbank_obs as obs;
 pub use gridbank_rur as rur;
 pub use gridbank_sim as sim;
 pub use gridbank_trade as trade;

@@ -39,11 +39,7 @@ fn cooperative_scales_with_participants_and_rounds() {
         let report = run_cooperative(n, rounds, 3_600_000, 17 + n as u64);
         assert_eq!(report.rows.len(), n);
         let tolerance = Credits::from_micro(2_000);
-        assert!(
-            report.equilibrium_gap <= tolerance,
-            "n={n}: gap {}",
-            report.equilibrium_gap
-        );
+        assert!(report.equilibrium_gap <= tolerance, "n={n}: gap {}", report.equilibrium_gap);
         // Total exchanged grows with ring size × rounds.
         assert!(report.total_exchanged.is_positive());
         for row in &report.rows {
@@ -78,8 +74,9 @@ fn open_market_money_flows_are_airtight() {
 
 #[test]
 fn cheaper_providers_win_more_business_under_cost_opt() {
-    // With cost-optimization and a loose deadline, the cheapest provider
-    // should earn the largest share.
+    // With cost-optimization and a loose deadline, the provider with the
+    // lowest cost *per unit of work* (hourly price ÷ speed — what CostOpt
+    // actually minimizes) should earn the largest share.
     let mut config = market_config(41);
     config.deadline_ms = 24 * 3_600_000;
     let report = run_open_market(&config);
@@ -91,22 +88,25 @@ fn cheaper_providers_win_more_business_under_cost_opt() {
         .max_by_key(|(_, r)| **r)
         .map(|(i, _)| i)
         .unwrap();
-    // Rebuild the same topology to inspect posted prices.
+    // Rebuild the same topology to inspect posted prices and speeds.
     let grid = gridbank_suite::sim::topology::build_grid(&config.topology);
-    let prices: Vec<Credits> = grid
+    let unit_costs: Vec<f64> = grid
         .providers
         .iter()
-        .map(|p| p.advertisement().rates.total_time_price_per_hour())
+        .map(|p| {
+            let ad = p.advertisement();
+            ad.rates.total_time_price_per_hour().as_gd_f64() / ad.cpu_speed as f64
+        })
         .collect();
-    let cheapest = prices
+    let cheapest = unit_costs
         .iter()
         .enumerate()
-        .min_by_key(|(_, p)| **p)
+        .min_by(|(_, a), (_, b)| a.total_cmp(b))
         .map(|(i, _)| i)
         .unwrap();
     assert_eq!(
         busiest, cheapest,
-        "revenue {:?} vs prices {prices:?}",
+        "revenue {:?} vs per-work costs {unit_costs:?}",
         report.provider_revenue
     );
 }

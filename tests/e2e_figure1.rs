@@ -21,8 +21,8 @@ use gridbank_suite::meter::levels::AccountingLevel;
 use gridbank_suite::meter::machine::{JobSpec, MachineSpec, OsFlavour};
 use gridbank_suite::net::transport::{Address, Network};
 use gridbank_suite::net::NetError;
-use gridbank_suite::rur::record::{ChargeableItem, ResourceUsageRecord};
 use gridbank_suite::rur::codec::Decode;
+use gridbank_suite::rur::record::{ChargeableItem, ResourceUsageRecord};
 use gridbank_suite::rur::Credits;
 use gridbank_suite::trade::pricing::FlatPricing;
 use gridbank_suite::trade::rates::ServiceRates;
@@ -45,8 +45,7 @@ fn world(gate_mode: GateMode) -> World {
         GridBankConfig { gate_mode, signer_height: 9, ..GridBankConfig::default() },
         clock.clone(),
     ));
-    let bank_identity =
-        Arc::new(SigningIdentity::generate(KeyMaterial { seed: 2 }, "bank-tls"));
+    let bank_identity = Arc::new(SigningIdentity::generate(KeyMaterial { seed: 2 }, "bank-tls"));
     let bank_cert = ca
         .issue(
             SubjectName::new("GridBank", "Server", "gridbank"),
@@ -60,14 +59,22 @@ fn world(gate_mode: GateMode) -> World {
         &network,
         Address::new("bank"),
         bank.clone(),
-        ServerCredentials { certificate: bank_cert, identity: bank_identity, ca_key: ca.verifying_key() },
+        ServerCredentials {
+            certificate: bank_cert,
+            identity: bank_identity,
+            ca_key: ca.verifying_key(),
+        },
         7,
     )
     .unwrap();
     World { network, ca, clock, bank, _server: server }
 }
 
-fn connect(w: &World, cn: &str, seed: u64) -> Result<GridBankClient, gridbank_suite::bank::BankError> {
+fn connect(
+    w: &World,
+    cn: &str,
+    seed: u64,
+) -> Result<GridBankClient, gridbank_suite::bank::BankError> {
     let id = SigningIdentity::generate_small(KeyMaterial { seed }, cn);
     let dn = SubjectName::new("Org", "Unit", cn);
     let cert = w.ca.issue(dn, id.verifying_key(), 0, u64::MAX / 2).unwrap();
@@ -154,9 +161,22 @@ fn figure1_interaction_over_the_wire() {
 
     let quote = provider.quote(w.clock.now_ms(), 60_000).unwrap();
     let cheque = alice.request_cheque(&gsp_cert, Credits::from_gd(30), 600_000).unwrap();
-    let job = JobSpec { work: 900_000, parallelism: 2, memory_mb: 512, storage_mb: 0, network_mb: 20, sys_pct: 5 };
+    let job = JobSpec {
+        work: 900_000,
+        parallelism: 2,
+        memory_mb: 512,
+        storage_mb: 0,
+        network_mb: 20,
+        sys_pct: 5,
+    };
     let outcome = provider
-        .execute_job("/O=Org/OU=Unit/CN=alice", PaymentInstrument::Cheque(cheque), &job, &quote.rates, w.clock.now_ms())
+        .execute_job(
+            "/O=Org/OU=Unit/CN=alice",
+            PaymentInstrument::Cheque(cheque),
+            &job,
+            &quote.rates,
+            w.clock.now_ms(),
+        )
         .expect("job executes");
 
     assert!(outcome.charge.is_positive());
@@ -164,10 +184,7 @@ fn figure1_interaction_over_the_wire() {
 
     // Bank-side state reflects the deal, and the stored RUR decodes.
     let alice_rec = alice.my_account().unwrap();
-    assert_eq!(
-        alice_rec.available,
-        Credits::from_gd(200).checked_sub(outcome.paid).unwrap()
-    );
+    assert_eq!(alice_rec.available, Credits::from_gd(200).checked_sub(outcome.paid).unwrap());
     assert_eq!(alice_rec.locked, Credits::ZERO);
     let st = alice.statement(alice_account, 0, u64::MAX).unwrap();
     assert_eq!(st.transfers.len(), 1);

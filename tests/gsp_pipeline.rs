@@ -186,9 +186,8 @@ fn streaming_metering_supports_pay_as_you_go() {
         interval_total = interval_total.checked_add(c).unwrap();
     }
     let whole = native.normalize().unwrap();
-    let whole_charge = cpu_rate
-        .mul_ratio(whole.cpu.as_ms(), gridbank_suite::rur::units::MS_PER_HOUR)
-        .unwrap();
+    let whole_charge =
+        cpu_rate.mul_ratio(whole.cpu.as_ms(), gridbank_suite::rur::units::MS_PER_HOUR).unwrap();
     let diff = interval_total.checked_sub(whole_charge).unwrap().abs();
     assert!(diff <= Credits::from_micro(intervals.len() as i128), "diff {diff}");
 }

@@ -44,9 +44,7 @@ fn cannot_issue_instruments_beyond_balance() {
 
     // A 10 G$ balance supports at most 10 G$ of outstanding instruments.
     alice.request_cheque(&gsp, Credits::from_gd(6), 100_000).unwrap();
-    alice
-        .request_hash_chain(&gsp, 4, Credits::from_gd(1), 100_000)
-        .unwrap();
+    alice.request_hash_chain(&gsp, 4, Credits::from_gd(1), 100_000).unwrap();
     // 6 + 4 locked; nothing left to promise.
     assert!(matches!(
         alice.request_cheque(&gsp, Credits::from_gd(1), 100_000),
@@ -105,9 +103,7 @@ fn credit_limits_extend_spendable_funds_but_still_bound_them() {
     );
     // Can now lock 8 total.
     alice.request_cheque(&gsp, Credits::from_gd(8), 100_000).unwrap();
-    assert!(alice
-        .request_cheque(&gsp, Credits::from_micro(1), 100_000)
-        .is_err());
+    assert!(alice.request_cheque(&gsp, Credits::from_micro(1), 100_000).is_err());
     let rec = alice.my_account().unwrap();
     assert_eq!(rec.available, Credits::from_gd(-3));
     assert_eq!(rec.locked, Credits::from_gd(8));
@@ -120,9 +116,7 @@ fn expired_instruments_are_swept_back_to_drawers() {
 
     // Two short-lived instruments and one long-lived cheque.
     alice.request_cheque(&gsp, Credits::from_gd(5), 1_000).unwrap();
-    alice
-        .request_hash_chain(&gsp, 10, Credits::from_gd(1), 1_000)
-        .unwrap();
+    alice.request_hash_chain(&gsp, 10, Credits::from_gd(1), 1_000).unwrap();
     let long = alice.request_cheque(&gsp, Credits::from_gd(4), 1_000_000).unwrap();
 
     let rec = alice.my_account().unwrap();
@@ -146,11 +140,7 @@ fn expired_instruments_are_swept_back_to_drawers() {
         .user("h", "/O=O/OU=U/CN=payer")
         .job("j", "a", 0, 3_600_000)
         .resource("r", &gsp, None, 1)
-        .line(
-            ChargeableItem::Cpu,
-            UsageAmount::Time(Duration::from_hours(1)),
-            Credits::from_gd(2),
-        )
+        .line(ChargeableItem::Cpu, UsageAmount::Time(Duration::from_hours(1)), Credits::from_gd(2))
         .build()
         .unwrap();
     let (paid, released) = gsp_port.redeem_cheque(long, rur).unwrap();

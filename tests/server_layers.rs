@@ -24,7 +24,12 @@ fn admin() -> SubjectName {
     SubjectName("/O=GridBank/OU=Admin/CN=operator".into())
 }
 
-fn rur(consumer: &str, provider: &str, hours: u64, rate: Credits) -> gridbank_suite::rur::ResourceUsageRecord {
+fn rur(
+    consumer: &str,
+    provider: &str,
+    hours: u64,
+    rate: Credits,
+) -> gridbank_suite::rur::ResourceUsageRecord {
     RurBuilder::default()
         .user("h", consumer)
         .job("j", "app", 0, hours * 3_600_000)
@@ -52,9 +57,8 @@ fn three_protocols_share_one_accounts_layer() {
     conf.verify(&bank.verifying_key()).unwrap();
 
     // Protocol 2: pay-as-you-go — chain of 20 × 0.5 G$, spend 8 words.
-    let chain = alice_port
-        .request_hash_chain(&gsp.0, 20, Credits::from_milli(500), 100_000)
-        .unwrap();
+    let chain =
+        alice_port.request_hash_chain(&gsp.0, 20, Credits::from_milli(500), 100_000).unwrap();
     let pw = chain.payword(8).unwrap();
     let paid = gsp_port
         .redeem_payword(chain.commitment.clone(), chain.signature.clone(), pw, vec![])
@@ -63,9 +67,8 @@ fn three_protocols_share_one_accounts_layer() {
 
     // Protocol 3: pay-after-use — cheque for 30, charge 12.
     let cheque = alice_port.request_cheque(&gsp.0, Credits::from_gd(30), 100_000).unwrap();
-    let (paid, released) = gsp_port
-        .redeem_cheque(cheque, rur(&alice.0, &gsp.0, 2, Credits::from_gd(6)))
-        .unwrap();
+    let (paid, released) =
+        gsp_port.redeem_cheque(cheque, rur(&alice.0, &gsp.0, 2, Credits::from_gd(6))).unwrap();
     assert_eq!(paid, Credits::from_gd(12));
     assert_eq!(released, Credits::from_gd(18));
 
@@ -133,9 +136,7 @@ fn instruments_are_not_interchangeable_across_protocols() {
     bank.handle(&admin(), BankRequest::AdminDeposit { account, amount: Credits::from_gd(100) });
 
     let cheque = alice_port.request_cheque(&gsp.0, Credits::from_gd(10), 100_000).unwrap();
-    let chain = alice_port
-        .request_hash_chain(&gsp.0, 4, Credits::from_gd(1), 100_000)
-        .unwrap();
+    let chain = alice_port.request_hash_chain(&gsp.0, 4, Credits::from_gd(1), 100_000).unwrap();
 
     // Present the *cheque's* signature with the chain commitment: the
     // signature covers different bytes, so verification fails.
@@ -149,11 +150,14 @@ fn instruments_are_not_interchangeable_across_protocols() {
 
     // Proper redemptions still work afterwards (no state was corrupted).
     gsp_port
-        .redeem_payword(chain.commitment.clone(), chain.signature.clone(), chain.payword(1).unwrap(), vec![])
+        .redeem_payword(
+            chain.commitment.clone(),
+            chain.signature.clone(),
+            chain.payword(1).unwrap(),
+            vec![],
+        )
         .unwrap();
-    gsp_port
-        .redeem_cheque(cheque, rur(&alice.0, &gsp.0, 1, Credits::from_gd(3)))
-        .unwrap();
+    gsp_port.redeem_cheque(cheque, rur(&alice.0, &gsp.0, 1, Credits::from_gd(3))).unwrap();
 }
 
 #[test]
@@ -171,19 +175,12 @@ fn admin_operations_compose_with_payment_state() {
     // Lock 30 behind a cheque; the admin cannot close the account while
     // the lock is live, and withdrawal is limited to available funds.
     let _cheque = port.request_cheque(&gsp.0, Credits::from_gd(30), 100_000).unwrap();
-    let resp = bank.handle(
-        &admin(),
-        BankRequest::AdminCloseAccount { account, transfer_to: None },
-    );
+    let resp = bank.handle(&admin(), BankRequest::AdminCloseAccount { account, transfer_to: None });
     assert!(matches!(resp, gridbank_suite::bank::BankResponse::Error { .. }));
-    let resp = bank.handle(
-        &admin(),
-        BankRequest::AdminWithdraw { account, amount: Credits::from_gd(21) },
-    );
+    let resp =
+        bank.handle(&admin(), BankRequest::AdminWithdraw { account, amount: Credits::from_gd(21) });
     assert!(matches!(resp, gridbank_suite::bank::BankResponse::Error { .. }));
-    let resp = bank.handle(
-        &admin(),
-        BankRequest::AdminWithdraw { account, amount: Credits::from_gd(20) },
-    );
+    let resp =
+        bank.handle(&admin(), BankRequest::AdminWithdraw { account, amount: Credits::from_gd(20) });
     assert!(matches!(resp, gridbank_suite::bank::BankResponse::Confirmation { .. }));
 }

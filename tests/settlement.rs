@@ -50,8 +50,8 @@ fn randomized_traffic_nets_correctly() {
         if from_branch == to_branch {
             continue;
         }
-        let from = accounts[from_branch][rng.random_range(0..3)];
-        let to = accounts[to_branch][rng.random_range(0..3)];
+        let from = accounts[from_branch][rng.random_range(0..3usize)];
+        let to = accounts[to_branch][rng.random_range(0..3usize)];
         let amount = Credits::from_milli(rng.random_range(100..5_000));
         ib.cross_branch_transfer(from, to, amount, Vec::new()).unwrap();
         gross_expected = gross_expected.checked_add(amount).unwrap();
@@ -124,12 +124,8 @@ fn cross_branch_rur_evidence_is_preserved() {
     ib.cross_branch_transfer(accounts[0][0], accounts[1][0], Credits::from_gd(1), blob.clone())
         .unwrap();
     // The drawer branch's transfer row carries the RUR blob.
-    let transfers = ib
-        .branch(1)
-        .unwrap()
-        .accounts
-        .db()
-        .transfers_in_range(&accounts[0][0], 0, u64::MAX);
+    let transfers =
+        ib.branch(1).unwrap().accounts.db().transfers_in_range(&accounts[0][0], 0, u64::MAX);
     assert_eq!(transfers.len(), 1);
     assert_eq!(transfers[0].rur_blob, blob);
 }

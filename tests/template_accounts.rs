@@ -116,10 +116,7 @@ fn provider_pipeline_recycles_accounts_across_paying_consumers() {
     assert_eq!(provider.pool.free_count(), 2);
     // Every consumer is charged against their own bank account.
     for c in 0..10 {
-        let rec = bank
-            .accounts
-            .account_by_cert(&format!("/O=Org/OU=Users/CN=user-{c}"))
-            .unwrap();
+        let rec = bank.accounts.account_by_cert(&format!("/O=Org/OU=Users/CN=user-{c}")).unwrap();
         assert!(rec.available < Credits::from_gd(10), "user-{c} was never charged");
         assert_eq!(rec.locked, Credits::ZERO);
     }

@@ -119,11 +119,7 @@ fn every_listed_operation_works_over_the_wire() {
         .user("h", "/O=UWA/OU=CSSE/CN=alice")
         .job("j", "a", 0, 3_600_000)
         .resource("r", &gsp_cert, None, 1)
-        .line(
-            ChargeableItem::Cpu,
-            UsageAmount::Time(Duration::from_hours(1)),
-            Credits::from_gd(4),
-        )
+        .line(ChargeableItem::Cpu, UsageAmount::Time(Duration::from_hours(1)), Credits::from_gd(4))
         .build()
         .unwrap();
     let (paid, released) = gsp.redeem_cheque(cheque, rur).unwrap();
@@ -131,14 +127,11 @@ fn every_listed_operation_works_over_the_wire() {
     assert_eq!(released, Credits::from_gd(16));
 
     // Request + Redeem GridHash chain (incremental), then close at expiry.
-    let chain = alice
-        .request_hash_chain(&gsp_cert, 10, Credits::from_gd(1), 5_000)
-        .unwrap();
+    let chain = alice.request_hash_chain(&gsp_cert, 10, Credits::from_gd(1), 5_000).unwrap();
     chain.verify(&w.bank.verifying_key()).unwrap();
     let pw = chain.payword(6).unwrap();
-    let paid = gsp
-        .redeem_payword(chain.commitment.clone(), chain.signature.clone(), pw, vec![])
-        .unwrap();
+    let paid =
+        gsp.redeem_payword(chain.commitment.clone(), chain.signature.clone(), pw, vec![]).unwrap();
     assert_eq!(paid, Credits::from_gd(6));
     w.clock.advance(10_000);
     let released = alice.close_hash_chain(chain.commitment.clone()).unwrap();
@@ -160,11 +153,7 @@ fn every_listed_operation_works_over_the_wire() {
         .user("h", "/O=UWA/OU=CSSE/CN=alice")
         .job("j2", "a", 0, 3_600_000)
         .resource("r", &gsp_cert, None, 2)
-        .line(
-            ChargeableItem::Cpu,
-            UsageAmount::Time(Duration::from_hours(2)),
-            Credits::from_gd(3),
-        )
+        .line(ChargeableItem::Cpu, UsageAmount::Time(Duration::from_hours(2)), Credits::from_gd(3))
         .build()
         .unwrap();
     gsp.redeem_cheque(cheque, rur).unwrap();
@@ -182,9 +171,7 @@ fn every_listed_operation_works_over_the_wire() {
     // Admin: withdraw + close the GSP account into Alice's.
     let gsp_balance = gsp.my_account().unwrap().available;
     admin.admin_withdraw(gsp_acct, Credits::from_gd(1)).unwrap();
-    admin
-        .admin_close_account(gsp_acct, Some(alice_acct))
-        .unwrap();
+    admin.admin_close_account(gsp_acct, Some(alice_acct)).unwrap();
     // After closure the subject is gone: the protocol gate answers
     // NotAuthorized (it can only enroll again).
     assert!(matches!(
@@ -234,9 +221,9 @@ fn batch_redemption_over_the_wire_is_per_entry() {
 
     let results = gsp
         .redeem_cheque_batch(vec![
-            (c1, mk_rur(&gsp_cert, 1)),                 // ok: 2 G$
-            (c2, mk_rur("/CN=someone-else", 1)),        // wrong provider
-            (c3, mk_rur(&gsp_cert, 3)),                 // ok: 6 G$
+            (c1, mk_rur(&gsp_cert, 1)),          // ok: 2 G$
+            (c2, mk_rur("/CN=someone-else", 1)), // wrong provider
+            (c3, mk_rur(&gsp_cert, 3)),          // ok: 6 G$
         ])
         .unwrap();
     assert_eq!(results.len(), 3);
@@ -247,6 +234,56 @@ fn batch_redemption_over_the_wire_is_per_entry() {
     let rec = alice.my_account().unwrap();
     assert_eq!(rec.locked, Credits::from_gd(10));
     assert_eq!(gsp.my_account().unwrap().available, Credits::from_gd(8));
+}
+
+#[test]
+fn client_trace_context_propagates_into_server_spans_and_audit_trail() {
+    use gridbank_suite::obs;
+
+    let w = world();
+    // Telemetry is process-global: sibling tests in this binary may emit
+    // spans too, so every assertion below filters by this root's id.
+    obs::set_telemetry(true);
+    let root = obs::root_span("test", "wire_trace");
+    let root_id = root.trace_id();
+    assert_ne!(root_id, 0, "live root span carries a trace id");
+
+    let mut admin = connect(&w, SubjectName("/O=GridBank/OU=Admin/CN=operator".into()), 80);
+    let mut alice = connect(&w, SubjectName::new("UWA", "CSSE", "alice"), 81);
+    let mut gsp = connect(&w, SubjectName::new("UM", "GRIDS", "gsp"), 82);
+    let alice_acct = alice.create_account(None).unwrap();
+    let gsp_acct = gsp.create_account(None).unwrap();
+    admin.admin_deposit(alice_acct, Credits::from_gd(50)).unwrap();
+    alice.direct_transfer(gsp_acct, Credits::from_gd(3), "gsp.host").unwrap();
+    let st = alice.statement(alice_acct, 0, u64::MAX).unwrap();
+
+    drop(root);
+    let spans = obs::take_spans();
+    obs::set_telemetry(false);
+
+    // The client's trace id crossed the wire: spans from the transport,
+    // the security layer, and both bank layers all share it.
+    let components: Vec<&str> =
+        spans.iter().filter(|s| s.trace_id == root_id).map(|s| s.component).collect();
+    for expected in ["net", "server.security", "server.accounts", "server.payment"] {
+        assert!(
+            components.contains(&expected),
+            "no {expected} span joined trace {root_id:#x}: {components:?}"
+        );
+    }
+    // The server-side handler for the transfer sits under the trace and
+    // names the variant it dispatched.
+    assert!(spans.iter().any(|s| s.trace_id == root_id
+        && s.component == "server.payment"
+        && s.name == "DirectTransfer"));
+    // And the audit trail correlates: the committed transfer record was
+    // stamped with the same trace id.
+    let transfer = st.transfers.first().expect("transfer recorded");
+    assert_eq!(transfer.trace_id, root_id);
+    // The rendered tree places the remote spans under the client's root.
+    let rendered = obs::render_trace(root_id, &spans);
+    assert!(rendered.contains("test::wire_trace"));
+    assert!(rendered.contains("server.payment::DirectTransfer"));
 }
 
 #[test]

@@ -1,0 +1,357 @@
+//! In-workspace benchmark mini-harness covering the `criterion` API
+//! surface the GridBank bench suite uses. It genuinely measures:
+//! warm-up calibrates an iteration count, then `sample_size` timed
+//! samples are taken and min/median/max ns-per-iteration are printed,
+//! so EXPERIMENTS.md numbers remain comparable run to run. Plots,
+//! statistics beyond the three-point summary, and baselines are out of
+//! scope.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver configuration + CLI filter.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+            filters: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Target wall-clock budget for one benchmark's samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Calibration budget before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Accepted for API parity; this harness never plots.
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Reads benchmark-name filters from the command line. Flag-style
+    /// arguments (`--bench`, `--exact`, …) that cargo appends are
+    /// ignored; anything else is a substring filter.
+    pub fn configure_from_args(mut self) -> Self {
+        self.filters = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+            warm_up_time: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs one benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        run_benchmark(
+            &id.full_name(),
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            None,
+            &self.filters,
+            f,
+        );
+    }
+
+    /// End-of-run hook; the mini-harness reports per benchmark, so this
+    /// only prints a terminator.
+    pub fn final_summary(self) {
+        println!();
+    }
+}
+
+/// A named collection of related benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+    warm_up_time: Option<Duration>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark within this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Measurement budget within this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Warm-up budget within this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = Some(d);
+        self
+    }
+
+    /// Declares work-per-iteration so rates are reported.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.full_name());
+        run_benchmark(
+            &full,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.measurement_time.unwrap_or(self.criterion.measurement_time),
+            self.warm_up_time.unwrap_or(self.criterion.warm_up_time),
+            self.throughput,
+            &self.criterion.filters,
+            f,
+        );
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Closes the group (API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, optionally `function/parameter`.
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a parameter component.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: name.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn full_name(&self) -> String {
+        match &self.parameter {
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name, parameter: None }
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// The timing context handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times `f` over the harness-chosen iteration count.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+
+    /// Times only `routine`; `setup` runs untimed before each iteration.
+    pub fn iter_with_setup<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+    ) {
+        let mut total: u128 = 0;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed().as_nanos();
+        }
+        self.elapsed_ns = total;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_benchmark(
+    full_name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+    filters: &[String],
+    mut f: impl FnMut(&mut Bencher),
+) {
+    if !filters.is_empty() && !filters.iter().any(|needle| full_name.contains(needle.as_str())) {
+        return;
+    }
+
+    // Calibrate: grow the iteration count until one batch costs a slice
+    // of the warm-up budget, so short ops aren't dominated by timer
+    // resolution.
+    let calibration_floor = (warm_up_time.as_nanos() / 8).max(1);
+    let mut iters: u64 = 1;
+    let per_iter_estimate: f64 = loop {
+        let mut bencher = Bencher { iters, elapsed_ns: 0 };
+        f(&mut bencher);
+        if bencher.elapsed_ns >= calibration_floor || iters >= 1 << 24 {
+            break bencher.elapsed_ns as f64 / iters as f64;
+        }
+        iters = iters.saturating_mul(4);
+    };
+
+    // Spend measurement_time across sample_size samples.
+    let budget_per_sample = measurement_time.as_nanos() as f64 / sample_size as f64;
+    let iters_per_sample =
+        ((budget_per_sample / per_iter_estimate.max(1.0)) as u64).clamp(1, 1 << 24);
+
+    let mut samples: Vec<f64> = (0..sample_size)
+        .map(|_| {
+            let mut bencher = Bencher { iters: iters_per_sample, elapsed_ns: 0 };
+            f(&mut bencher);
+            bencher.elapsed_ns as f64 / iters_per_sample as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let max = samples[samples.len() - 1];
+    print!("{full_name:<44} time: [{} {} {}]", format_ns(min), format_ns(median), format_ns(max));
+    if let Some(throughput) = throughput {
+        let per_second = |work: u64| work as f64 * (1e9 / median);
+        match throughput {
+            Throughput::Bytes(n) => print!("  thrpt: {}/s", format_bytes(per_second(n))),
+            Throughput::Elements(n) => print!("  thrpt: {} elem/s", format_count(per_second(n))),
+        }
+    }
+    println!();
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_bytes(rate: f64) -> String {
+    if rate < 1024.0 * 1024.0 {
+        format!("{:.1} KiB", rate / 1024.0)
+    } else if rate < 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1} MiB", rate / (1024.0 * 1024.0))
+    } else {
+        format!("{:.2} GiB", rate / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
+fn format_count(rate: f64) -> String {
+    if rate < 1_000.0 {
+        format!("{rate:.1}")
+    } else if rate < 1_000_000.0 {
+        format!("{:.1}K", rate / 1_000.0)
+    } else {
+        format!("{:.2}M", rate / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_iterations() {
+        let mut b = Bencher { iters: 100, elapsed_ns: 0 };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 100);
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        b.iter_with_setup(
+            || {
+                setups += 1;
+            },
+            |()| runs += 1,
+        );
+        assert_eq!((setups, runs), (100, 100));
+    }
+
+    #[test]
+    fn benchmark_ids_compose() {
+        assert_eq!(BenchmarkId::new("sha256", 64).full_name(), "sha256/64");
+        assert_eq!(BenchmarkId::from("plain").full_name(), "plain");
+    }
+
+    #[test]
+    fn formatting_scales_units() {
+        assert!(format_ns(12.3).contains("ns"));
+        assert!(format_ns(12_300.0).contains("µs"));
+        assert!(format_ns(12_300_000.0).contains("ms"));
+    }
+}

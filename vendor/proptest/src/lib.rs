@@ -1,0 +1,372 @@
+//! In-workspace property-testing mini-framework covering the `proptest`
+//! API surface GridBank uses: the `proptest!` macro (with optional
+//! `#![proptest_config(..)]`), range/tuple/`any`/`prop_map`/
+//! `prop::collection::vec` strategies, a simple `".{a,b}"` string
+//! strategy, and the `prop_assert!`/`prop_assert_eq!`/`prop_assume!`
+//! macros. Cases are generated deterministically from the test's module
+//! path, so failures reproduce exactly; shrinking is not implemented
+//! (a failing case prints its generated inputs instead via Debug-free
+//! message formatting at the assertion site).
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+pub mod test_runner;
+
+pub use test_runner::TestRng;
+
+/// Why a generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed — the property is violated.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` — draw another.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Runner configuration (only the `cases` knob is used in-workspace).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty => $sample:ident),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.$sample(self.start, self.end.wrapping_sub(1))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.$sample(*self.start(), *self.end())
+            }
+        }
+    )*};
+}
+
+int_strategy!(
+    u8 => sample_u64_as,
+    u16 => sample_u64_as,
+    u32 => sample_u64_as,
+    u64 => sample_u64_as,
+    usize => sample_u64_as,
+    i8 => sample_i64_as,
+    i16 => sample_i64_as,
+    i32 => sample_i64_as,
+    i64 => sample_i64_as
+);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E)(A, B, C, D, E, G));
+
+/// Whole-domain generation for [`any`].
+pub trait Arbitrary {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// A strategy over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// String strategy from a pattern literal. Supports the shape the
+/// workspace uses — `".{lo,hi}"` (any chars, length in `lo..=hi`) — and
+/// falls back to a short alphanumeric string for other patterns.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_dot_repeat(self).unwrap_or((0, 16));
+        let len = rng.sample_u64_as(lo, hi) as usize;
+        // Mix ASCII with some multi-byte chars so codecs see both.
+        const POOL: &[char] = &[
+            'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '_', '-', '.', '/', ':', '=', '!', '#', 'é',
+            'ß', '中', '€', '✓',
+        ];
+        (0..len).map(|_| POOL[rng.sample_u64_as(0, POOL.len() as u64 - 1) as usize]).collect()
+    }
+}
+
+fn parse_dot_repeat(pattern: &str) -> Option<(u64, u64)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+/// Runs a property once per generated case.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn addition_commutes(a in 0i64..100, b in 0i64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let test_path = concat!(module_path!(), "::", stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut draws: u32 = 0;
+            while accepted < config.cases {
+                assert!(
+                    draws < config.cases.saturating_mul(64).saturating_add(256),
+                    "proptest `{}`: too many rejected cases", test_path
+                );
+                let mut rng = $crate::TestRng::deterministic(test_path, draws);
+                draws += 1;
+                $(let $pat = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(message)) => {
+                        panic!(
+                            "proptest `{}` failed on case {} (draw {}): {}",
+                            test_path, accepted, draws - 1, message
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Property assertion: fails the current case (not the process) so the
+/// runner can report which generated case violated the property.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Property equality assertion; both sides are shown on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), left, right
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case; the runner draws a fresh one.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// The glob-import surface test modules use.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u8..10, -5i64..=5), v in any::<u64>()) {
+            prop_assert!(a < 10);
+            prop_assert!((-5..=5).contains(&b), "b out of range: {b}");
+            prop_assert_eq!(v, v);
+        }
+
+        #[test]
+        fn vec_and_map_strategies(
+            items in prop::collection::vec((1u32..100).prop_map(|x| x * 2), 0..8)
+        ) {
+            prop_assert!(items.len() < 8);
+            prop_assert!(items.iter().all(|x| x % 2 == 0));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn string_pattern_bounds_length(s in ".{0,64}") {
+            prop_assert!(s.chars().count() <= 64);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let mut a = crate::TestRng::deterministic("x", 3);
+        let mut b = crate::TestRng::deterministic("x", 3);
+        let strat = (0u64..1000, -10i64..10);
+        assert_eq!(
+            crate::Strategy::generate(&strat, &mut a),
+            crate::Strategy::generate(&strat, &mut b)
+        );
+    }
+}

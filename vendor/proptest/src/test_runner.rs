@@ -1,0 +1,68 @@
+//! Deterministic per-case random number generation.
+
+/// A SplitMix64 generator seeded from `(test path, case index)`, so
+/// every run of a property test draws the same inputs in the same
+/// order — failures reproduce without recorded seeds.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator for one case of one test.
+    pub fn deterministic(test_path: &str, case: u32) -> Self {
+        // FNV-1a over the path, then fold in the case index.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_path.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: hash ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[lo, hi]` for any unsigned-convertible type.
+    pub fn sample_u64_as<T: Copy + TryInto<u64> + TryFrom<u64>>(&mut self, lo: T, hi: T) -> T
+    where
+        <T as TryInto<u64>>::Error: std::fmt::Debug,
+        <T as TryFrom<u64>>::Error: std::fmt::Debug,
+    {
+        let lo_u: u64 = lo.try_into().expect("range start fits u64");
+        let hi_u: u64 = hi.try_into().expect("range end fits u64");
+        assert!(lo_u <= hi_u, "empty range");
+        let span = hi_u - lo_u;
+        let draw =
+            if span == u64::MAX { self.next_u64() } else { lo_u + self.next_u64() % (span + 1) };
+        T::try_from(draw).expect("draw fits source type")
+    }
+
+    /// Uniform draw in `[lo, hi]` for signed types.
+    pub fn sample_i64_as<T: Copy + Into<i64> + TryFrom<i64>>(&mut self, lo: T, hi: T) -> T
+    where
+        <T as TryFrom<i64>>::Error: std::fmt::Debug,
+    {
+        let lo_i: i64 = lo.into();
+        let hi_i: i64 = hi.into();
+        assert!(lo_i <= hi_i, "empty range");
+        let span = hi_i.wrapping_sub(lo_i) as u64;
+        let draw = if span == u64::MAX {
+            self.next_u64() as i64
+        } else {
+            lo_i.wrapping_add((self.next_u64() % (span + 1)) as i64)
+        };
+        T::try_from(draw).expect("draw fits source type")
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}

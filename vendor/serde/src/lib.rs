@@ -1,0 +1,17 @@
+//! In-workspace substitute for the slice of `serde` GridBank uses.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a handful of
+//! record types to mark them wire-stable, but all actual encoding goes
+//! through the hand-written binary/text codecs (`gridbank_rur::codec`,
+//! `gridbank_core::api`). Nothing bounds on the serde traits, so the
+//! marker traits here plus no-op derive macros satisfy every use site
+//! without pulling serde's real machinery into an offline build.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
