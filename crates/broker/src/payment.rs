@@ -71,12 +71,26 @@ pub struct PaymentModule<P: BankPort> {
     /// Budget state.
     pub tracker: BudgetTracker,
     account: Option<AccountId>,
+    /// Instrument requests that failed on a *transient* bank-link
+    /// condition (retryable transport error / open circuit). The
+    /// commitment was rolled back; the broker can re-issue these once
+    /// the bank is reachable again instead of failing the batch.
+    pub deferred: u64,
+}
+
+/// Classifies a bank failure for degraded-mode accounting: transient
+/// link conditions count as deferrals, everything else propagates as-is.
+fn note_degraded(e: &BrokerError, deferred: &mut u64) {
+    if e.is_transient() {
+        *deferred += 1;
+        gridbank_obs::count("broker.payment.deferred", 1);
+    }
 }
 
 impl<P: BankPort> PaymentModule<P> {
     /// Wraps a port with a budget.
     pub fn new(port: P, budget: Credits) -> Self {
-        PaymentModule { port, tracker: BudgetTracker::new(budget), account: None }
+        PaymentModule { port, tracker: BudgetTracker::new(budget), account: None, deferred: 0 }
     }
 
     /// Ensures the user has an account (creating one on first use) and
@@ -114,7 +128,9 @@ impl<P: BankPort> PaymentModule<P> {
             Ok(c) => Ok(c),
             Err(e) => {
                 self.tracker.release(amount);
-                Err(e.into())
+                let e: BrokerError = e.into();
+                note_degraded(&e, &mut self.deferred);
+                Err(e)
             }
         }
     }
@@ -141,7 +157,9 @@ impl<P: BankPort> PaymentModule<P> {
             Ok(c) => Ok(c),
             Err(e) => {
                 self.tracker.release(total);
-                Err(e.into())
+                let e: BrokerError = e.into();
+                note_degraded(&e, &mut self.deferred);
+                Err(e)
             }
         }
     }
@@ -162,7 +180,9 @@ impl<P: BankPort> PaymentModule<P> {
             }
             Err(e) => {
                 self.tracker.release(amount);
-                Err(e.into())
+                let e: BrokerError = e.into();
+                note_degraded(&e, &mut self.deferred);
+                Err(e)
             }
         }
     }
@@ -236,6 +256,90 @@ mod tests {
         m.settle_cheque(&cheque, Credits::from_gd(2));
         assert_eq!(m.tracker.spent, Credits::from_gd(2));
         assert_eq!(m.tracker.remaining(), Credits::from_gd(8));
+    }
+
+    #[test]
+    fn transient_bank_failures_count_as_deferrals() {
+        use gridbank_core::error::BankError;
+        use gridbank_net::NetError;
+
+        struct UnreachableBank;
+        impl BankPort for UnreachableBank {
+            fn create_account(&mut self, _o: Option<String>) -> Result<AccountId, BankError> {
+                Err(BankError::Net(NetError::Timeout))
+            }
+            fn my_account(&mut self) -> Result<gridbank_core::db::AccountRecord, BankError> {
+                Err(BankError::Net(NetError::Timeout))
+            }
+            fn check_funds(&mut self, _a: AccountId, _m: Credits) -> Result<(), BankError> {
+                Err(BankError::Net(NetError::Timeout))
+            }
+            fn direct_transfer(
+                &mut self,
+                _to: AccountId,
+                _m: Credits,
+                _r: &str,
+            ) -> Result<TransferConfirmation, BankError> {
+                Err(BankError::Net(NetError::CircuitOpen))
+            }
+            fn request_cheque(
+                &mut self,
+                _p: &str,
+                _m: Credits,
+                _v: u64,
+            ) -> Result<GridCheque, BankError> {
+                Err(BankError::Net(NetError::Disconnected))
+            }
+            fn redeem_cheque(
+                &mut self,
+                _c: GridCheque,
+                _r: gridbank_rur::record::ResourceUsageRecord,
+            ) -> Result<(Credits, Credits), BankError> {
+                Err(BankError::Net(NetError::Timeout))
+            }
+            fn request_hash_chain(
+                &mut self,
+                _p: &str,
+                _l: u32,
+                _v: Credits,
+                _t: u64,
+            ) -> Result<ClientHashChain, BankError> {
+                Err(BankError::NotAuthorized("nope".into()))
+            }
+            fn redeem_payword(
+                &mut self,
+                _c: gridbank_core::payword::ChainCommitment,
+                _s: gridbank_crypto::merkle::MerkleSignature,
+                _w: gridbank_core::payword::PayWord,
+                _b: Vec<u8>,
+            ) -> Result<Credits, BankError> {
+                Err(BankError::Net(NetError::Timeout))
+            }
+            fn register_resource_description(
+                &mut self,
+                _d: gridbank_core::pricing::ResourceDescription,
+            ) -> Result<(), BankError> {
+                Err(BankError::Net(NetError::Timeout))
+            }
+        }
+
+        let mut m = PaymentModule::new(UnreachableBank, Credits::from_gd(10));
+        // Disconnected cheque request: transient, commitment released.
+        let err = m.obtain_cheque("/CN=gsp", Credits::from_gd(2), 1_000).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(m.deferred, 1);
+        // Circuit-open prepay: transient too.
+        let err = m.prepay(AccountId::new(0, 1, 1), Credits::from_gd(1), "gsp").unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(m.deferred, 2);
+        // A real refusal is NOT transient and not deferred.
+        let Err(err) = m.obtain_chain("/CN=gsp", 2, Credits::from_gd(1), 1_000) else {
+            panic!("expected an error");
+        };
+        assert!(!err.is_transient());
+        assert_eq!(m.deferred, 2);
+        // Every rollback happened: full budget headroom remains.
+        assert_eq!(m.tracker.remaining(), Credits::from_gd(10));
     }
 
     #[test]

@@ -12,7 +12,8 @@ use gridbank_rur::Credits;
 
 use crate::clock::Clock;
 use crate::db::{
-    AccountId, AccountRecord, Database, TransactionRecord, TransactionType, TransferRecord,
+    AccountId, AccountRecord, CommitRows, Database, IdemStamp, TransactionRecord, TransactionType,
+    TransferRecord,
 };
 use crate::error::BankError;
 
@@ -25,6 +26,27 @@ pub struct Statement {
     pub transactions: Vec<TransactionRecord>,
     /// Transfers (either side) in the requested window.
     pub transfers: Vec<TransferRecord>,
+}
+
+/// Idempotency instructions for a keyed transfer. The dedup stamp is
+/// journaled atomically with the transfer; since the transaction id is
+/// allocated inside the transfer, the recorded response is produced by
+/// `response_of(txid)` (a capture-free fn keeps this layer protocol-
+/// independent — the caller decides the response encoding).
+#[derive(Clone)]
+pub struct IdemKey {
+    /// Certificate name of the caller.
+    pub cert: String,
+    /// Client-generated idempotency key.
+    pub key: u64,
+    /// Builds the encoded response to remember, from the transaction id.
+    pub response_of: fn(u64) -> Vec<u8>,
+}
+
+impl IdemKey {
+    fn stamp(self, txid: u64) -> IdemStamp {
+        IdemStamp { cert: self.cert, key: self.key, response: (self.response_of)(txid) }
+    }
 }
 
 /// The accounts layer.
@@ -133,31 +155,53 @@ impl GbAccounts {
         amount: Credits,
         rur_blob: Vec<u8>,
     ) -> Result<u64, BankError> {
+        self.transfer_keyed(from, to, amount, rur_blob, None)
+    }
+
+    /// [`GbAccounts::transfer`] with an optional idempotency stamp that
+    /// commits atomically with the balance updates and audit rows — the
+    /// exactly-once building block for retried `DirectTransfer`s.
+    pub fn transfer_keyed(
+        &self,
+        from: &AccountId,
+        to: &AccountId,
+        amount: Credits,
+        rur_blob: Vec<u8>,
+        idem: Option<IdemKey>,
+    ) -> Result<u64, BankError> {
         if !amount.is_positive() {
             return Err(BankError::NonPositiveAmount);
         }
-        self.db.with_two_accounts_mut(from, to, |a, b| {
-            // §5.1 gives every account a Currency; a single branch clears
-            // only like-for-like (FX is a §6 inter-bank concern).
-            if a.currency != b.currency {
-                return Err(BankError::Protocol(format!(
-                    "currency mismatch: {} pays in {}, {} holds {}",
-                    a.id, a.currency, b.id, b.currency
-                )));
-            }
-            let new_avail = a.available.checked_sub(amount)?;
-            if new_avail < -a.credit_limit {
-                return Err(BankError::InsufficientFunds {
-                    account: a.id,
-                    needed: amount,
-                    spendable: a.spendable(),
-                });
-            }
-            a.available = new_avail;
-            b.available = b.available.checked_add(amount)?;
-            Ok(())
-        })?;
-        Ok(self.record_transfer(from, to, amount, rur_blob))
+        let (txid, rows) = self.transfer_rows(from, to, amount, rur_blob, idem);
+        self.db.two_account_commit(
+            from,
+            to,
+            |a, b| {
+                // §5.1 gives every account a Currency; a single branch
+                // clears only like-for-like (FX is a §6 inter-bank
+                // concern).
+                if a.currency != b.currency {
+                    return Err(BankError::Protocol(format!(
+                        "currency mismatch: {} pays in {}, {} holds {}",
+                        a.id, a.currency, b.id, b.currency
+                    )));
+                }
+                let new_avail = a.available.checked_sub(amount)?;
+                if new_avail < -a.credit_limit {
+                    return Err(BankError::InsufficientFunds {
+                        account: a.id,
+                        needed: amount,
+                        spendable: a.spendable(),
+                    });
+                }
+                a.available = new_avail;
+                b.available = b.available.checked_add(amount)?;
+                Ok(())
+            },
+            rows,
+        )?;
+        self.note_transfer(amount);
+        Ok(txid)
     }
 
     /// Perform Funds Availability Check (§5.2): "the amount is transferred
@@ -212,61 +256,92 @@ impl GbAccounts {
         amount: Credits,
         rur_blob: Vec<u8>,
     ) -> Result<u64, BankError> {
-        if !amount.is_positive() {
-            return Err(BankError::NonPositiveAmount);
-        }
-        self.db.with_two_accounts_mut(from, to, |a, b| {
-            if a.locked < amount {
-                return Err(BankError::InsufficientLockedFunds {
-                    account: a.id,
-                    needed: amount,
-                    locked: a.locked,
-                });
-            }
-            a.locked = a.locked.checked_sub(amount)?;
-            b.available = b.available.checked_add(amount)?;
-            Ok(())
-        })?;
-        Ok(self.record_transfer(from, to, amount, rur_blob))
+        self.transfer_from_locked_keyed(from, to, amount, rur_blob, None)
     }
 
-    fn record_transfer(
+    /// [`GbAccounts::transfer_from_locked`] with an optional idempotency
+    /// stamp committed atomically with the payout.
+    pub fn transfer_from_locked_keyed(
         &self,
         from: &AccountId,
         to: &AccountId,
         amount: Credits,
         rur_blob: Vec<u8>,
-    ) -> u64 {
-        gridbank_obs::count("core.transfer.count", 1);
-        gridbank_obs::observe("core.transfer.volume_micro", clamp_micro(amount));
+        idem: Option<IdemKey>,
+    ) -> Result<u64, BankError> {
+        if !amount.is_positive() {
+            return Err(BankError::NonPositiveAmount);
+        }
+        let (txid, rows) = self.transfer_rows(from, to, amount, rur_blob, idem);
+        self.db.two_account_commit(
+            from,
+            to,
+            |a, b| {
+                if a.locked < amount {
+                    return Err(BankError::InsufficientLockedFunds {
+                        account: a.id,
+                        needed: amount,
+                        locked: a.locked,
+                    });
+                }
+                a.locked = a.locked.checked_sub(amount)?;
+                b.available = b.available.checked_add(amount)?;
+                Ok(())
+            },
+            rows,
+        )?;
+        self.note_transfer(amount);
+        Ok(txid)
+    }
+
+    /// Builds the audit rows for a transfer so they can be committed in
+    /// the same critical section as the balance mutation.
+    fn transfer_rows(
+        &self,
+        from: &AccountId,
+        to: &AccountId,
+        amount: Credits,
+        rur_blob: Vec<u8>,
+        idem: Option<IdemKey>,
+    ) -> (u64, CommitRows) {
         let txid = self.db.allocate_transaction_id();
         let now = self.clock.now_ms();
-        self.db.append_transaction(TransactionRecord {
-            transaction_id: txid,
-            account: *from,
-            tx_type: TransactionType::Transfer,
-            date_ms: now,
-            amount: -amount,
-        });
-        self.db.append_transaction(TransactionRecord {
-            transaction_id: txid,
-            account: *to,
-            tx_type: TransactionType::Transfer,
-            date_ms: now,
-            amount,
-        });
-        self.db.append_transfer(TransferRecord {
-            transaction_id: txid,
-            date_ms: now,
-            drawer: *from,
-            amount,
-            recipient: *to,
-            rur_blob,
-            // Correlates this audit row with the active span trace (0 =
-            // no trace was active).
-            trace_id: gridbank_obs::current_trace_id(),
-        });
-        txid
+        let rows = CommitRows {
+            transactions: vec![
+                TransactionRecord {
+                    transaction_id: txid,
+                    account: *from,
+                    tx_type: TransactionType::Transfer,
+                    date_ms: now,
+                    amount: -amount,
+                },
+                TransactionRecord {
+                    transaction_id: txid,
+                    account: *to,
+                    tx_type: TransactionType::Transfer,
+                    date_ms: now,
+                    amount,
+                },
+            ],
+            transfer: Some(TransferRecord {
+                transaction_id: txid,
+                date_ms: now,
+                drawer: *from,
+                amount,
+                recipient: *to,
+                rur_blob,
+                // Correlates this audit row with the active span trace
+                // (0 = no trace was active).
+                trace_id: gridbank_obs::current_trace_id(),
+            }),
+            idem: idem.map(|k| k.stamp(txid)),
+        };
+        (txid, rows)
+    }
+
+    fn note_transfer(&self, amount: Credits) {
+        gridbank_obs::count("core.transfer.count", 1);
+        gridbank_obs::observe("core.transfer.volume_micro", clamp_micro(amount));
     }
 }
 

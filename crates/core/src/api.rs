@@ -197,6 +197,12 @@ impl Encode for crate::db::JournalEntry {
                 w.put_u8(4);
                 t.encode(w);
             }
+            J::Idem { cert, key, response } => {
+                w.put_u8(5);
+                w.put_str(cert);
+                w.put_u64(*key);
+                w.put_bytes(response);
+            }
         }
     }
 }
@@ -210,6 +216,9 @@ impl Decode for crate::db::JournalEntry {
             2 => J::Remove(AccountId::decode(r)?),
             3 => J::Transaction(TransactionRecord::decode(r)?),
             4 => J::Transfer(TransferRecord::decode(r)?),
+            5 => {
+                J::Idem { cert: r.get_str()?, key: r.get_u64()?, response: r.get_bytes()?.to_vec() }
+            }
             t => return Err(RurError::Decode(format!("bad journal tag {t}"))),
         })
     }
@@ -415,6 +424,36 @@ impl BankRequest {
             BankRequest::AdminCreditLimit { .. } => "AdminCreditLimit",
             BankRequest::AdminCancelTransfer { .. } => "AdminCancelTransfer",
             BankRequest::AdminCloseAccount { .. } => "AdminCloseAccount",
+        }
+    }
+
+    /// Whether the request mutates bank state. Mutating requests are the
+    /// ones a resilient client must stamp with an idempotency key before
+    /// retrying — re-sending a read is always safe.
+    pub fn is_mutating(&self) -> bool {
+        match self {
+            BankRequest::MyAccount
+            | BankRequest::AccountDetails { .. }
+            | BankRequest::Statement { .. }
+            | BankRequest::EstimatePrice { .. } => false,
+            // CheckFunds *locks* funds (§3.4 guarantee) — replaying it
+            // unkeyed would strand a second lock.
+            BankRequest::CheckFunds { .. }
+            | BankRequest::CreateAccount { .. }
+            | BankRequest::UpdateAccount { .. }
+            | BankRequest::DirectTransfer { .. }
+            | BankRequest::RequestCheque { .. }
+            | BankRequest::RedeemCheque { .. }
+            | BankRequest::RequestHashChain { .. }
+            | BankRequest::RedeemPayWord { .. }
+            | BankRequest::CloseHashChain { .. }
+            | BankRequest::RegisterResourceDescription { .. }
+            | BankRequest::RedeemChequeBatch { .. }
+            | BankRequest::AdminDeposit { .. }
+            | BankRequest::AdminWithdraw { .. }
+            | BankRequest::AdminCreditLimit { .. }
+            | BankRequest::AdminCancelTransfer { .. }
+            | BankRequest::AdminCloseAccount { .. } => true,
         }
     }
 

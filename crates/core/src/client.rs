@@ -85,8 +85,29 @@ impl GridBankClient {
         Ok(GridBankClient { rpc: RpcClient::new(channel, server) })
     }
 
+    /// Overrides the per-call response timeout (`None` restores the
+    /// transport default). Resilient wrappers set a short timeout so
+    /// faulted calls fail fast and retry.
+    pub fn set_call_timeout(&mut self, timeout: Option<std::time::Duration>) {
+        self.rpc.set_timeout(timeout);
+    }
+
     fn call(&mut self, request: &BankRequest) -> Result<BankResponse, BankError> {
-        let raw = self.rpc.call(&request.to_bytes())?;
+        self.call_keyed(None, request)
+    }
+
+    /// Sends a request, stamping it with an idempotency key when one is
+    /// given — the server then dedups retries of the same logical
+    /// operation (see `docs/RESILIENCE.md`).
+    pub fn call_keyed(
+        &mut self,
+        idem_key: Option<u64>,
+        request: &BankRequest,
+    ) -> Result<BankResponse, BankError> {
+        let raw = match idem_key {
+            Some(key) => self.rpc.call_with_key(key, &request.to_bytes())?,
+            None => self.rpc.call(&request.to_bytes())?,
+        };
         let resp = BankResponse::from_bytes(&raw)?;
         if let BankResponse::Error { kind, message } = resp {
             return Err(error_from_wire(kind, message));

@@ -11,7 +11,7 @@
 //! Monetary fields are exact [`Credits`] rather than the paper's SQL
 //! `FLOAT` (see DESIGN.md §4).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use parking_lot::{Mutex, RwLock};
@@ -176,7 +176,69 @@ pub enum JournalEntry {
     Transaction(TransactionRecord),
     /// A transfer row appended.
     Transfer(TransferRecord),
+    /// An idempotency key consumed by a mutating request, with the
+    /// encoded response it produced — replay repopulates the dedup
+    /// cache so retries after a crash still return the original result.
+    Idem {
+        /// Certificate name of the caller that supplied the key.
+        cert: String,
+        /// Client-generated idempotency key.
+        key: u64,
+        /// Encoded response of the original execution.
+        response: Vec<u8>,
+    },
 }
+
+/// An idempotency stamp committed atomically with a mutation batch.
+#[derive(Clone, Debug)]
+pub struct IdemStamp {
+    /// Certificate name of the caller.
+    pub cert: String,
+    /// Client-generated idempotency key.
+    pub key: u64,
+    /// Encoded response to hand back on a retried request.
+    pub response: Vec<u8>,
+}
+
+/// Rows committed atomically with a two-account mutation — the audit
+/// trail and the dedup mark land in the journal in the same critical
+/// section as the balance updates, so a crash can never separate them.
+#[derive(Default)]
+pub struct CommitRows {
+    /// TRANSACTION RECORD rows (one per posted account entry).
+    pub transactions: Vec<TransactionRecord>,
+    /// The paired TRANSFER RECORD, if this mutation is a transfer.
+    pub transfer: Option<TransferRecord>,
+    /// Idempotency stamp for exactly-once retry semantics.
+    pub idem: Option<IdemStamp>,
+}
+
+/// Bounded FIFO dedup cache for idempotency keys.
+struct IdemCache {
+    capacity: usize,
+    map: HashMap<(String, u64), Vec<u8>>,
+    order: VecDeque<(String, u64)>,
+}
+
+impl IdemCache {
+    fn insert(&mut self, cert: &str, key: u64, response: Vec<u8>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let k = (cert.to_string(), key);
+        if self.map.insert(k.clone(), response).is_none() {
+            self.order.push_back(k);
+            while self.order.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+/// Default bound on remembered idempotency keys per database.
+pub const DEFAULT_IDEM_CAPACITY: usize = 4096;
 
 /// The embedded store.
 pub struct Database {
@@ -187,6 +249,7 @@ pub struct Database {
     transactions: RwLock<Vec<TransactionRecord>>,
     transfers: RwLock<Vec<TransferRecord>>,
     journal: Mutex<Vec<JournalEntry>>,
+    idem: Mutex<IdemCache>,
     next_account: AtomicU32,
     next_tx: AtomicU64,
 }
@@ -202,8 +265,61 @@ impl Database {
             transactions: RwLock::new(Vec::new()),
             transfers: RwLock::new(Vec::new()),
             journal: Mutex::new(Vec::new()),
+            idem: Mutex::new(IdemCache {
+                capacity: DEFAULT_IDEM_CAPACITY,
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
             next_account: AtomicU32::new(1),
             next_tx: AtomicU64::new(1),
+        }
+    }
+
+    /// Re-bounds the idempotency dedup cache. Capacity 0 disables
+    /// exactly-once deduplication entirely (chaos tests use this to
+    /// prove their double-charge assertions have teeth).
+    pub fn set_idem_capacity(&self, capacity: usize) {
+        let mut cache = self.idem.lock();
+        cache.capacity = capacity;
+        if capacity == 0 {
+            cache.map.clear();
+            cache.order.clear();
+        } else {
+            while cache.order.len() > capacity {
+                if let Some(old) = cache.order.pop_front() {
+                    cache.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Looks up the remembered response for `(cert, key)`, if this
+    /// idempotency key was already consumed.
+    pub fn idem_lookup(&self, cert: &str, key: u64) -> Option<Vec<u8>> {
+        self.idem.lock().map.get(&(cert.to_string(), key)).cloned()
+    }
+
+    /// Records a consumed idempotency key with its response: cached for
+    /// retries and journaled so crash-replay preserves the dedup. No-op
+    /// when the cache is disabled (capacity 0).
+    pub fn idem_record(&self, cert: &str, key: u64, response: Vec<u8>) {
+        let mut cache = self.idem.lock();
+        if cache.capacity == 0 {
+            return;
+        }
+        cache.insert(cert, key, response.clone());
+        drop(cache);
+        self.journal.lock().push(JournalEntry::Idem { cert: cert.to_string(), key, response });
+    }
+
+    /// Replaces the cached response for an already-recorded key without
+    /// journaling again — used to upgrade a journaled placeholder to the
+    /// fully signed response once post-commit signing finishes.
+    pub fn idem_upgrade(&self, cert: &str, key: u64, response: Vec<u8>) {
+        let mut cache = self.idem.lock();
+        let k = (cert.to_string(), key);
+        if let Some(slot) = cache.map.get_mut(&k) {
+            *slot = response;
         }
     }
 
@@ -296,6 +412,23 @@ impl Database {
         b: &AccountId,
         f: impl FnOnce(&mut AccountRecord, &mut AccountRecord) -> Result<T, BankError>,
     ) -> Result<T, BankError> {
+        self.two_account_commit(a, b, f, CommitRows::default())
+    }
+
+    /// Like [`Database::with_two_accounts_mut`], but also commits the
+    /// given audit rows and idempotency stamp in the *same* critical
+    /// section: the balance updates, transaction/transfer rows, and the
+    /// dedup mark reach the journal as one contiguous batch while the
+    /// shard locks are still held. A crash therefore either sees the
+    /// whole operation (and replay dedups the retry) or none of it (and
+    /// the retry applies cleanly) — never a double-apply.
+    pub fn two_account_commit<T>(
+        &self,
+        a: &AccountId,
+        b: &AccountId,
+        f: impl FnOnce(&mut AccountRecord, &mut AccountRecord) -> Result<T, BankError>,
+        rows: CommitRows,
+    ) -> Result<T, BankError> {
         if a == b {
             return Err(BankError::Protocol("transfer to the same account".into()));
         }
@@ -342,9 +475,32 @@ impl Database {
             snap_a = ra.clone();
             snap_b = rb.clone();
         }
+        // Commit tables + journal under the shard locks, honoring the
+        // table-lock-before-journal-lock order used everywhere else.
+        let mut txs_table = self.transactions.write();
+        let mut tfs_table = self.transfers.write();
         let mut j = self.journal.lock();
         j.push(JournalEntry::Update(snap_a));
         j.push(JournalEntry::Update(snap_b));
+        for tx in rows.transactions {
+            txs_table.push(tx.clone());
+            j.push(JournalEntry::Transaction(tx));
+        }
+        if let Some(t) = rows.transfer {
+            tfs_table.push(t.clone());
+            j.push(JournalEntry::Transfer(t));
+        }
+        if let Some(stamp) = rows.idem {
+            let mut cache = self.idem.lock();
+            if cache.capacity > 0 {
+                cache.insert(&stamp.cert, stamp.key, stamp.response.clone());
+                j.push(JournalEntry::Idem {
+                    cert: stamp.cert,
+                    key: stamp.key,
+                    response: stamp.response,
+                });
+            }
+        }
         Ok(out)
     }
 
@@ -475,6 +631,9 @@ impl Database {
                 JournalEntry::Transfer(t) => {
                     max_tx = max_tx.max(t.transaction_id);
                     db.transfers.write().push(t.clone());
+                }
+                JournalEntry::Idem { cert, key, response } => {
+                    db.idem.lock().insert(cert, *key, response.clone());
                 }
             }
         }
@@ -662,6 +821,99 @@ mod tests {
         assert!(rebuilt.allocate_transaction_id() > 1);
         // Removed account's cert can be reused after replay.
         assert!(!rebuilt.subject_known("/CN=c"));
+    }
+
+    #[test]
+    fn idem_cache_remembers_evicts_and_survives_replay() {
+        let db = Database::new(1, 1);
+        assert_eq!(db.idem_lookup("/CN=a", 7), None);
+        db.idem_record("/CN=a", 7, vec![1, 2]);
+        assert_eq!(db.idem_lookup("/CN=a", 7), Some(vec![1, 2]));
+        // Keys are scoped per caller certificate.
+        assert_eq!(db.idem_lookup("/CN=b", 7), None);
+        // Upgrade replaces the cached bytes without another journal row.
+        let journal_len = db.journal_snapshot().len();
+        db.idem_upgrade("/CN=a", 7, vec![9]);
+        assert_eq!(db.idem_lookup("/CN=a", 7), Some(vec![9]));
+        assert_eq!(db.journal_snapshot().len(), journal_len);
+        // Replay repopulates the cache (with the journaled bytes).
+        let rebuilt = Database::replay(1, 1, &db.journal_snapshot());
+        assert_eq!(rebuilt.idem_lookup("/CN=a", 7), Some(vec![1, 2]));
+        // FIFO eviction at the capacity bound.
+        db.set_idem_capacity(2);
+        db.idem_record("/CN=a", 8, vec![]);
+        db.idem_record("/CN=a", 9, vec![]);
+        assert_eq!(db.idem_lookup("/CN=a", 7), None);
+        assert!(db.idem_lookup("/CN=a", 9).is_some());
+        // Capacity 0 disables the cache entirely.
+        db.set_idem_capacity(0);
+        assert_eq!(db.idem_lookup("/CN=a", 9), None);
+        db.idem_record("/CN=a", 10, vec![3]);
+        assert_eq!(db.idem_lookup("/CN=a", 10), None);
+    }
+
+    #[test]
+    fn two_account_commit_batches_rows_atomically() {
+        let db = Database::new(1, 1);
+        let ra = record(&db, "/CN=a", 10);
+        let rb = record(&db, "/CN=b", 0);
+        let (ida, idb) = (ra.id, rb.id);
+        db.insert_account(ra).unwrap();
+        db.insert_account(rb).unwrap();
+        let txid = db.allocate_transaction_id();
+        let rows = CommitRows {
+            transactions: vec![TransactionRecord {
+                transaction_id: txid,
+                account: ida,
+                tx_type: TransactionType::Transfer,
+                date_ms: 5,
+                amount: Credits::from_gd(-4),
+            }],
+            transfer: Some(TransferRecord {
+                transaction_id: txid,
+                date_ms: 5,
+                drawer: ida,
+                amount: Credits::from_gd(4),
+                recipient: idb,
+                rur_blob: vec![],
+                trace_id: 0,
+            }),
+            idem: Some(IdemStamp { cert: "/CN=a".into(), key: 42, response: vec![7] }),
+        };
+        db.two_account_commit(
+            &ida,
+            &idb,
+            |a, b| {
+                a.available = a.available.checked_sub(Credits::from_gd(4))?;
+                b.available = b.available.checked_add(Credits::from_gd(4))?;
+                Ok(())
+            },
+            rows,
+        )
+        .unwrap();
+        assert_eq!(db.idem_lookup("/CN=a", 42), Some(vec![7]));
+        assert!(db.transfer_by_id(txid).is_some());
+        assert_eq!(db.transactions_in_range(&ida, 0, 100).len(), 1);
+        // The journal batch is contiguous: updates, rows, then the stamp.
+        let tail: Vec<_> = db.journal_snapshot().into_iter().rev().take(4).collect();
+        assert!(matches!(tail[0], JournalEntry::Idem { key: 42, .. }));
+        assert!(matches!(tail[1], JournalEntry::Transfer(_)));
+        assert!(matches!(tail[2], JournalEntry::Transaction(_)));
+        assert!(matches!(tail[3], JournalEntry::Update(_)));
+        // A failed mutation commits none of the rows.
+        let before = db.journal_snapshot().len();
+        let bad = db.two_account_commit(
+            &ida,
+            &idb,
+            |_a, _b| Err::<(), _>(BankError::NonPositiveAmount),
+            CommitRows {
+                idem: Some(IdemStamp { cert: "/CN=a".into(), key: 43, response: vec![] }),
+                ..CommitRows::default()
+            },
+        );
+        assert!(bad.is_err());
+        assert_eq!(db.journal_snapshot().len(), before);
+        assert_eq!(db.idem_lookup("/CN=a", 43), None);
     }
 
     #[test]

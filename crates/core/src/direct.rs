@@ -19,7 +19,7 @@ use gridbank_crypto::merkle::MerkleSignature;
 use gridbank_rur::codec::{ByteReader, ByteWriter, Decode, Encode};
 use gridbank_rur::{Credits, RurError};
 
-use crate::accounts::GbAccounts;
+use crate::accounts::{GbAccounts, IdemKey};
 use crate::db::AccountId;
 use crate::error::BankError;
 
@@ -101,7 +101,24 @@ pub fn direct_transfer(
     amount: Credits,
     recipient_address: &str,
 ) -> Result<TransferConfirmation, BankError> {
-    let transaction_id = accounts.transfer(from, to, amount, Vec::new())?;
+    direct_transfer_keyed(accounts, signer, from, to, amount, recipient_address, None)
+}
+
+/// [`direct_transfer`] with an optional idempotency key. The dedup stamp
+/// is journaled atomically with the transfer, so a retried request after
+/// a crash cannot re-apply; the signature happens after the commit, so
+/// the stamp remembers an unsigned placeholder confirmation that the
+/// server upgrades to the signed response once signing completes.
+pub fn direct_transfer_keyed(
+    accounts: &GbAccounts,
+    signer: &SigningIdentity,
+    from: &AccountId,
+    to: &AccountId,
+    amount: Credits,
+    recipient_address: &str,
+    idem: Option<IdemKey>,
+) -> Result<TransferConfirmation, BankError> {
+    let transaction_id = accounts.transfer_keyed(from, to, amount, Vec::new(), idem)?;
     let body = ConfirmationBody {
         transaction_id,
         drawer: *from,

@@ -47,6 +47,7 @@ pub mod guarantee;
 pub mod payword;
 pub mod port;
 pub mod pricing;
+pub mod resilient;
 pub mod server;
 
 pub use accounts::GbAccounts;
@@ -60,4 +61,5 @@ pub use db::{
 };
 pub use error::BankError;
 pub use payword::{GridHashChain, PayWord};
+pub use resilient::{BackoffSleep, ResilientBankClient};
 pub use server::{GridBank, GridBankConfig, GridBankServer};

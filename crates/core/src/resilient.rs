@@ -1,0 +1,372 @@
+//! Resilient bank client: retries, reconnects, and exactly-once keys.
+//!
+//! [`ResilientBankClient`] wraps the typed [`GridBankClient`] with the
+//! machinery a broker needs to survive a flaky bank link (ISSUE 2 /
+//! `docs/RESILIENCE.md`):
+//!
+//! * every attempt that fails with a *retryable* transport error
+//!   ([`NetError::is_retryable`]) tears the connection down and retries
+//!   over a **fresh handshake**, pacing itself with a seeded
+//!   [`RetryPolicy`] backoff schedule;
+//! * a [`CircuitBreaker`] fails calls fast once the bank looks dead,
+//!   and probes it again after a cooldown (graceful degradation);
+//! * mutating requests are stamped with a **stable idempotency key**
+//!   that is reused across every retry of the same logical operation,
+//!   so the bank's dedup cache makes "maybe it applied" retries safe.
+//!
+//! Typed bank errors (insufficient funds, not authorized, ...) mean the
+//! round trip *worked*; they are returned immediately and count as
+//! breaker successes.
+
+use std::time::Duration;
+
+use gridbank_net::retry::{BreakerState, CircuitBreaker, RetryPolicy};
+use gridbank_rur::record::ResourceUsageRecord;
+use gridbank_rur::Credits;
+
+use gridbank_crypto::merkle::MerkleSignature;
+
+use crate::api::{BankRequest, BankResponse};
+use crate::cheque::GridCheque;
+use crate::client::{ClientHashChain, GridBankClient};
+use crate::clock::Clock;
+use crate::db::{AccountId, AccountRecord};
+use crate::direct::TransferConfirmation;
+use crate::error::BankError;
+use crate::payword::{ChainCommitment, PayWord};
+use crate::port::BankPort;
+use crate::pricing::ResourceDescription;
+
+/// How the client waits out a backoff delay.
+#[derive(Clone, Debug, Default)]
+pub enum BackoffSleep {
+    /// Retry immediately. Right for in-process transports where faults
+    /// are per-message, not per-time-window.
+    #[default]
+    None,
+    /// Advance the shared virtual clock — deterministic simulations.
+    Virtual,
+    /// `std::thread::sleep` — real deployments.
+    Real,
+}
+
+/// Builds a fresh authenticated connection (full handshake).
+pub type Connector = Box<dyn FnMut() -> Result<GridBankClient, BankError> + Send>;
+
+/// A [`GridBankClient`] wrapper with retry, reconnect, circuit-breaker,
+/// and idempotency-key stamping. Implements [`BankPort`], so GBPM/GBCM
+/// code can run over a faulty link unchanged.
+pub struct ResilientBankClient {
+    connector: Connector,
+    client: Option<GridBankClient>,
+    policy: RetryPolicy,
+    breaker: CircuitBreaker,
+    clock: Clock,
+    sleep: BackoffSleep,
+    call_timeout: Option<Duration>,
+    key_seed: u64,
+    ops: u64,
+}
+
+impl ResilientBankClient {
+    /// Wraps a connector. `key_seed` decorrelates this client's
+    /// idempotency keys (and its jitter stream) from other clients'.
+    pub fn new(connector: Connector, policy: RetryPolicy, clock: Clock, key_seed: u64) -> Self {
+        ResilientBankClient {
+            connector,
+            client: None,
+            policy: policy.with_seed(policy.seed ^ key_seed),
+            breaker: CircuitBreaker::new(8, 1_000),
+            clock,
+            sleep: BackoffSleep::None,
+            call_timeout: Some(Duration::from_millis(100)),
+            key_seed,
+            ops: 0,
+        }
+    }
+
+    /// Replaces the circuit breaker (threshold/cooldown tuning).
+    pub fn with_breaker(mut self, breaker: CircuitBreaker) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Sets the backoff sleeping mode.
+    pub fn with_sleep(mut self, sleep: BackoffSleep) -> Self {
+        self.sleep = sleep;
+        self
+    }
+
+    /// Sets the per-attempt response timeout (`None` = transport
+    /// default). Short timeouts make dropped replies fail fast.
+    pub fn with_call_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.call_timeout = timeout;
+        self
+    }
+
+    /// Observable breaker state (tests, dashboards).
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// A fresh idempotency key for one logical mutating operation. The
+    /// key stays fixed across every retry of that operation.
+    fn fresh_key(&mut self) -> u64 {
+        self.ops += 1;
+        self.key_seed ^ self.ops.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    fn wait(&self, delay_ms: u64) {
+        match self.sleep {
+            BackoffSleep::None => {}
+            BackoffSleep::Virtual => {
+                self.clock.advance(delay_ms);
+            }
+            BackoffSleep::Real => std::thread::sleep(Duration::from_millis(delay_ms)),
+        }
+    }
+
+    fn attempt(
+        &mut self,
+        key: Option<u64>,
+        request: &BankRequest,
+    ) -> Result<BankResponse, BankError> {
+        if self.client.is_none() {
+            let mut fresh = (self.connector)()?;
+            fresh.set_call_timeout(self.call_timeout);
+            self.client = Some(fresh);
+        }
+        self.client.as_mut().expect("just connected").call_keyed(key, request)
+    }
+
+    /// Sends one logical request with retries. Mutating requests are
+    /// stamped with a stable idempotency key; reads retry bare (always
+    /// safe to repeat).
+    pub fn call(&mut self, request: &BankRequest) -> Result<BankResponse, BankError> {
+        let key = if request.is_mutating() { Some(self.fresh_key()) } else { None };
+        let mut schedule = self.policy.schedule();
+        loop {
+            self.breaker.admit(self.clock.now_ms()).map_err(BankError::Net)?;
+            gridbank_obs::count("net.retry.attempts", 1);
+            match self.attempt(key, request) {
+                Ok(resp) => {
+                    self.breaker.record_success();
+                    return Ok(resp);
+                }
+                Err(BankError::Net(e)) if e.is_retryable() => {
+                    self.breaker.record_failure(self.clock.now_ms());
+                    // The channel's state is suspect (lost frames break
+                    // the sequence discipline): reconnect from scratch.
+                    self.client = None;
+                    match schedule.next() {
+                        Some(delay_ms) => {
+                            gridbank_obs::observe("net.retry.backoff_ms", delay_ms);
+                            self.wait(delay_ms);
+                        }
+                        None => {
+                            gridbank_obs::count("net.retry.giveups", 1);
+                            return Err(BankError::Net(e));
+                        }
+                    }
+                }
+                Err(e) => {
+                    // A typed bank error is a *successful* round trip.
+                    if !matches!(e, BankError::Net(_)) {
+                        self.breaker.record_success();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+fn unexpected(resp: BankResponse) -> BankError {
+    BankError::Protocol(format!("unexpected response {resp:?}"))
+}
+
+impl BankPort for ResilientBankClient {
+    fn create_account(&mut self, organization: Option<String>) -> Result<AccountId, BankError> {
+        match self.call(&BankRequest::CreateAccount { organization })? {
+            BankResponse::AccountCreated { account } => Ok(account),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn my_account(&mut self) -> Result<AccountRecord, BankError> {
+        match self.call(&BankRequest::MyAccount)? {
+            BankResponse::Account(r) => Ok(r),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn check_funds(&mut self, account: AccountId, amount: Credits) -> Result<(), BankError> {
+        match self.call(&BankRequest::CheckFunds { account, amount })? {
+            BankResponse::Confirmation { .. } => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn direct_transfer(
+        &mut self,
+        to: AccountId,
+        amount: Credits,
+        recipient_address: &str,
+    ) -> Result<TransferConfirmation, BankError> {
+        match self.call(&BankRequest::DirectTransfer {
+            to,
+            amount,
+            recipient_address: recipient_address.to_string(),
+        })? {
+            BankResponse::Confirmed(c) => Ok(c),
+            // A deduplicated retry can observe the journaled placeholder
+            // confirmation if the original signed response was never
+            // upgraded (e.g. the bank restarted in between). The funds
+            // moved exactly once either way; surface it as a protocol
+            // error only if neither shape matches.
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn request_cheque(
+        &mut self,
+        payee_cert: &str,
+        amount: Credits,
+        validity_ms: u64,
+    ) -> Result<GridCheque, BankError> {
+        match self.call(&BankRequest::RequestCheque {
+            payee_cert: payee_cert.to_string(),
+            amount,
+            validity_ms,
+        })? {
+            BankResponse::Cheque(c) => Ok(c),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn redeem_cheque(
+        &mut self,
+        cheque: GridCheque,
+        rur: ResourceUsageRecord,
+    ) -> Result<(Credits, Credits), BankError> {
+        match self.call(&BankRequest::RedeemCheque { cheque, rur })? {
+            BankResponse::Redeemed { paid, released } => Ok((paid, released)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn request_hash_chain(
+        &mut self,
+        payee_cert: &str,
+        length: u32,
+        value_per_word: Credits,
+        validity_ms: u64,
+    ) -> Result<ClientHashChain, BankError> {
+        match self.call(&BankRequest::RequestHashChain {
+            payee_cert: payee_cert.to_string(),
+            length,
+            value_per_word,
+            validity_ms,
+        })? {
+            BankResponse::HashChain { commitment, signature, chain } => {
+                Ok(ClientHashChain { commitment, signature, chain })
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn redeem_payword(
+        &mut self,
+        commitment: ChainCommitment,
+        signature: MerkleSignature,
+        payword: PayWord,
+        rur_blob: Vec<u8>,
+    ) -> Result<Credits, BankError> {
+        match self.call(&BankRequest::RedeemPayWord { commitment, signature, payword, rur_blob })? {
+            BankResponse::Redeemed { paid, .. } => Ok(paid),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn register_resource_description(
+        &mut self,
+        desc: ResourceDescription,
+    ) -> Result<(), BankError> {
+        match self.call(&BankRequest::RegisterResourceDescription { desc })? {
+            BankResponse::Confirmation { .. } => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridbank_net::NetError;
+
+    fn dead_connector() -> Connector {
+        Box::new(|| Err(BankError::Net(NetError::Timeout)))
+    }
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy { base_delay_ms: 1, max_delay_ms: 4, max_attempts: 3, deadline_ms: 50, seed: 1 }
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts_on_retryable_errors() {
+        let mut c = ResilientBankClient::new(dead_connector(), policy(), Clock::new(), 7);
+        let err = c.call(&BankRequest::MyAccount);
+        assert!(matches!(err, Err(BankError::Net(NetError::Timeout))));
+    }
+
+    #[test]
+    fn fatal_errors_do_not_retry() {
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let c2 = counter.clone();
+        let connector: Connector = Box::new(move || {
+            c2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Err(BankError::Net(NetError::Handshake("bad credentials".into())))
+        });
+        let mut c = ResilientBankClient::new(connector, policy(), Clock::new(), 7);
+        let err = c.call(&BankRequest::MyAccount);
+        assert!(matches!(err, Err(BankError::Net(NetError::Handshake(_)))));
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn breaker_opens_under_persistent_failure_and_fails_fast() {
+        let clock = Clock::new();
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let c2 = counter.clone();
+        let connector: Connector = Box::new(move || {
+            c2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Err(BankError::Net(NetError::Timeout))
+        });
+        let mut c = ResilientBankClient::new(connector, policy(), clock.clone(), 7)
+            .with_breaker(CircuitBreaker::new(2, 10_000));
+        assert!(c.call(&BankRequest::MyAccount).is_err());
+        assert!(matches!(c.breaker_state(), BreakerState::Open { .. }));
+        let after_first = counter.load(std::sync::atomic::Ordering::Relaxed);
+        // Now calls fail fast without touching the connector.
+        let err = c.call(&BankRequest::MyAccount);
+        assert!(matches!(err, Err(BankError::Net(NetError::CircuitOpen))));
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), after_first);
+        // After the cooldown exactly one probe is admitted; its failure
+        // re-opens the circuit, so the call again fails fast.
+        clock.advance(10_001);
+        let err = c.call(&BankRequest::MyAccount);
+        assert!(matches!(err, Err(BankError::Net(NetError::CircuitOpen))));
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), after_first + 1);
+        assert!(matches!(c.breaker_state(), BreakerState::Open { .. }));
+    }
+
+    #[test]
+    fn idempotency_keys_are_unique_per_operation() {
+        let mut c = ResilientBankClient::new(dead_connector(), policy(), Clock::new(), 7);
+        let a = c.fresh_key();
+        let b = c.fresh_key();
+        assert_ne!(a, b);
+        let mut other = ResilientBankClient::new(dead_connector(), policy(), Clock::new(), 8);
+        assert_ne!(a, other.fresh_key());
+    }
+}

@@ -68,6 +68,10 @@ pub struct GridBankConfig {
     pub signer_height: usize,
     /// Gate behaviour for unknown subjects.
     pub gate_mode: GateMode,
+    /// Bound on the idempotency dedup cache (exactly-once retries).
+    /// 0 disables deduplication — chaos tests use that to prove their
+    /// double-charge assertions have teeth.
+    pub idem_capacity: usize,
 }
 
 impl Default for GridBankConfig {
@@ -79,6 +83,7 @@ impl Default for GridBankConfig {
             key_material: KeyMaterial { seed: 0xB4A2 },
             signer_height: 12,
             gate_mode: GateMode::AllowEnrollment,
+            idem_capacity: crate::db::DEFAULT_IDEM_CAPACITY,
         }
     }
 }
@@ -107,6 +112,24 @@ impl GridBank {
     /// Builds a bank from configuration and a shared clock.
     pub fn new(config: GridBankConfig, clock: Clock) -> Self {
         let db = Arc::new(Database::new(config.bank, config.branch));
+        Self::with_database(config, clock, db)
+    }
+
+    /// Rebuilds a bank by replaying a journal — crash recovery. Account
+    /// state, audit rows, *and consumed idempotency keys* are restored,
+    /// so a client retrying a request the pre-crash bank already applied
+    /// still gets the original (deduplicated) outcome.
+    pub fn from_journal(
+        config: GridBankConfig,
+        clock: Clock,
+        journal: &[crate::db::JournalEntry],
+    ) -> Self {
+        let db = Arc::new(Database::replay(config.bank, config.branch, journal));
+        Self::with_database(config, clock, db)
+    }
+
+    fn with_database(config: GridBankConfig, clock: Clock, db: Arc<Database>) -> Self {
+        db.set_idem_capacity(config.idem_capacity);
         let accounts = GbAccounts::new(db, clock.clone());
         let admin = GbAdmin::new(accounts.clone(), config.admins.iter().cloned());
         let guarantee = FundsGuarantee::new(accounts.clone());
@@ -146,6 +169,27 @@ impl GridBank {
     /// The branch number.
     pub fn branch(&self) -> u16 {
         self.config.branch
+    }
+
+    /// Σ(available+locked) across every account — the conservation
+    /// quantity chaos and property tests track.
+    pub fn total_funds(&self) -> gridbank_rur::Credits {
+        self.accounts.db().total_funds()
+    }
+
+    /// Snapshot of every account (chaos assertions, diagnostics).
+    pub fn all_accounts(&self) -> Vec<crate::db::AccountRecord> {
+        self.accounts.db().all_accounts()
+    }
+
+    /// Snapshot of every transfer row (double-apply detection).
+    pub fn all_transfers(&self) -> Vec<crate::db::TransferRecord> {
+        self.accounts.db().all_transfers()
+    }
+
+    /// Snapshot of the write-ahead journal (crash-replay tests).
+    pub fn journal_snapshot(&self) -> Vec<crate::db::JournalEntry> {
+        self.accounts.db().journal_snapshot()
     }
 
     fn cheque_office(&self) -> ChequeOffice<'_> {
@@ -202,6 +246,21 @@ impl GridBank {
 
     /// Dispatches one request on behalf of an authenticated caller.
     pub fn handle(&self, caller: &SubjectName, request: BankRequest) -> BankResponse {
+        self.handle_keyed(caller, None, request)
+    }
+
+    /// [`GridBank::handle`] with the request's idempotency key (if the
+    /// wire frame carried one). A mutating request whose key was already
+    /// consumed returns the remembered original response instead of
+    /// re-applying — the exactly-once contract retried clients rely on.
+    /// Keys never dedup reads, and error responses are never remembered
+    /// (a failed attempt may legitimately succeed on retry).
+    pub fn handle_keyed(
+        &self,
+        caller: &SubjectName,
+        idem_key: Option<u64>,
+        request: BankRequest,
+    ) -> BankResponse {
         // Security layer: the caller's wire identity is resolved here, so
         // this span covers identity mapping plus everything dispatched.
         let variant = request.variant_name();
@@ -210,8 +269,36 @@ impl GridBank {
         let timer = gridbank_obs::Stopwatch::start();
         gridbank_obs::count("rpc.server.requests", 1);
         let caller_cert = caller.base_identity().0;
-        let resp = match self.dispatch(&caller_cert, request) {
-            Ok(resp) => resp,
+        let keyed = idem_key.filter(|_| request.is_mutating());
+        if let Some(key) = keyed {
+            if let Some(bytes) = self.accounts.db().idem_lookup(&caller_cert, key) {
+                if let Ok(resp) = BankResponse::from_bytes(&bytes) {
+                    gridbank_obs::count("core.idem.hit", 1);
+                    span.attr("idem", "hit");
+                    timer.record_named_label("rpc.server.latency_ns", variant);
+                    return resp;
+                }
+            }
+            gridbank_obs::count("core.idem.miss", 1);
+        }
+        // DirectTransfer commits its dedup stamp atomically inside the
+        // transfer batch; every other mutating variant is stamped here
+        // after it succeeds.
+        let stamped_inline = matches!(request, BankRequest::DirectTransfer { .. });
+        let resp = match self.dispatch(&caller_cert, keyed, request) {
+            Ok(resp) => {
+                if let Some(key) = keyed {
+                    if stamped_inline {
+                        // Upgrade the journaled placeholder to the fully
+                        // signed response (cache-only; no second journal
+                        // entry for the same key).
+                        self.accounts.db().idem_upgrade(&caller_cert, key, resp.to_bytes());
+                    } else {
+                        self.accounts.db().idem_record(&caller_cert, key, resp.to_bytes());
+                    }
+                }
+                resp
+            }
             Err(e) => {
                 gridbank_obs::count("rpc.server.errors", 1);
                 span.attr("error", e.to_string());
@@ -222,7 +309,12 @@ impl GridBank {
         resp
     }
 
-    fn dispatch(&self, caller_cert: &str, request: BankRequest) -> Result<BankResponse, BankError> {
+    fn dispatch(
+        &self,
+        caller_cert: &str,
+        idem_key: Option<u64>,
+        request: BankRequest,
+    ) -> Result<BankResponse, BankError> {
         // Enrollment-mode restriction: unknown subjects may only enroll.
         let known =
             self.accounts.db().subject_known(caller_cert) || self.admin.is_admin(caller_cert);
@@ -270,13 +362,24 @@ impl GridBank {
             }
             BankRequest::DirectTransfer { to, amount, recipient_address } => {
                 let from = self.accounts.account_by_cert(caller_cert)?.id;
-                let conf = crate::direct::direct_transfer(
+                // The journaled stamp remembers a plain confirmation of
+                // the committed txid; handle_keyed upgrades the cached
+                // copy to the signed response after signing.
+                let idem = idem_key.map(|key| crate::accounts::IdemKey {
+                    cert: caller_cert.to_string(),
+                    key,
+                    response_of: |txid| {
+                        BankResponse::Confirmation { transaction_id: txid }.to_bytes()
+                    },
+                });
+                let conf = crate::direct::direct_transfer_keyed(
                     &self.accounts,
                     &self.signer,
                     &from,
                     &to,
                     amount,
                     &recipient_address,
+                    idem,
                 )?;
                 Ok(BankResponse::Confirmed(conf))
             }
@@ -498,16 +601,17 @@ impl GridBankServer {
                         Ok(ok) => ok,
                         Err(_) => return, // refused or failed; nothing to serve
                     };
-                    let _ = RpcServer::serve_connection(channel, &peer, |peer, payload| {
-                        let response = match BankRequest::from_bytes(payload) {
-                            Ok(req) => bank.handle(&peer.subject, req),
-                            Err(e) => BankResponse::Error {
-                                kind: crate::api::kinds::OTHER,
-                                message: format!("malformed request: {e}"),
-                            },
-                        };
-                        response.to_bytes()
-                    });
+                    let _ =
+                        RpcServer::serve_connection(channel, &peer, |peer, idem_key, payload| {
+                            let response = match BankRequest::from_bytes(payload) {
+                                Ok(req) => bank.handle_keyed(&peer.subject, idem_key, req),
+                                Err(e) => BankResponse::Error {
+                                    kind: crate::api::kinds::OTHER,
+                                    message: format!("malformed request: {e}"),
+                                },
+                            };
+                            response.to_bytes()
+                        });
                 });
             }
         });
@@ -697,6 +801,104 @@ mod tests {
         );
         let BankResponse::Redeemed { paid, .. } = resp else { panic!("{resp:?}") };
         assert_eq!(paid, Credits::from_gd(4));
+    }
+
+    #[test]
+    fn idempotency_key_dedups_retried_mutations() {
+        let b = bank();
+        let alice = subject("alice");
+        let gsp = subject("gsp");
+        let admin = SubjectName("/O=GridBank/OU=Admin/CN=operator".into());
+        let BankResponse::AccountCreated { account: alice_acct } =
+            b.handle(&alice, BankRequest::CreateAccount { organization: None })
+        else {
+            panic!()
+        };
+        let BankResponse::AccountCreated { account: gsp_acct } =
+            b.handle(&gsp, BankRequest::CreateAccount { organization: None })
+        else {
+            panic!()
+        };
+        b.handle(
+            &admin,
+            BankRequest::AdminDeposit { account: alice_acct, amount: Credits::from_gd(50) },
+        );
+        let transfer = || BankRequest::DirectTransfer {
+            to: gsp_acct,
+            amount: Credits::from_gd(10),
+            recipient_address: "gsp.grid.org".into(),
+        };
+        // First keyed call applies and returns a signed confirmation.
+        let r1 = b.handle_keyed(&alice, Some(77), transfer());
+        let BankResponse::Confirmed(conf) = &r1 else { panic!("{r1:?}") };
+        conf.verify(&b.verifying_key()).unwrap();
+        // A retry with the same key returns the remembered (signed)
+        // response without moving funds again.
+        let r2 = b.handle_keyed(&alice, Some(77), transfer());
+        let BankResponse::Confirmed(conf2) = &r2 else { panic!("{r2:?}") };
+        assert_eq!(conf2.body, conf.body);
+        let gsp_balance = |b: &GridBank| b.accounts.account_details(&gsp_acct).unwrap().available;
+        assert_eq!(gsp_balance(&b), Credits::from_gd(10));
+        // A different key is a different logical operation.
+        let r3 = b.handle_keyed(&alice, Some(78), transfer());
+        assert!(matches!(r3, BankResponse::Confirmed(_)));
+        assert_eq!(gsp_balance(&b), Credits::from_gd(20));
+        // Keys are per-caller: the same number from another subject does
+        // not collide.
+        let r4 = b.handle_keyed(&gsp, Some(77), BankRequest::MyAccount);
+        assert!(matches!(r4, BankResponse::Account(_)));
+        // Error responses are not remembered: a failed keyed attempt may
+        // succeed when retried.
+        let huge = BankRequest::DirectTransfer {
+            to: gsp_acct,
+            amount: Credits::from_gd(1_000),
+            recipient_address: "x".into(),
+        };
+        assert!(matches!(b.handle_keyed(&alice, Some(79), huge), BankResponse::Error { .. }));
+        let r5 = b.handle_keyed(&alice, Some(79), transfer());
+        assert!(matches!(r5, BankResponse::Confirmed(_)));
+        // Crash recovery: replaying the journal preserves the dedup, so
+        // the retry still cannot double-apply.
+        let journal = b.accounts.db().journal_snapshot();
+        let config = GridBankConfig { signer_height: 6, ..GridBankConfig::default() };
+        let rebuilt = GridBank::from_journal(config, Clock::new(), &journal);
+        let before = gsp_balance(&rebuilt);
+        let r6 = rebuilt.handle_keyed(&alice, Some(77), transfer());
+        assert!(matches!(r6, BankResponse::Confirmation { .. } | BankResponse::Confirmed(_)));
+        assert_eq!(gsp_balance(&rebuilt), before);
+    }
+
+    #[test]
+    fn idem_capacity_zero_disables_dedup() {
+        let config =
+            GridBankConfig { signer_height: 6, idem_capacity: 0, ..GridBankConfig::default() };
+        let b = Arc::new(GridBank::new(config, Clock::new()));
+        let alice = subject("alice");
+        let gsp = subject("gsp");
+        let admin = SubjectName("/O=GridBank/OU=Admin/CN=operator".into());
+        let BankResponse::AccountCreated { account: alice_acct } =
+            b.handle(&alice, BankRequest::CreateAccount { organization: None })
+        else {
+            panic!()
+        };
+        let BankResponse::AccountCreated { account: gsp_acct } =
+            b.handle(&gsp, BankRequest::CreateAccount { organization: None })
+        else {
+            panic!()
+        };
+        b.handle(
+            &admin,
+            BankRequest::AdminDeposit { account: alice_acct, amount: Credits::from_gd(50) },
+        );
+        let transfer = || BankRequest::DirectTransfer {
+            to: gsp_acct,
+            amount: Credits::from_gd(10),
+            recipient_address: "gsp.grid.org".into(),
+        };
+        // With dedup disabled the same key double-applies.
+        b.handle_keyed(&alice, Some(1), transfer());
+        b.handle_keyed(&alice, Some(1), transfer());
+        assert_eq!(b.accounts.account_details(&gsp_acct).unwrap().available, Credits::from_gd(20));
     }
 
     #[test]

@@ -30,6 +30,22 @@ pub enum NetError {
     Malformed(String),
     /// Crypto layer failure during handshake or sealing.
     Crypto(CryptoError),
+    /// A circuit breaker is open: the call failed fast without touching
+    /// the network. Retryable only after the breaker's cooldown.
+    CircuitOpen,
+}
+
+impl NetError {
+    /// Whether a retry of the same operation can plausibly succeed.
+    ///
+    /// Transient transport conditions — a timed-out receive, a peer that
+    /// went away, or a secure channel whose sequence discipline was
+    /// violated by loss/reordering — are retryable after reconnecting.
+    /// Protocol, credential, and crypto failures are deterministic and
+    /// retrying them would only repeat the failure.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, NetError::Timeout | NetError::Disconnected | NetError::ChannelIntegrity(_))
+    }
 }
 
 impl fmt::Display for NetError {
@@ -46,6 +62,7 @@ impl fmt::Display for NetError {
             NetError::ChannelIntegrity(why) => write!(f, "channel integrity violation: {why}"),
             NetError::Malformed(why) => write!(f, "malformed message: {why}"),
             NetError::Crypto(e) => write!(f, "crypto failure: {e}"),
+            NetError::CircuitOpen => write!(f, "circuit breaker open: failing fast"),
         }
     }
 }

@@ -27,18 +27,26 @@
 //!   handshake completes.
 //! * [`rpc`] — request/response correlation over a secure channel, the
 //!   shape every GridBank protocol message uses.
+//! * [`fault`] — deterministic fault injection at the transport layer
+//!   (drop/duplicate/reorder/reset, seed-driven) for chaos testing.
+//! * [`retry`] — capped-exponential-backoff retry policy with
+//!   decorrelated jitter plus a circuit breaker for failing peers.
 
 pub mod channel;
 pub mod error;
+pub mod fault;
 pub mod gate;
 pub mod handshake;
+pub mod retry;
 pub mod rpc;
 pub mod transport;
 pub(crate) mod wire;
 
 pub use channel::SecureChannel;
 pub use error::NetError;
+pub use fault::{FaultCounts, FaultInjector, FaultPlan, FaultRates};
 pub use gate::{AdmissionDecision, ConnectionGate};
 pub use handshake::{client_handshake, server_handshake, HandshakeConfig, PeerIdentity};
+pub use retry::{BackoffSchedule, BreakerState, CircuitBreaker, RetryPolicy};
 pub use rpc::{RpcClient, RpcServer};
 pub use transport::{Address, Duplex, Listener, Network};

@@ -1,0 +1,297 @@
+//! Retry policy and circuit breaker for resilient RPC clients.
+//!
+//! [`RetryPolicy`] is capped exponential backoff with decorrelated
+//! jitter (each delay is drawn uniformly from `[base, 3·previous]`,
+//! clamped to the cap) under two hard terminators: a maximum attempt
+//! count and an overall deadline on accumulated backoff. The jitter RNG
+//! is seeded, so a policy plus a seed yields one reproducible delay
+//! schedule — chaos runs replay exactly.
+//!
+//! [`CircuitBreaker`] is the graceful-degradation gate: after N
+//! consecutive failures the circuit opens and calls fail fast with
+//! [`NetError::CircuitOpen`] instead of hammering a dead peer; after a
+//! cooldown one probe is allowed through (half-open), and its outcome
+//! closes or re-opens the circuit. Time is caller-supplied milliseconds,
+//! so the breaker works under the simulation's virtual clock.
+
+use crate::error::NetError;
+use crate::fault::splitmix64;
+
+/// Capped exponential backoff + decorrelated jitter + overall deadline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Minimum (and first) backoff delay, ms.
+    pub base_delay_ms: u64,
+    /// Hard cap on any single delay, ms.
+    pub max_delay_ms: u64,
+    /// Maximum total attempts (1 = no retries).
+    pub max_attempts: u32,
+    /// Budget on *accumulated backoff*: once the sum of delays would
+    /// exceed this, the schedule terminates.
+    pub deadline_ms: u64,
+    /// Seed for the jitter RNG.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_delay_ms: 10,
+            max_delay_ms: 640,
+            max_attempts: 8,
+            deadline_ms: 5_000,
+            seed: 0xB0FF,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Starts a fresh delay schedule for one logical operation.
+    pub fn schedule(&self) -> BackoffSchedule {
+        BackoffSchedule {
+            policy: *self,
+            rng: self.seed,
+            prev_ms: 0,
+            attempts: 1, // the initial attempt is not a retry
+            spent_ms: 0,
+        }
+    }
+
+    /// Re-seeds the jitter stream (per-client decorrelation).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Iterator over backoff delays; `None` means "stop retrying".
+#[derive(Clone, Debug)]
+pub struct BackoffSchedule {
+    policy: RetryPolicy,
+    rng: u64,
+    prev_ms: u64,
+    attempts: u32,
+    spent_ms: u64,
+}
+
+impl BackoffSchedule {
+    /// Backoff time handed out so far, ms.
+    pub fn spent_ms(&self) -> u64 {
+        self.spent_ms
+    }
+
+    /// Attempts permitted so far (including the initial one).
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+}
+
+impl Iterator for BackoffSchedule {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.attempts >= self.policy.max_attempts {
+            return None;
+        }
+        let base = self.policy.base_delay_ms.max(1);
+        let cap = self.policy.max_delay_ms.max(base);
+        // Decorrelated jitter: uniform in [base, 3·prev], capped. The
+        // first retry has no history, so it draws from [base, 3·base].
+        let hi = (self.prev_ms.max(base)).saturating_mul(3).min(cap);
+        let span = hi - base + 1;
+        let delay = base + splitmix64(&mut self.rng) % span;
+        if self.spent_ms.saturating_add(delay) > self.policy.deadline_ms {
+            return None;
+        }
+        self.attempts += 1;
+        self.spent_ms += delay;
+        self.prev_ms = delay;
+        Some(delay)
+    }
+}
+
+/// Breaker state, observable for telemetry and tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: calls pass through.
+    Closed,
+    /// Tripped at the contained time: calls fail fast until cooldown.
+    Open {
+        /// Virtual time (ms) the circuit opened.
+        since_ms: u64,
+    },
+    /// Cooldown elapsed: one probe call is in flight.
+    HalfOpen,
+}
+
+/// Consecutive-failure circuit breaker with half-open probing.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    failure_threshold: u32,
+    cooldown_ms: u64,
+    consecutive_failures: u32,
+    state: BreakerState,
+}
+
+impl CircuitBreaker {
+    /// `failure_threshold` consecutive failures open the circuit for
+    /// `cooldown_ms` of caller-supplied time.
+    pub fn new(failure_threshold: u32, cooldown_ms: u64) -> Self {
+        CircuitBreaker {
+            failure_threshold: failure_threshold.max(1),
+            cooldown_ms,
+            consecutive_failures: 0,
+            state: BreakerState::Closed,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Gate check before an attempt. `Ok(())` admits the call; an open
+    /// circuit fails fast with [`NetError::CircuitOpen`].
+    pub fn admit(&mut self, now_ms: u64) -> Result<(), NetError> {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => Ok(()),
+            BreakerState::Open { since_ms } => {
+                if now_ms.saturating_sub(since_ms) >= self.cooldown_ms {
+                    self.state = BreakerState::HalfOpen;
+                    Ok(())
+                } else {
+                    gridbank_obs::count("net.breaker.fast_fail", 1);
+                    Err(NetError::CircuitOpen)
+                }
+            }
+        }
+    }
+
+    /// Reports a successful call: closes the circuit.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Reports a failed call; may trip the circuit (a failed half-open
+    /// probe re-opens immediately).
+    pub fn record_failure(&mut self, now_ms: u64) {
+        self.consecutive_failures += 1;
+        let tripped = matches!(self.state, BreakerState::HalfOpen)
+            || self.consecutive_failures >= self.failure_threshold;
+        if tripped {
+            if !matches!(self.state, BreakerState::Open { .. }) {
+                gridbank_obs::count("net.breaker.open", 1);
+            }
+            self.state = BreakerState::Open { since_ms: now_ms };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let p = RetryPolicy::default();
+        let a: Vec<u64> = p.schedule().collect();
+        let b: Vec<u64> = p.schedule().collect();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let c: Vec<u64> = p.with_seed(1).schedule().collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn breaker_trips_cools_down_and_probes() {
+        let mut b = CircuitBreaker::new(3, 100);
+        assert!(b.admit(0).is_ok());
+        b.record_failure(0);
+        b.record_failure(1);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure(2);
+        assert!(matches!(b.state(), BreakerState::Open { .. }));
+        // Fails fast during cooldown.
+        assert_eq!(b.admit(50), Err(NetError::CircuitOpen));
+        // After cooldown one probe is admitted.
+        assert!(b.admit(150).is_ok());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // A failed probe re-opens instantly (one strike in half-open).
+        b.record_failure(150);
+        assert!(matches!(b.state(), BreakerState::Open { since_ms: 150 }));
+        // A successful probe closes.
+        assert!(b.admit(300).is_ok());
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn breaker_resets_failure_count_on_success() {
+        let mut b = CircuitBreaker::new(2, 10);
+        b.record_failure(0);
+        b.record_success();
+        b.record_failure(1);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        // Every delay respects the bounds: never below base, never above
+        // the cap (jitter stays in bounds; backoff is monotonically
+        // capped).
+        #[test]
+        fn delays_stay_within_base_and_cap(
+            base in 1u64..50, cap in 1u64..2_000, attempts in 1u32..12,
+            deadline in 1u64..10_000, seed in any::<u64>(),
+        ) {
+            let p = RetryPolicy {
+                base_delay_ms: base, max_delay_ms: cap,
+                max_attempts: attempts, deadline_ms: deadline, seed,
+            };
+            for d in p.schedule() {
+                prop_assert!(d >= base.max(1));
+                prop_assert!(d <= cap.max(base));
+            }
+        }
+
+        // The deadline always terminates the sequence: total backoff
+        // never exceeds it, and the attempt count never exceeds the max.
+        #[test]
+        fn deadline_and_attempts_terminate_the_schedule(
+            base in 1u64..50, cap in 1u64..2_000, attempts in 1u32..12,
+            deadline in 1u64..10_000, seed in any::<u64>(),
+        ) {
+            let p = RetryPolicy {
+                base_delay_ms: base, max_delay_ms: cap,
+                max_attempts: attempts, deadline_ms: deadline, seed,
+            };
+            let mut s = p.schedule();
+            let mut total = 0u64;
+            let mut yields = 0u32;
+            for d in s.by_ref() {
+                total += d;
+                yields += 1;
+                prop_assert!(yields < 1_000, "schedule failed to terminate");
+            }
+            prop_assert!(total <= deadline);
+            prop_assert!(yields < attempts.max(1));
+            prop_assert_eq!(s.spent_ms(), total);
+        }
+
+        // Decorrelated jitter growth: each delay is at most 3x the
+        // previous one (before capping), so backoff cannot explode.
+        #[test]
+        fn growth_is_bounded_by_3x(seed in any::<u64>()) {
+            let p = RetryPolicy { seed, ..RetryPolicy::default() };
+            let delays: Vec<u64> = p.schedule().collect();
+            let mut prev = p.base_delay_ms;
+            for d in delays {
+                prop_assert!(d <= (prev * 3).min(p.max_delay_ms).max(p.base_delay_ms));
+                prev = d;
+            }
+        }
+    }
+}

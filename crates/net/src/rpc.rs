@@ -6,6 +6,12 @@
 //! the peer disconnects. Transport-level concurrency comes from one
 //! connection (and one serving thread) per client, as the paper's
 //! connection-oriented GSS model implies.
+//!
+//! Mutating requests may carry a client-generated **idempotency key**
+//! (flagged on the kind byte, like the trace context), which the server
+//! uses to deduplicate retries — see `docs/RESILIENCE.md`.
+
+use std::time::Duration;
 
 use gridbank_obs::TraceContext;
 
@@ -19,24 +25,43 @@ const KIND_RESPONSE: u8 = 1;
 /// kind byte, before the payload. Absent for untraced peers, so old and
 /// new frames interoperate.
 const FLAG_TRACE: u8 = 0x80;
+/// Flag bit on the kind byte: an 8-byte idempotency key follows the
+/// (optional) trace context, before the payload. Absent for requests
+/// that are safe to re-apply, so old and new frames interoperate.
+const FLAG_IDEM: u8 = 0x40;
+const FLAGS: u8 = FLAG_TRACE | FLAG_IDEM;
 
-fn encode(id: u64, kind: u8, trace: Option<TraceContext>, payload: &[u8]) -> Vec<u8> {
+fn encode(
+    id: u64,
+    kind: u8,
+    trace: Option<TraceContext>,
+    idem_key: Option<u64>,
+    payload: &[u8],
+) -> Vec<u8> {
     let trace_len = trace.map_or(0, |_| TraceContext::WIRE_LEN);
-    let mut out = Vec::with_capacity(9 + trace_len + payload.len());
+    let idem_len = idem_key.map_or(0, |_| 8);
+    let mut out = Vec::with_capacity(9 + trace_len + idem_len + payload.len());
     out.extend_from_slice(&id.to_be_bytes());
-    match trace {
-        Some(ctx) => {
-            out.push(kind | FLAG_TRACE);
-            out.extend_from_slice(&ctx.to_bytes());
-        }
-        None => out.push(kind),
+    let mut kind_byte = kind;
+    if trace.is_some() {
+        kind_byte |= FLAG_TRACE;
+    }
+    if idem_key.is_some() {
+        kind_byte |= FLAG_IDEM;
+    }
+    out.push(kind_byte);
+    if let Some(ctx) = trace {
+        out.extend_from_slice(&ctx.to_bytes());
+    }
+    if let Some(key) = idem_key {
+        out.extend_from_slice(&key.to_be_bytes());
     }
     out.extend_from_slice(payload);
     out
 }
 
-/// A decoded frame: `(id, kind, optional trace context, payload)`.
-type Frame<'a> = (u64, u8, Option<TraceContext>, &'a [u8]);
+/// A decoded frame: `(id, kind, trace context, idempotency key, payload)`.
+type Frame<'a> = (u64, u8, Option<TraceContext>, Option<u64>, &'a [u8]);
 
 fn decode(msg: &[u8]) -> Result<Frame<'_>, NetError> {
     if msg.len() < 9 {
@@ -45,23 +70,40 @@ fn decode(msg: &[u8]) -> Result<Frame<'_>, NetError> {
     let mut id_arr = [0u8; 8];
     id_arr.copy_from_slice(&msg[..8]);
     let id = u64::from_be_bytes(id_arr);
-    let kind = msg[8] & !FLAG_TRACE;
-    if msg[8] & FLAG_TRACE == 0 {
-        return Ok((id, kind, None, &msg[9..]));
-    }
-    let end = 9 + TraceContext::WIRE_LEN;
-    if msg.len() < end {
-        return Err(NetError::Malformed("rpc frame truncates trace context".into()));
-    }
-    let ctx = TraceContext::from_bytes(&msg[9..end])
-        .ok_or_else(|| NetError::Malformed("bad trace context".into()))?;
-    Ok((id, kind, Some(ctx), &msg[end..]))
+    let kind = msg[8] & !FLAGS;
+    let mut at = 9;
+    let trace = if msg[8] & FLAG_TRACE != 0 {
+        let end = at + TraceContext::WIRE_LEN;
+        if msg.len() < end {
+            return Err(NetError::Malformed("rpc frame truncates trace context".into()));
+        }
+        let ctx = TraceContext::from_bytes(&msg[at..end])
+            .ok_or_else(|| NetError::Malformed("bad trace context".into()))?;
+        at = end;
+        Some(ctx)
+    } else {
+        None
+    };
+    let idem = if msg[8] & FLAG_IDEM != 0 {
+        let end = at + 8;
+        if msg.len() < end {
+            return Err(NetError::Malformed("rpc frame truncates idempotency key".into()));
+        }
+        let mut key_arr = [0u8; 8];
+        key_arr.copy_from_slice(&msg[at..end]);
+        at = end;
+        Some(u64::from_be_bytes(key_arr))
+    } else {
+        None
+    };
+    Ok((id, kind, trace, idem, &msg[at..]))
 }
 
 /// Client end: sequential request/response calls.
 pub struct RpcClient {
     channel: SecureChannel,
     next_id: u64,
+    timeout: Option<Duration>,
     /// Authenticated identity of the server.
     pub server: PeerIdentity,
 }
@@ -69,21 +111,48 @@ pub struct RpcClient {
 impl RpcClient {
     /// Wraps an established secure channel.
     pub fn new(channel: SecureChannel, server: PeerIdentity) -> Self {
-        RpcClient { channel, next_id: 1, server }
+        RpcClient { channel, next_id: 1, timeout: None, server }
+    }
+
+    /// Overrides the per-call response timeout. `None` (the default)
+    /// uses the transport's standard timeout; resilient clients set a
+    /// short timeout so faulted calls fail fast and retry.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) {
+        self.timeout = timeout;
     }
 
     /// Sends `payload` and waits for the matching response. The caller's
     /// active trace context (if telemetry is on) rides in the frame, so
     /// the server's spans join the client's trace.
     pub fn call(&mut self, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        self.call_inner(None, payload)
+    }
+
+    /// Like [`RpcClient::call`], but stamps the request with an
+    /// idempotency key so the server can deduplicate retries of the
+    /// same logical operation.
+    pub fn call_with_key(&mut self, idem_key: u64, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        self.call_inner(Some(idem_key), payload)
+    }
+
+    fn call_inner(&mut self, idem_key: Option<u64>, payload: &[u8]) -> Result<Vec<u8>, NetError> {
         let mut span = gridbank_obs::span("net", "rpc_call");
         let timer = gridbank_obs::Stopwatch::start();
         let id = self.next_id;
         self.next_id += 1;
         span.attr("request_id", id.to_string());
-        self.channel.send(&encode(id, KIND_REQUEST, gridbank_obs::current_context(), payload))?;
-        let reply = self.channel.recv()?;
-        let (rid, kind, _trace, body) = decode(&reply)?;
+        self.channel.send(&encode(
+            id,
+            KIND_REQUEST,
+            gridbank_obs::current_context(),
+            idem_key,
+            payload,
+        ))?;
+        let reply = match self.timeout {
+            Some(t) => self.channel.recv_timeout(t)?,
+            None => self.channel.recv()?,
+        };
+        let (rid, kind, _trace, _idem, body) = decode(&reply)?;
         if kind != KIND_RESPONSE {
             return Err(NetError::Malformed(format!("expected response, got kind {kind}")));
         }
@@ -102,15 +171,16 @@ pub struct RpcServer;
 
 impl RpcServer {
     /// Serves one connection: for each request, calls `handler` with the
-    /// authenticated peer and the payload, and sends back its response.
-    /// Returns when the peer disconnects; propagates integrity errors.
+    /// authenticated peer, the request's idempotency key (if any), and
+    /// the payload, and sends back its response. Returns when the peer
+    /// disconnects; propagates integrity errors.
     pub fn serve_connection<F>(
         mut channel: SecureChannel,
         peer: &PeerIdentity,
         mut handler: F,
     ) -> Result<(), NetError>
     where
-        F: FnMut(&PeerIdentity, &[u8]) -> Vec<u8>,
+        F: FnMut(&PeerIdentity, Option<u64>, &[u8]) -> Vec<u8>,
     {
         loop {
             let msg = match channel.recv() {
@@ -118,7 +188,7 @@ impl RpcServer {
                 Err(NetError::Disconnected) => return Ok(()),
                 Err(e) => return Err(e),
             };
-            let (id, kind, trace, payload) = decode(&msg)?;
+            let (id, kind, trace, idem_key, payload) = decode(&msg)?;
             if kind != KIND_REQUEST {
                 return Err(NetError::Malformed(format!("expected request, got kind {kind}")));
             }
@@ -127,9 +197,9 @@ impl RpcServer {
                 // everything the handler does nests under this span.
                 let mut span = gridbank_obs::span_under(trace, "net", "rpc_serve");
                 span.attr("peer", peer.base.0.clone());
-                handler(peer, payload)
+                handler(peer, idem_key, payload)
             };
-            channel.send(&encode(id, KIND_RESPONSE, None, &response))?;
+            channel.send(&encode(id, KIND_RESPONSE, None, None, &response))?;
         }
     }
 }
@@ -140,6 +210,7 @@ mod tests {
     use crate::transport::{Address, Network};
     use gridbank_crypto::cert::SubjectName;
     use gridbank_crypto::sha256::sha256;
+    use proptest::prelude::*;
 
     fn channel_pair() -> (SecureChannel, SecureChannel) {
         let net = Network::new();
@@ -160,7 +231,7 @@ mod tests {
         let (c, s) = channel_pair();
         std::thread::scope(|scope| {
             scope.spawn(|| {
-                RpcServer::serve_connection(s, &peer("alice"), |p, payload| {
+                RpcServer::serve_connection(s, &peer("alice"), |p, _key, payload| {
                     let mut out = p.base.common_name().unwrap().as_bytes().to_vec();
                     out.push(b':');
                     out.extend_from_slice(payload);
@@ -180,7 +251,8 @@ mod tests {
         let (c, s) = channel_pair();
         std::thread::scope(|scope| {
             scope.spawn(|| {
-                RpcServer::serve_connection(s, &peer("x"), |_p, payload| payload.to_vec()).unwrap();
+                RpcServer::serve_connection(s, &peer("x"), |_p, _key, payload| payload.to_vec())
+                    .unwrap();
             });
             let mut client = RpcClient::new(c, peer("bank"));
             for i in 0..100u32 {
@@ -191,21 +263,77 @@ mod tests {
     }
 
     #[test]
+    fn idempotency_key_reaches_the_handler() {
+        let (c, s) = channel_pair();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                RpcServer::serve_connection(s, &peer("x"), |_p, key, _payload| {
+                    key.unwrap_or(0).to_be_bytes().to_vec()
+                })
+                .unwrap();
+            });
+            let mut client = RpcClient::new(c, peer("bank"));
+            assert_eq!(client.call(b"no-key").unwrap(), 0u64.to_be_bytes());
+            assert_eq!(client.call_with_key(0xFEED, b"keyed").unwrap(), 0xFEEDu64.to_be_bytes());
+            // The key is per-call, not sticky.
+            assert_eq!(client.call(b"no-key").unwrap(), 0u64.to_be_bytes());
+        });
+    }
+
+    #[test]
     fn malformed_frame_detected() {
         assert!(matches!(decode(&[1, 2, 3]), Err(NetError::Malformed(_))));
-        let frame = encode(7, KIND_REQUEST, None, b"abc");
-        let (id, kind, trace, body) = decode(&frame).unwrap();
-        assert_eq!((id, kind, trace, body), (7, KIND_REQUEST, None, &b"abc"[..]));
+        let frame = encode(7, KIND_REQUEST, None, None, b"abc");
+        let (id, kind, trace, idem, body) = decode(&frame).unwrap();
+        assert_eq!((id, kind, trace, idem, body), (7, KIND_REQUEST, None, None, &b"abc"[..]));
     }
 
     #[test]
     fn trace_context_rides_the_kind_flag() {
         let ctx = TraceContext { trace_id: 0xDEAD_BEEF, parent_span: 42 };
-        let frame = encode(9, KIND_REQUEST, Some(ctx), b"xyz");
+        let frame = encode(9, KIND_REQUEST, Some(ctx), None, b"xyz");
         assert_eq!(frame.len(), 9 + TraceContext::WIRE_LEN + 3);
-        let (id, kind, trace, body) = decode(&frame).unwrap();
-        assert_eq!((id, kind, trace, body), (9, KIND_REQUEST, Some(ctx), &b"xyz"[..]));
+        let (id, kind, trace, idem, body) = decode(&frame).unwrap();
+        assert_eq!((id, kind, trace, idem, body), (9, KIND_REQUEST, Some(ctx), None, &b"xyz"[..]));
         // A frame that claims a trace context but truncates it is rejected.
         assert!(matches!(decode(&frame[..12]), Err(NetError::Malformed(_))));
+    }
+
+    #[test]
+    fn idempotency_key_rides_after_the_trace_context() {
+        let ctx = TraceContext { trace_id: 7, parent_span: 3 };
+        let frame = encode(4, KIND_REQUEST, Some(ctx), Some(0xAB), b"p");
+        assert_eq!(frame.len(), 9 + TraceContext::WIRE_LEN + 8 + 1);
+        let (id, kind, trace, idem, body) = decode(&frame).unwrap();
+        assert_eq!(
+            (id, kind, trace, idem, body),
+            (4, KIND_REQUEST, Some(ctx), Some(0xAB), &b"p"[..])
+        );
+        // A frame that claims a key but truncates it is rejected.
+        let frame = encode(4, KIND_REQUEST, None, Some(0xAB), b"");
+        assert!(matches!(decode(&frame[..12]), Err(NetError::Malformed(_))));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        // Idempotency-key frame codec round-trips for every combination
+        // of id, key presence, trace presence, and payload.
+        #[test]
+        fn frame_codec_round_trips(
+            id in any::<u64>(),
+            key in proptest::option::of(any::<u64>()),
+            trace in proptest::option::of((any::<u64>(), any::<u64>())),
+            payload in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let ctx = trace.map(|(t, s)| TraceContext { trace_id: t, parent_span: s });
+            let frame = encode(id, KIND_REQUEST, ctx, key, &payload);
+            let (rid, kind, rtrace, ridem, body) = decode(&frame).unwrap();
+            prop_assert_eq!(rid, id);
+            prop_assert_eq!(kind, KIND_REQUEST);
+            prop_assert_eq!(rtrace, ctx);
+            prop_assert_eq!(ridem, key);
+            prop_assert_eq!(body, &payload[..]);
+        }
     }
 }

@@ -15,6 +15,7 @@ use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
 use crate::error::NetError;
+use crate::fault::{FaultInjector, FaultVerdict, LinkFaults};
 
 /// Capacity of each direction of a duplex link; a full peer applies
 /// backpressure rather than unbounded buffering.
@@ -54,13 +55,50 @@ impl From<&str> for Address {
 pub struct Duplex {
     tx: Sender<Vec<u8>>,
     rx: Receiver<Vec<u8>>,
+    /// Fault state for the direction this end sends in; `None` when no
+    /// injector was installed on the network.
+    faults: Option<LinkFaults>,
     /// Address of the remote side, for diagnostics.
     pub peer: Address,
 }
 
 impl Duplex {
-    /// Sends one message; fails if the peer hung up.
+    /// Sends one message; fails if the peer hung up (or the link was
+    /// reset by fault injection).
     pub fn send(&self, msg: Vec<u8>) -> Result<(), NetError> {
+        let Some(faults) = &self.faults else {
+            return self.raw_send(msg);
+        };
+        if faults.is_reset() {
+            return Err(NetError::Disconnected);
+        }
+        let verdict = faults.draw();
+        match verdict {
+            FaultVerdict::Drop => return Ok(()),
+            FaultVerdict::Reset => {
+                faults.poison();
+                return Err(NetError::Disconnected);
+            }
+            _ => {}
+        }
+        // A message held back by an earlier reorder verdict goes out
+        // *after* this one, completing the one-slot swap.
+        let held = faults.take_held();
+        match verdict {
+            FaultVerdict::Duplicate => {
+                self.raw_send(msg.clone())?;
+                self.raw_send(msg)?;
+            }
+            FaultVerdict::Reorder if held.is_none() => faults.hold(msg),
+            _ => self.raw_send(msg)?,
+        }
+        if let Some(h) = held {
+            self.raw_send(h)?;
+        }
+        Ok(())
+    }
+
+    fn raw_send(&self, msg: Vec<u8>) -> Result<(), NetError> {
         self.tx.send(msg).map_err(|_| NetError::Disconnected)
     }
 
@@ -71,6 +109,9 @@ impl Duplex {
 
     /// Receives one message, waiting at most `timeout`.
     pub fn recv_timeout(&self, timeout: StdDuration) -> Result<Vec<u8>, NetError> {
+        if self.faults.as_ref().is_some_and(|f| f.is_reset()) {
+            return Err(NetError::Disconnected);
+        }
         self.rx.recv_timeout(timeout).map_err(|e| match e {
             RecvTimeoutError::Timeout => NetError::Timeout,
             RecvTimeoutError::Disconnected => NetError::Disconnected,
@@ -79,6 +120,9 @@ impl Duplex {
 
     /// Non-blocking receive; `Ok(None)` when no message is waiting.
     pub fn try_recv(&self) -> Result<Option<Vec<u8>>, NetError> {
+        if self.faults.as_ref().is_some_and(|f| f.is_reset()) {
+            return Err(NetError::Disconnected);
+        }
         match self.rx.try_recv() {
             Ok(m) => Ok(Some(m)),
             Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
@@ -133,12 +177,19 @@ impl Drop for Listener {
 #[derive(Clone, Default)]
 pub struct Network {
     registry: Arc<Mutex<HashMap<Address, Sender<Duplex>>>>,
+    injector: Arc<Mutex<Option<Arc<FaultInjector>>>>,
 }
 
 impl Network {
     /// Creates an empty network.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Installs a fault injector: every link created from now on carries
+    /// its fault state (faults fire only while the injector is armed).
+    pub fn install_faults(&self, injector: Arc<FaultInjector>) {
+        *self.injector.lock() = Some(injector);
     }
 
     /// Binds a listener at `address`.
@@ -162,8 +213,16 @@ impl Network {
         };
         let (c2s_tx, c2s_rx) = bounded(LINK_CAPACITY);
         let (s2c_tx, s2c_rx) = bounded(LINK_CAPACITY);
-        let client_end = Duplex { tx: c2s_tx, rx: s2c_rx, peer: address.clone() };
-        let server_end = Duplex { tx: s2c_tx, rx: c2s_rx, peer: from };
+        let (client_faults, server_faults) = match self.injector.lock().as_ref() {
+            Some(inj) => {
+                let (c, s) = inj.attach();
+                (Some(c), Some(s))
+            }
+            None => (None, None),
+        };
+        let client_end =
+            Duplex { tx: c2s_tx, rx: s2c_rx, faults: client_faults, peer: address.clone() };
+        let server_end = Duplex { tx: s2c_tx, rx: c2s_rx, faults: server_faults, peer: from };
         accept_tx.send(server_end).map_err(|_| NetError::NoSuchAddress(address.0.clone()))?;
         Ok(client_end)
     }
@@ -259,6 +318,128 @@ mod tests {
         let net2 = Network::new();
         let _l = net1.bind(Address::new("bank")).unwrap();
         assert!(net2.connect(Address::new("a"), &Address::new("bank")).is_err());
+    }
+
+    // Regression: the retry layer distinguishes retry-after-reconnect
+    // (peer gone) from retry-on-same-connection (slow peer). A hung-up
+    // peer must surface as Disconnected, never as a timeout.
+    #[test]
+    fn disconnect_and_timeout_stay_distinct() {
+        let net = Network::new();
+        let listener = net.bind(Address::new("bank")).unwrap();
+        let client = net.connect(Address::new("a"), &Address::new("bank")).unwrap();
+        let server = listener.accept().unwrap();
+        // Silent peer: timeout, and it is retryable.
+        let e = client.recv_timeout(StdDuration::from_millis(5)).unwrap_err();
+        assert_eq!(e, NetError::Timeout);
+        assert!(e.is_retryable());
+        // Hung-up peer: disconnected (not a timeout), also retryable.
+        drop(server);
+        let e = client.recv_timeout(StdDuration::from_millis(5)).unwrap_err();
+        assert_eq!(e, NetError::Disconnected);
+        assert!(e.is_retryable());
+    }
+
+    mod faults {
+        use super::*;
+        use crate::fault::{FaultInjector, FaultPlan, FaultRates};
+
+        fn faulty_pair(plan: FaultPlan) -> (std::sync::Arc<FaultInjector>, Duplex, Duplex) {
+            let net = Network::new();
+            let inj = FaultInjector::new(plan);
+            net.install_faults(inj.clone());
+            inj.arm(true);
+            let listener = net.bind(Address::new("srv")).unwrap();
+            let client = net.connect(Address::new("cli"), &Address::new("srv")).unwrap();
+            let server = listener.accept().unwrap();
+            (inj, client, server)
+        }
+
+        #[test]
+        fn dropped_messages_never_arrive() {
+            let (inj, client, server) = faulty_pair(FaultPlan {
+                seed: 5,
+                to_server: FaultRates { drop_pm: 1000, ..FaultRates::NONE },
+                to_client: FaultRates::NONE,
+                skip_first: 0,
+            });
+            for i in 0..4u8 {
+                client.send(vec![i]).unwrap();
+            }
+            assert_eq!(server.recv_timeout(StdDuration::from_millis(10)), Err(NetError::Timeout));
+            assert_eq!(inj.counts().dropped, 4);
+        }
+
+        #[test]
+        fn duplicates_arrive_twice() {
+            let (inj, client, server) = faulty_pair(FaultPlan {
+                seed: 5,
+                to_server: FaultRates { duplicate_pm: 1000, ..FaultRates::NONE },
+                to_client: FaultRates::NONE,
+                skip_first: 0,
+            });
+            client.send(vec![7]).unwrap();
+            assert_eq!(server.recv().unwrap(), vec![7]);
+            assert_eq!(server.recv().unwrap(), vec![7]);
+            assert_eq!(inj.counts().duplicated, 1);
+        }
+
+        #[test]
+        fn reorder_swaps_adjacent_messages() {
+            let (inj, client, server) = faulty_pair(FaultPlan {
+                seed: 5,
+                to_server: FaultRates { reorder_pm: 1000, ..FaultRates::NONE },
+                to_client: FaultRates::NONE,
+                skip_first: 0,
+            });
+            client.send(vec![1]).unwrap(); // held
+            client.send(vec![2]).unwrap(); // delivered, then releases [1]
+            assert_eq!(server.recv().unwrap(), vec![2]);
+            assert_eq!(server.recv().unwrap(), vec![1]);
+            assert!(inj.counts().reordered >= 1);
+        }
+
+        #[test]
+        fn reset_poisons_the_link_for_both_ends() {
+            let (inj, client, server) = faulty_pair(FaultPlan {
+                seed: 5,
+                to_server: FaultRates { reset_pm: 1000, ..FaultRates::NONE },
+                to_client: FaultRates::NONE,
+                skip_first: 0,
+            });
+            assert_eq!(client.send(vec![1]), Err(NetError::Disconnected));
+            assert_eq!(client.send(vec![2]), Err(NetError::Disconnected));
+            assert_eq!(server.try_recv(), Err(NetError::Disconnected));
+            assert_eq!(inj.counts().resets, 1);
+        }
+
+        #[test]
+        fn skip_first_lets_early_traffic_through() {
+            let (_inj, client, server) = faulty_pair(FaultPlan {
+                seed: 5,
+                to_server: FaultRates { drop_pm: 1000, ..FaultRates::NONE },
+                to_client: FaultRates::NONE,
+                skip_first: 2,
+            });
+            client.send(vec![1]).unwrap();
+            client.send(vec![2]).unwrap();
+            client.send(vec![3]).unwrap(); // dropped
+            assert_eq!(server.recv().unwrap(), vec![1]);
+            assert_eq!(server.recv().unwrap(), vec![2]);
+            assert_eq!(server.recv_timeout(StdDuration::from_millis(10)), Err(NetError::Timeout));
+        }
+
+        #[test]
+        fn disarmed_and_fault_free_networks_behave_identically() {
+            let (inj, client, server) =
+                faulty_pair(FaultPlan::symmetric(9, FaultRates::uniform(250)));
+            inj.arm(false);
+            for i in 0..20u8 {
+                client.send(vec![i]).unwrap();
+                assert_eq!(server.recv().unwrap(), vec![i]);
+            }
+            assert_eq!(inj.counts().total(), 0);
+        }
     }
 
     #[test]

@@ -18,13 +18,18 @@
 //!   end-to-end open-market scenario (Figure 1), the co-operative barter
 //!   community (Figure 4), and the competitive market with bank-assisted
 //!   price estimation (§4.2).
+//! * [`chaos`] — the E15 fault-injection harness: Figure-1 payment flows
+//!   over a seeded lossy network, with conservation evidence for the
+//!   exactly-once guarantees (see `docs/RESILIENCE.md`).
 
+pub mod chaos;
 pub mod engine;
 pub mod metrics;
 pub mod scenario;
 pub mod topology;
 pub mod workload;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use engine::Simulator;
 pub use scenario::{CoopReport, GridScenario, MarketReport, ScenarioConfig};
 pub use topology::{build_grid, TopologyConfig};

@@ -14,4 +14,12 @@ echo "== tier-1: cargo build --release && cargo test"
 cargo build --release
 cargo test -q
 
+# Chaos suite (E15): `cargo test` above already ran it at its fixed
+# default seeds. Export CHAOS_SEED=<n> to additionally probe one extra
+# storm seed.
+if [[ -n "${CHAOS_SEED:-}" ]]; then
+  echo "== chaos suite with CHAOS_SEED=$CHAOS_SEED"
+  cargo test -q --test chaos_payments
+fi
+
 echo "== all checks passed"

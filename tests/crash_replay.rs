@@ -98,6 +98,92 @@ fn journal_prefix_replays_to_a_consistent_earlier_state() {
 }
 
 #[test]
+fn crash_between_apply_and_ack_keeps_the_retry_exactly_once() {
+    // The client sends a keyed DirectTransfer; the bank applies it and
+    // journals the idempotency stamp atomically with the transfer — and
+    // then "crashes" before the response reaches the client. On the
+    // rebuilt bank, the client's retry (same key) must be answered from
+    // the replayed dedup cache: same transaction id, no second transfer,
+    // and still exactly one journal entry for the key.
+    use gridbank_suite::bank::api::{BankRequest, BankResponse};
+    use gridbank_suite::bank::db::JournalEntry;
+    use gridbank_suite::bank::server::{GridBank, GridBankConfig};
+    use gridbank_suite::crypto::cert::SubjectName;
+
+    let config = || GridBankConfig { signer_height: 5, ..GridBankConfig::default() };
+    let bank = GridBank::new(config(), Clock::new());
+    let alice = SubjectName::new("Org", "Unit", "alice");
+    let bob = SubjectName::new("Org", "Unit", "bob");
+    let operator = SubjectName("/O=GridBank/OU=Admin/CN=operator".into());
+
+    let alice_account = match bank.handle(&alice, BankRequest::CreateAccount { organization: None })
+    {
+        BankResponse::AccountCreated { account } => account,
+        other => panic!("create failed: {other:?}"),
+    };
+    let bob_account = match bank.handle(&bob, BankRequest::CreateAccount { organization: None }) {
+        BankResponse::AccountCreated { account } => account,
+        other => panic!("create failed: {other:?}"),
+    };
+    bank.handle(
+        &operator,
+        BankRequest::AdminDeposit { account: alice_account, amount: Credits::from_gd(10) },
+    );
+
+    const KEY: u64 = 0xDEAD_BEEF;
+    let request = BankRequest::DirectTransfer {
+        to: bob_account,
+        amount: Credits::from_gd(4),
+        recipient_address: "bob.grid.org".into(),
+    };
+    let original_txid = match bank.handle_keyed(&alice, Some(KEY), request.clone()) {
+        BankResponse::Confirmed(conf) => conf.body.transaction_id,
+        other => panic!("transfer failed: {other:?}"),
+    };
+
+    let idem_entries = |journal: &[JournalEntry]| {
+        journal
+            .iter()
+            .filter(|e| matches!(e, JournalEntry::Idem { key, .. } if *key == KEY))
+            .count()
+    };
+    let journal = bank.journal_snapshot();
+    assert_eq!(idem_entries(&journal), 1, "the apply journals exactly one stamp");
+
+    // Crash: only the journal survives. The response above never
+    // reached the client.
+    let rebuilt = GridBank::from_journal(config(), Clock::new(), &journal);
+    assert_eq!(rebuilt.total_funds(), bank.total_funds());
+
+    // The client retries with the same key and must get the same
+    // transaction back — the replayed stamp holds the placeholder
+    // confirmation committed atomically with the transfer.
+    match rebuilt.handle_keyed(&alice, Some(KEY), request.clone()) {
+        BankResponse::Confirmation { transaction_id } => {
+            assert_eq!(transaction_id, original_txid)
+        }
+        other => panic!("retry not deduplicated: {other:?}"),
+    }
+    assert_eq!(rebuilt.all_transfers().len(), 1, "no second transfer row");
+    assert_eq!(idem_entries(&rebuilt.journal_snapshot()), 1, "dedup hit journals nothing");
+    let alice_rec = rebuilt
+        .all_accounts()
+        .into_iter()
+        .find(|r| r.id == alice_account)
+        .expect("alice survives replay");
+    assert_eq!(alice_rec.available, Credits::from_gd(6), "charged exactly once");
+
+    // A *different* key is a new logical operation and applies again.
+    match rebuilt.handle_keyed(&alice, Some(KEY + 1), request) {
+        BankResponse::Confirmed(conf) => {
+            assert_ne!(conf.body.transaction_id, original_txid)
+        }
+        other => panic!("fresh key refused: {other:?}"),
+    }
+    assert_eq!(rebuilt.all_transfers().len(), 2);
+}
+
+#[test]
 fn empty_and_corrupt_journals_are_handled() {
     let empty = Database::replay(1, 1, &[]);
     assert_eq!(empty.account_count(), 0);

@@ -193,6 +193,31 @@ impl Strategy for &str {
     }
 }
 
+/// `Option` strategies, mirroring upstream `proptest::option`.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// The strategy returned by [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    /// A strategy yielding `None` about a quarter of the time and a
+    /// value from `inner` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
 fn parse_dot_repeat(pattern: &str) -> Option<(u64, u64)> {
     let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
     let (lo, hi) = rest.split_once(',')?;
@@ -356,6 +381,13 @@ mod tests {
         #[test]
         fn string_pattern_bounds_length(s in ".{0,64}") {
             prop_assert!(s.chars().count() <= 64);
+        }
+
+        #[test]
+        fn option_strategy_yields_both_variants(
+            opts in prop::collection::vec(prop::option::of(0u32..100), 64..65)
+        ) {
+            prop_assert!(opts.iter().flatten().all(|x| *x < 100));
         }
     }
 
