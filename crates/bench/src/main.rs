@@ -1,0 +1,578 @@
+//! `gridbank-bench` — the load-generation harness (EXPERIMENTS.md E16).
+//!
+//! `gridbank-bench loadgen` drives the Figure-1 payment flow against a
+//! *real* [`GridBankServer`] (authenticated handshakes, secure channels,
+//! pipelined RPC, bounded worker pool, group-commit journal) and reports
+//! end-to-end throughput plus p50/p95/p99 latency per payment strategy,
+//! sourced from `gridbank-obs` histograms. Results land in
+//! `BENCH_payments.json`. Methodology and schema: `docs/BENCHMARKS.md`.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gridbank_core::client::GridBankClient;
+use gridbank_core::clock::Clock;
+use gridbank_core::db::GroupCommitConfig;
+use gridbank_core::server::{
+    GateMode, GridBank, GridBankConfig, GridBankServer, ServerCredentials, ServerTuning,
+};
+use gridbank_core::BankError;
+use gridbank_crypto::cert::{create_proxy, CertificateAuthority, SubjectName};
+use gridbank_crypto::keys::{KeyMaterial, SigningIdentity};
+use gridbank_crypto::rng::DeterministicStream;
+use gridbank_net::transport::{Address, Network};
+use gridbank_rur::record::{ChargeableItem, RurBuilder, UsageAmount};
+use gridbank_rur::units::Duration as RurDuration;
+use gridbank_rur::Credits;
+
+/// One payment strategy from §3.1 / Figure 1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Strategy {
+    /// Pay-before-use: a keyed `DirectTransfer` per op (pipelines).
+    PayBefore,
+    /// Pay-after-use: request + redeem one GridCheque per op.
+    Cheque,
+    /// Pay-as-you-go: issue a short GridHash chain and redeem it.
+    PayWord,
+}
+
+impl Strategy {
+    fn name(self) -> &'static str {
+        match self {
+            Strategy::PayBefore => "paybefore",
+            Strategy::Cheque => "cheque",
+            Strategy::PayWord => "payword",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Strategy> {
+        match s {
+            "paybefore" => Some(Strategy::PayBefore),
+            "cheque" => Some(Strategy::Cheque),
+            "payword" => Some(Strategy::PayWord),
+            _ => None,
+        }
+    }
+}
+
+/// Loadgen run configuration (see `docs/BENCHMARKS.md` for semantics).
+struct LoadgenConfig {
+    /// `closed` (fixed concurrency) or `open` (fixed arrival rate).
+    mode: String,
+    /// Measured window per strategy, after warmup.
+    duration_ms: u64,
+    /// Unrecorded lead-in per strategy.
+    warmup_ms: u64,
+    /// Concurrent client connections per strategy.
+    clients: usize,
+    /// In-flight requests per connection (closed loop, paybefore only —
+    /// the cheque/payword cycles are request/response pairs).
+    pipeline: usize,
+    /// Total target ops/sec across clients (open loop only).
+    rate: u64,
+    /// Strategies to run, in order.
+    strategies: Vec<Strategy>,
+    /// Seed for certificate keys and idempotency-key spacing.
+    seed: u64,
+    /// Bank MSS signer height (capacity = 2^height instruments).
+    signer_height: usize,
+    /// Server worker pool size.
+    workers: usize,
+    /// Output path.
+    out: String,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            mode: "closed".into(),
+            duration_ms: 500,
+            warmup_ms: 150,
+            clients: 2,
+            pipeline: 8,
+            rate: 2_000,
+            strategies: vec![Strategy::PayBefore, Strategy::Cheque, Strategy::PayWord],
+            seed: 42,
+            signer_height: 15,
+            workers: 4,
+            out: "BENCH_payments.json".into(),
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gridbank-bench loadgen [options]\n\
+         \n\
+         Drives the Figure-1 payment flow against a live in-process\n\
+         GridBank server and writes BENCH_payments.json.\n\
+         \n\
+         options:\n\
+           --mode closed|open      closed loop (default) or open loop\n\
+           --duration-ms N         measured window per strategy (default 500)\n\
+           --warmup-ms N           unrecorded lead-in (default 150)\n\
+           --clients N             concurrent connections (default 2)\n\
+           --pipeline N            in-flight requests per connection (default 8)\n\
+           --rate N                open-loop target ops/sec (default 2000)\n\
+           --strategies a,b,c      paybefore,cheque,payword (default all)\n\
+           --seed N                deterministic key seed (default 42)\n\
+           --signer-height N       bank signing capacity 2^N (default 15)\n\
+           --workers N             server worker pool size (default 4)\n\
+           --out PATH              output file (default BENCH_payments.json)\n\
+         \n\
+         See docs/BENCHMARKS.md for methodology."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args(args: &[String]) -> LoadgenConfig {
+    let mut cfg = LoadgenConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage()).clone();
+        match flag.as_str() {
+            "--mode" => {
+                cfg.mode = value();
+                if cfg.mode != "closed" && cfg.mode != "open" {
+                    usage();
+                }
+            }
+            "--duration-ms" => cfg.duration_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--warmup-ms" => cfg.warmup_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--clients" => cfg.clients = value().parse().unwrap_or_else(|_| usage()),
+            "--pipeline" => cfg.pipeline = value().parse().unwrap_or_else(|_| usage()),
+            "--rate" => cfg.rate = value().parse().unwrap_or_else(|_| usage()),
+            "--strategies" => {
+                cfg.strategies = value()
+                    .split(',')
+                    .map(|s| Strategy::parse(s.trim()).unwrap_or_else(|| usage()))
+                    .collect();
+            }
+            "--seed" => cfg.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--signer-height" => cfg.signer_height = value().parse().unwrap_or_else(|_| usage()),
+            "--workers" => cfg.workers = value().parse().unwrap_or_else(|_| usage()),
+            "--out" => cfg.out = value(),
+            _ => usage(),
+        }
+    }
+    if cfg.clients == 0 || cfg.pipeline == 0 || cfg.duration_ms == 0 || cfg.strategies.is_empty() {
+        usage();
+    }
+    cfg
+}
+
+struct World {
+    network: Network,
+    ca: CertificateAuthority,
+    clock: Clock,
+    _server: GridBankServer,
+}
+
+fn start_world(cfg: &LoadgenConfig) -> World {
+    // 2^8 = 256 certificate issues: three per client thread (payer,
+    // payee, admin) plus the bank's own — plenty for any sane --clients.
+    let ca = CertificateAuthority::new(
+        SubjectName::new("GridBank", "CA", "Root"),
+        SigningIdentity::generate_with_height(KeyMaterial { seed: cfg.seed ^ 1 }, "ca", 8),
+    );
+    let clock = Clock::new();
+    let bank = Arc::new(GridBank::new(
+        GridBankConfig {
+            gate_mode: GateMode::AllowEnrollment,
+            signer_height: cfg.signer_height,
+            group_commit: GroupCommitConfig::default(),
+            ..GridBankConfig::default()
+        },
+        clock.clone(),
+    ));
+    let bank_identity =
+        Arc::new(SigningIdentity::generate(KeyMaterial { seed: cfg.seed ^ 2 }, "bank-tls"));
+    let bank_cert = ca
+        .issue(
+            SubjectName::new("GridBank", "Server", "gridbank"),
+            bank_identity.verifying_key(),
+            0,
+            u64::MAX / 2,
+        )
+        .expect("bank certificate");
+    let network = Network::new();
+    let server = GridBankServer::start_tuned(
+        &network,
+        Address::new("bank"),
+        bank,
+        ServerCredentials {
+            certificate: bank_cert,
+            identity: bank_identity,
+            ca_key: ca.verifying_key(),
+        },
+        cfg.seed ^ 7,
+        ServerTuning {
+            workers: cfg.workers,
+            queue_depth: (cfg.clients * cfg.pipeline * 2).max(64),
+            max_connections: (cfg.clients * 4).max(64),
+        },
+    )
+    .expect("server starts");
+    World { network, ca, clock, _server: server }
+}
+
+fn connect(w: &World, cn: &str, seed: u64) -> Result<GridBankClient, BankError> {
+    let id = SigningIdentity::generate_small(KeyMaterial { seed }, cn);
+    let dn = SubjectName::new("Load", "Gen", cn);
+    let cert = w.ca.issue(dn, id.verifying_key(), 0, u64::MAX / 2).expect("client certificate");
+    let proxy_id = SigningIdentity::generate_small(KeyMaterial { seed: seed ^ 0x9999 }, "proxy");
+    let proxy =
+        create_proxy(&id, &cert, proxy_id.verifying_key(), 0, u64::MAX / 2, 1).expect("proxy");
+    let mut nonces = DeterministicStream::from_u64(seed, b"loadgen-nonce");
+    GridBankClient::connect(
+        &w.network,
+        Address::new(format!("{cn}.host")),
+        &Address::new("bank"),
+        w.ca.verifying_key(),
+        w.clock.now_ms(),
+        &proxy,
+        &proxy_id,
+        &mut nonces,
+    )
+}
+
+fn admin(w: &World, seed: u64) -> GridBankClient {
+    let id = SigningIdentity::generate_small(KeyMaterial { seed }, "operator");
+    let dn = SubjectName("/O=GridBank/OU=Admin/CN=operator".into());
+    let cert = w.ca.issue(dn, id.verifying_key(), 0, u64::MAX / 2).expect("admin certificate");
+    let proxy_id = SigningIdentity::generate_small(KeyMaterial { seed: seed ^ 0x8888 }, "proxy");
+    let proxy =
+        create_proxy(&id, &cert, proxy_id.verifying_key(), 0, u64::MAX / 2, 1).expect("proxy");
+    let mut nonces = DeterministicStream::from_u64(seed, b"loadgen-admin-nonce");
+    GridBankClient::connect(
+        &w.network,
+        Address::new("ops.host"),
+        &Address::new("bank"),
+        w.ca.verifying_key(),
+        w.clock.now_ms(),
+        &proxy,
+        &proxy_id,
+        &mut nonces,
+    )
+    .expect("admin connects")
+}
+
+fn rur(payee_cert: &str) -> gridbank_rur::ResourceUsageRecord {
+    RurBuilder::default()
+        .user("h", "/O=Load/OU=Gen/CN=payer")
+        .job("j", "a", 0, 3_600_000)
+        .resource("r", payee_cert, None, 1)
+        .line(
+            ChargeableItem::Cpu,
+            UsageAmount::Time(RurDuration::from_hours(1)),
+            Credits::from_gd(1),
+        )
+        .build()
+        .expect("well-formed RUR")
+}
+
+/// Per-thread worker state: one payer connection, one payee connection
+/// (the cheque/payword redeeming side), their accounts, and a private
+/// idempotency-key range.
+struct Payer {
+    payer: GridBankClient,
+    payee: GridBankClient,
+    payee_cert: String,
+    payee_account: gridbank_core::AccountId,
+    next_key: u64,
+}
+
+fn setup_payer(w: &World, strategy: Strategy, thread: usize, seed: u64) -> Payer {
+    let tag = format!("{}-{thread}", strategy.name());
+    let mut payer = connect(w, &format!("payer-{tag}"), seed ^ (thread as u64 * 2 + 11))
+        .expect("payer connects");
+    let payer_account = payer.create_account(None).expect("payer account");
+    let payee_cn = format!("payee-{tag}");
+    let mut payee = connect(w, &payee_cn, seed ^ (thread as u64 * 2 + 12)).expect("payee connects");
+    let payee_account = payee.create_account(None).expect("payee account");
+    let mut ops = admin(w, seed ^ (0xAD00 + thread as u64));
+    ops.admin_deposit(payer_account, Credits::from_gd(10_000_000)).expect("funding");
+    Payer {
+        payer,
+        payee,
+        payee_cert: format!("/O=Load/OU=Gen/CN={payee_cn}"),
+        payee_account,
+        next_key: (seed << 20) ^ ((thread as u64) << 40),
+    }
+}
+
+/// Runs one complete payment and returns `Ok` on success. Transport
+/// errors abort the worker (`Err`); bank-level refusals count as op
+/// errors (`Ok(false)`).
+fn run_op(p: &mut Payer, strategy: Strategy) -> Result<bool, BankError> {
+    let outcome = match strategy {
+        Strategy::PayBefore => {
+            p.next_key += 1;
+            p.payer
+                .call_keyed(
+                    Some(p.next_key),
+                    &gridbank_core::BankRequest::DirectTransfer {
+                        to: p.payee_account,
+                        amount: Credits::from_micro(100),
+                        recipient_address: "payee.host".into(),
+                    },
+                )
+                .map(|_| ())
+        }
+        Strategy::Cheque => p
+            .payer
+            .request_cheque(&p.payee_cert, Credits::from_gd(2), 1_000_000)
+            .and_then(|cheque| p.payee.redeem_cheque(cheque, rur(&p.payee_cert)))
+            .map(|_| ()),
+        Strategy::PayWord => p
+            .payer
+            .request_hash_chain(&p.payee_cert, 4, Credits::from_micro(100), 1_000_000)
+            .and_then(|chain| {
+                let word = chain.payword(4)?;
+                p.payee.redeem_payword(
+                    chain.commitment.clone(),
+                    chain.signature.clone(),
+                    word,
+                    vec![],
+                )
+            })
+            .map(|_| ()),
+    };
+    match outcome {
+        Ok(()) => Ok(true),
+        // Channel/protocol failures poison the connection: stop the
+        // worker rather than reporting garbage.
+        Err(e @ (BankError::Net(_) | BankError::Protocol(_))) => Err(e),
+        Err(_) => Ok(false),
+    }
+}
+
+struct StrategyResult {
+    strategy: Strategy,
+    ops: u64,
+    errors: u64,
+    elapsed: Duration,
+}
+
+/// Closed loop: every worker keeps a constant number of requests in
+/// flight (pipelined for pay-before, request/response cycles otherwise)
+/// for the whole window. Throughput is "as fast as the system allows" at
+/// that concurrency; latency is send-to-response per op.
+fn run_closed(w: &World, cfg: &LoadgenConfig, strategy: Strategy) -> StrategyResult {
+    let hist = gridbank_obs::registry().histogram(&format!("loadgen.op_ns.{}", strategy.name()));
+    let ops = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let start = Instant::now();
+    let warmup_end = start + Duration::from_millis(cfg.warmup_ms);
+    let deadline = warmup_end + Duration::from_millis(cfg.duration_ms);
+    std::thread::scope(|scope| {
+        for thread in 0..cfg.clients {
+            let (hist, ops, errors) = (&hist, &ops, &errors);
+            let mut p = setup_payer(w, strategy, thread, cfg.seed);
+            scope.spawn(move || {
+                while Instant::now() < deadline {
+                    if strategy == Strategy::PayBefore && cfg.pipeline > 1 {
+                        // One pipelined window of keyed transfers.
+                        let mut window = Vec::with_capacity(cfg.pipeline);
+                        for _ in 0..cfg.pipeline {
+                            p.next_key += 1;
+                            let sent = Instant::now();
+                            match p.payer.send_pipelined(
+                                Some(p.next_key),
+                                &gridbank_core::BankRequest::DirectTransfer {
+                                    to: p.payee_account,
+                                    amount: Credits::from_micro(100),
+                                    recipient_address: "payee.host".into(),
+                                },
+                            ) {
+                                Ok(id) => window.push((id, sent)),
+                                Err(_) => return,
+                            }
+                        }
+                        for (id, sent) in window {
+                            let done = Instant::now();
+                            match p.payer.recv_pipelined(id) {
+                                Ok(_) => {
+                                    if done >= warmup_end {
+                                        hist.record_duration(done - sent);
+                                        ops.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                                Err(BankError::Net(_)) | Err(BankError::Protocol(_)) => return,
+                                Err(_) => {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    } else {
+                        let sent = Instant::now();
+                        match run_op(&mut p, strategy) {
+                            Ok(true) => {
+                                let done = Instant::now();
+                                if done >= warmup_end {
+                                    hist.record_duration(done - sent);
+                                    ops.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Ok(false) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => return,
+                        }
+                    }
+                }
+            });
+        }
+    });
+    StrategyResult {
+        strategy,
+        ops: ops.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        elapsed: Instant::now().saturating_duration_since(warmup_end),
+    }
+}
+
+/// Open loop: ops are *scheduled* at a fixed arrival rate and latency is
+/// measured from the scheduled instant, so queueing delay shows up in
+/// the percentiles instead of being silently absorbed (no coordinated
+/// omission).
+fn run_open(w: &World, cfg: &LoadgenConfig, strategy: Strategy) -> StrategyResult {
+    let hist = gridbank_obs::registry().histogram(&format!("loadgen.op_ns.{}", strategy.name()));
+    let ops = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let per_client_rate = (cfg.rate as f64 / cfg.clients as f64).max(1.0);
+    let interval = Duration::from_secs_f64(1.0 / per_client_rate);
+    let start = Instant::now();
+    let warmup_end = start + Duration::from_millis(cfg.warmup_ms);
+    let deadline = warmup_end + Duration::from_millis(cfg.duration_ms);
+    std::thread::scope(|scope| {
+        for thread in 0..cfg.clients {
+            let (hist, ops, errors) = (&hist, &ops, &errors);
+            let mut p = setup_payer(w, strategy, thread, cfg.seed);
+            scope.spawn(move || {
+                let mut scheduled = start + interval * (thread as u32 + 1);
+                while scheduled < deadline {
+                    if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    match run_op(&mut p, strategy) {
+                        Ok(true) => {
+                            let done = Instant::now();
+                            if done >= warmup_end {
+                                hist.record_duration(done - scheduled);
+                                ops.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Ok(false) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => return,
+                    }
+                    scheduled += interval;
+                }
+            });
+        }
+    });
+    StrategyResult {
+        strategy,
+        ops: ops.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        elapsed: Instant::now().saturating_duration_since(warmup_end),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render_json(cfg: &LoadgenConfig, results: &[StrategyResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"payments_loadgen\",\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape(&cfg.mode)));
+    out.push_str(&format!("  \"duration_ms\": {},\n", cfg.duration_ms));
+    out.push_str(&format!("  \"warmup_ms\": {},\n", cfg.warmup_ms));
+    out.push_str(&format!("  \"clients\": {},\n", cfg.clients));
+    out.push_str(&format!("  \"pipeline_depth\": {},\n", cfg.pipeline));
+    if cfg.mode == "open" {
+        out.push_str(&format!("  \"target_rate_ops_per_sec\": {},\n", cfg.rate));
+    }
+    out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    out.push_str(&format!("  \"server_workers\": {},\n", cfg.workers));
+    out.push_str("  \"strategies\": {\n");
+    let snapshot = gridbank_obs::registry().snapshot();
+    for (i, r) in results.iter().enumerate() {
+        let name = r.strategy.name();
+        let secs = r.elapsed.as_secs_f64().max(1e-9);
+        let throughput = r.ops as f64 / secs;
+        out.push_str(&format!("    \"{name}\": {{\n"));
+        out.push_str(&format!("      \"ops\": {},\n", r.ops));
+        out.push_str(&format!("      \"errors\": {},\n", r.errors));
+        out.push_str(&format!("      \"measured_secs\": {secs:.3},\n"));
+        out.push_str(&format!("      \"throughput_ops_per_sec\": {throughput:.1},\n"));
+        match snapshot.histogram(&format!("loadgen.op_ns.{name}")) {
+            Some(h) => out.push_str(&format!(
+                "      \"latency_ns\": {{\"count\": {}, \"mean\": {:.0}, \"p50\": {}, \
+                 \"p95\": {}, \"p99\": {}}}\n",
+                h.count,
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99()
+            )),
+            None => out.push_str("      \"latency_ns\": null\n"),
+        }
+        out.push_str(if i + 1 == results.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn loadgen(args: &[String]) {
+    let cfg = parse_args(args);
+    eprintln!(
+        "loadgen: mode={} strategies={:?} clients={} pipeline={} duration={}ms warmup={}ms",
+        cfg.mode,
+        cfg.strategies.iter().map(|s| s.name()).collect::<Vec<_>>(),
+        cfg.clients,
+        cfg.pipeline,
+        cfg.duration_ms,
+        cfg.warmup_ms,
+    );
+    let w = start_world(&cfg);
+    let mut results = Vec::new();
+    for &strategy in &cfg.strategies {
+        let r = if cfg.mode == "open" {
+            run_open(&w, &cfg, strategy)
+        } else {
+            run_closed(&w, &cfg, strategy)
+        };
+        eprintln!(
+            "loadgen: {} ops={} errors={} ({:.1} ops/s)",
+            r.strategy.name(),
+            r.ops,
+            r.errors,
+            r.ops as f64 / r.elapsed.as_secs_f64().max(1e-9),
+        );
+        results.push(r);
+    }
+    let json = render_json(&cfg, &results);
+    let mut file = std::fs::File::create(&cfg.out)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", cfg.out));
+    file.write_all(json.as_bytes()).expect("write results");
+    eprintln!("loadgen: wrote {}", cfg.out);
+    if results.iter().all(|r| r.ops == 0) {
+        eprintln!("loadgen: no operation completed — check configuration");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("loadgen") => loadgen(&args[1..]),
+        _ => usage(),
+    }
+}

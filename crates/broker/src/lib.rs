@@ -6,7 +6,7 @@
 //! * [`job`] — parameterized application model: a sweep of tasks with
 //!   quality-of-service constraints ("deadline and budget", §1).
 //! * [`scheduling`] — the deadline-and-budget-constrained (DBC)
-//!   algorithms from the cited Nimrod-G work [2,5]: cost-optimization,
+//!   algorithms from the cited Nimrod-G work \[2,5\]: cost-optimization,
 //!   time-optimization, cost-time-optimization, and conservative-time.
 //! * [`payment`] — the **GridBank Payment Module** (GBPM): manages funds
 //!   on the user's behalf ("The user can then set the budget to prevent

@@ -1,6 +1,6 @@
 //! Deadline-and-budget-constrained (DBC) scheduling.
 //!
-//! The four Nimrod-G algorithms from the cited work [2,5], over an
+//! The four Nimrod-G algorithms from the cited work \[2,5\], over an
 //! abstract view of negotiated resources. All four are deterministic
 //! greedy list schedulers; they differ in the objective each assignment
 //! step optimizes:

@@ -126,7 +126,8 @@ fn now_wallclock_ms() -> u64 {
 /// `gridbank metrics`: runs a small in-process workload against a fresh
 /// bank with telemetry enabled and prints the registry snapshot —
 /// per-variant RPC latency percentiles, counters, and gauges. With
-/// `--format jsonl` emits JSON-lines instead of the text table.
+/// `--format jsonl` emits JSON-lines instead of the text table;
+/// `--filter <prefix>` narrows the output to matching metric names.
 fn run_metrics(args: &Args) -> Result<String, String> {
     use gridbank_core::api::{BankRequest, BankResponse};
     use gridbank_core::server::{GridBank, GridBankConfig};
@@ -184,7 +185,10 @@ fn run_metrics(args: &Args) -> Result<String, String> {
     }
     bank.sweep_expired_instruments();
 
-    let snapshot = gridbank_obs::registry().snapshot();
+    let snapshot = match args.get("filter") {
+        Some(prefix) => gridbank_obs::registry().snapshot().filtered(prefix),
+        None => gridbank_obs::registry().snapshot(),
+    };
     match args.get("format") {
         Some("jsonl") => Ok(gridbank_obs::render_jsonl(&snapshot)),
         None | Some("text") => Ok(gridbank_obs::render_text(&snapshot)),
@@ -335,7 +339,7 @@ fn usage() -> String {
        statement      --account ID\n\
        accounts\n\
        barter-stats\n\
-       metrics        [--format text|jsonl]"
+       metrics        [--format text|jsonl] [--filter prefix]"
         .to_string()
 }
 
@@ -432,6 +436,11 @@ mod tests {
         let out = run(&args(&["metrics", "--format", "jsonl"])).unwrap();
         assert!(out.contains("\"type\":\"histogram\""), "{out}");
         assert!(run(&args(&["metrics", "--format", "xml"])).is_err());
+
+        // `--filter` narrows the snapshot to one name prefix.
+        let out = run(&args(&["metrics", "--filter", "core.transfer."])).unwrap();
+        assert!(out.contains("core.transfer.count"), "{out}");
+        assert!(!out.contains("rpc.server.latency_ns"), "{out}");
 
         // Errors are surfaced, not panics.
         assert!(run(&args(&[

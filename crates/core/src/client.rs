@@ -115,6 +115,33 @@ impl GridBankClient {
         Ok(resp)
     }
 
+    /// Sends a request without waiting for its response, returning the
+    /// correlation id; any number may be in flight at once. Pair with
+    /// [`GridBankClient::recv_pipelined`]. Mutations should carry an
+    /// idempotency key so a retry after a broken pipeline stays
+    /// exactly-once.
+    pub fn send_pipelined(
+        &mut self,
+        idem_key: Option<u64>,
+        request: &BankRequest,
+    ) -> Result<u64, BankError> {
+        let bytes = request.to_bytes();
+        Ok(match idem_key {
+            Some(key) => self.rpc.send_request_with_key(key, &bytes)?,
+            None => self.rpc.send_request(&bytes)?,
+        })
+    }
+
+    /// Waits for the response to a pipelined request by correlation id.
+    pub fn recv_pipelined(&mut self, id: u64) -> Result<BankResponse, BankError> {
+        let raw = self.rpc.recv_response(id)?;
+        let resp = BankResponse::from_bytes(&raw)?;
+        if let BankResponse::Error { kind, message } = resp {
+            return Err(error_from_wire(kind, message));
+        }
+        Ok(resp)
+    }
+
     fn unexpected(resp: BankResponse) -> BankError {
         BankError::Protocol(format!("unexpected response {resp:?}"))
     }

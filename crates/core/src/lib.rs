@@ -57,9 +57,10 @@ pub use cheque::GridCheque;
 pub use client::GridBankClient;
 pub use clock::Clock;
 pub use db::{
-    AccountId, AccountRecord, Database, TransactionRecord, TransactionType, TransferRecord,
+    AccountId, AccountRecord, Database, GroupCommitConfig, TransactionRecord, TransactionType,
+    TransferRecord,
 };
 pub use error::BankError;
 pub use payword::{GridHashChain, PayWord};
 pub use resilient::{BackoffSleep, ResilientBankClient};
-pub use server::{GridBank, GridBankConfig, GridBankServer};
+pub use server::{GridBank, GridBankConfig, GridBankServer, ServerTuning};

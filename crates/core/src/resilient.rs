@@ -5,7 +5,7 @@
 //! `docs/RESILIENCE.md`):
 //!
 //! * every attempt that fails with a *retryable* transport error
-//!   ([`NetError::is_retryable`]) tears the connection down and retries
+//!   ([`gridbank_net::NetError::is_retryable`]) tears the connection down and retries
 //!   over a **fresh handshake**, pacing itself with a seeded
 //!   [`RetryPolicy`] backoff schedule;
 //! * a [`CircuitBreaker`] fails calls fast once the bank looks dead,

@@ -11,12 +11,19 @@
 //! accounts or in administrator tables, then the client is authorized to
 //! establish a connection. Otherwise connection is refused"), and serves
 //! the RPC loop per connection.
+//!
+//! Request execution is **pipelined**: each connection keeps a cheap
+//! reader thread that decodes frames and submits them to a shared,
+//! bounded worker pool ([`ServerTuning`]); workers run the bank dispatch
+//! and hand results to the connection's `ResponseWriter`, which
+//! re-sequences them into arrival order. A full job queue blocks the
+//! readers — backpressure instead of unbounded thread growth.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use gridbank_crypto::cert::{Certificate, SubjectName};
 use gridbank_crypto::keys::{KeyMaterial, SigningIdentity, VerifyingKey};
@@ -72,6 +79,9 @@ pub struct GridBankConfig {
     /// 0 disables deduplication — chaos tests use that to prove their
     /// double-charge assertions have teeth.
     pub idem_capacity: usize,
+    /// Group-commit tuning for the write-ahead journal (`max_batch <= 1`
+    /// turns grouping off).
+    pub group_commit: crate::db::GroupCommitConfig,
 }
 
 impl Default for GridBankConfig {
@@ -84,6 +94,7 @@ impl Default for GridBankConfig {
             signer_height: 12,
             gate_mode: GateMode::AllowEnrollment,
             idem_capacity: crate::db::DEFAULT_IDEM_CAPACITY,
+            group_commit: crate::db::GroupCommitConfig::default(),
         }
     }
 }
@@ -106,6 +117,12 @@ pub struct GridBank {
     payword_redeemed: Mutex<HashMap<u64, u32>>,
     chain_secrets: Mutex<DeterministicStream>,
     descriptions: RwLock<HashMap<String, ResourceDescription>>,
+    /// Idempotency keys currently being applied. With pipelining, two
+    /// requests carrying the same key can reach workers concurrently;
+    /// the duplicate waits here until the original finishes, then hits
+    /// the dedup cache instead of re-applying.
+    in_flight_keys: Mutex<HashSet<(String, u64)>>,
+    key_released: Condvar,
 }
 
 impl GridBank {
@@ -130,6 +147,7 @@ impl GridBank {
 
     fn with_database(config: GridBankConfig, clock: Clock, db: Arc<Database>) -> Self {
         db.set_idem_capacity(config.idem_capacity);
+        db.set_group_commit(config.group_commit);
         let accounts = GbAccounts::new(db, clock.clone());
         let admin = GbAdmin::new(accounts.clone(), config.admins.iter().cloned());
         let guarantee = FundsGuarantee::new(accounts.clone());
@@ -153,6 +171,8 @@ impl GridBank {
             payword_redeemed: Mutex::new(HashMap::new()),
             chain_secrets,
             descriptions: RwLock::new(HashMap::new()),
+            in_flight_keys: Mutex::new(HashSet::new()),
+            key_released: Condvar::new(),
         }
     }
 
@@ -270,6 +290,18 @@ impl GridBank {
         gridbank_obs::count("rpc.server.requests", 1);
         let caller_cert = caller.base_identity().0;
         let keyed = idem_key.filter(|_| request.is_mutating());
+        // Serialize same-key arrivals before the cache lookup: with
+        // pipelined connections a duplicate can land on another worker
+        // while the original is mid-apply, and must wait for its stamp.
+        let _key_guard = keyed.map(|key| {
+            let entry = (caller_cert.clone(), key);
+            let mut in_flight = self.in_flight_keys.lock();
+            while !in_flight.insert(entry.clone()) {
+                gridbank_obs::count("core.idem.in_flight_wait", 1);
+                self.key_released.wait(&mut in_flight);
+            }
+            KeyGuard { bank: self, entry }
+        });
         if let Some(key) = keyed {
             if let Some(bytes) = self.accounts.db().idem_lookup(&caller_cert, key) {
                 if let Ok(resp) = BankResponse::from_bytes(&bytes) {
@@ -307,6 +339,11 @@ impl GridBank {
         };
         timer.record_named_label("rpc.server.latency_ns", variant);
         resp
+    }
+
+    fn release_key(&self, entry: &(String, u64)) {
+        self.in_flight_keys.lock().remove(entry);
+        self.key_released.notify_all();
     }
 
     fn dispatch(
@@ -529,6 +566,84 @@ impl ConnectionGate for BankGate {
     }
 }
 
+/// Sizing knobs for the network front-end.
+///
+/// The defaults suit tests and small simulations; the load generator
+/// (`gridbank-bench loadgen`) raises `workers` to saturate the group-
+/// commit journal. See `docs/BENCHMARKS.md`.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerTuning {
+    /// Worker threads executing requests, shared across connections.
+    pub workers: usize,
+    /// Bound on the shared job queue. When it fills, connection readers
+    /// block on submit — backpressure toward the clients.
+    pub queue_depth: usize,
+    /// Connections beyond this are dropped at accept time (the client
+    /// sees a failed handshake and may retry).
+    pub max_connections: usize,
+}
+
+impl Default for ServerTuning {
+    fn default() -> Self {
+        ServerTuning { workers: 4, queue_depth: 256, max_connections: 1024 }
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The shared bounded execution pool behind every connection.
+///
+/// Workers pull jobs from one bounded channel (receiver behind a mutex —
+/// the vendored channel is single-consumer) and exit when every submit
+/// handle is gone, so the pool drains naturally at shutdown.
+struct WorkerPool {
+    submit: crossbeam::channel::Sender<Job>,
+}
+
+impl WorkerPool {
+    fn start(tuning: ServerTuning) -> Self {
+        let (tx, rx) = crossbeam::channel::bounded::<Job>(tuning.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        for _ in 0..tuning.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            std::thread::spawn(move || loop {
+                // Hold the lock only while waiting, never while running
+                // the job, so workers execute in parallel.
+                let job = rx.lock().recv();
+                match job {
+                    Ok(job) => job(),
+                    Err(_) => break,
+                }
+            });
+        }
+        WorkerPool { submit: tx }
+    }
+}
+
+/// Releases an in-flight idempotency key on every exit path from
+/// `handle_keyed`, waking any duplicate waiting to consult the cache.
+struct KeyGuard<'a> {
+    bank: &'a GridBank,
+    entry: (String, u64),
+}
+
+impl Drop for KeyGuard<'_> {
+    fn drop(&mut self) {
+        self.bank.release_key(&self.entry);
+    }
+}
+
+/// Decrements the live-connection gauge when a connection thread exits,
+/// however it exits.
+struct LiveGuard(Arc<AtomicU64>);
+
+impl Drop for LiveGuard {
+    fn drop(&mut self) {
+        let live = self.0.fetch_sub(1, Ordering::Relaxed) - 1;
+        gridbank_obs::gauge_set("net.server.live_connections", live as i64);
+    }
+}
+
 /// Server-side credentials for the handshake.
 #[derive(Clone)]
 pub struct ServerCredentials {
@@ -550,13 +665,30 @@ pub struct GridBankServer {
 }
 
 impl GridBankServer {
-    /// Binds `address` on `network` and starts serving `bank`.
+    /// Binds `address` on `network` and starts serving `bank` with
+    /// default [`ServerTuning`].
     pub fn start(
         network: &Network,
         address: Address,
         bank: Arc<GridBank>,
         credentials: ServerCredentials,
         nonce_seed: u64,
+    ) -> Result<Self, NetError> {
+        Self::start_tuned(network, address, bank, credentials, nonce_seed, ServerTuning::default())
+    }
+
+    /// [`GridBankServer::start`] with explicit pool and admission sizing.
+    ///
+    /// Per connection, a reader thread decodes pipelined requests and
+    /// submits them to the shared bounded worker pool; workers dispatch
+    /// into the bank and complete the connection's `ResponseWriter`.
+    pub fn start_tuned(
+        network: &Network,
+        address: Address,
+        bank: Arc<GridBank>,
+        credentials: ServerCredentials,
+        nonce_seed: u64,
+        tuning: ServerTuning,
     ) -> Result<Self, NetError> {
         let listener = network.bind(address.clone())?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -565,6 +697,8 @@ impl GridBankServer {
         let conns = Arc::clone(&connections);
         let clock = bank.clock().clone();
         let accept_thread = std::thread::spawn(move || {
+            let pool = WorkerPool::start(tuning);
+            let live = Arc::new(AtomicU64::new(0));
             let gate = bank.gate();
             let mut conn_seq = 0u64;
             loop {
@@ -576,16 +710,27 @@ impl GridBankServer {
                     Err(NetError::Timeout) => continue,
                     Err(_) => break,
                 };
+                if live.load(Ordering::Relaxed) >= tuning.max_connections as u64 {
+                    // Over the admission cap: drop the link before the
+                    // handshake; resilient clients back off and retry.
+                    gridbank_obs::count("net.server.refused_connections", 1);
+                    continue;
+                }
                 conn_seq += 1;
                 let total = conns.fetch_add(1, Ordering::Relaxed) + 1;
                 gridbank_obs::gauge_set("net.server.connection_count", total as i64);
+                let now_live = live.fetch_add(1, Ordering::Relaxed) + 1;
+                gridbank_obs::gauge_set("net.server.live_connections", now_live as i64);
+                let guard = LiveGuard(Arc::clone(&live));
                 let bank = Arc::clone(&bank);
                 let credentials = credentials.clone();
                 let clock = clock.clone();
+                let jobs = pool.submit.clone();
                 let mut nonces =
                     DeterministicStream::from_u64(nonce_seed ^ conn_seq, b"gridbank-server-nonce");
                 let gate_bank = Arc::clone(&gate.bank);
                 std::thread::spawn(move || {
+                    let _guard = guard;
                     let config =
                         HandshakeConfig { ca_key: credentials.ca_key, now: clock.now_ms() };
                     let gate = BankGate { bank: gate_bank };
@@ -601,19 +746,38 @@ impl GridBankServer {
                         Ok(ok) => ok,
                         Err(_) => return, // refused or failed; nothing to serve
                     };
-                    let _ =
-                        RpcServer::serve_connection(channel, &peer, |peer, idem_key, payload| {
-                            let response = match BankRequest::from_bytes(payload) {
-                                Ok(req) => bank.handle_keyed(&peer.subject, idem_key, req),
-                                Err(e) => BankResponse::Error {
-                                    kind: crate::api::kinds::OTHER,
-                                    message: format!("malformed request: {e}"),
-                                },
+                    let _ = RpcServer::serve_pipelined(channel, |req, writer| {
+                        let bank = Arc::clone(&bank);
+                        let peer = peer.clone();
+                        let writer = Arc::clone(writer);
+                        let job: Job = Box::new(move || {
+                            let response = {
+                                // Join the client's trace so the dispatch
+                                // nests under the caller's rpc span.
+                                let mut span =
+                                    gridbank_obs::span_under(req.trace, "net", "rpc_serve");
+                                span.attr("peer", peer.base.0.clone());
+                                match BankRequest::from_bytes(&req.payload) {
+                                    Ok(r) => bank.handle_keyed(&peer.subject, req.idem_key, r),
+                                    Err(e) => BankResponse::Error {
+                                        kind: crate::api::kinds::OTHER,
+                                        message: format!("malformed request: {e}"),
+                                    },
+                                }
+                                .to_bytes()
                             };
-                            response.to_bytes()
+                            // An error here means the peer hung up; the
+                            // reader loop will notice and wind down.
+                            let _ = writer.complete(req.seq, req.id, response);
                         });
+                        // Blocking on a full queue is the backpressure
+                        // path; an error means the pool is gone.
+                        jobs.send(job).map_err(|_| NetError::Disconnected)
+                    });
                 });
             }
+            // Dropping the pool's submit handle lets workers exit once
+            // the last connection reader hangs up.
         });
         Ok(GridBankServer { stop, accept_thread: Some(accept_thread), address, connections })
     }

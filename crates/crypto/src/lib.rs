@@ -17,7 +17,7 @@
 //! This crate provides all four from scratch, with no external crypto
 //! dependencies:
 //!
-//! * [`sha256`] — FIPS 180-4 SHA-256, the only primitive everything else is
+//! * [`mod@sha256`] — FIPS 180-4 SHA-256, the only primitive everything else is
 //!   built from (PayWord hash chains in `gridbank-core` use it directly).
 //! * [`hmac`] — HMAC-SHA256 and a simple HKDF-style key derivation.
 //! * [`lamport`] — Lamport one-time signatures.

@@ -20,7 +20,7 @@ use gridbank_crypto::hmac::{hkdf_expand, hmac_sha256, mac_eq};
 use gridbank_crypto::sha256::{Digest, DIGEST_LEN};
 
 use crate::error::NetError;
-use crate::transport::Duplex;
+use crate::transport::{Duplex, RecvHalf, SendHalf};
 
 /// Key material for one direction.
 #[derive(Clone)]
@@ -67,6 +67,43 @@ fn frame_mac(keys: &DirectionKeys, seq: u64, ciphertext: &[u8]) -> Digest {
     hmac_sha256(&keys.mac, &msg)
 }
 
+/// Seals one plaintext under the direction keys at sequence `seq`.
+fn seal_frame(keys: &DirectionKeys, seq: u64, plaintext: &[u8]) -> Vec<u8> {
+    let ks = keystream(keys, seq, plaintext.len());
+    let mut frame = Vec::with_capacity(8 + plaintext.len() + DIGEST_LEN);
+    frame.extend_from_slice(&seq.to_be_bytes());
+    frame.extend(plaintext.iter().zip(ks.iter()).map(|(p, k)| p ^ k));
+    let mac = frame_mac(keys, seq, &frame[8..]);
+    frame.extend_from_slice(mac.as_bytes());
+    frame
+}
+
+/// Authenticates and opens one frame, enforcing the strict sequence.
+fn open_frame(keys: &DirectionKeys, expected_seq: u64, frame: &[u8]) -> Result<Vec<u8>, NetError> {
+    if frame.len() < 8 + DIGEST_LEN {
+        return Err(NetError::ChannelIntegrity("frame too short".into()));
+    }
+    let (head, rest) = frame.split_at(8);
+    let (ciphertext, mac_bytes) = rest.split_at(rest.len() - DIGEST_LEN);
+    let mut seq_arr = [0u8; 8];
+    seq_arr.copy_from_slice(head);
+    let seq = u64::from_be_bytes(seq_arr);
+    if seq != expected_seq {
+        return Err(NetError::ChannelIntegrity(format!(
+            "sequence violation: expected {expected_seq}, got {seq} (replay or drop)"
+        )));
+    }
+    let mut mac_arr = [0u8; DIGEST_LEN];
+    mac_arr.copy_from_slice(mac_bytes);
+    let claimed = Digest(mac_arr);
+    let expected = frame_mac(keys, seq, ciphertext);
+    if !mac_eq(&claimed, &expected) {
+        return Err(NetError::ChannelIntegrity("MAC mismatch".into()));
+    }
+    let ks = keystream(keys, seq, ciphertext.len());
+    Ok(ciphertext.iter().zip(ks.iter()).map(|(c, k)| c ^ k).collect())
+}
+
 /// An established secure channel.
 pub struct SecureChannel {
     duplex: Duplex,
@@ -91,13 +128,7 @@ impl SecureChannel {
     pub fn send(&mut self, plaintext: &[u8]) -> Result<(), NetError> {
         let seq = self.send_seq;
         self.send_seq += 1;
-        let ks = keystream(&self.send_keys, seq, plaintext.len());
-        let mut frame = Vec::with_capacity(8 + plaintext.len() + DIGEST_LEN);
-        frame.extend_from_slice(&seq.to_be_bytes());
-        frame.extend(plaintext.iter().zip(ks.iter()).map(|(p, k)| p ^ k));
-        let mac = frame_mac(&self.send_keys, seq, &frame[8..]);
-        frame.extend_from_slice(mac.as_bytes());
-        self.duplex.send(frame)
+        self.duplex.send(seal_frame(&self.send_keys, seq, plaintext))
     }
 
     /// Receives, authenticates, and opens one message.
@@ -113,35 +144,75 @@ impl SecureChannel {
     }
 
     fn open(&mut self, frame: Vec<u8>) -> Result<Vec<u8>, NetError> {
-        if frame.len() < 8 + DIGEST_LEN {
-            return Err(NetError::ChannelIntegrity("frame too short".into()));
-        }
-        let (head, rest) = frame.split_at(8);
-        let (ciphertext, mac_bytes) = rest.split_at(rest.len() - DIGEST_LEN);
-        let mut seq_arr = [0u8; 8];
-        seq_arr.copy_from_slice(head);
-        let seq = u64::from_be_bytes(seq_arr);
-        if seq != self.recv_seq {
-            return Err(NetError::ChannelIntegrity(format!(
-                "sequence violation: expected {}, got {seq} (replay or drop)",
-                self.recv_seq
-            )));
-        }
-        let mut mac_arr = [0u8; DIGEST_LEN];
-        mac_arr.copy_from_slice(mac_bytes);
-        let claimed = Digest(mac_arr);
-        let expected = frame_mac(&self.recv_keys, seq, ciphertext);
-        if !mac_eq(&claimed, &expected) {
-            return Err(NetError::ChannelIntegrity("MAC mismatch".into()));
-        }
+        let plain = open_frame(&self.recv_keys, self.recv_seq, &frame)?;
         self.recv_seq += 1;
-        let ks = keystream(&self.recv_keys, seq, ciphertext.len());
-        Ok(ciphertext.iter().zip(ks.iter()).map(|(c, k)| c ^ k).collect())
+        Ok(plain)
     }
 
     /// The remote transport address (diagnostics).
     pub fn peer(&self) -> &crate::transport::Address {
         &self.duplex.peer
+    }
+
+    /// Splits the channel into independently owned sealed send and
+    /// receive halves. Each direction keeps its own strict sequence, so
+    /// the wire format is identical to an unsplit channel — the peer
+    /// cannot tell the difference. This is what lets a pipelined server
+    /// block on receive in one thread while workers send responses from
+    /// others.
+    pub fn split(self) -> (SecureSender, SecureReceiver) {
+        let (tx, rx) = self.duplex.split();
+        (
+            SecureSender { half: tx, keys: self.send_keys, seq: self.send_seq },
+            SecureReceiver { half: rx, keys: self.recv_keys, seq: self.recv_seq },
+        )
+    }
+}
+
+/// The sealing send half of a split [`SecureChannel`].
+pub struct SecureSender {
+    half: SendHalf,
+    keys: DirectionKeys,
+    seq: u64,
+}
+
+impl SecureSender {
+    /// Seals and sends one message (same semantics as
+    /// [`SecureChannel::send`]).
+    pub fn send(&mut self, plaintext: &[u8]) -> Result<(), NetError> {
+        let seq = self.seq;
+        self.seq += 1;
+        self.half.send(seal_frame(&self.keys, seq, plaintext))
+    }
+}
+
+/// The opening receive half of a split [`SecureChannel`].
+pub struct SecureReceiver {
+    half: RecvHalf,
+    keys: DirectionKeys,
+    seq: u64,
+}
+
+impl SecureReceiver {
+    /// Receives, authenticates, and opens one message.
+    pub fn recv(&mut self) -> Result<Vec<u8>, NetError> {
+        let frame = self.half.recv()?;
+        let plain = open_frame(&self.keys, self.seq, &frame)?;
+        self.seq += 1;
+        Ok(plain)
+    }
+
+    /// Receives with an explicit timeout.
+    pub fn recv_timeout(&mut self, timeout: std::time::Duration) -> Result<Vec<u8>, NetError> {
+        let frame = self.half.recv_timeout(timeout)?;
+        let plain = open_frame(&self.keys, self.seq, &frame)?;
+        self.seq += 1;
+        Ok(plain)
+    }
+
+    /// The remote transport address (diagnostics).
+    pub fn peer(&self) -> &crate::transport::Address {
+        &self.half.peer
     }
 }
 
@@ -254,6 +325,34 @@ mod tests {
         );
         assert_eq!(s.recv().unwrap(), b"withdraw");
         assert!(matches!(s.recv(), Err(NetError::ChannelIntegrity(_))));
+    }
+
+    #[test]
+    fn split_channel_is_wire_compatible_with_unsplit_peer() {
+        let secret = sha256(b"shared");
+        let (c, mut s) = pair(&secret);
+        // Exchange a frame each way first so the split inherits nonzero
+        // sequence numbers.
+        let mut c = c;
+        c.send(b"pre").unwrap();
+        assert_eq!(s.recv().unwrap(), b"pre");
+        s.send(b"ack").unwrap();
+        assert_eq!(c.recv().unwrap(), b"ack");
+        let (mut ctx, mut crx) = c.split();
+        // Client halves talk to the unsplit server channel: sends from one
+        // thread while the receive half blocks in another.
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for _ in 0..3 {
+                    let m = s.recv().unwrap();
+                    s.send(&m).unwrap();
+                }
+            });
+            for msg in [&b"one"[..], b"two", b"three"] {
+                ctx.send(msg).unwrap();
+                assert_eq!(crx.recv().unwrap(), msg);
+            }
+        });
     }
 
     #[test]

@@ -26,7 +26,10 @@
 //!   the gate decides from the authenticated subject name *before* the
 //!   handshake completes.
 //! * [`rpc`] — request/response correlation over a secure channel, the
-//!   shape every GridBank protocol message uses.
+//!   shape every GridBank protocol message uses. Frame ids are
+//!   **correlation ids**: clients may pipeline many requests per
+//!   connection, and servers re-sequence worker completions so responses
+//!   leave in arrival order (see `docs/PROTOCOLS.md` §1).
 //! * [`fault`] — deterministic fault injection at the transport layer
 //!   (drop/duplicate/reorder/reset, seed-driven) for chaos testing.
 //! * [`retry`] — capped-exponential-backoff retry policy with
@@ -42,11 +45,11 @@ pub mod rpc;
 pub mod transport;
 pub(crate) mod wire;
 
-pub use channel::SecureChannel;
+pub use channel::{SecureChannel, SecureReceiver, SecureSender};
 pub use error::NetError;
 pub use fault::{FaultCounts, FaultInjector, FaultPlan, FaultRates};
 pub use gate::{AdmissionDecision, ConnectionGate};
 pub use handshake::{client_handshake, server_handshake, HandshakeConfig, PeerIdentity};
 pub use retry::{BackoffSchedule, BreakerState, CircuitBreaker, RetryPolicy};
-pub use rpc::{RpcClient, RpcServer};
-pub use transport::{Address, Duplex, Listener, Network};
+pub use rpc::{PipelinedRequest, ResponseWriter, RpcClient, RpcServer};
+pub use transport::{Address, Duplex, Listener, Network, RecvHalf, SendHalf};

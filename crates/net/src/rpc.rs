@@ -1,21 +1,34 @@
-//! Request/response correlation over a secure channel.
+//! Request/response correlation over a secure channel, with pipelining.
 //!
 //! Every GridBank protocol interaction (§5.2's operations) is a request
-//! followed by one response. [`RpcClient`] numbers requests and checks the
-//! response id; [`RpcServer::serve_connection`] runs a handler loop until
-//! the peer disconnects. Transport-level concurrency comes from one
-//! connection (and one serving thread) per client, as the paper's
-//! connection-oriented GSS model implies.
+//! followed by one response. The 8-byte frame id is a **correlation id**:
+//! [`RpcClient`] may keep several requests in flight on one connection
+//! ([`RpcClient::send_request`] / [`RpcClient::recv_response`]) and
+//! matches responses to requests by id, buffering responses that arrive
+//! for other in-flight ids. [`RpcClient::call`] is the depth-1 special
+//! case.
+//!
+//! On the server, [`RpcServer::serve_pipelined`] splits the channel and
+//! hands each decoded request to an executor (typically a bounded worker
+//! pool); a [`ResponseWriter`] re-sequences completions so **responses
+//! always leave in request-arrival order** no matter how workers
+//! interleave. [`RpcServer::serve_connection`] remains the sequential
+//! reference implementation. See `docs/PROTOCOLS.md` §1 for the
+//! pipelining state machine.
 //!
 //! Mutating requests may carry a client-generated **idempotency key**
 //! (flagged on the kind byte, like the trace context), which the server
 //! uses to deduplicate retries — see `docs/RESILIENCE.md`.
 
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Duration;
+
+use parking_lot::Mutex;
 
 use gridbank_obs::TraceContext;
 
-use crate::channel::SecureChannel;
+use crate::channel::{SecureChannel, SecureSender};
 use crate::error::NetError;
 use crate::handshake::PeerIdentity;
 
@@ -99,11 +112,16 @@ fn decode(msg: &[u8]) -> Result<Frame<'_>, NetError> {
     Ok((id, kind, trace, idem, &msg[at..]))
 }
 
-/// Client end: sequential request/response calls.
+/// Client end: correlation-id request/response calls, pipelined or
+/// sequential.
 pub struct RpcClient {
     channel: SecureChannel,
     next_id: u64,
     timeout: Option<Duration>,
+    /// Correlation ids sent but not yet resolved.
+    outstanding: HashSet<u64>,
+    /// Responses that arrived for a still-unclaimed in-flight id.
+    ready: HashMap<u64, Vec<u8>>,
     /// Authenticated identity of the server.
     pub server: PeerIdentity,
 }
@@ -111,7 +129,14 @@ pub struct RpcClient {
 impl RpcClient {
     /// Wraps an established secure channel.
     pub fn new(channel: SecureChannel, server: PeerIdentity) -> Self {
-        RpcClient { channel, next_id: 1, timeout: None, server }
+        RpcClient {
+            channel,
+            next_id: 1,
+            timeout: None,
+            outstanding: HashSet::new(),
+            ready: HashMap::new(),
+            server,
+        }
     }
 
     /// Overrides the per-call response timeout. `None` (the default)
@@ -138,9 +163,37 @@ impl RpcClient {
     fn call_inner(&mut self, idem_key: Option<u64>, payload: &[u8]) -> Result<Vec<u8>, NetError> {
         let mut span = gridbank_obs::span("net", "rpc_call");
         let timer = gridbank_obs::Stopwatch::start();
+        let id = self.send_request_inner(idem_key, payload)?;
+        span.attr("request_id", id.to_string());
+        let body = self.recv_response(id)?;
+        timer.record_named("rpc.client.call_ns");
+        Ok(body)
+    }
+
+    /// Sends a request without waiting, returning its correlation id.
+    /// Pair with [`RpcClient::recv_response`]; any number of requests may
+    /// be in flight on the connection at once.
+    pub fn send_request(&mut self, payload: &[u8]) -> Result<u64, NetError> {
+        self.send_request_inner(None, payload)
+    }
+
+    /// [`RpcClient::send_request`] with an idempotency key stamped on the
+    /// frame.
+    pub fn send_request_with_key(
+        &mut self,
+        idem_key: u64,
+        payload: &[u8],
+    ) -> Result<u64, NetError> {
+        self.send_request_inner(Some(idem_key), payload)
+    }
+
+    fn send_request_inner(
+        &mut self,
+        idem_key: Option<u64>,
+        payload: &[u8],
+    ) -> Result<u64, NetError> {
         let id = self.next_id;
         self.next_id += 1;
-        span.attr("request_id", id.to_string());
         self.channel.send(&encode(
             id,
             KIND_REQUEST,
@@ -148,32 +201,120 @@ impl RpcClient {
             idem_key,
             payload,
         ))?;
-        let reply = match self.timeout {
-            Some(t) => self.channel.recv_timeout(t)?,
-            None => self.channel.recv()?,
-        };
-        let (rid, kind, _trace, _idem, body) = decode(&reply)?;
-        if kind != KIND_RESPONSE {
-            return Err(NetError::Malformed(format!("expected response, got kind {kind}")));
+        self.outstanding.insert(id);
+        gridbank_obs::observe("rpc.client.in_flight", self.outstanding.len() as u64);
+        Ok(id)
+    }
+
+    /// Waits for the response to correlation id `id`. Responses arriving
+    /// for *other* in-flight ids are buffered and handed out when their
+    /// id is claimed; a response for an id that was never issued (or was
+    /// already resolved) is a protocol error.
+    pub fn recv_response(&mut self, id: u64) -> Result<Vec<u8>, NetError> {
+        if !self.outstanding.contains(&id) {
+            return Err(NetError::Malformed(format!("correlation id {id} is not in flight")));
         }
-        if rid != id {
-            return Err(NetError::Malformed(format!(
-                "response id {rid} does not match request id {id}"
-            )));
+        loop {
+            if let Some(body) = self.ready.remove(&id) {
+                self.outstanding.remove(&id);
+                return Ok(body);
+            }
+            let reply = match self.timeout {
+                Some(t) => self.channel.recv_timeout(t)?,
+                None => self.channel.recv()?,
+            };
+            let (rid, kind, _trace, _idem, body) = decode(&reply)?;
+            if kind != KIND_RESPONSE {
+                return Err(NetError::Malformed(format!("expected response, got kind {kind}")));
+            }
+            if !self.outstanding.contains(&rid) || self.ready.contains_key(&rid) {
+                return Err(NetError::Malformed(format!(
+                    "response id {rid} does not match any in-flight request"
+                )));
+            }
+            self.ready.insert(rid, body.to_vec());
         }
-        timer.record_named("rpc.client.call_ns");
-        Ok(body.to_vec())
+    }
+
+    /// Number of requests currently awaiting a response.
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len()
     }
 }
 
-/// Server-side connection loop.
+/// One decoded request handed to a pipelined executor.
+///
+/// `seq` is the arrival index on this connection (0, 1, 2, …); the
+/// [`ResponseWriter`] uses it to emit responses in arrival order. `id`
+/// is the client's correlation id, echoed verbatim on the response
+/// frame.
+pub struct PipelinedRequest {
+    /// Arrival index on this connection — the response-ordering key.
+    pub seq: u64,
+    /// Client correlation id to echo on the response.
+    pub id: u64,
+    /// Trace context carried by the frame, if any.
+    pub trace: Option<TraceContext>,
+    /// Idempotency key carried by the frame, if any.
+    pub idem_key: Option<u64>,
+    /// Request payload.
+    pub payload: Vec<u8>,
+}
+
+/// Re-sequencing response sender shared by the workers serving one
+/// pipelined connection.
+///
+/// Workers complete requests in any order; `complete` parks finished
+/// responses until every earlier-arriving request has been sent, so the
+/// wire carries responses in request-arrival order (the per-caller
+/// ordering guarantee). Each request must be completed exactly once, or
+/// later responses stall forever.
+pub struct ResponseWriter {
+    state: Mutex<WriterState>,
+}
+
+struct WriterState {
+    sender: SecureSender,
+    /// Arrival index of the next response to go on the wire.
+    next_seq: u64,
+    /// Completions waiting for their turn, keyed by arrival index.
+    parked: BTreeMap<u64, (u64, Vec<u8>)>,
+}
+
+impl ResponseWriter {
+    /// Records the response for arrival index `seq` (correlation id `id`)
+    /// and sends every response that is now in order. An error means the
+    /// connection is gone; pending work for it can be abandoned.
+    pub fn complete(&self, seq: u64, id: u64, response: Vec<u8>) -> Result<(), NetError> {
+        let mut st = self.state.lock();
+        st.parked.insert(seq, (id, response));
+        loop {
+            let next = st.next_seq;
+            let Some((id, body)) = st.parked.remove(&next) else {
+                return Ok(());
+            };
+            st.sender.send(&encode(id, KIND_RESPONSE, None, None, &body))?;
+            st.next_seq += 1;
+        }
+    }
+
+    /// Responses parked out of order right now (diagnostics).
+    pub fn parked(&self) -> usize {
+        self.state.lock().parked.len()
+    }
+}
+
+/// Server-side connection loops.
 pub struct RpcServer;
 
 impl RpcServer {
-    /// Serves one connection: for each request, calls `handler` with the
-    /// authenticated peer, the request's idempotency key (if any), and
-    /// the payload, and sends back its response. Returns when the peer
-    /// disconnects; propagates integrity errors.
+    /// Serves one connection sequentially: for each request, calls
+    /// `handler` with the authenticated peer, the request's idempotency
+    /// key (if any), and the payload, and sends back its response before
+    /// reading the next request. Returns when the peer disconnects;
+    /// propagates integrity errors. The sequential reference
+    /// implementation — production serving goes through
+    /// [`RpcServer::serve_pipelined`].
     pub fn serve_connection<F>(
         mut channel: SecureChannel,
         peer: &PeerIdentity,
@@ -200,6 +341,40 @@ impl RpcServer {
                 handler(peer, idem_key, payload)
             };
             channel.send(&encode(id, KIND_RESPONSE, None, None, &response))?;
+        }
+    }
+
+    /// Serves one connection with pipelining: the channel is split, the
+    /// read loop decodes each request and hands it to `submit` together
+    /// with the shared [`ResponseWriter`]. `submit` is expected to
+    /// enqueue the request on an executor (e.g. a bounded worker pool)
+    /// whose workers eventually call [`ResponseWriter::complete`] exactly
+    /// once per request; the writer re-sequences completions into
+    /// arrival order. Returns when the peer disconnects; propagates
+    /// integrity and submit errors.
+    pub fn serve_pipelined<S>(channel: SecureChannel, mut submit: S) -> Result<(), NetError>
+    where
+        S: FnMut(PipelinedRequest, &Arc<ResponseWriter>) -> Result<(), NetError>,
+    {
+        let (sender, mut receiver) = channel.split();
+        let writer = Arc::new(ResponseWriter {
+            state: Mutex::new(WriterState { sender, next_seq: 0, parked: BTreeMap::new() }),
+        });
+        let mut seq = 0u64;
+        loop {
+            let msg = match receiver.recv() {
+                Ok(m) => m,
+                Err(NetError::Disconnected) => return Ok(()),
+                Err(e) => return Err(e),
+            };
+            let (id, kind, trace, idem_key, payload) = decode(&msg)?;
+            if kind != KIND_REQUEST {
+                return Err(NetError::Malformed(format!("expected request, got kind {kind}")));
+            }
+            gridbank_obs::count("rpc.server.pipelined_requests", 1);
+            let req = PipelinedRequest { seq, id, trace, idem_key, payload: payload.to_vec() };
+            seq += 1;
+            submit(req, &writer)?;
         }
     }
 }
@@ -277,6 +452,91 @@ mod tests {
             assert_eq!(client.call_with_key(0xFEED, b"keyed").unwrap(), 0xFEEDu64.to_be_bytes());
             // The key is per-call, not sticky.
             assert_eq!(client.call(b"no-key").unwrap(), 0u64.to_be_bytes());
+        });
+    }
+
+    #[test]
+    fn pipelined_responses_match_their_correlation_ids() {
+        // The server answers the two pipelined requests in *reverse*
+        // order; the client must still hand each caller the body for its
+        // own correlation id, buffering the early-arriving other one.
+        let (c, mut s) = channel_pair();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let mut frames = Vec::new();
+                for _ in 0..2 {
+                    let msg = s.recv().unwrap();
+                    let (id, kind, _t, _k, payload) = decode(&msg).unwrap();
+                    assert_eq!(kind, KIND_REQUEST);
+                    frames.push((id, payload.to_vec()));
+                }
+                for (id, payload) in frames.into_iter().rev() {
+                    let mut out = b"re:".to_vec();
+                    out.extend_from_slice(&payload);
+                    s.send(&encode(id, KIND_RESPONSE, None, None, &out)).unwrap();
+                }
+            });
+            let mut client = RpcClient::new(c, peer("bank"));
+            let a = client.send_request(b"alpha").unwrap();
+            let b = client.send_request(b"beta").unwrap();
+            assert_eq!(client.in_flight(), 2);
+            // Claim in send order even though arrival order is reversed.
+            assert_eq!(client.recv_response(a).unwrap(), b"re:alpha");
+            assert_eq!(client.recv_response(b).unwrap(), b"re:beta");
+            assert_eq!(client.in_flight(), 0);
+        });
+    }
+
+    #[test]
+    fn unknown_correlation_ids_are_protocol_errors() {
+        let (c, mut s) = channel_pair();
+        let mut client = RpcClient::new(c, peer("bank"));
+        // Claiming an id that was never issued fails immediately.
+        assert!(matches!(client.recv_response(99), Err(NetError::Malformed(_))));
+        // A response for an id that is not in flight is rejected.
+        let id = client.send_request(b"x").unwrap();
+        let req = s.recv().unwrap();
+        let (rid, _, _, _, _) = decode(&req).unwrap();
+        assert_eq!(rid, id);
+        s.send(&encode(id + 1000, KIND_RESPONSE, None, None, b"bogus")).unwrap();
+        assert!(matches!(client.recv_response(id), Err(NetError::Malformed(_))));
+    }
+
+    #[test]
+    fn serve_pipelined_emits_responses_in_arrival_order() {
+        const N: u64 = 8;
+        let (c, s) = channel_pair();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                // Executor: run every request on its own thread, finishing
+                // in roughly reverse order; the ResponseWriter must still
+                // emit responses in arrival order.
+                let mut workers = Vec::new();
+                RpcServer::serve_pipelined(s, |req, writer| {
+                    let writer = Arc::clone(writer);
+                    workers.push(std::thread::spawn(move || {
+                        std::thread::sleep(Duration::from_millis(2 * (N - req.seq)));
+                        let mut out = req.payload.clone();
+                        out.push(b'!');
+                        writer.complete(req.seq, req.id, out).map(|_| ())
+                    }));
+                    Ok(())
+                })
+                .unwrap();
+                for w in workers {
+                    let _ = w.join();
+                }
+            });
+            let mut client = RpcClient::new(c, peer("bank"));
+            let ids: Vec<u64> = (0..N)
+                .map(|i| client.send_request(format!("req{i}").as_bytes()).unwrap())
+                .collect();
+            // Raw wire order check: claim ids in reverse — each claim may
+            // only buffer responses that arrived before it, so in-order
+            // emission means the LAST id claimed first forces reading all.
+            for (i, id) in ids.iter().enumerate() {
+                assert_eq!(client.recv_response(*id).unwrap(), format!("req{i}!").as_bytes());
+            }
         });
     }
 

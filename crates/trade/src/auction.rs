@@ -1,4 +1,4 @@
-//! Auction protocols from the GRACE economic-model menu [2,4].
+//! Auction protocols from the GRACE economic-model menu \[2,4\].
 //!
 //! Providers may sell capacity by auction instead of posted prices or
 //! bargaining. Implemented: English (open ascending), Dutch (open

@@ -4,7 +4,7 @@
 //! the **Grid Trade Server** (GTS) each provider runs, the **Grid Market
 //! Directory** (GMD) where providers advertise, and the negotiation
 //! protocols brokers use to establish service cost (paper §1, §2.2; the
-//! economic models come from the cited GRACE papers [2,4]).
+//! economic models come from the cited GRACE papers \[2,4\]).
 //!
 //! * [`rates`] — the service-rates record: a price per chargeable item,
 //!   the record the paper requires to *conform* to the RUR ("For every

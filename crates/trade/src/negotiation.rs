@@ -2,7 +2,7 @@
 //!
 //! "The GRB interacts with GSP's Grid Trading Service … to establish the
 //! cost of services" (§2); "Negotiation protocols are already defined in
-//! [2,4]" (§6). Three GRACE protocols are implemented:
+//! \[2,4\]" (§6). Three GRACE protocols are implemented:
 //!
 //! * [`PostedPrice`] — commodity market: take-it-or-leave-it quote.
 //! * [`BargainingSession`] — alternate-offers bargaining with bounded

@@ -22,4 +22,41 @@ if [[ -n "${CHAOS_SEED:-}" ]]; then
   cargo test -q --test chaos_payments
 fi
 
+# Vendored substitutes (vendor/*) are excluded: they mirror upstream
+# docs we don't own. Every first-party crate must document cleanly.
+echo "== rustdoc (no-deps, warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
+  -p gridbank-suite -p gridbank-bench -p gridbank-broker -p gridbank-cli \
+  -p gridbank-core -p gridbank-crypto -p gridbank-gsp -p gridbank-meter \
+  -p gridbank-net -p gridbank-obs -p gridbank-rur -p gridbank-sim \
+  -p gridbank-trade
+
+# Loadgen smoke (E16): a miniature end-to-end run against a live server
+# must produce valid JSON with nonzero throughput for both strategies.
+# Not a benchmark — only proves the pipeline path works.
+echo "== loadgen smoke (docs/BENCHMARKS.md §5)"
+smoke_out="$(mktemp /tmp/loadgen_smoke.XXXXXX.json)"
+./target/release/gridbank-bench loadgen \
+  --strategies paybefore,cheque --duration-ms 200 --warmup-ms 50 \
+  --out "$smoke_out"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$smoke_out" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+for name in ("paybefore", "cheque"):
+    s = report["strategies"][name]
+    assert s["ops"] > 0, f"{name}: zero ops"
+    assert s["throughput_ops_per_sec"] > 0, f"{name}: zero throughput"
+    assert s["latency_ns"]["p99"] >= s["latency_ns"]["p50"] > 0, f"{name}: bad percentiles"
+print("loadgen smoke OK:", {n: report["strategies"][n]["ops"] for n in ("paybefore", "cheque")})
+PY
+else
+  grep -q '"throughput_ops_per_sec": [1-9]' "$smoke_out" || {
+    echo "loadgen smoke: no nonzero throughput in $smoke_out" >&2
+    exit 1
+  }
+fi
+rm -f "$smoke_out"
+
 echo "== all checks passed"

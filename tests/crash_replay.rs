@@ -184,6 +184,100 @@ fn crash_between_apply_and_ack_keeps_the_retry_exactly_once() {
 }
 
 #[test]
+fn failed_group_commit_member_never_reaches_the_journal() {
+    // Group commit coalesces concurrent DirectTransfer batches into one
+    // journal flush. A member whose application fails (insufficient
+    // funds) must be split out of the group: its Update/Transfer/Idem
+    // rows never reach the journal, while the concurrent successful
+    // members commit normally — and the post-crash bank agrees.
+    use gridbank_suite::bank::api::{BankRequest, BankResponse};
+    use gridbank_suite::bank::db::{GroupCommitConfig, JournalEntry};
+    use gridbank_suite::bank::server::{GridBank, GridBankConfig};
+    use gridbank_suite::crypto::cert::SubjectName;
+
+    let config = || GridBankConfig {
+        signer_height: 6,
+        // A wide grouping window so the concurrent committers below
+        // genuinely share flushes.
+        group_commit: GroupCommitConfig { max_batch: 16, max_delay_micros: 2_000 },
+        ..GridBankConfig::default()
+    };
+    let bank = GridBank::new(config(), Clock::new());
+    let operator = SubjectName("/O=GridBank/OU=Admin/CN=operator".into());
+
+    let subjects: Vec<SubjectName> =
+        (0..4).map(|i| SubjectName::new("Org", "Unit", &format!("payer{i}"))).collect();
+    let broke = SubjectName::new("Org", "Unit", "broke");
+    let sink = SubjectName::new("Org", "Unit", "sink");
+    let open =
+        |s: &SubjectName| match bank.handle(s, BankRequest::CreateAccount { organization: None }) {
+            BankResponse::AccountCreated { account } => account,
+            other => panic!("create failed: {other:?}"),
+        };
+    for s in &subjects {
+        let account = open(s);
+        bank.handle(&operator, BankRequest::AdminDeposit { account, amount: Credits::from_gd(50) });
+    }
+    let broke_account = open(&broke);
+    let sink_account = open(&sink);
+
+    let transfer = BankRequest::DirectTransfer {
+        to: sink_account,
+        amount: Credits::from_gd(5),
+        recipient_address: "sink.grid.org".into(),
+    };
+    std::thread::scope(|scope| {
+        for (i, s) in subjects.iter().enumerate() {
+            let (bank, transfer) = (&bank, transfer.clone());
+            scope.spawn(move || {
+                let reply = bank.handle_keyed(s, Some(1000 + i as u64), transfer);
+                assert!(matches!(reply, BankResponse::Confirmed(_)), "payer {i}: {reply:?}");
+            });
+        }
+        let (bank, transfer, broke) = (&bank, transfer.clone(), &broke);
+        scope.spawn(move || {
+            // Zero balance: application fails before anything is queued
+            // for the group, so the flush proceeds without this member.
+            let reply = bank.handle_keyed(broke, Some(2000), transfer);
+            assert!(matches!(reply, BankResponse::Error { .. }), "broke payer: {reply:?}");
+        });
+    });
+
+    let journal = bank.journal_snapshot();
+    let broke_deposits: Vec<_> = journal
+        .iter()
+        .filter(|e| matches!(e, JournalEntry::Update(r) if r.id == broke_account))
+        .collect();
+    assert!(broke_deposits.is_empty(), "failed member left journal rows: {broke_deposits:?}");
+    assert!(
+        !journal.iter().any(|e| matches!(e, JournalEntry::Idem { key: 2000, .. })),
+        "failed member must not consume its idempotency key"
+    );
+
+    // Crash and replay: the rebuilt bank matches the live one, the four
+    // successful transfers survived, and the failed member's retry (same
+    // key) applies cleanly once funded.
+    let rebuilt = GridBank::from_journal(config(), Clock::new(), &journal);
+    assert_eq!(rebuilt.all_accounts(), bank.all_accounts());
+    assert_eq!(rebuilt.total_funds(), bank.total_funds());
+    assert_eq!(rebuilt.all_transfers().len(), 4);
+    rebuilt.handle(
+        &operator,
+        BankRequest::AdminDeposit { account: broke_account, amount: Credits::from_gd(10) },
+    );
+    let transfer = BankRequest::DirectTransfer {
+        to: sink_account,
+        amount: Credits::from_gd(5),
+        recipient_address: "sink.grid.org".into(),
+    };
+    match rebuilt.handle_keyed(&broke, Some(2000), transfer) {
+        BankResponse::Confirmed(_) => {}
+        other => panic!("retry after funding failed: {other:?}"),
+    }
+    assert_eq!(rebuilt.all_transfers().len(), 5);
+}
+
+#[test]
 fn empty_and_corrupt_journals_are_handled() {
     let empty = Database::replay(1, 1, &[]);
     assert_eq!(empty.account_count(), 0);

@@ -1,0 +1,272 @@
+//! E10 — pipelined RPC against a live bank: many in-flight requests per
+//! connection, responses matched by correlation id, exactly-once keyed
+//! mutations under concurrency and link faults (see `docs/PROTOCOLS.md`
+//! §1 for the pipelining state machine).
+
+use std::sync::Arc;
+
+use gridbank_suite::bank::client::GridBankClient;
+use gridbank_suite::bank::clock::Clock;
+use gridbank_suite::bank::db::GroupCommitConfig;
+use gridbank_suite::bank::server::{
+    GateMode, GridBank, GridBankConfig, GridBankServer, ServerCredentials, ServerTuning,
+};
+use gridbank_suite::bank::BankError;
+use gridbank_suite::crypto::cert::{create_proxy, CertificateAuthority, SubjectName};
+use gridbank_suite::crypto::keys::{KeyMaterial, SigningIdentity};
+use gridbank_suite::crypto::rng::DeterministicStream;
+use gridbank_suite::net::fault::{FaultInjector, FaultPlan, FaultRates};
+use gridbank_suite::net::transport::{Address, Network};
+use gridbank_suite::rur::Credits;
+
+struct World {
+    network: Network,
+    ca: CertificateAuthority,
+    clock: Clock,
+    bank: Arc<GridBank>,
+    _server: GridBankServer,
+}
+
+fn world(tuning: ServerTuning) -> World {
+    let ca = CertificateAuthority::new(
+        SubjectName::new("GridBank", "CA", "Root"),
+        SigningIdentity::generate_small(KeyMaterial { seed: 1 }, "ca"),
+    );
+    let clock = Clock::new();
+    let bank = Arc::new(GridBank::new(
+        GridBankConfig {
+            gate_mode: GateMode::AllowEnrollment,
+            signer_height: 9,
+            // A wide grouping window so pipelined workers share journal
+            // flushes — the configuration this suite is meant to stress.
+            group_commit: GroupCommitConfig { max_batch: 32, max_delay_micros: 500 },
+            ..GridBankConfig::default()
+        },
+        clock.clone(),
+    ));
+    let bank_identity = Arc::new(SigningIdentity::generate(KeyMaterial { seed: 2 }, "bank-tls"));
+    let bank_cert = ca
+        .issue(
+            SubjectName::new("GridBank", "Server", "gridbank"),
+            bank_identity.verifying_key(),
+            0,
+            u64::MAX / 2,
+        )
+        .unwrap();
+    let network = Network::new();
+    let server = GridBankServer::start_tuned(
+        &network,
+        Address::new("bank"),
+        bank.clone(),
+        ServerCredentials {
+            certificate: bank_cert,
+            identity: bank_identity,
+            ca_key: ca.verifying_key(),
+        },
+        7,
+        tuning,
+    )
+    .unwrap();
+    World { network, ca, clock, bank, _server: server }
+}
+
+fn connect(w: &World, cn: &str, seed: u64) -> Result<GridBankClient, BankError> {
+    let id = SigningIdentity::generate_small(KeyMaterial { seed }, cn);
+    let dn = SubjectName::new("Org", "Unit", cn);
+    let cert = w.ca.issue(dn, id.verifying_key(), 0, u64::MAX / 2).unwrap();
+    let proxy_id = SigningIdentity::generate_small(KeyMaterial { seed: seed + 5000 }, "proxy");
+    let proxy = create_proxy(&id, &cert, proxy_id.verifying_key(), 0, u64::MAX / 2, 1).unwrap();
+    let mut nonces = DeterministicStream::from_u64(seed, b"nonce");
+    GridBankClient::connect(
+        &w.network,
+        Address::new(format!("{cn}.host")),
+        &Address::new("bank"),
+        w.ca.verifying_key(),
+        w.clock.now_ms(),
+        &proxy,
+        &proxy_id,
+        &mut nonces,
+    )
+}
+
+fn admin_client(w: &World) -> GridBankClient {
+    let id = SigningIdentity::generate_small(KeyMaterial { seed: 999 }, "operator");
+    let dn = SubjectName("/O=GridBank/OU=Admin/CN=operator".into());
+    let cert = w.ca.issue(dn, id.verifying_key(), 0, u64::MAX / 2).unwrap();
+    let proxy_id = SigningIdentity::generate_small(KeyMaterial { seed: 998 }, "proxy");
+    let proxy = create_proxy(&id, &cert, proxy_id.verifying_key(), 0, u64::MAX / 2, 1).unwrap();
+    let mut nonces = DeterministicStream::from_u64(997, b"nonce");
+    GridBankClient::connect(
+        &w.network,
+        Address::new("ops.host"),
+        &Address::new("bank"),
+        w.ca.verifying_key(),
+        w.clock.now_ms(),
+        &proxy,
+        &proxy_id,
+        &mut nonces,
+    )
+    .expect("admin connects")
+}
+
+use gridbank_suite::bank::api::{BankRequest, BankResponse};
+
+#[test]
+fn pipelined_transfers_settle_exactly_once() {
+    // A small worker pool (2 workers, shallow queue) so requests really
+    // do execute concurrently and out of submission order.
+    let w = world(ServerTuning { workers: 2, queue_depth: 8, max_connections: 64 });
+    let mut alice = connect(&w, "alice", 10).unwrap();
+    let alice_account = alice.create_account(None).unwrap();
+    let mut bob = connect(&w, "bob", 11).unwrap();
+    let bob_account = bob.create_account(None).unwrap();
+    let mut admin = admin_client(&w);
+    admin.admin_deposit(alice_account, Credits::from_gd(100)).unwrap();
+
+    // Pipeline 20 keyed transfers plus interleaved reads on one
+    // connection, then collect every response by correlation id.
+    const N: u64 = 20;
+    let transfer = BankRequest::DirectTransfer {
+        to: bob_account,
+        amount: Credits::from_gd(1),
+        recipient_address: "bob.host".into(),
+    };
+    let mut ids = Vec::new();
+    for k in 0..N {
+        ids.push(alice.send_pipelined(Some(0xA000 + k), &transfer).unwrap());
+        if k % 5 == 0 {
+            ids.push(alice.send_pipelined(None, &BankRequest::MyAccount).unwrap());
+        }
+    }
+    let mut confirmed = 0;
+    for id in ids {
+        match alice.recv_pipelined(id).unwrap() {
+            BankResponse::Confirmed(_) | BankResponse::Confirmation { .. } => confirmed += 1,
+            BankResponse::Account(_) => {}
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert_eq!(confirmed, N);
+    assert_eq!(alice.my_account().unwrap().available, Credits::from_gd(100 - N as i64));
+    assert_eq!(bob.my_account().unwrap().available, Credits::from_gd(N as i64));
+    assert_eq!(w.bank.all_transfers().len(), N as usize);
+}
+
+#[test]
+fn duplicate_keys_in_one_pipeline_are_deduplicated() {
+    // The same idempotency key submitted twice back-to-back in one
+    // pipeline window: with 4 workers both copies can be mid-execution
+    // at once, and the in-flight key guard must still collapse them to
+    // a single applied transfer.
+    let w = world(ServerTuning { workers: 4, queue_depth: 16, max_connections: 64 });
+    let mut alice = connect(&w, "alice", 20).unwrap();
+    let alice_account = alice.create_account(None).unwrap();
+    let mut bob = connect(&w, "bob", 21).unwrap();
+    let bob_account = bob.create_account(None).unwrap();
+    let mut admin = admin_client(&w);
+    admin.admin_deposit(alice_account, Credits::from_gd(50)).unwrap();
+
+    let transfer = BankRequest::DirectTransfer {
+        to: bob_account,
+        amount: Credits::from_gd(7),
+        recipient_address: "bob.host".into(),
+    };
+    const KEY: u64 = 0xD0D0_1111;
+    let first = alice.send_pipelined(Some(KEY), &transfer).unwrap();
+    let second = alice.send_pipelined(Some(KEY), &transfer).unwrap();
+    let third = alice.send_pipelined(Some(KEY), &transfer).unwrap();
+    let txid_of = |resp: BankResponse| match resp {
+        BankResponse::Confirmed(conf) => conf.body.transaction_id,
+        BankResponse::Confirmation { transaction_id } => transaction_id,
+        other => panic!("unexpected response: {other:?}"),
+    };
+    let t1 = txid_of(alice.recv_pipelined(first).unwrap());
+    let t2 = txid_of(alice.recv_pipelined(second).unwrap());
+    let t3 = txid_of(alice.recv_pipelined(third).unwrap());
+    assert_eq!(t1, t2);
+    assert_eq!(t2, t3);
+    // Exactly one application: one transfer row, one debit.
+    assert_eq!(w.bank.all_transfers().len(), 1);
+    assert_eq!(alice.my_account().unwrap().available, Credits::from_gd(43));
+    assert_eq!(bob.my_account().unwrap().available, Credits::from_gd(7));
+}
+
+#[test]
+fn pipelined_batch_survives_reorder_faults_with_keyed_retries() {
+    // Reorder faults at the transport layer break the secure channel's
+    // strict sequence check — a pipelined batch dies mid-flight instead
+    // of being silently misordered. The client reconnects and retries
+    // the whole batch with the *same* keys; dedup keeps every transfer
+    // exactly-once no matter where the batch was cut.
+    let w = world(ServerTuning::default());
+    let mut alice = connect(&w, "alice", 30).unwrap();
+    let alice_account = alice.create_account(None).unwrap();
+    let mut bob = connect(&w, "bob", 31).unwrap();
+    let bob_account = bob.create_account(None).unwrap();
+    let mut admin = admin_client(&w);
+    admin.admin_deposit(alice_account, Credits::from_gd(100)).unwrap();
+
+    let injector = FaultInjector::new(FaultPlan {
+        seed: 0xBEEF,
+        to_server: FaultRates { reorder_pm: 120, ..FaultRates::NONE },
+        to_client: FaultRates { reorder_pm: 120, ..FaultRates::NONE },
+        // Let the handshake through; fault only steady-state traffic.
+        skip_first: 12,
+    });
+    w.network.install_faults(injector.clone());
+    injector.arm(true);
+
+    const N: u64 = 12;
+    let transfer = |k: u64| BankRequest::DirectTransfer {
+        to: bob_account,
+        amount: Credits::from_gd(1),
+        recipient_address: format!("bob.host/{k}"),
+    };
+    let mut settled = vec![false; N as usize];
+    let mut attempts = 0;
+    while settled.iter().any(|s| !s) {
+        attempts += 1;
+        assert!(attempts <= 50, "batch never settled under reorder faults");
+        // (Re-)send every unsettled key in one pipelined window.
+        let mut window = Vec::new();
+        let mut broken = false;
+        for k in 0..N {
+            if settled[k as usize] {
+                continue;
+            }
+            match alice.send_pipelined(Some(0xE000 + k), &transfer(k)) {
+                Ok(id) => window.push((k, id)),
+                Err(_) => {
+                    broken = true;
+                    break;
+                }
+            }
+        }
+        for (k, id) in window {
+            if broken {
+                break;
+            }
+            match alice.recv_pipelined(id) {
+                Ok(BankResponse::Confirmed(_)) | Ok(BankResponse::Confirmation { .. }) => {
+                    settled[k as usize] = true;
+                }
+                Ok(other) => panic!("unexpected response: {other:?}"),
+                Err(_) => broken = true,
+            }
+        }
+        if broken {
+            // The channel is integrity-poisoned; reconnect (the fault
+            // plan's skip_first window protects the new handshake).
+            injector.arm(false);
+            alice = connect(&w, "alice", 32 + attempts).expect("reconnect");
+            injector.arm(true);
+        }
+    }
+    injector.arm(false);
+
+    // Every key applied exactly once despite arbitrary mid-batch cuts.
+    assert_eq!(w.bank.all_transfers().len(), N as usize);
+    let mut check = connect(&w, "alice", 500).unwrap();
+    assert_eq!(check.my_account().unwrap().available, Credits::from_gd(100 - N as i64));
+    assert_eq!(bob.my_account().unwrap().available, Credits::from_gd(N as i64));
+}
