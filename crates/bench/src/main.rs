@@ -15,6 +15,8 @@ use std::time::{Duration, Instant};
 use gridbank_core::client::GridBankClient;
 use gridbank_core::clock::Clock;
 use gridbank_core::db::GroupCommitConfig;
+use gridbank_core::federation::{FederationRouter, RemotePeer};
+use gridbank_core::resilient::{Connector, ResilientBankClient};
 use gridbank_core::server::{
     GateMode, GridBank, GridBankConfig, GridBankServer, ServerCredentials, ServerTuning,
 };
@@ -22,6 +24,7 @@ use gridbank_core::BankError;
 use gridbank_crypto::cert::{create_proxy, CertificateAuthority, SubjectName};
 use gridbank_crypto::keys::{KeyMaterial, SigningIdentity};
 use gridbank_crypto::rng::DeterministicStream;
+use gridbank_net::retry::RetryPolicy;
 use gridbank_net::transport::{Address, Network};
 use gridbank_rur::record::{ChargeableItem, RurBuilder, UsageAmount};
 use gridbank_rur::units::Duration as RurDuration;
@@ -80,6 +83,10 @@ struct LoadgenConfig {
     signer_height: usize,
     /// Server worker pool size.
     workers: usize,
+    /// Federated branches (1 = single-bank; N > 1 adds a cross-branch
+    /// paybefore phase against live federated servers plus a timed
+    /// settlement pass).
+    branches: usize,
     /// Output path.
     out: String,
 }
@@ -97,6 +104,7 @@ impl Default for LoadgenConfig {
             seed: 42,
             signer_height: 15,
             workers: 4,
+            branches: 1,
             out: "BENCH_payments.json".into(),
         }
     }
@@ -120,6 +128,8 @@ fn usage() -> ! {
            --seed N                deterministic key seed (default 42)\n\
            --signer-height N       bank signing capacity 2^N (default 15)\n\
            --workers N             server worker pool size (default 4)\n\
+           --branches N            federated branches; N>1 adds a\n\
+                                   cross-branch phase + settlement pass (default 1)\n\
            --out PATH              output file (default BENCH_payments.json)\n\
          \n\
          See docs/BENCHMARKS.md for methodology."
@@ -153,11 +163,17 @@ fn parse_args(args: &[String]) -> LoadgenConfig {
             "--seed" => cfg.seed = value().parse().unwrap_or_else(|_| usage()),
             "--signer-height" => cfg.signer_height = value().parse().unwrap_or_else(|_| usage()),
             "--workers" => cfg.workers = value().parse().unwrap_or_else(|_| usage()),
+            "--branches" => cfg.branches = value().parse().unwrap_or_else(|_| usage()),
             "--out" => cfg.out = value(),
             _ => usage(),
         }
     }
-    if cfg.clients == 0 || cfg.pipeline == 0 || cfg.duration_ms == 0 || cfg.strategies.is_empty() {
+    if cfg.clients == 0
+        || cfg.pipeline == 0
+        || cfg.duration_ms == 0
+        || cfg.strategies.is_empty()
+        || cfg.branches == 0
+    {
         usage();
     }
     cfg
@@ -167,7 +183,22 @@ struct World {
     network: Network,
     ca: CertificateAuthority,
     clock: Clock,
-    _server: GridBankServer,
+    /// One per branch, index 0 = branch 1 (bound at address `bank`).
+    banks: Vec<Arc<GridBank>>,
+    /// Parallel to `banks`; empty when `--branches 1`.
+    routers: Vec<Arc<FederationRouter>>,
+    _servers: Vec<GridBankServer>,
+}
+
+/// Address a branch's server is bound at. Branch 1 keeps the historical
+/// `bank` address so single-branch runs are byte-identical to earlier
+/// harness versions.
+fn branch_address(branch: u16) -> Address {
+    if branch == 1 {
+        Address::new("bank")
+    } else {
+        Address::new(format!("branch-{branch}"))
+    }
 }
 
 fn start_world(cfg: &LoadgenConfig) -> World {
@@ -178,47 +209,125 @@ fn start_world(cfg: &LoadgenConfig) -> World {
         SigningIdentity::generate_with_height(KeyMaterial { seed: cfg.seed ^ 1 }, "ca", 8),
     );
     let clock = Clock::new();
-    let bank = Arc::new(GridBank::new(
-        GridBankConfig {
-            gate_mode: GateMode::AllowEnrollment,
-            signer_height: cfg.signer_height,
-            group_commit: GroupCommitConfig::default(),
-            ..GridBankConfig::default()
-        },
-        clock.clone(),
-    ));
-    let bank_identity =
-        Arc::new(SigningIdentity::generate(KeyMaterial { seed: cfg.seed ^ 2 }, "bank-tls"));
-    let bank_cert = ca
-        .issue(
-            SubjectName::new("GridBank", "Server", "gridbank"),
-            bank_identity.verifying_key(),
-            0,
-            u64::MAX / 2,
-        )
-        .expect("bank certificate");
     let network = Network::new();
-    let server = GridBankServer::start_tuned(
-        &network,
-        Address::new("bank"),
-        bank,
-        ServerCredentials {
-            certificate: bank_cert,
-            identity: bank_identity,
-            ca_key: ca.verifying_key(),
-        },
-        cfg.seed ^ 7,
-        ServerTuning {
-            workers: cfg.workers,
-            queue_depth: (cfg.clients * cfg.pipeline * 2).max(64),
-            max_connections: (cfg.clients * 4).max(64),
-        },
-    )
-    .expect("server starts");
-    World { network, ca, clock, _server: server }
+    let mut banks = Vec::new();
+    let mut servers = Vec::new();
+    for b in 1..=cfg.branches as u16 {
+        let bank = Arc::new(GridBank::new(
+            GridBankConfig {
+                branch: b,
+                gate_mode: GateMode::AllowEnrollment,
+                signer_height: cfg.signer_height,
+                group_commit: GroupCommitConfig::default(),
+                key_material: KeyMaterial { seed: 0xB4A2 ^ (b as u64) },
+                ..GridBankConfig::default()
+            },
+            clock.clone(),
+        ));
+        let bank_identity = Arc::new(SigningIdentity::generate(
+            KeyMaterial { seed: cfg.seed ^ (2 + b as u64 * 13) },
+            "bank-tls",
+        ));
+        let bank_cert = ca
+            .issue(
+                SubjectName::new("GridBank", "Server", &format!("gridbank-{b:04}")),
+                bank_identity.verifying_key(),
+                0,
+                u64::MAX / 2,
+            )
+            .expect("bank certificate");
+        let server = GridBankServer::start_tuned(
+            &network,
+            branch_address(b),
+            Arc::clone(&bank),
+            ServerCredentials {
+                certificate: bank_cert,
+                identity: bank_identity,
+                ca_key: ca.verifying_key(),
+            },
+            cfg.seed ^ 7 ^ (b as u64) << 8,
+            ServerTuning {
+                workers: cfg.workers,
+                queue_depth: (cfg.clients * cfg.pipeline * 2).max(64),
+                max_connections: (cfg.clients * 4).max(64),
+            },
+        )
+        .expect("server starts");
+        banks.push(bank);
+        servers.push(server);
+    }
+
+    // Federate every branch with a pooled resilient route to each peer.
+    let routers: Vec<Arc<FederationRouter>> = if cfg.branches > 1 {
+        let routers: Vec<_> = banks.iter().map(FederationRouter::install).collect();
+        for from in 1..=cfg.branches as u16 {
+            for to in 1..=cfg.branches as u16 {
+                if from == to {
+                    continue;
+                }
+                let dn = SubjectName::new("GridBank", "Settlement", &format!("branch-{from:04}"));
+                let id_seed = cfg.seed ^ 0x5E77_0000 ^ (from as u64);
+                let id = SigningIdentity::generate_small(KeyMaterial { seed: id_seed }, "settle");
+                let cert = ca
+                    .issue(dn, id.verifying_key(), 0, u64::MAX / 2)
+                    .expect("settlement certificate");
+                let (net, clk, ca_key) = (network.clone(), clock.clone(), ca.verifying_key());
+                let target = branch_address(to);
+                let mut attempt = 0u64;
+                let connector: Connector = Box::new(move || {
+                    attempt += 1;
+                    let id =
+                        SigningIdentity::generate_small(KeyMaterial { seed: id_seed }, "settle");
+                    let proxy_id = SigningIdentity::generate_small(
+                        KeyMaterial { seed: id_seed ^ (attempt << 16) ^ 0x9A },
+                        "proxy",
+                    );
+                    let proxy =
+                        create_proxy(&id, &cert, proxy_id.verifying_key(), 0, u64::MAX / 2, 1)?;
+                    let mut nonces = DeterministicStream::from_u64(
+                        ((from as u64) << 32) | ((to as u64) << 16) | attempt,
+                        b"fed-nonce",
+                    );
+                    GridBankClient::connect(
+                        &net,
+                        Address::new(format!("fed-{from}-{to}-{attempt}")),
+                        &target,
+                        ca_key,
+                        clk.now_ms(),
+                        &proxy,
+                        &proxy_id,
+                        &mut nonces,
+                    )
+                });
+                let policy = RetryPolicy {
+                    base_delay_ms: 1,
+                    max_delay_ms: 16,
+                    max_attempts: 8,
+                    deadline_ms: 30_000,
+                    seed: cfg.seed ^ (from as u64),
+                };
+                let client = ResilientBankClient::new(
+                    connector,
+                    policy,
+                    clock.clone(),
+                    cfg.seed ^ ((from as u64) << 24) ^ (to as u64),
+                );
+                routers[(from - 1) as usize].add_peer(to, RemotePeer::new(client));
+            }
+        }
+        routers
+    } else {
+        Vec::new()
+    };
+
+    World { network, ca, clock, banks, routers, _servers: servers }
 }
 
 fn connect(w: &World, cn: &str, seed: u64) -> Result<GridBankClient, BankError> {
+    connect_to(w, cn, seed, 1)
+}
+
+fn connect_to(w: &World, cn: &str, seed: u64, branch: u16) -> Result<GridBankClient, BankError> {
     let id = SigningIdentity::generate_small(KeyMaterial { seed }, cn);
     let dn = SubjectName::new("Load", "Gen", cn);
     let cert = w.ca.issue(dn, id.verifying_key(), 0, u64::MAX / 2).expect("client certificate");
@@ -229,7 +338,7 @@ fn connect(w: &World, cn: &str, seed: u64) -> Result<GridBankClient, BankError> 
     GridBankClient::connect(
         &w.network,
         Address::new(format!("{cn}.host")),
-        &Address::new("bank"),
+        &branch_address(branch),
         w.ca.verifying_key(),
         w.clock.now_ms(),
         &proxy,
@@ -483,11 +592,124 @@ fn run_open(w: &World, cfg: &LoadgenConfig, strategy: Strategy) -> StrategyResul
     }
 }
 
+/// Outcome of the cross-branch phase: federated paybefore throughput
+/// plus the timed §6 netting pass that follows it.
+struct FederationStats {
+    branches: usize,
+    ops: u64,
+    errors: u64,
+    elapsed: Duration,
+    settle_elapsed: Duration,
+    gross_micro: u64,
+    net_micro: u64,
+    residual_micro: u64,
+    pending_after: usize,
+}
+
+/// Closed-loop cross-branch paybefore: every payer lives on branch 1,
+/// every payee on one of the other branches, so each payment crosses the
+/// federation (local debit into clearing + exactly-once `IbCredit` over
+/// RPC). Afterwards, one timed settlement pass nets the clearing
+/// accounts over the wire.
+fn run_federated(w: &World, cfg: &LoadgenConfig) -> FederationStats {
+    let hist = gridbank_obs::registry().histogram("loadgen.op_ns.federated");
+    let ops = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let start = Instant::now();
+    let warmup_end = start + Duration::from_millis(cfg.warmup_ms);
+    let deadline = warmup_end + Duration::from_millis(cfg.duration_ms);
+    std::thread::scope(|scope| {
+        for thread in 0..cfg.clients {
+            let (hist, ops, errors) = (&hist, &ops, &errors);
+            let payee_branch = (thread % (cfg.branches - 1) + 2) as u16;
+            let mut payer =
+                connect(w, &format!("fed-payer-{thread}"), cfg.seed ^ (0xF0 + thread as u64))
+                    .expect("payer connects");
+            let payer_account = payer.create_account(None).expect("payer account");
+            let mut payee = connect_to(
+                w,
+                &format!("fed-payee-{thread}"),
+                cfg.seed ^ (0xF100 + thread as u64),
+                payee_branch,
+            )
+            .expect("payee connects");
+            let payee_account = payee.create_account(None).expect("payee account");
+            let mut ops_client = admin(w, cfg.seed ^ (0xFAD0 + thread as u64));
+            ops_client.admin_deposit(payer_account, Credits::from_gd(10_000_000)).expect("funding");
+            let mut next_key = (cfg.seed << 18) ^ ((thread as u64) << 44) ^ 0xFED;
+            scope.spawn(move || {
+                while Instant::now() < deadline {
+                    next_key += 1;
+                    let sent = Instant::now();
+                    let outcome = payer.call_keyed(
+                        Some(next_key),
+                        &gridbank_core::BankRequest::DirectTransfer {
+                            to: payee_account,
+                            amount: Credits::from_micro(100),
+                            recipient_address: "payee.host".into(),
+                        },
+                    );
+                    match outcome {
+                        Ok(_) => {
+                            let done = Instant::now();
+                            if done >= warmup_end {
+                                hist.record_duration(done - sent);
+                                ops.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(BankError::Net(_)) | Err(BankError::Protocol(_)) => return,
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = Instant::now().saturating_duration_since(warmup_end);
+
+    // The timed netting pass: every router settles what it owes.
+    let settle_start = Instant::now();
+    let mut gross = Credits::ZERO;
+    let mut net = Credits::ZERO;
+    for router in &w.routers {
+        let report = router.settle_once().expect("settlement");
+        gross = gross.saturating_add(report.total_gross());
+        net = net.saturating_add(report.total_net());
+    }
+    let settle_elapsed = settle_start.elapsed();
+
+    let mut residual = Credits::ZERO;
+    let mut pending_after = 0;
+    for (i, router) in w.routers.iter().enumerate() {
+        for peer in router.peer_branches() {
+            residual = residual.saturating_add(router.clearing_balance(peer).abs());
+        }
+        pending_after += w.banks[i].accounts.db().ib_pending_snapshot().len();
+    }
+    let micro = |c: Credits| c.micro().clamp(0, u64::MAX as i128) as u64;
+    FederationStats {
+        branches: cfg.branches,
+        ops: ops.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        elapsed,
+        settle_elapsed,
+        gross_micro: micro(gross),
+        net_micro: micro(net),
+        residual_micro: micro(residual),
+        pending_after,
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn render_json(cfg: &LoadgenConfig, results: &[StrategyResult]) -> String {
+fn render_json(
+    cfg: &LoadgenConfig,
+    results: &[StrategyResult],
+    federation: Option<&FederationStats>,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"benchmark\": \"payments_loadgen\",\n");
@@ -526,7 +748,39 @@ fn render_json(cfg: &LoadgenConfig, results: &[StrategyResult]) -> String {
         }
         out.push_str(if i + 1 == results.len() { "    }\n" } else { "    },\n" });
     }
-    out.push_str("  }\n}\n");
+    match federation {
+        None => out.push_str("  }\n}\n"),
+        Some(f) => {
+            let secs = f.elapsed.as_secs_f64().max(1e-9);
+            out.push_str("  },\n");
+            out.push_str("  \"federation\": {\n");
+            out.push_str(&format!("    \"branches\": {},\n", f.branches));
+            out.push_str(&format!("    \"cross_branch_ops\": {},\n", f.ops));
+            out.push_str(&format!("    \"errors\": {},\n", f.errors));
+            out.push_str(&format!("    \"measured_secs\": {secs:.3},\n"));
+            out.push_str(&format!("    \"throughput_ops_per_sec\": {:.1},\n", f.ops as f64 / secs));
+            match snapshot.histogram("loadgen.op_ns.federated") {
+                Some(h) => out.push_str(&format!(
+                    "    \"latency_ns\": {{\"count\": {}, \"mean\": {:.0}, \"p50\": {}, \
+                     \"p95\": {}, \"p99\": {}}},\n",
+                    h.count,
+                    h.mean(),
+                    h.p50(),
+                    h.p95(),
+                    h.p99()
+                )),
+                None => out.push_str("    \"latency_ns\": null,\n"),
+            }
+            out.push_str("    \"settlement\": {\n");
+            out.push_str(&format!("      \"elapsed_us\": {},\n", f.settle_elapsed.as_micros()));
+            out.push_str(&format!("      \"gross_micro\": {},\n", f.gross_micro));
+            out.push_str(&format!("      \"net_micro\": {},\n", f.net_micro));
+            out.push_str(&format!("      \"residual_clearing_micro\": {},\n", f.residual_micro));
+            out.push_str(&format!("      \"pending_credits_after\": {}\n", f.pending_after));
+            out.push_str("    }\n");
+            out.push_str("  }\n}\n");
+        }
+    }
     out
 }
 
@@ -558,7 +812,26 @@ fn loadgen(args: &[String]) {
         );
         results.push(r);
     }
-    let json = render_json(&cfg, &results);
+    let federation = (cfg.branches > 1).then(|| {
+        let f = run_federated(&w, &cfg);
+        eprintln!(
+            "loadgen: federated ops={} errors={} ({:.1} ops/s), settle gross={}µ net={}µ in {}µs",
+            f.ops,
+            f.errors,
+            f.ops as f64 / f.elapsed.as_secs_f64().max(1e-9),
+            f.gross_micro,
+            f.net_micro,
+            f.settle_elapsed.as_micros(),
+        );
+        if f.residual_micro != 0 || f.pending_after != 0 {
+            eprintln!(
+                "loadgen: WARNING settlement residue: clearing {}µ, {} pending credits",
+                f.residual_micro, f.pending_after
+            );
+        }
+        f
+    });
+    let json = render_json(&cfg, &results, federation.as_ref());
     let mut file = std::fs::File::create(&cfg.out)
         .unwrap_or_else(|e| panic!("cannot create {}: {e}", cfg.out));
     file.write_all(json.as_bytes()).expect("write results");

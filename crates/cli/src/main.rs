@@ -130,16 +130,18 @@ fn now_wallclock_ms() -> u64 {
 /// `--filter <prefix>` narrows the output to matching metric names.
 fn run_metrics(args: &Args) -> Result<String, String> {
     use gridbank_core::api::{BankRequest, BankResponse};
+    use gridbank_core::federation::{FederationRouter, LocalPeer};
     use gridbank_core::server::{GridBank, GridBankConfig};
     use gridbank_crypto::cert::SubjectName;
 
     gridbank_obs::set_telemetry(true);
-    // Height 9 = 512 one-time signatures — enough for the ~110 signed
+    // Height 9 = 512 one-time signatures — enough for the ~120 signed
     // confirmations/cheques the workload below produces.
-    let bank = GridBank::new(
+    let clock = Clock::new();
+    let bank = Arc::new(GridBank::new(
         GridBankConfig { signer_height: 9, ..GridBankConfig::default() },
-        Clock::new(),
-    );
+        clock.clone(),
+    ));
     let admin = SubjectName(ADMIN_CERT.into());
     let alice = SubjectName::new("UWA", "CSSE", "alice");
     let gsp = SubjectName::new("UM", "GRIDS", "gsp-alpha");
@@ -185,6 +187,33 @@ fn run_metrics(args: &Args) -> Result<String, String> {
     }
     bank.sweep_expired_instruments();
 
+    // Federate with a second in-process branch so `--filter ib` has
+    // data: cross-branch payments, one forwarded read, one netting pass.
+    let bank2 = Arc::new(GridBank::new(
+        GridBankConfig { branch: 2, signer_height: 9, ..GridBankConfig::default() },
+        clock.clone(),
+    ));
+    let router = FederationRouter::install(&bank);
+    let router2 = FederationRouter::install(&bank2);
+    router.add_peer(2, LocalPeer::new(Arc::clone(&bank2), 1));
+    router2.add_peer(1, LocalPeer::new(Arc::clone(&bank), 2));
+    let remote = match bank2.handle(&gsp, BankRequest::CreateAccount { organization: None }) {
+        BankResponse::AccountCreated { account } => account,
+        other => return Err(format!("federation setup failed: {other:?}")),
+    };
+    for _ in 0..5 {
+        bank.handle(
+            &alice,
+            BankRequest::DirectTransfer {
+                to: remote,
+                amount: Credits::from_micro(10_000),
+                recipient_address: "gsp.vo2.org".into(),
+            },
+        );
+    }
+    bank.handle(&admin, BankRequest::AccountDetails { account: remote });
+    router.settle_once().map_err(|e| format!("settle failed: {e}"))?;
+
     let snapshot = match args.get("filter") {
         Some(prefix) => gridbank_obs::registry().snapshot().filtered(prefix),
         None => gridbank_obs::registry().snapshot(),
@@ -196,12 +225,238 @@ fn run_metrics(args: &Args) -> Result<String, String> {
     }
 }
 
+/// `gridbank settle`: a self-contained federation demo over live RPC.
+/// Spawns one `GridBankServer` per branch on an in-process network,
+/// federates them with pooled resilient clients, drives cross-branch
+/// payments ring-wise through real authenticated client connections,
+/// then runs one §6 netting pass and prints the gross→net compression.
+/// Fails (non-zero exit) unless every clearing account nets to zero and
+/// no outbound credit is left unacknowledged.
+fn run_settle(args: &Args) -> Result<String, String> {
+    use gridbank_core::client::GridBankClient;
+    use gridbank_core::federation::{FederationRouter, RemotePeer};
+    use gridbank_core::resilient::{Connector, ResilientBankClient};
+    use gridbank_core::server::{
+        GateMode, GridBank, GridBankConfig, GridBankServer, ServerCredentials,
+    };
+    use gridbank_crypto::cert::{create_proxy, CertificateAuthority, SubjectName};
+    use gridbank_crypto::keys::{KeyMaterial, SigningIdentity};
+    use gridbank_crypto::rng::DeterministicStream;
+    use gridbank_net::retry::RetryPolicy;
+    use gridbank_net::transport::{Address, Network};
+
+    let branches: u16 = match args.get("branches") {
+        Some(v) => v.parse().map_err(|e| format!("--branches: {e}"))?,
+        None => 2,
+    };
+    if branches < 2 {
+        return Err("--branches must be at least 2".into());
+    }
+    let payments: u64 = match args.get("payments") {
+        Some(v) => v.parse().map_err(|e| format!("--payments: {e}"))?,
+        None => 4,
+    };
+    let amount = parse_amount(args.get("amount").unwrap_or("10"))?;
+
+    let ca = CertificateAuthority::new(
+        SubjectName::new("GridBank", "CA", "Root"),
+        SigningIdentity::generate_small(KeyMaterial { seed: 1 }, "ca"),
+    );
+    let clock = Clock::new();
+    let network = Network::new();
+
+    // One full server stack per branch.
+    let mut banks = Vec::new();
+    let mut servers = Vec::new();
+    for b in 1..=branches {
+        let bank = Arc::new(GridBank::new(
+            GridBankConfig {
+                branch: b,
+                signer_height: 9,
+                gate_mode: GateMode::AllowEnrollment,
+                key_material: KeyMaterial { seed: 0xB4A2 + b as u64 },
+                ..GridBankConfig::default()
+            },
+            clock.clone(),
+        ));
+        let tls = Arc::new(SigningIdentity::generate(KeyMaterial { seed: 100 + b as u64 }, "tls"));
+        let cert = ca
+            .issue(
+                SubjectName::new("GridBank", "Server", &format!("branch-{b:04}")),
+                tls.verifying_key(),
+                0,
+                u64::MAX / 2,
+            )
+            .map_err(|e| e.to_string())?;
+        let server = GridBankServer::start(
+            &network,
+            Address::new(format!("branch-{b}")),
+            Arc::clone(&bank),
+            ServerCredentials { certificate: cert, identity: tls, ca_key: ca.verifying_key() },
+            b as u64,
+        )
+        .map_err(|e| e.to_string())?;
+        banks.push(bank);
+        servers.push(server);
+    }
+
+    // Federate: every branch gets a pooled resilient route to each peer,
+    // calling as its own settlement identity.
+    let routers: Vec<_> = banks.iter().map(FederationRouter::install).collect();
+    for from in 1..=branches {
+        for to in 1..=branches {
+            if from == to {
+                continue;
+            }
+            let id = SigningIdentity::generate_small(
+                KeyMaterial { seed: 0x5E77_0000 + from as u64 },
+                "settle",
+            );
+            let dn = SubjectName::new("GridBank", "Settlement", &format!("branch-{from:04}"));
+            let cert =
+                ca.issue(dn, id.verifying_key(), 0, u64::MAX / 2).map_err(|e| e.to_string())?;
+            let (net, clk, ca_key) = (network.clone(), clock.clone(), ca.verifying_key());
+            let target = Address::new(format!("branch-{to}"));
+            let mut attempt = 0u64;
+            let connector: Connector = Box::new(move || {
+                attempt += 1;
+                let id = SigningIdentity::generate_small(
+                    KeyMaterial { seed: 0x5E77_0000 + from as u64 },
+                    "settle",
+                );
+                let proxy_id = SigningIdentity::generate_small(
+                    KeyMaterial { seed: 0x9000 + (from as u64) * 977 + attempt },
+                    "proxy",
+                );
+                let proxy = create_proxy(&id, &cert, proxy_id.verifying_key(), 0, u64::MAX / 2, 1)?;
+                let mut nonces = DeterministicStream::from_u64(
+                    ((from as u64) << 32) | ((to as u64) << 16) | attempt,
+                    b"fed-nonce",
+                );
+                GridBankClient::connect(
+                    &net,
+                    Address::new(format!("fed-{from}-{to}-{attempt}")),
+                    &target,
+                    ca_key,
+                    clk.now_ms(),
+                    &proxy,
+                    &proxy_id,
+                    &mut nonces,
+                )
+            });
+            let policy = RetryPolicy {
+                base_delay_ms: 1,
+                max_delay_ms: 8,
+                max_attempts: 6,
+                deadline_ms: 10_000,
+                seed: from as u64,
+            };
+            let client = ResilientBankClient::new(
+                connector,
+                policy,
+                clock.clone(),
+                (from as u64) * 31 + to as u64,
+            );
+            routers[(from - 1) as usize].add_peer(to, RemotePeer::new(client));
+        }
+    }
+
+    // One funded payer per branch, connected through the real handshake.
+    let mut payers = Vec::new();
+    let mut accounts = Vec::new();
+    for b in 1..=branches {
+        let connect = |dn: SubjectName, seed: u64| -> Result<GridBankClient, String> {
+            let id = SigningIdentity::generate_small(KeyMaterial { seed }, "client");
+            let cert =
+                ca.issue(dn, id.verifying_key(), 0, u64::MAX / 2).map_err(|e| e.to_string())?;
+            let proxy_id =
+                SigningIdentity::generate_small(KeyMaterial { seed: seed + 5000 }, "proxy");
+            let proxy = create_proxy(&id, &cert, proxy_id.verifying_key(), 0, u64::MAX / 2, 1)
+                .map_err(|e| e.to_string())?;
+            let mut nonces = DeterministicStream::from_u64(seed, b"nonce");
+            GridBankClient::connect(
+                &network,
+                Address::new(format!("client-{seed}")),
+                &Address::new(format!("branch-{b}")),
+                ca.verifying_key(),
+                clock.now_ms(),
+                &proxy,
+                &proxy_id,
+                &mut nonces,
+            )
+            .map_err(|e| e.to_string())
+        };
+        let mut payer =
+            connect(SubjectName::new("Demo", "Payers", &format!("payer-{b}")), 10 + b as u64)?;
+        let account = payer.create_account(None).map_err(|e| e.to_string())?;
+        let mut admin = connect(SubjectName(ADMIN_CERT.into()), 900 + b as u64)?;
+        admin.admin_deposit(account, Credits::from_gd(1_000)).map_err(|e| e.to_string())?;
+        payers.push(payer);
+        accounts.push(account);
+    }
+
+    // Ring of cross-branch payments: every branch pays the next one.
+    for k in 0..payments {
+        for b in 0..branches as usize {
+            let to = accounts[(b + 1) % branches as usize];
+            payers[b]
+                .direct_transfer(to, amount, &format!("payee.vo{}.org/{k}", (b + 1)))
+                .map_err(|e| format!("payment {k} from branch {}: {e}", b + 1))?;
+        }
+    }
+
+    // One netting pass (branch 1 proposes; remaining pairs drain too).
+    let mut out = format!(
+        "federated settle: {branches} branches, {} cross-branch payments of {amount}\n",
+        payments * branches as u64
+    );
+    let mut gross = Credits::ZERO;
+    let mut net = Credits::ZERO;
+    for router in &routers {
+        let report = router.settle_once().map_err(|e| e.to_string())?;
+        for p in &report.pairs {
+            out.push_str(&format!(
+                "pair {:04}<->{:04}: gross {} -> net {}\n",
+                p.branch_a,
+                p.branch_b,
+                p.gross_a_to_b.saturating_add(p.gross_b_to_a),
+                p.net.abs()
+            ));
+        }
+        gross = gross.saturating_add(report.total_gross());
+        net = net.saturating_add(report.total_net());
+    }
+    out.push_str(&format!("total gross {gross} -> net {net}\n"));
+
+    // The acceptance check: clearing accounts net to zero and no credit
+    // is stranded.
+    let mut residual = Credits::ZERO;
+    let mut stranded = 0;
+    for (i, router) in routers.iter().enumerate() {
+        for peer in router.peer_branches() {
+            residual = residual.saturating_add(router.clearing_balance(peer).abs());
+        }
+        stranded += banks[i].accounts.db().ib_pending_snapshot().len();
+    }
+    if !residual.is_zero() || stranded > 0 {
+        return Err(format!(
+            "settlement left residue: clearing {residual}, {stranded} unacknowledged credits"
+        ));
+    }
+    out.push_str("clearing accounts net to zero; no stranded credits");
+    Ok(out)
+}
+
 fn run(args: &Args) -> Result<String, String> {
     let db_path = args.get("db").unwrap_or("gridbank.gbj");
     let command = args.command.as_deref().ok_or_else(usage)?;
     if command == "metrics" {
         // Self-contained workload: never touches the journal file.
         return run_metrics(args);
+    }
+    if command == "settle" {
+        // Self-contained federated demo: never touches the journal file.
+        return run_settle(args);
     }
     let bank = Bank::load(db_path)?;
     let out = match command {
@@ -302,6 +557,40 @@ fn run(args: &Args) -> Result<String, String> {
             out.push_str(&format!("total funds: {}", bank.accounts.db().total_funds()));
             out
         }
+        "branches" => {
+            // Peer branches as witnessed by this bank's ledger: one
+            // clearing account per peer plus any credits journalled as
+            // shipped but not yet acknowledged (§6).
+            let local = 1u16;
+            let pending = bank.accounts.db().ib_pending_snapshot();
+            let mut rows: Vec<(u16, AccountId, Credits, usize)> = Vec::new();
+            for r in bank.accounts.db().all_accounts() {
+                if let Some(peer) =
+                    gridbank_core::branch::parse_clearing_cert(local, &r.certificate_name)
+                {
+                    let outstanding = pending.iter().filter(|p| p.to.branch == peer).count();
+                    rows.push((peer, r.id, r.available, outstanding));
+                }
+            }
+            rows.sort();
+            if rows.is_empty() {
+                String::from("no peer branches (no clearing accounts on ledger)")
+            } else {
+                let mut out =
+                    String::from("peer    clearing account  parked balance    pending credits\n");
+                for (peer, id, parked, outstanding) in rows {
+                    out.push_str(&format!(
+                        "{peer:04}    {id}  {:>14}  {outstanding:>15}\n",
+                        parked.to_string()
+                    ));
+                }
+                out.push_str(&format!(
+                    "unacknowledged outbound credits (all peers): {}",
+                    pending.len()
+                ));
+                out
+            }
+        }
         "barter-stats" => {
             let stats = BarterStats::compute(bank.accounts.db(), 0, u64::MAX);
             let mut out = String::from("account           consumed          provided\n");
@@ -338,8 +627,10 @@ fn usage() -> String {
        balance        --account ID | --cert DN\n\
        statement      --account ID\n\
        accounts\n\
+       branches\n\
        barter-stats\n\
-       metrics        [--format text|jsonl] [--filter prefix]"
+       metrics        [--format text|jsonl] [--filter prefix]\n\
+       settle         [--branches N] [--payments N] [--amount G$]"
         .to_string()
 }
 
@@ -441,6 +732,23 @@ mod tests {
         let out = run(&args(&["metrics", "--filter", "core.transfer."])).unwrap();
         assert!(out.contains("core.transfer.count"), "{out}");
         assert!(!out.contains("rpc.server.latency_ns"), "{out}");
+
+        // The workload includes a federated exchange, so inter-branch
+        // metrics are observable through the same filter mechanism.
+        let out = run(&args(&["metrics", "--filter", "ib."])).unwrap();
+        assert!(out.contains("ib.transfers"), "{out}");
+        assert!(out.contains("ib.settle.gross"), "{out}");
+        assert!(out.contains("ib.forwarded"), "{out}");
+
+        // `settle` runs a live two-branch federation over RPC and must
+        // report fully-netted clearing accounts.
+        let out = run(&args(&["settle", "--payments", "1"])).unwrap();
+        assert!(out.contains("clearing accounts net to zero"), "{out}");
+        assert!(out.contains("gross"), "{out}");
+
+        // `branches` on a ledger with no clearing accounts says so.
+        let out = run(&args(&["--db", db, "branches"])).unwrap();
+        assert!(out.contains("no peer branches"), "{out}");
 
         // Errors are surfaced, not panics.
         assert!(run(&args(&[

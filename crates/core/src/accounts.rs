@@ -12,8 +12,8 @@ use gridbank_rur::Credits;
 
 use crate::clock::Clock;
 use crate::db::{
-    AccountId, AccountRecord, CommitRows, Database, IdemStamp, TransactionRecord, TransactionType,
-    TransferRecord,
+    AccountId, AccountRecord, CommitRows, Database, IdemStamp, PendingIbCredit, TransactionRecord,
+    TransactionType, TransferRecord,
 };
 use crate::error::BankError;
 
@@ -169,10 +169,42 @@ impl GbAccounts {
         rur_blob: Vec<u8>,
         idem: Option<IdemKey>,
     ) -> Result<u64, BankError> {
+        self.transfer_inner(from, to, amount, rur_blob, idem, None)
+    }
+
+    /// The first leg of a cross-branch payment (§6): debits `from` into
+    /// the local `clearing` account and records the pending [`IbCredit`]
+    /// for the remote payee in the *same* commit — funds parked and the
+    /// obligation to ship them are journaled together, so a crash either
+    /// sees both (recovery re-ships the credit) or neither.
+    ///
+    /// [`IbCredit`]: crate::api::BankRequest::IbCredit
+    pub fn transfer_with_ib_credit(
+        &self,
+        from: &AccountId,
+        clearing: &AccountId,
+        amount: Credits,
+        rur_blob: Vec<u8>,
+        idem: Option<IdemKey>,
+        credit: PendingIbCredit,
+    ) -> Result<u64, BankError> {
+        self.transfer_inner(from, clearing, amount, rur_blob, idem, Some(credit))
+    }
+
+    fn transfer_inner(
+        &self,
+        from: &AccountId,
+        to: &AccountId,
+        amount: Credits,
+        rur_blob: Vec<u8>,
+        idem: Option<IdemKey>,
+        ib_out: Option<PendingIbCredit>,
+    ) -> Result<u64, BankError> {
         if !amount.is_positive() {
             return Err(BankError::NonPositiveAmount);
         }
-        let (txid, rows) = self.transfer_rows(from, to, amount, rur_blob, idem);
+        let (txid, mut rows) = self.transfer_rows(from, to, amount, rur_blob, idem);
+        rows.ib_out = ib_out;
         self.db.two_account_commit(
             from,
             to,
@@ -335,6 +367,7 @@ impl GbAccounts {
                 trace_id: gridbank_obs::current_trace_id(),
             }),
             idem: idem.map(|k| k.stamp(txid)),
+            ib_out: None,
         };
         (txid, rows)
     }

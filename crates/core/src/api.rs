@@ -203,6 +203,17 @@ impl Encode for crate::db::JournalEntry {
                 w.put_u64(*key);
                 w.put_bytes(response);
             }
+            J::IbOut(credit) => {
+                w.put_u8(6);
+                w.put_u64(credit.key);
+                credit.to.encode(w);
+                credit.amount.encode(w);
+                w.put_u32(credit.origin as u32);
+            }
+            J::IbAck { key } => {
+                w.put_u8(7);
+                w.put_u64(*key);
+            }
         }
     }
 }
@@ -219,6 +230,13 @@ impl Decode for crate::db::JournalEntry {
             5 => {
                 J::Idem { cert: r.get_str()?, key: r.get_u64()?, response: r.get_bytes()?.to_vec() }
             }
+            6 => J::IbOut(crate::db::PendingIbCredit {
+                key: r.get_u64()?,
+                to: AccountId::decode(r)?,
+                amount: Credits::decode(r)?,
+                origin: r.get_u32()? as u16,
+            }),
+            7 => J::IbAck { key: r.get_u64()? },
             t => return Err(RurError::Decode(format!("bad journal tag {t}"))),
         })
     }
@@ -397,6 +415,31 @@ pub enum BankRequest {
         /// Where the outstanding balance goes (None = withdraw).
         transfer_to: Option<AccountId>,
     },
+    /// Inter-branch (§6): credit a local payee on behalf of a remote
+    /// drawer whose branch already parked the funds in its clearing
+    /// account. Sent branch-to-branch only (callers must be settlement
+    /// admins); always stamped with an idempotency key so redelivery
+    /// after a crash or link fault applies exactly once.
+    IbCredit {
+        /// The payee account (must be home on the receiving branch).
+        to: AccountId,
+        /// Amount to credit.
+        amount: Credits,
+        /// Branch where the drawer (and the parked funds) live.
+        origin_branch: u16,
+        /// Binary RUR evidence carried along with the payment.
+        rur_blob: Vec<u8>,
+    },
+    /// Inter-branch (§6): open a pairwise netting round. The proposer
+    /// names the gross amount parked on its side for the receiver; the
+    /// receiver drains its own clearing account toward the proposer and
+    /// answers with [`BankResponse::IbSettleAck`].
+    IbSettleProposal {
+        /// The proposing branch.
+        origin_branch: u16,
+        /// Gross flow parked at the proposer for the receiver's members.
+        gross_out: Credits,
+    },
 }
 
 impl BankRequest {
@@ -424,6 +467,8 @@ impl BankRequest {
             BankRequest::AdminCreditLimit { .. } => "AdminCreditLimit",
             BankRequest::AdminCancelTransfer { .. } => "AdminCancelTransfer",
             BankRequest::AdminCloseAccount { .. } => "AdminCloseAccount",
+            BankRequest::IbCredit { .. } => "IbCredit",
+            BankRequest::IbSettleProposal { .. } => "IbSettleProposal",
         }
     }
 
@@ -453,7 +498,9 @@ impl BankRequest {
             | BankRequest::AdminWithdraw { .. }
             | BankRequest::AdminCreditLimit { .. }
             | BankRequest::AdminCancelTransfer { .. }
-            | BankRequest::AdminCloseAccount { .. } => true,
+            | BankRequest::AdminCloseAccount { .. }
+            | BankRequest::IbCredit { .. }
+            | BankRequest::IbSettleProposal { .. } => true,
         }
     }
 
@@ -481,6 +528,9 @@ impl BankRequest {
             | BankRequest::RedeemChequeBatch { .. } => "server.payment",
             BankRequest::RegisterResourceDescription { .. } | BankRequest::EstimatePrice { .. } => {
                 "server.pricing"
+            }
+            BankRequest::IbCredit { .. } | BankRequest::IbSettleProposal { .. } => {
+                "server.federation"
             }
         }
     }
@@ -548,6 +598,13 @@ pub enum BankResponse {
         /// Human-readable message.
         message: String,
     },
+    /// Answer to [`BankRequest::IbSettleProposal`]: the receiver's side
+    /// of the pairwise netting round.
+    IbSettleAck {
+        /// Gross flow the receiver had parked for the proposer's members
+        /// (now drained on the receiver's books).
+        gross_back: Credits,
+    },
 }
 
 /// Coarse error kinds that survive the wire.
@@ -566,6 +623,9 @@ pub mod kinds {
     pub const INVALID_INSTRUMENT: u8 = 5;
     /// Duplicate account.
     pub const DUPLICATE: u8 = 6;
+    /// The account lives on another branch (typed redirect; the home
+    /// branch id rides in the message text).
+    pub const NOT_HOME_BRANCH: u8 = 7;
 }
 
 /// Maps a [`BankError`] to its wire kind.
@@ -579,6 +639,7 @@ pub fn error_kind(e: &BankError) -> u8 {
         BankError::NoSuchAccount(_) | BankError::UnknownSubject(_) => kinds::UNKNOWN_ACCOUNT,
         BankError::InvalidInstrument(_) => kinds::INVALID_INSTRUMENT,
         BankError::DuplicateAccount(_) => kinds::DUPLICATE,
+        BankError::NotHomeBranch { .. } => kinds::NOT_HOME_BRANCH,
         _ => kinds::OTHER,
     }
 }
@@ -596,6 +657,19 @@ pub fn error_from_wire(kind: u8, message: String) -> BankError {
         kinds::UNKNOWN_ACCOUNT => BankError::UnknownSubject(message),
         kinds::INVALID_INSTRUMENT => BankError::InvalidInstrument(message),
         kinds::DUPLICATE => BankError::DuplicateAccount(message),
+        kinds::NOT_HOME_BRANCH => {
+            // The home branch id is the trailing digit run of the Display
+            // text (`BankError::NotHomeBranch` keeps it there on purpose).
+            let digits: String = message
+                .chars()
+                .rev()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+                .collect();
+            BankError::NotHomeBranch { home: digits.parse().unwrap_or(0) }
+        }
         _ => BankError::Protocol(message),
     }
 }
@@ -712,6 +786,18 @@ impl Encode for BankRequest {
                     None => w.put_u8(0),
                 }
             }
+            BankRequest::IbCredit { to, amount, origin_branch, rur_blob } => {
+                w.put_u8(20);
+                to.encode(w);
+                amount.encode(w);
+                w.put_u32(*origin_branch as u32);
+                w.put_bytes(rur_blob);
+            }
+            BankRequest::IbSettleProposal { origin_branch, gross_out } => {
+                w.put_u8(21);
+                w.put_u32(*origin_branch as u32);
+                gross_out.encode(w);
+            }
         }
     }
 }
@@ -804,6 +890,16 @@ impl Decode for BankRequest {
                 }
                 BankRequest::RedeemChequeBatch { items }
             }
+            20 => BankRequest::IbCredit {
+                to: AccountId::decode(r)?,
+                amount: Credits::decode(r)?,
+                origin_branch: r.get_u32()? as u16,
+                rur_blob: r.get_bytes()?.to_vec(),
+            },
+            21 => BankRequest::IbSettleProposal {
+                origin_branch: r.get_u32()? as u16,
+                gross_out: Credits::decode(r)?,
+            },
             t => return Err(RurError::Decode(format!("unknown request tag {t}"))),
         })
     }
@@ -886,6 +982,10 @@ impl Encode for BankResponse {
                     }
                 }
             }
+            BankResponse::IbSettleAck { gross_back } => {
+                w.put_u8(11);
+                gross_back.encode(w);
+            }
         }
     }
 }
@@ -954,6 +1054,7 @@ impl Decode for BankResponse {
                 }
                 BankResponse::RedeemedBatch { results }
             }
+            11 => BankResponse::IbSettleAck { gross_back: Credits::decode(r)? },
             t => return Err(RurError::Decode(format!("unknown response tag {t}"))),
         })
     }
@@ -994,6 +1095,13 @@ mod tests {
                 account: AccountId::new(1, 1, 4),
                 transfer_to: Some(AccountId::new(1, 1, 5)),
             },
+            BankRequest::IbCredit {
+                to: AccountId::new(1, 2, 7),
+                amount: Credits::from_gd(4),
+                origin_branch: 1,
+                rur_blob: vec![9, 9, 9],
+            },
+            BankRequest::IbSettleProposal { origin_branch: 2, gross_out: Credits::from_gd(110) },
         ];
         for req in cases {
             let back = round_trip_request(req.clone());
@@ -1038,6 +1146,7 @@ mod tests {
             BankResponse::Redeemed { paid: Credits::from_gd(2), released: Credits::from_gd(1) },
             BankResponse::Estimate { price: Credits::from_milli(1500) },
             BankResponse::Error { kind: kinds::INSUFFICIENT, message: "no funds".into() },
+            BankResponse::IbSettleAck { gross_back: Credits::from_gd(42) },
         ];
         for resp in cases {
             let back = BankResponse::from_bytes(&resp.to_bytes()).unwrap();
@@ -1083,6 +1192,13 @@ mod tests {
                 rur_blob: vec![7, 7],
                 trace_id: 42,
             }),
+            JournalEntry::IbOut(crate::db::PendingIbCredit {
+                key: 0xFEED_0001,
+                to: AccountId::new(1, 2, 3),
+                amount: Credits::from_gd(8),
+                origin: 1,
+            }),
+            JournalEntry::IbAck { key: 0xFEED_0001 },
             JournalEntry::Remove(rec.id),
         ];
         let bytes = journal_to_bytes(&journal);
@@ -1106,5 +1222,21 @@ mod tests {
             BankError::AlreadyRedeemed(_)
         ));
         assert_eq!(error_kind(&BankError::NonPositiveAmount), kinds::OTHER);
+    }
+
+    #[test]
+    fn not_home_branch_round_trips_home_id() {
+        let e = BankError::NotHomeBranch { home: 7 };
+        let kind = error_kind(&e);
+        assert_eq!(kind, kinds::NOT_HOME_BRANCH);
+        match error_from_wire(kind, e.to_string()) {
+            BankError::NotHomeBranch { home } => assert_eq!(home, 7),
+            other => panic!("expected NotHomeBranch, got {other:?}"),
+        }
+        // A mangled message degrades to branch 0, never a decode error.
+        assert!(matches!(
+            error_from_wire(kinds::NOT_HOME_BRANCH, "garbled".into()),
+            BankError::NotHomeBranch { home: 0 }
+        ));
     }
 }

@@ -29,6 +29,61 @@ use crate::admin::GbAdmin;
 use crate::db::AccountId;
 use crate::error::BankError;
 
+/// The administrator identity settlement runs under.
+pub const SETTLEMENT_ADMIN: &str = "/O=GridBank/OU=Settlement/CN=interbank";
+
+/// Certificate name of the clearing account branch `local` holds for
+/// flows toward branch `peer`. Deterministic, so crash recovery can
+/// rediscover the account instead of minting a duplicate.
+pub fn clearing_cert(local: u16, peer: u16) -> String {
+    format!("/O=GridBank/OU=Clearing/CN=branch-{local:04}-vs-{peer:04}")
+}
+
+/// Inverse of [`clearing_cert`]: the peer branch id, if `cert` names one
+/// of `local`'s clearing accounts.
+pub fn parse_clearing_cert(local: u16, cert: &str) -> Option<u16> {
+    let prefix = format!("/O=GridBank/OU=Clearing/CN=branch-{local:04}-vs-");
+    cert.strip_prefix(&prefix)?.parse().ok()
+}
+
+/// Scans the database for `local`'s clearing accounts — the crash-
+/// recovery path: journal replay restores the account rows, and this
+/// rebinds peer → clearing id so the branch reuses them.
+pub fn discover_clearing_accounts(accounts: &GbAccounts, local: u16) -> HashMap<u16, AccountId> {
+    accounts
+        .db()
+        .all_accounts()
+        .into_iter()
+        .filter_map(|r| parse_clearing_cert(local, &r.certificate_name).map(|peer| (peer, r.id)))
+        .collect()
+}
+
+/// Looks up the clearing account for `peer` in `clearing`, rebinding
+/// from the certificate index or creating it on first use. Shared by the
+/// in-process [`Branch`] and the networked `FederationRouter`.
+pub fn clearing_account_for(
+    clearing: &mut HashMap<u16, AccountId>,
+    accounts: &GbAccounts,
+    local: u16,
+    peer: u16,
+) -> Result<AccountId, BankError> {
+    if let Some(id) = clearing.get(&peer) {
+        return Ok(*id);
+    }
+    let cert = clearing_cert(local, peer);
+    // Rediscover before creating: after a crash-replay the account row
+    // exists but the in-memory binding is gone.
+    let id = match accounts.account_by_cert(&cert) {
+        Ok(record) => record.id,
+        Err(BankError::UnknownSubject(_)) => {
+            accounts.create_account(&cert, Some("GridBank".into()))?
+        }
+        Err(e) => return Err(e),
+    };
+    clearing.insert(peer, id);
+    Ok(id)
+}
+
 /// One branch's stack plus its clearing accounts.
 pub struct Branch {
     /// Branch number (also in every account id it issues).
@@ -41,24 +96,18 @@ pub struct Branch {
     clearing: HashMap<u16, AccountId>,
 }
 
-/// The administrator identity settlement runs under.
-pub const SETTLEMENT_ADMIN: &str = "/O=GridBank/OU=Settlement/CN=interbank";
-
 impl Branch {
-    /// Wraps a branch stack; clearing accounts are created lazily.
+    /// Wraps a branch stack. Existing clearing accounts (e.g. restored by
+    /// journal replay) are rediscovered from the certificate index; new
+    /// ones are still created lazily on first cross-branch flow.
     pub fn new(branch_id: u16, accounts: GbAccounts, admin: GbAdmin) -> Self {
         admin.add_admin(SETTLEMENT_ADMIN.to_string());
-        Branch { branch_id, accounts, admin, clearing: HashMap::new() }
+        let clearing = discover_clearing_accounts(&accounts, branch_id);
+        Branch { branch_id, accounts, admin, clearing }
     }
 
     fn clearing_account(&mut self, peer: u16) -> Result<AccountId, BankError> {
-        if let Some(id) = self.clearing.get(&peer) {
-            return Ok(*id);
-        }
-        let cert = format!("/O=GridBank/OU=Clearing/CN=branch-{:04}-vs-{peer:04}", self.branch_id);
-        let id = self.accounts.create_account(&cert, Some("GridBank".into()))?;
-        self.clearing.insert(peer, id);
-        Ok(id)
+        clearing_account_for(&mut self.clearing, &self.accounts, self.branch_id, peer)
     }
 
     /// Balance currently parked in the clearing account for `peer`.
@@ -106,12 +155,74 @@ impl SettlementReport {
     }
 }
 
+/// The pure §6 netting engine: accrues gross pairwise flows and computes
+/// per-pair netting outcomes. It never touches accounts — both the
+/// in-process [`InterBank`] and the networked
+/// [`FederationRouter`](crate::federation::FederationRouter) drive it
+/// and apply the resulting drains to their own books.
+#[derive(Clone, Debug, Default)]
+pub struct NettingEngine {
+    /// Gross flows accrued since the last settlement: (from, to) → amount.
+    pending: HashMap<(u16, u16), Credits>,
+}
+
+impl NettingEngine {
+    /// An empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accrues a gross flow `from` → `to`.
+    pub fn note(&mut self, from: u16, to: u16, amount: Credits) {
+        let entry = self.pending.entry((from, to)).or_insert(Credits::ZERO);
+        *entry = entry.saturating_add(amount);
+    }
+
+    /// True when no flow is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Drains every pending pair into netting outcomes, lower-numbered
+    /// branch first, sorted by pair.
+    pub fn drain_pairs(&mut self) -> Vec<PairSettlement> {
+        let mut pairs: Vec<(u16, u16)> =
+            self.pending.keys().map(|&(a, b)| if a < b { (a, b) } else { (b, a) }).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+            .into_iter()
+            .map(|(a, b)| {
+                let gross_ab = self.pending.remove(&(a, b)).unwrap_or(Credits::ZERO);
+                let gross_ba = self.pending.remove(&(b, a)).unwrap_or(Credits::ZERO);
+                Self::pair(a, b, gross_ab, gross_ba)
+            })
+            .collect()
+    }
+
+    /// The netting rule for one pair: only the difference crosses banks.
+    /// Accepts the branches in either order and normalizes lower-first.
+    pub fn pair(a: u16, b: u16, gross_a_to_b: Credits, gross_b_to_a: Credits) -> PairSettlement {
+        let (a, b, gross_ab, gross_ba) = if a <= b {
+            (a, b, gross_a_to_b, gross_b_to_a)
+        } else {
+            (b, a, gross_b_to_a, gross_a_to_b)
+        };
+        PairSettlement {
+            branch_a: a,
+            branch_b: b,
+            gross_a_to_b: gross_ab,
+            gross_b_to_a: gross_ba,
+            net: gross_ab.saturating_add(-gross_ba),
+        }
+    }
+}
+
 /// The inter-branch coordinator.
 #[derive(Default)]
 pub struct InterBank {
     branches: HashMap<u16, Branch>,
-    /// Gross flows accrued since the last settlement: (from, to) → amount.
-    pending: HashMap<(u16, u16), Credits>,
+    netting: NettingEngine,
 }
 
 impl InterBank {
@@ -168,8 +279,7 @@ impl InterBank {
             dst.clearing_account(from.branch)?;
             dst.admin.deposit(SETTLEMENT_ADMIN, &to, amount)?;
         }
-        let entry = self.pending.entry((from.branch, to.branch)).or_insert(Credits::ZERO);
-        *entry = entry.saturating_add(amount);
+        self.netting.note(from.branch, to.branch, amount);
         Ok(())
     }
 
@@ -177,40 +287,26 @@ impl InterBank {
     /// branch pair only the net difference moves "on the wire"; the gross
     /// entries are drained from the clearing accounts.
     pub fn settle(&mut self) -> Result<SettlementReport, BankError> {
-        // Collect the distinct pairs (lower branch first).
-        let mut pairs: Vec<(u16, u16)> =
-            self.pending.keys().map(|&(a, b)| if a < b { (a, b) } else { (b, a) }).collect();
-        pairs.sort_unstable();
-        pairs.dedup();
-
         let mut report = SettlementReport::default();
-        for (a, b) in pairs {
-            let gross_ab = self.pending.remove(&(a, b)).unwrap_or(Credits::ZERO);
-            let gross_ba = self.pending.remove(&(b, a)).unwrap_or(Credits::ZERO);
+        for pair in self.netting.drain_pairs() {
+            let (a, b) = (pair.branch_a, pair.branch_b);
             // Drain each side's clearing account: the money parked there
             // leaves the branch (external settlement rail).
-            if gross_ab.is_positive() {
+            if pair.gross_a_to_b.is_positive() {
                 let src = self.branches.get_mut(&a).ok_or(BankError::UnknownBranch(a))?;
                 let clearing = src.clearing_account(b)?;
-                src.admin.withdraw(SETTLEMENT_ADMIN, &clearing, gross_ab)?;
+                src.admin.withdraw(SETTLEMENT_ADMIN, &clearing, pair.gross_a_to_b)?;
             }
-            if gross_ba.is_positive() {
+            if pair.gross_b_to_a.is_positive() {
                 let src = self.branches.get_mut(&b).ok_or(BankError::UnknownBranch(b))?;
                 let clearing = src.clearing_account(a)?;
-                src.admin.withdraw(SETTLEMENT_ADMIN, &clearing, gross_ba)?;
+                src.admin.withdraw(SETTLEMENT_ADMIN, &clearing, pair.gross_b_to_a)?;
             }
             // The deposits made eagerly at the receiving branches summed to
             // gross_ab + gross_ba; the withdrawals above removed the same
             // total, so the federation's books balance. What crosses banks
             // externally is only the net.
-            let net = gross_ab.saturating_add(-gross_ba);
-            report.pairs.push(PairSettlement {
-                branch_a: a,
-                branch_b: b,
-                gross_a_to_b: gross_ab,
-                gross_b_to_a: gross_ba,
-                net,
-            });
+            report.pairs.push(pair);
         }
         Ok(report)
     }
@@ -332,6 +428,62 @@ mod tests {
         );
         let report = ib.settle().unwrap();
         assert!(report.pairs.is_empty());
+    }
+
+    #[test]
+    fn netting_engine_pairs_and_drains() {
+        let mut eng = NettingEngine::new();
+        assert!(eng.is_empty());
+        eng.note(1, 2, Credits::from_gd(30));
+        eng.note(2, 1, Credits::from_gd(12));
+        eng.note(2, 1, Credits::from_gd(3));
+        eng.note(3, 1, Credits::from_gd(7));
+        let pairs = eng.drain_pairs();
+        assert!(eng.is_empty());
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].gross_a_to_b, Credits::from_gd(30));
+        assert_eq!(pairs[0].gross_b_to_a, Credits::from_gd(15));
+        assert_eq!(pairs[0].net, Credits::from_gd(15));
+        // (3,1) normalized lower-first: gross flows b→a.
+        assert_eq!(pairs[1].branch_a, 1);
+        assert_eq!(pairs[1].branch_b, 3);
+        assert_eq!(pairs[1].gross_a_to_b, Credits::ZERO);
+        assert_eq!(pairs[1].gross_b_to_a, Credits::from_gd(7));
+        assert_eq!(pairs[1].net, Credits::from_gd(-7));
+        // The pure pair rule is order-insensitive.
+        assert_eq!(
+            NettingEngine::pair(5, 2, Credits::from_gd(1), Credits::from_gd(4)),
+            NettingEngine::pair(2, 5, Credits::from_gd(4), Credits::from_gd(1))
+        );
+    }
+
+    #[test]
+    fn clearing_accounts_rediscovered_after_replay() {
+        let (mut ib, alice, gsp) = two_branch_setup();
+        ib.cross_branch_transfer(alice, gsp, Credits::from_gd(30), vec![]).unwrap();
+
+        // "Crash" branch 1: rebuild its stack from the replayed journal.
+        let journal = ib.branch(1).unwrap().accounts.db().journal_snapshot();
+        let db = Arc::new(Database::replay(1, 1, &journal));
+        let accounts = GbAccounts::new(db, Clock::new());
+        let admin = GbAdmin::new(accounts.clone(), [ADMIN.to_string()]);
+        let count_before = accounts.db().account_count();
+        let mut revived = Branch::new(1, accounts, admin);
+
+        // The parked balance is visible again without any lazy creation…
+        assert_eq!(revived.clearing_balance(2), Credits::from_gd(30));
+        // …and asking for the clearing account reuses the replayed row
+        // instead of erroring on the duplicate certificate.
+        let id = revived.clearing_account(2).unwrap();
+        assert_eq!(revived.accounts.account_details(&id).unwrap().available, Credits::from_gd(30));
+        assert_eq!(revived.accounts.db().account_count(), count_before);
+    }
+
+    #[test]
+    fn clearing_cert_round_trips() {
+        assert_eq!(parse_clearing_cert(1, &clearing_cert(1, 2)), Some(2));
+        assert_eq!(parse_clearing_cert(3, &clearing_cert(1, 2)), None);
+        assert_eq!(parse_clearing_cert(1, "/CN=alice"), None);
     }
 
     #[test]

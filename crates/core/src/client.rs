@@ -375,6 +375,41 @@ impl GridBankClient {
         }
     }
 
+    /// Inter-branch: delivers a cross-branch credit to this bank (the
+    /// payee's home branch). `key` must be the durable key from the
+    /// origin's journaled pending-credit row so re-deliveries dedup.
+    pub fn ib_credit(
+        &mut self,
+        key: u64,
+        to: AccountId,
+        amount: Credits,
+        origin_branch: u16,
+        rur_blob: Vec<u8>,
+    ) -> Result<u64, BankError> {
+        match self
+            .call_keyed(Some(key), &BankRequest::IbCredit { to, amount, origin_branch, rur_blob })?
+        {
+            BankResponse::Confirmation { transaction_id } => Ok(transaction_id),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Inter-branch: proposes one §6 netting round to this bank; returns
+    /// the peer's gross return flow (`IbSettleAck`).
+    pub fn ib_settle_proposal(
+        &mut self,
+        key: u64,
+        origin_branch: u16,
+        gross_out: Credits,
+    ) -> Result<Credits, BankError> {
+        match self
+            .call_keyed(Some(key), &BankRequest::IbSettleProposal { origin_branch, gross_out })?
+        {
+            BankResponse::IbSettleAck { gross_back } => Ok(gross_back),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
     /// Admin: close account (§5.2.1).
     pub fn admin_close_account(
         &mut self,

@@ -20,7 +20,7 @@
 //! unchanged — the queue only amortizes journal-lock traffic on the hot
 //! payment path.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -172,6 +172,24 @@ pub struct TransferRecord {
     pub trace_id: u64,
 }
 
+/// A cross-branch credit owed to a remote payee: the drawer's branch has
+/// already parked the amount in its clearing account, and the matching
+/// `IbCredit` has not yet been acknowledged by the payee's branch. The
+/// set of pending credits is journal-backed (`IbOut`/`IbAck` entries), so
+/// a crashed branch re-ships exactly the credits that never landed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PendingIbCredit {
+    /// The idempotency key the credit ships under — stable across
+    /// redeliveries, so the payee's branch applies it at most once.
+    pub key: u64,
+    /// The remote payee account.
+    pub to: AccountId,
+    /// Amount owed.
+    pub amount: Credits,
+    /// This (the drawer's) branch.
+    pub origin: u16,
+}
+
 /// One write-ahead journal entry. Replaying a journal into a fresh
 /// [`Database`] reconstructs identical state.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -197,6 +215,14 @@ pub enum JournalEntry {
         /// Encoded response of the original execution.
         response: Vec<u8>,
     },
+    /// A cross-branch credit became owed (committed atomically with the
+    /// drawer's debit into the clearing account).
+    IbOut(PendingIbCredit),
+    /// The payee's branch acknowledged the credit with this key.
+    IbAck {
+        /// Key of the acknowledged [`JournalEntry::IbOut`].
+        key: u64,
+    },
 }
 
 /// An idempotency stamp committed atomically with a mutation batch.
@@ -221,6 +247,10 @@ pub struct CommitRows {
     pub transfer: Option<TransferRecord>,
     /// Idempotency stamp for exactly-once retry semantics.
     pub idem: Option<IdemStamp>,
+    /// A cross-branch credit to record as owed, atomically with the
+    /// drawer's debit — a crash can never separate "funds parked in
+    /// clearing" from "credit owed to the remote payee".
+    pub ib_out: Option<PendingIbCredit>,
 }
 
 /// Bounded FIFO dedup cache for idempotency keys.
@@ -395,6 +425,7 @@ pub struct Database {
     journal: Mutex<Vec<JournalEntry>>,
     commit: CommitQueue,
     idem: Mutex<IdemCache>,
+    ib_pending: Mutex<BTreeMap<u64, PendingIbCredit>>,
     next_account: AtomicU32,
     next_tx: AtomicU64,
 }
@@ -416,6 +447,7 @@ impl Database {
                 map: HashMap::new(),
                 order: VecDeque::new(),
             }),
+            ib_pending: Mutex::new(BTreeMap::new()),
             next_account: AtomicU32::new(1),
             next_tx: AtomicU64::new(1),
         }
@@ -667,8 +699,29 @@ impl Database {
                 });
             }
         }
+        if let Some(credit) = rows.ib_out {
+            self.ib_pending.lock().insert(credit.key, credit);
+            entries.push(JournalEntry::IbOut(credit));
+        }
         self.commit.submit(entries, &self.journal);
         Ok(out)
+    }
+
+    /// Marks a pending cross-branch credit as delivered: the payee's
+    /// branch acknowledged the `IbCredit` with this key. Journaled so
+    /// replay won't re-ship it. Returns whether the key was pending.
+    pub fn ib_ack(&self, key: u64) -> bool {
+        let removed = self.ib_pending.lock().remove(&key).is_some();
+        if removed {
+            self.journal.lock().push(JournalEntry::IbAck { key });
+        }
+        removed
+    }
+
+    /// Snapshot of unacknowledged cross-branch credits, in key order —
+    /// the set a recovering branch must re-ship.
+    pub fn ib_pending_snapshot(&self) -> Vec<PendingIbCredit> {
+        self.ib_pending.lock().values().copied().collect()
     }
 
     /// Removes an account (close-account path; caller enforces emptiness).
@@ -801,6 +854,12 @@ impl Database {
                 }
                 JournalEntry::Idem { cert, key, response } => {
                     db.idem.lock().insert(cert, *key, response.clone());
+                }
+                JournalEntry::IbOut(credit) => {
+                    db.ib_pending.lock().insert(credit.key, *credit);
+                }
+                JournalEntry::IbAck { key } => {
+                    db.ib_pending.lock().remove(key);
                 }
             }
         }
@@ -1046,6 +1105,7 @@ mod tests {
                 trace_id: 0,
             }),
             idem: Some(IdemStamp { cert: "/CN=a".into(), key: 42, response: vec![7] }),
+            ib_out: None,
         };
         db.two_account_commit(
             &ida,
@@ -1199,6 +1259,43 @@ mod tests {
         let rebuilt = Database::replay(1, 1, &journal);
         assert_eq!(rebuilt.all_accounts(), db.all_accounts());
         assert_eq!(db.get_account(&poor).unwrap().available, Credits::ZERO);
+    }
+
+    #[test]
+    fn ib_pending_tracks_acks_and_survives_replay() {
+        let db = Database::new(1, 1);
+        let ra = record(&db, "/CN=a", 10);
+        let rb = record(&db, "/CN=clearing", 0);
+        let (ida, idb) = (ra.id, rb.id);
+        db.insert_account(ra).unwrap();
+        db.insert_account(rb).unwrap();
+        let credit = PendingIbCredit {
+            key: 0xC0FFEE,
+            to: AccountId::new(1, 2, 5),
+            amount: Credits::from_gd(4),
+            origin: 1,
+        };
+        db.two_account_commit(
+            &ida,
+            &idb,
+            |a, b| {
+                a.available = a.available.checked_sub(Credits::from_gd(4))?;
+                b.available = b.available.checked_add(Credits::from_gd(4))?;
+                Ok(())
+            },
+            CommitRows { ib_out: Some(credit), ..CommitRows::default() },
+        )
+        .unwrap();
+        assert_eq!(db.ib_pending_snapshot(), vec![credit]);
+        // A crash here re-ships the credit: replay rebuilds the set.
+        let rebuilt = Database::replay(1, 1, &db.journal_snapshot());
+        assert_eq!(rebuilt.ib_pending_snapshot(), vec![credit]);
+        // Acking removes it, is journaled, and is idempotent.
+        assert!(db.ib_ack(0xC0FFEE));
+        assert!(!db.ib_ack(0xC0FFEE));
+        assert!(db.ib_pending_snapshot().is_empty());
+        let rebuilt = Database::replay(1, 1, &db.journal_snapshot());
+        assert!(rebuilt.ib_pending_snapshot().is_empty());
     }
 
     #[test]

@@ -47,6 +47,11 @@ pub enum BankError {
     AccountNotEmpty(AccountId),
     /// A cross-branch operation referenced an unknown branch.
     UnknownBranch(u16),
+    /// The account lives on another branch; retry against its home branch.
+    NotHomeBranch {
+        /// The branch that actually holds the account.
+        home: u16,
+    },
     /// Arithmetic/record-level failure.
     Record(RurError),
     /// Signature/certificate failure.
@@ -77,6 +82,12 @@ impl fmt::Display for BankError {
                 write!(f, "account {id} still holds funds or locks")
             }
             BankError::UnknownBranch(b) => write!(f, "unknown branch {b:04}"),
+            BankError::NotHomeBranch { home } => {
+                // Keep the branch id as the trailing token: the wire codec
+                // round-trips this variant by parsing it back out of the
+                // message text (see `api::error_from_wire`).
+                write!(f, "account's home branch is {home}")
+            }
             BankError::Record(e) => write!(f, "record error: {e}"),
             BankError::Crypto(e) => write!(f, "crypto error: {e}"),
             BankError::Net(e) => write!(f, "network error: {e}"),

@@ -1,0 +1,544 @@
+//! Wire-level multi-branch federation (§6 over RPC).
+//!
+//! [`crate::branch::InterBank`] settles branches that live in one
+//! process. This module lifts the same protocol onto the network: each
+//! [`crate::server::GridBank`] learns its branch id and a peer directory
+//! (the [`FederationRouter`]), and cross-branch traffic travels as typed
+//! wire messages instead of direct method calls:
+//!
+//! * `IbCredit` — delivers the payee-side credit of a cross-branch
+//!   payment. The sending branch debits the drawer into its clearing
+//!   account and journals a [`PendingIbCredit`] **in the same commit
+//!   batch**, then ships the credit under the durable idempotency key
+//!   from that row. Crash, reconnect, and re-ship all collapse into
+//!   exactly-once delivery via the receiver's dedup cache.
+//! * `IbSettleProposal` / `IbSettleAck` — one §6 netting round for a
+//!   branch pair. The proposer reports its gross outbound flow; each
+//!   side drains its own clearing account; only the net difference
+//!   crosses banks on the external rail.
+//!
+//! The pure arithmetic lives in [`NettingEngine`]; this module owns the
+//! transports, the durable re-ship queue, and the settlement daemon.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+
+use gridbank_crypto::cert::SubjectName;
+use gridbank_rur::Credits;
+
+use crate::accounts::{GbAccounts, IdemKey};
+use crate::admin::GbAdmin;
+use crate::api::{error_from_wire, BankRequest, BankResponse};
+use crate::branch::{
+    clearing_account_for, discover_clearing_accounts, NettingEngine, PairSettlement,
+    SettlementReport, SETTLEMENT_ADMIN,
+};
+use crate::db::{AccountId, PendingIbCredit};
+use crate::error::BankError;
+use crate::resilient::ResilientBankClient;
+use crate::server::GridBank;
+
+/// The administrator identity branch `branch` uses when calling a peer
+/// (delivering credits, proposing settlements, forwarding reads). Peers
+/// authorize it via [`FederationRouter::add_peer`].
+pub fn settlement_identity(branch: u16) -> String {
+    format!("/O=GridBank/OU=Settlement/CN=branch-{branch:04}")
+}
+
+/// One hop to a peer branch. Implementations must turn a wire
+/// [`BankResponse::Error`] back into the typed [`BankError`] (both
+/// provided transports do), so callers can distinguish "the peer said
+/// no" from "the peer was unreachable".
+pub trait PeerTransport: Send + Sync {
+    /// Sends one request, optionally stamped with an idempotency key
+    /// that stays stable across retries of the same logical operation.
+    fn call(&self, idem_key: Option<u64>, request: &BankRequest)
+        -> Result<BankResponse, BankError>;
+}
+
+/// In-process transport: delivers straight into a peer bank's
+/// dispatcher. Used by simulations and tests that federate several
+/// banks inside one process without a network.
+pub struct LocalPeer {
+    bank: Arc<GridBank>,
+    identity: SubjectName,
+}
+
+impl LocalPeer {
+    /// A transport into `bank`, calling as `origin_branch`'s settlement
+    /// identity.
+    pub fn new(bank: Arc<GridBank>, origin_branch: u16) -> Arc<Self> {
+        Arc::new(LocalPeer { bank, identity: SubjectName(settlement_identity(origin_branch)) })
+    }
+}
+
+impl PeerTransport for LocalPeer {
+    fn call(
+        &self,
+        idem_key: Option<u64>,
+        request: &BankRequest,
+    ) -> Result<BankResponse, BankError> {
+        match self.bank.handle_keyed(&self.identity, idem_key, request.clone()) {
+            BankResponse::Error { kind, message } => Err(error_from_wire(kind, message)),
+            resp => Ok(resp),
+        }
+    }
+}
+
+/// Networked transport: a [`ResilientBankClient`] (reconnects, backoff,
+/// circuit breaker) behind a lock so the router can call from any
+/// thread. Keyed calls reuse the caller's stable key on every retry.
+pub struct RemotePeer {
+    client: Mutex<ResilientBankClient>,
+}
+
+impl RemotePeer {
+    /// Wraps an already-configured resilient client.
+    pub fn new(client: ResilientBankClient) -> Arc<Self> {
+        Arc::new(RemotePeer { client: Mutex::new(client) })
+    }
+}
+
+impl PeerTransport for RemotePeer {
+    fn call(
+        &self,
+        idem_key: Option<u64>,
+        request: &BankRequest,
+    ) -> Result<BankResponse, BankError> {
+        let mut client = self.client.lock();
+        match idem_key {
+            Some(key) => client.call_with_stable_key(key, request),
+            None => client.call(request),
+        }
+    }
+}
+
+/// The branch-aware routing layer a federated [`GridBank`] consults for
+/// any request whose target account lives on another branch, plus the
+/// settlement machinery (outbound credit shipping, §6 netting rounds).
+pub struct FederationRouter {
+    local_branch: u16,
+    accounts: GbAccounts,
+    admin: GbAdmin,
+    clearing: Mutex<HashMap<u16, AccountId>>,
+    peers: RwLock<BTreeMap<u16, Arc<dyn PeerTransport>>>,
+}
+
+impl FederationRouter {
+    /// Builds a router over `bank`'s accounts stack and installs it, so
+    /// the dispatcher starts routing foreign-branch requests through it.
+    /// Existing clearing accounts (e.g. restored by journal replay) are
+    /// rediscovered from the certificate index.
+    pub fn install(bank: &Arc<GridBank>) -> Arc<FederationRouter> {
+        bank.admin.add_admin(SETTLEMENT_ADMIN.to_string());
+        let clearing = discover_clearing_accounts(&bank.accounts, bank.branch());
+        let router = Arc::new(FederationRouter {
+            local_branch: bank.branch(),
+            accounts: bank.accounts.clone(),
+            admin: bank.admin.clone(),
+            clearing: Mutex::new(clearing),
+            peers: RwLock::new(BTreeMap::new()),
+        });
+        bank.install_federation(Arc::clone(&router));
+        router
+    }
+
+    /// This router's branch id.
+    pub fn local_branch(&self) -> u16 {
+        self.local_branch
+    }
+
+    /// Registers a route to `peer_branch` and authorizes that branch's
+    /// settlement identity to deliver credits and propose settlements
+    /// here.
+    pub fn add_peer(&self, peer_branch: u16, transport: Arc<dyn PeerTransport>) {
+        self.admin.add_admin(settlement_identity(peer_branch));
+        self.peers.write().insert(peer_branch, transport);
+    }
+
+    /// Known peer branch ids, ascending.
+    pub fn peer_branches(&self) -> Vec<u16> {
+        self.peers.read().keys().copied().collect()
+    }
+
+    fn peer(&self, branch: u16) -> Result<Arc<dyn PeerTransport>, BankError> {
+        self.peers.read().get(&branch).cloned().ok_or(BankError::UnknownBranch(branch))
+    }
+
+    /// The clearing account this branch holds toward `peer` (created or
+    /// rediscovered on first use).
+    pub fn clearing_account(&self, peer: u16) -> Result<AccountId, BankError> {
+        clearing_account_for(&mut self.clearing.lock(), &self.accounts, self.local_branch, peer)
+    }
+
+    /// Balance currently parked in the clearing account toward `peer`.
+    pub fn clearing_balance(&self, peer: u16) -> Credits {
+        self.clearing
+            .lock()
+            .get(&peer)
+            .and_then(|id| self.accounts.account_details(id).ok())
+            .map(|r| r.available)
+            .unwrap_or(Credits::ZERO)
+    }
+
+    /// Parked value backing credits toward `peer` that the peer has not
+    /// acknowledged yet — excluded from settlement drains so money never
+    /// leaves before its credit is delivered.
+    fn pending_toward(&self, peer: u16) -> Credits {
+        self.accounts
+            .db()
+            .ib_pending_snapshot()
+            .into_iter()
+            .filter(|c| c.to.branch == peer)
+            .fold(Credits::ZERO, |acc, c| acc.saturating_add(c.amount))
+    }
+
+    /// A durable, restart-unique key for an outbound credit: branch id
+    /// in the high bits, a journal-replay-monotonic counter below.
+    fn next_credit_key(&self) -> u64 {
+        ((self.local_branch as u64) << 48) | self.accounts.db().allocate_transaction_id()
+    }
+
+    /// Forwards a read to the home branch of its target account.
+    pub fn forward(&self, home: u16, request: &BankRequest) -> Result<BankResponse, BankError> {
+        let peer = self.peer(home)?;
+        gridbank_obs::count("ib.forwarded", 1);
+        peer.call(None, request)
+    }
+
+    /// A cross-branch payment: debits `from` into the clearing account
+    /// toward `to.branch` with the outbound credit journaled in the same
+    /// commit batch, then ships the `IbCredit`. Returns the local
+    /// transaction id.
+    ///
+    /// Failure handling: a typed rejection from the payee's branch
+    /// reverses the clearing debit and fails the payment; an unreachable
+    /// peer leaves the credit pending, to be re-shipped by
+    /// [`FederationRouter::ship_pending`] — the payer's money is safe in
+    /// clearing until delivery.
+    pub fn cross_branch_transfer(
+        &self,
+        from: &AccountId,
+        to: &AccountId,
+        amount: Credits,
+        rur_blob: Vec<u8>,
+        idem: Option<IdemKey>,
+    ) -> Result<u64, BankError> {
+        let mut span = gridbank_obs::span("server.federation", "cross_branch_transfer");
+        span.attr("home", to.branch.to_string());
+        let peer = self.peer(to.branch)?;
+        let clearing = self.clearing_account(to.branch)?;
+        let credit = PendingIbCredit {
+            key: self.next_credit_key(),
+            to: *to,
+            amount,
+            origin: self.local_branch,
+        };
+        let txid = self.accounts.transfer_with_ib_credit(
+            from,
+            &clearing,
+            amount,
+            rur_blob.clone(),
+            idem,
+            credit,
+        )?;
+        match self.ship_credit(peer.as_ref(), &credit, rur_blob) {
+            Ok(()) => {}
+            Err(BankError::Net(_)) => {
+                // Peer unreachable after retries: the journaled pending
+                // row keeps the credit alive for a later re-ship.
+                gridbank_obs::count("ib.credit.stranded", 1);
+                span.attr("delivery", "deferred");
+            }
+            Err(e) => {
+                // The peer answered and said no (payee closed, not
+                // authorized, ...): compensate the clearing debit and
+                // surface the rejection to the payer.
+                self.accounts.db().ib_ack(credit.key);
+                self.accounts.transfer(&clearing, from, amount, Vec::new())?;
+                return Err(e);
+            }
+        }
+        gridbank_obs::count("ib.transfers", 1);
+        gridbank_obs::count("ib.transfers_micro", amount.micro().clamp(0, u64::MAX as i128) as u64);
+        Ok(txid)
+    }
+
+    /// Delivers one credit and acknowledges it on success.
+    fn ship_credit(
+        &self,
+        peer: &dyn PeerTransport,
+        credit: &PendingIbCredit,
+        rur_blob: Vec<u8>,
+    ) -> Result<(), BankError> {
+        let request = BankRequest::IbCredit {
+            to: credit.to,
+            amount: credit.amount,
+            origin_branch: credit.origin,
+            rur_blob,
+        };
+        match peer.call(Some(credit.key), &request)? {
+            BankResponse::Confirmation { .. } => {
+                self.accounts.db().ib_ack(credit.key);
+                Ok(())
+            }
+            other => Err(BankError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Re-ships every unacknowledged outbound credit (crash recovery and
+    /// partition healing). Receiver-side dedup under the durable key
+    /// makes repeats harmless. Returns how many deliveries succeeded.
+    pub fn ship_pending(&self) -> usize {
+        let mut shipped = 0;
+        for credit in self.accounts.db().ib_pending_snapshot() {
+            let Ok(peer) = self.peer(credit.to.branch) else { continue };
+            match self.ship_credit(peer.as_ref(), &credit, Vec::new()) {
+                Ok(()) => shipped += 1,
+                Err(BankError::Net(_)) => {}
+                Err(_) => {
+                    // A typed rejection on a re-ship has no payer context
+                    // left to refund; acknowledge the credit and let the
+                    // parked value leave at the next settlement drain.
+                    gridbank_obs::count("ib.credit.rejected", 1);
+                    self.accounts.db().ib_ack(credit.key);
+                }
+            }
+        }
+        shipped
+    }
+
+    /// Applies an inbound `IbCredit`: credits the payee against the
+    /// origin branch's liability. `caller` is the origin's settlement
+    /// identity (authorized by [`FederationRouter::add_peer`]).
+    pub fn apply_ib_credit(
+        &self,
+        caller: &str,
+        to: &AccountId,
+        amount: Credits,
+        origin_branch: u16,
+    ) -> Result<u64, BankError> {
+        // Ensure the mirrored clearing account exists: it absorbs this
+        // branch's own outbound flow toward the origin at settlement.
+        self.clearing_account(origin_branch)?;
+        let txid = self.admin.deposit(caller, to, amount)?;
+        gridbank_obs::count("ib.credits_applied", 1);
+        Ok(txid)
+    }
+
+    /// Answers an inbound `IbSettleProposal` from `origin_branch`: drains
+    /// this branch's delivered clearing balance toward the origin and
+    /// reports it as the gross return flow.
+    pub fn apply_settle_proposal(&self, origin_branch: u16) -> Result<Credits, BankError> {
+        let clearing = self.clearing_account(origin_branch)?;
+        let parked = self.accounts.account_details(&clearing)?.available;
+        let gross_back = parked.saturating_add(-self.pending_toward(origin_branch));
+        if gross_back.is_positive() {
+            self.admin.withdraw(SETTLEMENT_ADMIN, &clearing, gross_back)?;
+        }
+        Ok(if gross_back.is_positive() { gross_back } else { Credits::ZERO })
+    }
+
+    /// One §6 netting round over RPC: re-ships stranded credits, then
+    /// proposes a settlement to every peer, draining both sides'
+    /// clearing accounts so only the net difference crosses banks.
+    pub fn settle_once(&self) -> Result<SettlementReport, BankError> {
+        let mut span = gridbank_obs::span("server.federation", "settle_once");
+        self.ship_pending();
+        let peers: Vec<(u16, Arc<dyn PeerTransport>)> =
+            self.peers.read().iter().map(|(b, t)| (*b, Arc::clone(t))).collect();
+        let mut report = SettlementReport::default();
+        for (peer_branch, transport) in peers {
+            let clearing = self.clearing_account(peer_branch)?;
+            let parked = self.accounts.account_details(&clearing)?.available;
+            let gross_out = parked.saturating_add(-self.pending_toward(peer_branch));
+            let gross_out = if gross_out.is_positive() { gross_out } else { Credits::ZERO };
+            let proposal =
+                BankRequest::IbSettleProposal { origin_branch: self.local_branch, gross_out };
+            let ack = match transport.call(Some(self.next_credit_key()), &proposal) {
+                Ok(BankResponse::IbSettleAck { gross_back }) => gross_back,
+                Ok(other) => {
+                    return Err(BankError::Protocol(format!("unexpected response {other:?}")))
+                }
+                Err(BankError::Net(_)) => continue, // peer down: settle next round
+                Err(e) => return Err(e),
+            };
+            if gross_out.is_positive() {
+                self.admin.withdraw(SETTLEMENT_ADMIN, &clearing, gross_out)?;
+            }
+            if !gross_out.is_positive() && !ack.is_positive() {
+                continue;
+            }
+            let pair = NettingEngine::pair(self.local_branch, peer_branch, gross_out, ack);
+            gridbank_obs::count(
+                "ib.settle.gross",
+                pair.gross_a_to_b
+                    .saturating_add(pair.gross_b_to_a)
+                    .micro()
+                    .clamp(0, u64::MAX as i128) as u64,
+            );
+            gridbank_obs::count(
+                "ib.settle.net",
+                pair.net.abs().micro().clamp(0, u64::MAX as i128) as u64,
+            );
+            gridbank_obs::count("ib.settle.rounds", 1);
+            report.pairs.push(pair);
+        }
+        span.attr("pairs", report.pairs.len().to_string());
+        Ok(report)
+    }
+
+    /// Per-pair settlement preview without draining anything: the pairs
+    /// a settlement round *would* produce from current clearing
+    /// balances. Diagnostics (`gridbank branches`).
+    pub fn settlement_preview(&self) -> Vec<PairSettlement> {
+        self.peer_branches()
+            .into_iter()
+            .map(|peer| {
+                NettingEngine::pair(
+                    self.local_branch,
+                    peer,
+                    self.clearing_balance(peer),
+                    Credits::ZERO,
+                )
+            })
+            .collect()
+    }
+
+    /// Starts the settlement daemon: a thread running
+    /// [`FederationRouter::settle_once`] every `interval` until the
+    /// returned handle is dropped.
+    pub fn start_daemon(self: &Arc<Self>, interval: Duration) -> SettlementDaemon {
+        let router = Arc::clone(self);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                std::thread::park_timeout(interval);
+                if stop_flag.load(Ordering::Relaxed) {
+                    break;
+                }
+                if router.settle_once().is_err() {
+                    gridbank_obs::count("ib.settle.daemon_errors", 1);
+                }
+            }
+        });
+        SettlementDaemon { stop, handle: Some(handle) }
+    }
+}
+
+/// Handle to the periodic settlement thread; dropping it stops the
+/// daemon and joins the thread.
+pub struct SettlementDaemon {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for SettlementDaemon {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Clock;
+    use crate::server::{GateMode, GridBankConfig};
+
+    const ADMIN: &str = "/O=GridBank/OU=Admin/CN=operator";
+
+    fn federated_pair(
+    ) -> (Arc<GridBank>, Arc<GridBank>, Arc<FederationRouter>, Arc<FederationRouter>) {
+        let clock = Clock::new();
+        let mk = |branch: u16| {
+            Arc::new(GridBank::new(
+                GridBankConfig {
+                    branch,
+                    signer_height: 6,
+                    gate_mode: GateMode::AllowEnrollment,
+                    ..GridBankConfig::default()
+                },
+                clock.clone(),
+            ))
+        };
+        let (a, b) = (mk(1), mk(2));
+        let ra = FederationRouter::install(&a);
+        let rb = FederationRouter::install(&b);
+        ra.add_peer(2, LocalPeer::new(Arc::clone(&b), 1));
+        rb.add_peer(1, LocalPeer::new(Arc::clone(&a), 2));
+        (a, b, ra, rb)
+    }
+
+    fn open_funded(bank: &GridBank, cert: &str, gd: i64) -> AccountId {
+        let id = bank.accounts.create_account(cert, None).unwrap();
+        if gd > 0 {
+            bank.admin.deposit(ADMIN, &id, Credits::from_gd(gd)).unwrap();
+        }
+        id
+    }
+
+    #[test]
+    fn cross_branch_transfer_credits_payee_and_acks() {
+        let (a, b, ra, _rb) = federated_pair();
+        let alice = open_funded(&a, "/CN=alice", 100);
+        let gsp = open_funded(&b, "/CN=gsp", 0);
+        ra.cross_branch_transfer(&alice, &gsp, Credits::from_gd(30), vec![], None).unwrap();
+        assert_eq!(a.accounts.account_details(&alice).unwrap().available, Credits::from_gd(70));
+        assert_eq!(b.accounts.account_details(&gsp).unwrap().available, Credits::from_gd(30));
+        assert_eq!(ra.clearing_balance(2), Credits::from_gd(30));
+        // Delivered: nothing pending for re-ship.
+        assert!(a.accounts.db().ib_pending_snapshot().is_empty());
+    }
+
+    #[test]
+    fn settle_round_nets_and_zeroes_clearing() {
+        let (a, b, ra, rb) = federated_pair();
+        let alice = open_funded(&a, "/CN=alice", 100);
+        let gsp = open_funded(&b, "/CN=gsp", 50);
+        ra.cross_branch_transfer(&alice, &gsp, Credits::from_gd(30), vec![], None).unwrap();
+        rb.cross_branch_transfer(&gsp, &alice, Credits::from_gd(12), vec![], None).unwrap();
+
+        let report = ra.settle_once().unwrap();
+        assert_eq!(report.pairs.len(), 1);
+        let p = &report.pairs[0];
+        assert_eq!(p.gross_a_to_b, Credits::from_gd(30));
+        assert_eq!(p.gross_b_to_a, Credits::from_gd(12));
+        assert_eq!(p.net, Credits::from_gd(18));
+        assert_eq!(ra.clearing_balance(2), Credits::ZERO);
+        assert_eq!(rb.clearing_balance(1), Credits::ZERO);
+        // Nothing left: a second round settles no pairs.
+        assert!(ra.settle_once().unwrap().pairs.is_empty());
+        assert!(rb.settle_once().unwrap().pairs.is_empty());
+        // Global books: 150 initial, minted 42 at delivery, drained 42.
+        let total = a.total_funds().saturating_add(b.total_funds());
+        assert_eq!(total, Credits::from_gd(150));
+    }
+
+    #[test]
+    fn typed_rejection_compensates_the_drawer() {
+        let (a, b, ra, _rb) = federated_pair();
+        let alice = open_funded(&a, "/CN=alice", 100);
+        // Payee account never opened on branch 2.
+        let ghost = AccountId::new(1, 2, 999);
+        let err = ra.cross_branch_transfer(&alice, &ghost, Credits::from_gd(10), vec![], None);
+        assert!(err.is_err());
+        assert_eq!(a.accounts.account_details(&alice).unwrap().available, Credits::from_gd(100));
+        assert_eq!(ra.clearing_balance(2), Credits::ZERO);
+        assert!(a.accounts.db().ib_pending_snapshot().is_empty());
+        assert_eq!(b.total_funds(), Credits::ZERO);
+    }
+
+    #[test]
+    fn settlement_identity_is_stable() {
+        assert_eq!(settlement_identity(3), "/O=GridBank/OU=Settlement/CN=branch-0003");
+    }
+}

@@ -27,6 +27,9 @@
 //!   resource value and barter-balance statistics.
 //! * [`branch`] — §6 future work, implemented: one GridBank branch per
 //!   Virtual Organization with netted inter-branch settlement.
+//! * [`federation`] — the §6 protocol on the wire: branch-aware request
+//!   routing, exactly-once `IbCredit` delivery, and a settlement daemon
+//!   netting clearing accounts over RPC.
 //! * [`clock`] — the virtual clock every time-dependent component reads.
 //!
 //! Money is exact fixed-point ([`gridbank_rur::Credits`]); every transfer
@@ -43,6 +46,7 @@ pub mod coop;
 pub mod db;
 pub mod direct;
 pub mod error;
+pub mod federation;
 pub mod guarantee;
 pub mod payword;
 pub mod port;
@@ -61,6 +65,9 @@ pub use db::{
     TransferRecord,
 };
 pub use error::BankError;
+pub use federation::{
+    settlement_identity, FederationRouter, LocalPeer, PeerTransport, RemotePeer, SettlementDaemon,
+};
 pub use payword::{GridHashChain, PayWord};
 pub use resilient::{BackoffSleep, ResilientBankClient};
 pub use server::{GridBank, GridBankConfig, GridBankServer, ServerTuning};

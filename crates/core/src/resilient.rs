@@ -144,6 +144,26 @@ impl ResilientBankClient {
     /// safe to repeat).
     pub fn call(&mut self, request: &BankRequest) -> Result<BankResponse, BankError> {
         let key = if request.is_mutating() { Some(self.fresh_key()) } else { None };
+        self.call_inner(key, request)
+    }
+
+    /// [`ResilientBankClient::call`] under a caller-supplied idempotency
+    /// key. The federation layer re-ships journaled `IbCredit`s under
+    /// the durable key from their pending row, so a delivery retried
+    /// across crashes still dedups against the original.
+    pub fn call_with_stable_key(
+        &mut self,
+        key: u64,
+        request: &BankRequest,
+    ) -> Result<BankResponse, BankError> {
+        self.call_inner(Some(key), request)
+    }
+
+    fn call_inner(
+        &mut self,
+        key: Option<u64>,
+        request: &BankRequest,
+    ) -> Result<BankResponse, BankError> {
         let mut schedule = self.policy.schedule();
         loop {
             self.breaker.admit(self.clock.now_ms()).map_err(BankError::Net)?;

@@ -123,6 +123,9 @@ pub struct GridBank {
     /// the dedup cache instead of re-applying.
     in_flight_keys: Mutex<HashSet<(String, u64)>>,
     key_released: Condvar,
+    /// Branch-aware routing (§6 federation). `None` means standalone:
+    /// foreign-branch requests answer `NotHomeBranch` redirects.
+    federation: RwLock<Option<Arc<crate::federation::FederationRouter>>>,
 }
 
 impl GridBank {
@@ -173,6 +176,32 @@ impl GridBank {
             descriptions: RwLock::new(HashMap::new()),
             in_flight_keys: Mutex::new(HashSet::new()),
             key_released: Condvar::new(),
+            federation: RwLock::new(None),
+        }
+    }
+
+    /// Installs the federation router; usually via
+    /// [`crate::federation::FederationRouter::install`].
+    pub fn install_federation(&self, router: Arc<crate::federation::FederationRouter>) {
+        *self.federation.write() = Some(router);
+    }
+
+    /// The installed federation router, if any.
+    pub fn federation(&self) -> Option<Arc<crate::federation::FederationRouter>> {
+        self.federation.read().clone()
+    }
+
+    /// Routes a request targeting an account homed on `home`: forwarded
+    /// over the federation when a router is installed, otherwise
+    /// answered with a typed redirect the client can follow itself.
+    fn forward_or_redirect(
+        &self,
+        home: u16,
+        request: BankRequest,
+    ) -> Result<BankResponse, BankError> {
+        match self.federation() {
+            Some(router) => router.forward(home, &request),
+            None => Err(BankError::NotHomeBranch { home }),
         }
     }
 
@@ -372,6 +401,12 @@ impl GridBank {
                 Ok(BankResponse::Account(self.accounts.account_by_cert(caller_cert)?))
             }
             BankRequest::AccountDetails { account } => {
+                if account.branch != self.config.branch {
+                    return self.forward_or_redirect(
+                        account.branch,
+                        BankRequest::AccountDetails { account },
+                    );
+                }
                 self.require_owner_or_admin(caller_cert, &account)?;
                 Ok(BankResponse::Account(self.accounts.account_details(&account)?))
             }
@@ -384,6 +419,12 @@ impl GridBank {
                 Ok(BankResponse::Confirmation { transaction_id: 0 })
             }
             BankRequest::Statement { account, start_ms, end_ms } => {
+                if account.branch != self.config.branch {
+                    return self.forward_or_redirect(
+                        account.branch,
+                        BankRequest::Statement { account, start_ms, end_ms },
+                    );
+                }
                 self.require_owner_or_admin(caller_cert, &account)?;
                 let st = self.accounts.statement(&account, start_ms, end_ms)?;
                 Ok(BankResponse::Statement {
@@ -409,6 +450,29 @@ impl GridBank {
                         BankResponse::Confirmation { transaction_id: txid }.to_bytes()
                     },
                 });
+                if to.branch != self.config.branch {
+                    // Foreign payee: debit into clearing and ship the
+                    // credit to the home branch (or redirect when this
+                    // bank is not federated).
+                    let Some(router) = self.federation() else {
+                        return Err(BankError::NotHomeBranch { home: to.branch });
+                    };
+                    let transaction_id =
+                        router.cross_branch_transfer(&from, &to, amount, Vec::new(), idem)?;
+                    let body = crate::direct::ConfirmationBody {
+                        transaction_id,
+                        drawer: from,
+                        recipient: to,
+                        amount,
+                        date_ms: now,
+                        recipient_address,
+                    };
+                    let signature = self.signer.sign(&body.to_bytes())?;
+                    return Ok(BankResponse::Confirmed(crate::direct::TransferConfirmation {
+                        body,
+                        signature,
+                    }));
+                }
                 let conf = crate::direct::direct_transfer_keyed(
                     &self.accounts,
                     &self.signer,
@@ -524,6 +588,34 @@ impl GridBank {
             BankRequest::AdminCloseAccount { account, transfer_to } => {
                 self.admin.close_account(caller_cert, &account, transfer_to)?;
                 Ok(BankResponse::Confirmation { transaction_id: 0 })
+            }
+            BankRequest::IbCredit { to, amount, origin_branch, rur_blob: _ } => {
+                let router = self.federation().ok_or_else(|| {
+                    BankError::Protocol("bank is not part of a federation".into())
+                })?;
+                if !self.admin.is_admin(caller_cert) {
+                    return Err(BankError::NotAuthorized(format!(
+                        "`{caller_cert}` may not deliver inter-branch credits"
+                    )));
+                }
+                if to.branch != self.config.branch {
+                    return Err(BankError::NotHomeBranch { home: to.branch });
+                }
+                let txid = router.apply_ib_credit(caller_cert, &to, amount, origin_branch)?;
+                Ok(BankResponse::Confirmation { transaction_id: txid })
+            }
+            BankRequest::IbSettleProposal { origin_branch, gross_out } => {
+                let router = self.federation().ok_or_else(|| {
+                    BankError::Protocol("bank is not part of a federation".into())
+                })?;
+                if !self.admin.is_admin(caller_cert) {
+                    return Err(BankError::NotAuthorized(format!(
+                        "`{caller_cert}` may not propose settlements"
+                    )));
+                }
+                layer_span.attr("gross_out", gross_out.to_string());
+                let gross_back = router.apply_settle_proposal(origin_branch)?;
+                Ok(BankResponse::IbSettleAck { gross_back })
             }
         }
     }

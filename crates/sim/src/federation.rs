@@ -1,0 +1,218 @@
+//! Multi-branch federation scenario (§6).
+//!
+//! Builds N GridBank branches — one per Virtual Organization — wires
+//! them into a full mesh with [`FederationRouter`]s, drives seeded
+//! cross-VO payment traffic through the *server dispatch path* (so every
+//! payment exercises the clearing-account debit plus the exactly-once
+//! `IbCredit` hand-off), then runs the netting pass and reports
+//! gross→net compression and conservation evidence. Deterministic under
+//! the seed.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gridbank_core::clock::Clock;
+use gridbank_core::federation::{FederationRouter, LocalPeer};
+use gridbank_core::server::{GridBank, GridBankConfig};
+use gridbank_core::{AccountId, BankRequest, BankResponse};
+use gridbank_crypto::cert::SubjectName;
+use gridbank_rur::Credits;
+
+const OPERATOR: &str = "/O=GridBank/OU=Admin/CN=operator";
+
+/// Federation scenario parameters.
+#[derive(Clone, Debug)]
+pub struct FederationConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Branch (VO) count; full-mesh federated.
+    pub branches: u16,
+    /// Funded member accounts per branch.
+    pub members_per_branch: usize,
+    /// Cross-branch payment attempts (same-branch draws are skipped).
+    pub payments: usize,
+    /// Initial balance per member, whole G$.
+    pub initial_gd: i64,
+    /// Bank signer height (2^h instruments).
+    pub signer_height: usize,
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        FederationConfig {
+            seed: 0xFEDE,
+            branches: 3,
+            members_per_branch: 2,
+            payments: 60,
+            initial_gd: 1_000,
+            signer_height: 8,
+        }
+    }
+}
+
+/// What the scenario measured.
+#[derive(Clone, Debug)]
+pub struct FederationReport {
+    /// Cross-branch payments that actually ran.
+    pub payments: u32,
+    /// Sum of amounts sent (equals clearing gross before netting).
+    pub gross: Credits,
+    /// Net obligations moved by the settlement pass.
+    pub net: Credits,
+    /// Σ funds across all branches before traffic.
+    pub initial_total: Credits,
+    /// Σ funds across all branches after settlement.
+    pub final_total: Credits,
+    /// Σ |clearing balances| after settlement (must be zero).
+    pub residual_clearing: Credits,
+    /// Outbound credits still unacknowledged after settlement.
+    pub pending_after: usize,
+}
+
+impl FederationReport {
+    /// Eager payee credits exactly offset by clearing drains?
+    pub fn conserved(&self) -> bool {
+        self.initial_total == self.final_total
+    }
+}
+
+fn expect_account(reply: BankResponse) -> AccountId {
+    match reply {
+        BankResponse::AccountCreated { account } => account,
+        other => panic!("account creation failed: {other:?}"),
+    }
+}
+
+/// Runs the scenario; see module docs.
+pub fn run_federation(cfg: &FederationConfig) -> FederationReport {
+    assert!(cfg.branches >= 2, "a federation needs at least two branches");
+    let clock = Clock::new();
+    let banks: Vec<Arc<GridBank>> = (1..=cfg.branches)
+        .map(|b| {
+            Arc::new(GridBank::new(
+                GridBankConfig {
+                    branch: b,
+                    signer_height: cfg.signer_height,
+                    key_material: gridbank_crypto::keys::KeyMaterial {
+                        seed: cfg.seed ^ (b as u64),
+                    },
+                    ..GridBankConfig::default()
+                },
+                clock.clone(),
+            ))
+        })
+        .collect();
+    let routers: Vec<_> = banks.iter().map(FederationRouter::install).collect();
+    for (i, router) in routers.iter().enumerate() {
+        for (j, bank) in banks.iter().enumerate() {
+            if i != j {
+                router.add_peer((j + 1) as u16, LocalPeer::new(Arc::clone(bank), (i + 1) as u16));
+            }
+        }
+    }
+
+    let operator = SubjectName(OPERATOR.into());
+    let mut members: Vec<Vec<(SubjectName, AccountId)>> = Vec::new();
+    for (i, bank) in banks.iter().enumerate() {
+        let mut branch_members = Vec::new();
+        for m in 0..cfg.members_per_branch {
+            let subject = SubjectName::new(&format!("vo-{}", i + 1), "Members", &format!("m{m}"));
+            let account = expect_account(
+                bank.handle(&subject, BankRequest::CreateAccount { organization: None }),
+            );
+            bank.handle(
+                &operator,
+                BankRequest::AdminDeposit { account, amount: Credits::from_gd(cfg.initial_gd) },
+            );
+            branch_members.push((subject, account));
+        }
+        members.push(branch_members);
+    }
+    let initial_total =
+        banks.iter().map(|b| b.total_funds()).fold(Credits::ZERO, |a, c| a.saturating_add(c));
+
+    // Seeded cross-VO traffic through the dispatch path.
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut gross = Credits::ZERO;
+    let mut sent = 0u32;
+    for k in 0..cfg.payments {
+        let from_branch = rng.random_range(0..cfg.branches as usize);
+        let to_branch = rng.random_range(0..cfg.branches as usize);
+        if from_branch == to_branch {
+            continue;
+        }
+        let (drawer, _) = &members[from_branch][rng.random_range(0..cfg.members_per_branch)];
+        let (_, payee) = members[to_branch][rng.random_range(0..cfg.members_per_branch)];
+        let amount = Credits::from_milli(rng.random_range(100..5_000));
+        let reply = banks[from_branch].handle_keyed(
+            drawer,
+            Some((cfg.seed << 16) ^ k as u64),
+            BankRequest::DirectTransfer {
+                to: payee,
+                amount,
+                recipient_address: format!("member.vo{}.org", to_branch + 1),
+            },
+        );
+        assert!(matches!(reply, BankResponse::Confirmed(_)), "payment {k} refused: {reply:?}");
+        gross = gross.saturating_add(amount);
+        sent += 1;
+    }
+
+    // §6 netting: every branch settles what it owes.
+    let mut net = Credits::ZERO;
+    for router in &routers {
+        let report = router.settle_once().expect("settlement");
+        net = net.saturating_add(report.total_net());
+    }
+
+    let final_total =
+        banks.iter().map(|b| b.total_funds()).fold(Credits::ZERO, |a, c| a.saturating_add(c));
+    let mut residual_clearing = Credits::ZERO;
+    let mut pending_after = 0;
+    for (i, router) in routers.iter().enumerate() {
+        for peer in router.peer_branches() {
+            residual_clearing =
+                residual_clearing.saturating_add(router.clearing_balance(peer).abs());
+        }
+        pending_after += banks[i].accounts.db().ib_pending_snapshot().len();
+    }
+
+    FederationReport {
+        payments: sent,
+        gross,
+        net,
+        initial_total,
+        final_total,
+        residual_clearing,
+        pending_after,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn federation_traffic_conserves_and_nets() {
+        let report = run_federation(&FederationConfig::default());
+        assert!(report.payments > 10);
+        assert!(report.net <= report.gross, "netting never exceeds gross: {report:?}");
+        assert!(report.conserved(), "funds not conserved: {report:?}");
+        assert_eq!(report.residual_clearing, Credits::ZERO, "{report:?}");
+        assert_eq!(report.pending_after, 0, "{report:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = FederationConfig { payments: 30, ..FederationConfig::default() };
+        let a = run_federation(&cfg);
+        let b = run_federation(&cfg);
+        assert_eq!(a.payments, b.payments);
+        assert_eq!(a.gross, b.gross);
+        assert_eq!(a.net, b.net);
+        let c = run_federation(&FederationConfig { seed: 7, ..cfg });
+        assert_ne!(a.gross, c.gross, "different seeds should draw different traffic");
+    }
+}

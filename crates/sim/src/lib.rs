@@ -21,9 +21,13 @@
 //! * [`chaos`] — the E15 fault-injection harness: Figure-1 payment flows
 //!   over a seeded lossy network, with conservation evidence for the
 //!   exactly-once guarantees (see `docs/RESILIENCE.md`).
+//! * [`federation`] — the §6 multi-branch scenario: N federated
+//!   branches, seeded cross-VO traffic, netting settlement, and
+//!   conservation evidence.
 
 pub mod chaos;
 pub mod engine;
+pub mod federation;
 pub mod metrics;
 pub mod scenario;
 pub mod topology;
@@ -31,6 +35,7 @@ pub mod workload;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use engine::Simulator;
+pub use federation::{run_federation, FederationConfig, FederationReport};
 pub use scenario::{CoopReport, GridScenario, MarketReport, ScenarioConfig};
 pub use topology::{build_grid, TopologyConfig};
 pub use workload::{JobSizeDistribution, WorkloadConfig, WorkloadEvent};

@@ -59,4 +59,15 @@ else
 fi
 rm -f "$smoke_out"
 
+# Federation smoke (§6): two live branch servers, cross-branch payments
+# over RPC, one netting pass. `gridbank settle` exits non-zero itself
+# unless every clearing account nets to zero with no stranded credits.
+echo "== federation smoke (docs/PROTOCOLS.md §5)"
+fed_out="$(./target/release/gridbank settle --branches 2 --payments 2)"
+echo "$fed_out"
+grep -q "clearing accounts net to zero" <<<"$fed_out" || {
+  echo "federation smoke: settlement did not net to zero" >&2
+  exit 1
+}
+
 echo "== all checks passed"

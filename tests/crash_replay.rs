@@ -278,6 +278,133 @@ fn failed_group_commit_member_never_reaches_the_journal() {
 }
 
 #[test]
+fn replay_rediscovers_clearing_accounts_and_reships_pending_credits() {
+    // A cross-branch payment parks the amount in the drawer branch's
+    // clearing account and journals a pending IbCredit. If the branch
+    // crashes before the peer acknowledges, replay must (1) rediscover
+    // the existing Clearing/CN=branch-A-vs-B account instead of lazily
+    // creating a duplicate, and (2) rebuild the pending credit so the
+    // re-ship delivers it exactly once.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    use gridbank_suite::bank::api::{BankRequest, BankResponse};
+    use gridbank_suite::bank::federation::{FederationRouter, LocalPeer, PeerTransport};
+    use gridbank_suite::bank::server::{GridBank, GridBankConfig};
+    use gridbank_suite::bank::BankError;
+    use gridbank_suite::crypto::cert::SubjectName;
+    use gridbank_suite::net::error::NetError;
+
+    /// A peer link with a breakable wire: while `down`, every call fails
+    /// like a dead network — after the underlying delivery may or may
+    /// not have happened, which is exactly the ambiguity the pending
+    /// journal must survive.
+    struct FlakyPeer {
+        inner: Arc<LocalPeer>,
+        down: AtomicBool,
+    }
+    impl PeerTransport for FlakyPeer {
+        fn call(
+            &self,
+            idem_key: Option<u64>,
+            request: &BankRequest,
+        ) -> Result<BankResponse, BankError> {
+            if self.down.load(Ordering::Relaxed) {
+                return Err(BankError::Net(NetError::Disconnected));
+            }
+            self.inner.call(idem_key, request)
+        }
+    }
+
+    let config =
+        |branch: u16| GridBankConfig { branch, signer_height: 6, ..GridBankConfig::default() };
+    let clock = Clock::new();
+    let home = Arc::new(GridBank::new(config(1), clock.clone()));
+    let remote = Arc::new(GridBank::new(config(2), clock.clone()));
+    let home_router = FederationRouter::install(&home);
+    let remote_router = FederationRouter::install(&remote);
+    remote_router.add_peer(1, LocalPeer::new(Arc::clone(&home), 2));
+    let link = Arc::new(FlakyPeer {
+        inner: LocalPeer::new(Arc::clone(&remote), 1),
+        down: AtomicBool::new(false),
+    });
+    home_router.add_peer(2, Arc::clone(&link) as Arc<dyn PeerTransport>);
+
+    let alice = SubjectName::new("Org", "Unit", "alice");
+    let bob = SubjectName::new("Org", "Unit", "bob");
+    let operator = SubjectName("/O=GridBank/OU=Admin/CN=operator".into());
+    let open = |bank: &GridBank, s: &SubjectName| match bank
+        .handle(s, BankRequest::CreateAccount { organization: None })
+    {
+        BankResponse::AccountCreated { account } => account,
+        other => panic!("create failed: {other:?}"),
+    };
+    let alice_account = open(&home, &alice);
+    let bob_account = open(&remote, &bob);
+    home.handle(
+        &operator,
+        BankRequest::AdminDeposit { account: alice_account, amount: Credits::from_gd(100) },
+    );
+
+    // First payment delivers normally and establishes the clearing
+    // account; then the wire dies and a second payment strands its
+    // credit in the pending set.
+    let pay = |key: u64| {
+        home.handle_keyed(
+            &alice,
+            Some(key),
+            BankRequest::DirectTransfer {
+                to: bob_account,
+                amount: Credits::from_gd(10),
+                recipient_address: "bob.grid.org".into(),
+            },
+        )
+    };
+    assert!(matches!(pay(1), BankResponse::Confirmed(_)));
+    link.down.store(true, Ordering::Relaxed);
+    assert!(matches!(pay(2), BankResponse::Confirmed(_)), "stranded ship still confirms locally");
+    let clearing = home_router.clearing_account(2).unwrap();
+    assert_eq!(home_router.clearing_balance(2), Credits::from_gd(20));
+    assert_eq!(home.accounts.db().ib_pending_snapshot().len(), 1);
+    let accounts_before = home.accounts.db().account_count();
+
+    // Crash the home branch: only the journal survives.
+    let journal = home.journal_snapshot();
+    let rebuilt = Arc::new(GridBank::from_journal(config(1), Clock::new(), &journal));
+    let rebuilt_router = FederationRouter::install(&rebuilt);
+    rebuilt_router.add_peer(2, LocalPeer::new(Arc::clone(&remote), 1));
+
+    // Rediscovery, not re-creation: same clearing account id, no
+    // duplicate Clearing/CN rows.
+    assert_eq!(rebuilt_router.clearing_account(2).unwrap(), clearing);
+    assert_eq!(rebuilt.accounts.db().account_count(), accounts_before);
+    assert_eq!(rebuilt_router.clearing_balance(2), Credits::from_gd(20));
+
+    // The pending credit survived replay and re-ships exactly once.
+    assert_eq!(rebuilt.accounts.db().ib_pending_snapshot().len(), 1);
+    assert_eq!(rebuilt_router.ship_pending(), 1);
+    assert!(rebuilt.accounts.db().ib_pending_snapshot().is_empty());
+    let bob_balance = || {
+        remote
+            .all_accounts()
+            .into_iter()
+            .find(|r| r.id == bob_account)
+            .expect("bob exists")
+            .available
+    };
+    assert_eq!(bob_balance(), Credits::from_gd(20), "both credits applied exactly once");
+
+    // Idempotent: a second re-ship pass (or a retry of the first) finds
+    // nothing and changes nothing — the dedup key rode along.
+    assert_eq!(rebuilt_router.ship_pending(), 0);
+    assert_eq!(bob_balance(), Credits::from_gd(20));
+
+    // And a crash *after* the ack replays to an empty pending set.
+    let rebuilt2 = GridBank::from_journal(config(1), Clock::new(), &rebuilt.journal_snapshot());
+    assert!(rebuilt2.accounts.db().ib_pending_snapshot().is_empty());
+}
+
+#[test]
 fn empty_and_corrupt_journals_are_handled() {
     let empty = Database::replay(1, 1, &[]);
     assert_eq!(empty.account_count(), 0);

@@ -117,6 +117,274 @@ fn settlement_rounds_compose() {
     assert_eq!(ib.total_funds(), Credits::from_gd(3_000));
 }
 
+mod wire {
+    //! Wire-level chaos variant: two live branch servers federated over
+    //! an RPC link that a seeded [`FaultInjector`] drops, duplicates,
+    //! reorders, and resets. Payments cross branches *during* the storm
+    //! (so inline `IbCredit` shipping suffers the faults too); once the
+    //! network heals, settlement must leave conservation intact, every
+    //! credit applied exactly once, and zero stranded clearing.
+
+    use std::sync::Arc;
+
+    use gridbank_suite::bank::api::{BankRequest, BankResponse};
+    use gridbank_suite::bank::client::GridBankClient;
+    use gridbank_suite::bank::clock::Clock;
+    use gridbank_suite::bank::db::TransactionType;
+    use gridbank_suite::bank::federation::{FederationRouter, RemotePeer};
+    use gridbank_suite::bank::port::BankPort;
+    use gridbank_suite::bank::resilient::{Connector, ResilientBankClient};
+    use gridbank_suite::bank::server::{
+        GateMode, GridBank, GridBankConfig, GridBankServer, ServerCredentials,
+    };
+    use gridbank_suite::bank::BankError;
+    use gridbank_suite::crypto::cert::{create_proxy, CertificateAuthority, SubjectName};
+    use gridbank_suite::crypto::keys::{KeyMaterial, SigningIdentity};
+    use gridbank_suite::crypto::rng::DeterministicStream;
+    use gridbank_suite::net::fault::{FaultInjector, FaultPlan, FaultRates};
+    use gridbank_suite::net::retry::{CircuitBreaker, RetryPolicy};
+    use gridbank_suite::net::transport::{Address, Network};
+    use gridbank_suite::rur::Credits;
+
+    const FAULT_RATE_PM: u32 = 160;
+
+    fn seeds() -> Vec<u64> {
+        if let Ok(s) = std::env::var("CHAOS_SEED") {
+            return vec![s.parse().expect("CHAOS_SEED must be a u64")];
+        }
+        vec![7, 23]
+    }
+
+    struct Federation {
+        network: Network,
+        ca: CertificateAuthority,
+        clock: Clock,
+        banks: Vec<Arc<GridBank>>,
+        routers: Vec<Arc<FederationRouter>>,
+        injector: Arc<FaultInjector>,
+        _servers: Vec<GridBankServer>,
+    }
+
+    fn branch_address(b: u16) -> Address {
+        Address::new(format!("branch-{b}"))
+    }
+
+    fn build(seed: u64) -> Federation {
+        let ca = CertificateAuthority::new(
+            SubjectName::new("GridBank", "CA", "Root"),
+            SigningIdentity::generate_small(KeyMaterial { seed: 1 }, "ca"),
+        );
+        let clock = Clock::new();
+        let network = Network::new();
+        let injector =
+            FaultInjector::new(FaultPlan::symmetric(seed, FaultRates::uniform(FAULT_RATE_PM)));
+        network.install_faults(Arc::clone(&injector));
+        let mut banks = Vec::new();
+        let mut servers = Vec::new();
+        for b in 1..=2u16 {
+            let bank = Arc::new(GridBank::new(
+                GridBankConfig {
+                    branch: b,
+                    gate_mode: GateMode::AllowEnrollment,
+                    signer_height: 9,
+                    key_material: KeyMaterial { seed: 0xB4A2 ^ b as u64 },
+                    ..GridBankConfig::default()
+                },
+                clock.clone(),
+            ));
+            let identity =
+                Arc::new(SigningIdentity::generate(KeyMaterial { seed: 2 + b as u64 }, "tls"));
+            let cert = ca
+                .issue(
+                    SubjectName::new("GridBank", "Server", &format!("branch-{b:04}")),
+                    identity.verifying_key(),
+                    0,
+                    u64::MAX / 2,
+                )
+                .unwrap();
+            let server = GridBankServer::start(
+                &network,
+                branch_address(b),
+                Arc::clone(&bank),
+                ServerCredentials { certificate: cert, identity, ca_key: ca.verifying_key() },
+                b as u64,
+            )
+            .unwrap();
+            banks.push(bank);
+            servers.push(server);
+        }
+        let routers: Vec<_> = banks.iter().map(FederationRouter::install).collect();
+        let fed = Federation { network, ca, clock, banks, routers, injector, _servers: servers };
+        for from in 1..=2u16 {
+            let to = 3 - from;
+            let dn = SubjectName::new("GridBank", "Settlement", &format!("branch-{from:04}"));
+            let client = resilient(&fed, &dn, to, 0x5E77 ^ (from as u64) << 8);
+            fed.routers[(from - 1) as usize].add_peer(to, RemotePeer::new(client));
+        }
+        fed
+    }
+
+    /// A reconnecting resilient client for `dn` against branch
+    /// `target`: retries ride fresh handshakes with stable keys, the
+    /// configuration the exactly-once guarantees are stated for.
+    fn resilient(f: &Federation, dn: &SubjectName, target: u16, seed: u64) -> ResilientBankClient {
+        let id = SigningIdentity::generate_small(KeyMaterial { seed }, "client");
+        let cert = f.ca.issue(dn.clone(), id.verifying_key(), 0, u64::MAX / 2).unwrap();
+        let proxy_id = SigningIdentity::generate_with_height(
+            KeyMaterial { seed: seed ^ 0x50_0000 },
+            "proxy",
+            9,
+        );
+        let proxy = create_proxy(&id, &cert, proxy_id.verifying_key(), 0, u64::MAX / 2, 1).unwrap();
+        let (network, ca_key, clock) = (f.network.clone(), f.ca.verifying_key(), f.clock.clone());
+        let mut attempt = 0u64;
+        let connector: Connector = Box::new(move || {
+            attempt += 1;
+            let mut nonces = DeterministicStream::from_u64(seed ^ (attempt << 32), b"nonce");
+            GridBankClient::connect(
+                &network,
+                Address::new(format!("peer-{seed:x}.host")),
+                &branch_address(target),
+                ca_key,
+                clock.now_ms(),
+                &proxy,
+                &proxy_id,
+                &mut nonces,
+            )
+        });
+        let policy = RetryPolicy {
+            base_delay_ms: 1,
+            max_delay_ms: 16,
+            max_attempts: 12,
+            deadline_ms: 1_000_000,
+            seed,
+        };
+        ResilientBankClient::new(connector, policy, f.clock.clone(), seed)
+            // Cooldown 0: the virtual clock is frozen during the storm,
+            // so any positive cooldown would pin an open circuit shut.
+            .with_breaker(CircuitBreaker::new(8, 0))
+            .with_call_timeout(Some(std::time::Duration::from_millis(50)))
+    }
+
+    /// Unique per-payment amount: a repeated deposit amount at the payee
+    /// is proof of a double-applied `IbCredit`.
+    fn op_amount(branch: u16, op: usize) -> Credits {
+        Credits::from_micro(1_000_000 + (branch as i128) * 10_000 + op as i128 + 1)
+    }
+
+    #[test]
+    fn federated_chaos_storm_settles_exactly_once() {
+        for seed in seeds() {
+            let f = build(seed);
+
+            // Quiet-network setup: one funded payer and one payee per
+            // branch; traffic will flow both ways so netting is real.
+            let mut payers = Vec::new();
+            let mut payees = Vec::new();
+            for b in 1..=2u16 {
+                let payer_dn = SubjectName::new("Org", "Unit", &format!("payer-{b}"));
+                let mut payer = resilient(&f, &payer_dn, b, 0x100 + b as u64);
+                let payer_account = payer.create_account(None).unwrap();
+                let payee_dn = SubjectName::new("Org", "Unit", &format!("payee-{b}"));
+                let mut payee = resilient(&f, &payee_dn, b, 0x200 + b as u64);
+                payees.push(payee.create_account(None).unwrap());
+                let operator = SubjectName("/O=GridBank/OU=Admin/CN=operator".into());
+                let funded = f.banks[(b - 1) as usize].handle(
+                    &operator,
+                    BankRequest::AdminDeposit {
+                        account: payer_account,
+                        amount: Credits::from_gd(1_000),
+                    },
+                );
+                assert!(matches!(funded, BankResponse::Confirmation { .. }), "{funded:?}");
+                payers.push(payer);
+            }
+            let total = |f: &Federation| {
+                f.banks
+                    .iter()
+                    .map(|b| b.total_funds())
+                    .fold(Credits::ZERO, |a, c| a.saturating_add(c))
+            };
+            let initial_total = total(&f);
+
+            // Storm: cross-branch payments while the wire misbehaves —
+            // including the inter-branch IbCredit hops.
+            f.injector.arm(true);
+            let mut acked: Vec<(u16, Credits)> = Vec::new();
+            let mut gave_up = 0;
+            for op in 0..6 {
+                for b in 1..=2u16 {
+                    let payee = payees[(2 - b) as usize];
+                    let amount = op_amount(b, op);
+                    match payers[(b - 1) as usize].direct_transfer(payee, amount, "payee.grid.org")
+                    {
+                        Ok(_) => acked.push((3 - b, amount)),
+                        Err(BankError::Net(_)) => gave_up += 1,
+                        Err(e) => panic!("seed {seed}: unexpected refusal: {e}"),
+                    }
+                }
+            }
+            f.injector.arm(false);
+            assert!(
+                f.injector.counts().total() > 0,
+                "seed {seed}: no faults fired; the storm never happened"
+            );
+            let _ = gave_up; // conservation must hold whatever the ack rate
+
+            // The network heals; both branches re-ship and settle.
+            for router in &f.routers {
+                router.settle_once().unwrap_or_else(|e| panic!("seed {seed}: settle: {e}"));
+            }
+
+            // No double-applied IbCredit: every deposit amount at each
+            // payee is unique, and every acked payment landed.
+            for (i, payee) in payees.iter().enumerate() {
+                let branch = i as u16 + 1;
+                let mut amounts: Vec<Credits> = f.banks[i]
+                    .accounts
+                    .db()
+                    .transactions_in_range(payee, 0, u64::MAX)
+                    .into_iter()
+                    .filter(|t| t.tx_type == TransactionType::Deposit)
+                    .map(|t| t.amount)
+                    .collect();
+                let applied = amounts.len();
+                amounts.sort();
+                amounts.dedup();
+                assert_eq!(
+                    applied,
+                    amounts.len(),
+                    "seed {seed}: double-applied IbCredit at branch {branch}"
+                );
+                for (to, amount) in acked.iter().filter(|(to, _)| *to == branch) {
+                    assert!(
+                        amounts.contains(amount),
+                        "seed {seed}: acked payment of {amount} to branch {to} never landed"
+                    );
+                }
+            }
+
+            // Conservation and zero stranded clearing.
+            assert_eq!(total(&f), initial_total, "seed {seed}: funds not conserved");
+            for (i, router) in f.routers.iter().enumerate() {
+                for peer in router.peer_branches() {
+                    assert_eq!(
+                        router.clearing_balance(peer),
+                        Credits::ZERO,
+                        "seed {seed}: stranded clearing at branch {}",
+                        i + 1
+                    );
+                }
+                assert!(
+                    f.banks[i].accounts.db().ib_pending_snapshot().is_empty(),
+                    "seed {seed}: unacknowledged credits left at branch {}",
+                    i + 1
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn cross_branch_rur_evidence_is_preserved() {
     let (mut ib, accounts) = build_federation(2, 1);
