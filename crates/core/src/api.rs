@@ -209,9 +209,23 @@ impl Encode for crate::db::JournalEntry {
                 credit.to.encode(w);
                 credit.amount.encode(w);
                 w.put_u32(credit.origin as u32);
+                credit.drawer.encode(w);
+                match &credit.idem {
+                    Some((cert, key)) => {
+                        w.put_u8(1);
+                        w.put_str(cert);
+                        w.put_u64(*key);
+                    }
+                    None => w.put_u8(0),
+                }
             }
             J::IbAck { key } => {
                 w.put_u8(7);
+                w.put_u64(*key);
+            }
+            J::IdemDrop { cert, key } => {
+                w.put_u8(8);
+                w.put_str(cert);
                 w.put_u64(*key);
             }
         }
@@ -235,8 +249,15 @@ impl Decode for crate::db::JournalEntry {
                 to: AccountId::decode(r)?,
                 amount: Credits::decode(r)?,
                 origin: r.get_u32()? as u16,
+                drawer: AccountId::decode(r)?,
+                idem: match r.get_u8()? {
+                    0 => None,
+                    1 => Some((r.get_str()?, r.get_u64()?)),
+                    t => return Err(RurError::Decode(format!("bad idem flag {t}"))),
+                },
             }),
             7 => J::IbAck { key: r.get_u64()? },
+            8 => J::IdemDrop { cert: r.get_str()?, key: r.get_u64()? },
             t => return Err(RurError::Decode(format!("bad journal tag {t}"))),
         })
     }
@@ -597,6 +618,10 @@ pub enum BankResponse {
         kind: u8,
         /// Human-readable message.
         message: String,
+        /// Kind-specific structured payload ([`error_detail`]): for
+        /// [`kinds::NOT_HOME_BRANCH`] the account's home branch id.
+        /// Zero when the kind carries none.
+        detail: u32,
     },
     /// Answer to [`BankRequest::IbSettleProposal`]: the receiver's side
     /// of the pairwise netting round.
@@ -624,7 +649,7 @@ pub mod kinds {
     /// Duplicate account.
     pub const DUPLICATE: u8 = 6;
     /// The account lives on another branch (typed redirect; the home
-    /// branch id rides in the message text).
+    /// branch id rides in the error frame's structured detail field).
     pub const NOT_HOME_BRANCH: u8 = 7;
 }
 
@@ -644,8 +669,18 @@ pub fn error_kind(e: &BankError) -> u8 {
     }
 }
 
+/// The kind-specific structured payload an error frame carries alongside
+/// the kind and message — for [`kinds::NOT_HOME_BRANCH`] the home branch
+/// id, zero for every other kind.
+pub fn error_detail(e: &BankError) -> u32 {
+    match e {
+        BankError::NotHomeBranch { home } => *home as u32,
+        _ => 0,
+    }
+}
+
 /// Reconstructs a coarse [`BankError`] from a wire error.
-pub fn error_from_wire(kind: u8, message: String) -> BankError {
+pub fn error_from_wire(kind: u8, message: String, detail: u32) -> BankError {
     match kind {
         kinds::INSUFFICIENT => BankError::InsufficientFunds {
             account: AccountId::new(0, 0, 0),
@@ -657,19 +692,7 @@ pub fn error_from_wire(kind: u8, message: String) -> BankError {
         kinds::UNKNOWN_ACCOUNT => BankError::UnknownSubject(message),
         kinds::INVALID_INSTRUMENT => BankError::InvalidInstrument(message),
         kinds::DUPLICATE => BankError::DuplicateAccount(message),
-        kinds::NOT_HOME_BRANCH => {
-            // The home branch id is the trailing digit run of the Display
-            // text (`BankError::NotHomeBranch` keeps it there on purpose).
-            let digits: String = message
-                .chars()
-                .rev()
-                .take_while(|c| c.is_ascii_digit())
-                .collect::<Vec<_>>()
-                .into_iter()
-                .rev()
-                .collect();
-            BankError::NotHomeBranch { home: digits.parse().unwrap_or(0) }
-        }
+        kinds::NOT_HOME_BRANCH => BankError::NotHomeBranch { home: detail as u16 },
         _ => BankError::Protocol(message),
     }
 }
@@ -959,10 +982,11 @@ impl Encode for BankResponse {
                 w.put_u8(8);
                 price.encode(w);
             }
-            BankResponse::Error { kind, message } => {
+            BankResponse::Error { kind, message, detail } => {
                 w.put_u8(9);
                 w.put_u8(*kind);
                 w.put_str(message);
+                w.put_u32(*detail);
             }
             BankResponse::RedeemedBatch { results } => {
                 w.put_u8(10);
@@ -1038,7 +1062,11 @@ impl Decode for BankResponse {
                 BankResponse::Redeemed { paid: Credits::decode(r)?, released: Credits::decode(r)? }
             }
             8 => BankResponse::Estimate { price: Credits::decode(r)? },
-            9 => BankResponse::Error { kind: r.get_u8()?, message: r.get_str()? },
+            9 => BankResponse::Error {
+                kind: r.get_u8()?,
+                message: r.get_str()?,
+                detail: r.get_u32()?,
+            },
             10 => {
                 let n = r.get_u32()? as usize;
                 if n > 4096 {
@@ -1145,7 +1173,16 @@ mod tests {
             BankResponse::Confirmation { transaction_id: 3 },
             BankResponse::Redeemed { paid: Credits::from_gd(2), released: Credits::from_gd(1) },
             BankResponse::Estimate { price: Credits::from_milli(1500) },
-            BankResponse::Error { kind: kinds::INSUFFICIENT, message: "no funds".into() },
+            BankResponse::Error {
+                kind: kinds::INSUFFICIENT,
+                message: "no funds".into(),
+                detail: 0,
+            },
+            BankResponse::Error {
+                kind: kinds::NOT_HOME_BRANCH,
+                message: "account's home branch is 7".into(),
+                detail: 7,
+            },
             BankResponse::IbSettleAck { gross_back: Credits::from_gd(42) },
         ];
         for resp in cases {
@@ -1197,8 +1234,19 @@ mod tests {
                 to: AccountId::new(1, 2, 3),
                 amount: Credits::from_gd(8),
                 origin: 1,
+                drawer: rec.id,
+                idem: Some(("/CN=j".into(), 44)),
+            }),
+            JournalEntry::IbOut(crate::db::PendingIbCredit {
+                key: 0xFEED_0002,
+                to: AccountId::new(1, 2, 4),
+                amount: Credits::from_gd(2),
+                origin: 1,
+                drawer: rec.id,
+                idem: None,
             }),
             JournalEntry::IbAck { key: 0xFEED_0001 },
+            JournalEntry::IdemDrop { cert: "/CN=j".into(), key: 44 },
             JournalEntry::Remove(rec.id),
         ];
         let bytes = journal_to_bytes(&journal);
@@ -1215,10 +1263,10 @@ mod tests {
     fn error_kind_mapping() {
         let e = BankError::NotAuthorized("x".into());
         let k = error_kind(&e);
-        assert!(matches!(error_from_wire(k, "x".into()), BankError::NotAuthorized(_)));
+        assert!(matches!(error_from_wire(k, "x".into(), 0), BankError::NotAuthorized(_)));
         let e = BankError::AlreadyRedeemed("c".into());
         assert!(matches!(
-            error_from_wire(error_kind(&e), "c".into()),
+            error_from_wire(error_kind(&e), "c".into(), 0),
             BankError::AlreadyRedeemed(_)
         ));
         assert_eq!(error_kind(&BankError::NonPositiveAmount), kinds::OTHER);
@@ -1229,14 +1277,17 @@ mod tests {
         let e = BankError::NotHomeBranch { home: 7 };
         let kind = error_kind(&e);
         assert_eq!(kind, kinds::NOT_HOME_BRANCH);
-        match error_from_wire(kind, e.to_string()) {
+        assert_eq!(error_detail(&e), 7);
+        match error_from_wire(kind, e.to_string(), error_detail(&e)) {
             BankError::NotHomeBranch { home } => assert_eq!(home, 7),
             other => panic!("expected NotHomeBranch, got {other:?}"),
         }
-        // A mangled message degrades to branch 0, never a decode error.
+        // The id is structured: rewording (or a proxy mangling) the
+        // human-readable message cannot degrade the redirect.
         assert!(matches!(
-            error_from_wire(kinds::NOT_HOME_BRANCH, "garbled".into()),
-            BankError::NotHomeBranch { home: 0 }
+            error_from_wire(kinds::NOT_HOME_BRANCH, "garbled".into(), 7),
+            BankError::NotHomeBranch { home: 7 }
         ));
+        assert_eq!(error_detail(&BankError::NonPositiveAmount), 0);
     }
 }

@@ -109,8 +109,8 @@ impl GridBankClient {
             None => self.rpc.call(&request.to_bytes())?,
         };
         let resp = BankResponse::from_bytes(&raw)?;
-        if let BankResponse::Error { kind, message } = resp {
-            return Err(error_from_wire(kind, message));
+        if let BankResponse::Error { kind, message, detail } = resp {
+            return Err(error_from_wire(kind, message, detail));
         }
         Ok(resp)
     }
@@ -136,8 +136,8 @@ impl GridBankClient {
     pub fn recv_pipelined(&mut self, id: u64) -> Result<BankResponse, BankError> {
         let raw = self.rpc.recv_response(id)?;
         let resp = BankResponse::from_bytes(&raw)?;
-        if let BankResponse::Error { kind, message } = resp {
-            return Err(error_from_wire(kind, message));
+        if let BankResponse::Error { kind, message, detail } = resp {
+            return Err(error_from_wire(kind, message, detail));
         }
         Ok(resp)
     }
@@ -262,7 +262,7 @@ impl GridBankClient {
         match self.call(&BankRequest::RedeemChequeBatch { items })? {
             BankResponse::RedeemedBatch { results } => Ok(results
                 .into_iter()
-                .map(|r| r.map_err(|(kind, msg)| error_from_wire(kind, msg)))
+                .map(|r| r.map_err(|(kind, msg)| error_from_wire(kind, msg, 0)))
                 .collect()),
             other => Err(Self::unexpected(other)),
         }

@@ -177,7 +177,7 @@ pub struct TransferRecord {
 /// `IbCredit` has not yet been acknowledged by the payee's branch. The
 /// set of pending credits is journal-backed (`IbOut`/`IbAck` entries), so
 /// a crashed branch re-ships exactly the credits that never landed.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PendingIbCredit {
     /// The idempotency key the credit ships under — stable across
     /// redeliveries, so the payee's branch applies it at most once.
@@ -188,6 +188,13 @@ pub struct PendingIbCredit {
     pub amount: Credits,
     /// This (the drawer's) branch.
     pub origin: u16,
+    /// The payer account the parked amount came from — a re-ship that
+    /// the payee's branch rejects refunds here.
+    pub drawer: AccountId,
+    /// The `(cert, key)` idempotency stamp of the payer's original
+    /// request, if it carried one: a rejected re-ship invalidates it so
+    /// the payer's retry does not read a stale success.
+    pub idem: Option<(String, u64)>,
 }
 
 /// One write-ahead journal entry. Replaying a journal into a fresh
@@ -221,6 +228,15 @@ pub enum JournalEntry {
     /// The payee's branch acknowledged the credit with this key.
     IbAck {
         /// Key of the acknowledged [`JournalEntry::IbOut`].
+        key: u64,
+    },
+    /// An idempotency stamp was invalidated: the operation it remembered
+    /// was compensated (e.g. a rejected cross-branch payment refunded),
+    /// so a retry must re-attempt instead of reading the stale success.
+    IdemDrop {
+        /// Certificate name of the caller that supplied the key.
+        cert: String,
+        /// Client-generated idempotency key.
         key: u64,
     },
 }
@@ -261,6 +277,12 @@ struct IdemCache {
 }
 
 impl IdemCache {
+    fn remove(&mut self, cert: &str, key: u64) -> bool {
+        // The `order` entry stays behind; popping it later is a harmless
+        // no-op against the map.
+        self.map.remove(&(cert.to_string(), key)).is_some()
+    }
+
     fn insert(&mut self, cert: &str, key: u64, response: Vec<u8>) {
         if self.capacity == 0 {
             return;
@@ -501,6 +523,17 @@ impl Database {
         self.journal.lock().push(JournalEntry::Idem { cert: cert.to_string(), key, response });
     }
 
+    /// Invalidates a consumed idempotency key: the remembered operation
+    /// was compensated (refunded), so a retry must re-attempt instead of
+    /// reading the stale success. Removed from the cache and journaled
+    /// (`IdemDrop`) so crash-replay cannot resurrect the stamp.
+    pub fn idem_invalidate(&self, cert: &str, key: u64) {
+        let removed = self.idem.lock().remove(cert, key);
+        if removed {
+            self.journal.lock().push(JournalEntry::IdemDrop { cert: cert.to_string(), key });
+        }
+    }
+
     /// Replaces the cached response for an already-recorded key without
     /// journaling again — used to upgrade a journaled placeholder to the
     /// fully signed response once post-commit signing finishes.
@@ -700,7 +733,7 @@ impl Database {
             }
         }
         if let Some(credit) = rows.ib_out {
-            self.ib_pending.lock().insert(credit.key, credit);
+            self.ib_pending.lock().insert(credit.key, credit.clone());
             entries.push(JournalEntry::IbOut(credit));
         }
         self.commit.submit(entries, &self.journal);
@@ -721,7 +754,7 @@ impl Database {
     /// Snapshot of unacknowledged cross-branch credits, in key order —
     /// the set a recovering branch must re-ship.
     pub fn ib_pending_snapshot(&self) -> Vec<PendingIbCredit> {
-        self.ib_pending.lock().values().copied().collect()
+        self.ib_pending.lock().values().cloned().collect()
     }
 
     /// Removes an account (close-account path; caller enforces emptiness).
@@ -856,10 +889,13 @@ impl Database {
                     db.idem.lock().insert(cert, *key, response.clone());
                 }
                 JournalEntry::IbOut(credit) => {
-                    db.ib_pending.lock().insert(credit.key, *credit);
+                    db.ib_pending.lock().insert(credit.key, credit.clone());
                 }
                 JournalEntry::IbAck { key } => {
                     db.ib_pending.lock().remove(key);
+                }
+                JournalEntry::IdemDrop { cert, key } => {
+                    db.idem.lock().remove(cert, *key);
                 }
             }
         }
@@ -1274,6 +1310,8 @@ mod tests {
             to: AccountId::new(1, 2, 5),
             amount: Credits::from_gd(4),
             origin: 1,
+            drawer: ida,
+            idem: Some(("/CN=a".into(), 77)),
         };
         db.two_account_commit(
             &ida,
@@ -1283,13 +1321,20 @@ mod tests {
                 b.available = b.available.checked_add(Credits::from_gd(4))?;
                 Ok(())
             },
-            CommitRows { ib_out: Some(credit), ..CommitRows::default() },
+            CommitRows { ib_out: Some(credit.clone()), ..CommitRows::default() },
         )
         .unwrap();
-        assert_eq!(db.ib_pending_snapshot(), vec![credit]);
+        assert_eq!(db.ib_pending_snapshot(), vec![credit.clone()]);
         // A crash here re-ships the credit: replay rebuilds the set.
         let rebuilt = Database::replay(1, 1, &db.journal_snapshot());
         assert_eq!(rebuilt.ib_pending_snapshot(), vec![credit]);
+        // Invalidation journals an IdemDrop that replay honors.
+        db.idem_record("/CN=a", 77, vec![1]);
+        assert!(db.idem_lookup("/CN=a", 77).is_some());
+        db.idem_invalidate("/CN=a", 77);
+        assert!(db.idem_lookup("/CN=a", 77).is_none());
+        let rebuilt = Database::replay(1, 1, &db.journal_snapshot());
+        assert!(rebuilt.idem_lookup("/CN=a", 77).is_none());
         // Acking removes it, is journaled, and is idempotent.
         assert!(db.ib_ack(0xC0FFEE));
         assert!(!db.ib_ack(0xC0FFEE));

@@ -83,9 +83,6 @@ impl fmt::Display for BankError {
             }
             BankError::UnknownBranch(b) => write!(f, "unknown branch {b:04}"),
             BankError::NotHomeBranch { home } => {
-                // Keep the branch id as the trailing token: the wire codec
-                // round-trips this variant by parsing it back out of the
-                // message text (see `api::error_from_wire`).
                 write!(f, "account's home branch is {home}")
             }
             BankError::Record(e) => write!(f, "record error: {e}"),

@@ -20,7 +20,7 @@
 //! The pure arithmetic lives in [`NettingEngine`]; this module owns the
 //! transports, the durable re-ship queue, and the settlement daemon.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -42,9 +42,10 @@ use crate::error::BankError;
 use crate::resilient::ResilientBankClient;
 use crate::server::GridBank;
 
-/// The administrator identity branch `branch` uses when calling a peer
+/// The settlement identity branch `branch` uses when calling a peer
 /// (delivering credits, proposing settlements, forwarding reads). Peers
-/// authorize it via [`FederationRouter::add_peer`].
+/// trust it for exactly those federation operations via
+/// [`FederationRouter::add_peer`] — it is never an administrator.
 pub fn settlement_identity(branch: u16) -> String {
     format!("/O=GridBank/OU=Settlement/CN=branch-{branch:04}")
 }
@@ -83,7 +84,9 @@ impl PeerTransport for LocalPeer {
         request: &BankRequest,
     ) -> Result<BankResponse, BankError> {
         match self.bank.handle_keyed(&self.identity, idem_key, request.clone()) {
-            BankResponse::Error { kind, message } => Err(error_from_wire(kind, message)),
+            BankResponse::Error { kind, message, detail } => {
+                Err(error_from_wire(kind, message, detail))
+            }
             resp => Ok(resp),
         }
     }
@@ -126,6 +129,13 @@ pub struct FederationRouter {
     admin: GbAdmin,
     clearing: Mutex<HashMap<u16, AccountId>>,
     peers: RwLock<BTreeMap<u16, Arc<dyn PeerTransport>>>,
+    /// Settlement identities of federated peers — trusted to deliver
+    /// `IbCredit`s and propose settlements here, and nothing else.
+    /// Deliberately disjoint from the administrator set.
+    peer_identities: RwLock<HashSet<String>>,
+    /// Serializes settlement rounds on this router, so the daemon and a
+    /// manual `settle` never interleave a pair's read-propose-withdraw.
+    settle_lock: Mutex<()>,
 }
 
 impl FederationRouter {
@@ -142,6 +152,8 @@ impl FederationRouter {
             admin: bank.admin.clone(),
             clearing: Mutex::new(clearing),
             peers: RwLock::new(BTreeMap::new()),
+            peer_identities: RwLock::new(HashSet::new()),
+            settle_lock: Mutex::new(()),
         });
         bank.install_federation(Arc::clone(&router));
         router
@@ -152,12 +164,19 @@ impl FederationRouter {
         self.local_branch
     }
 
-    /// Registers a route to `peer_branch` and authorizes that branch's
+    /// Registers a route to `peer_branch` and trusts that branch's
     /// settlement identity to deliver credits and propose settlements
-    /// here.
+    /// here — a federation-scoped trust, deliberately narrower than the
+    /// administrator set (a peer can never withdraw from or close member
+    /// accounts).
     pub fn add_peer(&self, peer_branch: u16, transport: Arc<dyn PeerTransport>) {
-        self.admin.add_admin(settlement_identity(peer_branch));
+        self.peer_identities.write().insert(settlement_identity(peer_branch));
         self.peers.write().insert(peer_branch, transport);
+    }
+
+    /// Whether `cert` is a federated peer branch's settlement identity.
+    pub fn is_peer(&self, cert: &str) -> bool {
+        self.peer_identities.read().contains(cert)
     }
 
     /// Known peer branch ids, ascending.
@@ -237,6 +256,8 @@ impl FederationRouter {
             to: *to,
             amount,
             origin: self.local_branch,
+            drawer: *from,
+            idem: idem.as_ref().map(|k| (k.cert.clone(), k.key)),
         };
         let txid = self.accounts.transfer_with_ib_credit(
             from,
@@ -244,7 +265,7 @@ impl FederationRouter {
             amount,
             rur_blob.clone(),
             idem,
-            credit,
+            credit.clone(),
         )?;
         match self.ship_credit(peer.as_ref(), &credit, rur_blob) {
             Ok(()) => {}
@@ -257,9 +278,14 @@ impl FederationRouter {
             Err(e) => {
                 // The peer answered and said no (payee closed, not
                 // authorized, ...): compensate the clearing debit and
-                // surface the rejection to the payer.
+                // drop the idem stamp that committed with it — a retry
+                // under the same key must see this rejection, never the
+                // stamped placeholder success.
                 self.accounts.db().ib_ack(credit.key);
                 self.accounts.transfer(&clearing, from, amount, Vec::new())?;
+                if let Some((cert, key)) = &credit.idem {
+                    self.accounts.db().idem_invalidate(cert, *key);
+                }
                 return Err(e);
             }
         }
@@ -301,23 +327,62 @@ impl FederationRouter {
                 Ok(()) => shipped += 1,
                 Err(BankError::Net(_)) => {}
                 Err(_) => {
-                    // A typed rejection on a re-ship has no payer context
-                    // left to refund; acknowledge the credit and let the
-                    // parked value leave at the next settlement drain.
+                    // A typed rejection on a re-ship (payee closed
+                    // between crash and recovery, ...): compensate the
+                    // payer exactly like the synchronous rejection path
+                    // would have, instead of letting the parked value
+                    // drain away at the next settlement.
                     gridbank_obs::count("ib.credit.rejected", 1);
-                    self.accounts.db().ib_ack(credit.key);
+                    if self.accounts.db().ib_ack(credit.key) {
+                        self.refund_rejected(&credit);
+                    }
                 }
             }
         }
         shipped
     }
 
+    /// Compensates a rejected outbound credit once its pending row is
+    /// acked: the parked value returns to the drawer — or, if the drawer
+    /// is gone too, parks in the branch's suspense account for operator
+    /// resolution — and the payment's idem stamp is invalidated so the
+    /// payer's retry re-attempts instead of reading a stale success.
+    fn refund_rejected(&self, credit: &PendingIbCredit) {
+        let refunded = self.clearing_account(credit.to.branch).and_then(|clearing| {
+            self.accounts.transfer(&clearing, &credit.drawer, credit.amount, Vec::new()).or_else(
+                |_| {
+                    let suspense = self.suspense_account()?;
+                    self.accounts.transfer(&clearing, &suspense, credit.amount, Vec::new())
+                },
+            )
+        });
+        if refunded.is_err() {
+            gridbank_obs::count("ib.credit.refund_failed", 1);
+        }
+        if let Some((cert, key)) = &credit.idem {
+            self.accounts.db().idem_invalidate(cert, *key);
+        }
+    }
+
+    /// The branch's suspense account (created or rediscovered on first
+    /// use): absorbs compensation value whose original owner is
+    /// unreachable, keeping conservation intact until an operator
+    /// resolves it.
+    fn suspense_account(&self) -> Result<AccountId, BankError> {
+        let cert = format!("/O=GridBank/OU=Suspense/CN=branch-{:04}", self.local_branch);
+        match self.accounts.account_by_cert(&cert) {
+            Ok(record) => Ok(record.id),
+            Err(_) => self.accounts.create_account(&cert, None),
+        }
+    }
+
     /// Applies an inbound `IbCredit`: credits the payee against the
-    /// origin branch's liability. `caller` is the origin's settlement
-    /// identity (authorized by [`FederationRouter::add_peer`]).
+    /// origin branch's liability. The dispatcher has already checked the
+    /// caller against [`FederationRouter::is_peer`]; the deposit itself
+    /// runs under the local settlement administrator, so peers never
+    /// need (and never hold) administrator rights here.
     pub fn apply_ib_credit(
         &self,
-        caller: &str,
         to: &AccountId,
         amount: Credits,
         origin_branch: u16,
@@ -325,7 +390,7 @@ impl FederationRouter {
         // Ensure the mirrored clearing account exists: it absorbs this
         // branch's own outbound flow toward the origin at settlement.
         self.clearing_account(origin_branch)?;
-        let txid = self.admin.deposit(caller, to, amount)?;
+        let txid = self.admin.deposit(SETTLEMENT_ADMIN, to, amount)?;
         gridbank_obs::count("ib.credits_applied", 1);
         Ok(txid)
     }
@@ -344,52 +409,78 @@ impl FederationRouter {
     }
 
     /// One §6 netting round over RPC: re-ships stranded credits, then
-    /// proposes a settlement to every peer, draining both sides'
-    /// clearing accounts so only the net difference crosses banks.
+    /// proposes a settlement to every peer *this router is the proposer
+    /// for*, draining both sides' clearing accounts so only the net
+    /// difference crosses banks.
+    ///
+    /// Exactly one side proposes per pair — the lower branch id — so two
+    /// concurrent daemons can never both act as proposer and race each
+    /// other's read-propose-withdraw on the same pair (the higher side's
+    /// clearing drains inside its
+    /// [`FederationRouter::apply_settle_proposal`]). A round never
+    /// aborts mid-loop: a failing pair is counted
+    /// (`ib.settle.peer_errors`) and retried next round.
     pub fn settle_once(&self) -> Result<SettlementReport, BankError> {
         let mut span = gridbank_obs::span("server.federation", "settle_once");
+        let _round = self.settle_lock.lock();
         self.ship_pending();
         let peers: Vec<(u16, Arc<dyn PeerTransport>)> =
             self.peers.read().iter().map(|(b, t)| (*b, Arc::clone(t))).collect();
         let mut report = SettlementReport::default();
         for (peer_branch, transport) in peers {
-            let clearing = self.clearing_account(peer_branch)?;
-            let parked = self.accounts.account_details(&clearing)?.available;
-            let gross_out = parked.saturating_add(-self.pending_toward(peer_branch));
-            let gross_out = if gross_out.is_positive() { gross_out } else { Credits::ZERO };
-            let proposal =
-                BankRequest::IbSettleProposal { origin_branch: self.local_branch, gross_out };
-            let ack = match transport.call(Some(self.next_credit_key()), &proposal) {
-                Ok(BankResponse::IbSettleAck { gross_back }) => gross_back,
-                Ok(other) => {
-                    return Err(BankError::Protocol(format!("unexpected response {other:?}")))
+            if peer_branch < self.local_branch {
+                continue; // the peer proposes for this pair
+            }
+            match self.settle_pair(peer_branch, transport.as_ref()) {
+                Ok(Some(pair)) => {
+                    gridbank_obs::count(
+                        "ib.settle.gross",
+                        pair.gross_a_to_b
+                            .saturating_add(pair.gross_b_to_a)
+                            .micro()
+                            .clamp(0, u64::MAX as i128) as u64,
+                    );
+                    gridbank_obs::count(
+                        "ib.settle.net",
+                        pair.net.abs().micro().clamp(0, u64::MAX as i128) as u64,
+                    );
+                    gridbank_obs::count("ib.settle.rounds", 1);
+                    report.pairs.push(pair);
                 }
-                Err(BankError::Net(_)) => continue, // peer down: settle next round
-                Err(e) => return Err(e),
-            };
-            if gross_out.is_positive() {
-                self.admin.withdraw(SETTLEMENT_ADMIN, &clearing, gross_out)?;
+                Ok(None) => {}
+                Err(BankError::Net(_)) => {} // peer down: settle next round
+                Err(_) => {
+                    gridbank_obs::count("ib.settle.peer_errors", 1);
+                }
             }
-            if !gross_out.is_positive() && !ack.is_positive() {
-                continue;
-            }
-            let pair = NettingEngine::pair(self.local_branch, peer_branch, gross_out, ack);
-            gridbank_obs::count(
-                "ib.settle.gross",
-                pair.gross_a_to_b
-                    .saturating_add(pair.gross_b_to_a)
-                    .micro()
-                    .clamp(0, u64::MAX as i128) as u64,
-            );
-            gridbank_obs::count(
-                "ib.settle.net",
-                pair.net.abs().micro().clamp(0, u64::MAX as i128) as u64,
-            );
-            gridbank_obs::count("ib.settle.rounds", 1);
-            report.pairs.push(pair);
         }
         span.attr("pairs", report.pairs.len().to_string());
         Ok(report)
+    }
+
+    /// The proposer's side of one pair's netting round.
+    fn settle_pair(
+        &self,
+        peer_branch: u16,
+        transport: &dyn PeerTransport,
+    ) -> Result<Option<PairSettlement>, BankError> {
+        let clearing = self.clearing_account(peer_branch)?;
+        let parked = self.accounts.account_details(&clearing)?.available;
+        let gross_out = parked.saturating_add(-self.pending_toward(peer_branch));
+        let gross_out = if gross_out.is_positive() { gross_out } else { Credits::ZERO };
+        let proposal =
+            BankRequest::IbSettleProposal { origin_branch: self.local_branch, gross_out };
+        let ack = match transport.call(Some(self.next_credit_key()), &proposal)? {
+            BankResponse::IbSettleAck { gross_back } => gross_back,
+            other => return Err(BankError::Protocol(format!("unexpected response {other:?}"))),
+        };
+        if gross_out.is_positive() {
+            self.admin.withdraw(SETTLEMENT_ADMIN, &clearing, gross_out)?;
+        }
+        if !gross_out.is_positive() && !ack.is_positive() {
+            return Ok(None);
+        }
+        Ok(Some(NettingEngine::pair(self.local_branch, peer_branch, gross_out, ack)))
     }
 
     /// Per-pair settlement preview without draining anything: the pairs
@@ -540,5 +631,140 @@ mod tests {
     #[test]
     fn settlement_identity_is_stable() {
         assert_eq!(settlement_identity(3), "/O=GridBank/OU=Settlement/CN=branch-0003");
+    }
+
+    #[test]
+    fn rejected_payment_is_not_remembered_as_success() {
+        let (a, _b, _ra, _rb) = federated_pair();
+        let subject = SubjectName("/CN=alice".into());
+        let alice = open_funded(&a, "/CN=alice", 100);
+        let ghost = AccountId::new(1, 2, 999);
+        let pay = |bank: &GridBank| {
+            bank.handle_keyed(
+                &subject,
+                Some(42),
+                BankRequest::DirectTransfer {
+                    to: ghost,
+                    amount: Credits::from_gd(10),
+                    recipient_address: "ghost.grid.org".into(),
+                },
+            )
+        };
+        assert!(matches!(pay(&a), BankResponse::Error { .. }));
+        // The stamp committed with the clearing debit must not survive
+        // the compensation: a retry re-attempts and sees the rejection,
+        // never a cached success for a refunded payment.
+        assert!(matches!(pay(&a), BankResponse::Error { .. }));
+        assert!(a.accounts.db().idem_lookup("/CN=alice", 42).is_none());
+        assert_eq!(a.accounts.account_details(&alice).unwrap().available, Credits::from_gd(100));
+        // Crash-replay cannot resurrect the stamp either.
+        let rebuilt = GridBank::from_journal(
+            GridBankConfig {
+                branch: 1,
+                signer_height: 6,
+                gate_mode: GateMode::AllowEnrollment,
+                ..GridBankConfig::default()
+            },
+            Clock::new(),
+            &a.journal_snapshot(),
+        );
+        assert!(rebuilt.accounts.db().idem_lookup("/CN=alice", 42).is_none());
+    }
+
+    #[test]
+    fn reship_rejection_refunds_drawer_and_drops_stamp() {
+        struct SwitchPeer {
+            inner: Arc<LocalPeer>,
+            down: AtomicBool,
+        }
+        impl PeerTransport for SwitchPeer {
+            fn call(
+                &self,
+                idem_key: Option<u64>,
+                request: &BankRequest,
+            ) -> Result<BankResponse, BankError> {
+                if self.down.load(Ordering::Relaxed) {
+                    return Err(BankError::Net(gridbank_net::NetError::Disconnected));
+                }
+                self.inner.call(idem_key, request)
+            }
+        }
+
+        let (a, b, ra, _rb) = federated_pair();
+        let subject = SubjectName("/CN=alice".into());
+        let alice = open_funded(&a, "/CN=alice", 100);
+        let ghost = AccountId::new(1, 2, 999);
+        let link = Arc::new(SwitchPeer {
+            inner: LocalPeer::new(Arc::clone(&b), 1),
+            down: AtomicBool::new(true),
+        });
+        ra.add_peer(2, Arc::clone(&link) as Arc<dyn PeerTransport>);
+        // Wire down: the payment confirms locally and the credit strands.
+        let reply = a.handle_keyed(
+            &subject,
+            Some(7),
+            BankRequest::DirectTransfer {
+                to: ghost,
+                amount: Credits::from_gd(10),
+                recipient_address: "ghost.grid.org".into(),
+            },
+        );
+        assert!(matches!(reply, BankResponse::Confirmed(_)));
+        assert_eq!(a.accounts.db().ib_pending_snapshot().len(), 1);
+        assert!(a.accounts.db().idem_lookup("/CN=alice", 7).is_some());
+        // Wire heals; the re-ship is rejected (the payee never existed):
+        // the drawer gets the parked value back instead of losing it to
+        // the next settlement drain, and the stale success stamp goes.
+        link.down.store(false, Ordering::Relaxed);
+        assert_eq!(ra.ship_pending(), 0);
+        assert!(a.accounts.db().ib_pending_snapshot().is_empty());
+        assert_eq!(a.accounts.account_details(&alice).unwrap().available, Credits::from_gd(100));
+        assert_eq!(ra.clearing_balance(2), Credits::ZERO);
+        assert!(a.accounts.db().idem_lookup("/CN=alice", 7).is_none());
+        assert_eq!(b.total_funds(), Credits::ZERO);
+    }
+
+    #[test]
+    fn peer_identity_is_never_an_admin() {
+        let (a, _b, ra, _rb) = federated_pair();
+        let victim = open_funded(&a, "/CN=victim", 50);
+        assert!(ra.is_peer(&settlement_identity(2)));
+        assert!(!a.admin.is_admin(&settlement_identity(2)));
+        let peer = SubjectName(settlement_identity(2));
+        let reply = a.handle(
+            &peer,
+            BankRequest::AdminWithdraw { account: victim, amount: Credits::from_gd(50) },
+        );
+        assert!(matches!(
+            reply,
+            BankResponse::Error { kind, .. } if kind == crate::api::kinds::NOT_AUTHORIZED
+        ));
+        assert_eq!(a.accounts.account_details(&victim).unwrap().available, Credits::from_gd(50));
+    }
+
+    #[test]
+    fn only_the_lower_branch_proposes() {
+        let (a, b, ra, rb) = federated_pair();
+        let alice = open_funded(&a, "/CN=alice", 100);
+        let gsp = open_funded(&b, "/CN=gsp", 50);
+        ra.cross_branch_transfer(&alice, &gsp, Credits::from_gd(30), vec![], None).unwrap();
+        rb.cross_branch_transfer(&gsp, &alice, Credits::from_gd(12), vec![], None).unwrap();
+        // The higher branch never acts as proposer: its round settles no
+        // pairs and leaves its own clearing intact.
+        assert!(rb.settle_once().unwrap().pairs.is_empty());
+        assert_eq!(rb.clearing_balance(1), Credits::from_gd(12));
+        // Concurrent rounds from both sides settle the pair exactly once.
+        let (from_a, from_b) = std::thread::scope(|s| {
+            let ha = s.spawn(|| ra.settle_once().unwrap());
+            let hb = s.spawn(|| rb.settle_once().unwrap());
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+        assert!(from_b.pairs.is_empty());
+        assert_eq!(from_a.pairs.len(), 1);
+        assert_eq!(from_a.pairs[0].net, Credits::from_gd(18));
+        assert_eq!(ra.clearing_balance(2), Credits::ZERO);
+        assert_eq!(rb.clearing_balance(1), Credits::ZERO);
+        let total = a.total_funds().saturating_add(b.total_funds());
+        assert_eq!(total, Credits::from_gd(150));
     }
 }

@@ -90,8 +90,8 @@ impl InProcessBank {
 
     fn call(&self, request: BankRequest) -> Result<BankResponse, BankError> {
         match self.bank.handle(&self.caller, request) {
-            BankResponse::Error { kind, message } => {
-                Err(crate::api::error_from_wire(kind, message))
+            BankResponse::Error { kind, message, detail } => {
+                Err(crate::api::error_from_wire(kind, message, detail))
             }
             resp => Ok(resp),
         }

@@ -191,6 +191,13 @@ impl GridBank {
         self.federation.read().clone()
     }
 
+    /// Whether `cert` is the settlement identity of a federated peer
+    /// branch — trusted to deliver `IbCredit`s and propose settlements,
+    /// and nothing more (deliberately *not* an administrator).
+    pub fn is_federation_peer(&self, cert: &str) -> bool {
+        self.federation.read().as_ref().is_some_and(|r| r.is_peer(cert))
+    }
+
     /// Routes a request targeting an account homed on `home`: forwarded
     /// over the federation when a router is installed, otherwise
     /// answered with a typed redirect the client can follow itself.
@@ -363,7 +370,11 @@ impl GridBank {
             Err(e) => {
                 gridbank_obs::count("rpc.server.errors", 1);
                 span.attr("error", e.to_string());
-                BankResponse::Error { kind: error_kind(&e), message: e.to_string() }
+                BankResponse::Error {
+                    kind: error_kind(&e),
+                    message: e.to_string(),
+                    detail: crate::api::error_detail(&e),
+                }
             }
         };
         timer.record_named_label("rpc.server.latency_ns", variant);
@@ -382,8 +393,9 @@ impl GridBank {
         request: BankRequest,
     ) -> Result<BankResponse, BankError> {
         // Enrollment-mode restriction: unknown subjects may only enroll.
-        let known =
-            self.accounts.db().subject_known(caller_cert) || self.admin.is_admin(caller_cert);
+        let known = self.accounts.db().subject_known(caller_cert)
+            || self.admin.is_admin(caller_cert)
+            || self.is_federation_peer(caller_cert);
         if !known && !matches!(request, BankRequest::CreateAccount { .. }) {
             return Err(BankError::NotAuthorized(format!("`{caller_cert}` has no account")));
         }
@@ -593,7 +605,7 @@ impl GridBank {
                 let router = self.federation().ok_or_else(|| {
                     BankError::Protocol("bank is not part of a federation".into())
                 })?;
-                if !self.admin.is_admin(caller_cert) {
+                if !router.is_peer(caller_cert) {
                     return Err(BankError::NotAuthorized(format!(
                         "`{caller_cert}` may not deliver inter-branch credits"
                     )));
@@ -601,14 +613,14 @@ impl GridBank {
                 if to.branch != self.config.branch {
                     return Err(BankError::NotHomeBranch { home: to.branch });
                 }
-                let txid = router.apply_ib_credit(caller_cert, &to, amount, origin_branch)?;
+                let txid = router.apply_ib_credit(&to, amount, origin_branch)?;
                 Ok(BankResponse::Confirmation { transaction_id: txid })
             }
             BankRequest::IbSettleProposal { origin_branch, gross_out } => {
                 let router = self.federation().ok_or_else(|| {
                     BankError::Protocol("bank is not part of a federation".into())
                 })?;
-                if !self.admin.is_admin(caller_cert) {
+                if !router.is_peer(caller_cert) {
                     return Err(BankError::NotAuthorized(format!(
                         "`{caller_cert}` may not propose settlements"
                     )));
@@ -648,7 +660,9 @@ pub struct BankGate {
 impl ConnectionGate for BankGate {
     fn admit(&self, subject: &SubjectName) -> AdmissionDecision {
         let cert = subject.base_identity().0;
-        let known = self.bank.accounts.db().subject_known(&cert) || self.bank.admin.is_admin(&cert);
+        let known = self.bank.accounts.db().subject_known(&cert)
+            || self.bank.admin.is_admin(&cert)
+            || self.bank.is_federation_peer(&cert);
         match (known, self.bank.config.gate_mode) {
             (true, _) | (false, GateMode::AllowEnrollment) => AdmissionDecision::Allow,
             (false, GateMode::Strict) => {
@@ -854,6 +868,7 @@ impl GridBankServer {
                                     Err(e) => BankResponse::Error {
                                         kind: crate::api::kinds::OTHER,
                                         message: format!("malformed request: {e}"),
+                                        detail: 0,
                                     },
                                 }
                                 .to_bytes()

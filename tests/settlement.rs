@@ -331,9 +331,14 @@ mod wire {
             );
             let _ = gave_up; // conservation must hold whatever the ack rate
 
-            // The network heals; both branches re-ship and settle.
-            for router in &f.routers {
-                router.settle_once().unwrap_or_else(|e| panic!("seed {seed}: settle: {e}"));
+            // The network heals; both branches re-ship and settle. Two
+            // passes: only the lower branch id proposes for a pair, so
+            // credits the higher branch re-ships during its own pass
+            // drain on the proposer's next round.
+            for _ in 0..2 {
+                for router in &f.routers {
+                    router.settle_once().unwrap_or_else(|e| panic!("seed {seed}: settle: {e}"));
+                }
             }
 
             // No double-applied IbCredit: every deposit amount at each
