@@ -687,7 +687,7 @@ fn run_federated(w: &World, cfg: &LoadgenConfig) -> FederationStats {
         }
         pending_after += w.banks[i].accounts.db().ib_pending_snapshot().len();
     }
-    let micro = |c: Credits| c.micro().clamp(0, u64::MAX as i128) as u64;
+    let micro = |c: Credits| c.metric_micro();
     FederationStats {
         branches: cfg.branches,
         ops: ops.load(Ordering::Relaxed),

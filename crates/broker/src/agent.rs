@@ -39,11 +39,11 @@ impl GridAgent {
     /// setup plus (first time only) staging.
     pub fn deploy_overhead_ms(&mut self, provider_cert: &str) -> u64 {
         let staging = if self.staged.insert(provider_cert.to_string()) {
-            self.staging_ms_per_mb * self.app_size_mb
+            self.staging_ms_per_mb.saturating_mul(self.app_size_mb)
         } else {
             0
         };
-        self.setup_ms + staging
+        self.setup_ms.saturating_add(staging)
     }
 
     /// True if the application is already staged at the provider.
@@ -63,7 +63,7 @@ impl GridAgent {
         agreed: &ServiceRates,
         now_ms: u64,
     ) -> Result<JobOutcome, BrokerError> {
-        let start = now_ms + self.deploy_overhead_ms(&provider.cert);
+        let start = now_ms.saturating_add(self.deploy_overhead_ms(&provider.cert));
         Ok(provider.execute_job(consumer_cert, instrument, job, agreed, start)?)
     }
 }

@@ -45,11 +45,11 @@ pub struct BrokerReport {
 impl BrokerReport {
     /// Fraction of the batch completed, in percent.
     pub fn completion_pct(&self) -> u32 {
-        let total = self.completed + self.failed;
+        let total = self.completed.saturating_add(self.failed);
         if total == 0 {
             return 100;
         }
-        (self.completed * 100 / total) as u32
+        self.completed.saturating_mul(100).checked_div(total).unwrap_or(0) as u32
     }
 }
 
@@ -146,22 +146,23 @@ impl<P: BankPort> GridResourceBroker<P> {
         let mut report = self.run_batch(algorithm, batch, providers, now_ms)?;
         let mut attempt = 1;
         while !report.failed_tasks.is_empty() && attempt < max_attempts {
-            attempt += 1;
+            attempt = attempt.saturating_add(1);
             let retry_indices = std::mem::take(&mut report.failed_tasks);
             let retry_batch = JobBatch {
                 application: batch.application.clone(),
                 tasks: retry_indices.iter().map(|&i| batch.tasks[i].clone()).collect(),
                 qos: batch.qos,
             };
-            let retry_now = now_ms + report.makespan_ms;
+            let retry_now = now_ms.saturating_add(report.makespan_ms);
             match self.run_batch(algorithm, &retry_batch, providers, retry_now) {
                 Ok(r) => {
-                    report.completed += r.completed;
+                    report.completed = report.completed.saturating_add(r.completed);
                     report.failed = r.failed;
                     report.total_paid = report.total_paid.saturating_add(r.total_paid);
                     report.total_charge = report.total_charge.saturating_add(r.total_charge);
-                    report.makespan_ms =
-                        report.makespan_ms.max(r.makespan_ms + (retry_now - now_ms));
+                    report.makespan_ms = report
+                        .makespan_ms
+                        .max(r.makespan_ms.saturating_add(retry_now.saturating_sub(now_ms)));
                     report.outcomes.extend(r.outcomes);
                     // Map retry-batch indices back into the original batch.
                     report.failed_tasks =
@@ -233,14 +234,14 @@ impl<P: BankPort> GridResourceBroker<P> {
             let with_margin = est.mul_ratio(self.cheque_margin_pct as u64, 100).unwrap_or(est);
             let reserve = with_margin.min(self.gbpm.tracker.remaining());
             if !reserve.is_positive() {
-                report.failed += 1;
+                report.failed = report.failed.saturating_add(1);
                 report.failed_tasks.push(assignment.task_idx);
                 continue;
             }
             let cheque = match self.gbpm.obtain_cheque(&provider.cert, reserve, quote_validity) {
                 Ok(c) => c,
                 Err(_) => {
-                    report.failed += 1;
+                    report.failed = report.failed.saturating_add(1);
                     report.failed_tasks.push(assignment.task_idx);
                     continue;
                 }
@@ -257,7 +258,7 @@ impl<P: BankPort> GridResourceBroker<P> {
             ) {
                 Ok(outcome) => {
                     self.gbpm.settle_cheque(&cheque, outcome.paid);
-                    report.completed += 1;
+                    report.completed = report.completed.saturating_add(1);
                     report.total_paid = report.total_paid.saturating_add(outcome.paid);
                     report.total_charge = report.total_charge.saturating_add(outcome.charge);
                     report.makespan_ms =
@@ -268,7 +269,7 @@ impl<P: BankPort> GridResourceBroker<P> {
                     // The cheque was never redeemed; its lock will expire
                     // at the bank. Release the budget commitment.
                     self.gbpm.tracker.release(cheque.body.reserved);
-                    report.failed += 1;
+                    report.failed = report.failed.saturating_add(1);
                     report.failed_tasks.push(assignment.task_idx);
                 }
             }

@@ -82,7 +82,7 @@ pub struct PaymentModule<P: BankPort> {
 /// link conditions count as deferrals, everything else propagates as-is.
 fn note_degraded(e: &BrokerError, deferred: &mut u64) {
     if e.is_transient() {
-        *deferred += 1;
+        *deferred = deferred.saturating_add(1);
         gridbank_obs::count("broker.payment.deferred", 1);
     }
 }

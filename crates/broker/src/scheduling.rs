@@ -136,7 +136,8 @@ pub fn schedule(
     let per_job_cap = if task_works.is_empty() {
         Credits::ZERO
     } else {
-        qos.budget.mul_ratio(1, task_works.len() as u64).unwrap_or(Credits::ZERO)
+        let jobs = u64::try_from(task_works.len()).unwrap_or(u64::MAX);
+        qos.budget.mul_ratio(1, jobs).unwrap_or(Credits::ZERO)
     };
 
     // Schedule longest tasks first (classic LPT) for better packing.
@@ -149,7 +150,7 @@ pub fn schedule(
         let mut best: Option<(usize, u64, Credits)> = None;
         for (ri, r) in resources.iter().enumerate() {
             let start = queues[ri];
-            let end = start + r.exec_ms(work);
+            let end = start.saturating_add(r.exec_ms(work));
             let cost = r.cost(work);
             if end > qos.deadline_ms {
                 continue;
@@ -194,7 +195,7 @@ pub fn schedule(
                 });
             }
             None => {
-                plan.unscheduled += 1;
+                plan.unscheduled = plan.unscheduled.saturating_add(1);
                 plan.unscheduled_tasks.push(task_idx);
             }
         }

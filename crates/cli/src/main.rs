@@ -80,7 +80,11 @@ fn parse_amount(s: &str) -> Result<Credits, String> {
     if negative {
         frac_val = -frac_val;
     }
-    Ok(Credits::from_micro(whole * 1_000_000 + frac_val))
+    let micro = whole
+        .checked_mul(1_000_000)
+        .and_then(|w| w.checked_add(frac_val))
+        .ok_or_else(|| format!("`{s}`: amount out of range"))?;
+    Ok(Credits::from_micro(micro))
 }
 
 fn parse_account(s: &str) -> Result<AccountId, String> {

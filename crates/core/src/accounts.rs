@@ -219,7 +219,7 @@ impl GbAccounts {
                     )));
                 }
                 let new_avail = a.available.checked_sub(amount)?;
-                if new_avail < -a.credit_limit {
+                if new_avail < a.credit_limit.negated() {
                     return Err(BankError::InsufficientFunds {
                         account: a.id,
                         needed: amount,
@@ -244,7 +244,7 @@ impl GbAccounts {
         }
         self.db.with_account_mut(id, |r| {
             let new_avail = r.available.checked_sub(amount)?;
-            if new_avail < -r.credit_limit {
+            if new_avail < r.credit_limit.negated() {
                 return Err(BankError::InsufficientFunds {
                     account: r.id,
                     needed: amount,
@@ -256,7 +256,7 @@ impl GbAccounts {
             Ok(())
         })?;
         gridbank_obs::count("core.lock_funds.count", 1);
-        gridbank_obs::observe("core.lock_funds.volume_micro", clamp_micro(amount));
+        gridbank_obs::observe("core.lock_funds.volume_micro", amount.metric_micro());
         Ok(())
     }
 
@@ -345,7 +345,7 @@ impl GbAccounts {
                     account: *from,
                     tx_type: TransactionType::Transfer,
                     date_ms: now,
-                    amount: -amount,
+                    amount: amount.negated(),
                 },
                 TransactionRecord {
                     transaction_id: txid,
@@ -374,13 +374,8 @@ impl GbAccounts {
 
     fn note_transfer(&self, amount: Credits) {
         gridbank_obs::count("core.transfer.count", 1);
-        gridbank_obs::observe("core.transfer.volume_micro", clamp_micro(amount));
+        gridbank_obs::observe("core.transfer.volume_micro", amount.metric_micro());
     }
-}
-
-/// Clamps a positive [`Credits`] amount to u64 micro-G$ for histograms.
-fn clamp_micro(amount: Credits) -> u64 {
-    amount.micro().clamp(0, u64::MAX as i128) as u64
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 
 use gridbank_rur::Credits;
 
@@ -109,7 +109,7 @@ impl GbAdmin {
             account: *account,
             tx_type: TransactionType::Withdrawal,
             date_ms: self.accounts.clock().now_ms(),
-            amount: -amount,
+            amount: amount.negated(),
         });
         Ok(txid)
     }
@@ -128,10 +128,10 @@ impl GbAdmin {
         self.accounts.db().with_account_mut(account, |r| {
             // Lowering the limit below the current overdraft would make the
             // account instantly inconsistent; refuse.
-            if r.available < -new_limit {
+            if r.available < new_limit.negated() {
                 return Err(BankError::InsufficientFunds {
                     account: r.id,
-                    needed: -r.available,
+                    needed: r.available.negated(),
                     spendable: new_limit,
                 });
             }

@@ -266,7 +266,7 @@ impl Decode for crate::db::JournalEntry {
 /// Serializes a whole journal (magic + count + entries) for durable
 /// storage — the CLI persists bank state this way.
 pub fn journal_to_bytes(journal: &[crate::db::JournalEntry]) -> Vec<u8> {
-    let mut w = ByteWriter::with_capacity(64 + journal.len() * 64);
+    let mut w = ByteWriter::with_capacity(journal.len().saturating_mul(64).saturating_add(64));
     w.put_u32(0x4742_4A31); // "GBJ1"
     w.put_u64(journal.len() as u64);
     for e in journal {

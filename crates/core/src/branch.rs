@@ -213,7 +213,7 @@ impl NettingEngine {
             branch_b: b,
             gross_a_to_b: gross_ab,
             gross_b_to_a: gross_ba,
-            net: gross_ab.saturating_add(-gross_ba),
+            net: gross_ab.saturating_add(gross_ba.negated()),
         }
     }
 }

@@ -154,14 +154,15 @@ impl ChequeOffice<'_> {
         if payee_cert.is_empty() {
             return Err(BankError::Protocol("cheque needs a payee".into()));
         }
-        let cheque_id = self.guarantee.reserve_until(drawer, amount, now_ms + validity_ms)?;
+        let cheque_id =
+            self.guarantee.reserve_until(drawer, amount, now_ms.saturating_add(validity_ms))?;
         let body = ChequeBody {
             cheque_id,
             drawer: *drawer,
             payee_cert: payee_cert.to_string(),
             reserved: amount,
             issued_ms: now_ms,
-            expires_ms: now_ms + validity_ms,
+            expires_ms: now_ms.saturating_add(validity_ms),
             branch: self.branch,
         };
         let signature = self.signer.sign(&body.to_bytes())?;

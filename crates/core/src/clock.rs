@@ -34,7 +34,7 @@ impl Clock {
 
     /// Advances the clock by `delta_ms`, returning the new time.
     pub fn advance(&self, delta_ms: u64) -> u64 {
-        self.now_ms.fetch_add(delta_ms, Ordering::Relaxed) + delta_ms
+        self.now_ms.fetch_add(delta_ms, Ordering::Relaxed).saturating_add(delta_ms)
     }
 
     /// Moves the clock to `target_ms` if that is in the future; a clock

@@ -54,7 +54,7 @@ pub struct BarterBalance {
 impl BarterBalance {
     /// provided − consumed; positive for net providers.
     pub fn net(&self) -> Credits {
-        self.provided.saturating_add(-self.consumed)
+        self.provided.saturating_add(self.consumed.negated())
     }
 }
 

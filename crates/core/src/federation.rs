@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Mutex, RwLock};
+use crate::sync::{Mutex, RwLock};
 
 use gridbank_crypto::cert::SubjectName;
 use gridbank_rur::Credits;
@@ -290,7 +290,7 @@ impl FederationRouter {
             }
         }
         gridbank_obs::count("ib.transfers", 1);
-        gridbank_obs::count("ib.transfers_micro", amount.micro().clamp(0, u64::MAX as i128) as u64);
+        gridbank_obs::count("ib.transfers_micro", amount.metric_micro());
         Ok(txid)
     }
 
@@ -320,11 +320,11 @@ impl FederationRouter {
     /// partition healing). Receiver-side dedup under the durable key
     /// makes repeats harmless. Returns how many deliveries succeeded.
     pub fn ship_pending(&self) -> usize {
-        let mut shipped = 0;
+        let mut shipped = 0usize;
         for credit in self.accounts.db().ib_pending_snapshot() {
             let Ok(peer) = self.peer(credit.to.branch) else { continue };
             match self.ship_credit(peer.as_ref(), &credit, Vec::new()) {
-                Ok(()) => shipped += 1,
+                Ok(()) => shipped = shipped.saturating_add(1),
                 Err(BankError::Net(_)) => {}
                 Err(_) => {
                     // A typed rejection on a re-ship (payee closed
@@ -401,7 +401,7 @@ impl FederationRouter {
     pub fn apply_settle_proposal(&self, origin_branch: u16) -> Result<Credits, BankError> {
         let clearing = self.clearing_account(origin_branch)?;
         let parked = self.accounts.account_details(&clearing)?.available;
-        let gross_back = parked.saturating_add(-self.pending_toward(origin_branch));
+        let gross_back = parked.saturating_add(self.pending_toward(origin_branch).negated());
         if gross_back.is_positive() {
             self.admin.withdraw(SETTLEMENT_ADMIN, &clearing, gross_back)?;
         }
@@ -435,15 +435,9 @@ impl FederationRouter {
                 Ok(Some(pair)) => {
                     gridbank_obs::count(
                         "ib.settle.gross",
-                        pair.gross_a_to_b
-                            .saturating_add(pair.gross_b_to_a)
-                            .micro()
-                            .clamp(0, u64::MAX as i128) as u64,
+                        pair.gross_a_to_b.saturating_add(pair.gross_b_to_a).metric_micro(),
                     );
-                    gridbank_obs::count(
-                        "ib.settle.net",
-                        pair.net.abs().micro().clamp(0, u64::MAX as i128) as u64,
-                    );
+                    gridbank_obs::count("ib.settle.net", pair.net.abs().metric_micro());
                     gridbank_obs::count("ib.settle.rounds", 1);
                     report.pairs.push(pair);
                 }
@@ -466,7 +460,7 @@ impl FederationRouter {
     ) -> Result<Option<PairSettlement>, BankError> {
         let clearing = self.clearing_account(peer_branch)?;
         let parked = self.accounts.account_details(&clearing)?.available;
-        let gross_out = parked.saturating_add(-self.pending_toward(peer_branch));
+        let gross_out = parked.saturating_add(self.pending_toward(peer_branch).negated());
         let gross_out = if gross_out.is_positive() { gross_out } else { Credits::ZERO };
         let proposal =
             BankRequest::IbSettleProposal { origin_branch: self.local_branch, gross_out };

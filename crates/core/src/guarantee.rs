@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use gridbank_rur::Credits;
 
@@ -171,8 +171,10 @@ impl FundsGuarantee {
         if !charge.is_positive() {
             return Err(BankError::NonPositiveAmount);
         }
-        // Atomically check headroom and provisionally account the payment.
-        {
+        // Atomically check headroom and provisionally account the payment,
+        // carrying the account id out of the critical section rather than
+        // re-looking the reservation up afterwards.
+        let account = {
             let mut map = self.reservations.lock();
             let r = map
                 .get_mut(&id)
@@ -188,13 +190,9 @@ impl FundsGuarantee {
                 });
             }
             r.settled = r.settled.saturating_add(charge);
-        }
-        self.accounts.transfer_from_locked(
-            &self.get(id).expect("just updated").account,
-            payee,
-            charge,
-            rur_blob,
-        )?;
+            r.account
+        };
+        self.accounts.transfer_from_locked(&account, payee, charge, rur_blob)?;
         Ok(charge)
     }
 

@@ -35,6 +35,11 @@
 //! Money is exact fixed-point ([`gridbank_rur::Credits`]); every transfer
 //! preserves Σ(available+locked) — property-tested in `accounts`.
 
+// The workspace `clippy::arithmetic_side_effects` wall guards
+// production money paths; test fixtures may build inputs with plain
+// arithmetic (see docs/STATIC_ANALYSIS.md §lint wall).
+#![cfg_attr(test, allow(clippy::arithmetic_side_effects))]
+
 pub mod accounts;
 pub mod admin;
 pub mod api;
@@ -53,6 +58,7 @@ pub mod port;
 pub mod pricing;
 pub mod resilient;
 pub mod server;
+pub(crate) mod sync;
 
 pub use accounts::GbAccounts;
 pub use admin::GbAdmin;

@@ -23,7 +23,7 @@ use gridbank_rur::{Credits, RurError};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use crate::db::AccountId;
 use crate::error::BankError;
@@ -193,7 +193,8 @@ impl PayWordOffice<'_> {
             return Err(BankError::NonPositiveAmount);
         }
         let total = value_per_word.checked_mul(length as i128)?;
-        let chain_id = self.guarantee.reserve_until(drawer, total, now_ms + validity_ms)?;
+        let chain_id =
+            self.guarantee.reserve_until(drawer, total, now_ms.saturating_add(validity_ms))?;
 
         // Build the chain from a fresh secret tip.
         let tip = {
@@ -201,10 +202,12 @@ impl PayWordOffice<'_> {
             // Mix the chain id in so two chains never share a tip.
             sha256(&[s.next_digest().as_bytes().as_slice(), &chain_id.to_be_bytes()].concat())
         };
-        let mut chain = vec![Digest::ZERO; (length + 1) as usize];
+        let mut chain = vec![Digest::ZERO; (length as usize).saturating_add(1)];
         chain[length as usize] = tip;
-        for i in (0..length as usize).rev() {
-            chain[i] = sha256(chain[i + 1].as_bytes());
+        let mut next = tip;
+        for word in chain.iter_mut().take(length as usize).rev() {
+            *word = sha256(next.as_bytes());
+            next = *word;
         }
         let commitment = ChainCommitment {
             chain_id,
@@ -214,7 +217,7 @@ impl PayWordOffice<'_> {
             length,
             value_per_word,
             issued_ms: now_ms,
-            expires_ms: now_ms + validity_ms,
+            expires_ms: now_ms.saturating_add(validity_ms),
         };
         let signature = self.signer.sign(&commitment.to_bytes())?;
         Ok(GridHashChain { commitment, signature, chain })
@@ -247,7 +250,7 @@ impl PayWordOffice<'_> {
                     commitment.chain_id
                 )));
             }
-            let delta = pay.index - *prev;
+            let delta = pay.index.saturating_sub(*prev);
             *prev = pay.index;
             delta
         };

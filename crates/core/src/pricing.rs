@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 
 use gridbank_rur::Credits;
 
@@ -61,7 +61,7 @@ fn similarity(a: &ResourceDescription, b: &ResourceDescription) -> u64 {
         if hi == 0 {
             return 1024;
         }
-        lo.saturating_mul(1024) / hi
+        lo.saturating_mul(1024).checked_div(hi).unwrap_or(1024)
     }
     let parts = [
         ratio(a.cpu_speed as u64, b.cpu_speed as u64),
@@ -70,7 +70,7 @@ fn similarity(a: &ResourceDescription, b: &ResourceDescription) -> u64 {
         ratio(a.storage_mb, b.storage_mb),
         ratio(a.bandwidth_mbps as u64, b.bandwidth_mbps as u64),
     ];
-    parts.iter().fold(1024u64, |acc, r| acc * r / 1024)
+    parts.iter().fold(1024u64, |acc, r| acc.saturating_mul(*r) / 1024)
 }
 
 /// The estimator.
@@ -111,13 +111,16 @@ impl PriceEstimator {
             if w < min_similarity_ppk {
                 continue;
             }
-            weighted_sum += o.unit_price.micro() * w as i128;
-            weight_total += w as i128;
+            // Saturating is fine here: this is a price *estimate*, not
+            // account arithmetic, and similarity weights are <= 1000.
+            weighted_sum =
+                weighted_sum.saturating_add(o.unit_price.micro().saturating_mul(w as i128));
+            weight_total = weight_total.saturating_add(w as i128);
         }
         if weight_total == 0 {
             return Err(BankError::Protocol("no comparable transaction history".into()));
         }
-        Ok(Credits::from_micro(weighted_sum / weight_total))
+        Ok(Credits::from_micro(weighted_sum.checked_div(weight_total).unwrap_or(0)))
     }
 }
 

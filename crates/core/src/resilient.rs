@@ -112,7 +112,7 @@ impl ResilientBankClient {
     /// A fresh idempotency key for one logical mutating operation. The
     /// key stays fixed across every retry of that operation.
     fn fresh_key(&mut self) -> u64 {
-        self.ops += 1;
+        self.ops = self.ops.wrapping_add(1);
         self.key_seed ^ self.ops.wrapping_mul(0x9E37_79B9_7F4A_7C15)
     }
 
@@ -131,12 +131,15 @@ impl ResilientBankClient {
         key: Option<u64>,
         request: &BankRequest,
     ) -> Result<BankResponse, BankError> {
-        if self.client.is_none() {
-            let mut fresh = (self.connector)()?;
-            fresh.set_call_timeout(self.call_timeout);
-            self.client = Some(fresh);
-        }
-        self.client.as_mut().expect("just connected").call_keyed(key, request)
+        let client = match self.client.take() {
+            Some(live) => self.client.insert(live),
+            None => {
+                let mut fresh = (self.connector)()?;
+                fresh.set_call_timeout(self.call_timeout);
+                self.client.insert(fresh)
+            }
+        };
+        client.call_keyed(key, request)
     }
 
     /// Sends one logical request with retries. Mutating requests are

@@ -20,10 +20,9 @@
 //! readers — backpressure instead of unbounded thread growth.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex, RwLock};
+use crate::sync::{AtomicBool, AtomicU64, Condvar, Mutex, Ordering, RwLock};
 
 use gridbank_crypto::cert::{Certificate, SubjectName};
 use gridbank_crypto::keys::{KeyMaterial, SigningIdentity, VerifyingKey};
@@ -280,10 +279,7 @@ impl GridBank {
         let total = released.iter().fold(Credits::ZERO, |acc, (_, c)| acc.saturating_add(*c));
         span.attr("released", released.len().to_string());
         gridbank_obs::count("core.sweep.released_count", released.len() as u64);
-        gridbank_obs::count(
-            "core.sweep.released_micro",
-            total.micro().clamp(0, u64::MAX as i128) as u64,
-        );
+        gridbank_obs::count("core.sweep.released_micro", total.metric_micro());
         (released.len(), total)
     }
 
@@ -518,15 +514,11 @@ impl GridBank {
                     now,
                     validity_ms,
                 )?;
-                let full: Vec<_> = (0..=length)
-                    .map(|k| {
-                        if k == 0 {
-                            chain.commitment.root
-                        } else {
-                            chain.payword(k).expect("k in range").word
-                        }
-                    })
-                    .collect();
+                let mut full = Vec::with_capacity((length as usize).saturating_add(1));
+                full.push(chain.commitment.root);
+                for k in 1..=length {
+                    full.push(chain.payword(k)?.word);
+                }
                 Ok(BankResponse::HashChain {
                     commitment: chain.commitment,
                     signature: chain.signature,
@@ -745,7 +737,7 @@ struct LiveGuard(Arc<AtomicU64>);
 
 impl Drop for LiveGuard {
     fn drop(&mut self) {
-        let live = self.0.fetch_sub(1, Ordering::Relaxed) - 1;
+        let live = self.0.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
         gridbank_obs::gauge_set("net.server.live_connections", live as i64);
     }
 }
@@ -822,10 +814,10 @@ impl GridBankServer {
                     gridbank_obs::count("net.server.refused_connections", 1);
                     continue;
                 }
-                conn_seq += 1;
-                let total = conns.fetch_add(1, Ordering::Relaxed) + 1;
+                conn_seq = conn_seq.wrapping_add(1);
+                let total = conns.fetch_add(1, Ordering::Relaxed).saturating_add(1);
                 gridbank_obs::gauge_set("net.server.connection_count", total as i64);
-                let now_live = live.fetch_add(1, Ordering::Relaxed) + 1;
+                let now_live = live.fetch_add(1, Ordering::Relaxed).saturating_add(1);
                 gridbank_obs::gauge_set("net.server.live_connections", now_live as i64);
                 let guard = LiveGuard(Arc::clone(&live));
                 let bank = Arc::clone(&bank);
@@ -1228,5 +1220,96 @@ mod tests {
         let resp = b.handle(&alice, BankRequest::EstimatePrice { desc, min_similarity_ppk: 0 });
         let BankResponse::Estimate { price } = resp else { panic!("{resp:?}") };
         assert_eq!(price, Credits::from_gd(3));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Loom model: concurrent duplicate mutations through the real dispatcher.
+// ---------------------------------------------------------------------------
+//
+// Built only under `RUSTFLAGS="--cfg loom"`: `crate::sync` swaps to the
+// vendored yield-injecting primitives, so the in-flight key guard and
+// idempotency cache inside `handle_keyed` run under randomized
+// interleavings (see docs/STATIC_ANALYSIS.md).
+
+#[cfg(all(loom, test))]
+mod loom_model {
+    use super::*;
+    use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+
+    /// Three threads race the same idempotency key through the real
+    /// `handle_keyed` path (in-flight guard, dedup cache, transfer).
+    /// Exactly one transfer may apply per key, and every racer must see
+    /// the identical signed confirmation.
+    #[test]
+    fn duplicate_keyed_transfers_apply_exactly_once() {
+        // The bank (and its Merkle signer) is built once: keygen is far
+        // too slow to repeat per interleaving. Height 9 = 512 one-time
+        // signatures, enough for the default 128 model iterations (one
+        // confirmation is signed per iteration; the racers that lose
+        // the key race get the remembered bytes, not a fresh signature).
+        let config = GridBankConfig { signer_height: 9, ..GridBankConfig::default() };
+        let bank = Arc::new(GridBank::new(config, Clock::new()));
+        let alice = SubjectName::new("UWA", "CSSE", "alice");
+        let gsp = SubjectName::new("UWA", "CSSE", "gsp");
+        let admin = SubjectName("/O=GridBank/OU=Admin/CN=operator".into());
+        let BankResponse::AccountCreated { account: from } =
+            bank.handle(&alice, BankRequest::CreateAccount { organization: None })
+        else {
+            panic!("alice enrollment failed")
+        };
+        let BankResponse::AccountCreated { account: to } =
+            bank.handle(&gsp, BankRequest::CreateAccount { organization: None })
+        else {
+            panic!("gsp enrollment failed")
+        };
+        bank.handle(
+            &admin,
+            BankRequest::AdminDeposit { account: from, amount: Credits::from_gd(1_000_000) },
+        );
+
+        let amount = Credits::from_micro(7);
+        let iteration = StdAtomicU64::new(0);
+        loom::model(move || {
+            let n = iteration.fetch_add(1, StdOrdering::SeqCst) + 1;
+            let key = 1_000 + n;
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let bank = Arc::clone(&bank);
+                    let alice = alice.clone();
+                    loom::thread::spawn(move || {
+                        bank.handle_keyed(
+                            &alice,
+                            Some(key),
+                            BankRequest::DirectTransfer {
+                                to,
+                                amount,
+                                recipient_address: "gsp.grid.org".into(),
+                            },
+                        )
+                    })
+                })
+                .collect();
+            let responses: Vec<BankResponse> =
+                handles.into_iter().map(|h| h.join().expect("racer thread")).collect();
+            // Every racer observes the identical remembered confirmation.
+            let first = responses[0].to_bytes();
+            for r in &responses {
+                assert!(matches!(r, BankResponse::Confirmed(_)), "unexpected response {r:?}");
+                assert_eq!(r.to_bytes(), first, "racers saw divergent responses");
+            }
+            // The transfer applied exactly once per key: after n keys
+            // the recipient holds exactly n * amount.
+            let BankResponse::Account(rec) =
+                bank.handle(&admin, BankRequest::AccountDetails { account: to })
+            else {
+                panic!("balance read failed")
+            };
+            assert_eq!(
+                rec.available,
+                Credits::from_micro(7 * n as i128),
+                "duplicate transfer applied"
+            );
+        });
     }
 }

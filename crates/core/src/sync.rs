@@ -1,0 +1,21 @@
+//! Switchable concurrency primitives for the bank's hot paths.
+//!
+//! `db.rs` (group-commit queue, journal, idempotency table) and
+//! `server.rs` (per-key in-flight guard, worker pool) import their
+//! locks, condvars, and atomics from here instead of naming
+//! `parking_lot`/`std::sync::atomic` directly. A normal build re-exports
+//! those unchanged — zero cost. Building with `RUSTFLAGS="--cfg loom"`
+//! swaps in the vendored `loom` substitute, whose wrappers inject
+//! seeded randomized yields at every acquisition/atomic op so the
+//! `loom_model` tests (see `scripts/check.sh` stage `LOOM=1` and
+//! docs/STATIC_ANALYSIS.md) can shake out interleaving bugs.
+
+#[cfg(not(loom))]
+pub(crate) use parking_lot::{Condvar, Mutex, RwLock};
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+#[cfg(loom)]
+pub(crate) use loom::sync::{Condvar, Mutex, RwLock};

@@ -195,9 +195,12 @@ impl<P: BankPort> ChargingModule<P> {
         if !charge.is_positive() {
             return 0;
         }
-        let per = commitment.value_per_word.micro().max(1);
-        let words = (charge.micro() + per - 1) / per;
-        words.min(u32::MAX as i128) as u32
+        // Both operands are positive here (guarded above; value_per_word
+        // is clamped to >= 1), so widening into u128 is exact and
+        // div_ceil replaces the overflow-prone `(a + b - 1) / b` idiom.
+        let per = commitment.value_per_word.micro().max(1) as u128;
+        let words = (charge.micro() as u128).div_ceil(per);
+        words.min(u32::MAX as u128) as u32
     }
 }
 

@@ -19,6 +19,11 @@
 //!   the Grid Trade Server instance (rates + pricing policy), the meter,
 //!   the pool, and the full §2.1/§2.3 job pipeline.
 
+// The workspace `clippy::arithmetic_side_effects` wall guards
+// production money paths; test fixtures may build inputs with plain
+// arithmetic (see docs/STATIC_ANALYSIS.md §lint wall).
+#![cfg_attr(test, allow(clippy::arithmetic_side_effects))]
+
 pub mod charging;
 pub mod error;
 pub mod mapfile;

@@ -86,16 +86,22 @@ impl GridMapfile {
                 continue;
             }
             let rest = line.strip_prefix('"').ok_or_else(|| {
-                GspError::Mapfile(format!("line {}: missing opening quote", lineno + 1))
+                GspError::Mapfile(format!(
+                    "line {}: missing opening quote",
+                    lineno.saturating_add(1)
+                ))
             })?;
             let (cert, local) = rest.split_once('"').ok_or_else(|| {
-                GspError::Mapfile(format!("line {}: missing closing quote", lineno + 1))
+                GspError::Mapfile(format!(
+                    "line {}: missing closing quote",
+                    lineno.saturating_add(1)
+                ))
             })?;
             let local = local.trim();
             if local.is_empty() {
                 return Err(GspError::Mapfile(format!(
                     "line {}: missing local account",
-                    lineno + 1
+                    lineno.saturating_add(1)
                 )));
             }
             mapfile.bind(cert, local)?;

@@ -140,7 +140,9 @@ impl<P: BankPort> GridServiceProvider<P> {
             return Utilization::new(0);
         }
         let busy = self.machines.iter().filter(|m| m.busy_until_ms > now_ms).count();
-        Utilization::new((busy * 100 / self.machines.len()) as u8)
+        Utilization::new(
+            busy.saturating_mul(100).checked_div(self.machines.len()).unwrap_or(0) as u8
+        )
     }
 
     /// The Grid Trade Server's quote: pricing policy applied to base
@@ -148,11 +150,11 @@ impl<P: BankPort> GridServiceProvider<P> {
     pub fn quote(&mut self, now_ms: u64, validity_ms: u64) -> Result<RateQuote, GspError> {
         let rates = self.pricing.quote(&self.base_rates, self.utilization(now_ms))?;
         let quote_id = self.next_quote;
-        self.next_quote += 1;
+        self.next_quote = self.next_quote.wrapping_add(1);
         Ok(RateQuote {
             provider: self.cert.clone(),
             rates,
-            valid_until: now_ms + validity_ms,
+            valid_until: now_ms.saturating_add(validity_ms),
             quote_id,
         })
     }
@@ -185,7 +187,8 @@ impl<P: BankPort> GridServiceProvider<P> {
         self.machines
             .iter()
             .map(|m| {
-                m.machine.spec.speed as u64 * m.machine.spec.cores.min(parallelism.max(1)) as u64
+                (m.machine.spec.speed as u64)
+                    .saturating_mul(m.machine.spec.cores.min(parallelism.max(1)) as u64)
             })
             .max()
             .unwrap_or(0)
@@ -230,7 +233,7 @@ impl<P: BankPort> GridServiceProvider<P> {
         let host_type = self.machines[idx].machine.spec.os.host_type().to_string();
 
         let job_id = format!("{}-job-{}", self.host, self.next_job);
-        self.next_job += 1;
+        self.next_job = self.next_job.wrapping_add(1);
         let metered = MeteredJob {
             user_host: "submit.host".into(),
             user_cert: consumer_cert.to_string(),
@@ -319,7 +322,7 @@ impl<P: BankPort> GridServiceProvider<P> {
         self.pool.release(account);
 
         let (paid, released) = redemption?;
-        self.jobs_served += 1;
+        self.jobs_served = self.jobs_served.saturating_add(1);
         let machine_host = rur.resource.host.clone();
         Ok(JobOutcome { rur, charge, paid, released, local_account, machine_host, end_ms })
     }
@@ -377,7 +380,10 @@ impl<P: BankPort> GridServiceProvider<P> {
                 let owed = if i == n_intervals {
                     total_words
                 } else {
-                    (total_words as u64 * i as u64 / n_intervals as u64) as u32
+                    (total_words as u64)
+                        .saturating_mul(i as u64)
+                        .checked_div(n_intervals as u64)
+                        .unwrap_or(0) as u32
                 };
                 if owed > highest {
                     let pw = payword_source(owed)?;
@@ -399,7 +405,7 @@ impl<P: BankPort> GridServiceProvider<P> {
                 Some(pw) => self.gbcm.redeem_payword(commitment, signature, pw, Some(&rur))?,
                 None => Credits::ZERO,
             };
-            self.jobs_served += 1;
+            self.jobs_served = self.jobs_served.saturating_add(1);
             Ok(JobOutcome {
                 machine_host: rur.resource.host.clone(),
                 rur,

@@ -61,7 +61,7 @@ impl TemplatePool {
         let free = (1..=size)
             .map(|i| TemplateAccount {
                 local_name: format!("{prefix}{i:03}"),
-                uid: 60_000 + i as u32,
+                uid: 60_000u32.saturating_add(i as u32),
                 permissions,
             })
             .collect();
@@ -92,8 +92,8 @@ impl TemplatePool {
         let mut inner = self.inner.lock();
         match inner.free.pop_front() {
             Some(acct) => {
-                inner.in_use += 1;
-                inner.stats.acquisitions += 1;
+                inner.in_use = inner.in_use.saturating_add(1);
+                inner.stats.acquisitions = inner.stats.acquisitions.saturating_add(1);
                 let in_use = inner.in_use;
                 inner.stats.high_watermark = inner.stats.high_watermark.max(in_use);
                 gridbank_obs::gauge_set("gsp.pool.in_use", in_use as i64);
@@ -107,19 +107,21 @@ impl TemplatePool {
     pub fn acquire(&self, timeout: Duration) -> Option<TemplateAccount> {
         let mut inner = self.inner.lock();
         if inner.free.is_empty() {
-            inner.stats.waits += 1;
-            let deadline = std::time::Instant::now() + timeout;
+            inner.stats.waits = inner.stats.waits.saturating_add(1);
+            let deadline = std::time::Instant::now()
+                .checked_add(timeout)
+                .unwrap_or_else(std::time::Instant::now);
             while inner.free.is_empty() {
                 if self.available.wait_until(&mut inner, deadline).timed_out() {
-                    inner.stats.exhaustions += 1;
+                    inner.stats.exhaustions = inner.stats.exhaustions.saturating_add(1);
                     gridbank_obs::count("gsp.pool.exhaustions", 1);
                     return None;
                 }
             }
         }
         let acct = inner.free.pop_front().expect("non-empty after wait");
-        inner.in_use += 1;
-        inner.stats.acquisitions += 1;
+        inner.in_use = inner.in_use.saturating_add(1);
+        inner.stats.acquisitions = inner.stats.acquisitions.saturating_add(1);
         let in_use = inner.in_use;
         inner.stats.high_watermark = inner.stats.high_watermark.max(in_use);
         gridbank_obs::gauge_set("gsp.pool.in_use", in_use as i64);
@@ -130,7 +132,7 @@ impl TemplatePool {
     pub fn release(&self, account: TemplateAccount) {
         let mut inner = self.inner.lock();
         inner.in_use = inner.in_use.saturating_sub(1);
-        inner.stats.releases += 1;
+        inner.stats.releases = inner.stats.releases.saturating_add(1);
         gridbank_obs::gauge_set("gsp.pool.in_use", inner.in_use as i64);
         inner.free.push_back(account);
         drop(inner);

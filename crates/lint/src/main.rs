@@ -1,0 +1,118 @@
+//! Workspace driver: walks `crates/*/src` (plus the umbrella `src/`),
+//! loads the registered telemetry names from `docs/OBSERVABILITY.md`,
+//! runs every rule, prints the report, and exits non-zero on any
+//! violation. Invoked as `cargo run -p gridbank-lint` from
+//! `scripts/check.sh`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use gridbank_lint::{render_report, NameRegistry, SourceFile, Workspace};
+
+fn main() -> ExitCode {
+    let root = match workspace_root() {
+        Ok(root) => root,
+        Err(err) => {
+            eprintln!("gridbank-lint: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let obs_doc = root.join("docs/OBSERVABILITY.md");
+    let registry = match std::fs::read_to_string(&obs_doc) {
+        Ok(text) => match NameRegistry::parse(&text) {
+            Ok(reg) => reg,
+            Err(err) => {
+                eprintln!("gridbank-lint: {err}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(err) => {
+            eprintln!("gridbank-lint: cannot read {}: {err}", obs_doc.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut files = Vec::new();
+    let mut paths = collect_sources(&root);
+    paths.sort();
+    for path in paths {
+        let rel = path.strip_prefix(&root).unwrap_or(&path).display().to_string();
+        match std::fs::read_to_string(&path) {
+            Ok(text) => files.push(SourceFile::parse(&rel, &text)),
+            Err(err) => {
+                eprintln!("gridbank-lint: cannot read {rel}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if files.is_empty() {
+        eprintln!("gridbank-lint: no sources found under {}", root.display());
+        return ExitCode::FAILURE;
+    }
+
+    let workspace = Workspace { files, registry };
+    let report = workspace.analyze();
+    print!("{}", render_report(&report));
+    if report.rules_exercised() == 0 {
+        eprintln!("gridbank-lint: no rule inspected any site — scan scope is broken");
+        return ExitCode::FAILURE;
+    }
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Ascends from the current directory to the first `Cargo.toml` that
+/// declares `[workspace]`.
+fn workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)
+                .map_err(|e| format!("cannot read {}: {e}", manifest.display()))?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace Cargo.toml above the current directory".to_string());
+        }
+    }
+}
+
+/// Rust sources in scope: `crates/*/src/**` and the umbrella `src/**`.
+/// `vendor/`, `target/`, per-crate `tests/`, `benches/`, and `examples/`
+/// stay out — the rules govern production code; integration tests are
+/// covered by the in-file `#[cfg(test)]` masking instead.
+fn collect_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        for entry in entries.flatten() {
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                walk_rs(&src, &mut out);
+            }
+        }
+    }
+    let umbrella = root.join("src");
+    if umbrella.is_dir() {
+        walk_rs(&umbrella, &mut out);
+    }
+    out
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            walk_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Source preparation: comment/string masking, test-region detection,
+//! and `lint:allow` escape-hatch directives.
+//!
+//! The analyzer is token-oriented, not a full parser: rules scan a
+//! *masked* copy of each file in which every comment and every string,
+//! raw-string, and char-literal body has been replaced by spaces (line
+//! structure preserved). Operators and identifiers that survive masking
+//! are genuinely code, so substring rules cannot be fooled by a `"+"`
+//! inside a format string or an `unwrap()` in a doc comment.
+
+use std::collections::BTreeMap;
+
+/// One `// lint:allow(<rule>) <reason>` directive.
+#[derive(Clone, Debug)]
+pub struct AllowDirective {
+    /// Rule id the directive suppresses, e.g. `money-arith`.
+    pub rule: String,
+    /// Line (1-based) the directive applies to; `None` for file-wide
+    /// `lint:allow-file` directives.
+    pub line: Option<usize>,
+    /// Line the directive itself was written on.
+    pub declared_at: usize,
+    /// Mandatory justification text.
+    pub reason: String,
+}
+
+/// A source file prepared for rule scanning.
+pub struct SourceFile {
+    /// Workspace-relative path (display + scoping).
+    pub path: String,
+    /// Raw line contents (string literals intact — used by rules that
+    /// read names out of literals).
+    pub raw_lines: Vec<String>,
+    /// Masked line contents (comments and literal bodies blanked).
+    pub masked_lines: Vec<String>,
+    /// Per line: true when the line sits inside `#[cfg(test)]` /
+    /// `#[cfg(loom)]` regions or a `#[test]` function.
+    pub in_test: Vec<bool>,
+    /// Escape-hatch directives found in the file.
+    pub allows: Vec<AllowDirective>,
+}
+
+impl SourceFile {
+    /// Prepares `source` (with `path` used for display and scoping).
+    pub fn parse(path: &str, source: &str) -> SourceFile {
+        let masked = mask(source);
+        let raw_lines: Vec<String> = source.lines().map(str::to_string).collect();
+        let masked_lines: Vec<String> = masked.lines().map(str::to_string).collect();
+        let in_test = test_regions(&masked_lines);
+        let allows = parse_allows(&raw_lines, &masked_lines);
+        SourceFile { path: path.to_string(), raw_lines, masked_lines, in_test, allows }
+    }
+
+    /// Whether `line` (1-based) is inside test-only code.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.in_test.get(line.wrapping_sub(1)).copied().unwrap_or(false)
+    }
+
+    /// The allow directive covering `rule` at `line`, if any.
+    pub fn allow_for(&self, rule: &str, line: usize) -> Option<&AllowDirective> {
+        self.allows.iter().find(|a| a.rule == rule && (a.line.is_none() || a.line == Some(line)))
+    }
+}
+
+/// Replaces comment text and string/char-literal bodies with spaces,
+/// preserving newlines and column positions. Quote characters are kept
+/// so adjacent tokens do not merge.
+pub fn mask(source: &str) -> String {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push('"');
+                }
+                'r' if next == Some('"') || next == Some('#') => {
+                    // Possible raw string r"..." / r#"..."#.
+                    let mut j = i + 1;
+                    let mut hashes = 0;
+                    while bytes.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'"') {
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                        state = State::RawStr(hashes);
+                        continue;
+                    }
+                    out.push(c);
+                }
+                '\'' => {
+                    // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                    let is_char_literal = match next {
+                        Some('\\') => true,
+                        Some(n) => bytes.get(i + 2) == Some(&'\'') && n != '\'',
+                        None => false,
+                    };
+                    if is_char_literal {
+                        state = State::Char;
+                        out.push('\'');
+                    } else {
+                        out.push('\'');
+                    }
+                }
+                _ => out.push(c),
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::BlockComment(depth) => {
+                if c == '\n' {
+                    out.push('\n');
+                    i += 1;
+                    continue;
+                }
+                if c == '*' && next == Some('/') {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    state = if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                    continue;
+                }
+                out.push(' ');
+            }
+            State::Str => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                }
+                '"' => {
+                    state = State::Code;
+                    out.push('"');
+                }
+                '\n' => out.push('\n'),
+                _ => out.push(' '),
+            },
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if bytes.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        out.push('"');
+                        for _ in 0..hashes {
+                            out.push(' ');
+                        }
+                        i += 1 + hashes;
+                        state = State::Code;
+                        continue;
+                    }
+                }
+                out.push(if c == '\n' { '\n' } else { ' ' });
+            }
+            State::Char => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                }
+                '\'' => {
+                    state = State::Code;
+                    out.push('\'');
+                }
+                _ => out.push(' '),
+            },
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Marks the line ranges covered by `#[cfg(test)]` / `#[cfg(loom)]` /
+/// `#[test]`-attributed items (and `#[cfg(all(...))]` combinations that
+/// mention `test` or `loom`).
+fn test_regions(masked_lines: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; masked_lines.len()];
+    let joined: Vec<&str> = masked_lines.iter().map(String::as_str).collect();
+    for (idx, line) in joined.iter().enumerate() {
+        let compact: String = line.chars().filter(|c| !c.is_whitespace()).collect();
+        let is_marker = compact.contains("#[cfg(test)]")
+            || compact.contains("#[cfg(loom)]")
+            || compact.contains("#[test]")
+            || (compact.contains("#[cfg(all(")
+                && (compact.contains("test") || compact.contains("loom")));
+        if !is_marker {
+            continue;
+        }
+        // From the end of this line, find the item's opening `{` (or a
+        // terminating `;` for attribute-on-statement forms) and mark
+        // through the matching close brace.
+        let mut depth: i32 = 0;
+        let mut started = false;
+        'outer: for (j, body) in joined.iter().enumerate().skip(idx) {
+            for ch in body.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        started = true;
+                    }
+                    '}' => depth -= 1,
+                    ';' if !started => {
+                        // `#[cfg(test)] use foo;` — only these lines.
+                        for flag in in_test.iter_mut().take(j + 1).skip(idx) {
+                            *flag = true;
+                        }
+                        break 'outer;
+                    }
+                    _ => {}
+                }
+            }
+            if started && depth <= 0 {
+                for flag in in_test.iter_mut().take(j + 1).skip(idx) {
+                    *flag = true;
+                }
+                break;
+            }
+            if j + 1 == joined.len() {
+                for flag in in_test.iter_mut().skip(idx) {
+                    *flag = true;
+                }
+            }
+        }
+    }
+    in_test
+}
+
+/// Parses `// lint:allow(<rule>) <reason>` and
+/// `// lint:allow-file(<rule>) <reason>` directives.
+///
+/// A same-line directive covers the code on its own line; a directive
+/// alone on a line covers the next line that carries code. The reason
+/// text is mandatory — a bare directive is itself reported by the
+/// driver as a violation of the escape-hatch contract.
+fn parse_allows(raw_lines: &[String], masked_lines: &[String]) -> Vec<AllowDirective> {
+    let mut out = Vec::new();
+    // Map: directive line -> target line (for standalone directives).
+    let code_on_line: Vec<bool> =
+        masked_lines.iter().map(|l| !l.trim().is_empty() && l.trim() != "}").collect();
+    for (i, raw) in raw_lines.iter().enumerate() {
+        for (marker, file_wide) in [("lint:allow-file(", true), ("lint:allow(", false)] {
+            let Some(pos) = raw.find(marker) else { continue };
+            // Must live in a plain `//` comment. Doc comments (`///`,
+            // `//!`) don't count — they *describe* the directive syntax.
+            let before = &raw[..pos];
+            let Some(cpos) = before.find("//") else { continue };
+            if matches!(raw[cpos + 2..].chars().next(), Some('/' | '!')) {
+                continue;
+            }
+            let after = &raw[pos + marker.len()..];
+            let Some(close) = after.find(')') else { continue };
+            let rule = after[..close].trim().to_string();
+            let reason = after[close + 1..].trim().trim_start_matches(['-', '—', ':']).trim();
+            let line = if file_wide {
+                None
+            } else if raw[..cpos].trim().is_empty() {
+                // Standalone comment: applies to the next code line.
+                (i + 1..raw_lines.len()).find(|&j| code_on_line[j]).map(|j| j + 1)
+            } else {
+                Some(i + 1)
+            };
+            out.push(AllowDirective { rule, line, declared_at: i + 1, reason: reason.to_string() });
+            break;
+        }
+    }
+    out
+}
+
+/// Extracts the body text of `fn <name>` from a file, as (first_line,
+/// body) — brace-matched on masked lines. Used by the structural L2
+/// rule to cross-reference match arms between functions.
+pub fn fn_body(file: &SourceFile, name: &str) -> Option<(usize, String)> {
+    let needle = format!("fn {name}");
+    for (i, line) in file.masked_lines.iter().enumerate() {
+        let Some(pos) = line.find(&needle) else { continue };
+        // Word boundary after the name.
+        let after = &line[pos + needle.len()..];
+        if !after.starts_with('(') && !after.starts_with('<') && !after.starts_with(' ') {
+            continue;
+        }
+        let mut depth: i32 = 0;
+        let mut started = false;
+        let mut body = String::new();
+        for cur in &file.masked_lines[i..] {
+            for ch in cur.chars() {
+                if started && depth > 0 {
+                    body.push(ch);
+                }
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        started = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if started && depth == 0 {
+                            body.pop();
+                            return Some((i + 1, body));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            body.push('\n');
+        }
+        return None;
+    }
+    None
+}
+
+/// All `Prefix::Variant` identifiers occurring in `text`, de-duplicated.
+pub fn variants_of(text: &str, prefix: &str) -> BTreeMap<String, usize> {
+    let needle = format!("{prefix}::");
+    let mut out = BTreeMap::new();
+    let mut search = 0;
+    while let Some(pos) = text[search..].find(&needle) {
+        let start = search + pos + needle.len();
+        let ident: String =
+            text[start..].chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+        if !ident.is_empty() && ident.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            *out.entry(ident).or_insert(0) += 1;
+        }
+        search = start;
+    }
+    out
+}

@@ -1,0 +1,361 @@
+//! Fixture tests: every rule must flag its seeded violation and stay
+//! quiet on the compliant twin. These are the lint's own regression
+//! harness — if a rule stops firing on its fixture, the workspace scan
+//! has silently lost coverage.
+
+use gridbank_lint::{NameRegistry, Report, Rule, SourceFile, Workspace};
+
+fn registry() -> NameRegistry {
+    NameRegistry::parse(
+        "| metric | `core.` `net.` |\n\
+         | span | `net` `server.payment` |",
+    )
+    .expect("fixture registry parses")
+}
+
+fn analyze(path: &str, source: &str) -> Report {
+    let workspace =
+        Workspace { files: vec![SourceFile::parse(path, source)], registry: registry() };
+    workspace.analyze()
+}
+
+fn violations(report: &Report, rule: Rule) -> usize {
+    report.violations.iter().filter(|v| v.rule == rule).count()
+}
+
+// ---- L1 money-arith ----
+
+#[test]
+fn money_arith_flags_bare_ops_and_lossy_casts() {
+    let report = analyze(
+        "crates/sim/src/fixture.rs",
+        r#"
+fn total(a: Credits, b: Credits) -> i128 {
+    a.micro() + b.micro()
+}
+fn lossy(a: Credits) -> u64 {
+    a.micro() as u64
+}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::MoneyArith), 2, "{:?}", report.violations);
+}
+
+#[test]
+fn money_arith_accepts_checked_helpers_and_widening() {
+    let report = analyze(
+        "crates/sim/src/fixture.rs",
+        r#"
+fn total(a: Credits, b: Credits) -> Credits {
+    a.checked_add(b).unwrap_or(Credits::ZERO)
+}
+fn widen(a: Credits) -> i128 {
+    a.micro() as i128
+}
+fn telemetry(a: Credits) -> u64 {
+    a.metric_micro()
+}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::MoneyArith), 0, "{:?}", report.violations);
+}
+
+#[test]
+fn money_arith_skips_test_code_and_counts_allows() {
+    let report = analyze(
+        "crates/sim/src/fixture.rs",
+        r#"
+fn tagged(a: Credits) -> i128 {
+    // lint:allow(money-arith) fixture: justified exception
+    a.micro() + 1
+}
+
+#[cfg(test)]
+mod tests {
+    fn free_for_all(a: Credits) -> i128 {
+        a.micro() * 2 + 1
+    }
+}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::MoneyArith), 0, "{:?}", report.violations);
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].reason, "fixture: justified exception");
+}
+
+#[test]
+fn money_arith_ignores_operators_in_strings_and_comments() {
+    let report = analyze(
+        "crates/sim/src/fixture.rs",
+        r#"
+fn describe(a: Credits) -> String {
+    // a.micro() + b.micro() would be wrong here
+    format!("balance {a} = x + y")
+}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::MoneyArith), 0, "{:?}", report.violations);
+}
+
+// ---- L2 idem-stamp ----
+
+const API_OK: &str = r#"
+impl BankRequest {
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            BankRequest::CreateAccount { .. } => "CreateAccount",
+            BankRequest::DirectTransfer { .. } => "DirectTransfer",
+        }
+    }
+    pub fn is_mutating(&self) -> bool {
+        match self {
+            BankRequest::CreateAccount { .. } => true,
+            BankRequest::DirectTransfer { .. } => true,
+        }
+    }
+}
+"#;
+
+const SERVER_OK: &str = r#"
+impl GridBank {
+    fn handle_keyed(&self, req: BankRequest) -> BankResponse {
+        if let Some(hit) = self.db.idem_lookup(&cert, key) {
+            return hit;
+        }
+        let response = self.dispatch(req);
+        self.db.idem_record(&cert, key, &response);
+        response
+    }
+    fn dispatch(&self, req: BankRequest) -> BankResponse {
+        match req {
+            BankRequest::CreateAccount { .. } => self.create(),
+            BankRequest::DirectTransfer { .. } => self.transfer(),
+        }
+    }
+}
+"#;
+
+fn analyze_core(api: &str, server: &str) -> Report {
+    let workspace = Workspace {
+        files: vec![
+            SourceFile::parse("crates/core/src/api.rs", api),
+            SourceFile::parse("crates/core/src/server.rs", server),
+        ],
+        registry: registry(),
+    };
+    workspace.analyze()
+}
+
+#[test]
+fn idem_stamp_passes_on_explicit_classification() {
+    let report = analyze_core(API_OK, SERVER_OK);
+    assert_eq!(violations(&report, Rule::IdemStamp), 0, "{:?}", report.violations);
+}
+
+#[test]
+fn idem_stamp_rejects_wildcard_is_mutating() {
+    let api = API_OK.replace(
+        "BankRequest::CreateAccount { .. } => true,\n            BankRequest::DirectTransfer { .. } => true,",
+        "_ => true,",
+    );
+    let report = analyze_core(&api, SERVER_OK);
+    // Wildcard arm plus two unclassified variants.
+    assert!(violations(&report, Rule::IdemStamp) >= 1, "{:?}", report.violations);
+}
+
+#[test]
+fn idem_stamp_rejects_dispatch_outside_handle_keyed() {
+    let server = format!(
+        "{SERVER_OK}
+impl SideDoor {{
+    fn sneak(&self, req: BankRequest) -> BankResponse {{
+        self.dispatch(req)
+    }}
+}}
+"
+    );
+    let report = analyze_core(API_OK, &server);
+    assert_eq!(violations(&report, Rule::IdemStamp), 1, "{:?}", report.violations);
+}
+
+#[test]
+fn idem_stamp_requires_idem_calls_in_handle_keyed() {
+    let server = SERVER_OK.replace("self.db.idem_record(&cert, key, &response);", "");
+    let report = analyze_core(API_OK, &server);
+    assert_eq!(violations(&report, Rule::IdemStamp), 1, "{:?}", report.violations);
+}
+
+#[test]
+fn idem_stamp_requires_idem_field_next_to_transfer_rows() {
+    let bad = r#"
+fn build(&self) -> CommitRows {
+    CommitRows {
+        transactions: vec![],
+        transfer: Some(record),
+        ib_out: None,
+    }
+}
+"#;
+    let report = analyze("crates/core/src/fixture.rs", bad);
+    assert_eq!(violations(&report, Rule::IdemStamp), 1, "{:?}", report.violations);
+
+    let good = bad.replace("ib_out: None,", "ib_out: None,\n        idem: stamp,");
+    let report = analyze("crates/core/src/fixture.rs", &good);
+    assert_eq!(violations(&report, Rule::IdemStamp), 0, "{:?}", report.violations);
+
+    // `transfer: None` carries no audit row, so no stamp is required.
+    let none = bad.replace("transfer: Some(record),", "transfer: None,");
+    let report = analyze("crates/core/src/fixture.rs", &none);
+    assert_eq!(violations(&report, Rule::IdemStamp), 0, "{:?}", report.violations);
+}
+
+// ---- L3 no-panic ----
+
+#[test]
+fn no_panic_flags_unwrap_in_scope() {
+    let source = r#"
+fn decode(buf: &[u8]) -> Frame {
+    let len = buf.first().unwrap();
+    panic!("bad frame {len}");
+}
+"#;
+    let report = analyze("crates/net/src/fixture.rs", source);
+    assert_eq!(violations(&report, Rule::NoPanic), 2, "{:?}", report.violations);
+
+    // The same text outside the protected paths is none of our business.
+    let report = analyze("crates/sim/src/fixture.rs", source);
+    assert_eq!(violations(&report, Rule::NoPanic), 0, "{:?}", report.violations);
+}
+
+#[test]
+fn no_panic_permits_tests_and_fallible_cousins() {
+    let report = analyze(
+        "crates/core/src/fixture.rs",
+        r#"
+fn replay(buf: &[u8]) -> Result<Frame, DbError> {
+    let len = buf.first().copied().unwrap_or_default();
+    buf.get(1).ok_or(DbError::Truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn explode() {
+        decode(&[]).unwrap();
+        panic!("fine in tests");
+    }
+}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::NoPanic), 0, "{:?}", report.violations);
+}
+
+// ---- L4 display-parse ----
+
+#[test]
+fn display_parse_flags_matching_on_error_text() {
+    let report = analyze(
+        "crates/broker/src/fixture.rs",
+        r#"
+fn classify(e: &ErrorFrame) -> bool {
+    if e.message.contains("insufficient") {
+        return true;
+    }
+    e.to_string().starts_with("NET")
+}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::DisplayParse), 2, "{:?}", report.violations);
+}
+
+#[test]
+fn display_parse_permits_structured_fields_and_ordinary_strings() {
+    let report = analyze(
+        "crates/broker/src/fixture.rs",
+        r#"
+fn classify(e: &ErrorFrame, names: &HashSet<String>) -> bool {
+    if let ErrorDetail::InsufficientFunds { needed, .. } = &e.detail {
+        return needed.is_positive();
+    }
+    names.contains("alice") && e.code.starts_with("srv")
+}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::DisplayParse), 0, "{:?}", report.violations);
+}
+
+// ---- L5 metric-prefix ----
+
+#[test]
+fn metric_prefix_checks_literal_names_against_registry() {
+    let report = analyze(
+        "crates/gsp/src/fixture.rs",
+        r#"
+fn observe(timer: Stopwatch) {
+    gridbank_obs::count("core.fixture.hits", 1);
+    gridbank_obs::count("bogus.fixture.hits", 1);
+    timer.record_named("net.fixture.duration_ns");
+}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::MetricPrefix), 1, "{:?}", report.violations);
+    assert!(report.violations[0].message.contains("bogus.fixture.hits"));
+}
+
+#[test]
+fn metric_prefix_checks_span_components_exactly() {
+    let report = analyze(
+        "crates/gsp/src/fixture.rs",
+        r#"
+fn trace() {
+    let _a = gridbank_obs::span("server.payment", "fixture");
+    let _b = gridbank_obs::span("server.shadow", "fixture");
+}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::MetricPrefix), 1, "{:?}", report.violations);
+    assert!(report.violations[0].message.contains("server.shadow"));
+}
+
+#[test]
+fn metric_prefix_skips_dynamic_names_and_reads_multiline_calls() {
+    let report = analyze(
+        "crates/gsp/src/fixture.rs",
+        r#"
+fn observe(name: &str) {
+    gridbank_obs::count(name, 1);
+    gridbank_obs::count(
+        "core.fixture.multiline",
+        1,
+    );
+    gridbank_obs::count(
+        "nope.fixture.multiline",
+        1,
+    );
+}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::MetricPrefix), 1, "{:?}", report.violations);
+}
+
+// ---- escape-hatch audit ----
+
+#[test]
+fn malformed_directives_fail_the_run() {
+    let report = analyze(
+        "crates/sim/src/fixture.rs",
+        r#"
+// lint:allow(no-such-rule) typo'd rule id
+fn a() {}
+// lint:allow(no-panic)
+fn b() {}
+"#,
+    );
+    assert_eq!(report.bad_directives.len(), 2, "{:?}", report.bad_directives);
+    assert!(!report.passed());
+}
+
+#[test]
+fn registry_parse_rejects_missing_table() {
+    assert!(NameRegistry::parse("# Observability\nno table here\n").is_err());
+}

@@ -151,10 +151,17 @@ impl CircuitBreaker {
     }
 
     /// Gate check before an attempt. `Ok(())` admits the call; an open
-    /// circuit fails fast with [`NetError::CircuitOpen`].
+    /// circuit fails fast with [`NetError::CircuitOpen`]. While a
+    /// half-open probe is in flight every other caller also fails fast:
+    /// exactly one call owns the probe window until its outcome is
+    /// reported.
     pub fn admit(&mut self, now_ms: u64) -> Result<(), NetError> {
         match self.state {
-            BreakerState::Closed | BreakerState::HalfOpen => Ok(()),
+            BreakerState::Closed => Ok(()),
+            BreakerState::HalfOpen => {
+                gridbank_obs::count("net.breaker.fast_fail", 1);
+                Err(NetError::CircuitOpen)
+            }
             BreakerState::Open { since_ms } => {
                 if now_ms.saturating_sub(since_ms) >= self.cooldown_ms {
                     self.state = BreakerState::HalfOpen;
@@ -293,5 +300,78 @@ mod tests {
                 prev = d;
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Loom model: the circuit breaker behind a shared mutex.
+// ---------------------------------------------------------------------------
+//
+// Built only under `RUSTFLAGS="--cfg loom"`: the breaker is driven the
+// way `ResilientBankClient` drives it — behind a mutex, from racing
+// callers — under the vendored yield-injecting scheduler (see
+// docs/STATIC_ANALYSIS.md).
+
+#[cfg(all(loom, test))]
+mod loom_model {
+    use super::*;
+    use loom::sync::{Arc, Mutex};
+
+    /// Racing callers against a tripped breaker: exactly one wins the
+    /// half-open probe window after cooldown, everyone else fails fast,
+    /// and the probe's reported outcome decides the next state.
+    #[test]
+    fn half_open_admits_exactly_one_probe() {
+        loom::model(|| {
+            let breaker = Arc::new(Mutex::new(CircuitBreaker::new(2, 100)));
+            // Trip it from two racing failure reporters.
+            let reporters: Vec<_> = (0..2)
+                .map(|_| {
+                    let b = Arc::clone(&breaker);
+                    loom::thread::spawn(move || b.lock().record_failure(5))
+                })
+                .collect();
+            for h in reporters {
+                h.join().expect("reporter thread");
+            }
+            assert!(matches!(breaker.lock().state(), BreakerState::Open { since_ms: 5 }));
+            // Cooldown not elapsed: every caller fails fast.
+            assert_eq!(breaker.lock().admit(60), Err(NetError::CircuitOpen));
+            // Cooldown elapsed: exactly one racer is admitted as the
+            // half-open probe.
+            let racers: Vec<_> = (0..3)
+                .map(|_| {
+                    let b = Arc::clone(&breaker);
+                    loom::thread::spawn(move || b.lock().admit(205).is_ok())
+                })
+                .collect();
+            let outcomes: Vec<bool> =
+                racers.into_iter().map(|h| h.join().expect("racer thread")).collect();
+            assert_eq!(
+                outcomes.iter().filter(|&&ok| ok).count(),
+                1,
+                "probe window shared: {outcomes:?}"
+            );
+            // While the probe is in flight, later callers keep failing
+            // fast instead of piling onto a possibly-sick peer.
+            assert_eq!(breaker.lock().admit(210), Err(NetError::CircuitOpen));
+            // A failed probe re-opens for a fresh cooldown...
+            breaker.lock().record_failure(300);
+            assert!(matches!(breaker.lock().state(), BreakerState::Open { since_ms: 300 }));
+            assert_eq!(breaker.lock().admit(350), Err(NetError::CircuitOpen));
+            // ...and a successful probe closes the circuit for everyone.
+            assert!(breaker.lock().admit(420).is_ok());
+            breaker.lock().record_success();
+            assert_eq!(breaker.lock().state(), BreakerState::Closed);
+            let reopened: Vec<_> = (0..2)
+                .map(|_| {
+                    let b = Arc::clone(&breaker);
+                    loom::thread::spawn(move || b.lock().admit(421).is_ok())
+                })
+                .collect();
+            for h in reopened {
+                assert!(h.join().expect("caller thread"), "closed breaker rejected a call");
+            }
+        });
     }
 }

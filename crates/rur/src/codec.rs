@@ -109,7 +109,7 @@ impl<'a> ByteReader<'a> {
 
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
+        self.buf.len().saturating_sub(self.pos)
     }
 
     /// Fails unless the whole input was consumed — trailing garbage in a
@@ -126,8 +126,9 @@ impl<'a> ByteReader<'a> {
         if self.remaining() < n {
             return Err(RurError::Decode(format!("need {n} bytes, {} remain", self.remaining())));
         }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.saturating_add(n);
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
         Ok(out)
     }
 
@@ -222,8 +223,7 @@ impl Decode for Credits {
 
 impl Encode for ChargeableItem {
     fn encode(&self, w: &mut ByteWriter) {
-        let tag = ChargeableItem::ALL.iter().position(|i| i == self).expect("item in ALL") as u8;
-        w.put_u8(tag);
+        w.put_u8(self.tag());
     }
 }
 

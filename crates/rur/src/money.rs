@@ -8,6 +8,11 @@
 //! uses a widened multiply-then-divide so a µG$-per-hour rate applied to a
 //! millisecond duration rounds deterministically (half-up at the µG$).
 
+// lint:allow-file(money-arith) fixed-point definition module: the checked helpers are built here from raw i128 ops, under proptest coverage
+// The same rationale exempts this one module from the workspace clippy
+// wall: everything downstream must go through the checked API built here.
+#![allow(clippy::arithmetic_side_effects)]
+
 use std::fmt;
 use std::iter::Sum;
 use std::ops::Neg;
@@ -113,6 +118,21 @@ impl Credits {
         Ok(Credits(rounded))
     }
 
+    /// The amount as a non-negative `u64` of micro-G$ for counters and
+    /// histograms: negative amounts clamp to zero, amounts beyond
+    /// `u64::MAX` saturate. Telemetry only — never accounting — like
+    /// [`Credits::as_gd_f64`]; this is the one sanctioned way to turn
+    /// money into a metric value (`gridbank-lint` rejects ad-hoc casts).
+    pub const fn metric_micro(self) -> u64 {
+        if self.0 < 0 {
+            0
+        } else if self.0 > u64::MAX as i128 {
+            u64::MAX
+        } else {
+            self.0 as u64
+        }
+    }
+
     /// Absolute value.
     pub fn abs(self) -> Credits {
         Credits(self.0.abs())
@@ -140,6 +160,14 @@ impl Credits {
 impl Neg for Credits {
     type Output = Credits;
     fn neg(self) -> Credits {
+        Credits(-self.0)
+    }
+}
+
+impl Credits {
+    /// Negation as a method: call sites outside this module sit behind
+    /// the workspace arithmetic wall, which bans the unary operator.
+    pub const fn negated(self) -> Credits {
         Credits(-self.0)
     }
 }

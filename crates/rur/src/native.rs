@@ -182,7 +182,9 @@ impl NativeUsageRecord {
     pub fn end_ms(&self) -> u64 {
         match self {
             NativeUsageRecord::Linux(r) => r.end_ms,
-            NativeUsageRecord::Solaris(r) => r.start_ms + r.etime_ticks * 10,
+            NativeUsageRecord::Solaris(r) => {
+                r.start_ms.saturating_add(r.etime_ticks.saturating_mul(10))
+            }
             NativeUsageRecord::Cray(r) => r.end_ms,
         }
     }
@@ -198,11 +200,11 @@ impl NativeUsageRecord {
                         why: "job ends before it starts".into(),
                     });
                 }
-                let wall = Duration::from_ms(r.end_ms - r.start_ms);
+                let wall = Duration::from_ms(r.end_ms.saturating_sub(r.start_ms));
                 let mem = DataSize::from_bytes(r.maxrss_kb.saturating_mul(1024));
                 let scratch = DataSize::from_bytes(r.scratch_kb.saturating_mul(1024));
                 // Block I/O counts toward traffic alongside network bytes.
-                let block_bytes = (r.inblock + r.oublock).saturating_mul(512);
+                let block_bytes = r.inblock.saturating_add(r.oublock).saturating_mul(512);
                 Ok(NormalizedUsage {
                     wall,
                     cpu: Duration::from_ms(r.utime_us / 1_000),
@@ -214,13 +216,13 @@ impl NativeUsageRecord {
             }
             NativeUsageRecord::Solaris(r) => {
                 // 100 Hz ticks → 10 ms each; pages are 8 KB.
-                let wall = Duration::from_ms(r.etime_ticks * 10);
+                let wall = Duration::from_ms(r.etime_ticks.saturating_mul(10));
                 let mem = DataSize::from_bytes(r.mem_pages.saturating_mul(8 * 1024));
                 let scratch = DataSize::from_bytes(r.scratch_pages.saturating_mul(8 * 1024));
                 Ok(NormalizedUsage {
                     wall,
-                    cpu: Duration::from_ms(r.utime_ticks * 10),
-                    sys_cpu: Duration::from_ms(r.stime_ticks * 10),
+                    cpu: Duration::from_ms(r.utime_ticks.saturating_mul(10)),
+                    sys_cpu: Duration::from_ms(r.stime_ticks.saturating_mul(10)),
                     memory: MbHours::occupancy(mem, wall),
                     storage: MbHours::occupancy(scratch, wall),
                     network: DataSize::from_bytes(r.io_chars),
@@ -233,7 +235,7 @@ impl NativeUsageRecord {
                         why: "job ends before it starts".into(),
                     });
                 }
-                let wall = Duration::from_ms(r.end_ms - r.start_ms);
+                let wall = Duration::from_ms(r.end_ms.saturating_sub(r.start_ms));
                 // A million 8-byte words = 8 MB.
                 let mem = DataSize::from_bytes(r.himem_mwords.saturating_mul(8_000_000));
                 let disk = DataSize::from_bytes(r.disk_sectors.saturating_mul(4096));

@@ -43,6 +43,18 @@ impl ChargeableItem {
         ChargeableItem::Software,
     ];
 
+    /// Stable wire tag: the item's index in [`ChargeableItem::ALL`].
+    pub const fn tag(self) -> u8 {
+        match self {
+            ChargeableItem::WallClock => 0,
+            ChargeableItem::Cpu => 1,
+            ChargeableItem::Memory => 2,
+            ChargeableItem::Storage => 3,
+            ChargeableItem::Network => 4,
+            ChargeableItem::Software => 5,
+        }
+    }
+
     /// Stable name used by codecs and rate tables.
     pub fn name(&self) -> &'static str {
         match self {
@@ -250,8 +262,7 @@ impl ResourceUsageRecord {
         }
         let mut seen = [false; ChargeableItem::ALL.len()];
         for line in &self.lines {
-            let idx =
-                ChargeableItem::ALL.iter().position(|i| *i == line.item).expect("item in ALL");
+            let idx = line.item.tag() as usize;
             if seen[idx] {
                 return Err(RurError::Invalid {
                     field: "lines",

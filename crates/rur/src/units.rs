@@ -30,12 +30,12 @@ impl Duration {
 
     /// From whole seconds.
     pub const fn from_secs(s: u64) -> Duration {
-        Duration(s * 1_000)
+        Duration(s.saturating_mul(1_000))
     }
 
     /// From whole hours.
     pub const fn from_hours(h: u64) -> Duration {
-        Duration(h * MS_PER_HOUR)
+        Duration(h.saturating_mul(MS_PER_HOUR))
     }
 
     /// Milliseconds.
@@ -93,7 +93,7 @@ impl DataSize {
 
     /// From whole megabytes.
     pub const fn from_mb(mb: u64) -> DataSize {
-        DataSize(mb * BYTES_PER_MB)
+        DataSize(mb.saturating_mul(BYTES_PER_MB))
     }
 
     /// Bytes.
@@ -143,7 +143,7 @@ impl MbHours {
         // Work in bytes·ms then convert to MB·ms to preserve precision for
         // small allocations; saturate on pathological inputs.
         let bytes_ms = (size.as_bytes() as u128).saturating_mul(held_for.as_ms() as u128);
-        MbHours((bytes_ms / BYTES_PER_MB as u128).min(u64::MAX as u128) as u64)
+        MbHours(bytes_ms.checked_div(BYTES_PER_MB as u128).unwrap_or(0).min(u64::MAX as u128) as u64)
     }
 
     /// Raw MB·milliseconds.

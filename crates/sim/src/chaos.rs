@@ -236,6 +236,7 @@ const CHEQUE_VALIDITY_MS: u64 = 60_000;
 /// identifies one logical payment, so duplicates in the transfer table
 /// betray a double-apply.
 fn op_amount(consumer: usize, op: usize) -> Credits {
+    // lint:allow(money-arith) bounded literal inputs build distinct fixture amounts; cannot overflow
     Credits::from_micro(1_000_000 + (consumer as i128 + 1) * 10_000 + (op as i128 + 1))
 }
 
@@ -337,6 +338,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     let mut seen: std::collections::HashMap<(AccountId, AccountId, i128), usize> =
         std::collections::HashMap::new();
     for t in &transfers {
+        // lint:allow(money-arith) increments a usize occurrence counter; .micro() is only a map key
         *seen.entry((t.drawer, t.recipient, t.amount.micro())).or_default() += 1;
     }
     report.double_applied = seen.values().filter(|&&n| n > 1).map(|n| n - 1).sum();

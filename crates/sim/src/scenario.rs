@@ -174,7 +174,7 @@ fn feed_collector(scope: &str, report: &MarketReport, providers: usize) {
     let c = gridbank_obs::Collector::new(scope);
     c.add("jobs_completed", report.completed as u64);
     c.add("jobs_failed", report.failed as u64);
-    c.add("paid_micro", report.total_paid.micro().clamp(0, u64::MAX as i128) as u64);
+    c.add("paid_micro", report.total_paid.metric_micro());
     c.gauge("providers", providers as i64);
     c.observe("makespan_ms", report.makespan_ms);
 }
@@ -265,6 +265,7 @@ pub fn run_cooperative(n: usize, rounds: usize, work_per_job: u64, seed: u64) ->
                     sys_pct: 0,
                 },
                 1,
+                // lint:allow(money-arith) u64::MAX/2 is a far-future deadline sentinel, not money
                 QosConstraints { deadline_ms: u64::MAX / 2, budget: Credits::from_gd(1_000) },
             );
             let provider_slice = std::slice::from_mut(&mut grid.providers[target]);

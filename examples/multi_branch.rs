@@ -35,7 +35,7 @@ fn main() {
     let vos = ["physics", "bioinformatics", "climate"];
     let mut accounts = Vec::new();
     for (i, vo) in vos.iter().enumerate() {
-        let branch = make_branch((i + 1) as u16, vo);
+        let branch = make_branch(i.saturating_add(1) as u16, vo);
         // Two members per VO: a consumer and a provider.
         let consumer =
             branch.accounts.create_account(&format!("/O={vo}/CN=consumer"), None).unwrap();
@@ -90,7 +90,7 @@ fn main() {
 
     println!("\nfinal balances:");
     for (i, (consumer, provider)) in accounts.iter().enumerate() {
-        let branch = interbank.branch((i + 1) as u16).unwrap();
+        let branch = interbank.branch(i.saturating_add(1) as u16).unwrap();
         let c = branch.accounts.account_details(consumer).unwrap();
         let p = branch.accounts.account_details(provider).unwrap();
         println!("  {:<16} consumer {}   provider {}", vos[i], c.available, p.available);

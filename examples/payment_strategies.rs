@@ -179,7 +179,7 @@ fn main() {
                 },
                 16,
                 QosConstraints {
-                    deadline_ms: deadline_h * MS_PER_HOUR,
+                    deadline_ms: deadline_h.saturating_mul(MS_PER_HOUR),
                     budget: Credits::from_gd(40),
                 },
             );

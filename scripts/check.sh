@@ -10,6 +10,13 @@ cargo fmt --all --check
 echo "== cargo clippy (workspace, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Domain-invariant analysis (docs/STATIC_ANALYSIS.md): money arithmetic,
+# idempotency stamps, no-panic request paths, Display parsing, metric
+# registry. Exits non-zero on any violation or malformed allow
+# directive; the report includes the suppression count per directive.
+echo "== gridbank-lint (deny violations; see docs/STATIC_ANALYSIS.md)"
+cargo run -q -p gridbank-lint
+
 echo "== tier-1: cargo build --release && cargo test"
 cargo build --release
 cargo test -q
@@ -69,5 +76,28 @@ grep -q "clearing accounts net to zero" <<<"$fed_out" || {
   echo "federation smoke: settlement did not net to zero" >&2
   exit 1
 }
+
+# Opt-in concurrency stages (docs/STATIC_ANALYSIS.md). LOOM=1 rebuilds
+# core/net with the yield-injecting sync facade and runs the three
+# models (group-commit queue, idempotency dedup, circuit breaker).
+# LOOM_ITERS / LOOM_SEED tune the exploration (defaults 128 / fixed).
+if [[ -n "${LOOM:-}" ]]; then
+  echo "== loom models (RUSTFLAGS=--cfg loom)"
+  RUSTFLAGS="--cfg loom" cargo test -q -p gridbank-core -p gridbank-net loom_
+fi
+
+# MIRI=1 runs the codec + netting-engine unit tests under Miri when the
+# component exists; the pinned toolchain may not ship it, so a missing
+# cargo-miri is a skip, not a failure.
+if [[ -n "${MIRI:-}" ]]; then
+  if cargo miri --version >/dev/null 2>&1; then
+    echo "== miri (codec + netting engine)"
+    cargo miri test -q -p gridbank-rur codec
+    cargo miri test -q -p gridbank-core branch::
+  else
+    echo "== miri: cargo-miri not installed for this toolchain — skipping" \
+         "(rustup component add miri on a nightly to enable)"
+  fi
+fi
 
 echo "== all checks passed"

@@ -16,6 +16,11 @@
 //! Seeds are fixed for reproducibility; set `CHAOS_SEED=<n>` to probe a
 //! different storm (CI keeps the defaults).
 
+// Test fixtures build inputs with plain arithmetic; the workspace
+// `clippy::arithmetic_side_effects` wall targets production money paths
+// (see docs/STATIC_ANALYSIS.md §lint wall).
+#![allow(clippy::arithmetic_side_effects)]
+
 use gridbank_suite::sim::chaos::{run_chaos, ChaosConfig};
 
 /// ≥20% uniform fault rate, per direction, per fault kind.

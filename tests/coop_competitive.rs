@@ -1,5 +1,10 @@
 //! E4 + E8 — the two operating models of §4 as whole-grid scenarios.
 
+// Test fixtures build inputs with plain arithmetic; the workspace
+// `clippy::arithmetic_side_effects` wall targets production money paths
+// (see docs/STATIC_ANALYSIS.md §lint wall).
+#![allow(clippy::arithmetic_side_effects)]
+
 use gridbank_suite::broker::scheduling::Algorithm;
 use gridbank_suite::rur::Credits;
 use gridbank_suite::sim::scenario::{

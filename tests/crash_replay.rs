@@ -2,6 +2,11 @@
 //! write-ahead journal alone reconstructs identical state ("GB database"
 //! durability, §3.2/§5.1).
 
+// Test fixtures build inputs with plain arithmetic; the workspace
+// `clippy::arithmetic_side_effects` wall targets production money paths
+// (see docs/STATIC_ANALYSIS.md §lint wall).
+#![allow(clippy::arithmetic_side_effects)]
+
 use std::sync::Arc;
 
 use gridbank_suite::bank::accounts::GbAccounts;

@@ -5,6 +5,11 @@
 //! opening, deposits, cheque purchase, job execution, metering,
 //! redemption, statements.
 
+// Test fixtures build inputs with plain arithmetic; the workspace
+// `clippy::arithmetic_side_effects` wall targets production money paths
+// (see docs/STATIC_ANALYSIS.md §lint wall).
+#![allow(clippy::arithmetic_side_effects)]
+
 use std::sync::Arc;
 
 use gridbank_suite::bank::client::GridBankClient;

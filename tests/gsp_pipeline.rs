@@ -2,6 +2,11 @@
 //! flavours flow through the conversion unit into conforming RURs, get
 //! priced against the agreed rates, and aggregate across resources.
 
+// Test fixtures build inputs with plain arithmetic; the workspace
+// `clippy::arithmetic_side_effects` wall targets production money paths
+// (see docs/STATIC_ANALYSIS.md §lint wall).
+#![allow(clippy::arithmetic_side_effects)]
+
 use gridbank_suite::meter::levels::AccountingLevel;
 use gridbank_suite::meter::machine::{JobSpec, Machine, MachineSpec, OsFlavour};
 use gridbank_suite::meter::meter::{GridResourceMeter, MeteredJob};

@@ -1,6 +1,11 @@
 //! E7 — §3.4 payment guarantee: clients can never overspend; locked
 //! funds make every issued instrument good for its face value.
 
+// Test fixtures build inputs with plain arithmetic; the workspace
+// `clippy::arithmetic_side_effects` wall targets production money paths
+// (see docs/STATIC_ANALYSIS.md §lint wall).
+#![allow(clippy::arithmetic_side_effects)]
+
 use std::sync::Arc;
 
 use proptest::prelude::*;

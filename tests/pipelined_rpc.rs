@@ -3,6 +3,11 @@
 //! mutations under concurrency and link faults (see `docs/PROTOCOLS.md`
 //! §1 for the pipelining state machine).
 
+// Test fixtures build inputs with plain arithmetic; the workspace
+// `clippy::arithmetic_side_effects` wall targets production money paths
+// (see docs/STATIC_ANALYSIS.md §lint wall).
+#![allow(clippy::arithmetic_side_effects)]
+
 use std::sync::Arc;
 
 use gridbank_suite::bank::client::GridBankClient;

@@ -1,6 +1,11 @@
 //! E12 — deadline×budget sweeps over the four DBC algorithms, executed
 //! against real providers with real payments (not just planned).
 
+// Test fixtures build inputs with plain arithmetic; the workspace
+// `clippy::arithmetic_side_effects` wall targets production money paths
+// (see docs/STATIC_ANALYSIS.md §lint wall).
+#![allow(clippy::arithmetic_side_effects)]
+
 use gridbank_suite::broker::job::{JobBatch, QosConstraints};
 use gridbank_suite::broker::scheduling::Algorithm;
 use gridbank_suite::meter::machine::JobSpec;

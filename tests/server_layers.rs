@@ -2,6 +2,11 @@
 //! against the *same* accounts layer without interfering, and the
 //! security layer's account-table gate stands in front of everything.
 
+// Test fixtures build inputs with plain arithmetic; the workspace
+// `clippy::arithmetic_side_effects` wall targets production money paths
+// (see docs/STATIC_ANALYSIS.md §lint wall).
+#![allow(clippy::arithmetic_side_effects)]
+
 use std::sync::Arc;
 
 use gridbank_suite::bank::api::BankRequest;

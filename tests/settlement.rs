@@ -1,6 +1,11 @@
 //! E10 — §6 multi-branch settlement at scale: many branches, randomized
 //! cross-VO payment traffic, netting correctness, conservation.
 
+// Test fixtures build inputs with plain arithmetic; the workspace
+// `clippy::arithmetic_side_effects` wall targets production money paths
+// (see docs/STATIC_ANALYSIS.md §lint wall).
+#![allow(clippy::arithmetic_side_effects)]
+
 use std::sync::Arc;
 
 use rand::rngs::StdRng;

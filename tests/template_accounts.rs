@@ -1,6 +1,11 @@
 //! E6 — §2.3 access scalability: many consumers share a small pool of
 //! template accounts with dynamic grid-mapfile bindings, concurrently.
 
+// Test fixtures build inputs with plain arithmetic; the workspace
+// `clippy::arithmetic_side_effects` wall targets production money paths
+// (see docs/STATIC_ANALYSIS.md §lint wall).
+#![allow(clippy::arithmetic_side_effects)]
+
 use std::sync::Arc;
 use std::time::Duration as StdDuration;
 

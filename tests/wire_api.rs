@@ -2,6 +2,11 @@
 //! operation the paper lists, exercised through the remote client against
 //! a live server, including the admin suite and hash chains.
 
+// Test fixtures build inputs with plain arithmetic; the workspace
+// `clippy::arithmetic_side_effects` wall targets production money paths
+// (see docs/STATIC_ANALYSIS.md §lint wall).
+#![allow(clippy::arithmetic_side_effects)]
+
 use std::sync::Arc;
 
 use gridbank_suite::bank::client::GridBankClient;

@@ -1,0 +1,203 @@
+//! Yield-injecting wrappers over the vendored `parking_lot` primitives
+//! and the standard atomics, exposing the same API shape the GridBank
+//! crates consume through their `crate::sync` facades.
+
+use std::time::Instant;
+
+use crate::schedule_point;
+
+pub use std::sync::Arc;
+
+/// Guard type re-exported so facade signatures line up.
+pub type MutexGuard<'a, T> = parking_lot::MutexGuard<'a, T>;
+/// Re-export: `wait_until` result, `timed_out()` accessor.
+pub use parking_lot::WaitTimeoutResult;
+
+/// parking_lot-style mutex (lock() returns the guard) with schedule
+/// points on acquisition.
+pub struct Mutex<T>(parking_lot::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex(parking_lot::Mutex::new(value))
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        schedule_point();
+        let guard = self.0.lock();
+        schedule_point();
+        guard
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+/// parking_lot-style rwlock with schedule points on acquisition.
+pub struct RwLock<T>(parking_lot::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock(parking_lot::RwLock::new(value))
+    }
+
+    pub fn read(&self) -> parking_lot::RwLockReadGuard<'_, T> {
+        schedule_point();
+        let guard = self.0.read();
+        schedule_point();
+        guard
+    }
+
+    pub fn write(&self) -> parking_lot::RwLockWriteGuard<'_, T> {
+        schedule_point();
+        let guard = self.0.write();
+        schedule_point();
+        guard
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
+
+/// Condition variable mirroring the vendored parking_lot API
+/// (`wait(&mut guard)`, `wait_until(...) -> WaitTimeoutResult`).
+#[derive(Default)]
+pub struct Condvar(parking_lot::Condvar);
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar(parking_lot::Condvar::new())
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        schedule_point();
+        self.0.wait(guard);
+        schedule_point();
+    }
+
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        schedule_point();
+        let result = self.0.wait_until(guard, deadline);
+        schedule_point();
+        result
+    }
+
+    pub fn notify_one(&self) {
+        schedule_point();
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        schedule_point();
+        self.0.notify_all();
+    }
+}
+
+/// Atomics with a schedule point around every operation.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::schedule_point;
+
+    macro_rules! atomic_wrapper {
+        ($name:ident, $std:ty, $int:ty) => {
+            #[derive(Default, Debug)]
+            pub struct $name($std);
+
+            impl $name {
+                pub const fn new(value: $int) -> $name {
+                    $name(<$std>::new(value))
+                }
+
+                pub fn load(&self, order: Ordering) -> $int {
+                    schedule_point();
+                    self.0.load(order)
+                }
+
+                pub fn store(&self, value: $int, order: Ordering) {
+                    schedule_point();
+                    self.0.store(value, order);
+                    schedule_point();
+                }
+
+                pub fn swap(&self, value: $int, order: Ordering) -> $int {
+                    schedule_point();
+                    self.0.swap(value, order)
+                }
+
+                pub fn fetch_add(&self, value: $int, order: Ordering) -> $int {
+                    schedule_point();
+                    let prev = self.0.fetch_add(value, order);
+                    schedule_point();
+                    prev
+                }
+
+                pub fn fetch_sub(&self, value: $int, order: Ordering) -> $int {
+                    schedule_point();
+                    let prev = self.0.fetch_sub(value, order);
+                    schedule_point();
+                    prev
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    schedule_point();
+                    self.0.compare_exchange(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    atomic_wrapper!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+    atomic_wrapper!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    atomic_wrapper!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+    /// Bool atomics need their own wrapper (no fetch_add/fetch_sub).
+    #[derive(Default, Debug)]
+    pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+    impl AtomicBool {
+        pub const fn new(value: bool) -> AtomicBool {
+            AtomicBool(std::sync::atomic::AtomicBool::new(value))
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            schedule_point();
+            self.0.load(order)
+        }
+
+        pub fn store(&self, value: bool, order: Ordering) {
+            schedule_point();
+            self.0.store(value, order);
+            schedule_point();
+        }
+
+        pub fn swap(&self, value: bool, order: Ordering) -> bool {
+            schedule_point();
+            self.0.swap(value, order)
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Thread spawning with a schedule point at spawn and join, mirroring
+//! `loom::thread`.
+
+use crate::schedule_point;
+
+pub use std::thread::yield_now;
+
+/// Join handle mirroring `std::thread::JoinHandle` with a schedule
+/// point before joining.
+pub struct JoinHandle<T>(std::thread::JoinHandle<T>);
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        schedule_point();
+        self.0.join()
+    }
+}
+
+/// Spawns a thread, injecting a schedule point on either side so sibling
+/// spawns race from iteration to iteration.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    schedule_point();
+    let handle = std::thread::spawn(move || {
+        schedule_point();
+        f()
+    });
+    JoinHandle(handle)
+}
