@@ -401,9 +401,14 @@ impl CommitQueue {
             st.leader = true;
             // Linger for stragglers — but only while other writers are
             // actually in flight; a lone committer flushes immediately.
-            let deadline = Instant::now()
+            // A pathological max_delay_micros that overflows Instant
+            // clamps to a bounded one-second linger rather than
+            // silently degrading to zero linger.
+            let now = Instant::now();
+            let deadline = now
                 .checked_add(Duration::from_micros(cfg.max_delay_micros))
-                .unwrap_or_else(Instant::now);
+                .or_else(|| now.checked_add(Duration::from_secs(1)))
+                .unwrap_or(now);
             while st.pending.len() < cfg.max_batch
                 && st.pending.len() < self.writers.load(Ordering::SeqCst)
             {

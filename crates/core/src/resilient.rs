@@ -192,11 +192,19 @@ impl ResilientBankClient {
                         }
                     }
                 }
+                Err(BankError::Net(e)) => {
+                    // Non-retryable transport failure (refused, handshake,
+                    // malformed frame, ...). Report it: if this was the
+                    // half-open probe, the breaker must re-open with a
+                    // fresh cooldown — swallowing the outcome would leave
+                    // it wedged in HalfOpen, fast-failing forever.
+                    self.breaker.record_failure(self.clock.now_ms());
+                    self.client = None;
+                    return Err(BankError::Net(e));
+                }
                 Err(e) => {
                     // A typed bank error is a *successful* round trip.
-                    if !matches!(e, BankError::Net(_)) {
-                        self.breaker.record_success();
-                    }
+                    self.breaker.record_success();
                     return Err(e);
                 }
             }
@@ -381,6 +389,45 @@ mod tests {
         assert!(matches!(err, Err(BankError::Net(NetError::CircuitOpen))));
         assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), after_first + 1);
         assert!(matches!(c.breaker_state(), BreakerState::Open { .. }));
+    }
+
+    // Regression: a half-open probe that dies with a *non-retryable*
+    // transport error (e.g. reconnect refused while the peer is down)
+    // must report the failure and re-open the circuit. Before the fix
+    // the outcome was swallowed, leaving the breaker wedged in HalfOpen
+    // — every later call failed fast forever, even after recovery.
+    #[test]
+    fn failed_probe_with_fatal_error_reopens_instead_of_wedging() {
+        let clock = Clock::new();
+        let calls = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let c2 = calls.clone();
+        let connector: Connector = Box::new(move || {
+            let n = c2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let err = if n < 2 {
+                NetError::Timeout // trip the breaker
+            } else {
+                NetError::Refused { subject: "broker".into(), reason: "peer down".into() }
+            };
+            Err(BankError::Net(err))
+        });
+        let mut c = ResilientBankClient::new(connector, policy(), clock.clone(), 7)
+            .with_breaker(CircuitBreaker::new(2, 10_000));
+        assert!(c.call(&BankRequest::MyAccount).is_err());
+        assert!(matches!(c.breaker_state(), BreakerState::Open { .. }));
+        // Cooldown elapses; the probe fails with the fatal Refused.
+        clock.advance(10_001);
+        let err = c.call(&BankRequest::MyAccount);
+        assert!(matches!(err, Err(BankError::Net(NetError::Refused { .. }))));
+        // The breaker re-opened with a fresh cooldown — not HalfOpen.
+        assert!(matches!(c.breaker_state(), BreakerState::Open { .. }));
+        let err = c.call(&BankRequest::MyAccount);
+        assert!(matches!(err, Err(BankError::Net(NetError::CircuitOpen))));
+        // After another cooldown the next probe is admitted again: the
+        // client recovers instead of being bricked.
+        clock.advance(10_001);
+        let before = calls.load(std::sync::atomic::Ordering::Relaxed);
+        assert!(c.call(&BankRequest::MyAccount).is_err());
+        assert_eq!(calls.load(std::sync::atomic::Ordering::Relaxed), before + 1);
     }
 
     #[test]

@@ -737,7 +737,13 @@ struct LiveGuard(Arc<AtomicU64>);
 
 impl Drop for LiveGuard {
     fn drop(&mut self) {
-        let live = self.0.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+        // checked_sub in the update itself: an underflowing decrement
+        // (a guard outliving its increment — an accounting bug) pins
+        // the counter at zero instead of wrapping it to u64::MAX.
+        let live = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+            .map_or(0, |prev| prev.saturating_sub(1));
         gridbank_obs::gauge_set("net.server.live_connections", live as i64);
     }
 }
