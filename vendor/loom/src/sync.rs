@@ -167,6 +167,21 @@ pub mod atomic {
                     schedule_point();
                     self.0.compare_exchange(current, new, success, failure)
                 }
+
+                pub fn fetch_update<F>(
+                    &self,
+                    set_order: Ordering,
+                    fetch_order: Ordering,
+                    f: F,
+                ) -> Result<$int, $int>
+                where
+                    F: FnMut($int) -> Option<$int>,
+                {
+                    schedule_point();
+                    let res = self.0.fetch_update(set_order, fetch_order, f);
+                    schedule_point();
+                    res
+                }
             }
         };
     }
