@@ -87,6 +87,10 @@ struct LoadgenConfig {
     /// paybefore phase against live federated servers plus a timed
     /// settlement pass).
     branches: usize,
+    /// Server-side telemetry: `true` fills the `server_stages` section
+    /// from the `server.stage.*` histograms; `false` measures the bare
+    /// pipeline (EXPERIMENTS.md E18).
+    telemetry: bool,
     /// Output path.
     out: String,
 }
@@ -105,6 +109,7 @@ impl Default for LoadgenConfig {
             signer_height: 15,
             workers: 4,
             branches: 1,
+            telemetry: true,
             out: "BENCH_payments.json".into(),
         }
     }
@@ -130,6 +135,8 @@ fn usage() -> ! {
            --workers N             server worker pool size (default 4)\n\
            --branches N            federated branches; N>1 adds a\n\
                                    cross-branch phase + settlement pass (default 1)\n\
+           --telemetry on|off      server-side stage timing; off measures the\n\
+                                   bare pipeline, E18 (default on)\n\
            --out PATH              output file (default BENCH_payments.json)\n\
          \n\
          See docs/BENCHMARKS.md for methodology."
@@ -164,6 +171,13 @@ fn parse_args(args: &[String]) -> LoadgenConfig {
             "--signer-height" => cfg.signer_height = value().parse().unwrap_or_else(|_| usage()),
             "--workers" => cfg.workers = value().parse().unwrap_or_else(|_| usage()),
             "--branches" => cfg.branches = value().parse().unwrap_or_else(|_| usage()),
+            "--telemetry" => {
+                cfg.telemetry = match value().as_str() {
+                    "on" => true,
+                    "off" => false,
+                    _ => usage(),
+                }
+            }
             "--out" => cfg.out = value(),
             _ => usage(),
         }
@@ -749,7 +763,7 @@ fn render_json(
         out.push_str(if i + 1 == results.len() { "    }\n" } else { "    },\n" });
     }
     match federation {
-        None => out.push_str("  }\n}\n"),
+        None => out.push_str("  },\n"),
         Some(f) => {
             let secs = f.elapsed.as_secs_f64().max(1e-9);
             out.push_str("  },\n");
@@ -778,14 +792,40 @@ fn render_json(
             out.push_str(&format!("      \"residual_clearing_micro\": {},\n", f.residual_micro));
             out.push_str(&format!("      \"pending_credits_after\": {}\n", f.pending_after));
             out.push_str("    }\n");
-            out.push_str("  }\n}\n");
+            out.push_str("  },\n");
         }
     }
+
+    // Server-side stage decomposition (queue wait → reply write) scraped
+    // from the `server.stage.*` histograms the server recorded while
+    // under load. All-null when `--telemetry off`.
+    out.push_str(&format!("  \"telemetry\": {},\n", cfg.telemetry));
+    out.push_str("  \"server_stages\": {\n");
+    const STAGES: [&str; 6] = ["queue", "decode", "dispatch", "lock", "journal", "reply"];
+    for (i, stage) in STAGES.iter().enumerate() {
+        let comma = if i + 1 == STAGES.len() { "" } else { "," };
+        match snapshot.histogram(&format!("server.stage.{stage}_ns")) {
+            Some(h) => out.push_str(&format!(
+                "    \"{stage}\": {{\"count\": {}, \"mean\": {:.0}, \"p50\": {}, \
+                 \"p95\": {}, \"p99\": {}}}{comma}\n",
+                h.count,
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99()
+            )),
+            None => out.push_str(&format!("    \"{stage}\": null{comma}\n")),
+        }
+    }
+    out.push_str("  }\n}\n");
     out
 }
 
 fn loadgen(args: &[String]) {
     let cfg = parse_args(args);
+    // Stage timing is server-side and gated: without this the
+    // `server_stages` section scrapes empty ("disabled means free").
+    gridbank_obs::set_telemetry(cfg.telemetry);
     eprintln!(
         "loadgen: mode={} strategies={:?} clients={} pipeline={} duration={}ms warmup={}ms",
         cfg.mode,

@@ -19,10 +19,15 @@ use std::sync::Arc;
 
 use gridbank_core::accounts::GbAccounts;
 use gridbank_core::admin::GbAdmin;
-use gridbank_core::api::{journal_from_bytes, journal_to_bytes};
+use gridbank_core::api::{journal_from_bytes, journal_to_bytes, HealthReport};
+use gridbank_core::client::GridBankClient;
 use gridbank_core::clock::Clock;
 use gridbank_core::coop::BarterStats;
 use gridbank_core::db::{AccountId, Database};
+use gridbank_core::federation::FederationRouter;
+use gridbank_core::server::{GridBank, GridBankServer};
+use gridbank_crypto::cert::{CertificateAuthority, SubjectName};
+use gridbank_net::transport::{Address, Network};
 use gridbank_rur::Credits;
 
 const ADMIN_CERT: &str = "/O=GridBank/OU=Admin/CN=operator";
@@ -127,6 +132,221 @@ fn now_wallclock_ms() -> u64 {
         .unwrap_or(0)
 }
 
+/// A self-hosted federation over live RPC: one full [`GridBankServer`]
+/// stack per branch on a private in-process network, federated through
+/// pooled resilient clients, with the CLI's ops identity enrolled as an
+/// `OPS_ADMIN` on every branch. `settle`, `top`, and `metrics --remote`
+/// all observe this world — the in-process transport has no external
+/// listeners, so the "remote" commands boot the deployment they scrape.
+struct FederatedWorld {
+    network: Network,
+    clock: Clock,
+    ca: CertificateAuthority,
+    banks: Vec<Arc<GridBank>>,
+    routers: Vec<Arc<FederationRouter>>,
+    servers: Vec<GridBankServer>,
+}
+
+/// Boots `branches` federated server stacks: a CA, one `GridBankServer`
+/// per branch at address `branch-<b>`, and a full mesh of pooled
+/// resilient settlement routes. The CLI's ops identity
+/// (`/O=GridBank/OU=Ops/CN=cli`) is enrolled on every branch so
+/// ops-plane scrapes work against any of them.
+fn start_world(branches: u16) -> Result<FederatedWorld, String> {
+    use gridbank_core::federation::RemotePeer;
+    use gridbank_core::resilient::{Connector, ResilientBankClient};
+    use gridbank_core::server::{GateMode, GridBankConfig, ServerCredentials};
+    use gridbank_crypto::cert::create_proxy;
+    use gridbank_crypto::keys::{KeyMaterial, SigningIdentity};
+    use gridbank_crypto::rng::DeterministicStream;
+    use gridbank_net::retry::RetryPolicy;
+
+    let ca = CertificateAuthority::new(
+        SubjectName::new("GridBank", "CA", "Root"),
+        SigningIdentity::generate_small(KeyMaterial { seed: 1 }, "ca"),
+    );
+    let clock = Clock::new();
+    let network = Network::new();
+
+    // One full server stack per branch.
+    let mut banks = Vec::new();
+    let mut servers = Vec::new();
+    for b in 1..=branches {
+        let bank = Arc::new(GridBank::new(
+            GridBankConfig {
+                branch: b,
+                signer_height: 9,
+                gate_mode: GateMode::AllowEnrollment,
+                key_material: KeyMaterial { seed: 0xB4A2 + b as u64 },
+                ops_admins: vec![gridbank_core::server::ops_identity("cli")],
+                ..GridBankConfig::default()
+            },
+            clock.clone(),
+        ));
+        let tls = Arc::new(SigningIdentity::generate(KeyMaterial { seed: 100 + b as u64 }, "tls"));
+        let cert = ca
+            .issue(
+                SubjectName::new("GridBank", "Server", &format!("branch-{b:04}")),
+                tls.verifying_key(),
+                0,
+                u64::MAX / 2,
+            )
+            .map_err(|e| e.to_string())?;
+        let server = GridBankServer::start(
+            &network,
+            Address::new(format!("branch-{b}")),
+            Arc::clone(&bank),
+            ServerCredentials { certificate: cert, identity: tls, ca_key: ca.verifying_key() },
+            b as u64,
+        )
+        .map_err(|e| e.to_string())?;
+        banks.push(bank);
+        servers.push(server);
+    }
+
+    // Federate: every branch gets a pooled resilient route to each peer,
+    // calling as its own settlement identity.
+    let routers: Vec<_> = banks.iter().map(FederationRouter::install).collect();
+    for from in 1..=branches {
+        for to in 1..=branches {
+            if from == to {
+                continue;
+            }
+            let id = SigningIdentity::generate_small(
+                KeyMaterial { seed: 0x5E77_0000 + from as u64 },
+                "settle",
+            );
+            let dn = SubjectName::new("GridBank", "Settlement", &format!("branch-{from:04}"));
+            let cert =
+                ca.issue(dn, id.verifying_key(), 0, u64::MAX / 2).map_err(|e| e.to_string())?;
+            let (net, clk, ca_key) = (network.clone(), clock.clone(), ca.verifying_key());
+            let target = Address::new(format!("branch-{to}"));
+            let mut attempt = 0u64;
+            let connector: Connector = Box::new(move || {
+                attempt += 1;
+                let id = SigningIdentity::generate_small(
+                    KeyMaterial { seed: 0x5E77_0000 + from as u64 },
+                    "settle",
+                );
+                let proxy_id = SigningIdentity::generate_small(
+                    KeyMaterial { seed: 0x9000 + (from as u64) * 977 + attempt },
+                    "proxy",
+                );
+                let proxy = create_proxy(&id, &cert, proxy_id.verifying_key(), 0, u64::MAX / 2, 1)?;
+                let mut nonces = DeterministicStream::from_u64(
+                    ((from as u64) << 32) | ((to as u64) << 16) | attempt,
+                    b"fed-nonce",
+                );
+                GridBankClient::connect(
+                    &net,
+                    Address::new(format!("fed-{from}-{to}-{attempt}")),
+                    &target,
+                    ca_key,
+                    clk.now_ms(),
+                    &proxy,
+                    &proxy_id,
+                    &mut nonces,
+                )
+            });
+            let policy = RetryPolicy {
+                base_delay_ms: 1,
+                max_delay_ms: 8,
+                max_attempts: 6,
+                deadline_ms: 10_000,
+                seed: from as u64,
+            };
+            let client = ResilientBankClient::new(
+                connector,
+                policy,
+                clock.clone(),
+                (from as u64) * 31 + to as u64,
+            );
+            routers[(from - 1) as usize].add_peer(to, RemotePeer::new(client));
+        }
+    }
+
+    Ok(FederatedWorld { network, clock, ca, banks, routers, servers })
+}
+
+impl FederatedWorld {
+    fn branches(&self) -> u16 {
+        self.servers.len() as u16
+    }
+
+    /// Connects an authenticated client as `dn` to `branch` through the
+    /// real handshake, with a fresh single-sign-on proxy certificate.
+    fn client(&self, dn: SubjectName, seed: u64, branch: u16) -> Result<GridBankClient, String> {
+        use gridbank_crypto::cert::create_proxy;
+        use gridbank_crypto::keys::{KeyMaterial, SigningIdentity};
+        use gridbank_crypto::rng::DeterministicStream;
+
+        let id = SigningIdentity::generate_small(KeyMaterial { seed }, "client");
+        let cert =
+            self.ca.issue(dn, id.verifying_key(), 0, u64::MAX / 2).map_err(|e| e.to_string())?;
+        let proxy_id = SigningIdentity::generate_small(KeyMaterial { seed: seed + 5000 }, "proxy");
+        let proxy = create_proxy(&id, &cert, proxy_id.verifying_key(), 0, u64::MAX / 2, 1)
+            .map_err(|e| e.to_string())?;
+        let mut nonces = DeterministicStream::from_u64(seed, b"nonce");
+        GridBankClient::connect(
+            &self.network,
+            Address::new(format!("client-{seed}")),
+            &Address::new(format!("branch-{branch}")),
+            self.ca.verifying_key(),
+            self.clock.now_ms(),
+            &proxy,
+            &proxy_id,
+            &mut nonces,
+        )
+        .map_err(|e| e.to_string())
+    }
+
+    /// An ops-plane connection to `branch`: the base identity is the
+    /// CLI's enrolled `OPS_ADMIN`, trusted to read telemetry and
+    /// nothing more.
+    fn ops_client(&self, branch: u16) -> Result<GridBankClient, String> {
+        self.client(SubjectName::new("GridBank", "Ops", "cli"), 7_000 + branch as u64, branch)
+    }
+}
+
+/// One funded payer per branch, connected through the real handshake.
+fn fund_payers(world: &FederatedWorld) -> Result<(Vec<GridBankClient>, Vec<AccountId>), String> {
+    let mut payers = Vec::new();
+    let mut accounts = Vec::new();
+    for b in 1..=world.branches() {
+        let mut payer = world.client(
+            SubjectName::new("Demo", "Payers", &format!("payer-{b}")),
+            10 + b as u64,
+            b,
+        )?;
+        let account = payer.create_account(None).map_err(|e| e.to_string())?;
+        let mut admin = world.client(SubjectName(ADMIN_CERT.into()), 900 + b as u64, b)?;
+        admin.admin_deposit(account, Credits::from_gd(1_000)).map_err(|e| e.to_string())?;
+        payers.push(payer);
+        accounts.push(account);
+    }
+    Ok((payers, accounts))
+}
+
+/// Drives `rounds` ring-wise rounds of cross-branch payments: every
+/// branch pays the next one `amount` per round.
+fn ring_payments(
+    payers: &mut [GridBankClient],
+    accounts: &[AccountId],
+    rounds: u64,
+    amount: Credits,
+) -> Result<(), String> {
+    let n = payers.len();
+    for k in 0..rounds {
+        for b in 0..n {
+            let to = accounts[(b + 1) % n];
+            payers[b]
+                .direct_transfer(to, amount, &format!("payee.vo{}.org/{k}", b + 1))
+                .map_err(|e| format!("payment {k} from branch {}: {e}", b + 1))?;
+        }
+    }
+    Ok(())
+}
+
 /// `gridbank metrics`: runs a small in-process workload against a fresh
 /// bank with telemetry enabled and prints the registry snapshot —
 /// per-variant RPC latency percentiles, counters, and gauges. With
@@ -134,10 +354,13 @@ fn now_wallclock_ms() -> u64 {
 /// `--filter <prefix>` narrows the output to matching metric names.
 fn run_metrics(args: &Args) -> Result<String, String> {
     use gridbank_core::api::{BankRequest, BankResponse};
-    use gridbank_core::federation::{FederationRouter, LocalPeer};
-    use gridbank_core::server::{GridBank, GridBankConfig};
-    use gridbank_crypto::cert::SubjectName;
+    use gridbank_core::federation::LocalPeer;
+    use gridbank_core::server::GridBankConfig;
 
+    if args.get("remote").is_some() {
+        // Scrape a live server's ops plane over RPC instead.
+        return run_remote_metrics(args);
+    }
     gridbank_obs::set_telemetry(true);
     // Height 9 = 512 one-time signatures — enough for the ~120 signed
     // confirmations/cheques the workload below produces.
@@ -237,18 +460,6 @@ fn run_metrics(args: &Args) -> Result<String, String> {
 /// Fails (non-zero exit) unless every clearing account nets to zero and
 /// no outbound credit is left unacknowledged.
 fn run_settle(args: &Args) -> Result<String, String> {
-    use gridbank_core::client::GridBankClient;
-    use gridbank_core::federation::{FederationRouter, RemotePeer};
-    use gridbank_core::resilient::{Connector, ResilientBankClient};
-    use gridbank_core::server::{
-        GateMode, GridBank, GridBankConfig, GridBankServer, ServerCredentials,
-    };
-    use gridbank_crypto::cert::{create_proxy, CertificateAuthority, SubjectName};
-    use gridbank_crypto::keys::{KeyMaterial, SigningIdentity};
-    use gridbank_crypto::rng::DeterministicStream;
-    use gridbank_net::retry::RetryPolicy;
-    use gridbank_net::transport::{Address, Network};
-
     let branches: u16 = match args.get("branches") {
         Some(v) => v.parse().map_err(|e| format!("--branches: {e}"))?,
         None => 2,
@@ -262,152 +473,12 @@ fn run_settle(args: &Args) -> Result<String, String> {
     };
     let amount = parse_amount(args.get("amount").unwrap_or("10"))?;
 
-    let ca = CertificateAuthority::new(
-        SubjectName::new("GridBank", "CA", "Root"),
-        SigningIdentity::generate_small(KeyMaterial { seed: 1 }, "ca"),
-    );
-    let clock = Clock::new();
-    let network = Network::new();
-
-    // One full server stack per branch.
-    let mut banks = Vec::new();
-    let mut servers = Vec::new();
-    for b in 1..=branches {
-        let bank = Arc::new(GridBank::new(
-            GridBankConfig {
-                branch: b,
-                signer_height: 9,
-                gate_mode: GateMode::AllowEnrollment,
-                key_material: KeyMaterial { seed: 0xB4A2 + b as u64 },
-                ..GridBankConfig::default()
-            },
-            clock.clone(),
-        ));
-        let tls = Arc::new(SigningIdentity::generate(KeyMaterial { seed: 100 + b as u64 }, "tls"));
-        let cert = ca
-            .issue(
-                SubjectName::new("GridBank", "Server", &format!("branch-{b:04}")),
-                tls.verifying_key(),
-                0,
-                u64::MAX / 2,
-            )
-            .map_err(|e| e.to_string())?;
-        let server = GridBankServer::start(
-            &network,
-            Address::new(format!("branch-{b}")),
-            Arc::clone(&bank),
-            ServerCredentials { certificate: cert, identity: tls, ca_key: ca.verifying_key() },
-            b as u64,
-        )
-        .map_err(|e| e.to_string())?;
-        banks.push(bank);
-        servers.push(server);
-    }
-
-    // Federate: every branch gets a pooled resilient route to each peer,
-    // calling as its own settlement identity.
-    let routers: Vec<_> = banks.iter().map(FederationRouter::install).collect();
-    for from in 1..=branches {
-        for to in 1..=branches {
-            if from == to {
-                continue;
-            }
-            let id = SigningIdentity::generate_small(
-                KeyMaterial { seed: 0x5E77_0000 + from as u64 },
-                "settle",
-            );
-            let dn = SubjectName::new("GridBank", "Settlement", &format!("branch-{from:04}"));
-            let cert =
-                ca.issue(dn, id.verifying_key(), 0, u64::MAX / 2).map_err(|e| e.to_string())?;
-            let (net, clk, ca_key) = (network.clone(), clock.clone(), ca.verifying_key());
-            let target = Address::new(format!("branch-{to}"));
-            let mut attempt = 0u64;
-            let connector: Connector = Box::new(move || {
-                attempt += 1;
-                let id = SigningIdentity::generate_small(
-                    KeyMaterial { seed: 0x5E77_0000 + from as u64 },
-                    "settle",
-                );
-                let proxy_id = SigningIdentity::generate_small(
-                    KeyMaterial { seed: 0x9000 + (from as u64) * 977 + attempt },
-                    "proxy",
-                );
-                let proxy = create_proxy(&id, &cert, proxy_id.verifying_key(), 0, u64::MAX / 2, 1)?;
-                let mut nonces = DeterministicStream::from_u64(
-                    ((from as u64) << 32) | ((to as u64) << 16) | attempt,
-                    b"fed-nonce",
-                );
-                GridBankClient::connect(
-                    &net,
-                    Address::new(format!("fed-{from}-{to}-{attempt}")),
-                    &target,
-                    ca_key,
-                    clk.now_ms(),
-                    &proxy,
-                    &proxy_id,
-                    &mut nonces,
-                )
-            });
-            let policy = RetryPolicy {
-                base_delay_ms: 1,
-                max_delay_ms: 8,
-                max_attempts: 6,
-                deadline_ms: 10_000,
-                seed: from as u64,
-            };
-            let client = ResilientBankClient::new(
-                connector,
-                policy,
-                clock.clone(),
-                (from as u64) * 31 + to as u64,
-            );
-            routers[(from - 1) as usize].add_peer(to, RemotePeer::new(client));
-        }
-    }
-
-    // One funded payer per branch, connected through the real handshake.
-    let mut payers = Vec::new();
-    let mut accounts = Vec::new();
-    for b in 1..=branches {
-        let connect = |dn: SubjectName, seed: u64| -> Result<GridBankClient, String> {
-            let id = SigningIdentity::generate_small(KeyMaterial { seed }, "client");
-            let cert =
-                ca.issue(dn, id.verifying_key(), 0, u64::MAX / 2).map_err(|e| e.to_string())?;
-            let proxy_id =
-                SigningIdentity::generate_small(KeyMaterial { seed: seed + 5000 }, "proxy");
-            let proxy = create_proxy(&id, &cert, proxy_id.verifying_key(), 0, u64::MAX / 2, 1)
-                .map_err(|e| e.to_string())?;
-            let mut nonces = DeterministicStream::from_u64(seed, b"nonce");
-            GridBankClient::connect(
-                &network,
-                Address::new(format!("client-{seed}")),
-                &Address::new(format!("branch-{b}")),
-                ca.verifying_key(),
-                clock.now_ms(),
-                &proxy,
-                &proxy_id,
-                &mut nonces,
-            )
-            .map_err(|e| e.to_string())
-        };
-        let mut payer =
-            connect(SubjectName::new("Demo", "Payers", &format!("payer-{b}")), 10 + b as u64)?;
-        let account = payer.create_account(None).map_err(|e| e.to_string())?;
-        let mut admin = connect(SubjectName(ADMIN_CERT.into()), 900 + b as u64)?;
-        admin.admin_deposit(account, Credits::from_gd(1_000)).map_err(|e| e.to_string())?;
-        payers.push(payer);
-        accounts.push(account);
-    }
+    let world = start_world(branches)?;
+    let (mut payers, accounts) = fund_payers(&world)?;
 
     // Ring of cross-branch payments: every branch pays the next one.
-    for k in 0..payments {
-        for b in 0..branches as usize {
-            let to = accounts[(b + 1) % branches as usize];
-            payers[b]
-                .direct_transfer(to, amount, &format!("payee.vo{}.org/{k}", (b + 1)))
-                .map_err(|e| format!("payment {k} from branch {}: {e}", b + 1))?;
-        }
-    }
+    ring_payments(&mut payers, &accounts, payments, amount)?;
+    let (banks, routers) = (&world.banks, &world.routers);
 
     // One netting pass (branch 1 proposes; remaining pairs drain too).
     let mut out = format!(
@@ -416,7 +487,7 @@ fn run_settle(args: &Args) -> Result<String, String> {
     );
     let mut gross = Credits::ZERO;
     let mut net = Credits::ZERO;
-    for router in &routers {
+    for router in routers {
         let report = router.settle_once().map_err(|e| e.to_string())?;
         for p in &report.pairs {
             out.push_str(&format!(
@@ -451,6 +522,286 @@ fn run_settle(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// The six server-side request stages (`server.stage.<name>_ns`).
+const STAGES: [&str; 6] = ["queue", "decode", "dispatch", "lock", "journal", "reply"];
+
+/// Maps `--remote` addresses onto branch numbers: `bank` is an alias
+/// for branch 1, `branch-N` selects a specific branch.
+fn branch_for_address(addr: &str, branches: u16) -> Result<u16, String> {
+    if addr == "bank" {
+        return Ok(1);
+    }
+    if let Some(n) = addr.strip_prefix("branch-") {
+        if let Ok(b) = n.parse::<u16>() {
+            if (1..=branches).contains(&b) {
+                return Ok(b);
+            }
+        }
+    }
+    Err(format!("`{addr}`: expected `bank` or `branch-1..={branches}`"))
+}
+
+/// Pulls a numeric field out of one flat JSON line as rendered by the
+/// server's JSON-lines exporter (no nesting in the fields we read).
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// The JSON line describing instrument `name`, if the scrape has one.
+fn json_line<'a>(jsonl: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("\"name\":\"{name}\"");
+    jsonl.lines().find(|l| l.contains(&tag))
+}
+
+/// Renders a nanosecond quantity for the dashboard.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1_000_000.0 {
+        format!("{:.1}ms", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:.1}µs", ns / 1_000.0)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// A unicode sparkline of `values`, scaled to their maximum.
+fn spark(values: &[u64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().max().unwrap_or(0).max(1);
+    values.iter().map(|v| BARS[((*v as u128 * 7) / max as u128) as usize]).collect()
+}
+
+/// The health report as a human-readable block.
+fn render_health(h: &HealthReport) -> String {
+    let mut out = format!(
+        "branch {:04} {}\n  journal flush lag {} · group-commit queue {}\n  \
+         workers {}/{} busy · {} connections\n",
+        h.branch,
+        h.state.name(),
+        h.journal_flush_lag,
+        h.group_commit_queue,
+        h.workers_busy,
+        h.workers_total,
+        h.connections,
+    );
+    for p in &h.peers {
+        out.push_str(&format!(
+            "  peer {:04}: clearing {} · {} · breaker {}\n",
+            p.branch,
+            p.clearing,
+            if p.reachable { "reachable" } else { "unreachable" },
+            p.breaker.as_deref().unwrap_or("n/a"),
+        ));
+    }
+    out
+}
+
+/// The health report as one JSON line, shaped like the server's
+/// JSON-lines metric output so the two can share a parser.
+fn health_jsonl(h: &HealthReport) -> String {
+    let peers: Vec<String> = h
+        .peers
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"branch\":{},\"clearing\":\"{}\",\"reachable\":{},\"breaker\":{}}}",
+                p.branch,
+                p.clearing,
+                p.reachable,
+                match &p.breaker {
+                    Some(b) => format!("\"{b}\""),
+                    None => "null".to_string(),
+                },
+            )
+        })
+        .collect();
+    format!(
+        "{{\"type\":\"health\",\"branch\":{},\"state\":\"{}\",\"journal_flush_lag\":{},\
+         \"group_commit_queue\":{},\"workers_busy\":{},\"workers_total\":{},\
+         \"connections\":{},\"peers\":[{}]}}",
+        h.branch,
+        h.state.name(),
+        h.journal_flush_lag,
+        h.group_commit_queue,
+        h.workers_busy,
+        h.workers_total,
+        h.connections,
+        peers.join(","),
+    )
+}
+
+/// `gridbank metrics --remote <addr>`: scrapes a live server's ops
+/// plane over RPC instead of reading the in-process registry. Boots the
+/// same self-hosted federation as `settle` (the in-process network has
+/// no external listeners), drives a cross-branch payment load so every
+/// `server.stage.*` histogram has samples, demonstrates the `OPS_ADMIN`
+/// gate by showing a regular payer refused, then queries health and
+/// metrics as the enrolled ops identity. `--filter` is applied
+/// server-side; the metrics body is the server-rendered JSON lines.
+fn run_remote_metrics(args: &Args) -> Result<String, String> {
+    use gridbank_core::api::{OpsQuery, OpsReport};
+    use gridbank_core::error::BankError;
+
+    gridbank_obs::set_telemetry(true);
+    gridbank_obs::set_flight_recorder(true);
+    let addr = args.require("remote")?;
+    let branches = 2u16;
+    let branch = branch_for_address(addr, branches)?;
+    let world = start_world(branches)?;
+    let (mut payers, accounts) = fund_payers(&world)?;
+    ring_payments(&mut payers, &accounts, 5, Credits::from_micro(5_000))?;
+    for payer in payers.iter_mut() {
+        payer.my_account().map_err(|e| e.to_string())?;
+    }
+
+    // The ops plane is its own trust role: a regular payer is refused
+    // with a typed error before any telemetry leaves the server.
+    let refusal = match payers[0].ops_query(OpsQuery::Health) {
+        Err(BankError::NotAuthorized(why)) => why,
+        other => return Err(format!("ops gate failed open for a payer: {other:?}")),
+    };
+
+    let mut ops = world.ops_client(branch)?;
+    let health = match ops.ops_query(OpsQuery::Health).map_err(|e| e.to_string())? {
+        OpsReport::Health(h) => h,
+        other => return Err(format!("unexpected ops report: {other:?}")),
+    };
+    let filter = args.get("filter").map(str::to_string);
+    let jsonl = match ops.ops_query(OpsQuery::Metrics { filter }).map_err(|e| e.to_string())? {
+        OpsReport::Metrics { jsonl } => jsonl,
+        other => return Err(format!("unexpected ops report: {other:?}")),
+    };
+    match args.get("format") {
+        Some("jsonl") => Ok(format!(
+            "{{\"type\":\"ops-gate\",\"refused\":\"{}\"}}\n{}\n{jsonl}",
+            refusal.replace('"', "'"),
+            health_jsonl(&health)
+        )),
+        None | Some("text") => Ok(format!(
+            "== ops scrape from {addr} (branch {branch} of a live {branches}-branch \
+             federation) ==\nops gate: payer refused ({refusal})\n{}\
+             -- metrics (server-rendered JSON lines) --\n{jsonl}",
+            render_health(&health)
+        )),
+        Some(other) => Err(format!("unknown --format `{other}` (text|jsonl)")),
+    }
+}
+
+/// `gridbank top`: a terminal dashboard over the ops plane. Boots the
+/// self-hosted federation, keeps a cross-branch payment load running,
+/// and between frames scrapes `OpsQuery::{Health,Metrics}` from
+/// branch 1 as the enrolled `OPS_ADMIN` — rendering throughput, the six
+/// `server.stage.*` histograms (count, p50/p95/p99, and a p95 trend
+/// sparkline across frames), peer breaker states, and the health
+/// verdict. `--frames N` bounds the run (default 4) so it terminates.
+fn run_top(args: &Args) -> Result<String, String> {
+    use gridbank_core::api::{OpsQuery, OpsReport};
+    use std::fmt::Write as _;
+
+    let frames: u32 = match args.get("frames") {
+        Some(v) => v.parse().map_err(|e| format!("--frames: {e}"))?,
+        None => 4,
+    };
+    if frames == 0 {
+        return Err("--frames must be at least 1".into());
+    }
+    gridbank_obs::set_telemetry(true);
+    gridbank_obs::set_flight_recorder(true);
+    let world = start_world(2)?;
+    let (mut payers, accounts) = fund_payers(&world)?;
+    let mut ops = world.ops_client(1)?;
+
+    let mut out = String::new();
+    let mut trend: Vec<Vec<u64>> = vec![Vec::new(); STAGES.len()];
+    let mut last_total = 0u64;
+    for frame in 1..=frames {
+        // A burst of mixed load so every frame has fresh samples:
+        // cross-branch payments (journal + lock stages) plus reads.
+        ring_payments(&mut payers, &accounts, 3, Credits::from_micro(2_500))?;
+        for payer in payers.iter_mut() {
+            payer.my_account().map_err(|e| e.to_string())?;
+        }
+
+        let health = match ops.ops_query(OpsQuery::Health).map_err(|e| e.to_string())? {
+            OpsReport::Health(h) => h,
+            other => return Err(format!("unexpected ops report: {other:?}")),
+        };
+        let jsonl =
+            match ops.ops_query(OpsQuery::Metrics { filter: None }).map_err(|e| e.to_string())? {
+                OpsReport::Metrics { jsonl } => jsonl,
+                other => return Err(format!("unexpected ops report: {other:?}")),
+            };
+
+        // Dispatch-stage count == requests the server has executed.
+        let total = json_line(&jsonl, "server.stage.dispatch_ns")
+            .and_then(|l| json_num(l, "count"))
+            .unwrap_or(0.0) as u64;
+        let _ = writeln!(out, "── gridbank top · frame {frame}/{frames} ──");
+        let _ = writeln!(
+            out,
+            "branch {:04} {} · workers {}/{} busy · {} connections · \
+             {} req this frame ({total} total)",
+            health.branch,
+            health.state.name(),
+            health.workers_busy,
+            health.workers_total,
+            health.connections,
+            total.saturating_sub(last_total),
+        );
+        last_total = total;
+        let _ = writeln!(
+            out,
+            "journal flush lag {} · group-commit queue {}",
+            health.journal_flush_lag, health.group_commit_queue
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>10} {:>10} {:>10}  p95 trend",
+            "stage", "count", "p50", "p95", "p99"
+        );
+        for (i, stage) in STAGES.iter().enumerate() {
+            let name = format!("server.stage.{stage}_ns");
+            let (count, p50, p95, p99) = match json_line(&jsonl, &name) {
+                Some(l) => (
+                    json_num(l, "count").unwrap_or(0.0),
+                    json_num(l, "p50").unwrap_or(0.0),
+                    json_num(l, "p95").unwrap_or(0.0),
+                    json_num(l, "p99").unwrap_or(0.0),
+                ),
+                None => (0.0, 0.0, 0.0, 0.0),
+            };
+            trend[i].push(p95 as u64);
+            let _ = writeln!(
+                out,
+                "{stage:<10} {:>8} {:>10} {:>10} {:>10}  {}",
+                count as u64,
+                fmt_ns(p50),
+                fmt_ns(p95),
+                fmt_ns(p99),
+                spark(&trend[i]),
+            );
+        }
+        for p in &health.peers {
+            let _ = writeln!(
+                out,
+                "peer {:04}: {} · breaker {} · clearing {}",
+                p.branch,
+                if p.reachable { "reachable" } else { "unreachable" },
+                p.breaker.as_deref().unwrap_or("n/a"),
+                p.clearing,
+            );
+        }
+        let retained = json_line(&jsonl, "obs.flight.retained")
+            .and_then(|l| json_num(l, "value"))
+            .unwrap_or(0.0) as u64;
+        let _ = writeln!(out, "flight recorder: {retained} slow/errored traces retained\n");
+    }
+    Ok(out)
+}
+
 fn run(args: &Args) -> Result<String, String> {
     let db_path = args.get("db").unwrap_or("gridbank.gbj");
     let command = args.command.as_deref().ok_or_else(usage)?;
@@ -461,6 +812,10 @@ fn run(args: &Args) -> Result<String, String> {
     if command == "settle" {
         // Self-contained federated demo: never touches the journal file.
         return run_settle(args);
+    }
+    if command == "top" {
+        // Self-contained ops dashboard: never touches the journal file.
+        return run_top(args);
     }
     let bank = Bank::load(db_path)?;
     let out = match command {
@@ -633,7 +988,8 @@ fn usage() -> String {
        accounts\n\
        branches\n\
        barter-stats\n\
-       metrics        [--format text|jsonl] [--filter prefix]\n\
+       metrics        [--format text|jsonl] [--filter prefix] [--remote ADDR]\n\
+       top            [--frames N]\n\
        settle         [--branches N] [--payments N] [--amount G$]"
         .to_string()
 }
@@ -767,5 +1123,42 @@ mod tests {
         .is_err());
         assert!(run(&args(&["--db", db, "nonsense"])).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ops_plane_consumers() {
+        // `metrics --remote` boots a live federation and scrapes its
+        // ops plane over RPC as the enrolled OPS_ADMIN; the gate line
+        // proves a regular payer was refused first.
+        let out = run(&args(&["metrics", "--remote", "bank", "--format", "jsonl"])).unwrap();
+        assert!(out.contains("\"type\":\"ops-gate\""), "{out}");
+        assert!(out.contains("\"state\":\"Healthy\""), "{out}");
+        for stage in STAGES {
+            let name = format!("\"name\":\"server.stage.{stage}_ns\"");
+            let line = out
+                .lines()
+                .find(|l| l.contains(&name))
+                .unwrap_or_else(|| panic!("missing {stage} stage in:\n{out}"));
+            assert!(json_num(line, "count").unwrap_or(0.0) > 0.0, "{stage} empty: {line}");
+        }
+
+        // Server-side filtering narrows the scrape; bad targets error.
+        let out =
+            run(&args(&["metrics", "--remote", "branch-2", "--filter", "server.stage."])).unwrap();
+        assert!(out.contains("server.stage.queue_ns"), "{out}");
+        assert!(!out.contains("\"name\":\"rpc.server"), "{out}");
+        assert!(run(&args(&["metrics", "--remote", "branch-9"])).is_err());
+
+        // `top` renders every stage row, peer breaker state, and the
+        // health verdict on each frame.
+        let out = run(&args(&["top", "--frames", "2"])).unwrap();
+        assert!(out.contains("frame 2/2"), "{out}");
+        for stage in STAGES {
+            assert!(out.contains(stage), "missing {stage} in:\n{out}");
+        }
+        assert!(out.contains("Healthy"), "{out}");
+        assert!(out.contains("breaker Closed"), "{out}");
+        assert!(out.contains("flight recorder:"), "{out}");
+        assert!(run(&args(&["top", "--frames", "0"])).is_err());
     }
 }

@@ -461,6 +461,251 @@ pub enum BankRequest {
         /// Gross flow parked at the proposer for the receiver's members.
         gross_out: Credits,
     },
+    /// Ops plane: live introspection of a running branch over the
+    /// secure channel. Gated on the `OPS_ADMIN` trust role (mirroring
+    /// the federation peer set); everyone else gets a typed
+    /// `NotAuthorized` error. Read-only by construction.
+    OpsQuery {
+        /// What to report.
+        query: OpsQuery,
+    },
+}
+
+/// What an [`BankRequest::OpsQuery`] asks the serving branch for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpsQuery {
+    /// Full metrics snapshot rendered server-side as JSON-lines,
+    /// optionally narrowed to instruments whose name starts with
+    /// `filter`.
+    Metrics {
+        /// Name-prefix filter; `None` = everything.
+        filter: Option<String>,
+    },
+    /// Structured health report ([`HealthReport`]).
+    Health,
+    /// Dump of the flight recorder's retained slow/errored span trees,
+    /// rendered server-side.
+    Traces,
+}
+
+/// Coarse health verdict of a branch, worst-signal-wins (semantics in
+/// `docs/OBSERVABILITY.md` §Ops plane).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthState {
+    /// All signals nominal.
+    Healthy,
+    /// Operating, but a resilience signal is degraded (breaker probing,
+    /// worker pool saturated, journal backlog).
+    Degraded,
+    /// A peer route's circuit breaker is open: cross-branch payments to
+    /// it are failing fast.
+    Unhealthy,
+}
+
+impl HealthState {
+    /// Wire tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::Degraded => 1,
+            HealthState::Unhealthy => 2,
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn from_tag(tag: u8) -> Option<HealthState> {
+        match tag {
+            0 => Some(HealthState::Healthy),
+            1 => Some(HealthState::Degraded),
+            2 => Some(HealthState::Unhealthy),
+            _ => None,
+        }
+    }
+
+    /// Stable display name (`Healthy` / `Degraded` / `Unhealthy`).
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "Healthy",
+            HealthState::Degraded => "Degraded",
+            HealthState::Unhealthy => "Unhealthy",
+        }
+    }
+}
+
+/// One federation peer's slice of a [`HealthReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PeerHealth {
+    /// The peer branch id.
+    pub branch: u16,
+    /// Balance of the local clearing account held against that peer
+    /// (positive = we owe the peer at the next netting round).
+    pub clearing: Credits,
+    /// False when the route's circuit breaker is open.
+    pub reachable: bool,
+    /// Circuit-breaker state name (`Closed`/`Open`/`HalfOpen`), or
+    /// `None` for in-process routes that have no breaker.
+    pub breaker: Option<String>,
+}
+
+/// Structured answer to [`OpsQuery::Health`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HealthReport {
+    /// The serving branch.
+    pub branch: u16,
+    /// Worst-signal-wins verdict.
+    pub state: HealthState,
+    /// Journal entries submitted to the group-commit queue but not yet
+    /// flushed (tickets in flight).
+    pub journal_flush_lag: u64,
+    /// Batches currently queued in the group-commit queue.
+    pub group_commit_queue: u64,
+    /// Worker threads currently executing a request.
+    pub workers_busy: u32,
+    /// Worker pool size.
+    pub workers_total: u32,
+    /// Live client connections.
+    pub connections: u32,
+    /// Per-peer clearing balances and reachability; empty when the
+    /// branch is not federated.
+    pub peers: Vec<PeerHealth>,
+}
+
+/// Server's answer to an [`BankRequest::OpsQuery`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpsReport {
+    /// Metrics snapshot, rendered as JSON-lines.
+    Metrics {
+        /// `gridbank_obs::render_jsonl` output.
+        jsonl: String,
+    },
+    /// Structured health report.
+    Health(HealthReport),
+    /// Flight-recorder dump (rendered span trees, may be empty).
+    Traces {
+        /// `gridbank_obs::flight::dump` output.
+        rendered: String,
+    },
+}
+
+impl Encode for OpsQuery {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            OpsQuery::Metrics { filter } => {
+                w.put_u8(0);
+                w.put_opt_str(filter.as_deref());
+            }
+            OpsQuery::Health => w.put_u8(1),
+            OpsQuery::Traces => w.put_u8(2),
+        }
+    }
+}
+
+impl Decode for OpsQuery {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, RurError> {
+        Ok(match r.get_u8()? {
+            0 => OpsQuery::Metrics { filter: r.get_opt_str()? },
+            1 => OpsQuery::Health,
+            2 => OpsQuery::Traces,
+            t => return Err(RurError::Decode(format!("unknown ops query tag {t}"))),
+        })
+    }
+}
+
+impl Encode for PeerHealth {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.branch as u32);
+        self.clearing.encode(w);
+        w.put_u8(self.reachable as u8);
+        w.put_opt_str(self.breaker.as_deref());
+    }
+}
+
+impl Decode for PeerHealth {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, RurError> {
+        Ok(PeerHealth {
+            branch: r.get_u32()? as u16,
+            clearing: Credits::decode(r)?,
+            reachable: r.get_u8()? != 0,
+            breaker: r.get_opt_str()?,
+        })
+    }
+}
+
+impl Encode for HealthReport {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.branch as u32);
+        w.put_u8(self.state.tag());
+        w.put_u64(self.journal_flush_lag);
+        w.put_u64(self.group_commit_queue);
+        w.put_u32(self.workers_busy);
+        w.put_u32(self.workers_total);
+        w.put_u32(self.connections);
+        w.put_u32(self.peers.len() as u32);
+        for p in &self.peers {
+            p.encode(w);
+        }
+    }
+}
+
+impl Decode for HealthReport {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, RurError> {
+        let branch = r.get_u32()? as u16;
+        let state = HealthState::from_tag(r.get_u8()?)
+            .ok_or_else(|| RurError::Decode("bad health state tag".into()))?;
+        let journal_flush_lag = r.get_u64()?;
+        let group_commit_queue = r.get_u64()?;
+        let workers_busy = r.get_u32()?;
+        let workers_total = r.get_u32()?;
+        let connections = r.get_u32()?;
+        let n = r.get_u32()? as usize;
+        if n > 1 << 16 {
+            return Err(RurError::Decode("too many peers".into()));
+        }
+        let mut peers = Vec::with_capacity(n);
+        for _ in 0..n {
+            peers.push(PeerHealth::decode(r)?);
+        }
+        Ok(HealthReport {
+            branch,
+            state,
+            journal_flush_lag,
+            group_commit_queue,
+            workers_busy,
+            workers_total,
+            connections,
+            peers,
+        })
+    }
+}
+
+impl Encode for OpsReport {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            OpsReport::Metrics { jsonl } => {
+                w.put_u8(0);
+                w.put_str(jsonl);
+            }
+            OpsReport::Health(report) => {
+                w.put_u8(1);
+                report.encode(w);
+            }
+            OpsReport::Traces { rendered } => {
+                w.put_u8(2);
+                w.put_str(rendered);
+            }
+        }
+    }
+}
+
+impl Decode for OpsReport {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, RurError> {
+        Ok(match r.get_u8()? {
+            0 => OpsReport::Metrics { jsonl: r.get_str()? },
+            1 => OpsReport::Health(HealthReport::decode(r)?),
+            2 => OpsReport::Traces { rendered: r.get_str()? },
+            t => return Err(RurError::Decode(format!("unknown ops report tag {t}"))),
+        })
+    }
 }
 
 impl BankRequest {
@@ -490,6 +735,7 @@ impl BankRequest {
             BankRequest::AdminCloseAccount { .. } => "AdminCloseAccount",
             BankRequest::IbCredit { .. } => "IbCredit",
             BankRequest::IbSettleProposal { .. } => "IbSettleProposal",
+            BankRequest::OpsQuery { .. } => "OpsQuery",
         }
     }
 
@@ -501,7 +747,8 @@ impl BankRequest {
             BankRequest::MyAccount
             | BankRequest::AccountDetails { .. }
             | BankRequest::Statement { .. }
-            | BankRequest::EstimatePrice { .. } => false,
+            | BankRequest::EstimatePrice { .. }
+            | BankRequest::OpsQuery { .. } => false,
             // CheckFunds *locks* funds (§3.4 guarantee) — replaying it
             // unkeyed would strand a second lock.
             BankRequest::CheckFunds { .. }
@@ -553,6 +800,7 @@ impl BankRequest {
             BankRequest::IbCredit { .. } | BankRequest::IbSettleProposal { .. } => {
                 "server.federation"
             }
+            BankRequest::OpsQuery { .. } => "server.ops",
         }
     }
 }
@@ -629,6 +877,11 @@ pub enum BankResponse {
         /// Gross flow the receiver had parked for the proposer's members
         /// (now drained on the receiver's books).
         gross_back: Credits,
+    },
+    /// Answer to an [`BankRequest::OpsQuery`].
+    OpsReport {
+        /// The requested report.
+        report: OpsReport,
     },
 }
 
@@ -821,6 +1074,10 @@ impl Encode for BankRequest {
                 w.put_u32(*origin_branch as u32);
                 gross_out.encode(w);
             }
+            BankRequest::OpsQuery { query } => {
+                w.put_u8(22);
+                query.encode(w);
+            }
         }
     }
 }
@@ -923,6 +1180,7 @@ impl Decode for BankRequest {
                 origin_branch: r.get_u32()? as u16,
                 gross_out: Credits::decode(r)?,
             },
+            22 => BankRequest::OpsQuery { query: OpsQuery::decode(r)? },
             t => return Err(RurError::Decode(format!("unknown request tag {t}"))),
         })
     }
@@ -1010,6 +1268,10 @@ impl Encode for BankResponse {
                 w.put_u8(11);
                 gross_back.encode(w);
             }
+            BankResponse::OpsReport { report } => {
+                w.put_u8(12);
+                report.encode(w);
+            }
         }
     }
 }
@@ -1083,6 +1345,7 @@ impl Decode for BankResponse {
                 BankResponse::RedeemedBatch { results }
             }
             11 => BankResponse::IbSettleAck { gross_back: Credits::decode(r)? },
+            12 => BankResponse::OpsReport { report: OpsReport::decode(r)? },
             t => return Err(RurError::Decode(format!("unknown response tag {t}"))),
         })
     }
@@ -1130,6 +1393,12 @@ mod tests {
                 rur_blob: vec![9, 9, 9],
             },
             BankRequest::IbSettleProposal { origin_branch: 2, gross_out: Credits::from_gd(110) },
+            BankRequest::OpsQuery { query: OpsQuery::Metrics { filter: None } },
+            BankRequest::OpsQuery {
+                query: OpsQuery::Metrics { filter: Some("server.stage.".into()) },
+            },
+            BankRequest::OpsQuery { query: OpsQuery::Health },
+            BankRequest::OpsQuery { query: OpsQuery::Traces },
         ];
         for req in cases {
             let back = round_trip_request(req.clone());
@@ -1184,6 +1453,35 @@ mod tests {
                 detail: 7,
             },
             BankResponse::IbSettleAck { gross_back: Credits::from_gd(42) },
+            BankResponse::OpsReport {
+                report: OpsReport::Metrics { jsonl: "{\"name\":\"x\"}\n".into() },
+            },
+            BankResponse::OpsReport {
+                report: OpsReport::Health(HealthReport {
+                    branch: 1,
+                    state: HealthState::Degraded,
+                    journal_flush_lag: 3,
+                    group_commit_queue: 2,
+                    workers_busy: 4,
+                    workers_total: 8,
+                    connections: 6,
+                    peers: vec![
+                        PeerHealth {
+                            branch: 2,
+                            clearing: Credits::from_gd(7),
+                            reachable: true,
+                            breaker: Some("HalfOpen".into()),
+                        },
+                        PeerHealth {
+                            branch: 3,
+                            clearing: Credits::ZERO,
+                            reachable: false,
+                            breaker: None,
+                        },
+                    ],
+                }),
+            },
+            BankResponse::OpsReport { report: OpsReport::Traces { rendered: "trace".into() } },
         ];
         for resp in cases {
             let back = BankResponse::from_bytes(&resp.to_bytes()).unwrap();

@@ -198,6 +198,21 @@ impl GridBankClient {
         }
     }
 
+    /// Queries the ops plane: a metrics snapshot, a structured health
+    /// report, or the flight-recorder trace dump. The caller's base
+    /// identity must be enrolled as an `OPS_ADMIN` on the bank
+    /// (`GridBank::add_ops_admin`); everyone else — account admins
+    /// included — gets [`BankError::NotAuthorized`].
+    pub fn ops_query(
+        &mut self,
+        query: crate::api::OpsQuery,
+    ) -> Result<crate::api::OpsReport, BankError> {
+        match self.call(&BankRequest::OpsQuery { query })? {
+            BankResponse::OpsReport { report } => Ok(report),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
     /// Perform Funds Availability Check (§5.2): locks the amount.
     pub fn check_funds(&mut self, account: AccountId, amount: Credits) -> Result<(), BankError> {
         match self.call(&BankRequest::CheckFunds { account, amount })? {

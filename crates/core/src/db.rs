@@ -377,6 +377,15 @@ impl CommitQueue {
     /// group to form; with grouping disabled (`max_batch <= 1`), appends
     /// directly.
     fn submit(&self, entries: Vec<JournalEntry>, journal: &Mutex<Vec<JournalEntry>>) {
+        // The journal stage of request processing: everything between a
+        // committer arriving with entries and those entries reaching the
+        // journal (including group-formation linger and leader flushes).
+        let timer = gridbank_obs::Stopwatch::start();
+        self.submit_inner(entries, journal);
+        timer.record_named("server.stage.journal_ns");
+    }
+
+    fn submit_inner(&self, entries: Vec<JournalEntry>, journal: &Mutex<Vec<JournalEntry>>) {
         let cfg = *self.config.lock();
         if cfg.max_batch <= 1 {
             journal.lock().extend(entries);
@@ -491,6 +500,19 @@ impl Database {
     /// The current group-commit tuning.
     pub fn group_commit(&self) -> GroupCommitConfig {
         *self.commit.config.lock()
+    }
+
+    /// Batches currently queued behind the group-commit leader — the
+    /// ops-plane's view of journal backlog.
+    pub fn commit_queue_depth(&self) -> usize {
+        self.commit.state.lock().pending.len()
+    }
+
+    /// Commit tickets issued but not yet flushed to the journal: how far
+    /// the write-ahead log trails its committers. Zero when idle.
+    pub fn journal_flush_lag(&self) -> u64 {
+        let st = self.commit.state.lock();
+        st.next_ticket.saturating_sub(1).saturating_sub(st.flushed_through)
     }
 
     /// Re-bounds the idempotency dedup cache. Capacity 0 disables

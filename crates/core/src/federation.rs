@@ -59,6 +59,14 @@ pub trait PeerTransport: Send + Sync {
     /// that stays stable across retries of the same logical operation.
     fn call(&self, idem_key: Option<u64>, request: &BankRequest)
         -> Result<BankResponse, BankError>;
+
+    /// Circuit-breaker state of the underlying link ("Closed", "Open",
+    /// or "HalfOpen"), or `None` for links without a breaker — the
+    /// ops plane's reachability signal. In-process transports have no
+    /// breaker and report `None`.
+    fn breaker_state(&self) -> Option<&'static str> {
+        None
+    }
 }
 
 /// In-process transport: delivers straight into a peer bank's
@@ -117,6 +125,14 @@ impl PeerTransport for RemotePeer {
             Some(key) => client.call_with_stable_key(key, request),
             None => client.call(request),
         }
+    }
+
+    fn breaker_state(&self) -> Option<&'static str> {
+        Some(match self.client.lock().breaker_state() {
+            gridbank_net::retry::BreakerState::Closed => "Closed",
+            gridbank_net::retry::BreakerState::Open { .. } => "Open",
+            gridbank_net::retry::BreakerState::HalfOpen => "HalfOpen",
+        })
     }
 }
 
@@ -182,6 +198,27 @@ impl FederationRouter {
     /// Known peer branch ids, ascending.
     pub fn peer_branches(&self) -> Vec<u16> {
         self.peers.read().keys().copied().collect()
+    }
+
+    /// Per-peer ops-plane health: clearing balance plus link
+    /// reachability. A peer behind an `Open` breaker is currently being
+    /// failed fast, not called — unreachable until its cooldown probe
+    /// succeeds. Transports without a breaker count as reachable.
+    pub fn peer_health(&self) -> Vec<crate::api::PeerHealth> {
+        let peers: Vec<(u16, Arc<dyn PeerTransport>)> =
+            self.peers.read().iter().map(|(b, t)| (*b, Arc::clone(t))).collect();
+        peers
+            .into_iter()
+            .map(|(branch, transport)| {
+                let breaker = transport.breaker_state();
+                crate::api::PeerHealth {
+                    branch,
+                    clearing: self.clearing_balance(branch),
+                    reachable: breaker != Some("Open"),
+                    breaker: breaker.map(str::to_string),
+                }
+            })
+            .collect()
     }
 
     fn peer(&self, branch: u16) -> Result<Arc<dyn PeerTransport>, BankError> {

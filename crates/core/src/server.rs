@@ -67,6 +67,10 @@ pub struct GridBankConfig {
     pub branch: u16,
     /// Administrator certificate names.
     pub admins: Vec<String>,
+    /// Operations-plane administrator certificate names: trusted to read
+    /// telemetry, health, and traces via [`BankRequest::OpsQuery`], and
+    /// nothing more (deliberately *not* account administrators).
+    pub ops_admins: Vec<String>,
     /// Seed for the bank's signing identity and chain secrets.
     pub key_material: KeyMaterial,
     /// MSS tree height: the bank can sign `2^height` instruments/
@@ -89,6 +93,7 @@ impl Default for GridBankConfig {
             bank: 1,
             branch: 1,
             admins: vec!["/O=GridBank/OU=Admin/CN=operator".into()],
+            ops_admins: Vec::new(),
             key_material: KeyMaterial { seed: 0xB4A2 },
             signer_height: 12,
             gate_mode: GateMode::AllowEnrollment,
@@ -125,6 +130,33 @@ pub struct GridBank {
     /// Branch-aware routing (§6 federation). `None` means standalone:
     /// foreign-branch requests answer `NotHomeBranch` redirects.
     federation: RwLock<Option<Arc<crate::federation::FederationRouter>>>,
+    /// Certificates trusted for the ops plane (`OpsQuery`).
+    ops_admins: RwLock<HashSet<String>>,
+    /// Live front-end statistics feeding health reports; installed by
+    /// [`GridBankServer::start_tuned`], absent for in-process banks.
+    ops_source: RwLock<Option<Arc<dyn OpsSource>>>,
+}
+
+/// The canonical certificate name for an ops-plane administrator, the
+/// federation's `OU=Ops` naming convention (mirrors the settlement
+/// identities of `crate::federation`).
+pub fn ops_identity(name: &str) -> String {
+    format!("/O=GridBank/OU=Ops/CN={name}")
+}
+
+/// Live statistics the network front-end exposes to the ops plane.
+///
+/// [`GridBank`] itself can report journal and federation health, but
+/// worker-pool saturation and connection counts live in the server; the
+/// server installs an implementation via
+/// [`GridBank::install_ops_source`].
+pub trait OpsSource: Send + Sync {
+    /// Worker threads currently executing a request.
+    fn workers_busy(&self) -> u32;
+    /// Worker threads in the pool.
+    fn workers_total(&self) -> u32;
+    /// Connections currently live.
+    fn connections(&self) -> u32;
 }
 
 impl GridBank {
@@ -162,6 +194,7 @@ impl GridBank {
             config.key_material.seed ^ 0x5EC2E75,
             b"gridbank-chain-secrets",
         ));
+        let ops_admins = RwLock::new(config.ops_admins.iter().cloned().collect());
         GridBank {
             accounts,
             admin,
@@ -176,6 +209,8 @@ impl GridBank {
             in_flight_keys: Mutex::new(HashSet::new()),
             key_released: Condvar::new(),
             federation: RwLock::new(None),
+            ops_admins,
+            ops_source: RwLock::new(None),
         }
     }
 
@@ -195,6 +230,65 @@ impl GridBank {
     /// and nothing more (deliberately *not* an administrator).
     pub fn is_federation_peer(&self, cert: &str) -> bool {
         self.federation.read().as_ref().is_some_and(|r| r.is_peer(cert))
+    }
+
+    /// Whether `cert` may read the ops plane ([`BankRequest::OpsQuery`]).
+    pub fn is_ops_admin(&self, cert: &str) -> bool {
+        self.ops_admins.read().contains(cert)
+    }
+
+    /// Grants `cert` ops-plane access. Ops administrators can read
+    /// telemetry, health, and traces; they hold no account privileges.
+    pub fn add_ops_admin(&self, cert: impl Into<String>) {
+        self.ops_admins.write().insert(cert.into());
+    }
+
+    /// Installs the front-end statistics feed for health reports;
+    /// called by [`GridBankServer::start_tuned`].
+    pub fn install_ops_source(&self, source: Arc<dyn OpsSource>) {
+        *self.ops_source.write() = Some(source);
+    }
+
+    /// Assembles the structured health report the ops plane serves:
+    /// journal lag, group-commit backlog, worker saturation, and per-peer
+    /// clearing balances with circuit-breaker reachability, classified
+    /// into an overall [`crate::api::HealthState`].
+    pub fn health_report(&self) -> crate::api::HealthReport {
+        use crate::api::HealthState;
+        let db = self.accounts.db();
+        let journal_flush_lag = db.journal_flush_lag();
+        let group_commit_queue = db.commit_queue_depth() as u64;
+        let (workers_busy, workers_total, connections) = match self.ops_source.read().as_ref() {
+            Some(src) => (src.workers_busy(), src.workers_total(), src.connections()),
+            None => (0, 0, 0),
+        };
+        let peers = self.federation().map(|router| router.peer_health()).unwrap_or_default();
+        // Classification: an Open breaker means a peer branch is
+        // unreachable — cross-branch payments are failing now, so the
+        // branch is Unhealthy. Recovering breakers (HalfOpen), a
+        // saturated worker pool, or a journal trailing by more than one
+        // full commit group mean degraded service but nothing lost.
+        let unreachable = peers.iter().any(|p| p.breaker.as_deref() == Some("Open"));
+        let recovering = peers.iter().any(|p| p.breaker.as_deref() == Some("HalfOpen"));
+        let saturated = workers_total > 0 && workers_busy >= workers_total;
+        let lagging = journal_flush_lag > db.group_commit().max_batch as u64;
+        let state = if unreachable {
+            HealthState::Unhealthy
+        } else if recovering || saturated || lagging {
+            HealthState::Degraded
+        } else {
+            HealthState::Healthy
+        };
+        crate::api::HealthReport {
+            branch: self.config.branch,
+            state,
+            journal_flush_lag,
+            group_commit_queue,
+            workers_busy,
+            workers_total,
+            connections,
+            peers,
+        }
     }
 
     /// Routes a request targeting an account homed on `home`: forwarded
@@ -325,6 +419,10 @@ impl GridBank {
         // Serialize same-key arrivals before the cache lookup: with
         // pipelined connections a duplicate can land on another worker
         // while the original is mid-apply, and must wait for its stamp.
+        // The lock stage covers this serialization point for every
+        // request — near-zero for unkeyed reads, visible when duplicate
+        // keys contend.
+        let lock_timer = gridbank_obs::Stopwatch::start();
         let _key_guard = keyed.map(|key| {
             let entry = (caller_cert.clone(), key);
             let mut in_flight = self.in_flight_keys.lock();
@@ -334,6 +432,7 @@ impl GridBank {
             }
             KeyGuard { bank: self, entry }
         });
+        lock_timer.record_named("server.stage.lock_ns");
         if let Some(key) = keyed {
             if let Some(bytes) = self.accounts.db().idem_lookup(&caller_cert, key) {
                 if let Ok(resp) = BankResponse::from_bytes(&bytes) {
@@ -391,7 +490,8 @@ impl GridBank {
         // Enrollment-mode restriction: unknown subjects may only enroll.
         let known = self.accounts.db().subject_known(caller_cert)
             || self.admin.is_admin(caller_cert)
-            || self.is_federation_peer(caller_cert);
+            || self.is_federation_peer(caller_cert)
+            || self.is_ops_admin(caller_cert);
         if !known && !matches!(request, BankRequest::CreateAccount { .. }) {
             return Err(BankError::NotAuthorized(format!("`{caller_cert}` has no account")));
         }
@@ -621,6 +721,44 @@ impl GridBank {
                 let gross_back = router.apply_settle_proposal(origin_branch)?;
                 Ok(BankResponse::IbSettleAck { gross_back })
             }
+            BankRequest::OpsQuery { query } => {
+                // The ops plane is its own trust role: account owners,
+                // administrators, and federation peers are all refused
+                // unless also enrolled as ops administrators.
+                if !self.is_ops_admin(caller_cert) {
+                    return Err(BankError::NotAuthorized(format!(
+                        "`{caller_cert}` may not query the ops plane"
+                    )));
+                }
+                use crate::api::{OpsQuery, OpsReport};
+                match query {
+                    OpsQuery::Metrics { filter } => {
+                        let snapshot = gridbank_obs::registry().snapshot();
+                        let snapshot = match filter.as_deref() {
+                            Some(prefix) => snapshot.filtered(prefix),
+                            None => snapshot,
+                        };
+                        layer_span.attr("query", "metrics");
+                        Ok(BankResponse::OpsReport {
+                            report: OpsReport::Metrics {
+                                jsonl: gridbank_obs::render_jsonl(&snapshot),
+                            },
+                        })
+                    }
+                    OpsQuery::Health => {
+                        layer_span.attr("query", "health");
+                        Ok(BankResponse::OpsReport {
+                            report: OpsReport::Health(self.health_report()),
+                        })
+                    }
+                    OpsQuery::Traces => {
+                        layer_span.attr("query", "traces");
+                        Ok(BankResponse::OpsReport {
+                            report: OpsReport::Traces { rendered: gridbank_obs::flight::dump() },
+                        })
+                    }
+                }
+            }
         }
     }
 
@@ -654,7 +792,8 @@ impl ConnectionGate for BankGate {
         let cert = subject.base_identity().0;
         let known = self.bank.accounts.db().subject_known(&cert)
             || self.bank.admin.is_admin(&cert)
-            || self.bank.is_federation_peer(&cert);
+            || self.bank.is_federation_peer(&cert)
+            || self.bank.is_ops_admin(&cert);
         match (known, self.bank.config.gate_mode) {
             (true, _) | (false, GateMode::AllowEnrollment) => AdmissionDecision::Allow,
             (false, GateMode::Strict) => {
@@ -696,25 +835,56 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 /// handle is gone, so the pool drains naturally at shutdown.
 struct WorkerPool {
     submit: crossbeam::channel::Sender<Job>,
+    /// Workers currently executing a job — the saturation signal the
+    /// ops plane reports.
+    busy: Arc<AtomicU64>,
 }
 
 impl WorkerPool {
     fn start(tuning: ServerTuning) -> Self {
         let (tx, rx) = crossbeam::channel::bounded::<Job>(tuning.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
+        let busy = Arc::new(AtomicU64::new(0));
         for _ in 0..tuning.workers.max(1) {
             let rx = Arc::clone(&rx);
+            let busy = Arc::clone(&busy);
             std::thread::spawn(move || loop {
                 // Hold the lock only while waiting, never while running
                 // the job, so workers execute in parallel.
                 let job = rx.lock().recv();
                 match job {
-                    Ok(job) => job(),
+                    Ok(job) => {
+                        busy.fetch_add(1, Ordering::Relaxed);
+                        job();
+                        busy.fetch_sub(1, Ordering::Relaxed);
+                    }
                     Err(_) => break,
                 }
             });
         }
-        WorkerPool { submit: tx }
+        WorkerPool { submit: tx, busy }
+    }
+}
+
+/// The server's [`OpsSource`]: worker saturation from the pool, live
+/// connections from the accept loop's gauge.
+struct ServerOps {
+    busy: Arc<AtomicU64>,
+    workers: u32,
+    live: Arc<AtomicU64>,
+}
+
+impl OpsSource for ServerOps {
+    fn workers_busy(&self) -> u32 {
+        self.busy.load(Ordering::Relaxed).min(u32::MAX as u64) as u32
+    }
+
+    fn workers_total(&self) -> u32 {
+        self.workers
+    }
+
+    fn connections(&self) -> u32 {
+        self.live.load(Ordering::Relaxed).min(u32::MAX as u64) as u32
     }
 }
 
@@ -800,9 +970,14 @@ impl GridBankServer {
         let stop2 = Arc::clone(&stop);
         let conns = Arc::clone(&connections);
         let clock = bank.clock().clone();
+        let pool = WorkerPool::start(tuning);
+        let live = Arc::new(AtomicU64::new(0));
+        bank.install_ops_source(Arc::new(ServerOps {
+            busy: Arc::clone(&pool.busy),
+            workers: tuning.workers.max(1) as u32,
+            live: Arc::clone(&live),
+        }));
         let accept_thread = std::thread::spawn(move || {
-            let pool = WorkerPool::start(tuning);
-            let live = Arc::new(AtomicU64::new(0));
             let gate = bank.gate();
             let mut conn_seq = 0u64;
             loop {
@@ -855,25 +1030,39 @@ impl GridBankServer {
                         let peer = peer.clone();
                         let writer = Arc::clone(writer);
                         let job: Job = Box::new(move || {
+                            // Queue stage: reader decode → worker pickup.
+                            if let Some(enqueued) = req.enqueued {
+                                gridbank_obs::observe(
+                                    "server.stage.queue_ns",
+                                    enqueued.elapsed().as_nanos() as u64,
+                                );
+                            }
                             let response = {
                                 // Join the client's trace so the dispatch
                                 // nests under the caller's rpc span.
                                 let mut span =
                                     gridbank_obs::span_under(req.trace, "net", "rpc_serve");
                                 span.attr("peer", peer.base.0.clone());
-                                match BankRequest::from_bytes(&req.payload) {
+                                let decode_timer = gridbank_obs::Stopwatch::start();
+                                let decoded = BankRequest::from_bytes(&req.payload);
+                                decode_timer.record_named("server.stage.decode_ns");
+                                let dispatch_timer = gridbank_obs::Stopwatch::start();
+                                let resp = match decoded {
                                     Ok(r) => bank.handle_keyed(&peer.subject, req.idem_key, r),
                                     Err(e) => BankResponse::Error {
                                         kind: crate::api::kinds::OTHER,
                                         message: format!("malformed request: {e}"),
                                         detail: 0,
                                     },
-                                }
-                                .to_bytes()
+                                };
+                                dispatch_timer.record_named("server.stage.dispatch_ns");
+                                resp.to_bytes()
                             };
                             // An error here means the peer hung up; the
                             // reader loop will notice and wind down.
+                            let reply_timer = gridbank_obs::Stopwatch::start();
                             let _ = writer.complete(req.seq, req.id, response);
+                            reply_timer.record_named("server.stage.reply_ns");
                         });
                         // Blocking on a full queue is the backpressure
                         // path; an error means the pool is gone.
@@ -1168,6 +1357,67 @@ mod tests {
         b.handle_keyed(&alice, Some(1), transfer());
         b.handle_keyed(&alice, Some(1), transfer());
         assert_eq!(b.accounts.account_details(&gsp_acct).unwrap().available, Credits::from_gd(20));
+    }
+
+    #[test]
+    fn ops_plane_is_its_own_trust_role() {
+        let b = bank();
+        let ops = SubjectName(ops_identity("watcher"));
+        let admin = SubjectName("/O=GridBank/OU=Admin/CN=operator".into());
+        let alice = subject("alice");
+        let BankResponse::AccountCreated { account: alice_acct } =
+            b.handle(&alice, BankRequest::CreateAccount { organization: None })
+        else {
+            panic!()
+        };
+        b.handle(
+            &admin,
+            BankRequest::AdminDeposit { account: alice_acct, amount: Credits::from_gd(50) },
+        );
+        let health_query = || BankRequest::OpsQuery { query: crate::api::OpsQuery::Health };
+        // Nobody is trusted for the ops plane yet: account owners and
+        // full administrators alike are refused with a typed error.
+        for caller in [&alice, &admin] {
+            let resp = b.handle(caller, health_query());
+            assert!(
+                matches!(resp, BankResponse::Error { kind, .. } if kind == crate::api::kinds::NOT_AUTHORIZED),
+                "{resp:?}"
+            );
+        }
+        b.add_ops_admin(ops.0.clone());
+        assert!(b.is_ops_admin(&ops.0));
+        // The ops admin reads health but holds no account privileges.
+        let resp = b.handle(&ops, health_query());
+        let BankResponse::OpsReport { report: crate::api::OpsReport::Health(h) } = resp else {
+            panic!("{resp:?}")
+        };
+        assert_eq!(h.branch, 1);
+        assert_eq!(h.state, crate::api::HealthState::Healthy);
+        let resp = b.handle(
+            &ops,
+            BankRequest::AdminWithdraw { account: alice_acct, amount: Credits::from_gd(50) },
+        );
+        assert!(
+            matches!(resp, BankResponse::Error { kind, .. } if kind == crate::api::kinds::NOT_AUTHORIZED),
+            "{resp:?}"
+        );
+        assert_eq!(
+            b.accounts.account_details(&alice_acct).unwrap().available,
+            Credits::from_gd(50)
+        );
+        // Metrics come back as JSON-lines, optionally prefix-filtered.
+        let resp = b.handle(
+            &ops,
+            BankRequest::OpsQuery {
+                query: crate::api::OpsQuery::Metrics { filter: Some("rpc.".into()) },
+            },
+        );
+        let BankResponse::OpsReport { report: crate::api::OpsReport::Metrics { jsonl } } = resp
+        else {
+            panic!("{resp:?}")
+        };
+        assert!(jsonl.starts_with("{\"type\":\"meta\""), "{jsonl}");
+        assert!(!jsonl.contains("\"name\":\"core."), "filter leaked: {jsonl}");
     }
 
     #[test]

@@ -259,6 +259,10 @@ pub struct PipelinedRequest {
     pub idem_key: Option<u64>,
     /// Request payload.
     pub payload: Vec<u8>,
+    /// When the read loop decoded the frame, stamped only while
+    /// telemetry is on. Executors subtract it at job start to measure
+    /// queue wait (`server.stage.queue_ns`).
+    pub enqueued: Option<std::time::Instant>,
 }
 
 /// Re-sequencing response sender shared by the workers serving one
@@ -372,7 +376,9 @@ impl RpcServer {
                 return Err(NetError::Malformed(format!("expected request, got kind {kind}")));
             }
             gridbank_obs::count("rpc.server.pipelined_requests", 1);
-            let req = PipelinedRequest { seq, id, trace, idem_key, payload: payload.to_vec() };
+            let enqueued = gridbank_obs::telemetry_enabled().then(std::time::Instant::now);
+            let req =
+                PipelinedRequest { seq, id, trace, idem_key, payload: payload.to_vec(), enqueued };
             seq += 1;
             submit(req, &writer)?;
         }

@@ -24,11 +24,13 @@
 //! [`set_telemetry`]`(true)` or `GRIDBANK_TELEMETRY=1`.
 
 pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod stats;
 pub mod trace;
 
 pub use export::{render_jsonl, render_text, Collector};
+pub use flight::{install_panic_hook, set_flight_recorder, FlightConfig, RetainedTrace};
 pub use metrics::{
     count, gauge_add, gauge_set, observe, registry, Counter, Gauge, Histogram, HistogramSnapshot,
     Registry, Snapshot, Stopwatch,

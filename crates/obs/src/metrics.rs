@@ -161,19 +161,32 @@ impl HistogramSnapshot {
         self.sum as f64 / self.count as f64
     }
 
-    /// Estimated percentile (`p` in 0..=100): finds the bucket holding
-    /// the nearest-rank sample and interpolates linearly within it.
+    /// Estimated percentile: finds the bucket holding the nearest-rank
+    /// sample and interpolates linearly within it.
+    ///
+    /// Out-of-domain inputs degrade safely rather than panicking or
+    /// extrapolating: an empty snapshot is 0 for every `p`; `p <= 0`
+    /// (and NaN) means rank 1, the smallest sample's bucket; `p >= 100`
+    /// means rank `count`, the largest sample's bucket — so the result
+    /// always lies within an occupied bucket's `[lo, hi]` range.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((p.clamp(0.0, 100.0) / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
+        let rank = if p <= 0.0 {
+            1
+        } else if p >= 100.0 {
+            self.count
+        } else {
+            (((p / 100.0) * self.count as f64).ceil().max(1.0) as u64).min(self.count)
+        };
         let mut cumulative = 0u64;
         for (b, &n) in self.buckets.iter().enumerate() {
             if n == 0 {
                 continue;
             }
-            if cumulative + n >= rank {
+            if cumulative.saturating_add(n) >= rank {
                 let lo = if b == 0 { 0u64 } else { 1u64 << b };
                 let hi = if b >= 63 { u64::MAX } else { (1u64 << (b + 1)) - 1 };
                 let fraction = (rank - cumulative) as f64 / n as f64;
@@ -182,7 +195,7 @@ impl HistogramSnapshot {
                 let span = ((hi - lo) as f64 * fraction).min(u64::MAX as f64) as u64;
                 return lo.saturating_add(span).min(hi);
             }
-            cumulative += n;
+            cumulative = cumulative.saturating_add(n);
         }
         // Unreachable while count == Σ buckets; be conservative.
         1u64 << 63
@@ -462,6 +475,69 @@ mod tests {
         assert!((512..=1024).contains(&p99), "p99 = {p99}");
         assert_eq!(s.percentile(0.0), s.percentile(0.0));
         assert_eq!(HistogramSnapshot::default().p50(), 0);
+    }
+
+    #[test]
+    fn percentile_edge_cases_degrade_safely() {
+        // Empty snapshot: every percentile is 0, in and out of domain.
+        let empty = HistogramSnapshot::default();
+        for p in [-10.0, 0.0, 50.0, 100.0, 250.0, f64::NAN] {
+            assert_eq!(empty.percentile(p), 0, "empty snapshot at p={p}");
+        }
+        // Out-of-domain p clamps to the extremes instead of panicking.
+        let h = Histogram::new();
+        for v in [10u64, 20, 5_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.percentile(-5.0), s.percentile(0.0));
+        assert_eq!(s.percentile(1e9), s.percentile(100.0));
+        assert_eq!(s.percentile(f64::NAN), s.percentile(0.0));
+        // p0 stays within the smallest sample's bucket ([8, 15] for 10);
+        // p100 lands at or above the largest sample.
+        assert!((8..=15).contains(&s.percentile(0.0)), "p0 = {}", s.percentile(0.0));
+        assert!(s.percentile(100.0) >= 5_000, "p100 = {}", s.percentile(100.0));
+    }
+
+    #[test]
+    fn single_bucket_percentiles_stay_within_bucket_bounds() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(300); // all samples in bucket 8: [256, 511]
+        }
+        let s = h.snapshot();
+        for p in [0.0, 1.0, 50.0, 95.0, 99.0, 100.0] {
+            let v = s.percentile(p);
+            assert!((256..=511).contains(&v), "p{p} = {v} escaped [256, 511]");
+        }
+        assert!(s.percentile(0.0) <= s.percentile(100.0));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+
+        // For any recorded sample set, percentiles are monotone in p and
+        // bracket the observed min/max (log₂ buckets guarantee the
+        // estimate never leaves an occupied bucket's range).
+        #[test]
+        fn percentiles_are_monotone_for_arbitrary_samples(
+            values in proptest::collection::vec(proptest::prelude::any::<u64>(), 1..200),
+        ) {
+            let h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let s = h.snapshot();
+            let (p0, p50, p95, p99, p100) =
+                (s.percentile(0.0), s.p50(), s.p95(), s.p99(), s.percentile(100.0));
+            proptest::prop_assert!(p0 <= p50 && p50 <= p95 && p95 <= p99 && p99 <= p100,
+                "{p0} {p50} {p95} {p99} {p100}");
+            let min = *values.iter().min().expect("nonempty");
+            let max = *values.iter().max().expect("nonempty");
+            // p0 may interpolate up to the top of min's log₂ bucket (< 2·min).
+            proptest::prop_assert!(p0 <= min.saturating_mul(2).max(1), "p0 {p0} vs min {min}");
+            proptest::prop_assert!(p100 >= max, "p100 {p100} below max {max}");
+        }
     }
 
     #[test]

@@ -212,6 +212,7 @@ impl SpanGuard {
         let started = Instant::now();
         let start_us = started.duration_since(epoch()).as_micros() as u64;
         CURRENT.with(|stack| stack.borrow_mut().push((trace_id, span_id)));
+        crate::flight::on_span_open(trace_id);
         SpanGuard {
             active: Some(ActiveSpan {
                 trace_id,
@@ -264,6 +265,7 @@ impl Drop for SpanGuard {
             duration_us: active.started.elapsed().as_micros() as u64,
             attrs: active.attrs,
         };
+        crate::flight::on_span_close(&record);
         if let Some(sink) = SINK.lock().as_ref() {
             sink.on_span(&record);
         }
@@ -272,6 +274,9 @@ impl Drop for SpanGuard {
             store.records.push(record);
         } else {
             store.dropped += 1;
+            // Overflow is silent to callers of `span()`; surface it as a
+            // counter so a starved trace buffer shows up in snapshots.
+            crate::metrics::count("obs.trace.dropped", 1);
         }
     }
 }
@@ -489,6 +494,26 @@ mod tests {
             let broker_line = tree.lines().position(|l| l.contains("broker::payment"));
             let net_line = tree.lines().position(|l| l.contains("net::rpc_call"));
             assert!(broker_line < net_line);
+        });
+    }
+
+    #[test]
+    fn buffer_overflow_is_counted_not_silent() {
+        with_telemetry(|| {
+            let _ = take_spans(); // start from an empty buffer
+            let counter = crate::metrics::registry().counter("obs.trace.dropped");
+            let (dropped_before, counted_before) = (dropped_spans(), counter.get());
+            const OVERFLOW: usize = 5;
+            for _ in 0..MAX_BUFFERED_SPANS + OVERFLOW {
+                drop(root_span("test.overflow", "filler"));
+            }
+            assert_eq!(buffered_spans().len(), MAX_BUFFERED_SPANS, "buffer capped");
+            assert!(dropped_spans() - dropped_before >= OVERFLOW as u64, "store records the drops");
+            assert!(
+                counter.get() - counted_before >= OVERFLOW as u64,
+                "obs.trace.dropped counter records the drops"
+            );
+            let _ = take_spans();
         });
     }
 

@@ -242,6 +242,10 @@ fn op_amount(consumer: usize, op: usize) -> Credits {
 
 /// Runs one chaos storm and reports what survived.
 pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
+    // A chaos panic is a forensic event: if the flight recorder is on,
+    // its retained slow/errored traces ride along with the panic output
+    // so the failing request's span tree is not lost with the process.
+    gridbank_obs::install_panic_hook();
     let w = build_world(cfg);
     let mut report = ChaosReport::default();
 

@@ -77,6 +77,27 @@ grep -q "clearing accounts net to zero" <<<"$fed_out" || {
   exit 1
 }
 
+# Ops smoke (E18 companion): scrape a live branch over the wire with the
+# OPS_ADMIN-gated OpsQuery. The unauthorized probe must be refused, the
+# health report must classify Healthy, and all six server.stage.*
+# histograms must have recorded (docs/OBSERVABILITY.md §4).
+echo "== ops smoke (docs/OBSERVABILITY.md §4)"
+ops_out="$(./target/release/gridbank metrics --remote bank --format jsonl)"
+grep -q '"type":"ops-gate"' <<<"$ops_out" || {
+  echo "ops smoke: unauthorized OpsQuery was not refused" >&2
+  exit 1
+}
+grep -q '"type":"health".*"state":"Healthy"' <<<"$ops_out" || {
+  echo "ops smoke: live branch did not report Healthy" >&2
+  exit 1
+}
+for stage in queue decode dispatch lock journal reply; do
+  grep -Eq "\"name\":\"server\.stage\.${stage}_ns\",\"count\":[1-9]" <<<"$ops_out" || {
+    echo "ops smoke: server.stage.${stage}_ns empty or missing" >&2
+    exit 1
+  }
+done
+
 # Opt-in concurrency stages (docs/STATIC_ANALYSIS.md). LOOM=1 rebuilds
 # core/net with the yield-injecting sync facade and runs the three
 # models (group-commit queue, idempotency dedup, circuit breaker).

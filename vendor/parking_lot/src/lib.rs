@@ -39,6 +39,16 @@ impl<T: ?Sized> Mutex<T> {
         MutexGuard(Some(self.0.lock().unwrap_or_else(|e| e.into_inner())))
     }
 
+    /// Attempts to acquire the mutex without blocking; `None` when it is
+    /// already held.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(guard) => Some(MutexGuard(Some(guard))),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard(Some(e.into_inner()))),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
         match self.0.get_mut() {
