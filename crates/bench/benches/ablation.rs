@@ -148,6 +148,7 @@ fn pricing_table() {
                 sizes: JobSizeDistribution::Uniform { lo: 2_000_000, hi: 6_000_000 },
                 memory_mb: 0,
                 network_mb: 0,
+                diurnal: None,
             },
             algorithm: Algorithm::CostOpt,
             deadline_ms: 8 * MS_PER_HOUR,
@@ -196,6 +197,7 @@ fn bench(c: &mut Criterion) {
                     sizes: JobSizeDistribution::Constant(1_000_000),
                     memory_mb: 0,
                     network_mb: 0,
+                    diurnal: None,
                 },
                 algorithm: Algorithm::CostOpt,
                 deadline_ms: 8 * MS_PER_HOUR,

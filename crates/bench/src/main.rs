@@ -91,6 +91,13 @@ struct LoadgenConfig {
     /// from the `server.stage.*` histograms; `false` measures the bare
     /// pipeline (EXPERIMENTS.md E18).
     telemetry: bool,
+    /// Repetitions per measured phase; throughput reports mean ±
+    /// stddev across runs.
+    runs: usize,
+    /// Run the market-economy scenario (auctions + barter + PayWord
+    /// streams through live federated servers) and emit a `market`
+    /// section with its invariant evidence.
+    market: bool,
     /// Output path.
     out: String,
 }
@@ -110,6 +117,8 @@ impl Default for LoadgenConfig {
             workers: 4,
             branches: 1,
             telemetry: true,
+            runs: 1,
+            market: false,
             out: "BENCH_payments.json".into(),
         }
     }
@@ -137,6 +146,11 @@ fn usage() -> ! {
                                    cross-branch phase + settlement pass (default 1)\n\
            --telemetry on|off      server-side stage timing; off measures the\n\
                                    bare pipeline, E18 (default on)\n\
+           --runs N                repetitions per measured phase; throughput\n\
+                                   reports mean ± stddev across runs (default 1)\n\
+           --market                also run the market-economy scenario\n\
+                                   (auctions, barter, PayWord streams) and emit\n\
+                                   a `market` section with invariant evidence\n\
            --out PATH              output file (default BENCH_payments.json)\n\
          \n\
          See docs/BENCHMARKS.md for methodology."
@@ -178,6 +192,8 @@ fn parse_args(args: &[String]) -> LoadgenConfig {
                     _ => usage(),
                 }
             }
+            "--runs" => cfg.runs = value().parse().unwrap_or_else(|_| usage()),
+            "--market" => cfg.market = true,
             "--out" => cfg.out = value(),
             _ => usage(),
         }
@@ -187,10 +203,19 @@ fn parse_args(args: &[String]) -> LoadgenConfig {
         || cfg.duration_ms == 0
         || cfg.strategies.is_empty()
         || cfg.branches == 0
+        || cfg.runs == 0
     {
         usage();
     }
     cfg
+}
+
+/// Sample mean and (population) standard deviation.
+fn mean_stddev(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len().max(1) as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
 }
 
 struct World {
@@ -479,11 +504,22 @@ struct StrategyResult {
     elapsed: Duration,
 }
 
+/// One strategy's results aggregated across `--runs` repetitions.
+struct StrategyAgg {
+    strategy: Strategy,
+    /// Totals across all runs.
+    ops: u64,
+    errors: u64,
+    elapsed: Duration,
+    /// Per-run throughput samples (ops/s).
+    throughputs: Vec<f64>,
+}
+
 /// Closed loop: every worker keeps a constant number of requests in
 /// flight (pipelined for pay-before, request/response cycles otherwise)
 /// for the whole window. Throughput is "as fast as the system allows" at
 /// that concurrency; latency is send-to-response per op.
-fn run_closed(w: &World, cfg: &LoadgenConfig, strategy: Strategy) -> StrategyResult {
+fn run_closed(w: &World, cfg: &LoadgenConfig, strategy: Strategy, run: usize) -> StrategyResult {
     let hist = gridbank_obs::registry().histogram(&format!("loadgen.op_ns.{}", strategy.name()));
     let ops = AtomicU64::new(0);
     let errors = AtomicU64::new(0);
@@ -493,7 +529,7 @@ fn run_closed(w: &World, cfg: &LoadgenConfig, strategy: Strategy) -> StrategyRes
     std::thread::scope(|scope| {
         for thread in 0..cfg.clients {
             let (hist, ops, errors) = (&hist, &ops, &errors);
-            let mut p = setup_payer(w, strategy, thread, cfg.seed);
+            let mut p = setup_payer(w, strategy, run * cfg.clients + thread, cfg.seed);
             scope.spawn(move || {
                 while Instant::now() < deadline {
                     if strategy == Strategy::PayBefore && cfg.pipeline > 1 {
@@ -561,7 +597,7 @@ fn run_closed(w: &World, cfg: &LoadgenConfig, strategy: Strategy) -> StrategyRes
 /// measured from the scheduled instant, so queueing delay shows up in
 /// the percentiles instead of being silently absorbed (no coordinated
 /// omission).
-fn run_open(w: &World, cfg: &LoadgenConfig, strategy: Strategy) -> StrategyResult {
+fn run_open(w: &World, cfg: &LoadgenConfig, strategy: Strategy, run: usize) -> StrategyResult {
     let hist = gridbank_obs::registry().histogram(&format!("loadgen.op_ns.{}", strategy.name()));
     let ops = AtomicU64::new(0);
     let errors = AtomicU64::new(0);
@@ -573,7 +609,7 @@ fn run_open(w: &World, cfg: &LoadgenConfig, strategy: Strategy) -> StrategyResul
     std::thread::scope(|scope| {
         for thread in 0..cfg.clients {
             let (hist, ops, errors) = (&hist, &ops, &errors);
-            let mut p = setup_payer(w, strategy, thread, cfg.seed);
+            let mut p = setup_payer(w, strategy, run * cfg.clients + thread, cfg.seed);
             scope.spawn(move || {
                 let mut scheduled = start + interval * (thread as u32 + 1);
                 while scheduled < deadline {
@@ -715,14 +751,100 @@ fn run_federated(w: &World, cfg: &LoadgenConfig) -> FederationStats {
     }
 }
 
+/// The `--market` phase aggregated across `--runs` repetitions.
+struct MarketStats {
+    runs: usize,
+    population: usize,
+    spot_payments: u32,
+    cross_branch: u32,
+    auctions_settled: u32,
+    auction_volume_micro: u64,
+    barter_volume_micro: u64,
+    payword_paid_micro: u64,
+    /// `EconomyReport::verify` passed on every run.
+    invariants_ok: bool,
+    elapsed_secs: Vec<f64>,
+    payment_rates: Vec<f64>,
+    ledger_digest: u64,
+}
+
+/// Runs the full market economy (`gridbank_sim::market`) `--runs`
+/// times: Zipf/diurnal spot traffic, flash-crowd auctions settled
+/// exactly-once through live federated servers, a barter ring, and
+/// PayWord streams. Wall-clock per run feeds the mean ± stddev; the
+/// conservation/exactly-once evidence must hold on every run.
+fn run_market_phase(cfg: &LoadgenConfig) -> MarketStats {
+    use gridbank_sim::market::{run_market, EconomyConfig};
+    use gridbank_sim::workload::DiurnalCurve;
+
+    let mut stats = MarketStats {
+        runs: cfg.runs,
+        population: 0,
+        spot_payments: 0,
+        cross_branch: 0,
+        auctions_settled: 0,
+        auction_volume_micro: 0,
+        barter_volume_micro: 0,
+        payword_paid_micro: 0,
+        invariants_ok: true,
+        elapsed_secs: Vec::new(),
+        payment_rates: Vec::new(),
+        ledger_digest: 0,
+    };
+    for run in 0..cfg.runs {
+        let mcfg = EconomyConfig {
+            seed: cfg.seed.wrapping_add(run as u64 * 101),
+            population_per_branch: 5_000,
+            payers_per_branch: 3,
+            spot_payments: 400,
+            payword_words: 14,
+            payword_redemptions: 4,
+            diurnal: Some(DiurnalCurve { period_ms: 120_000, trough_pct: 20 }),
+            signer_height: 11,
+            ..EconomyConfig::default()
+        };
+        let start = Instant::now();
+        let report = match run_market(&mcfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("loadgen: market run {run} failed: {e}");
+                stats.invariants_ok = false;
+                continue;
+            }
+        };
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        if let Err(faults) = report.verify() {
+            eprintln!("loadgen: market run {run} invariants violated: {faults}");
+            stats.invariants_ok = false;
+        }
+        stats.population = report.population;
+        stats.spot_payments = report.spot_payments;
+        stats.cross_branch = report.cross_branch_payments;
+        stats.auctions_settled = report.auctions_settled;
+        stats.auction_volume_micro = report.auction_volume.metric_micro();
+        stats.barter_volume_micro = report.barter_volume.metric_micro();
+        stats.payword_paid_micro = report.payword_paid.metric_micro();
+        stats.elapsed_secs.push(secs);
+        stats.payment_rates.push(report.spot_payments as f64 / secs);
+        stats.ledger_digest = report.ledger_digest;
+        eprintln!(
+            "loadgen: market run {run}: {} payments ({} cross-branch), {} auctions, \
+             {:.2}s",
+            report.spot_payments, report.cross_branch_payments, report.auctions_settled, secs,
+        );
+    }
+    stats
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn render_json(
     cfg: &LoadgenConfig,
-    results: &[StrategyResult],
+    results: &[StrategyAgg],
     federation: Option<&FederationStats>,
+    market: Option<&MarketStats>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -737,17 +859,19 @@ fn render_json(
     }
     out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
     out.push_str(&format!("  \"server_workers\": {},\n", cfg.workers));
+    out.push_str(&format!("  \"runs\": {},\n", cfg.runs));
     out.push_str("  \"strategies\": {\n");
     let snapshot = gridbank_obs::registry().snapshot();
     for (i, r) in results.iter().enumerate() {
         let name = r.strategy.name();
         let secs = r.elapsed.as_secs_f64().max(1e-9);
-        let throughput = r.ops as f64 / secs;
+        let (tp_mean, tp_sd) = mean_stddev(&r.throughputs);
         out.push_str(&format!("    \"{name}\": {{\n"));
         out.push_str(&format!("      \"ops\": {},\n", r.ops));
         out.push_str(&format!("      \"errors\": {},\n", r.errors));
         out.push_str(&format!("      \"measured_secs\": {secs:.3},\n"));
-        out.push_str(&format!("      \"throughput_ops_per_sec\": {throughput:.1},\n"));
+        out.push_str(&format!("      \"throughput_ops_per_sec\": {tp_mean:.1},\n"));
+        out.push_str(&format!("      \"throughput_stddev_ops_per_sec\": {tp_sd:.1},\n"));
         match snapshot.histogram(&format!("loadgen.op_ns.{name}")) {
             Some(h) => out.push_str(&format!(
                 "      \"latency_ns\": {{\"count\": {}, \"mean\": {:.0}, \"p50\": {}, \
@@ -796,6 +920,29 @@ fn render_json(
         }
     }
 
+    if let Some(m) = market {
+        let (el_mean, el_sd) = mean_stddev(&m.elapsed_secs);
+        let (rate_mean, rate_sd) = mean_stddev(&m.payment_rates);
+        out.push_str("  \"market\": {\n");
+        out.push_str(&format!("    \"runs\": {},\n", m.runs));
+        out.push_str(&format!("    \"population_per_branch\": {},\n", m.population));
+        out.push_str(&format!("    \"spot_payments_per_run\": {},\n", m.spot_payments));
+        out.push_str(&format!("    \"cross_branch_payments\": {},\n", m.cross_branch));
+        out.push_str(&format!("    \"auctions_settled\": {},\n", m.auctions_settled));
+        out.push_str(&format!("    \"auction_volume_micro\": {},\n", m.auction_volume_micro));
+        out.push_str(&format!("    \"barter_volume_micro\": {},\n", m.barter_volume_micro));
+        out.push_str(&format!("    \"payword_paid_micro\": {},\n", m.payword_paid_micro));
+        out.push_str(&format!("    \"invariants_ok\": {},\n", m.invariants_ok));
+        out.push_str(&format!(
+            "    \"elapsed_secs\": {{\"mean\": {el_mean:.3}, \"stddev\": {el_sd:.3}}},\n"
+        ));
+        out.push_str(&format!(
+            "    \"payments_per_sec\": {{\"mean\": {rate_mean:.1}, \"stddev\": {rate_sd:.1}}},\n"
+        ));
+        out.push_str(&format!("    \"ledger_digest\": \"{:#018x}\"\n", m.ledger_digest));
+        out.push_str("  },\n");
+    }
+
     // Server-side stage decomposition (queue wait → reply write) scraped
     // from the `server.stage.*` histograms the server recorded while
     // under load. All-null when `--telemetry off`.
@@ -838,19 +985,40 @@ fn loadgen(args: &[String]) {
     let w = start_world(&cfg);
     let mut results = Vec::new();
     for &strategy in &cfg.strategies {
-        let r = if cfg.mode == "open" {
-            run_open(&w, &cfg, strategy)
-        } else {
-            run_closed(&w, &cfg, strategy)
+        let mut agg = StrategyAgg {
+            strategy,
+            ops: 0,
+            errors: 0,
+            elapsed: Duration::ZERO,
+            throughputs: Vec::new(),
         };
-        eprintln!(
-            "loadgen: {} ops={} errors={} ({:.1} ops/s)",
-            r.strategy.name(),
-            r.ops,
-            r.errors,
-            r.ops as f64 / r.elapsed.as_secs_f64().max(1e-9),
-        );
-        results.push(r);
+        for run in 0..cfg.runs {
+            let r = if cfg.mode == "open" {
+                run_open(&w, &cfg, strategy, run)
+            } else {
+                run_closed(&w, &cfg, strategy, run)
+            };
+            let throughput = r.ops as f64 / r.elapsed.as_secs_f64().max(1e-9);
+            eprintln!(
+                "loadgen: {} run {run}: ops={} errors={} ({throughput:.1} ops/s)",
+                r.strategy.name(),
+                r.ops,
+                r.errors,
+            );
+            agg.ops += r.ops;
+            agg.errors += r.errors;
+            agg.elapsed += r.elapsed;
+            agg.throughputs.push(throughput);
+        }
+        if cfg.runs > 1 {
+            let (mean, sd) = mean_stddev(&agg.throughputs);
+            eprintln!(
+                "loadgen: {} over {} runs: {mean:.1} ± {sd:.1} ops/s",
+                strategy.name(),
+                cfg.runs,
+            );
+        }
+        results.push(agg);
     }
     let federation = (cfg.branches > 1).then(|| {
         let f = run_federated(&w, &cfg);
@@ -871,7 +1039,17 @@ fn loadgen(args: &[String]) {
         }
         f
     });
-    let json = render_json(&cfg, &results, federation.as_ref());
+    let market = cfg.market.then(|| {
+        let m = run_market_phase(&cfg);
+        let (mean, sd) = mean_stddev(&m.payment_rates);
+        eprintln!(
+            "loadgen: market over {} runs: {mean:.1} ± {sd:.1} payments/s, invariants {}",
+            m.runs,
+            if m.invariants_ok { "OK" } else { "VIOLATED" },
+        );
+        m
+    });
+    let json = render_json(&cfg, &results, federation.as_ref(), market.as_ref());
     let mut file = std::fs::File::create(&cfg.out)
         .unwrap_or_else(|e| panic!("cannot create {}: {e}", cfg.out));
     file.write_all(json.as_bytes()).expect("write results");

@@ -1,0 +1,199 @@
+//! Consumer-side auction participation and exactly-once settlement.
+//!
+//! The broker represents a pool of consumers in a provider's announced
+//! auction (GRACE economic-model menu): it drives the
+//! [`AuctionSession`] with each consumer's private valuation —
+//! minimal-raise proxy bidding in English auctions, strike-at-valuation
+//! in Dutch auctions, truthful sealed bids otherwise — and settles the
+//! win through the live bank under the session's stable idempotency
+//! key, so a retried settlement RPC applies **exactly once**.
+
+use gridbank_core::api::{BankRequest, BankResponse};
+use gridbank_core::client::GridBankClient;
+use gridbank_core::db::AccountId;
+use gridbank_core::direct::TransferConfirmation;
+use gridbank_core::BankError;
+use gridbank_rur::Credits;
+use gridbank_trade::session::{AuctionKind, AuctionSession, Settlement};
+use gridbank_trade::TradeError;
+
+use crate::error::BrokerError;
+
+/// One consumer the broker represents: identity plus the most they are
+/// privately willing to pay.
+#[derive(Clone, Debug)]
+pub struct AuctionBidder {
+    /// Bidder identity (certificate name).
+    pub bidder: String,
+    /// Private valuation: the bidder never pays above this.
+    pub valuation: Credits,
+}
+
+/// Drives an announced auction to its settlement on behalf of a bidder
+/// pool.
+///
+/// Strategy per mechanism:
+/// * **English** — proxy bidding: each round, every outbid consumer
+///   whose valuation covers the current floor raises by exactly the
+///   floor (reserve first, standing + increment after). The price walks
+///   up until only one bidder's valuation survives.
+/// * **Dutch** — the clock ticks down until the first consumer whose
+///   valuation meets the asking price takes it.
+/// * **Sealed / Vickrey** — every consumer submits their valuation
+///   (truthful bidding is the dominant strategy under Vickrey; the
+///   uniform pool keeps first-price comparable).
+///
+/// Returns the [`Settlement`] to push through [`settle_award`], or
+/// [`TradeError::NoMatch`] when no valuation met the market.
+pub fn run_auction(
+    session: &mut AuctionSession,
+    bidders: &[AuctionBidder],
+) -> Result<Settlement, TradeError> {
+    gridbank_obs::count("auction.sessions", 1);
+    let settlement = match session.announcement().kind {
+        AuctionKind::English { reserve, increment } => {
+            let mut floor = reserve;
+            let mut standing: Option<usize> = None;
+            loop {
+                let mut raised = false;
+                for (i, b) in bidders.iter().enumerate() {
+                    if standing == Some(i) || b.valuation < floor {
+                        continue;
+                    }
+                    session.submit_bid(&b.bidder, floor)?;
+                    gridbank_obs::count("auction.bids", 1);
+                    standing = Some(i);
+                    floor = floor
+                        .checked_add(increment)
+                        .map_err(|e| TradeError::Numeric(e.to_string()))?;
+                    raised = true;
+                }
+                if !raised {
+                    break;
+                }
+            }
+            session.close()?
+        }
+        AuctionKind::Dutch { .. } => loop {
+            let price = session.current_price().ok_or_else(|| {
+                TradeError::ProtocolViolation("dutch session lost its price clock".into())
+            })?;
+            if let Some(b) = bidders.iter().find(|b| b.valuation >= price) {
+                gridbank_obs::count("auction.bids", 1);
+                break session.take(&b.bidder)?;
+            }
+            session.tick()?;
+        },
+        AuctionKind::FirstPriceSealed { .. } | AuctionKind::Vickrey { .. } => {
+            for b in bidders {
+                session.submit_bid(&b.bidder, b.valuation)?;
+                gridbank_obs::count("auction.bids", 1);
+            }
+            session.close()?
+        }
+    };
+    gridbank_obs::count("auction.awards", 1);
+    gridbank_obs::count("auction.volume_micro", settlement.award.price.metric_micro());
+    Ok(settlement)
+}
+
+/// Settles an auction win through the live bank: the winner pays the
+/// seller by direct transfer **under the settlement's stable
+/// idempotency key**. Reconnects, timeouts, and deliberate re-sends of
+/// the same settlement all dedup bank-side to one applied transfer —
+/// the bank replays the remembered confirmation instead.
+pub fn settle_award(
+    winner: &mut GridBankClient,
+    settlement: &Settlement,
+    seller_account: AccountId,
+    seller_address: &str,
+) -> Result<TransferConfirmation, BrokerError> {
+    let _span = gridbank_obs::span("broker.payment", "auction_settle");
+    let request = BankRequest::DirectTransfer {
+        to: seller_account,
+        amount: settlement.award.price,
+        recipient_address: seller_address.to_string(),
+    };
+    match winner.call_keyed(Some(settlement.idem_key), &request).map_err(BrokerError::Bank)? {
+        BankResponse::Confirmed(confirmation) => {
+            gridbank_obs::count("auction.settled", 1);
+            Ok(confirmation)
+        }
+        other => {
+            Err(BrokerError::Bank(BankError::Protocol(format!("unexpected response {other:?}"))))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridbank_trade::session::Announcement;
+
+    fn gd(v: i64) -> Credits {
+        Credits::from_gd(v)
+    }
+
+    fn pool(valuations: &[i64]) -> Vec<AuctionBidder> {
+        valuations
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| AuctionBidder { bidder: format!("c{i}"), valuation: gd(v) })
+            .collect()
+    }
+
+    fn announce(kind: AuctionKind) -> AuctionSession {
+        AuctionSession::open(Announcement {
+            auction_id: 7,
+            seller: "/O=Grid/OU=GSP/CN=alpha".into(),
+            item: "burst capacity".into(),
+            kind,
+        })
+    }
+
+    #[test]
+    fn english_price_walks_to_second_valuation() {
+        let mut s = announce(AuctionKind::English { reserve: gd(2), increment: gd(1) });
+        let settlement = run_auction(&mut s, &pool(&[5, 9, 3])).unwrap();
+        // The 9-valuation bidder outlasts the 5-valuation one, paying at
+        // most one increment above the runner-up's last affordable raise.
+        assert_eq!(settlement.award.winner, "c1");
+        assert!(settlement.award.price >= gd(2));
+        assert!(settlement.award.price <= gd(9));
+        assert!(
+            settlement.award.price >= gd(5),
+            "price {} below runner-up",
+            settlement.award.price
+        );
+    }
+
+    #[test]
+    fn dutch_first_affordable_take() {
+        let mut s = announce(AuctionKind::Dutch { start: gd(10), decrement: gd(2), floor: gd(2) });
+        let settlement = run_auction(&mut s, &pool(&[5, 7])).unwrap();
+        // Clock: 10 → 8 → 6; at 6 the 7-valuation consumer strikes.
+        assert_eq!(settlement.award.winner, "c1");
+        assert_eq!(settlement.award.price, gd(6));
+    }
+
+    #[test]
+    fn dutch_dies_when_nobody_can_pay_the_floor() {
+        let mut s = announce(AuctionKind::Dutch { start: gd(10), decrement: gd(3), floor: gd(6) });
+        let err = run_auction(&mut s, &pool(&[2, 3])).unwrap_err();
+        assert!(matches!(err, TradeError::NoMatch(_)));
+    }
+
+    #[test]
+    fn vickrey_truthful_pool_pays_second_valuation() {
+        let mut s = announce(AuctionKind::Vickrey { reserve: gd(1) });
+        let settlement = run_auction(&mut s, &pool(&[4, 8, 6])).unwrap();
+        assert_eq!(settlement.award.winner, "c1");
+        assert_eq!(settlement.award.price, gd(6));
+    }
+
+    #[test]
+    fn no_qualifying_valuation_is_no_match() {
+        let mut s = announce(AuctionKind::English { reserve: gd(50), increment: gd(1) });
+        assert!(matches!(run_auction(&mut s, &pool(&[5, 9])), Err(TradeError::NoMatch(_))));
+    }
+}

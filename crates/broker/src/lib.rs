@@ -17,6 +17,10 @@
 //! * [`broker`] — the assembled broker: discovery via the Grid Market
 //!   Directory, rate negotiation with each GSP's Grid Trade Server,
 //!   scheduling, dispatch, and QoS accounting.
+//! * [`auction`] — consumer-side auction participation: drives an
+//!   announced [`gridbank_trade::session::AuctionSession`] for a pool
+//!   of valuations and settles the win through the live bank under the
+//!   session's stable idempotency key (exactly-once).
 
 // The workspace `clippy::arithmetic_side_effects` wall guards
 // production money paths; test fixtures may build inputs with plain
@@ -24,12 +28,14 @@
 #![cfg_attr(test, allow(clippy::arithmetic_side_effects))]
 
 pub mod agent;
+pub mod auction;
 pub mod broker;
 pub mod error;
 pub mod job;
 pub mod payment;
 pub mod scheduling;
 
+pub use auction::{run_auction, settle_award, AuctionBidder};
 pub use broker::{BrokerReport, GridResourceBroker};
 pub use error::BrokerError;
 pub use job::{JobBatch, QosConstraints};

@@ -522,6 +522,73 @@ fn run_settle(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// `gridbank market` — the population-scale market economy demo: Zipf
+/// spot traffic, flash-crowd capacity auctions, a co-op barter ring,
+/// and PayWord streams over two live federated branches, ending with
+/// the hard invariant check (see `docs/ECONOMY.md`).
+fn run_market_demo(args: &Args) -> Result<String, String> {
+    use gridbank_sim::market::{run_market, EconomyConfig};
+
+    let mut cfg = EconomyConfig::default();
+    if let Some(v) = args.get("population") {
+        cfg.population_per_branch = v.parse().map_err(|e| format!("--population: {e}"))?;
+    }
+    if let Some(v) = args.get("payments") {
+        cfg.spot_payments = v.parse().map_err(|e| format!("--payments: {e}"))?;
+    }
+    if let Some(v) = args.get("auctions") {
+        cfg.auctions = v.parse().map_err(|e| format!("--auctions: {e}"))?;
+    }
+    if let Some(v) = args.get("seed") {
+        let parsed = match v.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => v.parse(),
+        };
+        cfg.seed = parsed.map_err(|e| format!("--seed: {e}"))?;
+    }
+    if cfg.population_per_branch < cfg.payers_per_branch + cfg.barter_members + cfg.payword_streams
+    {
+        return Err("--population too small to seat payers, barter members and streams".into());
+    }
+
+    let report = run_market(&cfg)?;
+    let mut out = format!(
+        "market economy: {} accounts over 2 branches, seed {:#x}\n",
+        report.population * 2,
+        cfg.seed
+    );
+    out.push_str(&format!(
+        "spot payments:   {} committed ({} cross-branch, net {} settled)\n",
+        report.spot_payments, report.cross_branch_payments, report.settlement_net
+    ));
+    out.push_str(&format!(
+        "auctions:        {} settled ({} dutch, {} english), volume {}, {} duplicate re-sends deduped\n",
+        report.auctions_settled,
+        report.dutch_auctions,
+        report.english_auctions,
+        report.auction_volume,
+        report.duplicate_settlements_deduped
+    ));
+    out.push_str(&format!(
+        "barter ring:     volume {}, equilibrium gap {}\n",
+        report.barter_volume, report.barter_equilibrium_gap
+    ));
+    out.push_str(&format!(
+        "payword streams: {} redeemed, {} released at chain close\n",
+        report.payword_paid, report.payword_released
+    ));
+    out.push_str(&format!(
+        "conservation:    {} -> {} (journal {}+{} entries)\n",
+        report.initial_total, report.final_total, report.journal_len[0], report.journal_len[1]
+    ));
+    out.push_str(&format!("ledger digest:   {:#018x}\n", report.ledger_digest));
+
+    // The acceptance check: every hard invariant, or a nonzero exit.
+    report.verify()?;
+    out.push_str("invariants: conservation, exactly-once settlement, zero stranded credit — OK");
+    Ok(out)
+}
+
 /// The six server-side request stages (`server.stage.<name>_ns`).
 const STAGES: [&str; 6] = ["queue", "decode", "dispatch", "lock", "journal", "reply"];
 
@@ -813,6 +880,10 @@ fn run(args: &Args) -> Result<String, String> {
         // Self-contained federated demo: never touches the journal file.
         return run_settle(args);
     }
+    if command == "market" {
+        // Self-contained market economy demo: never touches the journal file.
+        return run_market_demo(args);
+    }
     if command == "top" {
         // Self-contained ops dashboard: never touches the journal file.
         return run_top(args);
@@ -990,7 +1061,8 @@ fn usage() -> String {
        barter-stats\n\
        metrics        [--format text|jsonl] [--filter prefix] [--remote ADDR]\n\
        top            [--frames N]\n\
-       settle         [--branches N] [--payments N] [--amount G$]"
+       settle         [--branches N] [--payments N] [--amount G$]\n\
+       market         [--population N] [--payments N] [--auctions N] [--seed N]"
         .to_string()
 }
 
@@ -1160,5 +1232,28 @@ mod tests {
         assert!(out.contains("breaker Closed"), "{out}");
         assert!(out.contains("flight recorder:"), "{out}");
         assert!(run(&args(&["top", "--frames", "0"])).is_err());
+    }
+
+    #[test]
+    fn market_demo_reports_invariants() {
+        // A trimmed `market` run drives the full economy — spot
+        // payments, auctions, barter, PayWord — through live servers
+        // and must end on the invariant verdict line.
+        let out =
+            run(&args(&["market", "--population", "60", "--payments", "30", "--auctions", "2"]))
+                .unwrap();
+        assert!(out.contains("market economy: 120 accounts"), "{out}");
+        assert!(out.contains("2 settled (1 dutch, 1 english)"), "{out}");
+        assert!(out.contains("ledger digest:"), "{out}");
+        assert!(
+            out.contains(
+                "invariants: conservation, exactly-once settlement, zero stranded credit — OK"
+            ),
+            "{out}"
+        );
+
+        // A population too small to seat the cast is rejected up front.
+        assert!(run(&args(&["market", "--population", "3"])).is_err());
+        assert!(run(&args(&["market", "--seed", "oops"])).is_err());
     }
 }

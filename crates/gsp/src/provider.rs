@@ -18,6 +18,7 @@ use gridbank_rur::Credits;
 use gridbank_trade::directory::ProviderAd;
 use gridbank_trade::pricing::{PricingPolicy, Utilization};
 use gridbank_trade::rates::{RateQuote, ServiceRates};
+use gridbank_trade::session::{Announcement, AuctionKind};
 
 use crate::charging::{ChargingModule, PaymentInstrument};
 use crate::error::GspError;
@@ -157,6 +158,35 @@ impl<P: BankPort> GridServiceProvider<P> {
             valid_until: now_ms.saturating_add(validity_ms),
             quote_id,
         })
+    }
+
+    /// Announces an auction for capacity, priced off the live quote.
+    ///
+    /// The mechanism follows the load: a scarce provider (half or more
+    /// of its machines busy) sells by **English** ascending auction with
+    /// the demand-adjusted hourly price as the reserve — a flash crowd
+    /// bids the price up from there; an idle provider moves stock by
+    /// **Dutch** descending auction opening at twice the posted hourly
+    /// price and never clearing below it.
+    pub fn announce_auction(
+        &mut self,
+        auction_id: u64,
+        item: impl Into<String>,
+        now_ms: u64,
+    ) -> Result<Announcement, GspError> {
+        let quote = self.quote(now_ms, 60_000)?;
+        let hourly = quote.rates.total_time_price_per_hour();
+        let kind = if self.utilization(now_ms).0 >= 50 {
+            let increment =
+                hourly.mul_ratio(1, 10).map_err(GspError::Record)?.max(Credits::from_micro(1));
+            AuctionKind::English { reserve: hourly, increment }
+        } else {
+            let start = hourly.checked_mul(2).map_err(GspError::Record)?;
+            let decrement =
+                hourly.mul_ratio(1, 8).map_err(GspError::Record)?.max(Credits::from_micro(1));
+            AuctionKind::Dutch { start, decrement, floor: hourly }
+        };
+        Ok(Announcement { auction_id, seller: self.cert.clone(), item: item.into(), kind })
     }
 
     /// The GMD advertisement for this provider.

@@ -162,25 +162,39 @@ impl HistogramSnapshot {
     }
 
     /// Estimated percentile: finds the bucket holding the nearest-rank
-    /// sample and interpolates linearly within it.
+    /// sample and interpolates linearly within it, treating each sample
+    /// as sitting at the *midpoint* of its 1/n slot of the bucket.
+    ///
+    /// The midpoint convention matters at the edges: the naive
+    /// `fraction = (rank - cumulative) / n` returns exactly `hi` —
+    /// `2^(b+1) − 1` — whenever the nearest-rank sample is the last one
+    /// in its bucket. Tail percentiles then collapse onto power-of-two
+    /// boundaries (the `p99 = 16777215 = 2^24 − 1` artifact): a value
+    /// that is an *upper bound* gets reported as if it were a
+    /// measurement. With midpoint slots the interior estimate stays
+    /// strictly inside `(lo, hi)` and never lands on the bucket edge.
     ///
     /// Out-of-domain inputs degrade safely rather than panicking or
     /// extrapolating: an empty snapshot is 0 for every `p`; `p <= 0`
-    /// (and NaN) means rank 1, the smallest sample's bucket; `p >= 100`
-    /// means rank `count`, the largest sample's bucket — so the result
+    /// (and NaN) returns the smallest occupied bucket's `lo`; `p >= 100`
+    /// returns the largest occupied bucket's `hi` — so the result
     /// always lies within an occupied bucket's `[lo, hi]` range.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
         let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
-        let rank = if p <= 0.0 {
-            1
-        } else if p >= 100.0 {
-            self.count
-        } else {
-            (((p / 100.0) * self.count as f64).ceil().max(1.0) as u64).min(self.count)
-        };
+        if p <= 0.0 {
+            // Lower bound of the first occupied bucket.
+            let b = self.buckets.iter().position(|&n| n > 0).unwrap_or(0);
+            return if b == 0 { 0 } else { 1u64 << b };
+        }
+        if p >= 100.0 {
+            // Upper bound of the last occupied bucket.
+            let b = self.buckets.iter().rposition(|&n| n > 0).unwrap_or(0);
+            return if b >= 63 { u64::MAX } else { (1u64 << (b + 1)) - 1 };
+        }
+        let rank = (((p / 100.0) * self.count as f64).ceil().max(1.0) as u64).min(self.count);
         let mut cumulative = 0u64;
         for (b, &n) in self.buckets.iter().enumerate() {
             if n == 0 {
@@ -189,7 +203,10 @@ impl HistogramSnapshot {
             if cumulative.saturating_add(n) >= rank {
                 let lo = if b == 0 { 0u64 } else { 1u64 << b };
                 let hi = if b >= 63 { u64::MAX } else { (1u64 << (b + 1)) - 1 };
-                let fraction = (rank - cumulative) as f64 / n as f64;
+                // Midpoint of the sample's 1/n slot: rank is in
+                // (cumulative, cumulative + n], so the fraction lies
+                // strictly inside (0, 1).
+                let fraction = ((rank - cumulative) as f64 - 0.5) / n as f64;
                 // `(hi - lo) as f64` can round up past the true span, so
                 // saturate rather than trust `lo + span` to stay in range.
                 let span = ((hi - lo) as f64 * fraction).min(u64::MAX as f64) as u64;
@@ -511,6 +528,52 @@ mod tests {
             assert!((256..=511).contains(&v), "p{p} = {v} escaped [256, 511]");
         }
         assert!(s.percentile(0.0) <= s.percentile(100.0));
+    }
+
+    // Regression for the `p99 = 16777215` (2^24 − 1) artifact seen in
+    // BENCH_payments.json: when the nearest-rank sample was the *last*
+    // one in its bucket, edge interpolation returned exactly `hi` — a
+    // power-of-two boundary masquerading as a measurement. This shape
+    // mirrors the benchmark run: a dense body in bucket 22 with a thin
+    // tail, where the p99 rank lands precisely on the lone bucket-23
+    // sample.
+    #[test]
+    fn tail_percentile_does_not_collapse_onto_bucket_edge() {
+        let h = Histogram::new();
+        for _ in 0..165 {
+            h.record(5_000_000); // bucket 22: [2^22, 2^23)
+        }
+        h.record(10_000_000); // bucket 23: [2^23, 2^24)
+        h.record(20_000_000); // bucket 24: [2^24, 2^25)
+        let s = h.snapshot();
+        assert_eq!(s.count, 167);
+        // rank = ceil(0.99 * 167) = 166: the single bucket-23 sample.
+        let p99 = s.p99();
+        assert_ne!(p99, (1u64 << 24) - 1, "p99 interpolated onto the bucket edge");
+        assert!(
+            ((1u64 << 23)..(1u64 << 24)).contains(&p99),
+            "p99 = {p99} escaped the occupied bucket [2^23, 2^24)"
+        );
+        // A lone sample reports the bucket midpoint, strictly interior.
+        assert!(p99 > 1u64 << 23, "p99 = {p99} collapsed onto the lower edge");
+    }
+
+    // Values far above the 2^24 range of the original artifact must
+    // report honestly: nothing in the histogram caps or clamps them.
+    #[test]
+    fn values_above_suspected_cap_report_honestly() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(100_000_000); // bucket 26: [2^26, 2^27)
+        }
+        let s = h.snapshot();
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            let v = s.percentile(p);
+            assert!(
+                ((1u64 << 26)..(1u64 << 27)).contains(&v),
+                "p{p} = {v} escaped [2^26, 2^27) — value above 2^24 misreported"
+            );
+        }
     }
 
     proptest::proptest! {

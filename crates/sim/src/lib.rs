@@ -24,10 +24,15 @@
 //! * [`federation`] — the §6 multi-branch scenario: N federated
 //!   branches, seeded cross-VO traffic, netting settlement, and
 //!   conservation evidence.
+//! * [`market`] — the population-scale market economy: Zipf/diurnal
+//!   spot traffic, flash-crowd capacity auctions settled exactly-once
+//!   through live servers, a co-op barter ring, and PayWord streams,
+//!   all ending in hard conservation evidence.
 
 pub mod chaos;
 pub mod engine;
 pub mod federation;
+pub mod market;
 pub mod metrics;
 pub mod scenario;
 pub mod topology;
@@ -36,6 +41,7 @@ pub mod workload;
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use engine::Simulator;
 pub use federation::{run_federation, FederationConfig, FederationReport};
+pub use market::{run_market, EconomyConfig, EconomyReport};
 pub use scenario::{CoopReport, GridScenario, MarketReport, ScenarioConfig};
 pub use topology::{build_grid, TopologyConfig};
 pub use workload::{JobSizeDistribution, WorkloadConfig, WorkloadEvent};

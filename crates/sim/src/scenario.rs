@@ -472,6 +472,7 @@ mod tests {
                 sizes: JobSizeDistribution::Uniform { lo: 50_000, hi: 200_000 },
                 memory_mb: 64,
                 network_mb: 1,
+                diurnal: None,
             },
             algorithm: Algorithm::TimeOpt,
             deadline_ms: 3_600_000,

@@ -3,6 +3,14 @@
 //! Grid workloads are bursts of parameterized tasks arriving over time.
 //! [`WorkloadConfig`] draws Poisson arrivals (exponential inter-arrival
 //! times) and task sizes from a chosen distribution, all from one seed.
+//! Two market-shaped refinements layer on top:
+//!
+//! * [`DiurnalCurve`] — a day/night intensity cycle modulating the
+//!   Poisson rate, so arrivals cluster into rush hours the way real
+//!   grid traces do;
+//! * [`ZipfSampler`] — a power-law popularity distribution over a
+//!   population, so a small hot set of accounts receives most of the
+//!   traffic (the contention shape that stresses per-account locks).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -30,6 +38,75 @@ pub enum JobSizeDistribution {
         /// Probability (percent) of doubling again, 0..100.
         continue_pct: u8,
     },
+}
+
+/// A day/night cycle modulating Poisson arrival intensity.
+///
+/// Intensity follows a raised cosine over one period: it peaks at the
+/// middle of the "day" (multiplier 1) and bottoms out at
+/// `trough_pct`/100 at "midnight". The generator divides the drawn
+/// exponential gap by the intensity at the current virtual time, so
+/// rush hours pack arrivals tighter and quiet hours stretch them out —
+/// all still from the one seed.
+#[derive(Clone, Copy, Debug)]
+pub struct DiurnalCurve {
+    /// Length of one day, virtual ms.
+    pub period_ms: u64,
+    /// Night-time intensity as a percentage of the peak, 1..=100.
+    pub trough_pct: u32,
+}
+
+impl DiurnalCurve {
+    /// Arrival-intensity multiplier at virtual time `t`, in `(0, 1]`.
+    pub fn intensity(&self, t_ms: u64) -> f64 {
+        let period = self.period_ms.max(1);
+        let phase = (t_ms % period) as f64 / period as f64;
+        let trough = (self.trough_pct.clamp(1, 100)) as f64 / 100.0;
+        // Raised cosine: 0 at phase 0 (midnight), 1 at phase 0.5 (noon).
+        let day = 0.5 - 0.5 * (2.0 * std::f64::consts::PI * phase).cos();
+        trough + (1.0 - trough) * day
+    }
+}
+
+/// A Zipf (power-law) sampler over `0..population`.
+///
+/// Rank `k` (0-based) is drawn with probability proportional to
+/// `1 / (k+1)^s`. The cumulative weights are precomputed once, so each
+/// sample is one uniform draw plus a binary search — cheap enough for
+/// 100k-account populations. Exponent `s ≈ 1` matches classic
+/// popularity skew: the hottest few accounts absorb most of the
+/// traffic.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `population` ranks with exponent
+    /// `s = s_permille / 1000` (e.g. `1000` for the classic `s = 1`).
+    pub fn new(population: usize, s_permille: u32) -> Self {
+        let n = population.max(1);
+        let s = s_permille as f64 / 1000.0;
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn population(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Draws one rank in `0..population` (0 is the hottest).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().unwrap_or(&1.0);
+        let u: f64 = rng.random_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= u).min(self.cumulative.len() - 1)
+    }
 }
 
 /// One generated arrival.
@@ -60,6 +137,23 @@ pub struct WorkloadConfig {
     pub memory_mb: u64,
     /// Network traffic per task, MB.
     pub network_mb: u64,
+    /// Optional day/night cycle modulating the Poisson rate.
+    pub diurnal: Option<DiurnalCurve>,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 1,
+            count: 100,
+            consumers: 4,
+            mean_interarrival_ms: 100,
+            sizes: JobSizeDistribution::Constant(10),
+            memory_mb: 64,
+            network_mb: 1,
+            diurnal: None,
+        }
+    }
 }
 
 impl WorkloadConfig {
@@ -69,9 +163,15 @@ impl WorkloadConfig {
         let mut events = Vec::with_capacity(self.count);
         let mut t = 0u64;
         for i in 0..self.count {
-            // Exponential inter-arrival via inverse transform.
+            // Exponential inter-arrival via inverse transform; the
+            // diurnal curve stretches the gap at quiet hours (thinning
+            // the rate at the current virtual time).
             let u: f64 = rng.random_range(1e-12..1.0);
-            let gap = (-u.ln() * self.mean_interarrival_ms as f64) as u64;
+            let mut gap = -u.ln() * self.mean_interarrival_ms as f64;
+            if let Some(curve) = self.diurnal {
+                gap /= curve.intensity(t).max(1e-6);
+            }
+            let gap = gap as u64;
             t = t.saturating_add(gap.max(1));
             let work = match self.sizes {
                 JobSizeDistribution::Constant(w) => w,
@@ -114,6 +214,7 @@ mod tests {
             sizes,
             memory_mb: 64,
             network_mb: 1,
+            diurnal: None,
         }
     }
 
@@ -172,5 +273,74 @@ mod tests {
         let max = events.iter().map(|e| e.job.work).max().unwrap();
         assert_eq!(min, 100);
         assert!(max >= 1_600, "expected a heavy tail, max {max}");
+    }
+
+    #[test]
+    fn diurnal_intensity_peaks_at_noon_and_bottoms_at_midnight() {
+        let curve = DiurnalCurve { period_ms: 86_400_000, trough_pct: 20 };
+        let midnight = curve.intensity(0);
+        let noon = curve.intensity(43_200_000);
+        assert!((midnight - 0.2).abs() < 1e-9, "midnight = {midnight}");
+        assert!((noon - 1.0).abs() < 1e-9, "noon = {noon}");
+        // Strictly inside (0, 1] everywhere, periodic across days.
+        for h in 0..48u64 {
+            let v = curve.intensity(h * 3_600_000);
+            assert!(v > 0.0 && v <= 1.0, "hour {h}: {v}");
+            assert!((v - curve.intensity(h * 3_600_000 + 86_400_000)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn diurnal_curve_clusters_arrivals_into_rush_hours() {
+        let day = 1_000_000u64;
+        let mut c = config(JobSizeDistribution::Constant(5));
+        c.count = 4_000;
+        c.diurnal = Some(DiurnalCurve { period_ms: day, trough_pct: 10 });
+        let events = c.generate();
+        // Split each virtual day into a night half (phase 0.75..0.25, around
+        // midnight) and a day half; the day half must carry clearly more.
+        let (mut day_n, mut night_n) = (0usize, 0usize);
+        for e in &events {
+            let phase = (e.arrival_ms % day) as f64 / day as f64;
+            if (0.25..0.75).contains(&phase) {
+                day_n += 1;
+            } else {
+                night_n += 1;
+            }
+        }
+        assert!(
+            day_n as f64 > 1.5 * night_n as f64,
+            "no diurnal clustering: day={day_n} night={night_n}"
+        );
+        // Still deterministic and sorted under modulation.
+        let again = c.generate();
+        assert!(events
+            .iter()
+            .zip(&again)
+            .all(|(a, b)| a.arrival_ms == b.arrival_ms && a.job.work == b.job.work));
+        assert!(events.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms));
+    }
+
+    #[test]
+    fn zipf_sampler_concentrates_on_the_hot_set() {
+        let zipf = ZipfSampler::new(10_000, 1_000);
+        assert_eq!(zipf.population(), 10_000);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut hits = vec![0usize; 10_000];
+        let draws = 50_000;
+        for _ in 0..draws {
+            let k = zipf.sample(&mut rng);
+            assert!(k < 10_000);
+            hits[k] += 1;
+        }
+        // With s = 1 over 10k ranks, the top 100 ranks carry roughly half
+        // the mass (H(100)/H(10000) ≈ 0.53). Loose bound: at least 40%.
+        let hot: usize = hits[..100].iter().sum();
+        assert!(hot * 10 >= draws * 4, "hot set got {hot}/{draws}");
+        // Rank 0 is the single hottest.
+        assert_eq!(hits.iter().enumerate().max_by_key(|(_, &n)| n).unwrap().0, 0);
+        // Degenerate populations stay in range instead of panicking.
+        let tiny = ZipfSampler::new(0, 1_000);
+        assert_eq!(tiny.sample(&mut rng), 0);
     }
 }

@@ -411,6 +411,160 @@ mod tests {
                     prop_assert!(sold <= o.quantity);
                 }
             }
+
+            // English invariant: every accepted bid beats the floor in
+            // force when it was placed — the reserve for the opener,
+            // standing + increment after — so the eventual winner pays
+            // at least the reserve, and at least one increment above the
+            // bid they displaced.
+            #[test]
+            fn english_winner_pays_at_least_reserve_and_increment(
+                offers in prop::collection::vec((0usize..6, 1i64..100), 1..20),
+                reserve in 1i64..50,
+                increment in 1i64..10,
+            ) {
+                let reserve = Credits::from_gd(reserve);
+                let increment = Credits::from_gd(increment);
+                let mut a = EnglishAuction::open(reserve, increment);
+                let mut displaced: Option<Credits> = None;
+                for (who, amount) in offers {
+                    let amount = Credits::from_gd(amount);
+                    let prior = a.standing().map(|(_, p)| p);
+                    if a.bid(&format!("b{who}"), amount).is_ok() {
+                        displaced = prior;
+                    }
+                }
+                match a.close() {
+                    Ok(award) => {
+                        prop_assert!(award.price >= reserve);
+                        if let Some(beaten) = displaced {
+                            prop_assert!(award.price >= beaten.checked_add(increment).unwrap());
+                        }
+                    }
+                    Err(TradeError::NoMatch(_)) => prop_assert!(a.standing().is_none()),
+                    Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+                }
+            }
+
+            // Dutch invariant: no matter when the taker strikes, the
+            // clearing price never falls below the floor — the price
+            // ladder stops (auction dead) before breaching it.
+            #[test]
+            fn dutch_never_clears_below_floor(
+                start in 1i64..200,
+                decrement in 1i64..20,
+                floor in 0i64..100,
+                ticks in 0usize..64,
+            ) {
+                let floor = Credits::from_gd(floor);
+                let mut a = DutchAuction::open(Credits::from_gd(start), Credits::from_gd(decrement), floor);
+                if a.price < floor {
+                    // Misconfigured opening below the floor: the take
+                    // still honors the posted price; skip the invariant.
+                    return Ok(());
+                }
+                for _ in 0..ticks {
+                    match a.tick() {
+                        Ok(p) => prop_assert!(p >= floor),
+                        Err(_) => break,
+                    }
+                }
+                if let Ok(award) = a.take("t") {
+                    prop_assert!(award.price >= floor);
+                }
+            }
+
+            // Vickrey invariant: the price is exactly the second-highest
+            // qualifying bid (the reserve for a lone qualifier) and never
+            // exceeds the winning bid.
+            #[test]
+            fn vickrey_price_is_second_highest(bids in arb_bids(), reserve in 0i64..120) {
+                let reserve = Credits::from_gd(reserve);
+                if let Ok(award) = vickrey_sealed(&bids, reserve) {
+                    let mut qualifying: Vec<Credits> = bids.iter()
+                        .filter(|b| b.amount >= reserve)
+                        .map(|b| b.amount)
+                        .collect();
+                    qualifying.sort_by_key(|&a| std::cmp::Reverse(a));
+                    prop_assert!(award.price <= qualifying[0]);
+                    match qualifying.get(1) {
+                        Some(&second) => prop_assert_eq!(award.price, second),
+                        None => prop_assert_eq!(award.price, reserve),
+                    }
+                }
+            }
+
+            // Double-auction invariant: trades exist exactly when supply
+            // crosses demand — the best bid meets the best ask — and
+            // every clearing price sits in the crossing band.
+            #[test]
+            fn double_auction_clears_iff_supply_crosses_demand(
+                buys in prop::collection::vec((1i64..50, 1u64..10), 0..8),
+                sells in prop::collection::vec((1i64..50, 1u64..10), 0..8),
+            ) {
+                let buys: Vec<Order> = buys.into_iter().enumerate()
+                    .map(|(i, (l, q))| Order { trader: format!("b{i}"), limit: Credits::from_gd(l), quantity: q })
+                    .collect();
+                let sells: Vec<Order> = sells.into_iter().enumerate()
+                    .map(|(i, (l, q))| Order { trader: format!("s{i}"), limit: Credits::from_gd(l), quantity: q })
+                    .collect();
+                let best_bid = buys.iter().map(|o| o.limit).max();
+                let best_ask = sells.iter().map(|o| o.limit).min();
+                let crosses = matches!((best_bid, best_ask), (Some(b), Some(a)) if b >= a);
+                let trades = clear_double_auction(&buys, &sells);
+                prop_assert_eq!(!trades.is_empty(), crosses);
+                for t in &trades {
+                    prop_assert!(t.price >= best_ask.unwrap());
+                    prop_assert!(t.price <= best_bid.unwrap());
+                }
+            }
+
+            // Terminal-state invariant across mechanisms: once an
+            // auction is closed — by award, by dead stock, or by floor
+            // breach — every further driver call is rejected.
+            #[test]
+            fn closed_auctions_reject_all_further_calls(
+                bids in arb_bids(),
+                late in 1i64..500,
+            ) {
+                let late = Credits::from_gd(late);
+
+                let mut english = EnglishAuction::open(Credits::from_gd(1), Credits::from_gd(1));
+                for b in &bids {
+                    let _ = english.bid(&b.bidder, b.amount);
+                }
+                let _ = english.close();
+                prop_assert!(matches!(english.bid("late", late), Err(TradeError::ProtocolViolation(_))));
+
+                let mut dutch = DutchAuction::open(Credits::from_gd(10), Credits::from_gd(3), Credits::from_gd(2));
+                let _ = dutch.take("winner");
+                prop_assert!(matches!(dutch.tick(), Err(TradeError::ProtocolViolation(_))));
+                prop_assert!(matches!(dutch.take("late"), Err(TradeError::ProtocolViolation(_))));
+
+                let mut dead = DutchAuction::open(Credits::from_gd(3), Credits::from_gd(2), Credits::from_gd(3));
+                while dead.tick().is_ok() {}
+                prop_assert!(matches!(dead.take("late"), Err(TradeError::ProtocolViolation(_))));
+
+                // Sealed mechanisms close through the session driver.
+                for kind in [
+                    crate::session::AuctionKind::FirstPriceSealed { reserve: Credits::from_gd(1) },
+                    crate::session::AuctionKind::Vickrey { reserve: Credits::from_gd(1) },
+                ] {
+                    let mut s = crate::session::AuctionSession::open(crate::session::Announcement {
+                        auction_id: 1,
+                        seller: "gsp".into(),
+                        item: "capacity".into(),
+                        kind,
+                    });
+                    for b in &bids {
+                        let _ = s.submit_bid(&b.bidder, b.amount);
+                    }
+                    let _ = s.close();
+                    prop_assert!(s.is_closed());
+                    prop_assert!(matches!(s.submit_bid("late", late), Err(TradeError::ProtocolViolation(_))));
+                    prop_assert!(matches!(s.close(), Err(TradeError::ProtocolViolation(_))));
+                }
+            }
         }
     }
 

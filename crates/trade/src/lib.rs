@@ -19,6 +19,9 @@
 //! * [`auction`] — one-sided auctions (English, Dutch, first-price
 //!   sealed-bid, Vickrey) and the continuous double auction, the GRACE
 //!   economic-model menu.
+//! * [`session`] — the auction-session driver: one announced auction
+//!   from open to a [`session::Settlement`] carrying the stable
+//!   idempotency key its bank settlement retries under.
 //! * [`directory`] — the Grid Market Directory: provider advertisements
 //!   with attribute queries.
 
@@ -28,9 +31,11 @@ pub mod error;
 pub mod negotiation;
 pub mod pricing;
 pub mod rates;
+pub mod session;
 
 pub use directory::{MarketDirectory, ProviderAd, Query};
 pub use error::TradeError;
 pub use negotiation::{BargainingSession, PostedPrice, Tender};
 pub use pricing::{FlatPricing, PricingPolicy, SupplyDemandPricing};
 pub use rates::{RateQuote, ServiceRates};
+pub use session::{Announcement, AuctionKind, AuctionSession, Settlement};

@@ -1,0 +1,342 @@
+//! Auction sessions: the typed driver a broker and a provider speak to
+//! run one auction from announcement to settlement.
+//!
+//! The state machines in [`crate::auction`] are pure — no identity of
+//! the seller, no notion of *which* auction a bid belongs to, and no
+//! settlement material. A live market needs all three: the broker
+//! mediates between consumer bidders and a provider's announcement, and
+//! the winner's charge must settle through the bank **exactly once**
+//! even when the settling RPC is retried. [`AuctionSession`] wraps one
+//! announced auction in that protocol envelope:
+//!
+//! * an [`Announcement`] carries the auction id, the selling provider,
+//!   and the [`AuctionKind`] with its economic parameters;
+//! * `submit_bid` / `tick` / `take` / `close` drive the underlying
+//!   mechanism, and a closed session rejects **every** further call
+//!   with [`TradeError::ProtocolViolation`] — late bids cannot reopen
+//!   a settled market;
+//! * closing yields a [`Settlement`] that pairs the [`Award`] with a
+//!   stable idempotency key derived from the auction id, so the
+//!   broker's settling transfer can be retried over the wire under the
+//!   same key and deduplicate bank-side.
+//!
+//! ## Idempotency keyspace
+//!
+//! Settlement keys live in the reserved band [`AUCTION_KEYSPACE`]
+//! (high 16 bits `0xA11C`). The federation layer stamps its keys as
+//! `branch << 48 | txid`, so auction settlements collide with
+//! inter-branch credits only in a federation that numbers a branch
+//! `0xA11C` (41 244) — branches are small ordinals in practice, and the
+//! bank's dedup cache keys on `(certificate, key)` besides.
+
+use gridbank_rur::Credits;
+
+use crate::auction::{
+    first_price_sealed, vickrey_sealed, Award, DutchAuction, EnglishAuction, SealedBid,
+};
+use crate::error::TradeError;
+
+/// High-16-bit tag reserving the auction-settlement idempotency band.
+pub const AUCTION_KEYSPACE: u64 = 0xA11C << 48;
+
+/// Stable idempotency key for settling the award of `auction_id`.
+///
+/// Pure function of the auction id: every retry of the settling
+/// transfer — across reconnects, across process restarts of the broker
+/// — derives the same key, so the bank applies the charge exactly once.
+pub fn settlement_key(auction_id: u64) -> u64 {
+    AUCTION_KEYSPACE | (auction_id & 0x0000_FFFF_FFFF_FFFF)
+}
+
+/// Which mechanism an announcement opens, with its economic parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AuctionKind {
+    /// Open ascending-bid: `reserve` to start, `increment` minimum raise.
+    English {
+        /// Reserve price; bidding starts here.
+        reserve: Credits,
+        /// Minimum raise over the standing bid.
+        increment: Credits,
+    },
+    /// Open descending-price: `start` ticking down by `decrement`,
+    /// dead below `floor`.
+    Dutch {
+        /// Opening asking price.
+        start: Credits,
+        /// Price drop per tick.
+        decrement: Credits,
+        /// The auction dies when the price would fall below this.
+        floor: Credits,
+    },
+    /// Sealed bids, winner pays their own bid.
+    FirstPriceSealed {
+        /// Minimum qualifying bid.
+        reserve: Credits,
+    },
+    /// Sealed bids, winner pays the second-highest qualifying bid.
+    Vickrey {
+        /// Minimum qualifying bid; also the price for a lone bidder.
+        reserve: Credits,
+    },
+}
+
+/// A provider's offer to sell capacity by auction.
+#[derive(Clone, Debug)]
+pub struct Announcement {
+    /// Unique auction id; the settlement idempotency key derives from it.
+    pub auction_id: u64,
+    /// Selling provider's certificate name.
+    pub seller: String,
+    /// What is being sold (free-form: "4 cores × 1 h" and the like).
+    pub item: String,
+    /// Mechanism and parameters.
+    pub kind: AuctionKind,
+}
+
+/// The terminal outcome of a session: who pays whom, under which key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Settlement {
+    /// The auction this settles.
+    pub auction_id: u64,
+    /// Selling provider (payee).
+    pub seller: String,
+    /// Winner and price (payer and amount).
+    pub award: Award,
+    /// Stable idempotency key for the settling transfer.
+    pub idem_key: u64,
+}
+
+enum SessionState {
+    English(EnglishAuction),
+    Dutch(DutchAuction),
+    Sealed { reserve: Credits, second_price: bool, bids: Vec<SealedBid> },
+    Closed,
+}
+
+/// One announced auction, driven from open to settlement.
+pub struct AuctionSession {
+    announcement: Announcement,
+    state: SessionState,
+}
+
+impl AuctionSession {
+    /// Opens the session a provider's announcement describes.
+    pub fn open(announcement: Announcement) -> Self {
+        let state = match announcement.kind {
+            AuctionKind::English { reserve, increment } => {
+                SessionState::English(EnglishAuction::open(reserve, increment))
+            }
+            AuctionKind::Dutch { start, decrement, floor } => {
+                SessionState::Dutch(DutchAuction::open(start, decrement, floor))
+            }
+            AuctionKind::FirstPriceSealed { reserve } => {
+                SessionState::Sealed { reserve, second_price: false, bids: Vec::new() }
+            }
+            AuctionKind::Vickrey { reserve } => {
+                SessionState::Sealed { reserve, second_price: true, bids: Vec::new() }
+            }
+        };
+        AuctionSession { announcement, state }
+    }
+
+    /// The announcement this session runs.
+    pub fn announcement(&self) -> &Announcement {
+        &self.announcement
+    }
+
+    /// Whether the session has reached its terminal state.
+    pub fn is_closed(&self) -> bool {
+        matches!(self.state, SessionState::Closed)
+    }
+
+    /// The price a bidder currently faces, when the mechanism has one:
+    /// the Dutch asking price, or the English standing bid (falling back
+    /// to the reserve before any bid). Sealed mechanisms reveal nothing.
+    pub fn current_price(&self) -> Option<Credits> {
+        match &self.state {
+            SessionState::Dutch(a) => Some(a.price),
+            SessionState::English(a) => Some(a.standing().map(|(_, p)| p).unwrap_or(a.reserve)),
+            _ => None,
+        }
+    }
+
+    /// Submits a bid. English: must beat the floor, becomes standing.
+    /// Sealed (both kinds): recorded for resolution at close. Dutch:
+    /// rejected — Dutch bidders call [`AuctionSession::take`].
+    pub fn submit_bid(&mut self, bidder: &str, amount: Credits) -> Result<(), TradeError> {
+        match &mut self.state {
+            SessionState::English(a) => a.bid(bidder, amount),
+            SessionState::Sealed { bids, .. } => {
+                bids.push(SealedBid { bidder: bidder.to_string(), amount });
+                Ok(())
+            }
+            SessionState::Dutch(_) => Err(TradeError::ProtocolViolation(
+                "dutch auctions take at the asking price; submit_bid has no meaning".into(),
+            )),
+            SessionState::Closed => Err(TradeError::ProtocolViolation("auction closed".into())),
+        }
+    }
+
+    /// Advances a Dutch session one price tick. A breach of the floor
+    /// closes the session dead ([`TradeError::NoMatch`]).
+    pub fn tick(&mut self) -> Result<Credits, TradeError> {
+        match &mut self.state {
+            SessionState::Dutch(a) => match a.tick() {
+                Ok(price) => Ok(price),
+                Err(e @ TradeError::NoMatch(_)) => {
+                    self.state = SessionState::Closed;
+                    Err(e)
+                }
+                Err(e) => Err(e),
+            },
+            SessionState::Closed => Err(TradeError::ProtocolViolation("auction closed".into())),
+            _ => Err(TradeError::ProtocolViolation("only dutch auctions tick".into())),
+        }
+    }
+
+    /// First taker wins a Dutch session at the current asking price and
+    /// the session settles immediately.
+    pub fn take(&mut self, bidder: &str) -> Result<Settlement, TradeError> {
+        match &mut self.state {
+            SessionState::Dutch(a) => {
+                let award = a.take(bidder)?;
+                self.state = SessionState::Closed;
+                Ok(self.settlement(award))
+            }
+            SessionState::Closed => Err(TradeError::ProtocolViolation("auction closed".into())),
+            _ => Err(TradeError::ProtocolViolation("only dutch auctions are taken".into())),
+        }
+    }
+
+    /// Closes the session and resolves the winner. English: standing
+    /// bidder at their bid. Sealed: first-price or Vickrey resolution
+    /// over the collected bids. Dutch: a close without a taker is dead
+    /// stock ([`TradeError::NoMatch`]). Either way the session is
+    /// terminal afterwards — every further call is a protocol violation.
+    pub fn close(&mut self) -> Result<Settlement, TradeError> {
+        let state = std::mem::replace(&mut self.state, SessionState::Closed);
+        let award = match state {
+            SessionState::English(mut a) => a.close()?,
+            SessionState::Dutch(_) => {
+                return Err(TradeError::NoMatch("dutch auction closed without a taker".into()))
+            }
+            SessionState::Sealed { reserve, second_price, bids } => {
+                if second_price {
+                    vickrey_sealed(&bids, reserve)?
+                } else {
+                    first_price_sealed(&bids, reserve)?
+                }
+            }
+            SessionState::Closed => {
+                return Err(TradeError::ProtocolViolation("auction closed".into()))
+            }
+        };
+        Ok(self.settlement(award))
+    }
+
+    fn settlement(&self, award: Award) -> Settlement {
+        Settlement {
+            auction_id: self.announcement.auction_id,
+            seller: self.announcement.seller.clone(),
+            award,
+            idem_key: settlement_key(self.announcement.auction_id),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gd(v: i64) -> Credits {
+        Credits::from_gd(v)
+    }
+
+    fn announce(kind: AuctionKind) -> Announcement {
+        Announcement {
+            auction_id: 42,
+            seller: "/O=Grid/OU=GSP/CN=alpha".into(),
+            item: "4 cores × 1 h".into(),
+            kind,
+        }
+    }
+
+    #[test]
+    fn english_session_settles_standing_bidder() {
+        let mut s = AuctionSession::open(announce(AuctionKind::English {
+            reserve: gd(2),
+            increment: gd(1),
+        }));
+        assert_eq!(s.current_price(), Some(gd(2)));
+        s.submit_bid("alice", gd(2)).unwrap();
+        s.submit_bid("bob", gd(4)).unwrap();
+        assert_eq!(s.current_price(), Some(gd(4)));
+        let settlement = s.close().unwrap();
+        assert_eq!(settlement.award, Award { winner: "bob".into(), price: gd(4) });
+        assert_eq!(settlement.auction_id, 42);
+        assert_eq!(settlement.idem_key, settlement_key(42));
+        assert!(s.is_closed());
+        assert!(matches!(s.submit_bid("late", gd(99)), Err(TradeError::ProtocolViolation(_))));
+        assert!(matches!(s.close(), Err(TradeError::ProtocolViolation(_))));
+    }
+
+    #[test]
+    fn dutch_session_takes_at_current_price() {
+        let mut s = AuctionSession::open(announce(AuctionKind::Dutch {
+            start: gd(10),
+            decrement: gd(2),
+            floor: gd(4),
+        }));
+        assert!(matches!(s.submit_bid("x", gd(9)), Err(TradeError::ProtocolViolation(_))));
+        assert_eq!(s.tick().unwrap(), gd(8));
+        let settlement = s.take("carol").unwrap();
+        assert_eq!(settlement.award, Award { winner: "carol".into(), price: gd(8) });
+        assert!(s.is_closed());
+        assert!(matches!(s.tick(), Err(TradeError::ProtocolViolation(_))));
+        assert!(matches!(s.take("late"), Err(TradeError::ProtocolViolation(_))));
+    }
+
+    #[test]
+    fn dutch_session_dies_below_floor() {
+        let mut s = AuctionSession::open(announce(AuctionKind::Dutch {
+            start: gd(6),
+            decrement: gd(2),
+            floor: gd(4),
+        }));
+        assert_eq!(s.tick().unwrap(), gd(4));
+        assert!(matches!(s.tick(), Err(TradeError::NoMatch(_))));
+        assert!(s.is_closed());
+        assert!(matches!(s.take("x"), Err(TradeError::ProtocolViolation(_))));
+    }
+
+    #[test]
+    fn vickrey_session_resolves_second_price() {
+        let mut s = AuctionSession::open(announce(AuctionKind::Vickrey { reserve: gd(2) }));
+        s.submit_bid("a", gd(3)).unwrap();
+        s.submit_bid("b", gd(7)).unwrap();
+        s.submit_bid("c", gd(5)).unwrap();
+        assert_eq!(s.current_price(), None); // sealed: nothing leaks
+        let settlement = s.close().unwrap();
+        assert_eq!(settlement.award, Award { winner: "b".into(), price: gd(5) });
+    }
+
+    #[test]
+    fn first_price_session_resolves_highest_bid() {
+        let mut s =
+            AuctionSession::open(announce(AuctionKind::FirstPriceSealed { reserve: gd(2) }));
+        s.submit_bid("a", gd(3)).unwrap();
+        s.submit_bid("b", gd(7)).unwrap();
+        let settlement = s.close().unwrap();
+        assert_eq!(settlement.award, Award { winner: "b".into(), price: gd(7) });
+        assert!(matches!(s.submit_bid("late", gd(9)), Err(TradeError::ProtocolViolation(_))));
+    }
+
+    #[test]
+    fn settlement_keys_are_stable_and_banded() {
+        assert_eq!(settlement_key(7), settlement_key(7));
+        assert_ne!(settlement_key(7), settlement_key(8));
+        assert_eq!(settlement_key(7) >> 48, 0xA11C);
+        // Ids wider than 48 bits stay in the band rather than escaping it.
+        assert_eq!(settlement_key(u64::MAX) >> 48, 0xA11C);
+    }
+}

@@ -39,6 +39,7 @@ fn config() -> ScenarioConfig {
             sizes: JobSizeDistribution::Uniform { lo: 1_000_000, hi: 5_000_000 },
             memory_mb: 0,
             network_mb: 0,
+            diurnal: None,
         },
         algorithm: Algorithm::CostOpt,
         deadline_ms: 4 * 3_600_000,

@@ -19,6 +19,9 @@ cargo run -q -p gridbank-lint
 
 echo "== tier-1: cargo build --release && cargo test"
 cargo build --release
+# The root package's release build does not cover the workspace
+# binaries the smoke stages below shell out to; build them explicitly.
+cargo build --release -p gridbank-cli -p gridbank-bench
 cargo test -q
 
 # Chaos suite (E15): `cargo test` above already ran it at its fixed
@@ -41,7 +44,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
 # Loadgen smoke (E16): a miniature end-to-end run against a live server
 # must produce valid JSON with nonzero throughput for both strategies.
 # Not a benchmark — only proves the pipeline path works.
-echo "== loadgen smoke (docs/BENCHMARKS.md §5)"
+echo "== loadgen smoke (docs/BENCHMARKS.md §6)"
 smoke_out="$(mktemp /tmp/loadgen_smoke.XXXXXX.json)"
 ./target/release/gridbank-bench loadgen \
   --strategies paybefore,cheque --duration-ms 200 --warmup-ms 50 \
@@ -97,6 +100,20 @@ for stage in queue decode dispatch lock journal reply; do
     exit 1
   }
 done
+
+# Market smoke (docs/ECONOMY.md): a trimmed population-scale economy —
+# Zipf spot traffic, capacity auctions with duplicate re-sends, barter,
+# PayWord streams — through two live branches. `gridbank market` exits
+# non-zero itself unless conservation, exactly-once settlement, and the
+# zero-stranded-credit invariants all hold.
+echo "== market smoke (docs/ECONOMY.md)"
+market_out="$(./target/release/gridbank market --population 60 --payments 30 --auctions 2)"
+echo "$market_out"
+grep -q "invariants: conservation, exactly-once settlement, zero stranded credit — OK" \
+  <<<"$market_out" || {
+  echo "market smoke: economy invariants not confirmed" >&2
+  exit 1
+}
 
 # Opt-in concurrency stages (docs/STATIC_ANALYSIS.md). LOOM=1 rebuilds
 # core/net with the yield-injecting sync facade and runs the three

@@ -30,6 +30,7 @@ fn market_config(seed: u64) -> ScenarioConfig {
             sizes: JobSizeDistribution::Uniform { lo: 1_000_000, hi: 3_000_000 },
             memory_mb: 0,
             network_mb: 0,
+            diurnal: None,
         },
         algorithm: Algorithm::CostOpt,
         deadline_ms: 8 * 3_600_000,
