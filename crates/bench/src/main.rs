@@ -98,6 +98,10 @@ struct LoadgenConfig {
     /// streams through live federated servers) and emit a `market`
     /// section with its invariant evidence.
     market: bool,
+    /// Run the kill/restart drill (`gridbank_sim::run_recovery`) and
+    /// emit a `recovery` section: restart-to-serving time plus the
+    /// tail-only-replay and conservation evidence (EXPERIMENTS.md E19).
+    recovery: bool,
     /// Output path.
     out: String,
 }
@@ -119,6 +123,7 @@ impl Default for LoadgenConfig {
             telemetry: true,
             runs: 1,
             market: false,
+            recovery: false,
             out: "BENCH_payments.json".into(),
         }
     }
@@ -151,6 +156,9 @@ fn usage() -> ! {
            --market                also run the market-economy scenario\n\
                                    (auctions, barter, PayWord streams) and emit\n\
                                    a `market` section with invariant evidence\n\
+           --recovery              also run the kill/restart drill against a\n\
+                                   durable store and emit a `recovery` section\n\
+                                   (restart-to-serving ms, tail-only replay)\n\
            --out PATH              output file (default BENCH_payments.json)\n\
          \n\
          See docs/BENCHMARKS.md for methodology."
@@ -194,6 +202,7 @@ fn parse_args(args: &[String]) -> LoadgenConfig {
             }
             "--runs" => cfg.runs = value().parse().unwrap_or_else(|_| usage()),
             "--market" => cfg.market = true,
+            "--recovery" => cfg.recovery = true,
             "--out" => cfg.out = value(),
             _ => usage(),
         }
@@ -836,6 +845,77 @@ fn run_market_phase(cfg: &LoadgenConfig) -> MarketStats {
     stats
 }
 
+/// The `--recovery` phase aggregated across `--runs` repetitions: one
+/// kill/restart drill per run against a fresh durable store.
+struct RecoveryStats {
+    runs: usize,
+    accounts: usize,
+    journal_entries_total: usize,
+    tail_entries_replayed: usize,
+    snapshots_loaded: usize,
+    /// Per-run storage-recovery and restart-to-serving times (ms).
+    recovery_ms: Vec<f64>,
+    restart_to_serving_ms: Vec<f64>,
+    /// `RecoveryDrillReport::verify` passed on every run (digest and
+    /// funds identical across the kill, replay tail-only).
+    invariants_ok: bool,
+}
+
+/// Runs the `gridbank_sim::recovery` drill `--runs` times: a live
+/// durable branch takes keyed wire payments, checkpoints, takes a
+/// replay tail, is killed, and a fresh stack reopens the same store —
+/// timing kill → first served RPC. See docs/STORAGE.md §5 and
+/// EXPERIMENTS.md E19 for what the numbers mean.
+fn run_recovery_phase(cfg: &LoadgenConfig) -> RecoveryStats {
+    use gridbank_sim::RecoveryConfig;
+
+    let mut stats = RecoveryStats {
+        runs: cfg.runs,
+        accounts: 0,
+        journal_entries_total: 0,
+        tail_entries_replayed: 0,
+        snapshots_loaded: 0,
+        recovery_ms: Vec::new(),
+        restart_to_serving_ms: Vec::new(),
+        invariants_ok: true,
+    };
+    for run in 0..cfg.runs {
+        let rcfg = RecoveryConfig {
+            seed: cfg.seed.wrapping_add(run as u64 * 71),
+            store_dir: std::env::temp_dir()
+                .join(format!("gridbank-bench-recovery-{}-{run}", std::process::id())),
+            ..RecoveryConfig::default()
+        };
+        let report = match gridbank_sim::run_recovery(&rcfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("loadgen: recovery run {run} failed: {e}");
+                stats.invariants_ok = false;
+                continue;
+            }
+        };
+        if let Err(why) = report.verify() {
+            eprintln!("loadgen: recovery run {run} invariants violated: {why}");
+            stats.invariants_ok = false;
+        }
+        stats.accounts = report.accounts;
+        stats.journal_entries_total = report.journal_entries_total;
+        stats.tail_entries_replayed = report.tail_entries_replayed;
+        stats.snapshots_loaded = report.snapshots_loaded;
+        stats.recovery_ms.push(report.recovery_ms as f64);
+        stats.restart_to_serving_ms.push(report.restart_to_serving_ms as f64);
+        eprintln!(
+            "loadgen: recovery run {run}: {} accounts, {} of {} entries replayed, \
+             serving again in {}ms",
+            report.accounts,
+            report.tail_entries_replayed,
+            report.journal_entries_total,
+            report.restart_to_serving_ms,
+        );
+    }
+    stats
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -845,6 +925,7 @@ fn render_json(
     results: &[StrategyAgg],
     federation: Option<&FederationStats>,
     market: Option<&MarketStats>,
+    recovery: Option<&RecoveryStats>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -940,6 +1021,25 @@ fn render_json(
             "    \"payments_per_sec\": {{\"mean\": {rate_mean:.1}, \"stddev\": {rate_sd:.1}}},\n"
         ));
         out.push_str(&format!("    \"ledger_digest\": \"{:#018x}\"\n", m.ledger_digest));
+        out.push_str("  },\n");
+    }
+
+    if let Some(r) = recovery {
+        let (rec_mean, rec_sd) = mean_stddev(&r.recovery_ms);
+        let (srv_mean, srv_sd) = mean_stddev(&r.restart_to_serving_ms);
+        out.push_str("  \"recovery\": {\n");
+        out.push_str(&format!("    \"runs\": {},\n", r.runs));
+        out.push_str(&format!("    \"accounts\": {},\n", r.accounts));
+        out.push_str(&format!("    \"journal_entries_total\": {},\n", r.journal_entries_total));
+        out.push_str(&format!("    \"tail_entries_replayed\": {},\n", r.tail_entries_replayed));
+        out.push_str(&format!("    \"snapshots_loaded\": {},\n", r.snapshots_loaded));
+        out.push_str(&format!(
+            "    \"recovery_ms\": {{\"mean\": {rec_mean:.1}, \"stddev\": {rec_sd:.1}}},\n"
+        ));
+        out.push_str(&format!(
+            "    \"restart_to_serving_ms\": {{\"mean\": {srv_mean:.1}, \"stddev\": {srv_sd:.1}}},\n"
+        ));
+        out.push_str(&format!("    \"invariants_ok\": {}\n", r.invariants_ok));
         out.push_str("  },\n");
     }
 
@@ -1049,12 +1149,29 @@ fn loadgen(args: &[String]) {
         );
         m
     });
-    let json = render_json(&cfg, &results, federation.as_ref(), market.as_ref());
+    let recovery = cfg.recovery.then(|| {
+        let r = run_recovery_phase(&cfg);
+        let (mean, sd) = mean_stddev(&r.restart_to_serving_ms);
+        eprintln!(
+            "loadgen: recovery over {} runs: restart-to-serving {mean:.1} ± {sd:.1} ms, \
+             invariants {}",
+            r.runs,
+            if r.invariants_ok { "OK" } else { "VIOLATED" },
+        );
+        r
+    });
+    let json = render_json(&cfg, &results, federation.as_ref(), market.as_ref(), recovery.as_ref());
     let mut file = std::fs::File::create(&cfg.out)
         .unwrap_or_else(|e| panic!("cannot create {}: {e}", cfg.out));
     file.write_all(json.as_bytes()).expect("write results");
     eprintln!("loadgen: wrote {}", cfg.out);
-    if results.iter().all(|r| r.ops == 0) {
+    if recovery.as_ref().is_some_and(|r| !r.invariants_ok) {
+        eprintln!("loadgen: recovery drill invariants violated");
+        std::process::exit(1);
+    }
+    // A recovery-drill run is a complete run even when the strategy
+    // window was too short to land a payment on a loaded machine.
+    if results.iter().all(|r| r.ops == 0) && recovery.is_none() {
         eprintln!("loadgen: no operation completed — check configuration");
         std::process::exit(1);
     }

@@ -869,6 +869,60 @@ fn run_top(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// `gridbank store --dir PATH` — read-only inventory of a sharded
+/// durable store directory (docs/STORAGE.md): per-shard segments,
+/// snapshot generations, the journal tail a restart would replay, and
+/// torn-tail/compaction state. Never opens the store for writing.
+fn run_store(args: &Args) -> Result<String, String> {
+    use std::fmt::Write as _;
+
+    let dir = std::path::Path::new(args.require("dir")?);
+    let inv = gridbank_core::store::inspect(dir).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "store {} — format v{}, bank {:02} branch {:04}, {} shards",
+        dir.display(),
+        inv.manifest.version,
+        inv.manifest.bank,
+        inv.manifest.branch,
+        inv.manifest.shards,
+    );
+    let _ = writeln!(
+        out,
+        "{:<6} {:>8} {:>12} {:>6} {:>14} {:>10} {:>6}  flags",
+        "shard", "segments", "seg bytes", "snaps", "snapshot lsn", "accounts", "tail"
+    );
+    for (shard, s) in inv.shards.iter().enumerate() {
+        let mut flags = Vec::new();
+        if s.torn_tail {
+            flags.push("TORN-TAIL".to_string());
+        }
+        if s.compacted_through != 0 {
+            flags.push(format!("compacted≤{}", s.compacted_through));
+        }
+        let _ = writeln!(
+            out,
+            "{shard:<6} {:>8} {:>12} {:>6} {:>14} {:>10} {:>6}  {}",
+            s.segments,
+            s.segment_bytes,
+            s.snapshots,
+            s.snapshot_lsn,
+            s.snapshot_accounts,
+            s.tail_entries,
+            flags.join(" "),
+        );
+    }
+    let _ = write!(
+        out,
+        "totals: {} accounts snapshotted, {} tail entries to replay, {} bytes on disk",
+        inv.snapshot_accounts(),
+        inv.tail_entries(),
+        inv.total_bytes(),
+    );
+    Ok(out)
+}
+
 fn run(args: &Args) -> Result<String, String> {
     let db_path = args.get("db").unwrap_or("gridbank.gbj");
     let command = args.command.as_deref().ok_or_else(usage)?;
@@ -887,6 +941,11 @@ fn run(args: &Args) -> Result<String, String> {
     if command == "top" {
         // Self-contained ops dashboard: never touches the journal file.
         return run_top(args);
+    }
+    if command == "store" {
+        // Offline durable-store inventory: read-only, never opens the
+        // store for writing (docs/STORAGE.md).
+        return run_store(args);
     }
     let bank = Bank::load(db_path)?;
     let out = match command {
@@ -1061,6 +1120,7 @@ fn usage() -> String {
        barter-stats\n\
        metrics        [--format text|jsonl] [--filter prefix] [--remote ADDR]\n\
        top            [--frames N]\n\
+       store          --dir PATH\n\
        settle         [--branches N] [--payments N] [--amount G$]\n\
        market         [--population N] [--payments N] [--auctions N] [--seed N]"
         .to_string()
@@ -1194,6 +1254,56 @@ mod tests {
         ]))
         .is_err());
         assert!(run(&args(&["--db", db, "nonsense"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_inventory_reads_a_durable_store() {
+        use gridbank_core::db::AccountRecord;
+        use gridbank_core::store::StoreConfig;
+
+        let dir =
+            std::env::temp_dir().join(format!("gridbank-cli-store-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Build a real sharded store: accounts, a checkpoint, and a
+        // two-entry journal tail on top of it.
+        let (db, _) = Database::open(1, 1, StoreConfig::at(&dir).no_fsync()).unwrap();
+        for n in 1..=12u32 {
+            db.insert_account(AccountRecord {
+                id: AccountId::new(1, 1, n),
+                certificate_name: format!("/CN=holder-{n}"),
+                organization: None,
+                available: Credits::from_gd(5),
+                locked: Credits::ZERO,
+                currency: "GridDollar".into(),
+                credit_limit: Credits::ZERO,
+            })
+            .unwrap();
+        }
+        db.checkpoint().unwrap();
+        for n in 13..=14u32 {
+            db.insert_account(AccountRecord {
+                id: AccountId::new(1, 1, n),
+                certificate_name: format!("/CN=holder-{n}"),
+                organization: None,
+                available: Credits::from_gd(5),
+                locked: Credits::ZERO,
+                currency: "GridDollar".into(),
+                credit_limit: Credits::ZERO,
+            })
+            .unwrap();
+        }
+        drop(db);
+
+        let out = run(&args(&["store", "--dir", dir.to_str().unwrap()])).unwrap();
+        assert!(out.contains("format v1"), "{out}");
+        assert!(out.contains("12 accounts snapshotted"), "{out}");
+        assert!(out.contains("2 tail entries to replay"), "{out}");
+
+        // Missing directory is an error, not a panic.
+        assert!(run(&args(&["store", "--dir", "/nonexistent/store"])).is_err());
+        assert!(run(&args(&["store"])).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -25,14 +25,53 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use crate::sync::{AtomicU32, AtomicU64, AtomicUsize, Condvar, Mutex, Ordering, RwLock};
+use crate::sync::{
+    AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Condvar, Mutex, Ordering, RwLock,
+};
 
 use gridbank_rur::Credits;
 
 use crate::error::BankError;
 
-/// Number of account shards; a power of two so masking works.
-const SHARDS: usize = 16;
+/// Number of account shards; a power of two so masking works. The
+/// on-disk layout ([`crate::store`]) mirrors this: one segment/snapshot
+/// directory per shard, recorded in the store `MANIFEST`.
+pub(crate) const SHARDS: usize = 16;
+
+/// Shard an account id is homed on — the single routing function shared
+/// by the in-memory maps and the on-disk layout (docs/STORAGE.md §1).
+pub(crate) fn account_shard(id: &AccountId) -> usize {
+    // Cheap avalanche over the numeric id fields.
+    let k = (id.bank as u64) << 48 | (id.branch as u64) << 32 | id.number as u64;
+    (k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & (SHARDS - 1)
+}
+
+/// Shard an idempotency stamp is homed on (by caller certificate, so a
+/// caller's stamps stay together).
+pub(crate) fn cert_shard(cert: &str) -> usize {
+    crate::store::fnv64(cert.as_bytes()) as usize & (SHARDS - 1)
+}
+
+/// Shard a cross-branch credit key is homed on.
+pub(crate) fn key_shard(key: u64) -> usize {
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & (SHARDS - 1)
+}
+
+/// The one shard a journal entry is durably routed to. Account-state
+/// entries follow the account; audit rows follow the posted/drawer
+/// account; stamps and credits follow their hash. Total (every entry has
+/// exactly one home), so sharded recovery reassembles the full journal.
+pub(crate) fn entry_shard(entry: &JournalEntry) -> usize {
+    match entry {
+        JournalEntry::Create(r) | JournalEntry::Update(r) => account_shard(&r.id),
+        JournalEntry::Remove(id) => account_shard(id),
+        JournalEntry::Transaction(t) => account_shard(&t.account),
+        JournalEntry::Transfer(t) => account_shard(&t.drawer),
+        JournalEntry::Idem { cert, .. } | JournalEntry::IdemDrop { cert, .. } => cert_shard(cert),
+        JournalEntry::IbOut(credit) => key_shard(credit.key),
+        JournalEntry::IbAck { key } => key_shard(*key),
+    }
+}
 
 /// ACCOUNT RECORD key (§5.1): "imitates real world account numbers: bank
 /// number-branch number-account number. E.g. 01-0001-00000001".
@@ -376,7 +415,7 @@ impl CommitQueue {
     /// once they are flushed. Blocks at most `max_delay` waiting for a
     /// group to form; with grouping disabled (`max_batch <= 1`), appends
     /// directly.
-    fn submit(&self, entries: Vec<JournalEntry>, journal: &Mutex<Vec<JournalEntry>>) {
+    fn submit(&self, entries: Vec<JournalEntry>, journal: &JournalStore) {
         // The journal stage of request processing: everything between a
         // committer arriving with entries and those entries reaching the
         // journal (including group-formation linger and leader flushes).
@@ -385,10 +424,10 @@ impl CommitQueue {
         timer.record_named("server.stage.journal_ns");
     }
 
-    fn submit_inner(&self, entries: Vec<JournalEntry>, journal: &Mutex<Vec<JournalEntry>>) {
+    fn submit_inner(&self, entries: Vec<JournalEntry>, journal: &JournalStore) {
         let cfg = *self.config.lock();
         if cfg.max_batch <= 1 {
-            journal.lock().extend(entries);
+            journal.append(entries);
             return;
         }
         self.writers.fetch_add(1, Ordering::SeqCst);
@@ -431,11 +470,16 @@ impl CommitQueue {
             drop(st);
             let batches = drained.len();
             {
-                let mut j = journal.lock();
-                j.reserve(drained.iter().map(|b| b.entries.len()).sum());
+                // One contiguous flush: a single journal acquisition and
+                // (in durable mode) a single disk append + fsync for the
+                // whole group — the amortization the queue exists for.
+                let mut flat = Vec::with_capacity(
+                    drained.iter().fold(0usize, |n, b| n.saturating_add(b.entries.len())),
+                );
                 for batch in drained {
-                    j.extend(batch.entries);
+                    flat.extend(batch.entries);
                 }
+                journal.append(flat);
             }
             gridbank_obs::count("db.journal.flushes", 1);
             gridbank_obs::observe("db.journal.batch_size", batches as u64);
@@ -452,6 +496,55 @@ impl CommitQueue {
     }
 }
 
+/// The write-ahead journal: an in-memory mirror plus, in durable mode,
+/// the on-disk segment log ([`crate::store::DiskLog`]).
+///
+/// Every append holds the `mem` lock across the disk write, so LSN
+/// order on disk always equals in-memory journal order — the property
+/// that lets sharded recovery reassemble the exact commit interleaving.
+/// In durable mode the mirror holds only entries appended *since open*
+/// (a diagnostic tail); history before that lives in snapshots+segments.
+pub(crate) struct JournalStore {
+    mem: Mutex<Vec<JournalEntry>>,
+    disk: Option<crate::store::DiskLog>,
+}
+
+impl JournalStore {
+    /// A memory-only journal (the non-durable default).
+    fn memory() -> Self {
+        JournalStore { mem: Mutex::new(Vec::new()), disk: None }
+    }
+
+    /// Appends one batch: LSN assignment + segment write + fsync happen
+    /// under the `mem` lock, then the mirror extends. Serialized, so
+    /// batches stay contiguous on disk exactly as in memory.
+    fn append(&self, entries: Vec<JournalEntry>) {
+        let mut mem = self.mem.lock();
+        if let Some(disk) = &self.disk {
+            disk.append(&entries);
+        }
+        mem.extend(entries);
+    }
+
+    /// Appends one entry.
+    fn append_one(&self, entry: JournalEntry) {
+        self.append(vec![entry]);
+    }
+
+    /// Runs `apply` (a table mutation) and appends `entry` inside the
+    /// same journal critical section — so a concurrent shard snapshot
+    /// can never capture the table row *and* see its journal entry land
+    /// past the snapshot's cut (which would double-apply on recovery).
+    fn append_with(&self, entry: JournalEntry, apply: impl FnOnce()) {
+        let mut mem = self.mem.lock();
+        apply();
+        if let Some(disk) = &self.disk {
+            disk.append(std::slice::from_ref(&entry));
+        }
+        mem.push(entry);
+    }
+}
+
 /// The embedded store.
 pub struct Database {
     branch: u16,
@@ -460,12 +553,15 @@ pub struct Database {
     by_cert: RwLock<HashMap<String, AccountId>>,
     transactions: RwLock<Vec<TransactionRecord>>,
     transfers: RwLock<Vec<TransferRecord>>,
-    journal: Mutex<Vec<JournalEntry>>,
+    journal: JournalStore,
     commit: CommitQueue,
     idem: Mutex<IdemCache>,
     ib_pending: Mutex<BTreeMap<u64, PendingIbCredit>>,
     next_account: AtomicU32,
     next_tx: AtomicU64,
+    /// Guards `maybe_checkpoint` so at most one thread snapshots at a
+    /// time (others skip rather than queue).
+    checkpointing: AtomicBool,
 }
 
 impl Database {
@@ -478,7 +574,7 @@ impl Database {
             by_cert: RwLock::new(HashMap::new()),
             transactions: RwLock::new(Vec::new()),
             transfers: RwLock::new(Vec::new()),
-            journal: Mutex::new(Vec::new()),
+            journal: JournalStore::memory(),
             commit: CommitQueue::new(),
             idem: Mutex::new(IdemCache {
                 capacity: DEFAULT_IDEM_CAPACITY,
@@ -488,7 +584,74 @@ impl Database {
             ib_pending: Mutex::new(BTreeMap::new()),
             next_account: AtomicU32::new(1),
             next_tx: AtomicU64::new(1),
+            checkpointing: AtomicBool::new(false),
         }
+    }
+
+    /// Opens (or creates) a durable database at `cfg.dir` and recovers
+    /// its state: newest valid snapshot per shard + replay of only the
+    /// journal tail past it (docs/STORAGE.md §5). All subsequent commits
+    /// are written through to sharded segment files via the group-commit
+    /// queue.
+    pub fn open(
+        bank: u16,
+        branch: u16,
+        cfg: crate::store::StoreConfig,
+    ) -> Result<(Self, crate::store::RecoveryReport), BankError> {
+        let started = Instant::now();
+        let (state, log) = crate::store::open_store(bank, branch, cfg)?;
+        let mut db = Database::new(bank, branch);
+        let mut max_account = 0u32;
+        let mut max_tx = 0u64;
+
+        // Fold the per-shard base images in.
+        let mut stamps: Vec<crate::store::SnapshotIdem> = Vec::new();
+        for base in &state.bases {
+            max_account = max_account.max(base.next_account_hint);
+            max_tx = max_tx.max(base.next_tx_hint);
+            for r in &base.accounts {
+                if r.id.bank == bank && r.id.branch == branch {
+                    max_account = max_account.max(r.id.number);
+                }
+                db.by_cert.write().insert(r.certificate_name.clone(), r.id);
+                db.shards[account_shard(&r.id)].write().insert(r.id, r.clone());
+            }
+            for t in &base.transactions {
+                max_tx = max_tx.max(t.transaction_id);
+            }
+            db.transactions.write().extend(base.transactions.iter().cloned());
+            db.transfers.write().extend(base.transfers.iter().cloned());
+            for p in &base.pending {
+                db.ib_pending.lock().insert(p.key, p.clone());
+            }
+            stamps.extend(base.idem.iter().cloned());
+        }
+        // Idempotency stamps merge across shards in their captured FIFO
+        // order, approximating the original eviction order.
+        stamps.sort_by_key(|s| s.order);
+        {
+            let mut cache = db.idem.lock();
+            for s in stamps {
+                cache.insert(&s.cert, s.key, s.response);
+            }
+        }
+        // Replay the merged tail in global LSN order — the original
+        // commit interleaving.
+        for (_lsn, entry) in &state.tail {
+            db.apply_entry(entry, &mut max_account, &mut max_tx);
+        }
+        db.next_account.store(max_account.saturating_add(1), Ordering::Relaxed);
+        db.next_tx.store(max_tx.saturating_add(1), Ordering::Relaxed);
+        db.journal.disk = Some(log);
+
+        let mut report = state.report;
+        report.accounts = db.account_count();
+        report.elapsed_ms = started.elapsed().as_millis() as u64;
+        gridbank_obs::count("db.recovery.replayed", report.tail_entries_replayed as u64);
+        gridbank_obs::count("db.recovery.snapshots_loaded", report.snapshots_loaded as u64);
+        gridbank_obs::count("db.recovery.torn_tails", report.torn_tails as u64);
+        gridbank_obs::observe("db.recovery.ms", report.elapsed_ms);
+        Ok((db, report))
     }
 
     /// Replaces the group-commit tuning. Takes effect for subsequent
@@ -549,7 +712,7 @@ impl Database {
         }
         cache.insert(cert, key, response.clone());
         drop(cache);
-        self.journal.lock().push(JournalEntry::Idem { cert: cert.to_string(), key, response });
+        self.journal.append_one(JournalEntry::Idem { cert: cert.to_string(), key, response });
     }
 
     /// Invalidates a consumed idempotency key: the remembered operation
@@ -559,7 +722,7 @@ impl Database {
     pub fn idem_invalidate(&self, cert: &str, key: u64) {
         let removed = self.idem.lock().remove(cert, key);
         if removed {
-            self.journal.lock().push(JournalEntry::IdemDrop { cert: cert.to_string(), key });
+            self.journal.append_one(JournalEntry::IdemDrop { cert: cert.to_string(), key });
         }
     }
 
@@ -585,9 +748,7 @@ impl Database {
     }
 
     fn shard_of(&self, id: &AccountId) -> usize {
-        // Cheap avalanche over the numeric id fields.
-        let k = (id.bank as u64) << 48 | (id.branch as u64) << 32 | id.number as u64;
-        (k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & (SHARDS - 1)
+        account_shard(id)
     }
 
     /// Allocates the next account id in this branch.
@@ -614,7 +775,7 @@ impl Database {
         idx.insert(record.certificate_name.clone(), record.id);
         drop(idx);
         self.shards[self.shard_of(&record.id)].write().insert(record.id, record.clone());
-        self.journal.lock().push(JournalEntry::Create(record));
+        self.journal.append_one(JournalEntry::Create(record));
         Ok(())
     }
 
@@ -775,7 +936,7 @@ impl Database {
     pub fn ib_ack(&self, key: u64) -> bool {
         let removed = self.ib_pending.lock().remove(&key).is_some();
         if removed {
-            self.journal.lock().push(JournalEntry::IbAck { key });
+            self.journal.append_one(JournalEntry::IbAck { key });
         }
         removed
     }
@@ -793,20 +954,23 @@ impl Database {
             .remove(id)
             .ok_or(BankError::NoSuchAccount(*id))?;
         self.by_cert.write().remove(&record.certificate_name);
-        self.journal.lock().push(JournalEntry::Remove(*id));
+        self.journal.append_one(JournalEntry::Remove(*id));
         Ok(record)
     }
 
-    /// Appends a transaction row.
+    /// Appends a transaction row. Row and journal entry land in the
+    /// same journal critical section, so a concurrent shard snapshot
+    /// sees either both or neither.
     pub fn append_transaction(&self, tx: TransactionRecord) {
-        self.transactions.write().push(tx.clone());
-        self.journal.lock().push(JournalEntry::Transaction(tx));
+        let entry = JournalEntry::Transaction(tx.clone());
+        self.journal.append_with(entry, || self.transactions.write().push(tx));
     }
 
-    /// Appends a transfer row.
+    /// Appends a transfer row (same atomicity as
+    /// [`Database::append_transaction`]).
     pub fn append_transfer(&self, t: TransferRecord) {
-        self.transfers.write().push(t.clone());
-        self.journal.lock().push(JournalEntry::Transfer(t));
+        let entry = JournalEntry::Transfer(t.clone());
+        self.journal.append_with(entry, || self.transfers.write().push(t));
     }
 
     /// Statement query: transactions for `account` with
@@ -881,9 +1045,52 @@ impl Database {
         out
     }
 
-    /// Clones the journal (crash-consistency snapshots).
+    /// Clones the in-memory journal mirror (crash-consistency
+    /// snapshots). In durable mode this holds only entries appended
+    /// since open — history before that lives in the on-disk store.
     pub fn journal_snapshot(&self) -> Vec<JournalEntry> {
-        self.journal.lock().clone()
+        self.journal.mem.lock().clone()
+    }
+
+    /// Applies one journal entry to live state — the single replay
+    /// transition shared by [`Database::replay`] (full history) and
+    /// [`Database::open`] (snapshot + tail).
+    fn apply_entry(&self, entry: &JournalEntry, max_account: &mut u32, max_tx: &mut u64) {
+        match entry {
+            JournalEntry::Create(r) => {
+                *max_account = (*max_account).max(r.id.number);
+                self.by_cert.write().insert(r.certificate_name.clone(), r.id);
+                self.shards[self.shard_of(&r.id)].write().insert(r.id, r.clone());
+            }
+            JournalEntry::Update(r) => {
+                self.shards[self.shard_of(&r.id)].write().insert(r.id, r.clone());
+            }
+            JournalEntry::Remove(id) => {
+                if let Some(r) = self.shards[self.shard_of(id)].write().remove(id) {
+                    self.by_cert.write().remove(&r.certificate_name);
+                }
+            }
+            JournalEntry::Transaction(t) => {
+                *max_tx = (*max_tx).max(t.transaction_id);
+                self.transactions.write().push(t.clone());
+            }
+            JournalEntry::Transfer(t) => {
+                *max_tx = (*max_tx).max(t.transaction_id);
+                self.transfers.write().push(t.clone());
+            }
+            JournalEntry::Idem { cert, key, response } => {
+                self.idem.lock().insert(cert, *key, response.clone());
+            }
+            JournalEntry::IbOut(credit) => {
+                self.ib_pending.lock().insert(credit.key, credit.clone());
+            }
+            JournalEntry::IbAck { key } => {
+                self.ib_pending.lock().remove(key);
+            }
+            JournalEntry::IdemDrop { cert, key } => {
+                self.idem.lock().remove(cert, *key);
+            }
+        }
     }
 
     /// Rebuilds a database by replaying a journal.
@@ -892,47 +1099,238 @@ impl Database {
         let mut max_account = 0u32;
         let mut max_tx = 0u64;
         for entry in journal {
-            match entry {
-                JournalEntry::Create(r) => {
-                    max_account = max_account.max(r.id.number);
-                    db.by_cert.write().insert(r.certificate_name.clone(), r.id);
-                    db.shards[db.shard_of(&r.id)].write().insert(r.id, r.clone());
-                }
-                JournalEntry::Update(r) => {
-                    db.shards[db.shard_of(&r.id)].write().insert(r.id, r.clone());
-                }
-                JournalEntry::Remove(id) => {
-                    if let Some(r) = db.shards[db.shard_of(id)].write().remove(id) {
-                        db.by_cert.write().remove(&r.certificate_name);
-                    }
-                }
-                JournalEntry::Transaction(t) => {
-                    max_tx = max_tx.max(t.transaction_id);
-                    db.transactions.write().push(t.clone());
-                }
-                JournalEntry::Transfer(t) => {
-                    max_tx = max_tx.max(t.transaction_id);
-                    db.transfers.write().push(t.clone());
-                }
-                JournalEntry::Idem { cert, key, response } => {
-                    db.idem.lock().insert(cert, *key, response.clone());
-                }
-                JournalEntry::IbOut(credit) => {
-                    db.ib_pending.lock().insert(credit.key, credit.clone());
-                }
-                JournalEntry::IbAck { key } => {
-                    db.ib_pending.lock().remove(key);
-                }
-                JournalEntry::IdemDrop { cert, key } => {
-                    db.idem.lock().remove(cert, *key);
-                }
-            }
+            db.apply_entry(entry, &mut max_account, &mut max_tx);
         }
-        *db.journal.lock() = journal.to_vec();
+        *db.journal.mem.lock() = journal.to_vec();
         db.next_account.store(max_account.saturating_add(1), Ordering::Relaxed);
         db.next_tx.store(max_tx.saturating_add(1), Ordering::Relaxed);
         db
     }
+
+    // -- durable mode -------------------------------------------------
+
+    /// Whether this database writes through to an on-disk store.
+    pub fn durable(&self) -> bool {
+        self.journal.disk.is_some()
+    }
+
+    /// Root directory of the on-disk store, when durable.
+    pub fn store_dir(&self) -> Option<std::path::PathBuf> {
+        self.journal.disk.as_ref().map(|d| d.dir().to_path_buf())
+    }
+
+    /// `false` once a disk append has failed: the bank keeps serving
+    /// from memory, but acknowledgements are no longer crash-durable
+    /// and the ops plane reports the branch Unhealthy.
+    pub fn disk_healthy(&self) -> bool {
+        self.journal.disk.as_ref().is_none_or(|d| d.healthy())
+    }
+
+    /// Journal entries appended since `shard`'s last snapshot — the
+    /// tail a restart would replay for it. Zero when not durable.
+    pub fn shard_tail_len(&self, shard: usize) -> u64 {
+        self.journal.disk.as_ref().map_or(0, |d| d.tail_len(shard))
+    }
+
+    /// Captures a consistent image of one shard. Holding the shard's
+    /// write lock *and* the journal lock at the cut means every entry
+    /// routed here with `lsn <= through_lsn` is in the image and none
+    /// past it is (docs/STORAGE.md §4 proves why out-of-shard entries
+    /// cannot violate this).
+    fn capture_shard(&self, s: usize) -> Option<crate::store::ShardSnapshot> {
+        let disk = self.journal.disk.as_ref()?;
+        let shard_guard = self.shards.get(s)?.write();
+        let mem_guard = self.journal.mem.lock();
+        let through_lsn = disk.last_lsn();
+        let mut accounts: Vec<AccountRecord> = shard_guard.values().cloned().collect();
+        accounts.sort_by_key(|r| r.id);
+        let transactions = self
+            .transactions
+            .read()
+            .iter()
+            .filter(|t| account_shard(&t.account) == s)
+            .cloned()
+            .collect();
+        let transfers = self
+            .transfers
+            .read()
+            .iter()
+            .filter(|t| account_shard(&t.drawer) == s)
+            .cloned()
+            .collect();
+        let idem = {
+            let cache = self.idem.lock();
+            cache
+                .order
+                .iter()
+                .enumerate()
+                .filter(|(_, k)| cert_shard(&k.0) == s)
+                .filter_map(|(i, k)| {
+                    cache.map.get(k).map(|resp| crate::store::SnapshotIdem {
+                        order: i as u64,
+                        cert: k.0.clone(),
+                        key: k.1,
+                        response: resp.clone(),
+                    })
+                })
+                .collect()
+        };
+        let pending =
+            self.ib_pending.lock().values().filter(|p| key_shard(p.key) == s).cloned().collect();
+        drop(mem_guard);
+        drop(shard_guard);
+        Some(crate::store::ShardSnapshot {
+            shard: s as u32,
+            through_lsn,
+            next_account_hint: self.next_account.load(Ordering::Relaxed).saturating_sub(1),
+            next_tx_hint: self.next_tx.load(Ordering::Relaxed).saturating_sub(1),
+            accounts,
+            transactions,
+            transfers,
+            idem,
+            pending,
+        })
+    }
+
+    /// Snapshots one shard to disk. No-op (Ok) when not durable.
+    pub fn snapshot_shard(&self, shard: usize) -> Result<(), BankError> {
+        let Some(snap) = self.capture_shard(shard) else { return Ok(()) };
+        if let Some(disk) = self.journal.disk.as_ref() {
+            disk.write_snapshot(&snap)?;
+        }
+        Ok(())
+    }
+
+    /// Snapshots every shard (no compaction) — the durable image after
+    /// this call covers all state at its capture points.
+    pub fn snapshot_all(&self) -> Result<CheckpointStats, BankError> {
+        let mut stats = CheckpointStats::default();
+        let Some(disk) = self.journal.disk.as_ref() else { return Ok(stats) };
+        for s in 0..SHARDS {
+            if let Some(snap) = self.capture_shard(s) {
+                stats.bytes = stats.bytes.saturating_add(disk.write_snapshot(&snap)?);
+                stats.shards_snapshotted = stats.shards_snapshotted.saturating_add(1);
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Compacts every shard: prunes old snapshot generations and drops
+    /// segments fully covered by the oldest retained snapshot.
+    pub fn compact_store(&self) -> Result<CheckpointStats, BankError> {
+        let mut stats = CheckpointStats::default();
+        let Some(disk) = self.journal.disk.as_ref() else { return Ok(stats) };
+        for s in 0..SHARDS {
+            let (dropped, pruned) = disk.compact_shard(s)?;
+            stats.segments_dropped = stats.segments_dropped.saturating_add(dropped);
+            stats.snapshots_pruned = stats.snapshots_pruned.saturating_add(pruned);
+        }
+        Ok(stats)
+    }
+
+    /// Full checkpoint: snapshot every shard, then compact. After this,
+    /// a restart replays only entries committed since the call started.
+    pub fn checkpoint(&self) -> Result<CheckpointStats, BankError> {
+        let mut stats = self.snapshot_all()?;
+        let compacted = self.compact_store()?;
+        stats.segments_dropped = compacted.segments_dropped;
+        stats.snapshots_pruned = compacted.snapshots_pruned;
+        Ok(stats)
+    }
+
+    /// Incremental checkpoint trigger: snapshots (and compacts) only the
+    /// shards whose journal tail reached `snapshot_every`. Must be
+    /// called with **no** database locks held (the server calls it after
+    /// dispatch). Concurrent callers skip; returns whether work ran.
+    pub fn maybe_checkpoint(&self) -> Result<bool, BankError> {
+        let Some(disk) = self.journal.disk.as_ref() else { return Ok(false) };
+        let every = disk.config().snapshot_every;
+        if every == 0 {
+            return Ok(false);
+        }
+        let due: Vec<usize> = (0..SHARDS).filter(|s| disk.tail_len(*s) >= every).collect();
+        if due.is_empty() {
+            return Ok(false);
+        }
+        if self.checkpointing.swap(true, Ordering::SeqCst) {
+            return Ok(false);
+        }
+        let result = (|| {
+            for s in due {
+                self.snapshot_shard(s)?;
+                if let Some(d) = self.journal.disk.as_ref() {
+                    d.compact_shard(s)?;
+                }
+            }
+            Ok(true)
+        })();
+        self.checkpointing.store(false, Ordering::SeqCst);
+        result
+    }
+
+    /// Order-insensitive digest of durable state: accounts (sorted),
+    /// audit rows (sorted by encoding), pending credits, and live idem
+    /// stamps. Two databases with identical logical state — e.g. before
+    /// a kill and after the recovery — produce identical digests, even
+    /// though recovery may reorder rows across shards.
+    pub fn state_digest(&self) -> u64 {
+        use gridbank_rur::codec::{ByteWriter, Encode as _};
+        let mut w = ByteWriter::with_capacity(4096);
+        for r in self.all_accounts() {
+            r.encode(&mut w);
+        }
+        let mut rows: Vec<Vec<u8>> = self
+            .transactions
+            .read()
+            .iter()
+            .map(|t| {
+                let mut rw = ByteWriter::with_capacity(64);
+                t.encode(&mut rw);
+                rw.into_bytes()
+            })
+            .collect();
+        rows.sort_unstable();
+        for row in rows {
+            w.put_bytes(&row);
+        }
+        let mut rows: Vec<Vec<u8>> = self
+            .transfers
+            .read()
+            .iter()
+            .map(|t| {
+                let mut rw = ByteWriter::with_capacity(64);
+                t.encode(&mut rw);
+                rw.into_bytes()
+            })
+            .collect();
+        rows.sort_unstable();
+        for row in rows {
+            w.put_bytes(&row);
+        }
+        for p in self.ib_pending_snapshot() {
+            w.put_u64(p.key);
+        }
+        let mut stamps: Vec<(String, u64)> = self.idem.lock().map.keys().cloned().collect();
+        stamps.sort_unstable();
+        for (cert, key) in stamps {
+            w.put_str(&cert);
+            w.put_u64(key);
+        }
+        crate::store::fnv64(&w.into_bytes())
+    }
+}
+
+/// What a checkpoint did (snapshot + compaction totals).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Shards whose snapshot was written.
+    pub shards_snapshotted: usize,
+    /// Snapshot bytes written.
+    pub bytes: u64,
+    /// Segment files deleted by compaction.
+    pub segments_dropped: usize,
+    /// Old snapshot generations deleted.
+    pub snapshots_pruned: usize,
 }
 
 #[cfg(test)]
@@ -1458,7 +1856,7 @@ mod loom_model {
         loom::model(|| {
             let queue = Arc::new(CommitQueue::new());
             *queue.config.lock() = GroupCommitConfig { max_batch: 2, max_delay_micros: 50 };
-            let journal = Arc::new(Mutex::new(Vec::new()));
+            let journal = Arc::new(JournalStore::memory());
 
             let handles: Vec<_> = (0..3u64)
                 .map(|t| {
@@ -1476,7 +1874,7 @@ mod loom_model {
                 h.join().expect("submitter thread");
             }
 
-            let tags: Vec<u64> = journal.lock().iter().map(tag_of).collect();
+            let tags: Vec<u64> = journal.mem.lock().iter().map(tag_of).collect();
             assert_eq!(tags.len(), 12, "lost or duplicated entries: {tags:?}");
             let mut sorted = tags.clone();
             sorted.sort_unstable();
@@ -1508,14 +1906,14 @@ mod loom_model {
             // Deadline long enough that an accidental linger would make
             // the model run visibly slow rather than racing past it.
             *queue.config.lock() = GroupCommitConfig { max_batch: 64, max_delay_micros: 100_000 };
-            let journal = Arc::new(Mutex::new(Vec::new()));
+            let journal = Arc::new(JournalStore::memory());
             let h = {
                 let queue = Arc::clone(&queue);
                 let journal = Arc::clone(&journal);
                 loom::thread::spawn(move || queue.submit(vec![entry(1)], &journal))
             };
             h.join().expect("submitter thread");
-            assert_eq!(journal.lock().len(), 1);
+            assert_eq!(journal.mem.lock().len(), 1);
         });
     }
 }

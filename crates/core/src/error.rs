@@ -60,6 +60,10 @@ pub enum BankError {
     Net(NetError),
     /// Malformed wire message.
     Protocol(String),
+    /// On-disk store failure: I/O error, corrupt file, or an
+    /// unrecoverable layout (e.g. journal compacted past every valid
+    /// snapshot). See docs/STORAGE.md.
+    Storage(String),
 }
 
 impl fmt::Display for BankError {
@@ -89,6 +93,7 @@ impl fmt::Display for BankError {
             BankError::Crypto(e) => write!(f, "crypto error: {e}"),
             BankError::Net(e) => write!(f, "network error: {e}"),
             BankError::Protocol(why) => write!(f, "protocol error: {why}"),
+            BankError::Storage(why) => write!(f, "storage error: {why}"),
         }
     }
 }

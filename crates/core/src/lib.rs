@@ -10,7 +10,7 @@
 //!
 //! | Paper layer | Modules |
 //! |---|---|
-//! | GB database | [`db`] (tables, indexes, journal) |
+//! | GB database | [`db`] (tables, indexes, journal), [`store`] (on-disk segments + snapshots) |
 //! | GB Accounts | [`accounts`] (create/get/update, transfer, lock funds, transfer-from-locked) |
 //! | GB Admin | [`admin`] (deposit, withdraw, credit limit, cancel, close) |
 //! | Payment Protocol Layer | [`cheque`] (GridCheque, pay-after-use), [`payword`] (GridHash chains, pay-as-you-go), [`direct`] (funds transfer, pay-before-use) |
@@ -58,6 +58,7 @@ pub mod port;
 pub mod pricing;
 pub mod resilient;
 pub mod server;
+pub mod store;
 pub(crate) mod sync;
 
 pub use accounts::GbAccounts;
@@ -67,8 +68,8 @@ pub use cheque::GridCheque;
 pub use client::GridBankClient;
 pub use clock::Clock;
 pub use db::{
-    AccountId, AccountRecord, Database, GroupCommitConfig, TransactionRecord, TransactionType,
-    TransferRecord,
+    AccountId, AccountRecord, CheckpointStats, Database, GroupCommitConfig, TransactionRecord,
+    TransactionType, TransferRecord,
 };
 pub use error::BankError;
 pub use federation::{
@@ -77,3 +78,4 @@ pub use federation::{
 pub use payword::{GridHashChain, PayWord};
 pub use resilient::{BackoffSleep, ResilientBankClient};
 pub use server::{GridBank, GridBankConfig, GridBankServer, ServerTuning};
+pub use store::{RecoveryReport, StoreConfig, StoreInspection};

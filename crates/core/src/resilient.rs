@@ -150,6 +150,29 @@ impl ResilientBankClient {
         self.call_inner(key, request)
     }
 
+    /// Blocks until the bank answers again — the restart-to-serving
+    /// probe used by recovery drills (docs/STORAGE.md §5): sends a
+    /// cheap read through the full reconnect/backoff machinery until a
+    /// typed response arrives, for at most `max_rounds` retry schedules.
+    /// Any typed bank response (even an error) counts as serving; only
+    /// transport-level failure keeps probing.
+    pub fn await_serving(&mut self, max_rounds: usize) -> Result<(), BankError> {
+        let mut last = BankError::Protocol("await_serving given zero rounds".into());
+        for _ in 0..max_rounds {
+            match self.call(&BankRequest::MyAccount) {
+                Ok(_) => return Ok(()),
+                Err(BankError::Net(e)) => {
+                    last = BankError::Net(e);
+                    self.wait(self.policy.base_delay_ms);
+                }
+                // A typed bank error is a successful round trip: the
+                // server is up and dispatching.
+                Err(_) => return Ok(()),
+            }
+        }
+        Err(last)
+    }
+
     /// [`ResilientBankClient::call`] under a caller-supplied idempotency
     /// key. The federation layer re-ships journaled `IbCredit`s under
     /// the durable key from their pending row, so a delivery retried

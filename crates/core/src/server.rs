@@ -179,6 +179,22 @@ impl GridBank {
         Self::with_database(config, clock, db)
     }
 
+    /// Opens (or creates) a bank backed by the on-disk store at
+    /// `store.dir` — durable mode. Recovery loads the newest valid
+    /// snapshot per shard and replays only the journal tail past it
+    /// (docs/STORAGE.md §5); the returned report says how much. All
+    /// subsequent commits write through to disk via the group-commit
+    /// queue, and the server checkpoints shards incrementally as their
+    /// tails reach `store.snapshot_every`.
+    pub fn open_durable(
+        config: GridBankConfig,
+        clock: Clock,
+        store: crate::store::StoreConfig,
+    ) -> Result<(Self, crate::store::RecoveryReport), BankError> {
+        let (db, report) = Database::open(config.bank, config.branch, store)?;
+        Ok((Self::with_database(config, clock, Arc::new(db)), report))
+    }
+
     fn with_database(config: GridBankConfig, clock: Clock, db: Arc<Database>) -> Self {
         db.set_idem_capacity(config.idem_capacity);
         db.set_group_commit(config.group_commit);
@@ -272,7 +288,11 @@ impl GridBank {
         let recovering = peers.iter().any(|p| p.breaker.as_deref() == Some("HalfOpen"));
         let saturated = workers_total > 0 && workers_busy >= workers_total;
         let lagging = journal_flush_lag > db.group_commit().max_batch as u64;
-        let state = if unreachable {
+        // A failed disk append means acknowledgements are no longer
+        // crash-durable (docs/STORAGE.md §3.4) — Unhealthy, like an
+        // unreachable peer: operators must act now.
+        let disk_failed = !db.disk_healthy();
+        let state = if unreachable || disk_failed {
             HealthState::Unhealthy
         } else if recovering || saturated || lagging {
             HealthState::Degraded
@@ -472,6 +492,15 @@ impl GridBank {
                 }
             }
         };
+        // Incremental checkpointing rides the request path (no dedicated
+        // thread): after dispatch, with no database locks held, snapshot
+        // any shard whose journal tail reached the configured threshold.
+        // Concurrent workers skip instead of queueing; a no-op in
+        // non-durable mode.
+        if let Err(e) = self.accounts.db().maybe_checkpoint() {
+            gridbank_obs::count("db.snapshot.errors", 1);
+            eprintln!("gridbank: incremental checkpoint failed: {e}");
+        }
         timer.record_named_label("rpc.server.latency_ns", variant);
         resp
     }

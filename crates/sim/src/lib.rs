@@ -24,6 +24,9 @@
 //! * [`federation`] — the §6 multi-branch scenario: N federated
 //!   branches, seeded cross-VO traffic, netting settlement, and
 //!   conservation evidence.
+//! * [`recovery`] — the restart-to-serving drill: a live durable branch
+//!   is killed and rebooted, and the report shows replay was bounded by
+//!   the journal tail (docs/STORAGE.md §5, `gridbank-bench --recovery`).
 //! * [`market`] — the population-scale market economy: Zipf/diurnal
 //!   spot traffic, flash-crowd capacity auctions settled exactly-once
 //!   through live servers, a co-op barter ring, and PayWord streams,
@@ -34,6 +37,7 @@ pub mod engine;
 pub mod federation;
 pub mod market;
 pub mod metrics;
+pub mod recovery;
 pub mod scenario;
 pub mod topology;
 pub mod workload;
@@ -42,6 +46,7 @@ pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use engine::Simulator;
 pub use federation::{run_federation, FederationConfig, FederationReport};
 pub use market::{run_market, EconomyConfig, EconomyReport};
+pub use recovery::{run_recovery, RecoveryConfig, RecoveryDrillReport};
 pub use scenario::{CoopReport, GridScenario, MarketReport, ScenarioConfig};
 pub use topology::{build_grid, TopologyConfig};
 pub use workload::{JobSizeDistribution, WorkloadConfig, WorkloadEvent};

@@ -1,0 +1,323 @@
+//! Restart-to-serving drill: a live durable branch is killed and
+//! rebooted, and the clock runs until a wire client gets answers again.
+//!
+//! The scenario measures the claim docs/STORAGE.md §5 makes — restart
+//! time is bounded by the journal *tail*, not by history. One full
+//! [`GridBankServer`] stack runs over the in-process network with its
+//! database in durable mode ([`GridBank::open_durable`]); seeded keyed
+//! payments flow through a real authenticated client; the shards are
+//! checkpointed; a further slice of payments forms the replay tail; the
+//! process state is dropped (the kill); and a fresh stack reopens the
+//! same store directory. The report carries both halves of the restart
+//! cost — storage recovery and server boot to first served RPC — plus
+//! the digest/conservation evidence that nothing was lost, feeding the
+//! `gridbank-bench --recovery` section and EXPERIMENTS.md §E19.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use gridbank_core::api::{BankRequest, BankResponse};
+use gridbank_core::clock::Clock;
+use gridbank_core::db::AccountId;
+use gridbank_core::resilient::{Connector, ResilientBankClient};
+use gridbank_core::server::{
+    GateMode, GridBank, GridBankConfig, GridBankServer, ServerCredentials,
+};
+use gridbank_core::store::StoreConfig;
+use gridbank_crypto::cert::{create_proxy, CertificateAuthority, SubjectName};
+use gridbank_crypto::keys::{KeyMaterial, SigningIdentity};
+use gridbank_crypto::rng::DeterministicStream;
+use gridbank_net::retry::RetryPolicy;
+use gridbank_net::transport::{Address, Network};
+use gridbank_rur::Credits;
+
+const OPERATOR: &str = "/O=GridBank/OU=Admin/CN=operator";
+
+/// Parameters of the recovery drill.
+#[derive(Clone, Debug)]
+pub struct RecoveryConfig {
+    /// Master seed for identities and keys.
+    pub seed: u64,
+    /// Accounts created before the kill.
+    pub accounts: usize,
+    /// Keyed wire payments before the checkpoint.
+    pub payments: usize,
+    /// Keyed wire payments *after* the checkpoint — the replay tail a
+    /// restart must work through.
+    pub tail_payments: usize,
+    /// Store root; the caller owns creation/cleanup.
+    pub store_dir: PathBuf,
+    /// `fsync` on commit (the production durability contract).
+    pub fsync: bool,
+    /// Bank signer height (2^h signed instruments).
+    pub signer_height: usize,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            seed: 0xD15C_0001,
+            accounts: 200,
+            payments: 60,
+            tail_payments: 20,
+            store_dir: std::env::temp_dir().join("gridbank-recovery-sim"),
+            fsync: false,
+            signer_height: 9,
+        }
+    }
+}
+
+/// Evidence from one kill/restart cycle.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryDrillReport {
+    /// Accounts alive at the kill.
+    pub accounts: usize,
+    /// Journal entries committed across the whole run.
+    pub journal_entries_total: usize,
+    /// Entries the restart actually replayed (past the snapshots).
+    pub tail_entries_replayed: usize,
+    /// Shards restored from a snapshot file.
+    pub snapshots_loaded: usize,
+    /// Storage recovery alone: open store → state folded, ms.
+    pub recovery_ms: u64,
+    /// Kill → first answered RPC over the wire, ms.
+    pub restart_to_serving_ms: u64,
+    /// State digest identical before the kill and after recovery.
+    pub digest_match: bool,
+    /// Σ funds identical before the kill and after recovery.
+    pub funds_match: bool,
+}
+
+impl RecoveryDrillReport {
+    /// Hard pass/fail: nothing lost, and replay was tail-only.
+    pub fn verify(&self) -> Result<(), String> {
+        if !self.digest_match {
+            return Err("state digest diverged across the restart".into());
+        }
+        if !self.funds_match {
+            return Err("conservation violated across the restart".into());
+        }
+        if self.snapshots_loaded == 0 {
+            return Err("no shard recovered from a snapshot".into());
+        }
+        if self.tail_entries_replayed >= self.journal_entries_total {
+            return Err(format!(
+                "replay was not tail-only: {} of {} entries replayed",
+                self.tail_entries_replayed, self.journal_entries_total
+            ));
+        }
+        Ok(())
+    }
+}
+
+struct World {
+    network: Network,
+    clock: Clock,
+    ca: CertificateAuthority,
+    server: GridBankServer,
+    bank: Arc<GridBank>,
+}
+
+fn bank_config(signer_height: usize) -> GridBankConfig {
+    GridBankConfig {
+        signer_height,
+        gate_mode: GateMode::AllowEnrollment,
+        key_material: KeyMaterial { seed: 0xD15C },
+        ..GridBankConfig::default()
+    }
+}
+
+fn store_config(cfg: &RecoveryConfig) -> StoreConfig {
+    let base = StoreConfig::at(&cfg.store_dir);
+    StoreConfig {
+        // Tests drive checkpoints explicitly so the tail is exact.
+        snapshot_every: u64::MAX,
+        ..if cfg.fsync { base } else { base.no_fsync() }
+    }
+}
+
+/// Boots the full stack over `network`, opening (or reopening) the
+/// durable store. Returns the world and the recovery evidence.
+fn boot(
+    network: Network,
+    clock: Clock,
+    cfg: &RecoveryConfig,
+) -> Result<(World, gridbank_core::store::RecoveryReport), String> {
+    let ca = CertificateAuthority::new(
+        SubjectName::new("GridBank", "CA", "Root"),
+        SigningIdentity::generate(KeyMaterial { seed: 1 }, "ca"),
+    );
+    let (bank, report) =
+        GridBank::open_durable(bank_config(cfg.signer_height), clock.clone(), store_config(cfg))
+            .map_err(|e| e.to_string())?;
+    let bank = Arc::new(bank);
+    let tls = Arc::new(SigningIdentity::generate(KeyMaterial { seed: 100 }, "tls"));
+    let cert = ca
+        .issue(
+            SubjectName::new("GridBank", "Server", "branch-0001"),
+            tls.verifying_key(),
+            0,
+            u64::MAX / 2,
+        )
+        .map_err(|e| e.to_string())?;
+    let server = GridBankServer::start(
+        &network,
+        Address::new("branch-1"),
+        Arc::clone(&bank),
+        ServerCredentials { certificate: cert, identity: tls, ca_key: ca.verifying_key() },
+        cfg.seed,
+    )
+    .map_err(|e| e.to_string())?;
+    Ok((World { network, clock, ca, server, bank }, report))
+}
+
+/// A resilient client for `dn`, reconnecting through the full handshake
+/// on every transport failure — the probe for "serving again".
+fn resilient_client(world: &World, dn: SubjectName, seed: u64) -> ResilientBankClient {
+    let id = SigningIdentity::generate_small(KeyMaterial { seed }, "payer");
+    let cert = world
+        .ca
+        .issue(dn, id.verifying_key(), 0, u64::MAX / 2)
+        .expect("CA issues the payer certificate");
+    let (network, clock, ca_key) =
+        (world.network.clone(), world.clock.clone(), world.ca.verifying_key());
+    let mut attempt = 0u64;
+    let connector: Connector = Box::new(move || {
+        attempt += 1;
+        let id = SigningIdentity::generate_small(KeyMaterial { seed }, "payer");
+        let proxy_id =
+            SigningIdentity::generate_small(KeyMaterial { seed: seed + 7_000 + attempt }, "proxy");
+        let proxy = create_proxy(&id, &cert, proxy_id.verifying_key(), 0, u64::MAX / 2, 1)?;
+        let mut nonces = DeterministicStream::from_u64(seed ^ attempt, b"recovery-nonce");
+        gridbank_core::client::GridBankClient::connect(
+            &network,
+            Address::new(format!("payer-{seed}-{attempt}")),
+            &Address::new("branch-1"),
+            ca_key,
+            clock.now_ms(),
+            &proxy,
+            &proxy_id,
+            &mut nonces,
+        )
+    });
+    let policy = RetryPolicy {
+        base_delay_ms: 1,
+        max_delay_ms: 8,
+        max_attempts: 6,
+        deadline_ms: 30_000,
+        seed,
+    };
+    ResilientBankClient::new(connector, policy, world.clock.clone(), seed)
+}
+
+/// Runs the drill: populate → pay → checkpoint → tail → kill →
+/// reboot → probe until serving.
+pub fn run_recovery(cfg: &RecoveryConfig) -> Result<RecoveryDrillReport, String> {
+    let _ = std::fs::remove_dir_all(&cfg.store_dir);
+    let network = Network::new();
+    let clock = Clock::new();
+    let (world, _) = boot(network.clone(), clock.clone(), cfg)?;
+
+    // Population + funding, server-side (the wire carries payments;
+    // enrollment volume is not what this drill measures).
+    let operator = SubjectName(OPERATOR.into());
+    let mut holders: Vec<(SubjectName, AccountId)> = Vec::with_capacity(cfg.accounts);
+    for i in 0..cfg.accounts {
+        let dn = SubjectName(format!("/O=Grid/OU=Pop/CN=holder-{i:06}"));
+        let account =
+            match world.bank.handle(&dn, BankRequest::CreateAccount { organization: None }) {
+                BankResponse::AccountCreated { account } => account,
+                other => return Err(format!("create holder {i}: {other:?}")),
+            };
+        world.bank.handle(
+            &operator,
+            BankRequest::AdminDeposit { account, amount: Credits::from_gd(100) },
+        );
+        holders.push((dn, account));
+    }
+
+    // Keyed payments over the real wire.
+    let payer_dn = SubjectName("/O=Grid/OU=Payer/CN=payer-0".into());
+    let mut payer = resilient_client(&world, payer_dn.clone(), cfg.seed);
+    let payer_account = match payer.call(&BankRequest::CreateAccount { organization: None }) {
+        Ok(BankResponse::AccountCreated { account }) => account,
+        other => return Err(format!("create payer: {other:?}")),
+    };
+    world.bank.handle(
+        &operator,
+        BankRequest::AdminDeposit { account: payer_account, amount: Credits::from_gd(1_000_000) },
+    );
+    let pay = |payer: &mut ResilientBankClient, n: usize, salt: u64| -> Result<(), String> {
+        for k in 0..n {
+            let to = holders[(k.wrapping_mul(31).wrapping_add(salt as usize)) % holders.len()].1;
+            match payer.call(&BankRequest::DirectTransfer {
+                to,
+                amount: Credits::from_gd(1),
+                recipient_address: format!("holder-{k}.grid.org"),
+            }) {
+                Ok(BankResponse::Confirmed(_)) | Ok(BankResponse::Confirmation { .. }) => {}
+                other => return Err(format!("payment {k}: {other:?}")),
+            }
+        }
+        Ok(())
+    };
+    pay(&mut payer, cfg.payments, 1)?;
+
+    // Checkpoint, then the tail the restart will have to replay.
+    world.bank.accounts.db().checkpoint().map_err(|e| e.to_string())?;
+    pay(&mut payer, cfg.tail_payments, 2)?;
+
+    let digest = world.bank.accounts.db().state_digest();
+    let funds = world.bank.total_funds();
+    let journal_entries_total = world.bank.journal_snapshot().len();
+    let accounts = world.bank.accounts.db().account_count();
+
+    // The kill: tear the server down and drop every in-memory handle.
+    let World { mut server, bank, .. } = world;
+    server.shutdown();
+    drop(server);
+    drop(bank);
+    drop(payer);
+
+    // Reboot from disk and probe until the wire answers again.
+    let restart_started = Instant::now();
+    let (world, recovery) = boot(network, clock, cfg)?;
+    let mut probe = resilient_client(&world, payer_dn, cfg.seed.wrapping_add(99));
+    probe.await_serving(64).map_err(|e| format!("never served again: {e}"))?;
+    let restart_to_serving_ms = restart_started.elapsed().as_millis() as u64;
+
+    let report = RecoveryDrillReport {
+        accounts,
+        journal_entries_total,
+        tail_entries_replayed: recovery.tail_entries_replayed,
+        snapshots_loaded: recovery.snapshots_loaded,
+        recovery_ms: recovery.elapsed_ms,
+        restart_to_serving_ms,
+        digest_match: world.bank.accounts.db().state_digest() == digest,
+        funds_match: world.bank.total_funds() == funds,
+    };
+    let _ = std::fs::remove_dir_all(&cfg.store_dir);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovery_drill_round_trips() {
+        let cfg = RecoveryConfig {
+            accounts: 40,
+            payments: 12,
+            tail_payments: 5,
+            store_dir: std::env::temp_dir()
+                .join(format!("gridbank-recovery-drill-{}", std::process::id())),
+            ..RecoveryConfig::default()
+        };
+        let report = run_recovery(&cfg).expect("drill runs");
+        report.verify().expect("evidence holds");
+        assert!(report.tail_entries_replayed > 0, "the tail payments left a tail");
+        assert_eq!(report.accounts, 40 + 1, "holders plus the wire payer");
+    }
+}

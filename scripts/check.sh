@@ -44,7 +44,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
 # Loadgen smoke (E16): a miniature end-to-end run against a live server
 # must produce valid JSON with nonzero throughput for both strategies.
 # Not a benchmark — only proves the pipeline path works.
-echo "== loadgen smoke (docs/BENCHMARKS.md §6)"
+echo "== loadgen smoke (docs/BENCHMARKS.md §7)"
 smoke_out="$(mktemp /tmp/loadgen_smoke.XXXXXX.json)"
 ./target/release/gridbank-bench loadgen \
   --strategies paybefore,cheque --duration-ms 200 --warmup-ms 50 \
@@ -114,6 +114,66 @@ grep -q "invariants: conservation, exactly-once settlement, zero stranded credit
   echo "market smoke: economy invariants not confirmed" >&2
   exit 1
 }
+
+# Recovery smoke (docs/STORAGE.md §5): populate a live durable branch
+# over the wire, checkpoint, keep paying (the replay tail), kill the
+# process state, restart on the same store, and require the restarted
+# branch to serve with an identical ledger digest having replayed only
+# the tail. `gridbank-bench loadgen --recovery` runs exactly that drill
+# and reports the verdict; the strategy window is minimal — the drill
+# is the payload here.
+echo "== recovery smoke (docs/STORAGE.md §5)"
+rec_out="$(mktemp /tmp/recovery_smoke.XXXXXX.json)"
+./target/release/gridbank-bench loadgen --recovery \
+  --strategies paybefore --duration-ms 100 --warmup-ms 20 \
+  --out "$rec_out"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$rec_out" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)["recovery"]
+assert r["invariants_ok"], "recovery drill invariants violated"
+assert r["snapshots_loaded"] > 0, "no shard recovered from a snapshot"
+assert 0 < r["tail_entries_replayed"] < r["journal_entries_total"], \
+    "replay was not tail-only"
+print("recovery smoke OK:", {k: r[k] for k in
+      ("accounts", "tail_entries_replayed", "journal_entries_total")})
+PY
+else
+  grep -q '"invariants_ok": true' "$rec_out" || {
+    echo "recovery smoke: drill invariants not confirmed in $rec_out" >&2
+    exit 1
+  }
+fi
+rm -f "$rec_out"
+
+# Docs link check: every relative markdown link target in README/DESIGN/
+# docs must exist on disk — doc rot fails the gate, not review.
+echo "== docs dead-link check"
+if command -v python3 >/dev/null 2>&1; then
+python3 - <<'PY'
+import os, re, sys
+roots = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"] + [
+    os.path.join("docs", f) for f in sorted(os.listdir("docs")) if f.endswith(".md")
+]
+link = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(#[^)\s]*)?\)")
+bad = []
+for page in roots:
+    base = os.path.dirname(page)
+    for target, _frag in link.findall(open(page).read()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if not os.path.exists(os.path.normpath(os.path.join(base, target))):
+            bad.append(f"{page}: broken link -> {target}")
+for b in bad:
+    print(b, file=sys.stderr)
+if bad:
+    sys.exit(1)
+print(f"docs dead-link check OK ({len(roots)} pages)")
+PY
+else
+  echo "docs dead-link check: python3 unavailable — skipping"
+fi
 
 # Opt-in concurrency stages (docs/STATIC_ANALYSIS.md). LOOM=1 rebuilds
 # core/net with the yield-injecting sync facade and runs the three

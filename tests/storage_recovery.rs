@@ -1,0 +1,576 @@
+//! Sharded on-disk store — crash recovery suite (docs/STORAGE.md).
+//!
+//! Every test follows the same shape: run real banking traffic against a
+//! durable bank, "kill" it (drop the process state so only the files
+//! survive), damage the files the way a specific crash would, reopen,
+//! and assert the durability contract: conservation of funds,
+//! exactly-once idempotency and cross-branch credits, and tail-only
+//! replay (the [`RecoveryReport`] counts exactly the entries past the
+//! last durable snapshot).
+
+// Test fixtures build inputs with plain arithmetic; the workspace
+// `clippy::arithmetic_side_effects` wall targets production money paths
+// (see docs/STATIC_ANALYSIS.md §lint wall).
+#![allow(clippy::arithmetic_side_effects)]
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use gridbank_suite::bank::api::{BankRequest, BankResponse};
+use gridbank_suite::bank::clock::Clock;
+use gridbank_suite::bank::server::{GridBank, GridBankConfig};
+use gridbank_suite::bank::store::{self, StoreConfig};
+use gridbank_suite::bank::BankError;
+use gridbank_suite::crypto::cert::SubjectName;
+use gridbank_suite::rur::Credits;
+
+/// A fresh per-test store directory under the system temp dir.
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gridbank-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config() -> GridBankConfig {
+    GridBankConfig { signer_height: 5, ..GridBankConfig::default() }
+}
+
+/// Tests snapshot manually; `snapshot_every: u64::MAX` keeps the
+/// server-driven incremental checkpointer out of the way.
+fn store_config(dir: &Path) -> StoreConfig {
+    StoreConfig { snapshot_every: u64::MAX, ..StoreConfig::at(dir).no_fsync() }
+}
+
+fn open_account(bank: &GridBank, s: &SubjectName) -> gridbank_suite::bank::AccountId {
+    match bank.handle(s, BankRequest::CreateAccount { organization: None }) {
+        BankResponse::AccountCreated { account } => account,
+        other => panic!("create failed: {other:?}"),
+    }
+}
+
+const OPERATOR: &str = "/O=GridBank/OU=Admin/CN=operator";
+
+fn deposit(bank: &GridBank, account: gridbank_suite::bank::AccountId, gd: i64) {
+    let operator = SubjectName(OPERATOR.into());
+    match bank
+        .handle(&operator, BankRequest::AdminDeposit { account, amount: Credits::from_gd(gd) })
+    {
+        BankResponse::Confirmed(_) | BankResponse::Confirmation { .. } => {}
+        other => panic!("deposit failed: {other:?}"),
+    }
+}
+
+fn balance_of(bank: &GridBank, id: gridbank_suite::bank::AccountId) -> Credits {
+    bank.all_accounts().into_iter().find(|r| r.id == id).expect("account exists").available
+}
+
+/// The newest segment file in each shard directory that holds any
+/// record bytes past its header, paired with its byte length.
+fn newest_segments(dir: &Path) -> Vec<(PathBuf, u64)> {
+    let mut out = Vec::new();
+    for shard in 0..64u32 {
+        let sdir = dir.join(format!("shard-{shard:02}"));
+        let Ok(entries) = std::fs::read_dir(&sdir) else { continue };
+        let mut segs: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "gbj"))
+            .collect();
+        segs.sort();
+        if let Some(seg) = segs.pop() {
+            let len = std::fs::metadata(&seg).map(|m| m.len()).unwrap_or(0);
+            if len > 20 {
+                out.push((seg, len));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn restart_replays_only_the_journal_tail() {
+    let dir = test_dir("tail-only");
+    let (bank, report) =
+        GridBank::open_durable(config(), Clock::new(), store_config(&dir)).unwrap();
+    assert_eq!(report.tail_entries_replayed, 0, "fresh store replays nothing");
+
+    let alice = SubjectName::new("Org", "Unit", "alice");
+    let bob = SubjectName::new("Org", "Unit", "bob");
+    let a = open_account(&bank, &alice);
+    let b = open_account(&bank, &bob);
+    deposit(&bank, a, 100);
+    for key in 0..10u64 {
+        let reply = bank.handle_keyed(
+            &alice,
+            Some(key),
+            BankRequest::DirectTransfer {
+                to: b,
+                amount: Credits::from_gd(1),
+                recipient_address: "bob.grid.org".into(),
+            },
+        );
+        assert!(matches!(reply, BankResponse::Confirmed(_)), "{reply:?}");
+    }
+
+    // Checkpoint, then a known number of journal entries on top.
+    let before_checkpoint = bank.journal_snapshot().len();
+    let stats = bank.accounts.db().checkpoint().unwrap();
+    assert!(stats.shards_snapshotted > 0);
+    for key in 10..13u64 {
+        let reply = bank.handle_keyed(
+            &alice,
+            Some(key),
+            BankRequest::DirectTransfer {
+                to: b,
+                amount: Credits::from_gd(1),
+                recipient_address: "bob.grid.org".into(),
+            },
+        );
+        assert!(matches!(reply, BankResponse::Confirmed(_)), "{reply:?}");
+    }
+    let tail_entries = bank.journal_snapshot().len() - before_checkpoint;
+    assert!(tail_entries > 0);
+    let digest = bank.accounts.db().state_digest();
+    let funds = bank.total_funds();
+
+    // Kill: drop all in-memory state; only the files survive.
+    drop(bank);
+
+    // The offline inspector and the recovery report must agree: only
+    // the tail past the snapshots is replayed, not the full history.
+    let inspection = store::inspect(&dir).unwrap();
+    assert_eq!(inspection.tail_entries(), tail_entries, "inspector sees the tail");
+
+    let (rebuilt, report) =
+        GridBank::open_durable(config(), Clock::new(), store_config(&dir)).unwrap();
+    assert_eq!(report.tail_entries_replayed, tail_entries, "tail-only replay");
+    assert_eq!(report.snapshots_loaded, report.shards, "every shard restored from snapshot");
+    assert_eq!(report.torn_tails, 0);
+    assert_eq!(rebuilt.accounts.db().state_digest(), digest, "identical logical state");
+    assert_eq!(rebuilt.total_funds(), funds, "conservation");
+
+    // The rebuilt bank keeps serving, and replayed dedup still holds:
+    // a retried key returns the original outcome without re-applying.
+    match rebuilt.handle_keyed(
+        &alice,
+        Some(12),
+        BankRequest::DirectTransfer {
+            to: b,
+            amount: Credits::from_gd(1),
+            recipient_address: "bob.grid.org".into(),
+        },
+    ) {
+        BankResponse::Confirmation { .. } => {}
+        other => panic!("retry not deduplicated: {other:?}"),
+    }
+    assert_eq!(rebuilt.total_funds(), funds, "dedup hit moved no money");
+}
+
+#[test]
+fn kill_mid_snapshot_falls_back_one_generation() {
+    let dir = test_dir("mid-snapshot");
+    let (bank, _) = GridBank::open_durable(config(), Clock::new(), store_config(&dir)).unwrap();
+    let alice = SubjectName::new("Org", "Unit", "alice");
+    let bob = SubjectName::new("Org", "Unit", "bob");
+    let a = open_account(&bank, &alice);
+    let b = open_account(&bank, &bob);
+    deposit(&bank, a, 50);
+
+    // Two snapshot generations (retain_snapshots = 2 keeps both), with
+    // traffic between and after them.
+    bank.accounts.db().checkpoint().unwrap();
+    let pay = |key: u64| {
+        let reply = bank.handle_keyed(
+            &alice,
+            Some(key),
+            BankRequest::DirectTransfer {
+                to: b,
+                amount: Credits::from_gd(2),
+                recipient_address: "bob.grid.org".into(),
+            },
+        );
+        assert!(matches!(reply, BankResponse::Confirmed(_)), "{reply:?}");
+    };
+    pay(1);
+    bank.accounts.db().checkpoint().unwrap();
+    pay(2);
+    let digest = bank.accounts.db().state_digest();
+    let funds = bank.total_funds();
+    drop(bank);
+
+    // Kill mid-snapshot: the newest generation is half-written. Corrupt
+    // every shard's newest snapshot and leave a stray tmp file behind.
+    let mut damaged = 0;
+    for shard in 0..64u32 {
+        let sdir = dir.join(format!("shard-{shard:02}"));
+        let Ok(entries) = std::fs::read_dir(&sdir) else { continue };
+        let mut snaps: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "gbs"))
+            .collect();
+        snaps.sort();
+        if let Some(newest) = snaps.pop() {
+            let mut bytes = std::fs::read(&newest).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+            std::fs::write(&newest, bytes).unwrap();
+            std::fs::write(sdir.join("snap-999.gbs.tmp"), b"half-written").unwrap();
+            damaged += 1;
+        }
+    }
+    assert!(damaged > 0, "test must damage at least one snapshot");
+
+    let (rebuilt, report) =
+        GridBank::open_durable(config(), Clock::new(), store_config(&dir)).unwrap();
+    assert_eq!(report.snapshots_skipped, damaged, "corrupt generation skipped per shard");
+    assert_eq!(report.snapshots_loaded, report.shards, "older generation restored everywhere");
+    assert_eq!(rebuilt.accounts.db().state_digest(), digest, "no state lost");
+    assert_eq!(rebuilt.total_funds(), funds, "conservation");
+    // Exactly-once held: both payments exist, no duplicates.
+    assert_eq!(rebuilt.all_transfers().len(), 2);
+    assert_eq!(balance_of(&rebuilt, b), Credits::from_gd(4));
+}
+
+#[test]
+fn kill_mid_compaction_before_deletion_recovers_cleanly() {
+    // Compaction writes the COMPACTED marker *before* deleting
+    // segments. A crash between the two steps leaves a marker that
+    // promises less than the files deliver — which is harmless, and the
+    // next recovery must treat it that way.
+    let dir = test_dir("mid-compaction");
+    let (bank, _) = GridBank::open_durable(config(), Clock::new(), store_config(&dir)).unwrap();
+    let alice = SubjectName::new("Org", "Unit", "alice");
+    let a = open_account(&bank, &alice);
+    deposit(&bank, a, 25);
+    bank.accounts.db().checkpoint().unwrap();
+    deposit(&bank, a, 5);
+    let digest = bank.accounts.db().state_digest();
+    let funds = bank.total_funds();
+    drop(bank);
+
+    // Hand-craft the crash state: a valid marker at the snapshot's
+    // through-LSN in every snapshotted shard, all segments still there.
+    let inspection = store::inspect(&dir).unwrap();
+    let mut marked = 0;
+    for (shard, inv) in inspection.shards.iter().enumerate() {
+        if inv.snapshot_lsn == 0 {
+            continue;
+        }
+        let sdir = dir.join(format!("shard-{shard:02}"));
+        let mut body = Vec::new();
+        body.extend_from_slice(&0x4742_4354u32.to_be_bytes()); // "GBCT"
+        body.extend_from_slice(&store::FORMAT_VERSION.to_be_bytes());
+        body.extend_from_slice(&inv.snapshot_lsn.to_be_bytes());
+        let check = store::fnv64(&body);
+        body.extend_from_slice(&check.to_le_bytes());
+        std::fs::write(sdir.join("COMPACTED"), body).unwrap();
+        marked += 1;
+    }
+    assert!(marked > 0);
+
+    let (rebuilt, report) =
+        GridBank::open_durable(config(), Clock::new(), store_config(&dir)).unwrap();
+    assert!(report.tail_entries_replayed > 0, "post-snapshot deposit replays");
+    assert_eq!(rebuilt.accounts.db().state_digest(), digest);
+    assert_eq!(rebuilt.total_funds(), funds);
+}
+
+#[test]
+fn compaction_marker_past_every_snapshot_fails_loudly() {
+    // The converse crash shape — the journal prefix is gone (marker
+    // says so) but no retained snapshot covers it — must refuse to
+    // serve rather than silently lose history.
+    let dir = test_dir("marker-gap");
+    let (bank, _) = GridBank::open_durable(config(), Clock::new(), store_config(&dir)).unwrap();
+    let alice = SubjectName::new("Org", "Unit", "alice");
+    let a = open_account(&bank, &alice);
+    deposit(&bank, a, 10);
+    bank.accounts.db().checkpoint().unwrap();
+    drop(bank);
+
+    let sdir = dir.join("shard-00");
+    let mut body = Vec::new();
+    body.extend_from_slice(&0x4742_4354u32.to_be_bytes());
+    body.extend_from_slice(&store::FORMAT_VERSION.to_be_bytes());
+    body.extend_from_slice(&u64::MAX.to_be_bytes());
+    let check = store::fnv64(&body);
+    body.extend_from_slice(&check.to_le_bytes());
+    std::fs::write(sdir.join("COMPACTED"), body).unwrap();
+
+    match GridBank::open_durable(config(), Clock::new(), store_config(&dir)) {
+        Err(BankError::Storage(why)) => {
+            assert!(why.contains("compacted"), "unexpected message: {why}")
+        }
+        Ok(_) => panic!("recovery must refuse a compacted-past-snapshots store"),
+        Err(other) => panic!("wrong error: {other}"),
+    }
+}
+
+#[test]
+fn torn_segment_tail_drops_the_whole_final_batch() {
+    // Truncate the final frame of a shard's newest segment — the torn
+    // write a power cut leaves behind. The final commit batch (a
+    // multi-shard transfer) must disappear *atomically*: both sides of
+    // the transfer gone, never one.
+    let dir = test_dir("torn-tail");
+    let (bank, _) = GridBank::open_durable(config(), Clock::new(), store_config(&dir)).unwrap();
+    let alice = SubjectName::new("Org", "Unit", "alice");
+    let bob = SubjectName::new("Org", "Unit", "bob");
+    let a = open_account(&bank, &alice);
+    let b = open_account(&bank, &bob);
+    deposit(&bank, a, 100);
+    bank.accounts.db().checkpoint().unwrap();
+    let digest_before_transfer = bank.accounts.db().state_digest();
+    let funds = bank.total_funds();
+
+    let reply = bank.handle_keyed(
+        &alice,
+        Some(7),
+        BankRequest::DirectTransfer {
+            to: b,
+            amount: Credits::from_gd(30),
+            recipient_address: "bob.grid.org".into(),
+        },
+    );
+    assert!(matches!(reply, BankResponse::Confirmed(_)), "{reply:?}");
+    drop(bank);
+
+    // Tear the tail: cut a few bytes off every shard's newest segment
+    // that grew past the snapshot cut. Each cut lands inside that
+    // file's final frame, exactly like an interrupted write.
+    let torn: Vec<_> = newest_segments(&dir)
+        .into_iter()
+        .map(|(seg, len)| {
+            let f = std::fs::OpenOptions::new().write(true).open(&seg).unwrap();
+            f.set_len(len - 3).unwrap();
+            seg
+        })
+        .collect();
+    assert!(!torn.is_empty(), "the transfer must have reached at least one segment");
+
+    let (rebuilt, report) =
+        GridBank::open_durable(config(), Clock::new(), store_config(&dir)).unwrap();
+    assert_eq!(report.torn_tails, torn.len(), "each cut is a tolerated torn tail");
+    assert!(
+        report.torn_batch_entries_dropped > 0,
+        "the incomplete final batch is dropped, not half-applied"
+    );
+    // All-or-nothing: the bank is exactly at its pre-transfer state.
+    assert_eq!(rebuilt.accounts.db().state_digest(), digest_before_transfer);
+    assert_eq!(rebuilt.total_funds(), funds, "conservation under torn writes");
+    assert_eq!(balance_of(&rebuilt, a), Credits::from_gd(100));
+    assert_eq!(balance_of(&rebuilt, b), Credits::ZERO);
+
+    // The ack never reached the client, so its retry must *apply* (the
+    // dropped batch took its idempotency stamp with it) — exactly once
+    // end to end.
+    let reply = rebuilt.handle_keyed(
+        &alice,
+        Some(7),
+        BankRequest::DirectTransfer {
+            to: b,
+            amount: Credits::from_gd(30),
+            recipient_address: "bob.grid.org".into(),
+        },
+    );
+    assert!(matches!(reply, BankResponse::Confirmed(_)), "retry re-applies: {reply:?}");
+    assert_eq!(balance_of(&rebuilt, b), Credits::from_gd(30));
+    drop(rebuilt);
+
+    // Recovery repaired the torn files (truncated the dead suffix), so
+    // a third open replays a clean log: no torn tails, same state.
+    let (again, report) =
+        GridBank::open_durable(config(), Clock::new(), store_config(&dir)).unwrap();
+    assert_eq!(report.torn_tails, 0, "repair made recovery idempotent");
+    assert_eq!(report.torn_batch_entries_dropped, 0);
+    assert_eq!(balance_of(&again, b), Credits::from_gd(30));
+}
+
+#[test]
+fn pending_ib_credit_survives_restart_and_ships_exactly_once() {
+    use gridbank_suite::bank::federation::{FederationRouter, LocalPeer, PeerTransport};
+    use gridbank_suite::net::error::NetError;
+
+    /// A permanently dead wire: every ship attempt fails, so the credit
+    /// stays in the journal-backed pending set.
+    struct DeadPeer;
+    impl PeerTransport for DeadPeer {
+        fn call(
+            &self,
+            _idem_key: Option<u64>,
+            _request: &BankRequest,
+        ) -> Result<BankResponse, BankError> {
+            Err(BankError::Net(NetError::Disconnected))
+        }
+    }
+
+    let dir = test_dir("ib-credit");
+    let branch_config =
+        |branch: u16| GridBankConfig { branch, signer_height: 5, ..GridBankConfig::default() };
+    let clock = Clock::new();
+    let (home, _) =
+        GridBank::open_durable(branch_config(1), clock.clone(), store_config(&dir)).unwrap();
+    let home = Arc::new(home);
+    let remote = Arc::new(GridBank::new(branch_config(2), clock.clone()));
+    let home_router = FederationRouter::install(&home);
+    FederationRouter::install(&remote).add_peer(1, LocalPeer::new(Arc::clone(&home), 2));
+    // The peer link for branch 2 is a dead wire: the ship attempt fails
+    // and the credit stays pending.
+    home_router.add_peer(2, Arc::new(DeadPeer) as Arc<dyn PeerTransport>);
+
+    let alice = SubjectName::new("Org", "Unit", "alice");
+    let bob = SubjectName::new("Org", "Unit", "bob");
+    let a = open_account(&home, &alice);
+    let bob_account = open_account(&remote, &bob);
+    deposit(&home, a, 40);
+    let reply = home.handle_keyed(
+        &alice,
+        Some(9),
+        BankRequest::DirectTransfer {
+            to: bob_account,
+            amount: Credits::from_gd(15),
+            recipient_address: "bob.grid.org".into(),
+        },
+    );
+    assert!(matches!(reply, BankResponse::Confirmed(_)), "{reply:?}");
+    assert_eq!(home.accounts.db().ib_pending_snapshot().len(), 1);
+    assert_eq!(home_router.clearing_balance(2), Credits::from_gd(15));
+    drop(home_router);
+    drop(home);
+
+    // Restart from disk: the pending credit must still be owed.
+    let (rebuilt, _) =
+        GridBank::open_durable(branch_config(1), Clock::new(), store_config(&dir)).unwrap();
+    let rebuilt = Arc::new(rebuilt);
+    assert_eq!(rebuilt.accounts.db().ib_pending_snapshot().len(), 1, "pending survived the kill");
+    let router = FederationRouter::install(&rebuilt);
+    router.add_peer(2, LocalPeer::new(Arc::clone(&remote), 1));
+    assert_eq!(router.ship_pending(), 1, "re-ship delivers the stranded credit");
+    assert_eq!(balance_of(&remote, bob_account), Credits::from_gd(15), "credited exactly once");
+    assert_eq!(router.ship_pending(), 0, "nothing left to ship");
+    drop(router);
+    drop(rebuilt);
+
+    // And the ack is durable too: a second restart owes nothing.
+    let (again, _) =
+        GridBank::open_durable(branch_config(1), Clock::new(), store_config(&dir)).unwrap();
+    assert!(again.accounts.db().ib_pending_snapshot().is_empty());
+    assert_eq!(balance_of(&remote, bob_account), Credits::from_gd(15));
+}
+
+#[test]
+fn incremental_checkpoints_bound_the_tail_under_live_traffic() {
+    // With a small `snapshot_every`, the server's own post-dispatch
+    // checkpointing keeps each shard's replay tail bounded without any
+    // explicit checkpoint call.
+    let dir = test_dir("incremental");
+    let store = StoreConfig {
+        snapshot_every: 8,
+        segment_bytes: 4096, // force rotation too
+        ..StoreConfig::at(&dir).no_fsync()
+    };
+    // signer_height 9 = 512 one-time signatures, enough for 200 signed
+    // transfer confirmations.
+    let wide = GridBankConfig { signer_height: 9, ..GridBankConfig::default() };
+    let (bank, _) = GridBank::open_durable(wide, Clock::new(), store).unwrap();
+    let alice = SubjectName::new("Org", "Unit", "alice");
+    let bob = SubjectName::new("Org", "Unit", "bob");
+    let a = open_account(&bank, &alice);
+    let b = open_account(&bank, &bob);
+    deposit(&bank, a, 1_000);
+    for key in 0..200u64 {
+        let reply = bank.handle_keyed(
+            &alice,
+            Some(key),
+            BankRequest::DirectTransfer {
+                to: b,
+                amount: Credits::from_gd(1),
+                recipient_address: "bob.grid.org".into(),
+            },
+        );
+        assert!(matches!(reply, BankResponse::Confirmed(_)), "{reply:?}");
+    }
+    let total_entries = bank.journal_snapshot().len();
+    let digest = bank.accounts.db().state_digest();
+    drop(bank);
+
+    let (rebuilt, report) =
+        GridBank::open_durable(config(), Clock::new(), store_config(&dir)).unwrap();
+    assert!(report.snapshots_loaded > 0, "the server checkpointed on its own");
+    assert!(
+        report.tail_entries_replayed < total_entries / 2,
+        "replay is bounded by the tail, not the {total_entries}-entry history \
+         (replayed {})",
+        report.tail_entries_replayed
+    );
+    assert_eq!(rebuilt.accounts.db().state_digest(), digest);
+}
+
+/// ISSUE acceptance: restart-to-serving bounded by tail length at one
+/// million accounts. Ignored in the default run (it builds a seven-digit
+/// account table); run manually in release:
+///
+/// ```text
+/// cargo test --release --test storage_recovery -- --ignored --nocapture
+/// ```
+///
+/// Results are recorded in EXPERIMENTS.md §E19.
+#[test]
+#[ignore = "millions of accounts; run in release for EXPERIMENTS.md E19"]
+fn bounded_recovery_at_one_million_accounts() {
+    use gridbank_suite::bank::db::{AccountId, AccountRecord, Database};
+
+    let dir = test_dir("million");
+    const ACCOUNTS: u32 = 1_000_000;
+    const TAIL: u32 = 2_000;
+
+    let (db, _) = Database::open(1, 1, store_config(&dir)).unwrap();
+    let populate_started = std::time::Instant::now();
+    for n in 1..=ACCOUNTS {
+        db.insert_account(AccountRecord {
+            id: AccountId::new(1, 1, n),
+            certificate_name: format!("/CN=holder-{n}"),
+            organization: None,
+            available: Credits::from_gd(10),
+            locked: Credits::ZERO,
+            currency: "GridDollar".into(),
+            credit_limit: Credits::ZERO,
+        })
+        .unwrap();
+    }
+    println!("populate: {} accounts in {:?}", ACCOUNTS, populate_started.elapsed());
+    let snap_started = std::time::Instant::now();
+    let stats = db.checkpoint().unwrap();
+    println!(
+        "checkpoint: {} shards, {} MiB in {:?}",
+        stats.shards_snapshotted,
+        stats.bytes / (1024 * 1024),
+        snap_started.elapsed()
+    );
+    // A bounded tail on top of the snapshots.
+    for n in 1..=TAIL {
+        db.insert_account(AccountRecord {
+            id: AccountId::new(1, 1, ACCOUNTS + n),
+            certificate_name: format!("/CN=tail-{n}"),
+            organization: None,
+            available: Credits::from_gd(1),
+            locked: Credits::ZERO,
+            currency: "GridDollar".into(),
+            credit_limit: Credits::ZERO,
+        })
+        .unwrap();
+    }
+    let funds = db.total_funds();
+    drop(db);
+
+    let (rebuilt, report) = Database::open(1, 1, store_config(&dir)).unwrap();
+    println!(
+        "recovery: {} accounts, {} tail entries replayed, {} segments, {} ms",
+        report.accounts, report.tail_entries_replayed, report.segments_scanned, report.elapsed_ms
+    );
+    assert_eq!(report.accounts, (ACCOUNTS + TAIL) as usize);
+    assert_eq!(report.tail_entries_replayed, TAIL as usize, "tail-only, even at 1M accounts");
+    assert_eq!(rebuilt.total_funds(), funds);
+    let _ = std::fs::remove_dir_all(&dir);
+}
