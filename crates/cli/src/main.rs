@@ -1301,10 +1301,48 @@ mod tests {
         assert!(out.contains("12 accounts snapshotted"), "{out}");
         assert!(out.contains("2 tail entries to replay"), "{out}");
 
-        // Missing directory is an error, not a panic.
-        assert!(run(&args(&["store", "--dir", "/nonexistent/store"])).is_err());
         assert!(run(&args(&["store"])).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_rejects_non_store_directories_with_typed_errors() {
+        let base = std::env::temp_dir()
+            .join(format!("gridbank-cli-notastore-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        std::fs::create_dir_all(&base).unwrap();
+
+        // A directory that does not exist.
+        let missing = base.join("missing");
+        let err = run(&args(&["store", "--dir", missing.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("not a gridbank store"), "{err}");
+        assert!(err.contains("directory does not exist"), "{err}");
+
+        // A directory that exists but holds nothing.
+        let empty = base.join("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        let err = run(&args(&["store", "--dir", empty.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("not a gridbank store"), "{err}");
+        assert!(err.contains("directory is empty"), "{err}");
+
+        // A non-empty directory that was never a store (no MANIFEST).
+        let other = base.join("other");
+        std::fs::create_dir_all(&other).unwrap();
+        std::fs::write(other.join("notes.txt"), b"hello").unwrap();
+        let err = run(&args(&["store", "--dir", other.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("not a gridbank store"), "{err}");
+        assert!(err.contains("no MANIFEST file"), "{err}");
+
+        // A damaged store is still a *storage* error, not NotAStore:
+        // a MANIFEST exists but cannot be verified.
+        let broken = base.join("broken");
+        std::fs::create_dir_all(&broken).unwrap();
+        std::fs::write(broken.join("MANIFEST"), b"short").unwrap();
+        let err = run(&args(&["store", "--dir", broken.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("storage error"), "{err}");
+        assert!(!err.contains("not a gridbank store"), "{err}");
+
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]

@@ -64,6 +64,15 @@ pub enum BankError {
     /// unrecoverable layout (e.g. journal compacted past every valid
     /// snapshot). See docs/STORAGE.md.
     Storage(String),
+    /// The path handed to `gridbank store` / `inspect` is not a store
+    /// directory at all: missing, empty, or lacking a MANIFEST. Distinct
+    /// from `Storage`, which means a real store is damaged.
+    NotAStore {
+        /// The directory that was inspected.
+        dir: String,
+        /// Why it is not a store (missing, empty, no MANIFEST, ...).
+        reason: String,
+    },
 }
 
 impl fmt::Display for BankError {
@@ -94,6 +103,9 @@ impl fmt::Display for BankError {
             BankError::Net(e) => write!(f, "network error: {e}"),
             BankError::Protocol(why) => write!(f, "protocol error: {why}"),
             BankError::Storage(why) => write!(f, "storage error: {why}"),
+            BankError::NotAStore { dir, reason } => {
+                write!(f, "not a gridbank store: {dir} ({reason})")
+            }
         }
     }
 }

@@ -880,6 +880,8 @@ impl WorkerPool {
             std::thread::spawn(move || loop {
                 // Hold the lock only while waiting, never while running
                 // the job, so workers execute in parallel.
+                // lint:allow(blocking-under-lock) the lock exists solely to share the
+                // receiver; it guards no bank state and jobs run outside it
                 let job = rx.lock().recv();
                 match job {
                     Ok(job) => {

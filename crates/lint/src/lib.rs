@@ -5,13 +5,16 @@
 //! *accounting-domain* invariants that no general-purpose lint knows
 //! about:
 //!
-//! | id              | invariant                                                        |
-//! |-----------------|------------------------------------------------------------------|
-//! | `money-arith`   | money values use checked/saturating helpers, never bare ops/casts |
-//! | `idem-stamp`    | every mutating RPC arm stamps idempotency in the commit batch     |
-//! | `no-panic`      | server/codec/replay paths return typed errors, never panic        |
-//! | `display-parse` | error handling reads structured details, not Display text         |
-//! | `metric-prefix` | metric/span names match the registered table in OBSERVABILITY.md  |
+//! | id                    | invariant                                                         |
+//! |-----------------------|-------------------------------------------------------------------|
+//! | `money-arith`         | money values use checked/saturating helpers, never bare ops/casts |
+//! | `idem-stamp`          | every mutating RPC arm stamps idempotency in the commit batch     |
+//! | `no-panic`            | server/codec/replay paths return typed errors, never panic        |
+//! | `display-parse`       | error handling reads structured details, not Display text         |
+//! | `metric-prefix`       | metric/span names match the registered table in OBSERVABILITY.md  |
+//! | `lock-order`          | acquisitions follow the declared table in STATIC_ANALYSIS.md      |
+//! | `blocking-under-lock` | no fsync/file/net/recv/sleep inside a held lock scope             |
+//! | `durability-order`    | store.rs sequences write→fsync→rename→dir-fsync; marker precedes deletion |
 //!
 //! The analyzer is deliberately dependency-free: it tokenizes by masking
 //! comments and literals (see [`source`]) rather than parsing full Rust,
@@ -29,7 +32,7 @@ use std::fmt;
 
 pub use source::{AllowDirective, SourceFile};
 
-/// The five domain rules.
+/// The eight domain rules.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub enum Rule {
     /// L1: bare arithmetic / lossy casts in money context.
@@ -42,12 +45,27 @@ pub enum Rule {
     DisplayParse,
     /// L5: telemetry names must match the registered prefix table.
     MetricPrefix,
+    /// L6: lock acquisitions follow the declared global order.
+    LockOrder,
+    /// L7: no blocking calls lexically inside a held lock scope.
+    BlockingUnderLock,
+    /// L8: durable-file creation sequences write→fsync→rename→dir-fsync,
+    /// and the COMPACTED marker lands before any segment deletion.
+    DurabilityOrder,
 }
 
 impl Rule {
     /// Every rule, in report order.
-    pub const ALL: [Rule; 5] =
-        [Rule::MoneyArith, Rule::IdemStamp, Rule::NoPanic, Rule::DisplayParse, Rule::MetricPrefix];
+    pub const ALL: [Rule; 8] = [
+        Rule::MoneyArith,
+        Rule::IdemStamp,
+        Rule::NoPanic,
+        Rule::DisplayParse,
+        Rule::MetricPrefix,
+        Rule::LockOrder,
+        Rule::BlockingUnderLock,
+        Rule::DurabilityOrder,
+    ];
 
     /// Stable identifier used in reports and allow directives.
     pub const fn id(self) -> &'static str {
@@ -57,6 +75,9 @@ impl Rule {
             Rule::NoPanic => "no-panic",
             Rule::DisplayParse => "display-parse",
             Rule::MetricPrefix => "metric-prefix",
+            Rule::LockOrder => "lock-order",
+            Rule::BlockingUnderLock => "blocking-under-lock",
+            Rule::DurabilityOrder => "durability-order",
         }
     }
 
@@ -196,6 +217,103 @@ impl NameRegistry {
     }
 }
 
+/// One class of locks in the declared global acquisition order
+/// (a row of the L6 table in docs/STATIC_ANALYSIS.md).
+#[derive(Clone, Debug)]
+pub struct LockClass {
+    /// Global acquisition rank — strictly increasing along any legal
+    /// acquisition path.
+    pub rank: u16,
+    /// Human name, e.g. `account-shard`.
+    pub name: String,
+    /// File the class's locks live in (suffix match, e.g. `db.rs`).
+    pub file: String,
+    /// Receiver patterns. All-identifier patterns match a receiver
+    /// expression on identifier boundaries; patterns with punctuation
+    /// are plain substring matches.
+    pub patterns: Vec<String>,
+    /// Whether same-rank multi-acquisition is legal when iterated in
+    /// ascending index order (the cross-shard transfer idiom).
+    pub ascending_index: bool,
+}
+
+/// The declared lock-acquisition order, parsed from the L6 table in
+/// docs/STATIC_ANALYSIS.md.
+#[derive(Clone, Debug, Default)]
+pub struct LockOrderSpec {
+    /// Every declared class, in table order.
+    pub classes: Vec<LockClass>,
+}
+
+impl LockOrderSpec {
+    /// Parses the declared-order table. Rows look like
+    /// `| 80 | account-shard | db.rs | \`shards\` \`shard\` | ascending-index |`;
+    /// any markdown table row whose first cell is an integer and which
+    /// has five cells is taken as a class declaration.
+    pub fn parse(markdown: &str) -> Result<LockOrderSpec, String> {
+        let mut spec = LockOrderSpec::default();
+        for line in markdown.lines() {
+            let trimmed = line.trim();
+            if !trimmed.starts_with('|') {
+                continue;
+            }
+            let cells: Vec<&str> = trimmed.trim_matches('|').split('|').collect();
+            if cells.len() < 5 {
+                continue;
+            }
+            let Ok(rank) = cells[0].trim().parse::<u16>() else { continue };
+            let name = cells[1].trim().trim_matches('`').to_string();
+            let file = cells[2].trim().trim_matches('`').to_string();
+            let patterns = backtick_tokens(cells[3]);
+            if name.is_empty() || file.is_empty() || patterns.is_empty() {
+                continue;
+            }
+            spec.classes.push(LockClass {
+                rank,
+                name,
+                file,
+                patterns,
+                ascending_index: cells[4].contains("ascending-index"),
+            });
+        }
+        if spec.classes.is_empty() {
+            return Err("docs/STATIC_ANALYSIS.md has no declared lock-order table \
+                 (need `| rank | class | file | receivers | same-rank |` rows)"
+                .to_string());
+        }
+        Ok(spec)
+    }
+
+    /// Classes whose file column suffix-matches `path`.
+    pub fn classes_for<'a>(&'a self, path: &str) -> Vec<&'a LockClass> {
+        self.classes.iter().filter(|c| path.ends_with(c.file.as_str())).collect()
+    }
+
+    /// Whether any class governs `path` — i.e. L6/L7 are in scope there.
+    pub fn governs(&self, path: &str) -> bool {
+        self.classes.iter().any(|c| path.ends_with(c.file.as_str()))
+    }
+}
+
+/// Section numbers (`1`, `2.3`, …) of every heading in
+/// docs/STORAGE.md — the anchor set L8 validates `§`-citations against.
+pub fn storage_sections(markdown: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in markdown.lines() {
+        let trimmed = line.trim_start();
+        if !trimmed.starts_with('#') {
+            continue;
+        }
+        let rest = trimmed.trim_start_matches('#').trim_start();
+        let number: String = rest.chars().take_while(|c| c.is_ascii_digit() || *c == '.').collect();
+        let number = number.trim_end_matches('.').to_string();
+        if !number.is_empty() {
+            out.push(number);
+        }
+    }
+    out
+}
+
 fn backtick_tokens(line: &str) -> Vec<String> {
     let mut out = Vec::new();
     let mut rest = line;
@@ -211,10 +329,14 @@ fn backtick_tokens(line: &str) -> Vec<String> {
     out
 }
 
-/// A set of prepared source files plus the telemetry registry.
+/// A set of prepared source files plus the doc-derived tables the
+/// rules check against: the telemetry registry (L5), the declared
+/// lock order (L6/L7), and the STORAGE.md section anchors (L8).
 pub struct Workspace {
     pub files: Vec<SourceFile>,
     pub registry: NameRegistry,
+    pub lock_order: LockOrderSpec,
+    pub storage_sections: Vec<String>,
 }
 
 impl Workspace {
@@ -229,6 +351,8 @@ impl Workspace {
             rules::no_panic(file, &mut report);
             rules::display_parse(file, &mut report);
             rules::metric_prefix(file, &self.registry, &mut report);
+            rules::lock_discipline(file, &self.lock_order, &mut report);
+            rules::durability_order(file, &self.storage_sections, &mut report);
         }
         rules::idem_stamp(&self.files, &mut report);
         self.audit_directives(&mut report);
@@ -280,7 +404,7 @@ pub fn render_report(report: &Report) -> String {
         let s = report.suppressed.iter().filter(|x| x.violation.rule == rule).count();
         let sites = report.sites.get(id).copied().unwrap_or(0);
         out.push_str(&format!(
-            "  {id:<14} {v:>3} violation{} {sites:>5} sites inspected  {s:>2} allowed\n",
+            "  {id:<19} {v:>3} violation{} {sites:>5} sites inspected  {s:>2} allowed\n",
             if v == 1 { " " } else { "s" }
         ));
     }

@@ -1,5 +1,8 @@
-//! Workspace driver: walks `crates/*/src` (plus the umbrella `src/`),
-//! loads the registered telemetry names from `docs/OBSERVABILITY.md`,
+//! Workspace driver: walks `crates/*/src` (plus the umbrella `src/`,
+//! the root `tests/`, and per-crate `tests/`), loads the doc-declared
+//! tables the rules check against — telemetry names from
+//! `docs/OBSERVABILITY.md`, the lock order from
+//! `docs/STATIC_ANALYSIS.md`, section anchors from `docs/STORAGE.md` —
 //! runs every rule, prints the report, and exits non-zero on any
 //! violation. Invoked as `cargo run -p gridbank-lint` from
 //! `scripts/check.sh`.
@@ -7,7 +10,9 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use gridbank_lint::{render_report, NameRegistry, SourceFile, Workspace};
+use gridbank_lint::{
+    render_report, storage_sections, LockOrderSpec, NameRegistry, SourceFile, Workspace,
+};
 
 fn main() -> ExitCode {
     let root = match workspace_root() {
@@ -31,6 +36,32 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let sa_doc = root.join("docs/STATIC_ANALYSIS.md");
+    let lock_order = match std::fs::read_to_string(&sa_doc) {
+        Ok(text) => match LockOrderSpec::parse(&text) {
+            Ok(spec) => spec,
+            Err(err) => {
+                eprintln!("gridbank-lint: {err}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(err) => {
+            eprintln!("gridbank-lint: cannot read {}: {err}", sa_doc.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let storage_doc = root.join("docs/STORAGE.md");
+    let sections = match std::fs::read_to_string(&storage_doc) {
+        Ok(text) => storage_sections(&text),
+        Err(err) => {
+            eprintln!("gridbank-lint: cannot read {}: {err}", storage_doc.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if sections.is_empty() {
+        eprintln!("gridbank-lint: docs/STORAGE.md has no numbered headings — L8 anchors broken");
+        return ExitCode::FAILURE;
+    }
 
     let mut files = Vec::new();
     let mut paths = collect_sources(&root);
@@ -50,7 +81,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let workspace = Workspace { files, registry };
+    let workspace = Workspace { files, registry, lock_order, storage_sections: sections };
     let report = workspace.analyze();
     print!("{}", render_report(&report));
     if report.rules_exercised() == 0 {
@@ -83,24 +114,30 @@ fn workspace_root() -> Result<PathBuf, String> {
     }
 }
 
-/// Rust sources in scope: `crates/*/src/**` and the umbrella `src/**`.
-/// `vendor/`, `target/`, per-crate `tests/`, `benches/`, and `examples/`
-/// stay out — the rules govern production code; integration tests are
-/// covered by the in-file `#[cfg(test)]` masking instead.
+/// Rust sources in scope: `crates/*/src/**`, the umbrella `src/**`,
+/// the root `tests/**`, and per-crate `tests/**`. `vendor/`, `target/`,
+/// `benches/`, and `examples/` stay out — vendored substitutes mirror
+/// upstream code we don't own, and bench/example code is measured, not
+/// shipped. Integration tests ARE in scope: a test that parses Display
+/// text or does bare money arithmetic rots just like production code.
 fn collect_sources(root: &Path) -> Vec<PathBuf> {
     let mut out = Vec::new();
     let crates_dir = root.join("crates");
     if let Ok(entries) = std::fs::read_dir(&crates_dir) {
         for entry in entries.flatten() {
-            let src = entry.path().join("src");
-            if src.is_dir() {
-                walk_rs(&src, &mut out);
+            for sub in ["src", "tests"] {
+                let dir = entry.path().join(sub);
+                if dir.is_dir() {
+                    walk_rs(&dir, &mut out);
+                }
             }
         }
     }
-    let umbrella = root.join("src");
-    if umbrella.is_dir() {
-        walk_rs(&umbrella, &mut out);
+    for sub in ["src", "tests"] {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            walk_rs(&dir, &mut out);
+        }
     }
     out
 }

@@ -1,10 +1,10 @@
-//! The five domain rules. Each operates on masked source (comments and
+//! The eight domain rules. Each operates on masked source (comments and
 //! literal bodies blanked — see [`crate::source::mask`]) so substring
 //! matching cannot be fooled by strings or docs, and skips
 //! `#[cfg(test)]` / `#[cfg(loom)]` regions.
 
 use crate::source::{fn_body, variants_of, SourceFile};
-use crate::{NameRegistry, Report, Rule};
+use crate::{LockClass, LockOrderSpec, NameRegistry, Report, Rule};
 
 /// Tokens that put a line in "money context" for L1. `Credits` is the
 /// currency type; `.micro()` / `.whole_gd()` expose its raw integers;
@@ -616,4 +616,485 @@ fn braced_text(file: &SourceFile, line_idx: usize, col: usize) -> String {
         out.push('\n');
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// L6 lock-order + L7 blocking-under-lock (one linear pass per file)
+// ---------------------------------------------------------------------------
+
+/// Zero-argument acquisition methods of `Mutex`/`RwLock`. The io-trait
+/// `.read(buf)` / `.write(buf)` calls take arguments and never match.
+const LOCK_CALLS: [&str; 3] = [".lock()", ".read()", ".write()"];
+
+/// Calls that block the thread: filesystem IO, fsync, sockets, channel
+/// receives, sleeps. `.wait(` is deliberately absent — `Condvar::wait`
+/// releases its mutex while parked, so it is not "blocking under a lock".
+const BLOCKING_PATTERNS: [&str; 11] = [
+    ".sync_all(",
+    ".sync_data(",
+    "File::",
+    "OpenOptions",
+    "fs::",
+    "std::net",
+    "TcpStream",
+    ".recv()",
+    ".recv_timeout(",
+    "thread::sleep",
+    "::sleep(",
+];
+
+/// A lock guard bound to a name, still live.
+struct Held {
+    name: String,
+    rank: u16,
+    class: &'static str,
+    receiver: String,
+    /// Brace depth at the start of the binding line; the guard dies when
+    /// the running depth drops below this.
+    depth: i32,
+    line: usize,
+}
+
+/// L6 + L7. Walks the file once, tracking named guard bindings
+/// (`let g = x.lock();`) plus their scopes, and checks every lock
+/// acquisition against the declared order and every blocking call
+/// against the currently-held set. See docs/STATIC_ANALYSIS.md for the
+/// model and its honest limitations.
+pub fn lock_discipline(file: &SourceFile, spec: &LockOrderSpec, report: &mut Report) {
+    let classes = spec.classes_for(&file.path);
+    if classes.is_empty() {
+        return;
+    }
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth: i32 = 0;
+    for (idx, line) in file.masked_lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let in_test = file.in_test.get(idx).copied().unwrap_or(false);
+        if !in_test {
+            // -- acquisitions ------------------------------------------------
+            for (at, call) in lock_calls_on(line) {
+                report.add_sites(Rule::LockOrder, 1);
+                let receiver = lock_receiver(file, idx, at);
+                let hits = classify(&classes, &receiver);
+                let class = match hits.as_slice() {
+                    [] => {
+                        report.flag(
+                            Rule::LockOrder,
+                            file,
+                            lineno,
+                            format!(
+                                "lock acquisition on `{receiver}` matches no class in the \
+                                 declared lock-order table (docs/STATIC_ANALYSIS.md §L6) — \
+                                 declare it with a rank before taking it"
+                            ),
+                        );
+                        continue;
+                    }
+                    [one] => *one,
+                    many => {
+                        let names: Vec<&str> = many.iter().map(|c| c.name.as_str()).collect();
+                        report.flag(
+                            Rule::LockOrder,
+                            file,
+                            lineno,
+                            format!(
+                                "lock receiver `{receiver}` is ambiguous between declared \
+                                 classes {} — tighten the table patterns",
+                                names.join(", ")
+                            ),
+                        );
+                        continue;
+                    }
+                };
+                if let Some(worst) = held.iter().max_by_key(|h| h.rank) {
+                    if class.rank < worst.rank {
+                        report.flag(
+                            Rule::LockOrder,
+                            file,
+                            lineno,
+                            format!(
+                                "acquires {} (rank {}) while holding {} (rank {}, taken \
+                                 line {}) — violates the declared lock order \
+                                 (docs/STATIC_ANALYSIS.md §L6)",
+                                class.name, class.rank, worst.class, worst.rank, worst.line
+                            ),
+                        );
+                    } else if class.rank == worst.rank {
+                        if receiver == worst.receiver {
+                            report.flag(
+                                Rule::LockOrder,
+                                file,
+                                lineno,
+                                format!(
+                                    "re-acquires `{receiver}` while the guard from line {} \
+                                     is still held — self-deadlock on a non-reentrant lock",
+                                    worst.line
+                                ),
+                            );
+                        } else if !class.ascending_index {
+                            report.flag(
+                                Rule::LockOrder,
+                                file,
+                                lineno,
+                                format!(
+                                    "holds two {} locks at once but the class is not \
+                                     marked ascending-index in the declared table",
+                                    class.name
+                                ),
+                            );
+                        } else if !ascending_witness(file, idx) {
+                            report.flag(
+                                Rule::LockOrder,
+                                file,
+                                lineno,
+                                format!(
+                                    "multi-acquire of {} locks without a visible \
+                                     ascending-index sort — order the pair with \
+                                     `let (first, second) = if a < b ...` before locking",
+                                    class.name
+                                ),
+                            );
+                        }
+                    }
+                }
+                if let Some(name) = held_binding(line, at + call.len()) {
+                    // A rebinding replaces the old guard (drop-then-assign
+                    // semantics are close enough for a lexical model).
+                    held.retain(|h| h.name != name);
+                    held.push(Held {
+                        name,
+                        rank: class.rank,
+                        class: leak(&class.name),
+                        receiver: receiver.clone(),
+                        depth,
+                        line: lineno,
+                    });
+                }
+            }
+            // -- blocking calls ---------------------------------------------
+            let blocking: Vec<(usize, &str)> = BLOCKING_PATTERNS
+                .iter()
+                .filter_map(|p| line.find(p).map(|pos| (pos, *p)))
+                .collect();
+            if let Some(&(first_pos, pat)) = blocking.iter().min_by_key(|(pos, _)| *pos) {
+                report.add_sites(Rule::BlockingUnderLock, 1);
+                let lock_chain = lock_calls_on(line).into_iter().any(|(pos, _)| pos < first_pos);
+                if lock_chain || !held.is_empty() {
+                    let under = if lock_chain {
+                        "a lock acquired earlier on the same line".to_string()
+                    } else {
+                        let h = held.iter().max_by_key(|h| h.line).unwrap();
+                        format!("{} (held since line {})", h.class, h.line)
+                    };
+                    report.flag(
+                        Rule::BlockingUnderLock,
+                        file,
+                        lineno,
+                        format!(
+                            "blocking call `{pat}` under {under} — move the IO off the \
+                             locked path or annotate the audited exception \
+                             (docs/STATIC_ANALYSIS.md §L7)"
+                        ),
+                    );
+                }
+            }
+            // -- explicit releases ------------------------------------------
+            for name in drop_calls_on(line) {
+                held.retain(|h| h.name != name);
+            }
+        }
+        // Brace depth is tracked on every line (test regions included) so
+        // guard scopes survive interleaved cfg blocks.
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        held.retain(|h| depth >= h.depth);
+    }
+}
+
+/// All lock-call occurrences on one masked line: (byte offset, pattern).
+fn lock_calls_on(line: &str) -> Vec<(usize, &'static str)> {
+    let mut out = Vec::new();
+    for call in LOCK_CALLS {
+        let mut from = 0;
+        while let Some(pos) = line[from..].find(call) {
+            out.push((from + pos, call));
+            from += pos + call.len();
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// The receiver chain feeding a lock call, walked backward from the `.`
+/// at `at`, joining rustfmt continuation lines (`*self` / `.by_cert` /
+/// `.read()`). Accepts identifier chars plus `.?`, swallowing balanced
+/// `[...]` / `(...)` groups whole (so `shards[account_shard(&r.id)]`
+/// stays one receiver); an unmatched opener or interior whitespace
+/// terminates the chain.
+fn lock_receiver(file: &SourceFile, line_idx: usize, at: usize) -> String {
+    let mut out: Vec<char> = Vec::new();
+    let mut li = line_idx;
+    let mut prefix: Vec<char> = file.masked_lines[li][..at].chars().collect();
+    let mut hops = 0;
+    // Unmatched closers seen so far — while positive we are inside an
+    // index/call argument and accept any character.
+    let mut nest: u32 = 0;
+    loop {
+        let mut jumped = false;
+        while let Some(&c) = prefix.last() {
+            if matches!(c, ')' | ']') {
+                nest += 1;
+                out.push(c);
+                prefix.pop();
+            } else if matches!(c, '(' | '[') {
+                if nest == 0 {
+                    return out.iter().rev().collect(); // enclosing call/index
+                }
+                nest -= 1;
+                out.push(c);
+                prefix.pop();
+            } else if nest > 0 || c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '?') {
+                if c.is_whitespace() && prefix.iter().all(|ch| ch.is_whitespace()) {
+                    jumped = true;
+                    break;
+                }
+                out.push(c);
+                prefix.pop();
+            } else if c.is_whitespace() && prefix.iter().all(|ch| ch.is_whitespace()) {
+                jumped = true;
+                break;
+            } else {
+                return out.iter().rev().collect();
+            }
+        }
+        if !jumped && prefix.is_empty() {
+            jumped = true; // chain ran to column 0 — may continue above
+        }
+        hops += 1;
+        if !jumped || hops > 6 || li == 0 {
+            return out.iter().rev().collect();
+        }
+        li -= 1;
+        while li > 0 && file.masked_lines[li].trim().is_empty() {
+            li -= 1;
+        }
+        prefix = file.masked_lines[li].trim_end().chars().collect();
+    }
+}
+
+/// Declared classes whose receiver patterns match, deduped by rank.
+fn classify<'a>(classes: &[&'a LockClass], receiver: &str) -> Vec<&'a LockClass> {
+    let mut hits: Vec<&LockClass> = Vec::new();
+    for class in classes {
+        let matched = class.patterns.iter().any(|pat| {
+            if pat.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                ident_bounded(receiver, pat)
+            } else {
+                receiver.contains(pat.as_str())
+            }
+        });
+        if matched && !hits.iter().any(|h| h.rank == class.rank) {
+            hits.push(class);
+        }
+    }
+    hits
+}
+
+/// Does `needle` occur in `haystack` on identifier boundaries?
+fn ident_bounded(haystack: &str, needle: &str) -> bool {
+    let bytes = haystack.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let before_ok = start == 0 || !is_ident(bytes[start - 1] as char);
+        let after_ok = end >= haystack.len() || !is_ident(bytes[end] as char);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+/// If the acquisition at the end of this line is a guard *binding*
+/// (`let [mut] name = chain.lock();` or `name = chain.lock();`), the
+/// bound name. Deref/ref copies (`let x = *c.lock();`) and `_` bindings
+/// drop the guard at the semicolon and are transient.
+fn held_binding(line: &str, after: usize) -> Option<String> {
+    if line[after..].trim() != ";" {
+        return None;
+    }
+    let t = line.trim_start();
+    let rest = t.strip_prefix("let ").unwrap_or(t);
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest.chars().take_while(|c| is_ident(*c)).collect();
+    if name.is_empty() || name == "_" {
+        return None;
+    }
+    let after_name = rest[name.len()..].trim_start();
+    if !after_name.starts_with('=') || after_name.starts_with("==") {
+        return None;
+    }
+    let rhs = after_name[1..].trim_start();
+    if rhs.starts_with('*') || rhs.starts_with('&') {
+        return None;
+    }
+    Some(name)
+}
+
+/// Names released by `drop(name)` calls on this line.
+fn drop_calls_on(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find("drop(") {
+        let at = from + pos;
+        let boundary = at == 0 || !is_ident(line.as_bytes()[at - 1] as char);
+        from = at + "drop(".len();
+        if !boundary {
+            continue;
+        }
+        let name: String = line[from..].chars().take_while(|c| is_ident(*c)).collect();
+        if !name.is_empty() {
+            out.push(name);
+        }
+    }
+    out
+}
+
+/// Does the enclosing function order the pair before locking? Looks for
+/// the idiom `let (first, second) = if a < b { ... }` between the
+/// nearest preceding `fn ` line and the acquisition.
+fn ascending_witness(file: &SourceFile, line_idx: usize) -> bool {
+    let Some(start) = file.masked_lines[..=line_idx].iter().rposition(|l| l.contains("fn ")) else {
+        return false;
+    };
+    let compact: String = file.masked_lines[start..=line_idx]
+        .iter()
+        .flat_map(|l| l.chars())
+        .filter(|c| !c.is_whitespace())
+        .collect();
+    compact.contains(")=if") && compact.contains('<')
+}
+
+/// Class names live as long as the report; the set is tiny and fixed per
+/// run, so leaking the handful of strings is cheaper than an arena.
+fn leak(name: &str) -> &'static str {
+    Box::leak(name.to_string().into_boxed_str())
+}
+
+// ---------------------------------------------------------------------------
+// L8 durability-order
+// ---------------------------------------------------------------------------
+
+/// L8: the storage engine's atomic-publish paths must sequence
+/// write → fsync → rename → dir-fsync, the COMPACTED marker must land
+/// before any segment deletion, and every `STORAGE.md §n` citation in
+/// the file must resolve to a real heading. Scoped to store.rs.
+pub fn durability_order(file: &SourceFile, sections: &[String], report: &mut Report) {
+    if !file.path.ends_with("core/src/store.rs") {
+        return;
+    }
+    ordered_markers(
+        file,
+        "write_snapshot",
+        &[
+            (".write_all(", "payload write"),
+            (".sync_all(", "file fsync"),
+            ("fs::rename(", "atomic rename"),
+            (".sync_all(", "directory fsync"),
+        ],
+        report,
+    );
+    ordered_markers(
+        file,
+        "write_compacted_marker",
+        &[
+            (".write_all(", "marker write"),
+            (".sync_all(", "marker fsync"),
+            ("fs::rename(", "atomic rename"),
+        ],
+        report,
+    );
+    if let Some((lineno, body)) = fn_body(file, "compact_shard") {
+        report.add_sites(Rule::DurabilityOrder, 1);
+        let marker = body.find("write_compacted_marker(");
+        let seg_del = body.find("remove_file(segment_path");
+        match (marker, seg_del) {
+            (Some(m), Some(d)) if m > d => report.flag(
+                Rule::DurabilityOrder,
+                file,
+                lineno,
+                "compact_shard deletes segments before the COMPACTED marker is durable — \
+                 a crash between the two loses the only copy (docs/STORAGE.md §3.4)"
+                    .into(),
+            ),
+            (None, Some(_)) => report.flag(
+                Rule::DurabilityOrder,
+                file,
+                lineno,
+                "compact_shard deletes segments without writing the COMPACTED marker \
+                 (docs/STORAGE.md §3.4)"
+                    .into(),
+            ),
+            _ => {}
+        }
+    }
+    // §-anchor audit: raw lines, because the citations live in comments.
+    for (idx, raw) in file.raw_lines.iter().enumerate() {
+        let mut from = 0;
+        while let Some(pos) = raw[from..].find("STORAGE.md §") {
+            let at = from + pos + "STORAGE.md §".len();
+            from = at;
+            let token: String =
+                raw[at..].chars().take_while(|c| c.is_ascii_digit() || *c == '.').collect();
+            let num = token.trim_end_matches('.').to_string();
+            report.add_sites(Rule::DurabilityOrder, 1);
+            if num.is_empty() || !sections.contains(&num) {
+                report.flag(
+                    Rule::DurabilityOrder,
+                    file,
+                    idx + 1,
+                    format!(
+                        "cites docs/STORAGE.md §{num} but the doc has no such heading — \
+                         fix the anchor or restore the section"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Require `markers` to appear in order inside `fn name`; each search
+/// resumes after the previous hit, so a repeated marker (the second
+/// `.sync_all(`) must occur again later. A missing function is not a
+/// violation — renames surface via the zero-sites gate instead.
+fn ordered_markers(file: &SourceFile, name: &str, markers: &[(&str, &str)], report: &mut Report) {
+    let Some((lineno, body)) = fn_body(file, name) else {
+        return;
+    };
+    report.add_sites(Rule::DurabilityOrder, 1);
+    let mut from = 0;
+    for (marker, step) in markers {
+        match body[from..].find(marker) {
+            Some(pos) => from += pos + marker.len(),
+            None => {
+                report.flag(
+                    Rule::DurabilityOrder,
+                    file,
+                    lineno,
+                    format!(
+                        "{name} is missing the `{step}` step (`{marker}`) at its place in \
+                         the write→fsync→rename→dir-fsync sequence (docs/STORAGE.md §3)"
+                    ),
+                );
+                return;
+            }
+        }
+    }
 }

@@ -47,7 +47,12 @@ impl SourceFile {
         let raw_lines: Vec<String> = source.lines().map(str::to_string).collect();
         let masked_lines: Vec<String> = masked.lines().map(str::to_string).collect();
         let in_test = test_regions(&masked_lines);
-        let allows = parse_allows(&raw_lines, &masked_lines);
+        // Directives are parsed from a strings-only mask: a `lint:allow`
+        // inside a string literal (a lint self-test fixture, a log
+        // message) is data, not a directive.
+        let comment_lines: Vec<String> =
+            mask_impl(source, true).lines().map(str::to_string).collect();
+        let allows = parse_allows(&comment_lines, &masked_lines);
         SourceFile { path: path.to_string(), raw_lines, masked_lines, in_test, allows }
     }
 
@@ -66,6 +71,14 @@ impl SourceFile {
 /// preserving newlines and column positions. Quote characters are kept
 /// so adjacent tokens do not merge.
 pub fn mask(source: &str) -> String {
+    mask_impl(source, false)
+}
+
+/// As [`mask`], but with `keep_comments` the comment text survives and
+/// only string/char-literal bodies are blanked — the view directive
+/// parsing uses to tell a real `// lint:allow` comment from the same
+/// text embedded in a string literal.
+fn mask_impl(source: &str, keep_comments: bool) -> String {
     #[derive(PartialEq)]
     enum State {
         Code,
@@ -86,15 +99,16 @@ pub fn mask(source: &str) -> String {
             State::Code => match c {
                 '/' if next == Some('/') => {
                     state = State::LineComment;
-                    out.push(' ');
-                    out.push(' ');
+                    let fill = if keep_comments { '/' } else { ' ' };
+                    out.push(fill);
+                    out.push(fill);
                     i += 2;
                     continue;
                 }
                 '/' if next == Some('*') => {
                     state = State::BlockComment(1);
-                    out.push(' ');
-                    out.push(' ');
+                    out.push(if keep_comments { '/' } else { ' ' });
+                    out.push(if keep_comments { '*' } else { ' ' });
                     i += 2;
                     continue;
                 }
@@ -141,7 +155,7 @@ pub fn mask(source: &str) -> String {
                     state = State::Code;
                     out.push('\n');
                 } else {
-                    out.push(' ');
+                    out.push(if keep_comments { c } else { ' ' });
                 }
             }
             State::BlockComment(depth) => {
@@ -151,20 +165,20 @@ pub fn mask(source: &str) -> String {
                     continue;
                 }
                 if c == '*' && next == Some('/') {
-                    out.push(' ');
-                    out.push(' ');
+                    out.push(if keep_comments { '*' } else { ' ' });
+                    out.push(if keep_comments { '/' } else { ' ' });
                     i += 2;
                     state = if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
                     continue;
                 }
                 if c == '/' && next == Some('*') {
-                    out.push(' ');
-                    out.push(' ');
+                    out.push(if keep_comments { '/' } else { ' ' });
+                    out.push(if keep_comments { '*' } else { ' ' });
                     i += 2;
                     state = State::BlockComment(depth + 1);
                     continue;
                 }
-                out.push(' ');
+                out.push(if keep_comments { c } else { ' ' });
             }
             State::Str => match c {
                 '\\' => {
@@ -285,7 +299,8 @@ fn test_regions(masked_lines: &[String]) -> Vec<bool> {
 /// A same-line directive covers the code on its own line; a directive
 /// alone on a line covers the next line that carries code. The reason
 /// text is mandatory — a bare directive is itself reported by the
-/// driver as a violation of the escape-hatch contract.
+/// driver as a violation of the escape-hatch contract. `raw_lines` is
+/// the strings-only masked view: comment text intact, literals blanked.
 fn parse_allows(raw_lines: &[String], masked_lines: &[String]) -> Vec<AllowDirective> {
     let mut out = Vec::new();
     // Map: directive line -> target line (for standalone directives).

@@ -3,7 +3,10 @@
 //! harness — if a rule stops firing on its fixture, the workspace scan
 //! has silently lost coverage.
 
-use gridbank_lint::{NameRegistry, Report, Rule, SourceFile, Workspace};
+use gridbank_lint::{
+    render_report, storage_sections, LockOrderSpec, NameRegistry, Report, Rule, SourceFile,
+    Workspace,
+};
 
 fn registry() -> NameRegistry {
     NameRegistry::parse(
@@ -13,10 +16,31 @@ fn registry() -> NameRegistry {
     .expect("fixture registry parses")
 }
 
+/// A miniature declared lock order mirroring the real table's shape:
+/// ranks ascend, `account-shard` alone permits ascending-index
+/// multi-acquire.
+fn lock_order() -> LockOrderSpec {
+    LockOrderSpec::parse(
+        "| 10 | registry | server.rs | `peers` | single |\n\
+         | 15 | worker-inbox | server.rs | `rx` | single |\n\
+         | 20 | account-shard | db.rs | `shards` `shard` | ascending-index |\n\
+         | 30 | journal-mem | db.rs | `mem` | single |\n\
+         | 40 | segment-writer | store.rs | `writer` | single |",
+    )
+    .expect("fixture lock order parses")
+}
+
+fn workspace(files: Vec<SourceFile>) -> Workspace {
+    Workspace {
+        files,
+        registry: registry(),
+        lock_order: lock_order(),
+        storage_sections: vec!["1".into(), "2".into(), "2.3".into(), "3".into(), "3.4".into()],
+    }
+}
+
 fn analyze(path: &str, source: &str) -> Report {
-    let workspace =
-        Workspace { files: vec![SourceFile::parse(path, source)], registry: registry() };
-    workspace.analyze()
+    workspace(vec![SourceFile::parse(path, source)]).analyze()
 }
 
 fn violations(report: &Report, rule: Rule) -> usize {
@@ -136,14 +160,11 @@ impl GridBank {
 "#;
 
 fn analyze_core(api: &str, server: &str) -> Report {
-    let workspace = Workspace {
-        files: vec![
-            SourceFile::parse("crates/core/src/api.rs", api),
-            SourceFile::parse("crates/core/src/server.rs", server),
-        ],
-        registry: registry(),
-    };
-    workspace.analyze()
+    workspace(vec![
+        SourceFile::parse("crates/core/src/api.rs", api),
+        SourceFile::parse("crates/core/src/server.rs", server),
+    ])
+    .analyze()
 }
 
 #[test]
@@ -338,7 +359,311 @@ fn observe(name: &str) {
     assert_eq!(violations(&report, Rule::MetricPrefix), 1, "{:?}", report.violations);
 }
 
+// ---- L6 lock-order ----
+
+#[test]
+fn lock_order_flags_inverted_acquisition() {
+    let report = analyze(
+        "crates/core/src/db.rs",
+        r#"
+fn bad(&self) {
+    let mem = self.journal.mem.lock();
+    let shard = self.shards[0].write();
+}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::LockOrder), 1, "{:?}", report.violations);
+    assert!(report.violations[0].message.contains("rank 20"));
+
+    let report = analyze(
+        "crates/core/src/db.rs",
+        r#"
+fn good(&self) {
+    let shard = self.shards[0].write();
+    let mem = self.journal.mem.lock();
+}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::LockOrder), 0, "{:?}", report.violations);
+}
+
+#[test]
+fn lock_order_respects_explicit_drop() {
+    let report = analyze(
+        "crates/core/src/db.rs",
+        r#"
+fn ok(&self) {
+    let mem = self.journal.mem.lock();
+    drop(mem);
+    let shard = self.shards[0].write();
+}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::LockOrder), 0, "{:?}", report.violations);
+}
+
+#[test]
+fn lock_order_releases_guards_at_scope_end() {
+    let report = analyze(
+        "crates/core/src/db.rs",
+        r#"
+fn ok(&self) {
+    {
+        let mem = self.journal.mem.lock();
+        mem.push(entry);
+    }
+    let shard = self.shards[0].write();
+}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::LockOrder), 0, "{:?}", report.violations);
+}
+
+#[test]
+fn lock_order_rejects_undeclared_receivers() {
+    let report = analyze(
+        "crates/core/src/db.rs",
+        r#"
+fn sneak(&self) {
+    let g = self.mystery.lock();
+}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::LockOrder), 1, "{:?}", report.violations);
+    assert!(report.violations[0].message.contains("no class"));
+}
+
+#[test]
+fn lock_order_flags_reacquisition_of_the_same_lock() {
+    let report = analyze(
+        "crates/core/src/db.rs",
+        r#"
+fn deadlock(&self, i: usize) {
+    let a = self.shards[i].write();
+    let b = self.shards[i].read();
+}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::LockOrder), 1, "{:?}", report.violations);
+    assert!(report.violations[0].message.contains("self-deadlock"));
+}
+
+#[test]
+fn lock_order_requires_sorted_cross_shard_acquire() {
+    let report = analyze(
+        "crates/core/src/db.rs",
+        r#"
+fn transfer(&self, a: usize, b: usize) {
+    let first = self.shards[a].write();
+    let second = self.shards[b].write();
+}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::LockOrder), 1, "{:?}", report.violations);
+    assert!(report.violations[0].message.contains("ascending-index"));
+
+    let report = analyze(
+        "crates/core/src/db.rs",
+        r#"
+fn transfer(&self, a: usize, b: usize) {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let first = self.shards[lo].write();
+    let second = self.shards[hi].write();
+}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::LockOrder), 0, "{:?}", report.violations);
+}
+
+#[test]
+fn lock_order_joins_rustfmt_continuation_receivers() {
+    let report = analyze(
+        "crates/core/src/db.rs",
+        r#"
+fn lookup(&self, cert: &str) -> Option<AccountId> {
+    let shard = self.shards[0].read();
+    let id = *self
+        .journal
+        .mem
+        .lock()
+        .last()?;
+    Some(id)
+}
+"#,
+    );
+    // shard (20) then journal mem (30): legal, and the split receiver
+    // must still classify (an unclassified receiver would flag).
+    assert_eq!(violations(&report, Rule::LockOrder), 0, "{:?}", report.violations);
+}
+
+#[test]
+fn lock_order_spec_rejects_an_empty_table() {
+    assert!(LockOrderSpec::parse("# no table here\n").is_err());
+}
+
+// ---- L7 blocking-under-lock ----
+
+#[test]
+fn blocking_under_lock_flags_io_inside_guard_scope() {
+    let report = analyze(
+        "crates/core/src/store.rs",
+        r#"
+fn flush(&self) {
+    let writer = self.writer.lock();
+    file.sync_all().ok();
+}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::BlockingUnderLock), 1, "{:?}", report.violations);
+    assert!(report.violations[0].message.contains("sync_all"));
+
+    let report = analyze(
+        "crates/core/src/store.rs",
+        r#"
+fn flush(&self) {
+    let writer = self.writer.lock();
+    drop(writer);
+    file.sync_all().ok();
+}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::BlockingUnderLock), 0, "{:?}", report.violations);
+}
+
+#[test]
+fn blocking_under_lock_catches_same_line_chains() {
+    let report = analyze(
+        "crates/core/src/server.rs",
+        r#"
+fn next_job(&self) -> Job {
+    let job = rx.lock().recv();
+    job.unwrap_or_default()
+}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::BlockingUnderLock), 1, "{:?}", report.violations);
+}
+
+#[test]
+fn blocking_under_lock_allow_requires_and_prints_reason() {
+    let report = analyze(
+        "crates/core/src/store.rs",
+        r#"
+fn flush(&self) {
+    let writer = self.writer.lock();
+    // lint:allow(blocking-under-lock) group-commit fsync: batch absorbs the stall
+    file.sync_data().ok();
+}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::BlockingUnderLock), 0, "{:?}", report.violations);
+    assert_eq!(report.suppressed.len(), 1);
+    let rendered = render_report(&report);
+    assert!(
+        rendered.contains("group-commit fsync: batch absorbs the stall"),
+        "reason must be printed:\n{rendered}"
+    );
+}
+
+// ---- L8 durability-order ----
+
+#[test]
+fn durability_order_requires_fsync_before_rename() {
+    let report = analyze(
+        "crates/core/src/store.rs",
+        r#"
+fn write_snapshot(&self) -> io::Result<()> {
+    f.write_all(&buf)?;
+    fs::rename(&tmp, &path)?;
+    Ok(())
+}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::DurabilityOrder), 1, "{:?}", report.violations);
+    assert!(report.violations[0].message.contains("file fsync"));
+
+    let report = analyze(
+        "crates/core/src/store.rs",
+        r#"
+fn write_snapshot(&self) -> io::Result<()> {
+    f.write_all(&buf)?;
+    f.sync_all()?;
+    fs::rename(&tmp, &path)?;
+    dir.sync_all()?;
+    Ok(())
+}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::DurabilityOrder), 0, "{:?}", report.violations);
+}
+
+#[test]
+fn durability_order_requires_marker_before_segment_deletion() {
+    let report = analyze(
+        "crates/core/src/store.rs",
+        r#"
+fn compact_shard(&self, shard: usize) {
+    fs::remove_file(segment_path(dir, shard, seq)).ok();
+    self.write_compacted_marker(shard).ok();
+}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::DurabilityOrder), 1, "{:?}", report.violations);
+    assert!(report.violations[0].message.contains("COMPACTED"));
+
+    let report = analyze(
+        "crates/core/src/store.rs",
+        r#"
+fn compact_shard(&self, shard: usize) {
+    self.write_compacted_marker(shard).ok();
+    fs::remove_file(segment_path(dir, shard, seq)).ok();
+}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::DurabilityOrder), 0, "{:?}", report.violations);
+}
+
+#[test]
+fn durability_order_validates_storage_doc_anchors() {
+    let report = analyze(
+        "crates/core/src/store.rs",
+        r#"
+// Atomic publish per docs/STORAGE.md §3.4.
+// And a stale one: docs/STORAGE.md §9.9 no longer exists.
+fn unrelated() {}
+"#,
+    );
+    assert_eq!(violations(&report, Rule::DurabilityOrder), 1, "{:?}", report.violations);
+    assert!(report.violations[0].message.contains("9.9"));
+}
+
+#[test]
+fn storage_sections_parse_numbered_headings() {
+    let sections = storage_sections(
+        "# Storage\n## 1. Layout\n### 2.1 Segments\n## Unnumbered\n### 3.4 Compaction\n",
+    );
+    assert_eq!(sections, vec!["1", "2.1", "3.4"]);
+}
+
 // ---- escape-hatch audit ----
+
+#[test]
+fn allow_file_prints_its_reason_in_the_report() {
+    let report = analyze(
+        "crates/sim/src/fixture.rs",
+        "// lint:allow-file(money-arith) fixture-wide waiver for synthetic totals\n\
+         fn f(a: Credits) -> i128 { a.micro() + 1 }\n",
+    );
+    assert!(report.passed(), "{:?}", report.violations);
+    assert_eq!(report.suppressed.len(), 1);
+    assert!(report.suppressed[0].file_wide);
+    let rendered = render_report(&report);
+    assert!(
+        rendered.contains("fixture-wide waiver for synthetic totals"),
+        "file-wide reason must be printed:\n{rendered}"
+    );
+    assert!(rendered.contains("(file-wide)"), "{rendered}");
+}
 
 #[test]
 fn malformed_directives_fail_the_run() {

@@ -1,23 +1,49 @@
 #!/usr/bin/env bash
 # Repository gate: formatting, lints, and the tier-1 build + test suite.
 # Run from anywhere; exits non-zero on the first failure.
+#
+# CHECK_FULL=1 additionally enables every opt-in stage (LOOM, MIRI).
+# A per-stage wall-clock summary prints after the final stage.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo fmt --check"
+if [[ -n "${CHECK_FULL:-}" ]]; then
+  LOOM="${LOOM:-1}"
+  MIRI="${MIRI:-1}"
+fi
+
+STAGE_NAMES=()
+STAGE_SECS=()
+CURRENT_STAGE=""
+STAGE_START=$SECONDS
+stage_done() {
+  if [[ -n "$CURRENT_STAGE" ]]; then
+    STAGE_NAMES+=("$CURRENT_STAGE")
+    STAGE_SECS+=("$((SECONDS - STAGE_START))")
+    CURRENT_STAGE=""
+  fi
+}
+stage() {
+  stage_done
+  CURRENT_STAGE="$1"
+  STAGE_START=$SECONDS
+  echo "== $1"
+}
+
+stage "cargo fmt --check"
 cargo fmt --all --check
 
-echo "== cargo clippy (workspace, -D warnings)"
+stage "cargo clippy (workspace, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Domain-invariant analysis (docs/STATIC_ANALYSIS.md): money arithmetic,
 # idempotency stamps, no-panic request paths, Display parsing, metric
 # registry. Exits non-zero on any violation or malformed allow
 # directive; the report includes the suppression count per directive.
-echo "== gridbank-lint (deny violations; see docs/STATIC_ANALYSIS.md)"
+stage "gridbank-lint (deny violations; see docs/STATIC_ANALYSIS.md)"
 cargo run -q -p gridbank-lint
 
-echo "== tier-1: cargo build --release && cargo test"
+stage "tier-1: cargo build --release && cargo test"
 cargo build --release
 # The root package's release build does not cover the workspace
 # binaries the smoke stages below shell out to; build them explicitly.
@@ -28,13 +54,13 @@ cargo test -q
 # default seeds. Export CHAOS_SEED=<n> to additionally probe one extra
 # storm seed.
 if [[ -n "${CHAOS_SEED:-}" ]]; then
-  echo "== chaos suite with CHAOS_SEED=$CHAOS_SEED"
+  stage "chaos suite with CHAOS_SEED=$CHAOS_SEED"
   cargo test -q --test chaos_payments
 fi
 
 # Vendored substitutes (vendor/*) are excluded: they mirror upstream
 # docs we don't own. Every first-party crate must document cleanly.
-echo "== rustdoc (no-deps, warnings denied)"
+stage "rustdoc (no-deps, warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
   -p gridbank-suite -p gridbank-bench -p gridbank-broker -p gridbank-cli \
   -p gridbank-core -p gridbank-crypto -p gridbank-gsp -p gridbank-meter \
@@ -44,7 +70,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
 # Loadgen smoke (E16): a miniature end-to-end run against a live server
 # must produce valid JSON with nonzero throughput for both strategies.
 # Not a benchmark — only proves the pipeline path works.
-echo "== loadgen smoke (docs/BENCHMARKS.md §7)"
+stage "loadgen smoke (docs/BENCHMARKS.md §7)"
 smoke_out="$(mktemp /tmp/loadgen_smoke.XXXXXX.json)"
 ./target/release/gridbank-bench loadgen \
   --strategies paybefore,cheque --duration-ms 200 --warmup-ms 50 \
@@ -72,7 +98,7 @@ rm -f "$smoke_out"
 # Federation smoke (§6): two live branch servers, cross-branch payments
 # over RPC, one netting pass. `gridbank settle` exits non-zero itself
 # unless every clearing account nets to zero with no stranded credits.
-echo "== federation smoke (docs/PROTOCOLS.md §5)"
+stage "federation smoke (docs/PROTOCOLS.md §5)"
 fed_out="$(./target/release/gridbank settle --branches 2 --payments 2)"
 echo "$fed_out"
 grep -q "clearing accounts net to zero" <<<"$fed_out" || {
@@ -84,7 +110,7 @@ grep -q "clearing accounts net to zero" <<<"$fed_out" || {
 # OPS_ADMIN-gated OpsQuery. The unauthorized probe must be refused, the
 # health report must classify Healthy, and all six server.stage.*
 # histograms must have recorded (docs/OBSERVABILITY.md §4).
-echo "== ops smoke (docs/OBSERVABILITY.md §4)"
+stage "ops smoke (docs/OBSERVABILITY.md §4)"
 ops_out="$(./target/release/gridbank metrics --remote bank --format jsonl)"
 grep -q '"type":"ops-gate"' <<<"$ops_out" || {
   echo "ops smoke: unauthorized OpsQuery was not refused" >&2
@@ -106,7 +132,7 @@ done
 # PayWord streams — through two live branches. `gridbank market` exits
 # non-zero itself unless conservation, exactly-once settlement, and the
 # zero-stranded-credit invariants all hold.
-echo "== market smoke (docs/ECONOMY.md)"
+stage "market smoke (docs/ECONOMY.md)"
 market_out="$(./target/release/gridbank market --population 60 --payments 30 --auctions 2)"
 echo "$market_out"
 grep -q "invariants: conservation, exactly-once settlement, zero stranded credit — OK" \
@@ -122,7 +148,7 @@ grep -q "invariants: conservation, exactly-once settlement, zero stranded credit
 # the tail. `gridbank-bench loadgen --recovery` runs exactly that drill
 # and reports the verdict; the strategy window is minimal — the drill
 # is the payload here.
-echo "== recovery smoke (docs/STORAGE.md §5)"
+stage "recovery smoke (docs/STORAGE.md §5)"
 rec_out="$(mktemp /tmp/recovery_smoke.XXXXXX.json)"
 ./target/release/gridbank-bench loadgen --recovery \
   --strategies paybefore --duration-ms 100 --warmup-ms 20 \
@@ -149,7 +175,7 @@ rm -f "$rec_out"
 
 # Docs link check: every relative markdown link target in README/DESIGN/
 # docs must exist on disk — doc rot fails the gate, not review.
-echo "== docs dead-link check"
+stage "docs dead-link check"
 if command -v python3 >/dev/null 2>&1; then
 python3 - <<'PY'
 import os, re, sys
@@ -176,11 +202,12 @@ else
 fi
 
 # Opt-in concurrency stages (docs/STATIC_ANALYSIS.md). LOOM=1 rebuilds
-# core/net with the yield-injecting sync facade and runs the three
-# models (group-commit queue, idempotency dedup, circuit breaker).
-# LOOM_ITERS / LOOM_SEED tune the exploration (defaults 128 / fixed).
+# core/net with the yield-injecting sync facade and runs the five
+# models (group-commit queue, idempotency dedup, snapshot-during-commit,
+# transfer-vs-compaction, circuit breaker). LOOM_ITERS / LOOM_SEED tune
+# the exploration (defaults 128 / fixed).
 if [[ -n "${LOOM:-}" ]]; then
-  echo "== loom models (RUSTFLAGS=--cfg loom)"
+  stage "loom models (RUSTFLAGS=--cfg loom)"
   RUSTFLAGS="--cfg loom" cargo test -q -p gridbank-core -p gridbank-net loom_
 fi
 
@@ -189,13 +216,21 @@ fi
 # cargo-miri is a skip, not a failure.
 if [[ -n "${MIRI:-}" ]]; then
   if cargo miri --version >/dev/null 2>&1; then
-    echo "== miri (codec + netting engine)"
+    stage "miri (codec + netting engine)"
     cargo miri test -q -p gridbank-rur codec
     cargo miri test -q -p gridbank-core branch::
   else
-    echo "== miri: cargo-miri not installed for this toolchain — skipping" \
+    stage "miri: cargo-miri not installed for this toolchain — skipping"
+    echo "       " \
          "(rustup component add miri on a nightly to enable)"
   fi
 fi
+
+stage_done
+echo "== stage timing"
+for i in "${!STAGE_NAMES[@]}"; do
+  printf '  %5ss  %s\n' "${STAGE_SECS[$i]}" "${STAGE_NAMES[$i]}"
+done
+printf '  %5ss  total\n' "$SECONDS"
 
 echo "== all checks passed"
